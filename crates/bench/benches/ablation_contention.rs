@@ -1,0 +1,78 @@
+//! Ablation: contention and the ww/xmax-array design (§3.3.3/§4.3).
+//!
+//! The paper replaces PostgreSQL's exclusive row lock with an xmax *array*
+//! so concurrent writers never block each other during the execution
+//! phase; the serial commit phase picks the block-order winner and dooms
+//! the rest. The cost of that choice is aborted work under contention.
+//! This ablation sweeps the fraction of transactions updating one hot row
+//! and reports throughput and abort rates — the trade the paper accepts
+//! for cross-node determinism.
+
+use std::time::Duration;
+
+use bcrdb_bench::harness::{bench_config, seed_genesis_rows, run_open_loop, BenchNetwork};
+use bcrdb_bench::scaled_secs;
+use bcrdb_bench::contracts::{Workload, WorkloadKind};
+use bcrdb_common::value::Value;
+use bcrdb_txn::ssi::Flow;
+
+fn main() {
+    let run_secs = scaled_secs(2.0);
+    let arrival = 1500.0;
+
+    println!("\n=== Ablation: hot-row contention under the xmax-array ww design ===");
+    println!("(no lock waits during execution; losers abort at serial commit)");
+    println!(
+        "{:>10}  {:>12}  {:>10}  {:>10}  {:>10}",
+        "hot share", "tput (tps)", "committed", "aborted", "abort %"
+    );
+
+    for hot_permille in [0u64, 100, 300, 600] {
+        let mut cfg = bench_config(Flow::OrderThenExecute, 100, Duration::from_millis(250));
+        cfg.min_exec_micros = 500;
+        // A custom workload: mostly unique-row updates, a `hot_permille`
+        // share hitting row 0.
+        let net = bcrdb_core::Network::build(cfg).expect("network");
+        net.bootstrap_sql(
+            "CREATE TABLE counters (id INT PRIMARY KEY, n INT NOT NULL); \
+             CREATE FUNCTION bump(id INT, v INT) AS $$ \
+               UPDATE counters SET n = n + $2 WHERE id = $1 $$",
+        )
+        .expect("bootstrap");
+        let rows: Vec<Vec<Value>> =
+            (0..5000).map(|i| vec![Value::Int(i), Value::Int(0)]).collect();
+        seed_genesis_rows(&net, "counters", &rows).expect("seed");
+
+        let mut workload = Workload::new(WorkloadKind::Simple, 0);
+        let hp = hot_permille;
+        workload.custom = Some((
+            "bump".to_string(),
+            std::sync::Arc::new(move |n: u64| {
+                let hot = (n * 1009) % 1000 < hp;
+                let id = if hot { 0 } else { (n % 4999) as i64 + 1 };
+                vec![Value::Int(id), Value::Int(1)]
+            }),
+        ));
+        let bench = BenchNetwork { net: net.handle(), workload };
+        let stats = run_open_loop(
+            &bench,
+            arrival,
+            Duration::from_secs_f64(run_secs),
+            1, // row ids start at 1; row 0 is the hot row
+        )
+        .expect("run");
+        let total = stats.committed + stats.aborted;
+        println!(
+            "{:>9}%  {:>12.0}  {:>10}  {:>10}  {:>9.1}%",
+            hot_permille / 10,
+            stats.throughput,
+            stats.committed,
+            stats.aborted,
+            if total > 0 { stats.aborted as f64 * 100.0 / total as f64 } else { 0.0 }
+        );
+        net.shutdown();
+    }
+    println!("\nreading: abort rate grows with the hot share (first-committer-wins);");
+    println!("throughput of *committed* work degrades gracefully, and no executor ever blocks.");
+}
+

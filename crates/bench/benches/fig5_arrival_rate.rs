@@ -1,0 +1,73 @@
+//! **Figure 5** of the paper: throughput and latency vs transaction
+//! arrival rate for the `simple` contract, under (a) order-then-execute
+//! and (b) execute-order-in-parallel, across block sizes.
+//!
+//! Paper reference (32-vCPU testbed): OE saturates at ~1800 tps and EO at
+//! ~2700 tps (≈1.5× higher); below saturation larger blocks mean higher
+//! latency (waiting to fill the block), above saturation larger blocks
+//! mean higher throughput and lower latency.
+
+use std::time::Duration;
+
+use bcrdb_bench::harness::{bench_config, run_open_loop, BenchNetwork};
+use bcrdb_bench::{scaled_secs, Workload, WorkloadKind};
+use bcrdb_txn::ssi::Flow;
+
+fn main() {
+    let run_secs = scaled_secs(2.0);
+    let rates: Vec<f64> = if bcrdb_bench::full_mode() {
+        vec![500.0, 1000.0, 2000.0, 4000.0, 6000.0, 8000.0]
+    } else {
+        vec![800.0, 1600.0, 3200.0, 6400.0]
+    };
+    let block_sizes = [10usize, 100, 500];
+
+    for (flow, label, paper) in [
+        (
+            Flow::OrderThenExecute,
+            "Figure 5(a) order-then-execute",
+            "paper: peak ~1800 tps; latency jumps near saturation",
+        ),
+        (
+            Flow::ExecuteOrderParallel,
+            "Figure 5(b) execute-order-in-parallel",
+            "paper: peak ~2700 tps (~1.5x OE)",
+        ),
+    ] {
+        println!("\n=== {label} — simple contract ({paper}) ===");
+        println!(
+            "{:>6}  {:>6}  {:>12}  {:>12}  {:>10}  {:>8}",
+            "bs", "rate", "tput (tps)", "avg lat ms", "p95 ms", "aborts"
+        );
+        for &bs in &block_sizes {
+            let mut cfg = bench_config(flow, bs, Duration::from_millis(250));
+            // Emulate the paper's per-backend execution cost (tet ≈ 0.2 ms
+            // on PostgreSQL; see DESIGN.md): without it our in-memory
+            // engine never saturates and the flows are indistinguishable.
+            cfg.min_exec_micros = 1_500;
+            let bench = BenchNetwork::build(
+                cfg,
+                Workload::new(WorkloadKind::Simple, 0),
+            )
+            .expect("network");
+            let mut id_base = 0u64;
+            for &rate in &rates {
+                let stats = run_open_loop(
+                    &bench,
+                    rate,
+                    Duration::from_secs_f64(run_secs),
+                    id_base,
+                )
+                .expect("run");
+                id_base += stats.submitted + 10;
+                println!(
+                    "{:>6}  {:>6.0}  {:>12.0}  {:>12.2}  {:>10.2}  {:>8}",
+                    bs, rate, stats.throughput, stats.avg_latency_ms, stats.p95_latency_ms,
+                    stats.aborted
+                );
+            }
+            bench.net.shutdown();
+        }
+    }
+    println!("\nshape check: EO peak should exceed OE peak; latency rises near saturation.");
+}

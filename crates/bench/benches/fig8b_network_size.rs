@@ -1,0 +1,79 @@
+//! **Figure 8(b)** of the paper: ordering-service throughput vs number of
+//! orderer nodes at a fixed offered load, for the Kafka-style CFT backend
+//! and the BFT backend.
+//!
+//! Paper reference (3000 tps offered): Kafka stays flat at ~3000 tps for
+//! any orderer count; BFT degrades from ~3000 tps at 4 orderers to
+//! ~650 tps at 32 due to its quadratic message complexity.
+
+use std::time::{Duration, Instant};
+
+use bcrdb_chain::tx::{Payload, Transaction};
+use bcrdb_common::value::Value;
+use bcrdb_crypto::identity::{Certificate, CertificateRegistry, KeyPair, Role, Scheme};
+use bcrdb_ordering::{OrderingConfig, OrderingService};
+
+fn main() {
+    let offered_tps = 3000.0;
+    let run = Duration::from_secs_f64(bcrdb_bench::scaled_secs(3.0));
+    let sizes = [4usize, 8, 16, 32];
+
+    println!(
+        "\n=== Figure 8(b): ordering throughput vs orderer count @ {offered_tps} tps offered ==="
+    );
+    println!("paper: kafka flat ~3000; bft 3000 → ~650 at 32 orderers");
+    println!("{:>8}  {:>10}  {:>14}", "orderers", "backend", "tput (tps)");
+
+    let key = KeyPair::generate("bench/client", b"bench", Scheme::Sim);
+    let certs = CertificateRegistry::new();
+    certs.register(Certificate {
+        name: "bench/client".into(),
+        org: "bench".into(),
+        role: Role::Client,
+        public_key: key.public_key(),
+    });
+
+    for &n in &sizes {
+        for (mk, name) in [
+            (
+                OrderingConfig::kafka as fn(usize, usize, Duration) -> OrderingConfig,
+                "kafka",
+            ),
+            (
+                OrderingConfig::bft as fn(usize, usize, Duration) -> OrderingConfig,
+                "bft",
+            ),
+        ] {
+            let certs = CertificateRegistry::new();
+            let cfg = mk(n, 100, Duration::from_millis(100));
+            let svc = OrderingService::start(cfg, &certs);
+            let _rx = svc.subscribe(); // keep delivery alive
+            let start = Instant::now();
+            let interval = Duration::from_secs_f64(1.0 / offered_tps);
+            let mut i = 0u64;
+            while start.elapsed() < run {
+                let tx = Transaction::new_order_execute(
+                    "bench/client",
+                    Payload::new("f", vec![Value::Int(i as i64)]),
+                    i,
+                    &key,
+                )
+                .expect("sign");
+                let _ = svc.submit(tx);
+                i += 1;
+                let next = start + interval.mul_f64(i as f64);
+                let now = Instant::now();
+                if next > now {
+                    std::thread::sleep(next - now);
+                }
+            }
+            let offered = start.elapsed();
+            let (_, txs) = svc.stats();
+            let tput = txs as f64 / offered.as_secs_f64();
+            println!("{:>8}  {:>10}  {:>14.0}", n, name, tput);
+            svc.shutdown();
+        }
+    }
+    println!("\nshape check: kafka throughput independent of orderer count; bft declines");
+    println!("steeply with orderer count (quadratic message complexity).");
+}

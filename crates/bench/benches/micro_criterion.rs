@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks of the substrates: crypto costs (hashes,
+//! Merkle roots, both signature schemes), block codec, SQL parsing, and
+//! the SSI commit-decision cycle — the per-operation costs underneath the
+//! macro experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bcrdb_chain::block::{genesis_prev_hash, Block};
+use bcrdb_chain::tx::{Payload, Transaction};
+use bcrdb_common::codec::{Decode, Encode};
+use bcrdb_common::ids::RowId;
+use bcrdb_common::value::Value;
+use bcrdb_crypto::identity::{KeyPair, Scheme};
+use bcrdb_crypto::merkle::MerkleTree;
+use bcrdb_crypto::sha256::sha256;
+use bcrdb_txn::ssi::{Flow, SsiManager};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data_1k = vec![0xabu8; 1024];
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("sha256_1k", |b| b.iter(|| sha256(std::hint::black_box(&data_1k))));
+    g.throughput(Throughput::Elements(100));
+    let leaves: Vec<Vec<u8>> = (0..100).map(|i| vec![i as u8; 64]).collect();
+    g.bench_function("merkle_root_100_leaves", |b| {
+        b.iter(|| MerkleTree::build(std::hint::black_box(&leaves)).root())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("signatures");
+    let sim = KeyPair::generate("sim", b"s", Scheme::Sim);
+    let hb = KeyPair::generate("hb", b"h", Scheme::HashBased { height: 14 });
+    let msg = b"a blockchain transaction payload";
+    g.bench_function("sim_sign", |b| b.iter(|| sim.sign(std::hint::black_box(msg)).unwrap()));
+    let sim_sig = sim.sign(msg).unwrap();
+    g.bench_function("sim_verify", |b| {
+        b.iter(|| bcrdb_crypto::identity::verify(&sim.public_key(), msg, &sim_sig))
+    });
+    g.bench_function("hashbased_sign", |b| {
+        b.iter(|| hb.sign(std::hint::black_box(msg)).expect("key budget"))
+    });
+    let hb_sig = hb.sign(msg).unwrap();
+    g.bench_function("hashbased_verify", |b| {
+        b.iter(|| bcrdb_crypto::identity::verify(&hb.public_key(), msg, &hb_sig))
+    });
+    g.finish();
+}
+
+fn bench_block_codec(c: &mut Criterion) {
+    let key = KeyPair::generate("c", b"c", Scheme::Sim);
+    let txs: Vec<Transaction> = (0..100u64)
+        .map(|i| {
+            Transaction::new_order_execute(
+                "c",
+                Payload::new("f", vec![Value::Int(i as i64), Value::Text(format!("p{i}"))]),
+                i,
+                &key,
+            )
+            .unwrap()
+        })
+        .collect();
+    let block = Block::build(1, genesis_prev_hash(), txs, "kafka", vec![]);
+    let bytes = block.encode_to_vec();
+
+    let mut g = c.benchmark_group("block_codec");
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("encode_100tx", |b| b.iter(|| block.encode_to_vec()));
+    g.bench_function("decode_100tx", |b| {
+        b.iter(|| Block::decode_all(std::hint::black_box(&bytes)).unwrap())
+    });
+    g.bench_function("verify_integrity_100tx", |b| b.iter(|| block.verify_integrity().unwrap()));
+    g.finish();
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sql");
+    let complex = "SELECT i.supplier, SUM(i.amount) AS total FROM invoices i \
+                   JOIN parts p ON i.part_id = p.id WHERE p.kind = 'widget' \
+                   GROUP BY i.supplier HAVING SUM(i.amount) > 100 \
+                   ORDER BY total DESC LIMIT 5";
+    g.bench_function("parse_complex_select", |b| {
+        b.iter(|| bcrdb_sql::parse_statement(std::hint::black_box(complex)).unwrap())
+    });
+    let stmt = bcrdb_sql::parse_statement(complex).unwrap();
+    g.bench_function("render_complex_select", |b| {
+        b.iter(|| bcrdb_sql::display::statement_to_sql(std::hint::black_box(&stmt)))
+    });
+    g.finish();
+}
+
+fn bench_ssi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ssi");
+    // One conflict-free commit cycle: begin → read → write-probe → commit.
+    g.bench_function("begin_read_write_commit", |b| {
+        let mgr = SsiManager::new();
+        let mut block = 1u64;
+        b.iter(|| {
+            let t = mgr.begin();
+            mgr.register_row_read(t, "t", RowId(block % 1000));
+            mgr.on_write(t, "t", RowId(block % 1000 + 1), &[(0, Value::Int(block as i64))]);
+            mgr.commit_check(t, block, 0, Flow::ExecuteOrderParallel).unwrap();
+            mgr.commit(t);
+            block += 1;
+            if block % 4096 == 0 {
+                mgr.gc();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_crypto, bench_block_codec, bench_sql, bench_ssi
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! **Table 4** of the paper: order-then-execute micro-metrics at a fixed
+//! arrival rate near saturation, across block sizes 10/100/500.
+//!
+//! Paper reference (arrival 2100 tps):
+//! ```text
+//! bs    brr    bpr    bpt   bet  bct  tet  su
+//! 10  209.7  163.5    6.0   5.0  1.0  0.2  98.1%
+//! 100  20.9   17.9   55.4  47.0  8.3  0.2  99.1%
+//! 500   4.2    3.5  285.4 245.0 44.3  0.4  99.7%
+//! ```
+//! Shape targets: brr/bpr scale inversely with block size; bpt of one
+//! block of size n is less than n/m blocks of size m; su near 100% at
+//! saturation.
+
+use std::time::Duration;
+
+use bcrdb_bench::harness::{bench_config, micro_header, run_open_loop, BenchNetwork};
+use bcrdb_bench::{scaled_secs, Workload, WorkloadKind};
+use bcrdb_txn::ssi::Flow;
+
+fn main() {
+    let run_secs = scaled_secs(3.0);
+    // Near the OE saturation point found in Fig 5 (scaled testbed).
+    let arrival = 3000.0;
+    println!(
+        "\n=== Table 4: order-then-execute micro-metrics @ {arrival} tps (simple contract) ==="
+    );
+    println!("paper @2100 tps: bs=10: bpt 6ms bet 5ms bct 1ms su 98%; bs=500: bpt 285ms bet 245ms");
+    println!("{}", micro_header());
+    for bs in [10usize, 100, 500] {
+        let mut cfg = bench_config(Flow::OrderThenExecute, bs, Duration::from_millis(250));
+        cfg.min_exec_micros = 1_500;
+        let bench =
+            BenchNetwork::build(cfg, Workload::new(WorkloadKind::Simple, 0)).expect("network");
+        let stats = run_open_loop(&bench, arrival, Duration::from_secs_f64(run_secs), 0)
+            .expect("run");
+        println!("{}", stats.micro_row(bs));
+        bench.net.shutdown();
+    }
+    println!("\nshape check: brr & bpr fall ~linearly with block size; su ≈ 100% at saturation;");
+    println!("bpt(bs=500) < 50 x bpt(bs=10) (batching amortizes per-block costs).");
+}

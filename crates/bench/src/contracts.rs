@@ -1,0 +1,202 @@
+//! The three evaluation smart contracts of the paper (§5, Appendix A) and
+//! their workload generators.
+//!
+//! * **simple** — inserts values into a table (Fig 9 of the paper);
+//! * **complex-join** — joins two tables, aggregates, and writes the
+//!   result into a third table (Fig 10);
+//! * **complex-group** — aggregates over subgroups within a group and
+//!   writes the max aggregate, using GROUP BY / ORDER BY / LIMIT (Fig 11).
+
+use bcrdb_common::value::Value;
+
+/// Which evaluation contract to drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Single-row INSERT.
+    Simple,
+    /// Join + aggregate into a third table.
+    ComplexJoin,
+    /// Group-by subaggregates with ORDER BY/LIMIT.
+    ComplexGroup,
+}
+
+impl WorkloadKind {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Simple => "simple",
+            WorkloadKind::ComplexJoin => "complex-join",
+            WorkloadKind::ComplexGroup => "complex-group",
+        }
+    }
+}
+
+/// Number of departments/regions in the seeded reference data.
+pub const GROUPS: i64 = 10;
+
+/// Custom per-transaction argument generator (ablations and ad-hoc
+/// workloads): (contract name, args for the n-th transaction).
+pub type CustomArgs = (String, std::sync::Arc<dyn Fn(u64) -> Vec<Value> + Send + Sync>);
+
+/// A workload: schema DDL + contracts + per-transaction argument
+/// generation.
+pub struct Workload {
+    /// Contract kind.
+    pub kind: WorkloadKind,
+    /// Rows of reference data (scaled by `full`).
+    pub seed_rows: usize,
+    /// Overrides `contract()`/`args()` when set.
+    pub custom: Option<CustomArgs>,
+}
+
+impl Workload {
+    /// Build a workload of `kind` with `seed_rows` reference rows (used by
+    /// the complex contracts; ignored by `simple`).
+    pub fn new(kind: WorkloadKind, seed_rows: usize) -> Workload {
+        Workload { kind, seed_rows, custom: None }
+    }
+
+    /// Genesis DDL: every table, index and contract the workload needs.
+    pub fn bootstrap_sql(&self) -> String {
+        match self.kind {
+            WorkloadKind::Simple => "\
+                CREATE TABLE bench_simple (id INT PRIMARY KEY, f1 INT NOT NULL, \
+                    f2 INT NOT NULL, f3 TEXT NOT NULL, f4 FLOAT NOT NULL); \
+                CREATE FUNCTION bench_tx(id INT, f1 INT, f2 INT, f3 TEXT, f4 FLOAT) AS $$ \
+                    INSERT INTO bench_simple VALUES ($1, $2, $3, $4, $5) $$"
+                .to_string(),
+            WorkloadKind::ComplexJoin => "\
+                CREATE TABLE bench_items (id INT PRIMARY KEY, dept INT NOT NULL, \
+                    price FLOAT NOT NULL); \
+                CREATE INDEX idx_items_dept ON bench_items (dept); \
+                CREATE TABLE bench_orders (id INT PRIMARY KEY, item_id INT NOT NULL, \
+                    amount FLOAT NOT NULL); \
+                CREATE INDEX idx_orders_item ON bench_orders (item_id); \
+                CREATE TABLE bench_results (run_id INT PRIMARY KEY, total FLOAT); \
+                CREATE FUNCTION bench_tx(run_id INT, dept INT) AS $$ \
+                    INSERT INTO bench_results \
+                      SELECT $1, SUM(o.amount) \
+                      FROM bench_items i JOIN bench_orders o ON o.item_id = i.id \
+                      WHERE i.dept = $2 GROUP BY i.dept $$"
+                .to_string(),
+            WorkloadKind::ComplexGroup => "\
+                CREATE TABLE bench_sales (id INT PRIMARY KEY, region INT NOT NULL, \
+                    city INT NOT NULL, amount FLOAT NOT NULL); \
+                CREATE INDEX idx_sales_region ON bench_sales (region); \
+                CREATE TABLE bench_maxes (run_id INT PRIMARY KEY, city INT, total FLOAT); \
+                CREATE FUNCTION bench_tx(run_id INT, region INT) AS $$ \
+                    INSERT INTO bench_maxes \
+                      SELECT $1, s.city, SUM(s.amount) \
+                      FROM bench_sales s WHERE s.region = $2 \
+                      GROUP BY s.city ORDER BY sum(s.amount) DESC LIMIT 1 $$"
+                .to_string(),
+        }
+    }
+
+    /// Reference tables to seed at genesis: (table name, row generator).
+    pub fn seed(&self) -> Vec<(String, Vec<Vec<Value>>)> {
+        match self.kind {
+            WorkloadKind::Simple => Vec::new(),
+            WorkloadKind::ComplexJoin => {
+                let items = 100usize.max(self.seed_rows / 20);
+                let item_rows: Vec<Vec<Value>> = (0..items as i64)
+                    .map(|i| {
+                        vec![
+                            Value::Int(i),
+                            Value::Int(i % GROUPS),
+                            Value::Float(1.0 + (i % 17) as f64),
+                        ]
+                    })
+                    .collect();
+                let order_rows: Vec<Vec<Value>> = (0..self.seed_rows as i64)
+                    .map(|i| {
+                        vec![
+                            Value::Int(i),
+                            Value::Int(i % items as i64),
+                            Value::Float((i % 31) as f64 + 0.5),
+                        ]
+                    })
+                    .collect();
+                vec![
+                    ("bench_items".to_string(), item_rows),
+                    ("bench_orders".to_string(), order_rows),
+                ]
+            }
+            WorkloadKind::ComplexGroup => {
+                let rows: Vec<Vec<Value>> = (0..self.seed_rows as i64)
+                    .map(|i| {
+                        vec![
+                            Value::Int(i),
+                            Value::Int(i % GROUPS),
+                            Value::Int(i % (GROUPS * 5)),
+                            Value::Float((i % 23) as f64 + 0.25),
+                        ]
+                    })
+                    .collect();
+                vec![("bench_sales".to_string(), rows)]
+            }
+        }
+    }
+
+    /// Arguments for the `n`-th transaction. Ids are globally unique so
+    /// every transaction is distinct (and EO-flow ids never collide).
+    pub fn args(&self, n: u64) -> Vec<Value> {
+        if let Some((_, gen)) = &self.custom {
+            return gen(n);
+        }
+        match self.kind {
+            WorkloadKind::Simple => vec![
+                Value::Int(n as i64),
+                Value::Int((n % 1000) as i64),
+                Value::Int((n % 77) as i64),
+                Value::Text(format!("payload-{n}")),
+                Value::Float(n as f64 * 0.5),
+            ],
+            WorkloadKind::ComplexJoin | WorkloadKind::ComplexGroup => {
+                vec![Value::Int(n as i64), Value::Int((n % GROUPS as u64) as i64)]
+            }
+        }
+    }
+
+    /// The contract name invoked per transaction.
+    pub fn contract(&self) -> &str {
+        match &self.custom {
+            Some((name, _)) => name,
+            None => "bench_tx",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_sql_parses_and_validates() {
+        // The DDL must parse and pass even the stricter EO-flow rules.
+        let rules = bcrdb_sql::validate::DeterminismRules::execute_order_parallel();
+        for kind in [WorkloadKind::Simple, WorkloadKind::ComplexJoin, WorkloadKind::ComplexGroup] {
+            let w = Workload::new(kind, 500);
+            let stmts = bcrdb_sql::parse_statements(&w.bootstrap_sql()).unwrap();
+            for stmt in &stmts {
+                if let bcrdb_sql::ast::Statement::CreateFunction(def) = stmt {
+                    bcrdb_sql::validate::validate_contract_body(&def.body, &rules)
+                        .unwrap_or_else(|e| panic!("{:?}: {e}", kind));
+                }
+            }
+            assert!(!w.args(7).is_empty());
+            assert_eq!(w.contract(), "bench_tx");
+        }
+    }
+
+    #[test]
+    fn seeds_have_expected_shapes() {
+        let w = Workload::new(WorkloadKind::ComplexJoin, 400);
+        let seeds = w.seed();
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds[1].1.len(), 400);
+        let w = Workload::new(WorkloadKind::ComplexGroup, 300);
+        assert_eq!(w.seed()[0].1.len(), 300);
+        assert!(Workload::new(WorkloadKind::Simple, 10).seed().is_empty());
+    }
+}

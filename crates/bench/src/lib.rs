@@ -1,0 +1,35 @@
+//! # bcrdb-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§5). Each `[[bench]]` target under `benches/`
+//! reproduces one experiment and prints the same rows/series the paper
+//! reports, annotated with the paper's reference numbers.
+//!
+//! Absolute throughput differs from the paper (their testbed: 32-vCPU
+//! Xeon VMs running modified PostgreSQL; ours: an in-process simulator),
+//! so the reproduction target is the *shape*: which flow wins, by what
+//! rough factor, and where the crossovers fall. See `EXPERIMENTS.md` for
+//! the paper-vs-measured record.
+//!
+//! Environment knobs:
+//! * `BCRDB_BENCH_FULL=1` — longer runs and larger seeds.
+
+pub mod contracts;
+pub mod harness;
+
+pub use contracts::{Workload, WorkloadKind};
+pub use harness::{run_open_loop, seed_genesis_rows, BenchNetwork, RunStats};
+
+/// True when full-scale runs were requested.
+pub fn full_mode() -> bool {
+    std::env::var("BCRDB_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Scale a quick-mode duration up in full mode.
+pub fn scaled_secs(quick: f64) -> f64 {
+    if full_mode() {
+        quick * 4.0
+    } else {
+        quick
+    }
+}

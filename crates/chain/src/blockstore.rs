@@ -1,0 +1,248 @@
+//! The append-only block store (`pgBlockstore`, §4.2).
+//!
+//! Every database node persists each verified block to a length-prefixed
+//! file and keeps an in-memory index. On reload the full hash chain is
+//! re-verified, so offline tampering with the file is detected (§3.5
+//! security property 6: a node would need the orderer's *and* clients'
+//! private keys to forge a consistent chain).
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bcrdb_common::codec::{Decode, Encode};
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::ids::BlockHeight;
+use parking_lot::Mutex;
+
+use crate::block::{genesis_prev_hash, Block};
+
+/// File-backed, append-only block store with an in-memory index.
+pub struct BlockStore {
+    path: Option<PathBuf>,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    blocks: Vec<Arc<Block>>,
+    file: Option<File>,
+}
+
+impl std::fmt::Debug for BlockStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockStore")
+            .field("path", &self.path)
+            .field("height", &self.height())
+            .finish()
+    }
+}
+
+impl BlockStore {
+    /// In-memory store (tests, benchmarks).
+    pub fn in_memory() -> BlockStore {
+        BlockStore { path: None, inner: Mutex::new(Inner { blocks: Vec::new(), file: None }) }
+    }
+
+    /// Open (or create) a store at `path`, verifying the persisted chain.
+    pub fn open(path: impl AsRef<Path>) -> Result<BlockStore> {
+        let path = path.as_ref().to_path_buf();
+        let mut blocks = Vec::new();
+        if path.exists() {
+            let mut reader = BufReader::new(File::open(&path)?);
+            let mut prev = genesis_prev_hash();
+            loop {
+                let mut len_buf = [0u8; 4];
+                match reader.read_exact(&mut len_buf) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                    Err(e) => return Err(e.into()),
+                }
+                let len = u32::from_be_bytes(len_buf) as usize;
+                let mut buf = vec![0u8; len];
+                reader.read_exact(&mut buf).map_err(|_| {
+                    Error::TamperDetected("block store truncated mid-record".into())
+                })?;
+                let block = Block::decode_all(&buf)?;
+                block.verify_integrity()?;
+                if block.prev_hash != prev {
+                    return Err(Error::TamperDetected(format!(
+                        "block store chain broken at block {}",
+                        block.number
+                    )));
+                }
+                if block.number != blocks.len() as u64 + 1 {
+                    return Err(Error::TamperDetected(format!(
+                        "block store sequence broken at block {}",
+                        block.number
+                    )));
+                }
+                prev = block.hash;
+                blocks.push(Arc::new(block));
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(BlockStore { path: Some(path), inner: Mutex::new(Inner { blocks, file: Some(file) }) })
+    }
+
+    /// Store file path, if file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Current chain height (0 = empty).
+    pub fn height(&self) -> BlockHeight {
+        self.inner.lock().blocks.len() as u64
+    }
+
+    /// Hash of the latest block (or the genesis predecessor hash).
+    pub fn tip_hash(&self) -> [u8; 32] {
+        let inner = self.inner.lock();
+        inner.blocks.last().map_or_else(genesis_prev_hash, |b| b.hash)
+    }
+
+    /// Append a block. It must extend the chain (`number == height + 1`,
+    /// `prev_hash == tip`).
+    pub fn append(&self, block: Block) -> Result<Arc<Block>> {
+        let mut inner = self.inner.lock();
+        let expected_number = inner.blocks.len() as u64 + 1;
+        if block.number != expected_number {
+            return Err(Error::internal(format!(
+                "block {} appended out of order (expected {expected_number})",
+                block.number
+            )));
+        }
+        let expected_prev =
+            inner.blocks.last().map_or_else(genesis_prev_hash, |b| b.hash);
+        if block.prev_hash != expected_prev {
+            return Err(Error::TamperDetected(format!(
+                "block {} does not link to the current tip",
+                block.number
+            )));
+        }
+        if let Some(file) = inner.file.as_mut() {
+            let bytes = block.encode_to_vec();
+            file.write_all(&(bytes.len() as u32).to_be_bytes())?;
+            file.write_all(&bytes)?;
+            file.flush()?;
+        }
+        let arc = Arc::new(block);
+        inner.blocks.push(Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Fetch a block by height (1-based).
+    pub fn get(&self, number: BlockHeight) -> Option<Arc<Block>> {
+        if number == 0 {
+            return None;
+        }
+        self.inner.lock().blocks.get(number as usize - 1).cloned()
+    }
+
+    /// All blocks strictly after `after`, in order.
+    pub fn blocks_after(&self, after: BlockHeight) -> Vec<Arc<Block>> {
+        let inner = self.inner.lock();
+        inner.blocks.iter().skip(after as usize).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{Payload, Transaction};
+    use bcrdb_common::value::Value;
+    use bcrdb_crypto::identity::{KeyPair, Scheme};
+
+    fn block(number: u64, prev: [u8; 32]) -> Block {
+        let key = KeyPair::generate("c", b"c", Scheme::Sim);
+        let tx = Transaction::new_order_execute(
+            "c",
+            Payload::new("f", vec![Value::Int(number as i64)]),
+            number,
+            &key,
+        )
+        .unwrap();
+        Block::build(number, prev, vec![tx], "solo", vec![])
+    }
+
+    #[test]
+    fn append_get_and_ordering() {
+        let store = BlockStore::in_memory();
+        assert_eq!(store.height(), 0);
+        let b1 = block(1, genesis_prev_hash());
+        let h1 = b1.hash;
+        store.append(b1).unwrap();
+        let b2 = block(2, h1);
+        store.append(b2).unwrap();
+        assert_eq!(store.height(), 2);
+        assert_eq!(store.get(1).unwrap().number, 1);
+        assert!(store.get(0).is_none());
+        assert!(store.get(3).is_none());
+        assert_eq!(store.blocks_after(1).len(), 1);
+        // Gap and wrong-prev appends rejected.
+        assert!(store.append(block(4, store.tip_hash())).is_err());
+        assert!(store.append(block(3, genesis_prev_hash())).is_err());
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("bcrdb-bs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blocks.dat");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = BlockStore::open(&path).unwrap();
+            let b1 = block(1, genesis_prev_hash());
+            let h1 = b1.hash;
+            store.append(b1).unwrap();
+            store.append(block(2, h1)).unwrap();
+        }
+        let store = BlockStore::open(&path).unwrap();
+        assert_eq!(store.height(), 2);
+        assert_eq!(store.get(2).unwrap().txs.len(), 1);
+        // Appending after reload continues the chain.
+        store.append(block(3, store.tip_hash())).unwrap();
+        assert_eq!(store.height(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn on_disk_tampering_detected() {
+        let dir = std::env::temp_dir().join(format!("bcrdb-bs-tamper-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blocks.dat");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = BlockStore::open(&path).unwrap();
+            store.append(block(1, genesis_prev_hash())).unwrap();
+        }
+        // Flip one byte inside the first transaction's id (record layout:
+        // 4B length prefix, 8B number, 32B prev hash, 4B tx count, then the
+        // transaction id) — content covered by the Merkle root.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[50] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = BlockStore::open(&path).unwrap_err();
+        assert!(
+            matches!(err, Error::TamperDetected(_) | Error::Codec(_) | Error::Crypto(_)),
+            "{err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let dir = std::env::temp_dir().join(format!("bcrdb-bs-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blocks.dat");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = BlockStore::open(&path).unwrap();
+            store.append(block(1, genesis_prev_hash())).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(BlockStore::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

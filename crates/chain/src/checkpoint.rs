@@ -1,0 +1,229 @@
+//! Checkpointing (§3.3.4): write-set hashing and cross-node comparison.
+//!
+//! After committing a block, each node hashes the union of state changes
+//! the block made and submits it to the ordering service as a
+//! [`crate::block::CheckpointVote`]. Votes come back embedded in later
+//! blocks; the [`CheckpointTracker`] compares every node's hash for a given
+//! block and flags divergent nodes — the detection mechanism behind
+//! security properties 3 and 5 of §3.5 (withholding commits, tampering
+//! with state).
+
+use std::collections::{BTreeMap, HashMap};
+
+use bcrdb_common::codec::Encoder;
+use bcrdb_common::ids::{BlockHeight, RowId};
+use bcrdb_common::value::Value;
+use bcrdb_crypto::sha256::{sha256, Digest};
+use parking_lot::Mutex;
+
+/// Incrementally hashes a block's write set. Entries must be fed in
+/// commit order (transaction position within the block, then operation
+/// order within the transaction) — that order is deterministic across
+/// nodes, so honest replicas produce identical digests.
+pub struct WriteSetHasher {
+    enc: Encoder,
+    entries: usize,
+}
+
+impl Default for WriteSetHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WriteSetHasher {
+    /// Fresh hasher.
+    pub fn new() -> WriteSetHasher {
+        let mut enc = Encoder::with_capacity(4096);
+        enc.put_str("bcrdb-writeset-v1");
+        WriteSetHasher { enc, entries: 0 }
+    }
+
+    /// Add one state change: `kind` is 0=insert, 1=update, 2=delete.
+    pub fn add(&mut self, table: &str, kind: u8, row_id: RowId, data: &[Value]) {
+        self.enc.put_str(table);
+        self.enc.put_u8(kind);
+        self.enc.put_u64(row_id.0);
+        self.enc.put_row(data);
+        self.entries += 1;
+    }
+
+    /// Number of entries fed so far.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Final digest.
+    pub fn finish(self) -> Digest {
+        sha256(&self.enc.finish())
+    }
+}
+
+/// A detected divergence: some node reported a different state hash than
+/// the local node for a block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// The block whose checkpoints disagree.
+    pub block: BlockHeight,
+    /// Nodes whose hash differs from ours.
+    pub divergent_nodes: Vec<String>,
+}
+
+/// Tracks local write-set hashes and peers' votes; reports divergences.
+#[derive(Default)]
+pub struct CheckpointTracker {
+    inner: Mutex<TrackerInner>,
+}
+
+#[derive(Default)]
+struct TrackerInner {
+    /// Our own hash per block.
+    local: BTreeMap<BlockHeight, Digest>,
+    /// Peer votes per block.
+    votes: BTreeMap<BlockHeight, HashMap<String, Digest>>,
+    /// Blocks already flagged (avoid duplicate reports).
+    flagged: Vec<BlockHeight>,
+}
+
+impl CheckpointTracker {
+    /// Fresh tracker.
+    pub fn new() -> CheckpointTracker {
+        CheckpointTracker::default()
+    }
+
+    /// Record the locally computed hash for `block`.
+    pub fn record_local(&self, block: BlockHeight, hash: Digest) {
+        self.inner.lock().local.insert(block, hash);
+    }
+
+    /// The locally computed hash for `block`, if known.
+    pub fn local_hash(&self, block: BlockHeight) -> Option<Digest> {
+        self.inner.lock().local.get(&block).copied()
+    }
+
+    /// Record a peer's vote (from block metadata). Returns a divergence
+    /// report if this vote disagrees with our local hash.
+    pub fn record_vote(
+        &self,
+        node: &str,
+        block: BlockHeight,
+        hash: Digest,
+    ) -> Option<Divergence> {
+        let mut inner = self.inner.lock();
+        inner.votes.entry(block).or_default().insert(node.to_string(), hash);
+        let local = *inner.local.get(&block)?;
+        let divergent: Vec<String> = inner
+            .votes
+            .get(&block)
+            .map(|m| {
+                let mut v: Vec<String> = m
+                    .iter()
+                    .filter(|(_, h)| **h != local)
+                    .map(|(n, _)| n.clone())
+                    .collect();
+                v.sort();
+                v
+            })
+            .unwrap_or_default();
+        if divergent.is_empty() || inner.flagged.contains(&block) {
+            return None;
+        }
+        inner.flagged.push(block);
+        Some(Divergence { block, divergent_nodes: divergent })
+    }
+
+    /// Number of nodes (including us, if we voted via `record_vote`) that
+    /// agree with our local hash for `block`.
+    pub fn agreement_count(&self, block: BlockHeight) -> usize {
+        let inner = self.inner.lock();
+        let Some(local) = inner.local.get(&block) else { return 0 };
+        inner
+            .votes
+            .get(&block)
+            .map(|m| m.values().filter(|h| *h == local).count())
+            .unwrap_or(0)
+    }
+
+    /// Drop bookkeeping for blocks at or below `horizon`.
+    pub fn prune(&self, horizon: BlockHeight) {
+        let mut inner = self.inner.lock();
+        inner.local.retain(|b, _| *b > horizon);
+        inner.votes.retain(|b, _| *b > horizon);
+        inner.flagged.retain(|b| *b > horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writeset_hash_is_order_and_content_sensitive() {
+        let mut a = WriteSetHasher::new();
+        a.add("t", 0, RowId(1), &[Value::Int(1)]);
+        a.add("t", 1, RowId(2), &[Value::Int(2)]);
+        let ha = a.finish();
+
+        // Same entries, same order → same hash.
+        let mut b = WriteSetHasher::new();
+        b.add("t", 0, RowId(1), &[Value::Int(1)]);
+        b.add("t", 1, RowId(2), &[Value::Int(2)]);
+        assert_eq!(ha, b.finish());
+
+        // Different order → different hash (order is part of the state).
+        let mut c = WriteSetHasher::new();
+        c.add("t", 1, RowId(2), &[Value::Int(2)]);
+        c.add("t", 0, RowId(1), &[Value::Int(1)]);
+        assert_ne!(ha, c.finish());
+
+        // Different content → different hash.
+        let mut d = WriteSetHasher::new();
+        d.add("t", 0, RowId(1), &[Value::Int(999)]);
+        d.add("t", 1, RowId(2), &[Value::Int(2)]);
+        assert_ne!(ha, d.finish());
+
+        // Empty write set has a well-defined hash.
+        let empty1 = WriteSetHasher::new().finish();
+        let empty2 = WriteSetHasher::new().finish();
+        assert_eq!(empty1, empty2);
+        assert_ne!(empty1, ha);
+    }
+
+    #[test]
+    fn tracker_detects_divergence() {
+        let t = CheckpointTracker::new();
+        t.record_local(5, [1u8; 32]);
+        // Honest peer agrees — no divergence.
+        assert!(t.record_vote("org2/peer", 5, [1u8; 32]).is_none());
+        assert_eq!(t.agreement_count(5), 1);
+        // Malicious peer diverges.
+        let d = t.record_vote("org3/peer", 5, [9u8; 32]).unwrap();
+        assert_eq!(d.block, 5);
+        assert_eq!(d.divergent_nodes, vec!["org3/peer".to_string()]);
+        // Reported once only.
+        assert!(t.record_vote("org3/peer", 5, [9u8; 32]).is_none());
+    }
+
+    #[test]
+    fn votes_before_local_hash_are_held() {
+        let t = CheckpointTracker::new();
+        // Vote arrives before we computed our own hash (a fast peer).
+        assert!(t.record_vote("org2/peer", 3, [2u8; 32]).is_none());
+        t.record_local(3, [1u8; 32]);
+        // The next vote triggers evaluation of all held votes.
+        let d = t.record_vote("org4/peer", 3, [1u8; 32]).unwrap();
+        assert_eq!(d.divergent_nodes, vec!["org2/peer".to_string()]);
+    }
+
+    #[test]
+    fn prune_drops_old_state() {
+        let t = CheckpointTracker::new();
+        t.record_local(1, [1u8; 32]);
+        t.record_local(2, [2u8; 32]);
+        t.record_vote("p", 1, [1u8; 32]);
+        t.prune(1);
+        assert!(t.local_hash(1).is_none());
+        assert!(t.local_hash(2).is_some());
+        assert_eq!(t.agreement_count(1), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Ledger records — the `pgLedger` catalog table of §4.2.
+//!
+//! Every node records, for each transaction in each block: the block
+//! number, the position within the block, the global transaction id, the
+//! invoking user, the procedure call, the locally assigned transaction id
+//! and the final commit/abort status. The ledger drives crash recovery
+//! (§3.6) and, joined with `HISTORY(t)` scans, the provenance queries of
+//! Table 3.
+//!
+//! The ledger is materialized as a *real SQL table* named
+//! [`LEDGER_TABLE_NAME`] so contracts-adjacent tooling and provenance
+//! queries can join against it with ordinary SQL.
+
+use bcrdb_common::error::Result;
+use bcrdb_common::ids::{BlockHeight, GlobalTxId, TxId};
+use bcrdb_common::schema::{Column, DataType, TableSchema};
+use bcrdb_common::value::Value;
+
+/// Name of the ledger table in every node's catalog.
+pub const LEDGER_TABLE_NAME: &str = "ledger";
+
+/// Final status of a transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxStatus {
+    /// Committed successfully.
+    Committed,
+    /// Aborted; carries the reason string.
+    Aborted(String),
+}
+
+impl TxStatus {
+    /// Short status code stored in the ledger.
+    pub fn code(&self) -> &'static str {
+        match self {
+            TxStatus::Committed => "committed",
+            TxStatus::Aborted(_) => "aborted",
+        }
+    }
+}
+
+/// One ledger row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LedgerRecord {
+    /// Block height.
+    pub block: BlockHeight,
+    /// Position of the transaction within the block.
+    pub tx_index: u32,
+    /// Network-unique transaction id.
+    pub global_id: GlobalTxId,
+    /// Invoking user.
+    pub user: String,
+    /// Invoked contract.
+    pub contract: String,
+    /// Locally assigned transaction id (joins against `HISTORY(t)` xmin /
+    /// xmax columns).
+    pub txid: TxId,
+    /// Outcome.
+    pub status: TxStatus,
+    /// Node-local commit wall-clock (milliseconds). Not part of any
+    /// cross-node hash — wall clocks differ between nodes.
+    pub commit_time_ms: i64,
+}
+
+/// Schema of the ledger table.
+pub fn ledger_schema() -> TableSchema {
+    let mut schema = TableSchema::new(
+        LEDGER_TABLE_NAME,
+        vec![
+            Column::new("block", DataType::Int),
+            Column::new("tx_index", DataType::Int),
+            Column::new("global_id", DataType::Text),
+            Column::new("username", DataType::Text),
+            Column::new("contract", DataType::Text),
+            Column::new("txid", DataType::Int),
+            Column::new("status", DataType::Text),
+            Column::nullable("reason", DataType::Text),
+            Column::new("commit_time", DataType::Timestamp),
+        ],
+        vec![],
+    )
+    .expect("static schema is valid");
+    // Joins in provenance queries hit `txid`; recovery scans hit `block`.
+    schema.add_index("ledger_txid_idx", "txid").expect("column exists");
+    schema.add_index("ledger_block_idx", "block").expect("column exists");
+    schema
+}
+
+impl LedgerRecord {
+    /// Render as a row of the ledger table (schema order).
+    pub fn to_row(&self) -> Vec<Value> {
+        vec![
+            Value::Int(self.block as i64),
+            Value::Int(self.tx_index as i64),
+            Value::Text(self.global_id.to_hex()),
+            Value::Text(self.user.clone()),
+            Value::Text(self.contract.clone()),
+            Value::Int(self.txid.0 as i64),
+            Value::Text(self.status.code().to_string()),
+            match &self.status {
+                TxStatus::Committed => Value::Null,
+                TxStatus::Aborted(reason) => Value::Text(reason.clone()),
+            },
+            Value::Timestamp(self.commit_time_ms),
+        ]
+    }
+
+    /// Parse back from a ledger-table row.
+    pub fn from_row(row: &[Value]) -> Result<LedgerRecord> {
+        use bcrdb_common::error::Error;
+        let get_int = |i: usize| -> Result<i64> { row[i].as_i64() };
+        let get_text = |i: usize| -> Result<String> { Ok(row[i].as_str()?.to_string()) };
+        let hex = get_text(2)?;
+        let mut id = [0u8; 32];
+        if hex.len() != 64 {
+            return Err(Error::Codec("bad global id hex".into()));
+        }
+        for (i, byte) in id.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16)
+                .map_err(|_| Error::Codec("bad global id hex".into()))?;
+        }
+        let status = match row[6].as_str()? {
+            "committed" => TxStatus::Committed,
+            "aborted" => TxStatus::Aborted(match &row[7] {
+                Value::Text(r) => r.clone(),
+                _ => String::new(),
+            }),
+            other => return Err(Error::Codec(format!("bad status {other}"))),
+        };
+        Ok(LedgerRecord {
+            block: get_int(0)? as u64,
+            tx_index: get_int(1)? as u32,
+            global_id: GlobalTxId(id),
+            user: get_text(3)?,
+            contract: get_text(4)?,
+            txid: TxId(get_int(5)? as u64),
+            status,
+            commit_time_ms: get_int(8)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(status: TxStatus) -> LedgerRecord {
+        LedgerRecord {
+            block: 7,
+            tx_index: 3,
+            global_id: GlobalTxId([0xab; 32]),
+            user: "org1/alice".into(),
+            contract: "transfer".into(),
+            txid: TxId(42),
+            status,
+            commit_time_ms: 1_700_000_000_123,
+        }
+    }
+
+    #[test]
+    fn row_roundtrip_committed() {
+        let r = record(TxStatus::Committed);
+        let row = r.to_row();
+        let schema = ledger_schema();
+        let row = schema.check_row(row).unwrap();
+        let back = LedgerRecord::from_row(&row).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn row_roundtrip_aborted() {
+        let r = record(TxStatus::Aborted("serialization failure".into()));
+        let back = LedgerRecord::from_row(&r.to_row()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.status.code(), "aborted");
+    }
+
+    #[test]
+    fn schema_has_indexes_for_provenance_and_recovery() {
+        let s = ledger_schema();
+        let txid_col = s.column_index("txid").unwrap();
+        let block_col = s.column_index("block").unwrap();
+        assert!(s.index_on(txid_col).is_some());
+        assert!(s.index_on(block_col).is_some());
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        let r = record(TxStatus::Committed);
+        let mut row = r.to_row();
+        row[2] = Value::Text("nothex".into());
+        assert!(LedgerRecord::from_row(&row).is_err());
+        let mut row = r.to_row();
+        row[6] = Value::Text("limbo".into());
+        assert!(LedgerRecord::from_row(&row).is_err());
+    }
+}

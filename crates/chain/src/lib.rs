@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # bcrdb-chain
+//!
+//! Blockchain structures shared by the ordering service and database peer
+//! nodes:
+//!
+//! * [`tx`] — signed transaction envelopes for both flows (§3.3: unique
+//!   id, username, procedure command, signature; §3.4 adds the snapshot
+//!   block number and derives the id by hashing);
+//! * [`block`] — blocks with a Merkle transaction root, hash chaining and
+//!   orderer signatures (§3.1);
+//! * [`blockstore`] — the append-only, file-backed block store every node
+//!   keeps (`pgBlockstore`, §4.2), with tamper detection on reload;
+//! * [`ledger`] — per-transaction ledger records (the `pgLedger` catalog
+//!   table, §4.2) used for recovery and provenance;
+//! * [`checkpoint`] — write-set hashing and cross-node checkpoint
+//!   comparison (§3.3.4, §3.5 security property 3).
+
+pub mod block;
+pub mod blockstore;
+pub mod checkpoint;
+pub mod ledger;
+pub mod tx;
+pub mod wire;
+
+pub use block::{Block, CheckpointVote};
+pub use blockstore::BlockStore;
+pub use checkpoint::{CheckpointTracker, WriteSetHasher};
+pub use ledger::{LedgerRecord, TxStatus};
+pub use tx::{Payload, Transaction};

@@ -1,0 +1,254 @@
+//! Canonical codec for chain structures (signatures, transactions,
+//! blocks), used by the file-backed block store and anywhere a block needs
+//! a stable byte representation.
+
+use bcrdb_common::codec::{Decode, Decoder, Encode, Encoder};
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::ids::GlobalTxId;
+use bcrdb_crypto::identity::Signature;
+use bcrdb_crypto::merkle::{MerkleProof, ProofStep};
+use bcrdb_crypto::mss::MssSignature;
+use bcrdb_crypto::wots::WotsSignature;
+
+use crate::block::{Block, CheckpointVote};
+use crate::tx::{Payload, Transaction};
+
+/// Encode a signature (free function: `Signature` and `Encode` both live
+/// in other crates, so a trait impl would violate the orphan rule).
+pub fn encode_signature(sig: &Signature, enc: &mut Encoder) {
+    match sig {
+            Signature::Sim(d) => {
+                enc.put_u8(0);
+                enc.put_digest(d);
+            }
+        Signature::HashBased(sig) => {
+            enc.put_u8(1);
+            enc.put_u64(sig.leaf_index);
+            enc.put_u32(sig.wots.values.len() as u32);
+            for v in &sig.wots.values {
+                enc.put_digest(v);
+            }
+            enc.put_u32(sig.auth_path.leaf_index as u32);
+            enc.put_u32(sig.auth_path.steps.len() as u32);
+            for s in &sig.auth_path.steps {
+                enc.put_digest(&s.sibling);
+                enc.put_bool(s.sibling_is_left);
+            }
+        }
+    }
+}
+
+/// Decode a signature (see [`encode_signature`]).
+pub fn decode_signature(dec: &mut Decoder<'_>) -> Result<Signature> {
+    match dec.get_u8()? {
+        0 => Ok(Signature::Sim(dec.get_digest()?)),
+        1 => {
+            let leaf_index = dec.get_u64()?;
+            let n = dec.get_u32()? as usize;
+            if n > 1024 {
+                return Err(Error::Codec("oversized WOTS signature".into()));
+            }
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(dec.get_digest()?);
+            }
+            let proof_leaf = dec.get_u32()? as usize;
+            let steps_len = dec.get_u32()? as usize;
+            if steps_len > 64 {
+                return Err(Error::Codec("oversized Merkle auth path".into()));
+            }
+            let mut steps = Vec::with_capacity(steps_len);
+            for _ in 0..steps_len {
+                steps.push(ProofStep {
+                    sibling: dec.get_digest()?,
+                    sibling_is_left: dec.get_bool()?,
+                });
+            }
+            Ok(Signature::HashBased(Box::new(MssSignature {
+                leaf_index,
+                wots: WotsSignature { values },
+                auth_path: MerkleProof { leaf_index: proof_leaf, steps },
+            })))
+        }
+        t => Err(Error::Codec(format!("bad signature tag {t}"))),
+    }
+}
+
+impl Encode for Transaction {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_digest(&self.id.0);
+        enc.put_str(&self.user);
+        enc.put_str(&self.payload.contract);
+        enc.put_row(&self.payload.args);
+        match self.snapshot_height {
+            Some(h) => {
+                enc.put_bool(true);
+                enc.put_u64(h);
+            }
+            None => enc.put_bool(false),
+        }
+        encode_signature(&self.signature, enc);
+    }
+}
+
+impl Decode for Transaction {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Transaction> {
+        let id = GlobalTxId(dec.get_digest()?);
+        let user = dec.get_str()?;
+        let contract = dec.get_str()?;
+        let args = dec.get_row()?;
+        let snapshot_height = if dec.get_bool()? { Some(dec.get_u64()?) } else { None };
+        let signature = decode_signature(dec)?;
+        Ok(Transaction {
+            id,
+            user,
+            payload: Payload { contract, args },
+            snapshot_height,
+            signature,
+        })
+    }
+}
+
+impl Encode for Block {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.number);
+        enc.put_digest(&self.prev_hash);
+        enc.put_u32(self.txs.len() as u32);
+        for tx in &self.txs {
+            tx.encode(enc);
+        }
+        enc.put_str(&self.consensus);
+        enc.put_u32(self.checkpoints.len() as u32);
+        for cv in &self.checkpoints {
+            enc.put_str(&cv.node);
+            enc.put_u64(cv.block);
+            enc.put_digest(&cv.state_hash);
+        }
+        enc.put_digest(&self.tx_root);
+        enc.put_digest(&self.hash);
+        enc.put_u32(self.signatures.len() as u32);
+        for (name, sig) in &self.signatures {
+            enc.put_str(name);
+            encode_signature(sig, enc);
+        }
+    }
+}
+
+impl Decode for Block {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Block> {
+        let number = dec.get_u64()?;
+        let prev_hash = dec.get_digest()?;
+        let tx_count = dec.get_u32()? as usize;
+        if tx_count > 1_000_000 {
+            return Err(Error::Codec("implausible transaction count".into()));
+        }
+        let mut txs = Vec::with_capacity(tx_count);
+        for _ in 0..tx_count {
+            txs.push(Transaction::decode(dec)?);
+        }
+        let consensus = dec.get_str()?;
+        let cv_count = dec.get_u32()? as usize;
+        if cv_count > 1_000_000 {
+            return Err(Error::Codec("implausible checkpoint count".into()));
+        }
+        let mut checkpoints = Vec::with_capacity(cv_count);
+        for _ in 0..cv_count {
+            checkpoints.push(CheckpointVote {
+                node: dec.get_str()?,
+                block: dec.get_u64()?,
+                state_hash: dec.get_digest()?,
+            });
+        }
+        let tx_root = dec.get_digest()?;
+        let hash = dec.get_digest()?;
+        let sig_count = dec.get_u32()? as usize;
+        if sig_count > 100_000 {
+            return Err(Error::Codec("implausible signature count".into()));
+        }
+        let mut signatures = Vec::with_capacity(sig_count);
+        for _ in 0..sig_count {
+            let name = dec.get_str()?;
+            signatures.push((name, decode_signature(dec)?));
+        }
+        Ok(Block { number, prev_hash, txs, consensus, checkpoints, tx_root, hash, signatures })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::genesis_prev_hash;
+    use bcrdb_common::value::Value;
+    use bcrdb_crypto::identity::{KeyPair, Scheme};
+
+    fn sample_block(scheme: Scheme) -> Block {
+        let client = KeyPair::generate("org1/alice", b"alice", scheme);
+        let orderer = KeyPair::generate("org1/ord", b"ord", scheme);
+        let txs = vec![
+            Transaction::new_order_execute(
+                "org1/alice",
+                Payload::new("f", vec![Value::Int(1), Value::Text("x".into()), Value::Null]),
+                1,
+                &client,
+            )
+            .unwrap(),
+            Transaction::new_execute_order(
+                "org1/alice",
+                Payload::new("g", vec![Value::Float(2.5)]),
+                4,
+                &client,
+            )
+            .unwrap(),
+        ];
+        let mut b = Block::build(
+            1,
+            genesis_prev_hash(),
+            txs,
+            "kafka",
+            vec![CheckpointVote { node: "n1".into(), block: 0, state_hash: [3u8; 32] }],
+        );
+        b.sign(&orderer).unwrap();
+        b
+    }
+
+    #[test]
+    fn block_roundtrip_sim_signatures() {
+        let b = sample_block(Scheme::Sim);
+        let bytes = b.encode_to_vec();
+        let back = Block::decode_all(&bytes).unwrap();
+        assert_eq!(back.number, b.number);
+        assert_eq!(back.hash, b.hash);
+        assert_eq!(back.txs.len(), 2);
+        assert_eq!(back.txs[0].payload, b.txs[0].payload);
+        assert_eq!(back.txs[1].snapshot_height, Some(4));
+        assert_eq!(back.checkpoints, b.checkpoints);
+        assert_eq!(back.signatures.len(), 1);
+        back.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn block_roundtrip_hashbased_signatures() {
+        let b = sample_block(Scheme::HashBased { height: 3 });
+        let bytes = b.encode_to_vec();
+        let back = Block::decode_all(&bytes).unwrap();
+        assert_eq!(back.txs[0].signature, b.txs[0].signature);
+        back.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let b = sample_block(Scheme::Sim);
+        let bytes = b.encode_to_vec();
+        for cut in [1usize, 10, 50, bytes.len() - 1] {
+            assert!(Block::decode_all(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_errors() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        let bytes = enc.finish();
+        assert!(decode_signature(&mut Decoder::new(&bytes)).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Error types shared by every crate in the workspace.
+//!
+//! The variants mirror the failure classes the paper cares about:
+//! serialization failures (SSI aborts, including the block-height variant's
+//! phantom/stale-read aborts), determinism violations in smart contracts,
+//! authentication/access failures, and tamper detection.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Why a transaction was aborted by the concurrency-control layer.
+///
+/// Distinguishing the causes matters for the evaluation (retriable SSI
+/// aborts vs. deterministic duplicate rejections) and for the abort rules of
+/// Table 2 in the paper.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Dangerous rw-antidependency structure detected at commit
+    /// (abort-during-commit, §3.2).
+    SsiDangerousStructure,
+    /// This transaction was chosen as the victim by another transaction's
+    /// commit under the block-aware rules of Table 2.
+    SsiDoomedByPeer,
+    /// Block-height SSI: a row matching a read predicate was created by a
+    /// block later than the transaction's snapshot height (§3.4.1 rule 1).
+    PhantomRead,
+    /// Block-height SSI: a row read at the snapshot height was deleted or
+    /// updated by a later committed block (§3.4.1 rule 2).
+    StaleRead,
+    /// Lost-update prevention: another concurrent writer of the same row
+    /// committed first (ww-conflict, xmax array resolution of §4.3).
+    WwConflict,
+    /// The transaction's global identifier duplicates an already-processed
+    /// transaction (replay / resubmission).
+    DuplicateTxId,
+    /// The smart-contract body itself raised an error (constraint violation,
+    /// type error, division by zero, ...). The message preserves the cause.
+    ContractError(String),
+    /// The client signature or certificate failed verification.
+    AuthenticationFailed,
+    /// The invoker lacks privileges for the attempted operation.
+    AccessDenied(String),
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::SsiDangerousStructure => {
+                write!(f, "serialization failure: dangerous rw-antidependency structure")
+            }
+            AbortReason::SsiDoomedByPeer => {
+                write!(f, "serialization failure: aborted by a conflicting transaction's commit")
+            }
+            AbortReason::PhantomRead => write!(f, "serialization failure: phantom read beyond snapshot height"),
+            AbortReason::StaleRead => write!(f, "serialization failure: stale read beyond snapshot height"),
+            AbortReason::WwConflict => write!(f, "serialization failure: concurrent write-write conflict"),
+            AbortReason::DuplicateTxId => write!(f, "duplicate transaction identifier"),
+            AbortReason::ContractError(m) => write!(f, "contract error: {m}"),
+            AbortReason::AuthenticationFailed => write!(f, "authentication failed"),
+            AbortReason::AccessDenied(m) => write!(f, "access denied: {m}"),
+        }
+    }
+}
+
+/// Workspace-wide error type.
+#[derive(Debug)]
+pub enum Error {
+    /// SQL lexing/parsing failure, with position information in the message.
+    Parse(String),
+    /// Static analysis failure: unknown table/column, arity mismatch, ...
+    Analysis(String),
+    /// Runtime type error during expression evaluation.
+    Type(String),
+    /// Schema constraint violation (primary key, NOT NULL, ...).
+    Constraint(String),
+    /// The transaction was aborted; carries the structured reason.
+    Abort(AbortReason),
+    /// A deterministic-execution rule was violated by a contract
+    /// (§2 enhancement 1 and §4.3 of the paper).
+    Determinism(String),
+    /// Catalog object not found.
+    NotFound(String),
+    /// Catalog object already exists.
+    AlreadyExists(String),
+    /// Cryptographic verification failure (signatures, hash chain).
+    Crypto(String),
+    /// Tampering detected (block store, checkpoint mismatch).
+    TamperDetected(String),
+    /// Underlying I/O failure (block store, WAL, snapshots).
+    Io(std::io::Error),
+    /// Malformed binary data while decoding.
+    Codec(String),
+    /// Configuration problem while assembling a network.
+    Config(String),
+    /// Component shut down / channel disconnected.
+    Shutdown(String),
+    /// Invariant violation: indicates a bug, not a user error.
+    Internal(String),
+}
+
+impl Error {
+    /// True if the failure is an SSI-style serialization failure that a
+    /// client may simply retry (possibly at a newer snapshot height).
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            Error::Abort(
+                AbortReason::SsiDangerousStructure
+                    | AbortReason::SsiDoomedByPeer
+                    | AbortReason::PhantomRead
+                    | AbortReason::StaleRead
+                    | AbortReason::WwConflict
+            )
+        )
+    }
+
+    /// Shorthand constructor for internal invariant violations.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Analysis(m) => write!(f, "analysis error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Constraint(m) => write!(f, "constraint violation: {m}"),
+            Error::Abort(r) => write!(f, "transaction aborted: {r}"),
+            Error::Determinism(m) => write!(f, "determinism violation: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            Error::Crypto(m) => write!(f, "crypto error: {m}"),
+            Error::TamperDetected(m) => write!(f, "tamper detected: {m}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Config(m) => write!(f, "config error: {m}"),
+            Error::Shutdown(m) => write!(f, "shutdown: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retriable_classification() {
+        assert!(Error::Abort(AbortReason::PhantomRead).is_retriable());
+        assert!(Error::Abort(AbortReason::StaleRead).is_retriable());
+        assert!(Error::Abort(AbortReason::WwConflict).is_retriable());
+        assert!(Error::Abort(AbortReason::SsiDangerousStructure).is_retriable());
+        assert!(Error::Abort(AbortReason::SsiDoomedByPeer).is_retriable());
+        assert!(!Error::Abort(AbortReason::DuplicateTxId).is_retriable());
+        assert!(!Error::Abort(AbortReason::AuthenticationFailed).is_retriable());
+        assert!(!Error::Parse("x".into()).is_retriable());
+    }
+
+    #[test]
+    fn display_contains_cause() {
+        let e = Error::Abort(AbortReason::ContractError("division by zero".into()));
+        assert!(e.to_string().contains("division by zero"));
+        let e = Error::Io(std::io::Error::new(std::io::ErrorKind::Other, "disk gone"));
+        assert!(e.to_string().contains("disk gone"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Identifiers used across the system.
+//!
+//! The paper distinguishes between a transaction's *global* identifier
+//! (carried in the signed transaction envelope, unique across the network)
+//! and the *local* transaction id assigned by each database node when it
+//! starts executing the transaction (the analogue of a PostgreSQL `xid`).
+//! Block heights are the unit of the novel snapshot-isolation variant
+//! (§3.4.1 of the paper): every committed row version is stamped with the
+//! block that created it and, once superseded, the block that deleted it.
+
+use std::fmt;
+
+/// Local, per-node transaction identifier (the PostgreSQL `xid` analogue).
+///
+/// Assigned monotonically by each node's transaction manager. Local ids are
+/// never compared across nodes; cross-node identity uses [`GlobalTxId`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TxId(pub u64);
+
+impl TxId {
+    /// Sentinel for "no transaction" (e.g. an empty `xmax`).
+    pub const INVALID: TxId = TxId(0);
+
+    /// First id handed out by a fresh transaction manager.
+    pub const FIRST: TxId = TxId(1);
+
+    /// Returns the next transaction id.
+    #[must_use]
+    pub fn next(self) -> TxId {
+        TxId(self.0 + 1)
+    }
+
+    /// True if this is a real transaction id (not [`TxId::INVALID`]).
+    pub fn is_valid(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txid:{}", self.0)
+    }
+}
+
+/// Network-wide unique transaction identifier.
+///
+/// In the execute-order-in-parallel flow this is
+/// `hash(username, procedure call, snapshot block number)` as required by
+/// §3.4.3 so that two *different* transactions can never collide; in the
+/// order-then-execute flow the client supplies it directly. Either way it is
+/// a 32-byte digest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalTxId(pub [u8; 32]);
+
+impl GlobalTxId {
+    /// Identifier consisting of all zero bytes; used by internal/system
+    /// bootstrap records that never travel over the network.
+    pub const ZERO: GlobalTxId = GlobalTxId([0u8; 32]);
+
+    /// Hex representation (lowercase, 64 chars).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in &self.0 {
+            use fmt::Write;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+
+    /// Short prefix used in log lines and ledger display.
+    pub fn short(&self) -> String {
+        self.to_hex()[..12].to_string()
+    }
+}
+
+impl fmt::Debug for GlobalTxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GlobalTxId({})", self.short())
+    }
+}
+
+impl fmt::Display for GlobalTxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Height of a block in the chain. Block 0 is the genesis/bootstrap block.
+pub type BlockHeight = u64;
+
+/// Stable logical row identifier within a table.
+///
+/// All versions of the same logical row share a `RowId`; an UPDATE creates a
+/// new version with the same `RowId`, which is what provenance queries walk.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RowId(pub u64);
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row:{}", self.0)
+    }
+}
+
+/// Identifier of a table in the catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txid_next_is_monotonic() {
+        let t = TxId::FIRST;
+        assert!(t.next() > t);
+        assert!(t.is_valid());
+        assert!(!TxId::INVALID.is_valid());
+    }
+
+    #[test]
+    fn global_txid_hex_roundtrip_shape() {
+        let mut bytes = [0u8; 32];
+        bytes[0] = 0xab;
+        bytes[31] = 0x01;
+        let id = GlobalTxId(bytes);
+        let hex = id.to_hex();
+        assert_eq!(hex.len(), 64);
+        assert!(hex.starts_with("ab"));
+        assert!(hex.ends_with("01"));
+        assert_eq!(id.short().len(), 12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TxId(7).to_string(), "txid:7");
+        assert_eq!(RowId(9).to_string(), "row:9");
+        assert_eq!(TableId(3).to_string(), "table:3");
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # bcrdb-common
+//!
+//! Shared substrate for the blockchain relational database: typed values,
+//! relational schemas, identifiers, error types and the canonical binary
+//! codec used for hashing, the write-ahead log and the block store.
+//!
+//! Everything above this crate (storage, SQL, consensus, the peer node)
+//! agrees on these definitions, which is what makes independently executing
+//! replicas byte-for-byte comparable: two nodes that commit the same
+//! transactions produce identical canonical encodings and therefore
+//! identical checkpoint hashes.
+
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod schema;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ids::{BlockHeight, GlobalTxId, RowId, TxId};
+pub use schema::{Column, DataType, IndexDef, TableSchema};
+pub use value::{Row, Value};

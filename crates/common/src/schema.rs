@@ -1,0 +1,291 @@
+//! Relational schemas: column types, table definitions and index
+//! definitions.
+//!
+//! Schemas are created by DDL executed through *system smart contracts*
+//! (§3.7 of the paper), so every replica holds an identical catalog. A
+//! schema also records which columns are indexed: the execute-order-in-
+//! parallel flow requires every predicate read to be served by an index
+//! (§4.3), which the planner enforces using `TableSchema::index_on`.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::value::{Row, Value};
+
+/// Column data types supported by the engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Raw byte string.
+    Bytes,
+    /// Milliseconds since the Unix epoch.
+    Timestamp,
+}
+
+impl DataType {
+    /// Parse a SQL type name (several standard aliases accepted).
+    pub fn from_sql_name(name: &str) -> Result<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "BOOL" | "BOOLEAN" => Ok(DataType::Bool),
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "INT4" | "INT8" => Ok(DataType::Int),
+            "FLOAT" | "DOUBLE" | "REAL" | "FLOAT8" | "NUMERIC" | "DECIMAL" => Ok(DataType::Float),
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => Ok(DataType::Text),
+            "BYTEA" | "BLOB" | "BYTES" => Ok(DataType::Bytes),
+            "TIMESTAMP" | "TIMESTAMPTZ" | "DATETIME" => Ok(DataType::Timestamp),
+            other => Err(Error::Parse(format!("unknown data type: {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int => "BIGINT",
+            DataType::Float => "DOUBLE",
+            DataType::Text => "TEXT",
+            DataType::Bytes => "BYTEA",
+            DataType::Timestamp => "TIMESTAMP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A column definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (lowercased by the parser).
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Whether NULL is permitted.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// Convenience constructor for a non-nullable column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Column {
+        Column { name: name.into(), dtype, nullable: false }
+    }
+
+    /// Convenience constructor for a nullable column.
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> Column {
+        Column { name: name.into(), dtype, nullable: true }
+    }
+}
+
+/// A secondary (or primary) index definition. All indexes are B-trees over
+/// one column; the primary key is a unique index over the key columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name, unique within the table.
+    pub name: String,
+    /// Ordinal of the indexed column.
+    pub column: usize,
+    /// Whether the index enforces uniqueness (only the PK index does).
+    pub unique: bool,
+}
+
+/// A table definition: columns, primary key and indexes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name (lowercased).
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+    /// Ordinals of the primary-key columns (possibly empty for system
+    /// tables; user tables created via contracts always have one).
+    pub primary_key: Vec<usize>,
+    /// Secondary index definitions. The PK index is implicit.
+    pub indexes: Vec<IndexDef>,
+}
+
+impl TableSchema {
+    /// Create a schema, checking name uniqueness and PK sanity.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<Column>,
+        primary_key: Vec<usize>,
+    ) -> Result<TableSchema> {
+        let name = name.into();
+        if columns.is_empty() {
+            return Err(Error::Analysis(format!("table {name} has no columns")));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(Error::Analysis(format!(
+                    "duplicate column {} in table {name}",
+                    c.name
+                )));
+            }
+        }
+        for &pk in &primary_key {
+            if pk >= columns.len() {
+                return Err(Error::internal(format!(
+                    "primary key ordinal {pk} out of range for table {name}"
+                )));
+            }
+        }
+        Ok(TableSchema { name, columns, primary_key, indexes: Vec::new() })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Find a column ordinal by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Returns the index (implicit PK or secondary) covering `column`, if
+    /// any. Used by the planner to decide whether a predicate read can be
+    /// served by an index — mandatory in the EO flow (§4.3).
+    pub fn index_on(&self, column: usize) -> Option<IndexDef> {
+        if self.primary_key.len() == 1 && self.primary_key[0] == column {
+            return Some(IndexDef { name: format!("{}_pkey", self.name), column, unique: true });
+        }
+        self.indexes.iter().find(|i| i.column == column).cloned()
+    }
+
+    /// Add a secondary index over a named column.
+    pub fn add_index(&mut self, index_name: impl Into<String>, column_name: &str) -> Result<()> {
+        let column = self.column_index(column_name).ok_or_else(|| {
+            Error::NotFound(format!("column {column_name} in table {}", self.name))
+        })?;
+        let index_name = index_name.into();
+        if self.indexes.iter().any(|i| i.name == index_name) {
+            return Err(Error::AlreadyExists(format!("index {index_name}")));
+        }
+        self.indexes.push(IndexDef { name: index_name, column, unique: false });
+        Ok(())
+    }
+
+    /// Validate a row against this schema: arity, types (with coercion) and
+    /// NOT NULL constraints. Returns the coerced row.
+    pub fn check_row(&self, row: Row) -> Result<Row> {
+        if row.len() != self.columns.len() {
+            return Err(Error::Constraint(format!(
+                "table {} expects {} columns, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(row.len());
+        for (v, c) in row.into_iter().zip(&self.columns) {
+            if v.is_null() && !c.nullable {
+                return Err(Error::Constraint(format!(
+                    "null value in column {} of table {} violates not-null constraint",
+                    c.name, self.name
+                )));
+            }
+            out.push(v.coerce_to(c.dtype).map_err(|_| {
+                Error::Constraint(format!(
+                    "column {} of table {} expects {}",
+                    c.name, self.name, c.dtype
+                ))
+            })?);
+        }
+        Ok(out)
+    }
+
+    /// Extract the primary-key values from a row (schema order).
+    pub fn pk_values(&self, row: &[Value]) -> Vec<Value> {
+        self.primary_key.iter().map(|&i| row[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSchema {
+        TableSchema::new(
+            "invoices",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("supplier", DataType::Text),
+                Column::nullable("amount", DataType::Float),
+            ],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn type_parsing_aliases() {
+        assert_eq!(DataType::from_sql_name("bigint").unwrap(), DataType::Int);
+        assert_eq!(DataType::from_sql_name("VARCHAR").unwrap(), DataType::Text);
+        assert_eq!(DataType::from_sql_name("double").unwrap(), DataType::Float);
+        assert!(DataType::from_sql_name("geometry").is_err());
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = TableSchema::new(
+            "t",
+            vec![Column::new("a", DataType::Int), Column::new("a", DataType::Int)],
+            vec![],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn row_checking_coerces_and_validates() {
+        let s = sample();
+        let row = s
+            .check_row(vec![Value::Int(1), Value::Text("acme".into()), Value::Int(10)])
+            .unwrap();
+        assert_eq!(row[2], Value::Float(10.0));
+
+        // NOT NULL violation
+        assert!(s
+            .check_row(vec![Value::Null, Value::Text("x".into()), Value::Null])
+            .is_err());
+        // nullable column accepts NULL
+        assert!(s
+            .check_row(vec![Value::Int(2), Value::Text("x".into()), Value::Null])
+            .is_ok());
+        // arity mismatch
+        assert!(s.check_row(vec![Value::Int(1)]).is_err());
+        // type mismatch
+        assert!(s
+            .check_row(vec![Value::Text("no".into()), Value::Text("x".into()), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn pk_index_is_implicit() {
+        let s = sample();
+        let idx = s.index_on(0).unwrap();
+        assert!(idx.unique);
+        assert_eq!(idx.name, "invoices_pkey");
+        assert!(s.index_on(1).is_none());
+    }
+
+    #[test]
+    fn secondary_index_add_and_lookup() {
+        let mut s = sample();
+        s.add_index("idx_supplier", "supplier").unwrap();
+        assert!(s.index_on(1).is_some());
+        assert!(!s.index_on(1).unwrap().unique);
+        assert!(s.add_index("idx_supplier", "supplier").is_err());
+        assert!(s.add_index("idx_missing", "nope").is_err());
+    }
+
+    #[test]
+    fn pk_values_extraction() {
+        let s = sample();
+        let pk = s.pk_values(&[Value::Int(42), Value::Text("a".into()), Value::Null]);
+        assert_eq!(pk, vec![Value::Int(42)]);
+    }
+}

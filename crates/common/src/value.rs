@@ -1,0 +1,435 @@
+//! Typed SQL values and rows.
+//!
+//! Values carry a *canonical total order* (used by B-tree index keys and by
+//! ORDER BY) and a *canonical binary encoding* (used for checkpoint hashing,
+//! so that all honest replicas derive identical write-set digests).
+//!
+//! Floats order via `f64::total_cmp`, which is deterministic across
+//! platforms — a requirement for smart contracts that must execute
+//! identically on every node.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::schema::DataType;
+
+/// A single SQL value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// SQL NULL. Sorts before every non-null value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer (`INT`/`BIGINT`).
+    Int(i64),
+    /// 64-bit float (`FLOAT`/`DOUBLE`). Compared with `total_cmp`.
+    Float(f64),
+    /// UTF-8 string (`TEXT`/`VARCHAR`).
+    Text(String),
+    /// Raw bytes (`BYTEA`). Used for hashes and signatures stored in tables.
+    Bytes(Vec<u8>),
+    /// Milliseconds since the Unix epoch (`TIMESTAMP`). Only ever produced
+    /// by the *block processor* (commit timestamps in the ledger table),
+    /// never by contract expressions, preserving determinism.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The dynamic type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bytes(_) => Some(DataType::Bytes),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    /// True if the value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Coerce into the given column type, applying the small set of implicit
+    /// conversions the engine supports (int → float, int → timestamp).
+    pub fn coerce_to(self, ty: DataType) -> Result<Value> {
+        match (self, ty) {
+            (Value::Null, _) => Ok(Value::Null),
+            (v @ Value::Bool(_), DataType::Bool) => Ok(v),
+            (v @ Value::Int(_), DataType::Int) => Ok(v),
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(i as f64)),
+            (Value::Int(i), DataType::Timestamp) => Ok(Value::Timestamp(i)),
+            (v @ Value::Float(_), DataType::Float) => Ok(v),
+            (v @ Value::Text(_), DataType::Text) => Ok(v),
+            (v @ Value::Bytes(_), DataType::Bytes) => Ok(v),
+            (v @ Value::Timestamp(_), DataType::Timestamp) => Ok(v),
+            (v, ty) => Err(Error::Type(format!(
+                "cannot coerce value {v:?} to {ty}",
+            ))),
+        }
+    }
+
+    /// Interpret as boolean for WHERE/HAVING. NULL is "unknown" → false.
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Numeric view used by arithmetic and aggregates.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            v => Err(Error::Type(format!("expected numeric value, got {v:?}"))),
+        }
+    }
+
+    /// Integer view; floats are rejected (no silent truncation).
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Timestamp(t) => Ok(*t),
+            v => Err(Error::Type(format!("expected integer value, got {v:?}"))),
+        }
+    }
+
+    /// Text view.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Text(s) => Ok(s),
+            v => Err(Error::Type(format!("expected text value, got {v:?}"))),
+        }
+    }
+
+    /// SQL equality: NULL = anything is "unknown" (returns `None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.cmp_total(other) == Ordering::Equal)
+    }
+
+    /// SQL comparison: `None` if either side is NULL, otherwise the total
+    /// order restricted to comparable types (numeric types inter-compare).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.cmp_total(other))
+    }
+
+    /// Canonical total order over all values. NULL sorts first; numeric
+    /// values (Int/Float) compare by magnitude; distinct non-numeric type
+    /// classes order by a fixed type rank. This is the order B-tree index
+    /// keys and ORDER BY use, and it is identical on every node.
+    pub fn cmp_total(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Timestamp(_) => 3,
+                Text(_) => 4,
+                Bytes(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Arithmetic addition with SQL NULL propagation and int/float promotion.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        binary_numeric(self, other, i64::checked_add, |a, b| a + b, "+")
+    }
+
+    /// Arithmetic subtraction.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        binary_numeric(self, other, i64::checked_sub, |a, b| a - b, "-")
+    }
+
+    /// Arithmetic multiplication.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        binary_numeric(self, other, i64::checked_mul, |a, b| a * b, "*")
+    }
+
+    /// Division. Integer division by zero is an error (contract abort);
+    /// integer/integer yields integer (like PostgreSQL).
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, other) {
+            (Value::Int(_), Value::Int(0)) => {
+                Err(Error::Type("division by zero".into()))
+            }
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a / b)),
+            _ => {
+                let b = other.as_f64()?;
+                if b == 0.0 {
+                    return Err(Error::Type("division by zero".into()));
+                }
+                Ok(Value::Float(self.as_f64()? / b))
+            }
+        }
+    }
+
+    /// Modulo for integers.
+    pub fn rem(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, other) {
+            (Value::Int(_), Value::Int(0)) => Err(Error::Type("modulo by zero".into())),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a % b)),
+            _ => Err(Error::Type("modulo requires integer operands".into())),
+        }
+    }
+
+    /// String concatenation (`||`).
+    pub fn concat(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        Ok(Value::Text(format!("{}{}", self.display_raw(), other.display_raw())))
+    }
+
+    /// Unary negation.
+    pub fn neg(&self) -> Result<Value> {
+        match self {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => i
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| Error::Type("integer overflow in negation".into())),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            v => Err(Error::Type(format!("cannot negate {v:?}"))),
+        }
+    }
+
+    /// Render without quotes/escapes (for concatenation and display).
+    pub fn display_raw(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                // Deterministic float rendering: Rust's Display for f64 is
+                // shortest-roundtrip and platform-independent.
+                format!("{f}")
+            }
+            Value::Text(s) => s.clone(),
+            Value::Bytes(b) => {
+                let mut s = String::with_capacity(2 + b.len() * 2);
+                s.push_str("\\x");
+                for byte in b {
+                    use fmt::Write;
+                    let _ = write!(s, "{byte:02x}");
+                }
+                s
+            }
+            Value::Timestamp(t) => format!("ts:{t}"),
+        }
+    }
+}
+
+fn binary_numeric(
+    a: &Value,
+    b: &Value,
+    int_op: fn(i64, i64) -> Option<i64>,
+    float_op: fn(f64, f64) -> f64,
+    op_name: &str,
+) -> Result<Value> {
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => int_op(*x, *y)
+            .map(Value::Int)
+            .ok_or_else(|| Error::Type(format!("integer overflow in {op_name}"))),
+        _ => Ok(Value::Float(float_op(a.as_f64()?, b.as_f64()?))),
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_total(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_total(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_total(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float must hash consistently with cmp_total equality:
+            // Int(2) == Float(2.0), so both hash via the float bit pattern.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bytes(b) => {
+                5u8.hash(state);
+                b.hash(state);
+            }
+            Value::Timestamp(t) => {
+                3u8.hash(state);
+                t.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Text(s) => write!(f, "'{s}'"),
+            _ => f.write_str(&self.display_raw()),
+        }
+    }
+}
+
+/// A row of values (one per column, in schema order).
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_propagation_in_arithmetic() {
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(1).mul(&Value::Null).unwrap(), Value::Null);
+        assert_eq!(Value::Null.concat(&Value::Text("x".into())).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(Value::Int(2).sub(&Value::Int(3)).unwrap(), Value::Int(-1));
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(Value::Int(7).rem(&Value::Int(2)).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn mixed_numeric_promotes_to_float() {
+        assert_eq!(
+            Value::Int(1).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        assert!(Value::Int(1).div(&Value::Int(0)).is_err());
+        assert!(Value::Float(1.0).div(&Value::Float(0.0)).is_err());
+        assert!(Value::Int(1).rem(&Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn overflow_is_error_not_wrap() {
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
+        assert!(Value::Int(i64::MIN).neg().is_err());
+    }
+
+    #[test]
+    fn total_order_null_first() {
+        let mut vals = vec![
+            Value::Text("b".into()),
+            Value::Null,
+            Value::Int(3),
+            Value::Bool(true),
+            Value::Float(2.5),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(true));
+        // numeric class: 2.5 < 3
+        assert_eq!(vals[2], Value::Float(2.5));
+        assert_eq!(vals[3], Value::Int(3));
+    }
+
+    #[test]
+    fn int_float_cross_comparison() {
+        assert_eq!(Value::Int(2).cmp_total(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).cmp_total(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.5).cmp_total(&Value::Int(3)), Ordering::Greater);
+    }
+
+    #[test]
+    fn sql_three_valued_logic() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert!(!Value::Null.is_truthy());
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert_eq!(
+            Value::Int(3).coerce_to(DataType::Float).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            Value::Null.coerce_to(DataType::Int).unwrap(),
+            Value::Null
+        );
+        assert!(Value::Text("x".into()).coerce_to(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn bytes_display_hex() {
+        assert_eq!(Value::Bytes(vec![0xde, 0xad]).display_raw(), "\\xdead");
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_across_numeric_types() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_eq!(h(&Value::Int(2)), h(&Value::Float(2.0)));
+    }
+}

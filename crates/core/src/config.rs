@@ -1,0 +1,98 @@
+//! Network-level configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use bcrdb_crypto::identity::Scheme;
+use bcrdb_network::NetProfile;
+use bcrdb_ordering::OrderingConfig;
+use bcrdb_txn::ssi::Flow;
+
+/// Configuration for a whole permissioned network.
+#[derive(Clone)]
+pub struct NetworkConfig {
+    /// Participating organizations; each runs one database node.
+    pub orgs: Vec<String>,
+    /// Transaction flow (§3.3 vs §3.4).
+    pub flow: Flow,
+    /// Ordering-service configuration (§4.4).
+    pub ordering: OrderingConfig,
+    /// Signature scheme for client/admin identities.
+    pub scheme: Scheme,
+    /// Network profile for peer↔peer and orderer→peer traffic
+    /// (LAN vs multi-cloud WAN, §5 / Fig 8a).
+    pub net_profile: NetProfile,
+    /// Verify signatures on the hot path (disable only in protocol
+    /// benchmarks; see DESIGN.md).
+    pub verify_signatures: bool,
+    /// Executor threads per node.
+    pub executor_threads: usize,
+    /// Serial execution baseline (§5.1 Ethereum comparison).
+    pub serial_execution: bool,
+    /// Root directory for per-node block stores and snapshots
+    /// (`<root>/<org>/`); `None` keeps everything in memory.
+    pub data_root: Option<PathBuf>,
+    /// State-snapshot interval in blocks (0 = never).
+    pub snapshot_interval: u64,
+    /// Per-mille of peer-forwarded transactions to drop (EO flow),
+    /// simulating lossy or malicious forwarding (§3.5(2)): dropped
+    /// transactions are executed as "missing" by the block processor when
+    /// their block arrives (§3.4.3), surfacing in the `mt` metric of
+    /// Table 5. 0 disables.
+    pub forward_drop_permille: u64,
+    /// Minimum simulated per-transaction execution time (µs); see
+    /// `NodeConfig::min_exec_micros`. Benchmark calibration only.
+    pub min_exec_micros: u64,
+    /// Genesis DDL (tables, indexes, contracts) applied identically on
+    /// every node *before* recovery and before any traffic — the §3.7
+    /// bootstrap step. Required for persistent networks so restarted nodes
+    /// can replay their chains.
+    pub genesis_sql: Option<String>,
+}
+
+impl NetworkConfig {
+    /// Sensible defaults for tests and examples: solo orderer, small
+    /// blocks, short timeout, instant network, simulated signatures.
+    pub fn quick(orgs: &[&str], flow: Flow) -> NetworkConfig {
+        NetworkConfig {
+            orgs: orgs.iter().map(|s| s.to_string()).collect(),
+            flow,
+            ordering: OrderingConfig::solo(16, Duration::from_millis(50)),
+            scheme: Scheme::Sim,
+            net_profile: NetProfile::instant(),
+            verify_signatures: true,
+            executor_threads: 4,
+            serial_execution: false,
+            data_root: None,
+            snapshot_interval: 0,
+            forward_drop_permille: 0,
+            min_exec_micros: 0,
+            genesis_sql: None,
+        }
+    }
+
+    /// The paper's default deployment shape: one orderer per organization
+    /// (Kafka-style CFT), block timeout 1 s.
+    pub fn paper_default(orgs: &[&str], flow: Flow, block_size: usize) -> NetworkConfig {
+        let mut cfg = NetworkConfig::quick(orgs, flow);
+        cfg.ordering = OrderingConfig::kafka(orgs.len(), block_size, Duration::from_secs(1));
+        cfg.net_profile = NetProfile::lan();
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_shape() {
+        let c = NetworkConfig::quick(&["a", "b"], Flow::OrderThenExecute);
+        assert_eq!(c.orgs, vec!["a", "b"]);
+        assert!(c.verify_signatures);
+        assert!(c.data_root.is_none());
+        let p = NetworkConfig::paper_default(&["a", "b", "c"], Flow::ExecuteOrderParallel, 100);
+        assert_eq!(p.ordering.orderers, 3);
+        assert_eq!(p.ordering.block_size, 100);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # bcrdb-core
+//!
+//! The public API of the blockchain relational database: assemble a
+//! permissioned network of organizations (§3.7), obtain clients, deploy
+//! smart contracts through the system-contract approval workflow, invoke
+//! contracts as signed blockchain transactions and run (provenance)
+//! queries.
+//!
+//! ```no_run
+//! use bcrdb_core::{Network, NetworkConfig};
+//! use bcrdb_common::value::Value;
+//!
+//! let net = Network::build(NetworkConfig::quick(
+//!     &["org1", "org2", "org3"],
+//!     bcrdb_txn::ssi::Flow::ExecuteOrderParallel,
+//! )).unwrap();
+//! net.bootstrap_sql(
+//!     "CREATE TABLE accounts (id INT PRIMARY KEY, balance FLOAT NOT NULL); \
+//!      CREATE FUNCTION open_account(id INT, bal FLOAT) AS $$ \
+//!        INSERT INTO accounts VALUES ($1, $2) $$",
+//! ).unwrap();
+//! let alice = net.client("org1", "alice").unwrap();
+//! let pending = alice.invoke("open_account", vec![Value::Int(1), Value::Float(100.0)]).unwrap();
+//! pending.wait(std::time::Duration::from_secs(5)).unwrap();
+//! let r = alice.query("SELECT balance FROM accounts WHERE id = 1", &[]).unwrap();
+//! println!("{}", r.to_table_string());
+//! ```
+
+pub mod client;
+pub mod config;
+pub mod network;
+pub mod system;
+
+pub use client::{Client, PendingTx};
+pub use config::NetworkConfig;
+pub use network::Network;

@@ -1,0 +1,447 @@
+//! Assembling a permissioned network (§3.7 "Network Bootstrapping").
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bcrdb_chain::block::Block;
+use bcrdb_chain::tx::Transaction;
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::ids::BlockHeight;
+use bcrdb_crypto::identity::{Certificate, CertificateRegistry, KeyPair, Role, Scheme};
+use bcrdb_crypto::sha256::Digest;
+use bcrdb_network::SimNetwork;
+use bcrdb_node::{Node, NodeConfig, NodeHooks};
+use bcrdb_ordering::OrderingService;
+use bcrdb_sql::ast::Statement;
+use bcrdb_sql::validate::DeterminismRules;
+use bcrdb_txn::ssi::Flow;
+use crossbeam_channel::unbounded;
+use parking_lot::Mutex;
+
+use crate::client::Client;
+use crate::config::NetworkConfig;
+use crate::system;
+
+/// Messages between peers (and from the orderer relay to peers).
+#[derive(Clone)]
+pub enum PeerMsg {
+    /// A forwarded transaction (EO flow middleware, §4.2).
+    Tx(Box<Transaction>),
+    /// A block from the ordering service.
+    Block(Arc<Block>),
+}
+
+pub(crate) struct NetworkInner {
+    pub config: NetworkConfig,
+    pub certs: Arc<CertificateRegistry>,
+    pub nodes: Vec<Arc<Node>>,
+    pub ordering: Arc<OrderingService>,
+    pub peer_net: Arc<SimNetwork<PeerMsg>>,
+    admins: Vec<Arc<KeyPair>>,
+    clients: Mutex<HashMap<String, Arc<KeyPair>>>,
+    pub nonce: AtomicU64,
+}
+
+/// A running permissioned network: one database node per organization, a
+/// shared ordering service, and a simulated network in between.
+pub struct Network {
+    pub(crate) inner: Arc<NetworkInner>,
+}
+
+impl Network {
+    /// Build and start the network.
+    pub fn build(config: NetworkConfig) -> Result<Network> {
+        if config.orgs.is_empty() {
+            return Err(Error::Config("a network needs at least one organization".into()));
+        }
+        let certs = CertificateRegistry::new();
+        let mut ordering_cfg = config.ordering.clone();
+        ordering_cfg.scheme = config.scheme;
+        let ordering = OrderingService::start(ordering_cfg, &certs);
+        let peer_net: Arc<SimNetwork<PeerMsg>> = SimNetwork::new(config.net_profile);
+
+        // Per-org admins (their certificates are shared with every node at
+        // startup, §3.7).
+        let admins: Vec<Arc<KeyPair>> = config
+            .orgs
+            .iter()
+            .map(|org| {
+                let name = format!("{org}/admin");
+                let key = Arc::new(KeyPair::generate(
+                    name.clone(),
+                    format!("admin-seed-{org}").as_bytes(),
+                    config.scheme,
+                ));
+                certs.register(Certificate {
+                    name,
+                    org: org.clone(),
+                    role: Role::Admin,
+                    public_key: key.public_key(),
+                });
+                key
+            })
+            .collect();
+
+        let mut nodes = Vec::with_capacity(config.orgs.len());
+        for (i, org) in config.orgs.iter().enumerate() {
+            let node_name = format!("{org}/peer");
+            // Peer identity (used to attribute checkpoint votes).
+            let peer_key = KeyPair::generate(
+                node_name.clone(),
+                format!("peer-seed-{org}").as_bytes(),
+                Scheme::Sim,
+            );
+            certs.register(Certificate {
+                name: node_name.clone(),
+                org: org.clone(),
+                role: Role::Peer,
+                public_key: peer_key.public_key(),
+            });
+
+            let mut node_cfg = NodeConfig::new(node_name.clone(), org.clone(), config.flow);
+            node_cfg.verify_signatures = config.verify_signatures;
+            node_cfg.executor_threads = config.executor_threads;
+            node_cfg.serial_execution = config.serial_execution;
+            node_cfg.snapshot_interval = config.snapshot_interval;
+            node_cfg.min_exec_micros = config.min_exec_micros;
+            node_cfg.data_dir = config.data_root.as_ref().map(|root| root.join(org));
+            let node = Node::new(node_cfg, Arc::clone(&certs), config.orgs.clone())?;
+            system::bootstrap_node(&node)?;
+            if let Some(genesis) = &config.genesis_sql {
+                apply_bootstrap_sql(&node, genesis, config.flow)?;
+            }
+            node.recover()?;
+
+            // Inbound: peer network endpoint → dispatch to the node.
+            let net_rx = peer_net.register(node_name.clone());
+            let (block_tx, block_rx) = unbounded();
+            {
+                let node = Arc::clone(&node);
+                std::thread::Builder::new()
+                    .name(format!("{node_name}-dispatch"))
+                    .spawn(move || {
+                        for delivered in net_rx.iter() {
+                            match delivered.msg {
+                                PeerMsg::Tx(tx) => node.on_peer_tx(*tx),
+                                PeerMsg::Block(b) => {
+                                    if block_tx.send(b).is_err() {
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn dispatch thread");
+            }
+            node.start(block_rx);
+
+            // Orderer → peer relay, modeling delivery latency/bandwidth.
+            let orderer_rx = ordering.subscribe_to(i);
+            {
+                let peer_net = Arc::clone(&peer_net);
+                let to = node_name.clone();
+                std::thread::Builder::new()
+                    .name(format!("{to}-orderer-relay"))
+                    .spawn(move || {
+                        for block in orderer_rx.iter() {
+                            let size = block.wire_size();
+                            if peer_net
+                                .send(&format!("orderer-gw-{i}"), &to, PeerMsg::Block(block), size)
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                    })
+                    .expect("spawn orderer relay");
+            }
+
+            // Outbound hooks.
+            let hooks = NodeHooks {
+                forward_tx: Some({
+                    let peer_net = Arc::clone(&peer_net);
+                    let from = node_name.clone();
+                    let drop_permille = config.forward_drop_permille;
+                    Arc::new(move |tx: &Transaction| {
+                        // Deterministic pseudo-random drop keyed by the tx
+                        // id: simulates lossy/malicious forwarding; the
+                        // block processor executes these as missing txs.
+                        if drop_permille > 0 {
+                            let h = u64::from_be_bytes(tx.id.0[..8].try_into().expect("8 bytes"));
+                            if h % 1000 < drop_permille {
+                                return;
+                            }
+                        }
+                        let size = tx.wire_size();
+                        let _ = peer_net.broadcast(&from, &PeerMsg::Tx(Box::new(tx.clone())), size);
+                    })
+                }),
+                submit_orderer: Some({
+                    let ordering = Arc::clone(&ordering);
+                    Arc::new(move |tx: Transaction| {
+                        let _ = ordering.submit(tx);
+                    })
+                }),
+                submit_checkpoint: Some({
+                    let ordering = Arc::clone(&ordering);
+                    Arc::new(move |vote| {
+                        let _ = ordering.submit_checkpoint(vote);
+                    })
+                }),
+            };
+            node.set_hooks(hooks);
+            nodes.push(node);
+        }
+
+        Ok(Network {
+            inner: Arc::new(NetworkInner {
+                config,
+                certs,
+                nodes,
+                ordering,
+                peer_net,
+                admins,
+                clients: Mutex::new(HashMap::new()),
+                nonce: AtomicU64::new(1),
+            }),
+        })
+    }
+
+    /// A second handle to the same running network (cheap: the network is
+    /// internally reference-counted). Used by tooling and benchmarks.
+    pub fn handle(&self) -> Network {
+        Network { inner: Arc::clone(&self.inner) }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.inner.config
+    }
+
+    /// The certificate registry shared by all nodes.
+    pub fn certs(&self) -> &Arc<CertificateRegistry> {
+        &self.inner.certs
+    }
+
+    /// The ordering service.
+    pub fn ordering(&self) -> &Arc<OrderingService> {
+        &self.inner.ordering
+    }
+
+    /// The database node of `org`.
+    pub fn node(&self, org: &str) -> Result<Arc<Node>> {
+        let idx = self.org_index(org)?;
+        Ok(Arc::clone(&self.inner.nodes[idx]))
+    }
+
+    /// All nodes, in organization order.
+    pub fn nodes(&self) -> &[Arc<Node>] {
+        &self.inner.nodes
+    }
+
+    fn org_index(&self, org: &str) -> Result<usize> {
+        self.inner
+            .config
+            .orgs
+            .iter()
+            .position(|o| o == org)
+            .ok_or_else(|| Error::NotFound(format!("organization {org}")))
+    }
+
+    /// Create (and register) a client user of `org`.
+    pub fn client(&self, org: &str, user: &str) -> Result<Client> {
+        let idx = self.org_index(org)?;
+        let name = format!("{org}/{user}");
+        let key = {
+            let mut clients = self.inner.clients.lock();
+            if let Some(k) = clients.get(&name) {
+                Arc::clone(k)
+            } else {
+                let key = Arc::new(KeyPair::generate(
+                    name.clone(),
+                    format!("client-seed-{name}").as_bytes(),
+                    self.inner.config.scheme,
+                ));
+                self.inner.certs.register(Certificate {
+                    name: name.clone(),
+                    org: org.to_string(),
+                    role: Role::Client,
+                    public_key: key.public_key(),
+                });
+                clients.insert(name.clone(), Arc::clone(&key));
+                key
+            }
+        };
+        Ok(Client::new(name, key, Arc::clone(&self.inner), idx))
+    }
+
+    /// Attach a client whose certificate was registered *on-chain* via
+    /// `create_usertx` (the key pair lives with the caller).
+    pub fn attach_client(&self, org: &str, user: &str, key: Arc<KeyPair>) -> Result<Client> {
+        let idx = self.org_index(org)?;
+        Ok(Client::new(format!("{org}/{user}"), key, Arc::clone(&self.inner), idx))
+    }
+
+    /// The admin client of `org`.
+    pub fn admin(&self, org: &str) -> Result<Client> {
+        let idx = self.org_index(org)?;
+        Ok(Client::new(
+            format!("{org}/admin"),
+            Arc::clone(&self.inner.admins[idx]),
+            Arc::clone(&self.inner),
+            idx,
+        ))
+    }
+
+    /// Apply bootstrap DDL (tables, indexes, contracts) directly and
+    /// identically on every node — the genesis schema setup of §3.7.
+    /// Once transactions are flowing, use the deploy system contracts
+    /// instead.
+    pub fn bootstrap_sql(&self, sql: &str) -> Result<()> {
+        for node in &self.inner.nodes {
+            apply_bootstrap_sql(node, sql, self.inner.config.flow)?;
+        }
+        Ok(())
+    }
+
+    /// Run the full §3.7 deployment workflow for one DDL statement:
+    /// `create_deploytx` by the first org's admin, `approve_deploytx` by
+    /// every org's admin, then `submit_deploytx`. Returns when the deploy
+    /// transaction commits (or fails).
+    pub fn deploy_contract(&self, deploy_id: i64, sql: &str) -> Result<()> {
+        use bcrdb_common::value::Value;
+        let timeout = Duration::from_secs(30);
+        let first = self.admin(&self.inner.config.orgs[0].clone())?;
+        first
+            .invoke(
+                "create_deploytx",
+                vec![Value::Int(deploy_id), Value::Text(sql.to_string())],
+            )?
+            .wait_committed(timeout)?;
+        for org in self.inner.config.orgs.clone() {
+            let admin = self.admin(&org)?;
+            admin
+                .invoke("approve_deploytx", vec![Value::Int(deploy_id)])?
+                .wait_committed(timeout)?;
+        }
+        first
+            .invoke("submit_deploytx", vec![Value::Int(deploy_id)])?
+            .wait_committed(timeout)?;
+        Ok(())
+    }
+
+    /// Wait until every node committed at least `height`.
+    pub fn await_height(&self, height: BlockHeight, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.inner.nodes.iter().all(|n| n.height() >= height) {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                let heights: Vec<BlockHeight> =
+                    self.inner.nodes.iter().map(|n| n.height()).collect();
+                return Err(Error::internal(format!(
+                    "timed out waiting for height {height}: nodes at {heights:?}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Per-node full-state hashes (ledger excluded). Equal on honest nodes
+    /// at equal heights.
+    pub fn state_hashes(&self) -> Vec<(String, Digest)> {
+        self.inner
+            .nodes
+            .iter()
+            .map(|n| (n.config.name.clone(), n.state_hash()))
+            .collect()
+    }
+
+    /// A fresh nonce for OE transaction ids.
+    pub fn next_nonce(&self) -> u64 {
+        self.inner.nonce.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Stop every component.
+    pub fn shutdown(&self) {
+        for n in &self.inner.nodes {
+            n.shutdown();
+        }
+        self.inner.ordering.shutdown();
+        self.inner.peer_net.shutdown();
+    }
+}
+
+/// Apply bootstrap DDL (tables, indexes, contracts) on one node.
+fn apply_bootstrap_sql(node: &Arc<Node>, sql: &str, flow: Flow) -> Result<()> {
+    let stmts = bcrdb_sql::parse_statements(sql)?;
+    let rules = match flow {
+        Flow::OrderThenExecute => DeterminismRules::order_then_execute(),
+        Flow::ExecuteOrderParallel => DeterminismRules::execute_order_parallel(),
+    };
+    for stmt in &stmts {
+        match stmt {
+            Statement::CreateTable { .. }
+            | Statement::CreateIndex { .. }
+            | Statement::DropTable { .. } => {
+                apply_bootstrap_ddl(node, stmt)?;
+            }
+            Statement::CreateFunction(def) => {
+                bcrdb_engine::procedures::ContractRegistry::validate(def, &rules)?;
+                node.contracts().install(def.clone())?;
+            }
+            Statement::DropFunction { name } => {
+                node.contracts().remove(name)?;
+            }
+            other => {
+                return Err(Error::Config(format!(
+                    "bootstrap SQL must be DDL only, found {other:?}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn apply_bootstrap_ddl(node: &Arc<Node>, stmt: &Statement) -> Result<()> {
+    match stmt {
+        Statement::CreateTable { name, columns, primary_key } => {
+            let cols: Vec<bcrdb_common::schema::Column> = columns
+                .iter()
+                .map(|c| bcrdb_common::schema::Column {
+                    name: c.name.clone(),
+                    dtype: c.dtype,
+                    nullable: c.nullable && !c.inline_pk,
+                })
+                .collect();
+            let mut pk: Vec<usize> = columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.inline_pk)
+                .map(|(i, _)| i)
+                .collect();
+            if !primary_key.is_empty() {
+                pk = primary_key
+                    .iter()
+                    .map(|n| {
+                        columns
+                            .iter()
+                            .position(|c| &c.name == n)
+                            .ok_or_else(|| Error::Analysis(format!("unknown pk column {n}")))
+                    })
+                    .collect::<Result<_>>()?;
+            }
+            let schema = bcrdb_common::schema::TableSchema::new(name.clone(), cols, pk)?;
+            node.catalog().create_table(schema)?;
+            Ok(())
+        }
+        Statement::CreateIndex { name, table, column } => {
+            node.catalog().get(table)?.add_index(name, column)
+        }
+        Statement::DropTable { name, if_exists } => node.catalog().drop_table(name, *if_exists),
+        _ => Err(Error::internal("apply_bootstrap_ddl on non-DDL")),
+    }
+}

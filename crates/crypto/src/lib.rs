@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # bcrdb-crypto
+//!
+//! Self-contained cryptographic substrate for the blockchain relational
+//! database. Everything is implemented from scratch on top of SHA-256:
+//!
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256 (tested against NIST vectors).
+//! * [`hmac`] — HMAC-SHA256 (RFC 2104 / RFC 4231 vectors).
+//! * [`merkle`] — binary Merkle trees with membership proofs, used for
+//!   block transaction roots and checkpoint digests.
+//! * [`wots`] — Winternitz one-time signatures (hash-based).
+//! * [`mss`] — a Merkle signature scheme turning WOTS into a many-time
+//!   signature (XMSS-style), used for client/orderer/node identities.
+//! * [`identity`] — key pairs, self-describing certificates and the
+//!   certificate registry every node holds (the paper's `pgCerts`).
+//!
+//! ## Why hash-based signatures?
+//!
+//! The paper uses conventional PKI (X.509 + RSA/ECDSA). The protocol only
+//! needs *some* unforgeable signature scheme with public verification; a
+//! hash-based scheme provides that with no external dependencies and fully
+//! deterministic, auditable code (see DESIGN.md §1 for the substitution
+//! argument).
+
+pub mod hmac;
+pub mod identity;
+pub mod merkle;
+pub mod mss;
+pub mod sha256;
+pub mod wots;
+
+pub use identity::{Certificate, CertificateRegistry, KeyPair, PublicKey, Signature};
+pub use merkle::MerkleTree;
+pub use sha256::{sha256, Digest, Sha256};
+
+/// Hash the concatenation of two digests (interior Merkle node, hash-chain
+/// link).
+pub fn hash_pair(a: &Digest, b: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(a);
+    h.update(b);
+    h.finalize()
+}

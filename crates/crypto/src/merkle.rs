@@ -1,0 +1,221 @@
+//! Binary Merkle trees.
+//!
+//! Used for (a) the per-block transaction root stored in block headers,
+//! (b) the public-key tree of the many-time signature scheme ([`crate::mss`]),
+//! and (c) compact membership proofs so a light client can check that a
+//! transaction is part of a block without downloading the whole block.
+//!
+//! Leaves are domain-separated from interior nodes (prefix byte `0x00` vs
+//! `0x01`) to prevent second-preimage splicing attacks.
+
+use crate::sha256::{Digest, Sha256};
+
+const LEAF_PREFIX: u8 = 0x00;
+const NODE_PREFIX: u8 = 0x01;
+
+/// Hash a leaf payload.
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_PREFIX]);
+    h.update(data);
+    h.finalize()
+}
+
+/// Hash two child digests into a parent.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[NODE_PREFIX]);
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+/// A fully materialized Merkle tree (levels stored bottom-up).
+pub struct MerkleTree {
+    /// `levels[0]` = leaf hashes, last level = single root.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// One step of a membership proof: the sibling digest and whether it sits
+/// on the left of the path node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofStep {
+    /// Sibling hash.
+    pub sibling: Digest,
+    /// True if the sibling is the *left* child.
+    pub sibling_is_left: bool,
+}
+
+/// A Merkle membership proof for one leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// Path from leaf level to just below the root.
+    pub steps: Vec<ProofStep>,
+}
+
+impl MerkleTree {
+    /// Build a tree over the given leaf payloads. An empty input produces
+    /// the well-defined "empty root" (hash of the empty string, leaf-
+    /// prefixed), so empty blocks still chain correctly.
+    pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> MerkleTree {
+        if leaves.is_empty() {
+            return MerkleTree { levels: vec![vec![leaf_hash(b"")]] };
+        }
+        let mut levels = Vec::new();
+        let mut current: Vec<Digest> = leaves.iter().map(|l| leaf_hash(l.as_ref())).collect();
+        levels.push(current.clone());
+        while current.len() > 1 {
+            let mut next = Vec::with_capacity(current.len().div_ceil(2));
+            for pair in current.chunks(2) {
+                let parent = if pair.len() == 2 {
+                    node_hash(&pair[0], &pair[1])
+                } else {
+                    // Odd node is promoted by pairing with itself; this is
+                    // deterministic and keeps proofs simple.
+                    node_hash(&pair[0], &pair[0])
+                };
+                next.push(parent);
+            }
+            levels.push(next.clone());
+            current = next;
+        }
+        MerkleTree { levels }
+    }
+
+    /// Build directly from precomputed leaf digests (no leaf prefixing) —
+    /// used by the MSS where leaves are already hashes of public keys.
+    pub fn from_leaf_digests(digests: Vec<Digest>) -> MerkleTree {
+        if digests.is_empty() {
+            return MerkleTree { levels: vec![vec![leaf_hash(b"")]] };
+        }
+        let mut levels = vec![digests];
+        while levels.last().unwrap().len() > 1 {
+            let current = levels.last().unwrap();
+            let mut next = Vec::with_capacity(current.len().div_ceil(2));
+            for pair in current.chunks(2) {
+                let parent = if pair.len() == 2 {
+                    node_hash(&pair[0], &pair[1])
+                } else {
+                    node_hash(&pair[0], &pair[0])
+                };
+                next.push(parent);
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Membership proof for leaf `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn prove(&self, index: usize) -> MerkleProof {
+        assert!(index < self.leaf_count(), "leaf index out of range");
+        let mut steps = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_index = if i.is_multiple_of(2) { i + 1 } else { i - 1 };
+            let sibling = if sibling_index < level.len() {
+                level[sibling_index]
+            } else {
+                level[i] // odd promotion pairs with itself
+            };
+            steps.push(ProofStep { sibling, sibling_is_left: i % 2 == 1 });
+            i /= 2;
+        }
+        MerkleProof { leaf_index: index, steps }
+    }
+
+    /// Verify a proof that `leaf_payload` is a member of the tree with the
+    /// given `root`.
+    pub fn verify(root: &Digest, leaf_payload: &[u8], proof: &MerkleProof) -> bool {
+        Self::verify_digest(root, leaf_hash(leaf_payload), proof)
+    }
+
+    /// Verify a proof starting from a precomputed leaf digest.
+    pub fn verify_digest(root: &Digest, leaf_digest: Digest, proof: &MerkleProof) -> bool {
+        let mut acc = leaf_digest;
+        for step in &proof.steps {
+            acc = if step.sibling_is_left {
+                node_hash(&step.sibling, &acc)
+            } else {
+                node_hash(&acc, &step.sibling)
+            };
+        }
+        acc == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = MerkleTree::build(&[b"tx0"]);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.root(), leaf_hash(b"tx0"));
+        let p = t.prove(0);
+        assert!(MerkleTree::verify(&t.root(), b"tx0", &p));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_leaves() {
+        for n in 1..=17usize {
+            let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("tx{i}").into_bytes()).collect();
+            let t = MerkleTree::build(&leaves);
+            for (i, leaf) in leaves.iter().enumerate() {
+                let p = t.prove(i);
+                assert!(MerkleTree::verify(&t.root(), leaf, &p), "n={n} i={i}");
+                // Wrong leaf payload must fail.
+                assert!(!MerkleTree::verify(&t.root(), b"bogus", &p));
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_proof_fails() {
+        let leaves: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d"];
+        let t = MerkleTree::build(&leaves);
+        let mut p = t.prove(2);
+        p.steps[0].sibling[0] ^= 0xff;
+        assert!(!MerkleTree::verify(&t.root(), b"c", &p));
+        let mut p2 = t.prove(2);
+        p2.steps[1].sibling_is_left = !p2.steps[1].sibling_is_left;
+        assert!(!MerkleTree::verify(&t.root(), b"c", &p2));
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let t1 = MerkleTree::build(&[b"a", b"b", b"c"]);
+        let t2 = MerkleTree::build(&[b"a", b"x", b"c"]);
+        assert_ne!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn leaf_node_domain_separation() {
+        // A tree over one leaf "ab" must differ from an interior hash of
+        // leaves "a","b" — prefixing makes splicing impossible.
+        let t_leaf = MerkleTree::build(&[b"ab"]);
+        let t_pair = MerkleTree::build(&[b"a", b"b"]);
+        assert_ne!(t_leaf.root(), t_pair.root());
+    }
+
+    #[test]
+    fn empty_tree_root_is_defined() {
+        let t = MerkleTree::build::<&[u8]>(&[]);
+        assert_eq!(t.root(), leaf_hash(b""));
+    }
+}

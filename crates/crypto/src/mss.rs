@@ -1,0 +1,199 @@
+//! Merkle signature scheme (MSS): a many-time signature built from W-OTS
+//! one-time keys under a Merkle tree (the classic XMSS construction,
+//! without the hypertree).
+//!
+//! A key pair of height `h` can sign `2^h` messages. Signing consumes leaf
+//! indexes sequentially; the signature carries the leaf index, the W-OTS
+//! signature, and the Merkle authentication path from that leaf to the
+//! public root. Verifiers only need the 32-byte root.
+
+use parking_lot_stub::AtomicCounter;
+
+use crate::merkle::{MerkleProof, MerkleTree};
+use crate::sha256::{sha256, Digest};
+use crate::wots::{WotsPrivateKey, WotsSignature};
+
+/// Minimal atomic counter so the crate stays dependency-free; `mss` only
+/// needs fetch-add semantics for leaf allocation.
+mod parking_lot_stub {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Monotonic counter used to allocate one-time leaf indexes.
+    #[derive(Default)]
+    pub struct AtomicCounter(AtomicU64);
+
+    impl AtomicCounter {
+        /// Counter starting at `v`.
+        pub fn new(v: u64) -> Self {
+            AtomicCounter(AtomicU64::new(v))
+        }
+
+        /// Atomically take the next value.
+        pub fn fetch_inc(&self) -> u64 {
+            self.0.fetch_add(1, Ordering::Relaxed)
+        }
+
+        /// Current value (next unused index).
+        pub fn load(&self) -> u64 {
+            self.0.load(Ordering::Relaxed)
+        }
+    }
+}
+
+/// Hash of a W-OTS public key — the Merkle leaf digest.
+fn pk_leaf(pk_digest: &Digest) -> Digest {
+    let mut data = Vec::with_capacity(40);
+    data.extend_from_slice(b"mss-leaf");
+    data.extend_from_slice(pk_digest);
+    sha256(&data)
+}
+
+/// An MSS private key. Holds the master seed (from which all one-time keys
+/// are re-derived on demand) and the precomputed Merkle tree over the
+/// one-time public keys.
+pub struct MssPrivateKey {
+    master_seed: Vec<u8>,
+    height: u32,
+    tree: MerkleTree,
+    next_leaf: AtomicCounter,
+}
+
+/// An MSS public key: the Merkle root plus the tree height.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub struct MssPublicKey {
+    /// Merkle root over all one-time public keys.
+    pub root: Digest,
+    /// Tree height (`2^height` one-time keys).
+    pub height: u32,
+}
+
+/// An MSS signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MssSignature {
+    /// Which one-time key was used.
+    pub leaf_index: u64,
+    /// The W-OTS signature over the message digest.
+    pub wots: WotsSignature,
+    /// Authentication path from the one-time public key to the root.
+    pub auth_path: MerkleProof,
+}
+
+impl MssPrivateKey {
+    /// Generate a key pair of the given height from a master seed.
+    /// Generation cost is `2^height` W-OTS public-key computations.
+    pub fn generate(master_seed: &[u8], height: u32) -> MssPrivateKey {
+        assert!(height <= 20, "MSS height above 2^20 leaves is impractical");
+        let leaves: Vec<Digest> = (0..(1u64 << height))
+            .map(|i| pk_leaf(&WotsPrivateKey::derive(master_seed, i).public_key().0))
+            .collect();
+        let tree = MerkleTree::from_leaf_digests(leaves);
+        MssPrivateKey {
+            master_seed: master_seed.to_vec(),
+            height,
+            tree,
+            next_leaf: AtomicCounter::new(0),
+        }
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> MssPublicKey {
+        MssPublicKey { root: self.tree.root(), height: self.height }
+    }
+
+    /// Number of signatures still available.
+    pub fn remaining(&self) -> u64 {
+        (1u64 << self.height).saturating_sub(self.next_leaf.load())
+    }
+
+    /// Sign a 32-byte message digest, consuming the next one-time key.
+    /// Returns `None` when the key pair is exhausted.
+    pub fn sign(&self, digest: &Digest) -> Option<MssSignature> {
+        let leaf = self.next_leaf.fetch_inc();
+        if leaf >= (1u64 << self.height) {
+            return None;
+        }
+        let sk = WotsPrivateKey::derive(&self.master_seed, leaf);
+        let wots = sk.sign(digest);
+        let auth_path = self.tree.prove(leaf as usize);
+        Some(MssSignature { leaf_index: leaf, wots, auth_path })
+    }
+}
+
+impl MssSignature {
+    /// Verify against an MSS public key.
+    pub fn verify(&self, digest: &Digest, pk: &MssPublicKey) -> bool {
+        if self.leaf_index >= (1u64 << pk.height) {
+            return false;
+        }
+        if self.auth_path.leaf_index as u64 != self.leaf_index {
+            return false;
+        }
+        // Recover the one-time public key from the signature, then check
+        // its membership in the key tree.
+        let wots_pk = self.wots.recover_public_key(digest);
+        if self.wots.values.len() != crate::wots::CHAINS {
+            return false;
+        }
+        MerkleTree::verify_digest(&pk.root, pk_leaf(&wots_pk.0), &self.auth_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_many_then_exhaust() {
+        let sk = MssPrivateKey::generate(b"org1-admin", 2); // 4 signatures
+        let pk = sk.public_key();
+        assert_eq!(sk.remaining(), 4);
+        for i in 0..4u64 {
+            let digest = sha256(format!("message {i}").as_bytes());
+            let sig = sk.sign(&digest).expect("key not yet exhausted");
+            assert_eq!(sig.leaf_index, i);
+            assert!(sig.verify(&digest, &pk));
+        }
+        assert_eq!(sk.remaining(), 0);
+        assert!(sk.sign(&sha256(b"one more")).is_none());
+    }
+
+    #[test]
+    fn cross_message_verification_fails() {
+        let sk = MssPrivateKey::generate(b"seed", 1);
+        let pk = sk.public_key();
+        let d1 = sha256(b"m1");
+        let sig = sk.sign(&d1).unwrap();
+        assert!(!sig.verify(&sha256(b"m2"), &pk));
+    }
+
+    #[test]
+    fn cross_key_verification_fails() {
+        let sk1 = MssPrivateKey::generate(b"seed-1", 1);
+        let sk2 = MssPrivateKey::generate(b"seed-2", 1);
+        let d = sha256(b"m");
+        let sig = sk1.sign(&d).unwrap();
+        assert!(!sig.verify(&d, &sk2.public_key()));
+    }
+
+    #[test]
+    fn replayed_leaf_with_wrong_path_fails() {
+        let sk = MssPrivateKey::generate(b"seed", 2);
+        let pk = sk.public_key();
+        let d = sha256(b"m");
+        let mut sig = sk.sign(&d).unwrap();
+        // Claim a different leaf index than the auth path proves.
+        sig.leaf_index = 3;
+        assert!(!sig.verify(&d, &pk));
+        // Out-of-range leaf index is rejected outright.
+        let mut sig2 = sk.sign(&d).unwrap();
+        sig2.leaf_index = 1 << 10;
+        assert!(!sig2.verify(&d, &pk));
+    }
+
+    #[test]
+    fn deterministic_public_key() {
+        let a = MssPrivateKey::generate(b"same-seed", 2).public_key();
+        let b = MssPrivateKey::generate(b"same-seed", 2).public_key();
+        assert_eq!(a, b);
+    }
+}

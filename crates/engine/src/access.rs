@@ -1,0 +1,133 @@
+//! Contract-level access control (§3.7).
+//!
+//! The paper keeps the database's native access-control machinery and adds
+//! a network-level layer: system smart contracts are admin-only, and user
+//! contracts carry a policy fixed at deploy time ("access control policies
+//! need to be embedded within a smart contract itself"). The policy is
+//! checked on every node after signature verification, using the verified
+//! certificate's organization and role.
+
+use std::collections::BTreeMap;
+
+use bcrdb_common::error::{AbortReason, Error, Result};
+use bcrdb_crypto::identity::{Certificate, Role};
+use parking_lot::RwLock;
+
+/// Who may invoke a contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AccessPolicy {
+    /// Only organization admins (system contracts).
+    AdminOnly,
+    /// Any registered client or admin.
+    AnyClient,
+    /// Clients/admins of the listed organizations only.
+    Orgs(Vec<String>),
+}
+
+impl AccessPolicy {
+    /// Does `cert` satisfy this policy?
+    pub fn permits(&self, cert: &Certificate) -> bool {
+        let participant = matches!(cert.role, Role::Admin | Role::Client);
+        match self {
+            AccessPolicy::AdminOnly => cert.role == Role::Admin,
+            AccessPolicy::AnyClient => participant,
+            AccessPolicy::Orgs(orgs) => participant && orgs.contains(&cert.org),
+        }
+    }
+}
+
+/// Per-contract access policies on one node.
+#[derive(Default)]
+pub struct AccessController {
+    policies: RwLock<BTreeMap<String, AccessPolicy>>,
+}
+
+impl AccessController {
+    /// Empty controller.
+    pub fn new() -> AccessController {
+        AccessController::default()
+    }
+
+    /// Set the policy for a contract (at deploy time).
+    pub fn set_policy(&self, contract: impl Into<String>, policy: AccessPolicy) {
+        self.policies.write().insert(contract.into(), policy);
+    }
+
+    /// Remove a contract's policy (when the contract is dropped).
+    pub fn remove(&self, contract: &str) {
+        self.policies.write().remove(contract);
+    }
+
+    /// The policy for a contract; contracts without an explicit policy
+    /// default to [`AccessPolicy::AnyClient`].
+    pub fn policy_for(&self, contract: &str) -> AccessPolicy {
+        self.policies
+            .read()
+            .get(contract)
+            .cloned()
+            .unwrap_or(AccessPolicy::AnyClient)
+    }
+
+    /// Check an invocation; returns an access-denied abort on failure.
+    pub fn check(&self, contract: &str, cert: &Certificate) -> Result<()> {
+        if self.policy_for(contract).permits(cert) {
+            Ok(())
+        } else {
+            Err(Error::Abort(AbortReason::AccessDenied(format!(
+                "user {} (org {}, role {}) may not invoke {contract}",
+                cert.name, cert.org, cert.role
+            ))))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcrdb_crypto::identity::{KeyPair, PublicKey, Scheme};
+
+    fn cert(name: &str, org: &str, role: Role) -> Certificate {
+        // A throwaway key: policies never look at the key itself.
+        let _ = KeyPair::generate(name, b"seed", Scheme::Sim);
+        Certificate {
+            name: name.into(),
+            org: org.into(),
+            role,
+            public_key: PublicKey::Sim([0u8; 32]),
+        }
+    }
+
+    #[test]
+    fn admin_only_policy() {
+        let p = AccessPolicy::AdminOnly;
+        assert!(p.permits(&cert("org1/admin", "org1", Role::Admin)));
+        assert!(!p.permits(&cert("org1/alice", "org1", Role::Client)));
+        assert!(!p.permits(&cert("org1/orderer", "org1", Role::Orderer)));
+    }
+
+    #[test]
+    fn org_scoped_policy() {
+        let p = AccessPolicy::Orgs(vec!["org1".into(), "org2".into()]);
+        assert!(p.permits(&cert("org1/alice", "org1", Role::Client)));
+        assert!(p.permits(&cert("org2/admin", "org2", Role::Admin)));
+        assert!(!p.permits(&cert("org3/carol", "org3", Role::Client)));
+    }
+
+    #[test]
+    fn controller_checks_and_defaults() {
+        let ac = AccessController::new();
+        ac.set_policy("deploy", AccessPolicy::AdminOnly);
+        let admin = cert("org1/admin", "org1", Role::Admin);
+        let client = cert("org1/alice", "org1", Role::Client);
+        assert!(ac.check("deploy", &admin).is_ok());
+        let err = ac.check("deploy", &client).unwrap_err();
+        assert!(matches!(err, Error::Abort(AbortReason::AccessDenied(_))));
+        // Unknown contract defaults to AnyClient.
+        assert!(ac.check("user_contract", &client).is_ok());
+        // Peers/orderers are never invokers.
+        let peer = cert("org1/peer", "org1", Role::Peer);
+        assert!(ac.check("user_contract", &peer).is_err());
+        ac.remove("deploy");
+        assert_eq!(ac.policy_for("deploy"), AccessPolicy::AnyClient);
+    }
+}

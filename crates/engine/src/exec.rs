@@ -1,0 +1,911 @@
+//! The statement executor.
+//!
+//! Executes parsed statements against a [`Catalog`] through a transaction
+//! context. SELECT supports index and full scans, index-nested-loop and
+//! hash joins, grouping with aggregates, HAVING, ORDER BY and LIMIT — the
+//! surface the paper's three evaluation contracts need (Appendix A) plus
+//! provenance scans (§4.2).
+//!
+//! DDL statements do **not** mutate the catalog immediately: they are
+//! returned as [`CatalogOp`]s that the block processor applies during the
+//! serial commit phase, so the catalog changes at the same block position
+//! on every replica.
+
+use std::collections::HashMap;
+
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::schema::{Column, TableSchema};
+use bcrdb_crypto::identity::{Certificate, CertificateRegistry};
+use bcrdb_common::value::{Row, Value};
+use bcrdb_sql::ast::{
+    BinaryOp, Expr, FromClause, FunctionDef, InsertSource, Join, OrderItem, SelectItem,
+    SelectStmt, Statement, TableRef,
+};
+use bcrdb_storage::catalog::Catalog;
+use bcrdb_storage::index::KeyRange;
+use bcrdb_txn::context::TxnCtx;
+
+use crate::expr::{eval, Env, RowSchema};
+use crate::plan::{choose_access_path, equi_join_key};
+use crate::procedures::ContractRegistry;
+use crate::provenance;
+use crate::result::QueryResult;
+
+/// A deferred catalog mutation, applied at commit time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CatalogOp {
+    /// CREATE TABLE.
+    CreateTable(TableSchema),
+    /// CREATE INDEX.
+    CreateIndex {
+        /// Target table.
+        table: String,
+        /// Index name.
+        index: String,
+        /// Indexed column name.
+        column: String,
+    },
+    /// DROP TABLE.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// IF EXISTS flag.
+        if_exists: bool,
+    },
+    /// CREATE [OR REPLACE] FUNCTION (deploying a smart contract).
+    CreateFunction(FunctionDef),
+    /// DROP FUNCTION.
+    DropFunction {
+        /// Contract name.
+        name: String,
+    },
+    /// Register a user certificate (user-management system contracts,
+    /// §3.7: "three more system smart contracts to create, delete, and
+    /// update users with cryptographic credentials").
+    RegisterCert(Certificate),
+    /// Revoke a user certificate.
+    RevokeCert {
+        /// Certificate (user) name.
+        name: String,
+    },
+}
+
+/// Apply a catalog op (serial commit phase only).
+pub fn apply_catalog_op(
+    catalog: &Catalog,
+    contracts: &ContractRegistry,
+    certs: &CertificateRegistry,
+    op: &CatalogOp,
+) -> Result<()> {
+    match op {
+        CatalogOp::CreateTable(schema) => {
+            catalog.create_table(schema.clone())?;
+            Ok(())
+        }
+        CatalogOp::CreateIndex { table, index, column } => {
+            catalog.get(table)?.add_index(index, column)
+        }
+        CatalogOp::DropTable { name, if_exists } => catalog.drop_table(name, *if_exists),
+        CatalogOp::CreateFunction(def) => contracts.install(def.clone()),
+        CatalogOp::DropFunction { name } => contracts.remove(name),
+        CatalogOp::RegisterCert(cert) => {
+            certs.register(cert.clone());
+            Ok(())
+        }
+        CatalogOp::RevokeCert { name } => {
+            certs.revoke(name);
+            Ok(())
+        }
+    }
+}
+
+/// What a statement did.
+#[derive(Clone, Debug)]
+pub enum StatementEffect {
+    /// SELECT output.
+    Rows(QueryResult),
+    /// DML affected-row count.
+    Count(usize),
+    /// Deferred DDL.
+    Catalog(CatalogOp),
+}
+
+impl StatementEffect {
+    /// The query result, if this was a SELECT.
+    pub fn rows(&self) -> Option<&QueryResult> {
+        match self {
+            StatementEffect::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Statement executor bound to one transaction.
+pub struct Executor<'a> {
+    /// Table catalog.
+    pub catalog: &'a Catalog,
+    /// Transaction context (data access + conflict tracking).
+    pub ctx: &'a TxnCtx,
+    /// `$n` parameters.
+    pub params: &'a [Value],
+}
+
+type Dataset = (RowSchema, Vec<Row>);
+
+impl<'a> Executor<'a> {
+    /// Create an executor.
+    pub fn new(catalog: &'a Catalog, ctx: &'a TxnCtx, params: &'a [Value]) -> Executor<'a> {
+        Executor { catalog, ctx, params }
+    }
+
+    /// Execute one statement.
+    pub fn execute(&self, stmt: &Statement) -> Result<StatementEffect> {
+        match stmt {
+            Statement::Select(sel) => Ok(StatementEffect::Rows(self.run_select(sel)?)),
+            Statement::Insert { table, columns, source } => {
+                Ok(StatementEffect::Count(self.run_insert(table, columns.as_deref(), source)?))
+            }
+            Statement::Update { table, assignments, predicate } => Ok(StatementEffect::Count(
+                self.run_update(table, assignments, predicate.as_ref())?,
+            )),
+            Statement::Delete { table, predicate } => {
+                Ok(StatementEffect::Count(self.run_delete(table, predicate.as_ref())?))
+            }
+            Statement::CreateTable { name, columns, primary_key } => {
+                Ok(StatementEffect::Catalog(build_create_table(name, columns, primary_key)?))
+            }
+            Statement::CreateIndex { name, table, column } => {
+                Ok(StatementEffect::Catalog(CatalogOp::CreateIndex {
+                    table: table.clone(),
+                    index: name.clone(),
+                    column: column.clone(),
+                }))
+            }
+            Statement::DropTable { name, if_exists } => Ok(StatementEffect::Catalog(
+                CatalogOp::DropTable { name: name.clone(), if_exists: *if_exists },
+            )),
+            Statement::CreateFunction(def) => {
+                Ok(StatementEffect::Catalog(CatalogOp::CreateFunction(def.clone())))
+            }
+            Statement::DropFunction { name } => {
+                Ok(StatementEffect::Catalog(CatalogOp::DropFunction { name: name.clone() }))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ SELECT
+
+    /// Execute a SELECT.
+    pub fn run_select(&self, sel: &SelectStmt) -> Result<QueryResult> {
+        let (schema, mut rows) = match &sel.from {
+            None => (RowSchema::default(), vec![Vec::new()]),
+            Some(fc) => self.run_from(fc, sel.predicate.as_ref())?,
+        };
+
+        // Residual WHERE filter.
+        if let Some(pred) = &sel.predicate {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                let env = Env { schema: &schema, row: &row, params: self.params };
+                if eval(pred, &env)?.is_truthy() {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
+
+        let has_aggregates = !sel.group_by.is_empty()
+            || sel.projections.iter().any(|p| match p {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                _ => false,
+            })
+            || sel.having.as_ref().is_some_and(Expr::contains_aggregate);
+
+        let mut result = if has_aggregates {
+            self.run_aggregate(sel, &schema, rows)?
+        } else {
+            self.run_projection(sel, &schema, rows)?
+        };
+
+        // LIMIT.
+        if let Some(limit_expr) = &sel.limit {
+            let empty = RowSchema::default();
+            let env = Env { schema: &empty, row: &[], params: self.params };
+            let n = eval(limit_expr, &env)?.as_i64()?;
+            let n = usize::try_from(n.max(0)).unwrap_or(usize::MAX);
+            result.rows.truncate(n);
+        }
+        Ok(result)
+    }
+
+    fn run_from(&self, fc: &FromClause, predicate: Option<&Expr>) -> Result<Dataset> {
+        let mut dataset = self.scan_table_ref(&fc.base, predicate)?;
+        for join in &fc.joins {
+            dataset = self.run_join(dataset, join, predicate)?;
+        }
+        Ok(dataset)
+    }
+
+    fn scan_table_ref(&self, tref: &TableRef, predicate: Option<&Expr>) -> Result<Dataset> {
+        if tref.history {
+            return provenance::history_scan(self.catalog, self.ctx, tref);
+        }
+        let table = self.catalog.get(&tref.name)?;
+        let alias = tref.effective_name().to_string();
+        let table_schema = table.schema();
+        let path = choose_access_path(&table_schema, &alias, predicate, self.params)?;
+        let rows = match &path {
+            Some(p) => self.ctx.scan(&table, Some((p.column, &p.range)))?,
+            None => self.ctx.scan(&table, None)?,
+        };
+        let names: Vec<String> = table_schema.columns.iter().map(|c| c.name.clone()).collect();
+        let schema = RowSchema::for_table(&alias, &names);
+        Ok((schema, rows.into_iter().map(|r| r.data).collect()))
+    }
+
+    fn run_join(&self, left: Dataset, join: &Join, where_pred: Option<&Expr>) -> Result<Dataset> {
+        let (left_schema, left_rows) = left;
+        // Comma joins (`FROM a, b WHERE a.x = b.y`) carry their equi
+        // condition in WHERE, not ON: mine both for the join key.
+        let key_source = match where_pred {
+            Some(p) => Expr::binary(BinaryOp::And, join.on.clone(), p.clone()),
+            None => join.on.clone(),
+        };
+        if join.table.history {
+            // Provenance joins materialize the history side and nested-loop.
+            let (right_schema, right_rows) =
+                provenance::history_scan(self.catalog, self.ctx, &join.table)?;
+            let schema = left_schema.join(&right_schema);
+            let rows = nested_loop(
+                &schema,
+                &left_rows,
+                &right_rows,
+                &join.on,
+                self.params,
+            )?;
+            return Ok((schema, rows));
+        }
+
+        let right_table = self.catalog.get(&join.table.name)?;
+        let right_alias = join.table.effective_name().to_string();
+        let right_table_schema = right_table.schema();
+        let names: Vec<String> =
+            right_table_schema.columns.iter().map(|c| c.name.clone()).collect();
+        let right_schema = RowSchema::for_table(&right_alias, &names);
+        let combined = left_schema.join(&right_schema);
+
+        let equi = equi_join_key(&key_source, &left_schema, &right_alias, &right_table_schema);
+        if let Some((key_expr, right_col)) = &equi {
+            if right_table_schema.index_on(*right_col).is_some() {
+                // Index nested-loop join: the per-key point scans register
+                // precise predicate locks (EO-flow friendly).
+                let mut out = Vec::new();
+                for lrow in &left_rows {
+                    let env = Env { schema: &left_schema, row: lrow, params: self.params };
+                    let key = eval(key_expr, &env)?;
+                    if key.is_null() {
+                        continue;
+                    }
+                    let range = KeyRange::eq(key);
+                    let matches = self.ctx.scan(&right_table, Some((*right_col, &range)))?;
+                    for m in matches {
+                        let mut row = lrow.clone();
+                        row.extend(m.data);
+                        let env = Env { schema: &combined, row: &row, params: self.params };
+                        if eval(&join.on, &env)?.is_truthy() {
+                            out.push(row);
+                        }
+                    }
+                }
+                return Ok((combined, out));
+            }
+        }
+
+        // Materialize the right side (full scan: relaxed flows only — the
+        // strict mode of the EO flow rejects it inside TxnCtx::scan).
+        let right_rows: Vec<Row> = self
+            .ctx
+            .scan(&right_table, None)?
+            .into_iter()
+            .map(|r| r.data)
+            .collect();
+
+        if let Some((key_expr, right_col)) = &equi {
+            // Hash join on the equi key.
+            let mut table_map: HashMap<Value, Vec<Row>> = HashMap::new();
+            for rrow in &right_rows {
+                let key = rrow[*right_col].clone();
+                if !key.is_null() {
+                    table_map.entry(key).or_default().push(rrow.clone());
+                }
+            }
+            let mut out = Vec::new();
+            for lrow in &left_rows {
+                let env = Env { schema: &left_schema, row: lrow, params: self.params };
+                let key = eval(key_expr, &env)?;
+                if key.is_null() {
+                    continue;
+                }
+                if let Some(matches) = table_map.get(&key) {
+                    for m in matches {
+                        let mut row = lrow.clone();
+                        row.extend(m.iter().cloned());
+                        let env = Env { schema: &combined, row: &row, params: self.params };
+                        if eval(&join.on, &env)?.is_truthy() {
+                            out.push(row);
+                        }
+                    }
+                }
+            }
+            return Ok((combined, out));
+        }
+
+        let rows = nested_loop(&combined, &left_rows, &right_rows, &join.on, self.params)?;
+        Ok((combined, rows))
+    }
+
+    // -------------------------------------------------------- projection
+
+    fn run_projection(
+        &self,
+        sel: &SelectStmt,
+        schema: &RowSchema,
+        rows: Vec<Row>,
+    ) -> Result<QueryResult> {
+        let columns = output_columns(&sel.projections, schema)?;
+        let mut outputs: Vec<(Row, Row)> = Vec::with_capacity(rows.len()); // (input, output)
+        for row in rows {
+            let env = Env { schema, row: &row, params: self.params };
+            let mut out = Vec::with_capacity(columns.len());
+            for item in &sel.projections {
+                match item {
+                    SelectItem::Wildcard => out.extend(row.iter().cloned()),
+                    SelectItem::QualifiedWildcard(q) => {
+                        let ords = schema.ordinals_for_qualifier(q);
+                        if ords.is_empty() {
+                            return Err(Error::Analysis(format!("unknown table alias {q}")));
+                        }
+                        out.extend(ords.into_iter().map(|i| row[i].clone()));
+                    }
+                    SelectItem::Expr { expr, .. } => out.push(eval(expr, &env)?),
+                }
+            }
+            outputs.push((row, out));
+        }
+
+        if !sel.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(outputs.len());
+            for (input, output) in outputs {
+                let keys =
+                    self.order_keys(&sel.order_by, schema, &input, Some((&columns, &output)))?;
+                keyed.push((keys, output));
+            }
+            sort_by_keys(&mut keyed, &sel.order_by);
+            return Ok(QueryResult { columns, rows: keyed.into_iter().map(|(_, r)| r).collect() });
+        }
+        Ok(QueryResult { columns, rows: outputs.into_iter().map(|(_, o)| o).collect() })
+    }
+
+    fn order_keys(
+        &self,
+        order_by: &[OrderItem],
+        schema: &RowSchema,
+        input: &[Value],
+        output: Option<(&[String], &[Value])>,
+    ) -> Result<Vec<Value>> {
+        let mut keys = Vec::with_capacity(order_by.len());
+        for item in order_by {
+            // A bare name may refer to an output alias.
+            if let (Expr::Column { table: None, name }, Some((cols, out))) = (&item.expr, output) {
+                if let Some(i) = cols.iter().position(|c| c == name) {
+                    keys.push(out[i].clone());
+                    continue;
+                }
+            }
+            let env = Env { schema, row: input, params: self.params };
+            keys.push(eval(&item.expr, &env)?);
+        }
+        Ok(keys)
+    }
+
+    // ------------------------------------------------------- aggregation
+
+    fn run_aggregate(
+        &self,
+        sel: &SelectStmt,
+        schema: &RowSchema,
+        rows: Vec<Row>,
+    ) -> Result<QueryResult> {
+        for item in &sel.projections {
+            if matches!(item, SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)) {
+                return Err(Error::Analysis(
+                    "wildcard projections are not valid in aggregate queries".into(),
+                ));
+            }
+        }
+        // Collect unique aggregate call expressions from every clause.
+        let mut agg_exprs: Vec<Expr> = Vec::new();
+        let mut collect = |e: &Expr| {
+            e.walk(&mut |sub| {
+                if let Expr::Function { name, .. } = sub {
+                    if bcrdb_sql::ast::is_aggregate_name(name)
+                        && !agg_exprs.iter().any(|a| a == sub)
+                    {
+                        agg_exprs.push(sub.clone());
+                    }
+                }
+            });
+        };
+        for item in &sel.projections {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect(expr);
+            }
+        }
+        if let Some(h) = &sel.having {
+            collect(h);
+        }
+        for o in &sel.order_by {
+            collect(&o.expr);
+        }
+
+        // Group rows. BTreeMap gives deterministic group order.
+        use std::collections::BTreeMap;
+        struct Group {
+            rep: Row,
+            accs: Vec<AggAcc>,
+        }
+        let mut groups: BTreeMap<Vec<Value>, Group> = BTreeMap::new();
+        for row in rows {
+            let env = Env { schema, row: &row, params: self.params };
+            let mut key = Vec::with_capacity(sel.group_by.len());
+            for g in &sel.group_by {
+                key.push(eval(g, &env)?);
+            }
+            let group = match groups.get_mut(&key) {
+                Some(g) => g,
+                None => {
+                    let accs = agg_exprs.iter().map(AggAcc::new).collect::<Result<_>>()?;
+                    groups.entry(key.clone()).or_insert(Group { rep: row.clone(), accs });
+                    groups.get_mut(&key).expect("just inserted")
+                }
+            };
+            let env = Env { schema, row: &row, params: self.params };
+            for (acc, aexpr) in group.accs.iter_mut().zip(&agg_exprs) {
+                acc.fold(aexpr, &env)?;
+            }
+        }
+        // Aggregates without GROUP BY over zero rows: one empty group.
+        if groups.is_empty() && sel.group_by.is_empty() {
+            let accs = agg_exprs.iter().map(AggAcc::new).collect::<Result<_>>()?;
+            groups.insert(Vec::new(), Group { rep: Vec::new(), accs });
+        }
+
+        let columns = output_columns(&sel.projections, schema)?;
+        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
+        for group in groups.values() {
+            // For the representative row of an empty table, pad with NULLs
+            // so column references don't panic (they're meaningless there).
+            let rep = if group.rep.is_empty() && schema.arity() > 0 {
+                vec![Value::Null; schema.arity()]
+            } else {
+                group.rep.clone()
+            };
+            let agg_values: Vec<Value> =
+                group.accs.iter().map(AggAcc::finish).collect::<Result<_>>()?;
+            let env = Env { schema, row: &rep, params: self.params };
+            // HAVING.
+            if let Some(h) = &sel.having {
+                if !eval_with_aggs(h, &env, &agg_exprs, &agg_values)?.is_truthy() {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(columns.len());
+            for item in &sel.projections {
+                if let SelectItem::Expr { expr, .. } = item {
+                    out.push(eval_with_aggs(expr, &env, &agg_exprs, &agg_values)?);
+                }
+            }
+            let mut order_keys = Vec::with_capacity(sel.order_by.len());
+            for o in &sel.order_by {
+                // Output aliases first, then group-context evaluation.
+                if let Expr::Column { table: None, name } = &o.expr {
+                    if let Some(i) = columns.iter().position(|c| c == name) {
+                        order_keys.push(out[i].clone());
+                        continue;
+                    }
+                }
+                order_keys.push(eval_with_aggs(&o.expr, &env, &agg_exprs, &agg_values)?);
+            }
+            keyed.push((order_keys, out));
+        }
+        if !sel.order_by.is_empty() {
+            sort_by_keys(&mut keyed, &sel.order_by);
+        }
+        Ok(QueryResult { columns, rows: keyed.into_iter().map(|(_, r)| r).collect() })
+    }
+
+    // --------------------------------------------------------------- DML
+
+    fn run_insert(
+        &self,
+        table_name: &str,
+        columns: Option<&[String]>,
+        source: &InsertSource,
+    ) -> Result<usize> {
+        let table = self.catalog.get(table_name)?;
+        let schema = table.schema();
+        let target_ordinals: Vec<usize> = match columns {
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    schema.column_index(c).ok_or_else(|| {
+                        Error::Analysis(format!("unknown column {c} in table {table_name}"))
+                    })
+                })
+                .collect::<Result<_>>()?,
+            None => (0..schema.arity()).collect(),
+        };
+
+        let value_rows: Vec<Row> = match source {
+            InsertSource::Values(expr_rows) => {
+                let empty = RowSchema::default();
+                let mut out = Vec::with_capacity(expr_rows.len());
+                for exprs in expr_rows {
+                    let env = Env { schema: &empty, row: &[], params: self.params };
+                    let mut row = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        row.push(eval(e, &env)?);
+                    }
+                    out.push(row);
+                }
+                out
+            }
+            InsertSource::Select(sel) => self.run_select(sel)?.rows,
+        };
+
+        let mut count = 0;
+        for values in value_rows {
+            if values.len() != target_ordinals.len() {
+                return Err(Error::Analysis(format!(
+                    "INSERT into {table_name} expects {} values, got {}",
+                    target_ordinals.len(),
+                    values.len()
+                )));
+            }
+            let mut row = vec![Value::Null; schema.arity()];
+            for (ordinal, v) in target_ordinals.iter().zip(values) {
+                row[*ordinal] = v;
+            }
+            let row = schema.check_row(row)?;
+            self.ctx.insert(&table, row)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    fn run_update(
+        &self,
+        table_name: &str,
+        assignments: &[(String, Expr)],
+        predicate: Option<&Expr>,
+    ) -> Result<usize> {
+        let table = self.catalog.get(table_name)?;
+        let schema = table.schema();
+        let names: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
+        let row_schema = RowSchema::for_table(table_name, &names);
+        let assigned: Vec<(usize, &Expr)> = assignments
+            .iter()
+            .map(|(name, e)| {
+                schema
+                    .column_index(name)
+                    .map(|i| (i, e))
+                    .ok_or_else(|| {
+                        Error::Analysis(format!("unknown column {name} in table {table_name}"))
+                    })
+            })
+            .collect::<Result<_>>()?;
+
+        let path = choose_access_path(&schema, table_name, predicate, self.params)?;
+        let targets = match &path {
+            Some(p) => self.ctx.scan(&table, Some((p.column, &p.range)))?,
+            None => self.ctx.scan(&table, None)?,
+        };
+
+        let mut count = 0;
+        for target in targets {
+            if let Some(pred) = predicate {
+                let env = Env { schema: &row_schema, row: &target.data, params: self.params };
+                if !eval(pred, &env)?.is_truthy() {
+                    continue;
+                }
+            }
+            let env = Env { schema: &row_schema, row: &target.data, params: self.params };
+            let mut new_row = target.data.clone();
+            for (ordinal, e) in &assigned {
+                new_row[*ordinal] = eval(e, &env)?;
+            }
+            let new_row = schema.check_row(new_row)?;
+            self.ctx.update(&table, &target, new_row)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    fn run_delete(&self, table_name: &str, predicate: Option<&Expr>) -> Result<usize> {
+        let table = self.catalog.get(table_name)?;
+        let schema = table.schema();
+        let names: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
+        let row_schema = RowSchema::for_table(table_name, &names);
+        let path = choose_access_path(&schema, table_name, predicate, self.params)?;
+        let targets = match &path {
+            Some(p) => self.ctx.scan(&table, Some((p.column, &p.range)))?,
+            None => self.ctx.scan(&table, None)?,
+        };
+        let mut count = 0;
+        for target in targets {
+            if let Some(pred) = predicate {
+                let env = Env { schema: &row_schema, row: &target.data, params: self.params };
+                if !eval(pred, &env)?.is_truthy() {
+                    continue;
+                }
+            }
+            self.ctx.delete(&table, &target)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+}
+
+fn nested_loop(
+    combined: &RowSchema,
+    left_rows: &[Row],
+    right_rows: &[Row],
+    on: &Expr,
+    params: &[Value],
+) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    for lrow in left_rows {
+        for rrow in right_rows {
+            let mut row = lrow.clone();
+            row.extend(rrow.iter().cloned());
+            let env = Env { schema: combined, row: &row, params };
+            if eval(on, &env)?.is_truthy() {
+                out.push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn sort_by_keys(keyed: &mut [(Vec<Value>, Row)], order_by: &[OrderItem]) {
+    keyed.sort_by(|(a, _), (b, _)| {
+        for (i, item) in order_by.iter().enumerate() {
+            let ord = a[i].cmp_total(&b[i]);
+            let ord = if item.desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+fn output_columns(projections: &[SelectItem], schema: &RowSchema) -> Result<Vec<String>> {
+    let mut out = Vec::new();
+    for item in projections {
+        match item {
+            SelectItem::Wildcard => {
+                out.extend(schema.columns().iter().map(|(_, n)| n.clone()));
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let ords = schema.ordinals_for_qualifier(q);
+                if ords.is_empty() {
+                    return Err(Error::Analysis(format!("unknown table alias {q}")));
+                }
+                out.extend(ords.into_iter().map(|i| schema.columns()[i].1.clone()));
+            }
+            SelectItem::Expr { expr, alias } => out.push(match alias {
+                Some(a) => a.clone(),
+                None => default_column_name(expr),
+            }),
+        }
+    }
+    Ok(out)
+}
+
+fn default_column_name(e: &Expr) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => name.clone(),
+        _ => "?column?".to_string(),
+    }
+}
+
+/// Evaluate an expression in a group context: aggregate sub-expressions are
+/// replaced by their precomputed values.
+fn eval_with_aggs(
+    expr: &Expr,
+    env: &Env<'_>,
+    agg_exprs: &[Expr],
+    agg_values: &[Value],
+) -> Result<Value> {
+    if let Some(i) = agg_exprs.iter().position(|a| a == expr) {
+        return Ok(agg_values[i].clone());
+    }
+    match expr {
+        Expr::Binary { op, left, right } => {
+            // Rebuild with substituted children via recursive evaluation.
+            let l = eval_with_aggs(left, env, agg_exprs, agg_values)?;
+            let r = eval_with_aggs(right, env, agg_exprs, agg_values)?;
+            let le = Expr::Literal(l);
+            let re = Expr::Literal(r);
+            eval(&Expr::binary(*op, le, re), env)
+        }
+        Expr::Unary { op, operand } => {
+            let v = eval_with_aggs(operand, env, agg_exprs, agg_values)?;
+            eval(
+                &Expr::Unary { op: *op, operand: Box::new(Expr::Literal(v)) },
+                env,
+            )
+        }
+        Expr::IsNull { expr: inner, negated } => {
+            let v = eval_with_aggs(inner, env, agg_exprs, agg_values)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        _ => eval(expr, env),
+    }
+}
+
+/// Streaming aggregate accumulator.
+enum AggAcc {
+    Count(i64),
+    CountExpr(i64),
+    Sum(Option<Value>),
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggAcc {
+    fn new(expr: &Expr) -> Result<AggAcc> {
+        let Expr::Function { name, args, star } = expr else {
+            return Err(Error::internal("aggregate accumulator over non-function"));
+        };
+        let check_one_arg = || -> Result<()> {
+            if *star || args.len() != 1 {
+                return Err(Error::Analysis(format!("{name}() expects one argument")));
+            }
+            Ok(())
+        };
+        Ok(match name.as_str() {
+            "count" if *star => AggAcc::Count(0),
+            "count" => {
+                check_one_arg()?;
+                AggAcc::CountExpr(0)
+            }
+            "sum" => {
+                check_one_arg()?;
+                AggAcc::Sum(None)
+            }
+            "avg" => {
+                check_one_arg()?;
+                AggAcc::Avg { sum: 0.0, n: 0 }
+            }
+            "min" => {
+                check_one_arg()?;
+                AggAcc::Min(None)
+            }
+            "max" => {
+                check_one_arg()?;
+                AggAcc::Max(None)
+            }
+            other => return Err(Error::Analysis(format!("unknown aggregate {other}()"))),
+        })
+    }
+
+    fn arg(expr: &Expr) -> &Expr {
+        match expr {
+            Expr::Function { args, .. } => &args[0],
+            _ => unreachable!("checked in new()"),
+        }
+    }
+
+    fn fold(&mut self, expr: &Expr, env: &Env<'_>) -> Result<()> {
+        match self {
+            AggAcc::Count(n) => *n += 1,
+            AggAcc::CountExpr(n) => {
+                if !eval(Self::arg(expr), env)?.is_null() {
+                    *n += 1;
+                }
+            }
+            AggAcc::Sum(acc) => {
+                let v = eval(Self::arg(expr), env)?;
+                if !v.is_null() {
+                    *acc = Some(match acc.take() {
+                        Some(cur) => cur.add(&v)?,
+                        None => v,
+                    });
+                }
+            }
+            AggAcc::Avg { sum, n } => {
+                let v = eval(Self::arg(expr), env)?;
+                if !v.is_null() {
+                    *sum += v.as_f64()?;
+                    *n += 1;
+                }
+            }
+            AggAcc::Min(acc) => {
+                let v = eval(Self::arg(expr), env)?;
+                if !v.is_null() {
+                    let replace = acc.as_ref().is_none_or(|cur| v.cmp_total(cur).is_lt());
+                    if replace {
+                        *acc = Some(v);
+                    }
+                }
+            }
+            AggAcc::Max(acc) => {
+                let v = eval(Self::arg(expr), env)?;
+                if !v.is_null() {
+                    let replace = acc.as_ref().is_none_or(|cur| v.cmp_total(cur).is_gt());
+                    if replace {
+                        *acc = Some(v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Result<Value> {
+        Ok(match self {
+            AggAcc::Count(n) | AggAcc::CountExpr(n) => Value::Int(*n),
+            AggAcc::Sum(v) => v.clone().unwrap_or(Value::Null),
+            AggAcc::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / *n as f64)
+                }
+            }
+            AggAcc::Min(v) | AggAcc::Max(v) => v.clone().unwrap_or(Value::Null),
+        })
+    }
+}
+
+fn build_create_table(
+    name: &str,
+    columns: &[bcrdb_sql::ast::ColumnDef],
+    primary_key: &[String],
+) -> Result<CatalogOp> {
+    let cols: Vec<Column> = columns
+        .iter()
+        .map(|c| Column { name: c.name.clone(), dtype: c.dtype, nullable: c.nullable })
+        .collect();
+    let mut pk: Vec<usize> = columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.inline_pk)
+        .map(|(i, _)| i)
+        .collect();
+    if !primary_key.is_empty() {
+        if !pk.is_empty() {
+            return Err(Error::Analysis(format!(
+                "table {name}: both inline and table-level PRIMARY KEY given"
+            )));
+        }
+        pk = primary_key
+            .iter()
+            .map(|n| {
+                columns.iter().position(|c| &c.name == n).ok_or_else(|| {
+                    Error::Analysis(format!("unknown PRIMARY KEY column {n} in table {name}"))
+                })
+            })
+            .collect::<Result<_>>()?;
+    }
+    let mut schema = TableSchema::new(name, cols, pk)?;
+    // PK columns are implicitly NOT NULL.
+    for &i in &schema.primary_key.clone() {
+        schema.columns[i].nullable = false;
+    }
+    Ok(CatalogOp::CreateTable(schema))
+}

@@ -1,0 +1,409 @@
+//! Expression evaluation.
+//!
+//! Expressions are evaluated against a [`RowSchema`] (the names visible at
+//! that point of the query — a table scan, a join product, or a group) and
+//! a current row. The set of scalar builtins is intentionally the
+//! deterministic whitelist implied by §4.3 of the paper; non-deterministic
+//! functions were already rejected statically by `bcrdb-sql`'s validator,
+//! but evaluation re-checks so the engine is safe even for statements that
+//! bypass validation (local ad-hoc reads).
+
+use std::cmp::Ordering;
+
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::value::Value;
+use bcrdb_sql::ast::{BinaryOp, Expr, UnaryOp};
+
+/// Column name binding for one relational context.
+#[derive(Clone, Debug, Default)]
+pub struct RowSchema {
+    /// (qualifier, column name) per output position.
+    cols: Vec<(Option<String>, String)>,
+}
+
+impl RowSchema {
+    /// Build from a list of (qualifier, name) pairs.
+    pub fn new(cols: Vec<(Option<String>, String)>) -> RowSchema {
+        RowSchema { cols }
+    }
+
+    /// Schema of a single table scan: all columns qualified by `alias`.
+    pub fn for_table(alias: &str, column_names: &[String]) -> RowSchema {
+        RowSchema {
+            cols: column_names
+                .iter()
+                .map(|c| (Some(alias.to_string()), c.clone()))
+                .collect(),
+        }
+    }
+
+    /// Concatenate two schemas (join product).
+    pub fn join(&self, other: &RowSchema) -> RowSchema {
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        RowSchema { cols }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// All (qualifier, name) pairs.
+    pub fn columns(&self) -> &[(Option<String>, String)] {
+        &self.cols
+    }
+
+    /// Resolve a column reference to an ordinal. Unqualified names must be
+    /// unambiguous across the whole context.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, (qual, col)) in self.cols.iter().enumerate() {
+            let qual_matches = match (table, qual) {
+                (Some(t), Some(q)) => t == q,
+                (Some(_), None) => false,
+                (None, _) => true,
+            };
+            if qual_matches && col == name {
+                if found.is_some() {
+                    return Err(Error::Analysis(format!("ambiguous column reference {name}")));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            let full = match table {
+                Some(t) => format!("{t}.{name}"),
+                None => name.to_string(),
+            };
+            Error::Analysis(format!("unknown column {full}"))
+        })
+    }
+
+    /// Ordinals of the columns belonging to qualifier `q` (for `q.*`).
+    pub fn ordinals_for_qualifier(&self, q: &str) -> Vec<usize> {
+        self.cols
+            .iter()
+            .enumerate()
+            .filter(|(_, (qual, _))| qual.as_deref() == Some(q))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Evaluation environment: binding + current row + statement parameters.
+pub struct Env<'a> {
+    /// Column binding.
+    pub schema: &'a RowSchema,
+    /// Current row values.
+    pub row: &'a [Value],
+    /// `$n` parameter values.
+    pub params: &'a [Value],
+}
+
+/// Evaluate `expr` in `env`. Aggregate calls are an error here — the
+/// executor replaces them before scalar evaluation.
+pub fn eval(expr: &Expr, env: &Env<'_>) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { table, name } => {
+            let i = env.schema.resolve(table.as_deref(), name)?;
+            Ok(env.row[i].clone())
+        }
+        Expr::Param(i) => env
+            .params
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| Error::Analysis(format!("parameter ${} not supplied", i + 1))),
+        Expr::Unary { op, operand } => {
+            let v = eval(operand, env)?;
+            match op {
+                UnaryOp::Neg => v.neg(),
+                UnaryOp::Not => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Bool(b) => Ok(Value::Bool(!b)),
+                    other => Err(Error::Type(format!("NOT requires boolean, got {other:?}"))),
+                },
+            }
+        }
+        Expr::Binary { op, left, right } => eval_binary(*op, left, right, env),
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, env)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval(expr, env)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval(item, env)?;
+                match v.sql_eq(&iv) {
+                    Some(true) => return Ok(Value::Bool(!*negated)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval(expr, env)?;
+            let lo = eval(low, env)?;
+            let hi = eval(high, env)?;
+            match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                (Some(a), Some(b)) => {
+                    let inside = a != Ordering::Less && b != Ordering::Greater;
+                    Ok(Value::Bool(inside != *negated))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        Expr::Function { name, args, star } => {
+            if *star || bcrdb_sql::ast::is_aggregate_name(name) {
+                return Err(Error::internal(format!(
+                    "aggregate {name} reached scalar evaluation"
+                )));
+            }
+            eval_scalar_function(name, args, env)
+        }
+    }
+}
+
+fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, env: &Env<'_>) -> Result<Value> {
+    // AND/OR use three-valued logic with short-circuiting.
+    match op {
+        BinaryOp::And => {
+            let l = eval(left, env)?;
+            if matches!(l, Value::Bool(false)) {
+                return Ok(Value::Bool(false));
+            }
+            let r = eval(right, env)?;
+            return Ok(match (l, r) {
+                (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
+                (_, Value::Bool(false)) => Value::Bool(false),
+                _ => Value::Null,
+            });
+        }
+        BinaryOp::Or => {
+            let l = eval(left, env)?;
+            if matches!(l, Value::Bool(true)) {
+                return Ok(Value::Bool(true));
+            }
+            let r = eval(right, env)?;
+            return Ok(match (l, r) {
+                (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
+                (_, Value::Bool(true)) => Value::Bool(true),
+                _ => Value::Null,
+            });
+        }
+        _ => {}
+    }
+    let l = eval(left, env)?;
+    let r = eval(right, env)?;
+    match op {
+        BinaryOp::Add => l.add(&r),
+        BinaryOp::Sub => l.sub(&r),
+        BinaryOp::Mul => l.mul(&r),
+        BinaryOp::Div => l.div(&r),
+        BinaryOp::Mod => l.rem(&r),
+        BinaryOp::Concat => l.concat(&r),
+        BinaryOp::Eq => Ok(tri(l.sql_eq(&r))),
+        BinaryOp::NotEq => Ok(tri(l.sql_eq(&r).map(|b| !b))),
+        BinaryOp::Lt => Ok(tri(l.sql_cmp(&r).map(|o| o == Ordering::Less))),
+        BinaryOp::LtEq => Ok(tri(l.sql_cmp(&r).map(|o| o != Ordering::Greater))),
+        BinaryOp::Gt => Ok(tri(l.sql_cmp(&r).map(|o| o == Ordering::Greater))),
+        BinaryOp::GtEq => Ok(tri(l.sql_cmp(&r).map(|o| o != Ordering::Less))),
+        BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn tri(v: Option<bool>) -> Value {
+    match v {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    }
+}
+
+fn eval_scalar_function(name: &str, args: &[Expr], env: &Env<'_>) -> Result<Value> {
+    let need = |n: usize| -> Result<()> {
+        if args.len() != n {
+            return Err(Error::Analysis(format!("{name}() expects {n} argument(s)")));
+        }
+        Ok(())
+    };
+    match name {
+        "abs" => {
+            need(1)?;
+            match eval(&args[0], env)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                other => Err(Error::Type(format!("abs() requires a number, got {other:?}"))),
+            }
+        }
+        "length" => {
+            need(1)?;
+            match eval(&args[0], env)? {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Int(s.chars().count() as i64)),
+                Value::Bytes(b) => Ok(Value::Int(b.len() as i64)),
+                other => Err(Error::Type(format!("length() requires text, got {other:?}"))),
+            }
+        }
+        "lower" => {
+            need(1)?;
+            match eval(&args[0], env)? {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Text(s.to_lowercase())),
+                other => Err(Error::Type(format!("lower() requires text, got {other:?}"))),
+            }
+        }
+        "upper" => {
+            need(1)?;
+            match eval(&args[0], env)? {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Text(s.to_uppercase())),
+                other => Err(Error::Type(format!("upper() requires text, got {other:?}"))),
+            }
+        }
+        "coalesce" => {
+            if args.is_empty() {
+                return Err(Error::Analysis("coalesce() needs at least one argument".into()));
+            }
+            for a in args {
+                let v = eval(a, env)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        "round" => {
+            need(1)?;
+            match eval(&args[0], env)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i)),
+                Value::Float(f) => Ok(Value::Float(f.round())),
+                other => Err(Error::Type(format!("round() requires a number, got {other:?}"))),
+            }
+        }
+        other => Err(Error::Analysis(format!("unknown function {other}()"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcrdb_sql::parse_expression;
+
+    fn schema() -> RowSchema {
+        RowSchema::new(vec![
+            (Some("t".into()), "a".into()),
+            (Some("t".into()), "b".into()),
+            (Some("u".into()), "a".into()),
+        ])
+    }
+
+    fn eval_str(s: &str, row: &[Value], params: &[Value]) -> Result<Value> {
+        let e = parse_expression(s).unwrap();
+        let schema = schema();
+        let env = Env { schema: &schema, row, params };
+        eval(&e, &env)
+    }
+
+    #[test]
+    fn column_resolution() {
+        let row = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert_eq!(eval_str("t.a", &row, &[]).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("b", &row, &[]).unwrap(), Value::Int(2));
+        assert_eq!(eval_str("u.a", &row, &[]).unwrap(), Value::Int(3));
+        // "a" is ambiguous between t.a and u.a.
+        assert!(eval_str("a", &row, &[]).is_err());
+        assert!(eval_str("t.zzz", &row, &[]).is_err());
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let row = vec![Value::Int(10), Value::Int(3), Value::Int(0)];
+        assert_eq!(eval_str("t.a + t.b * 2", &row, &[]).unwrap(), Value::Int(16));
+        assert_eq!(eval_str("t.a > t.b", &row, &[]).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("t.a % t.b", &row, &[]).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("-t.b", &row, &[]).unwrap(), Value::Int(-3));
+    }
+
+    #[test]
+    fn params() {
+        let row = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert_eq!(eval_str("$1 + $2", &row, &[Value::Int(5), Value::Int(6)]).unwrap(), Value::Int(11));
+        assert!(eval_str("$3", &row, &[Value::Int(5)]).is_err());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let row = vec![Value::Null, Value::Bool(true), Value::Bool(false)];
+        // NULL = NULL is unknown.
+        assert_eq!(eval_str("t.a = t.a", &row, &[]).unwrap(), Value::Null);
+        // FALSE AND NULL = FALSE; TRUE OR NULL = TRUE.
+        assert_eq!(eval_str("u.a AND t.a", &row, &[]).unwrap(), Value::Bool(false));
+        assert_eq!(eval_str("t.b OR t.a", &row, &[]).unwrap(), Value::Bool(true));
+        // TRUE AND NULL = NULL.
+        assert_eq!(eval_str("t.b AND t.a", &row, &[]).unwrap(), Value::Null);
+        assert_eq!(eval_str("NOT t.a", &row, &[]).unwrap(), Value::Null);
+        assert_eq!(eval_str("t.a IS NULL", &row, &[]).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("t.b IS NOT NULL", &row, &[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn in_list_and_between() {
+        let row = vec![Value::Int(5), Value::Null, Value::Int(0)];
+        assert_eq!(eval_str("t.a IN (1, 5, 9)", &row, &[]).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("t.a NOT IN (1, 9)", &row, &[]).unwrap(), Value::Bool(true));
+        // x IN (..., NULL) without a match is unknown.
+        assert_eq!(eval_str("t.a IN (1, t.b)", &row, &[]).unwrap(), Value::Null);
+        assert_eq!(eval_str("t.a BETWEEN 1 AND 9", &row, &[]).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("t.a NOT BETWEEN 6 AND 9", &row, &[]).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("t.a BETWEEN t.b AND 9", &row, &[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let row = vec![Value::Text("Héllo".into()), Value::Int(-4), Value::Null];
+        assert_eq!(eval_str("length(t.a)", &row, &[]).unwrap(), Value::Int(5));
+        assert_eq!(eval_str("upper(t.a)", &row, &[]).unwrap(), Value::Text("HÉLLO".into()));
+        assert_eq!(eval_str("abs(t.b)", &row, &[]).unwrap(), Value::Int(4));
+        assert_eq!(eval_str("coalesce(u.a, t.b, 7)", &row, &[]).unwrap(), Value::Int(-4));
+        assert_eq!(eval_str("round(2.7)", &row, &[]).unwrap(), Value::Float(3.0));
+        assert!(eval_str("frobnicate(1)", &row, &[]).is_err());
+        assert!(eval_str("abs(1, 2)", &row, &[]).is_err());
+    }
+
+    #[test]
+    fn concat_operator() {
+        let row = vec![Value::Text("a".into()), Value::Int(1), Value::Null];
+        assert_eq!(
+            eval_str("t.a || '-' || t.b", &row, &[]).unwrap(),
+            Value::Text("a-1".into())
+        );
+        assert_eq!(eval_str("t.a || u.a", &row, &[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn aggregates_rejected_in_scalar_context() {
+        let row = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert!(eval_str("sum(t.a)", &row, &[]).is_err());
+        assert!(eval_str("count(*)", &row, &[]).is_err());
+    }
+
+    #[test]
+    fn qualified_wildcard_ordinals() {
+        let s = schema();
+        assert_eq!(s.ordinals_for_qualifier("t"), vec![0, 1]);
+        assert_eq!(s.ordinals_for_qualifier("u"), vec![2]);
+        assert!(s.ordinals_for_qualifier("zz").is_empty());
+    }
+}

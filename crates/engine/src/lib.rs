@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # bcrdb-engine
+//!
+//! The SQL execution engine: expression evaluation, planning (index
+//! selection honoring the paper's "predicate reads must use an index" rule
+//! for the execute-order-in-parallel flow, §4.3), the statement executor
+//! (scans, joins, aggregation, ordering), the deterministic smart-contract
+//! engine (the paper's constrained PL/SQL procedures, §2/§4.3), provenance
+//! queries over full row history (§4.2, Table 3) and contract-level access
+//! control (§3.7).
+//!
+//! The engine is *transactional glue*: it parses/validates nothing about
+//! blocks or consensus — it executes statements against a
+//! [`bcrdb_storage::Catalog`] through a [`bcrdb_txn::TxnCtx`], buffering
+//! DDL as [`CatalogOp`]s that the node applies during the serial commit
+//! phase (so every replica's catalog changes at the same block position).
+
+pub mod access;
+pub mod exec;
+pub mod expr;
+pub mod plan;
+pub mod procedures;
+pub mod provenance;
+pub mod result;
+
+pub use access::{AccessController, AccessPolicy};
+pub use exec::{CatalogOp, Executor, StatementEffect};
+pub use procedures::{ContractRegistry, Invocation};
+pub use result::QueryResult;

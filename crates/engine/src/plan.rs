@@ -1,0 +1,326 @@
+//! Minimal planning: index selection for predicate reads and equi-join
+//! detection.
+//!
+//! The paper's rule (§4.3) — *all predicate reads must go through an index
+//! in the execute-order-in-parallel flow* — makes index selection a
+//! correctness feature, not just a performance one: the chosen index range
+//! doubles as the SSI predicate lock. Selection is deliberately simple and
+//! deterministic: split the WHERE clause into AND-conjuncts, find
+//! `column ⟨op⟩ constant` conjuncts over indexed columns of the scanned
+//! table, and pick the most selective shape (equality > bounded range >
+//! half-open range).
+
+use bcrdb_common::error::Result;
+use bcrdb_common::schema::TableSchema;
+use bcrdb_common::value::Value;
+use bcrdb_sql::ast::{BinaryOp, Expr};
+use bcrdb_storage::index::KeyRange;
+
+use crate::expr::{eval, Env, RowSchema};
+
+/// A chosen access path for one table scan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AccessPath {
+    /// Indexed column ordinal and the scan range.
+    pub column: usize,
+    /// Key range derived from the predicate.
+    pub range: KeyRange,
+}
+
+/// Split an expression into its AND-conjuncts.
+pub fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        if let Expr::Binary { op: BinaryOp::And, left, right } = e {
+            walk(left, out);
+            walk(right, out);
+        } else {
+            out.push(e);
+        }
+    }
+    walk(expr, &mut out);
+    out
+}
+
+/// Is `e` a constant expression (literals/params only)? Those are safe to
+/// evaluate at plan time.
+fn is_const(e: &Expr) -> bool {
+    let mut ok = true;
+    e.walk(&mut |sub| {
+        if matches!(sub, Expr::Column { .. }) {
+            ok = false;
+        }
+        if let Expr::Function { name, .. } = sub {
+            if bcrdb_sql::ast::is_aggregate_name(name) {
+                ok = false;
+            }
+        }
+    });
+    ok
+}
+
+/// Evaluate a constant expression at plan time.
+fn eval_const(e: &Expr, params: &[Value]) -> Result<Value> {
+    let schema = RowSchema::default();
+    let env = Env { schema: &schema, row: &[], params };
+    eval(e, &env)
+}
+
+/// Does a column expression refer to `alias` (or be unqualified) and name a
+/// column of `schema`? Returns the ordinal.
+fn column_of(e: &Expr, alias: &str, schema: &TableSchema) -> Option<usize> {
+    if let Expr::Column { table, name } = e {
+        if table.as_deref().is_none_or(|t| t == alias) {
+            return schema.column_index(name);
+        }
+    }
+    None
+}
+
+/// Rank an access path shape: lower is better.
+fn rank(range: &KeyRange) -> u8 {
+    use std::ops::Bound;
+    match (&range.low, &range.high) {
+        (Bound::Included(l), Bound::Included(h)) if l == h => 0, // equality
+        (Bound::Unbounded, Bound::Unbounded) => 3,
+        (Bound::Unbounded, _) | (_, Bound::Unbounded) => 2, // half-open
+        _ => 1,                                             // bounded range
+    }
+}
+
+/// Choose an access path for scanning `schema` (referred to as `alias`)
+/// under the optional `predicate`. Only conjuncts of the shape
+/// `col op const`, `const op col` or `col BETWEEN const AND const` over
+/// columns with an index are considered.
+pub fn choose_access_path(
+    schema: &TableSchema,
+    alias: &str,
+    predicate: Option<&Expr>,
+    params: &[Value],
+) -> Result<Option<AccessPath>> {
+    let Some(pred) = predicate else { return Ok(None) };
+    let mut best: Option<AccessPath> = None;
+    let mut consider = |column: usize, range: KeyRange| {
+        if schema.index_on(column).is_none() {
+            return;
+        }
+        let better = match &best {
+            None => true,
+            Some(b) => rank(&range) < rank(&b.range),
+        };
+        if better {
+            best = Some(AccessPath { column, range });
+        }
+    };
+
+    for c in conjuncts(pred) {
+        match c {
+            Expr::Binary { op, left, right } => {
+                let (col, constant, op_oriented) = if let Some(col) = column_of(left, alias, schema)
+                {
+                    if !is_const(right) {
+                        continue;
+                    }
+                    (col, eval_const(right, params)?, *op)
+                } else if let Some(col) = column_of(right, alias, schema) {
+                    if !is_const(left) {
+                        continue;
+                    }
+                    // Flip the operator: const op col ≡ col flipped-op const.
+                    let flipped = match op {
+                        BinaryOp::Lt => BinaryOp::Gt,
+                        BinaryOp::LtEq => BinaryOp::GtEq,
+                        BinaryOp::Gt => BinaryOp::Lt,
+                        BinaryOp::GtEq => BinaryOp::LtEq,
+                        other => *other,
+                    };
+                    (col, eval_const(left, params)?, flipped)
+                } else {
+                    continue;
+                };
+                if constant.is_null() {
+                    continue; // NULL comparisons never match
+                }
+                let range = match op_oriented {
+                    BinaryOp::Eq => KeyRange::eq(constant),
+                    BinaryOp::Lt => KeyRange::less(constant, false),
+                    BinaryOp::LtEq => KeyRange::less(constant, true),
+                    BinaryOp::Gt => KeyRange::greater(constant, false),
+                    BinaryOp::GtEq => KeyRange::greater(constant, true),
+                    _ => continue,
+                };
+                consider(col, range);
+            }
+            Expr::Between { expr, low, high, negated: false } => {
+                if let Some(col) = column_of(expr, alias, schema) {
+                    if is_const(low) && is_const(high) {
+                        let lo = eval_const(low, params)?;
+                        let hi = eval_const(high, params)?;
+                        if !lo.is_null() && !hi.is_null() {
+                            consider(col, KeyRange::between(lo, hi));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(best)
+}
+
+/// Detect an equi-join `left_expr = right_table.col` inside an ON
+/// condition. Returns (expression over the left side, right column
+/// ordinal) if found. Extra conjuncts are evaluated as residual filters by
+/// the executor.
+pub fn equi_join_key(
+    on: &Expr,
+    left_schema: &RowSchema,
+    right_alias: &str,
+    right_schema: &TableSchema,
+) -> Option<(Expr, usize)> {
+    let mut candidates: Vec<(Expr, usize)> = Vec::new();
+    for c in conjuncts(on) {
+        if let Expr::Binary { op: BinaryOp::Eq, left, right } = c {
+            // One side must be a genuine expression over the left relation
+            // (pure literals are filters, not join keys), the other a
+            // column of the right table.
+            let left_in_left = resolves_in(left, left_schema) && has_column(left);
+            let right_col = column_of(right, right_alias, right_schema);
+            if left_in_left && right_col.is_some() {
+                candidates.push(((**left).clone(), right_col.unwrap()));
+                continue;
+            }
+            let right_in_left = resolves_in(right, left_schema) && has_column(right);
+            let left_col = column_of(left, right_alias, right_schema);
+            if right_in_left && left_col.is_some() {
+                candidates.push(((**right).clone(), left_col.unwrap()));
+            }
+        }
+    }
+    // Prefer a key whose right column is indexed (enables the index
+    // nested-loop join); otherwise any candidate works for the hash join.
+    candidates
+        .iter()
+        .find(|(_, col)| right_schema.index_on(*col).is_some())
+        .or_else(|| candidates.first())
+        .cloned()
+}
+
+/// Does every column reference in `e` resolve in `schema`?
+fn resolves_in(e: &Expr, schema: &RowSchema) -> bool {
+    let mut ok = true;
+    e.walk(&mut |sub| {
+        if let Expr::Column { table, name } = sub {
+            if schema.resolve(table.as_deref(), name).is_err() {
+                ok = false;
+            }
+        }
+    });
+    ok
+}
+
+/// Does `e` contain at least one column reference?
+fn has_column(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |sub| {
+        if matches!(sub, Expr::Column { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcrdb_common::schema::{Column, DataType};
+    use bcrdb_sql::parse_expression;
+
+    fn schema() -> TableSchema {
+        let mut s = TableSchema::new(
+            "inv",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("supplier", DataType::Text),
+                Column::new("amount", DataType::Float),
+            ],
+            vec![0],
+        )
+        .unwrap();
+        s.add_index("idx_supplier", "supplier").unwrap();
+        s
+    }
+
+    fn path(pred: &str, params: &[Value]) -> Option<AccessPath> {
+        let e = parse_expression(pred).unwrap();
+        choose_access_path(&schema(), "inv", Some(&e), params).unwrap()
+    }
+
+    #[test]
+    fn equality_on_pk() {
+        let p = path("id = 5", &[]).unwrap();
+        assert_eq!(p.column, 0);
+        assert_eq!(p.range, KeyRange::eq(Value::Int(5)));
+    }
+
+    #[test]
+    fn param_and_flipped_comparisons() {
+        let p = path("$1 = id", &[Value::Int(7)]).unwrap();
+        assert_eq!(p.range, KeyRange::eq(Value::Int(7)));
+        let p = path("10 > id", &[]).unwrap();
+        assert_eq!(p.range, KeyRange::less(Value::Int(10), false));
+    }
+
+    #[test]
+    fn between_and_range() {
+        let p = path("id BETWEEN 2 AND 9", &[]).unwrap();
+        assert_eq!(p.range, KeyRange::between(Value::Int(2), Value::Int(9)));
+        let p = path("id >= 3 AND amount > 0", &[]).unwrap();
+        assert_eq!(p.column, 0);
+        assert_eq!(p.range, KeyRange::greater(Value::Int(3), true));
+    }
+
+    #[test]
+    fn equality_preferred_over_range() {
+        let p = path("supplier = 'acme' AND id > 3", &[]).unwrap();
+        assert_eq!(p.column, 1, "equality on secondary index beats pk range");
+        let p = path("id = 4 AND supplier = 'acme'", &[]).unwrap();
+        // Both are equalities; the first conjunct wins (deterministic).
+        assert_eq!(p.column, 0);
+    }
+
+    #[test]
+    fn unindexed_or_unusable_predicates() {
+        assert!(path("amount > 5.0", &[]).is_none(), "no index on amount");
+        assert!(path("id + 1 = 5", &[]).is_none(), "not col-op-const shape");
+        assert!(path("id = amount", &[]).is_none(), "both sides columns");
+        assert!(path("id = NULL", &[]).is_none(), "null constant");
+        let e = parse_expression("id = 1 OR id = 2").unwrap();
+        assert!(choose_access_path(&schema(), "inv", Some(&e), &[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn qualified_references_respect_alias() {
+        let e = parse_expression("other.id = 5").unwrap();
+        assert!(choose_access_path(&schema(), "inv", Some(&e), &[]).unwrap().is_none());
+        let e = parse_expression("inv.id = 5").unwrap();
+        assert!(choose_access_path(&schema(), "inv", Some(&e), &[]).unwrap().is_some());
+    }
+
+    #[test]
+    fn equi_join_detection() {
+        let left = RowSchema::new(vec![(Some("i".into()), "part_id".into())]);
+        let right = schema();
+        let on = parse_expression("i.part_id = inv.id").unwrap();
+        let (key_expr, col) = equi_join_key(&on, &left, "inv", &right).unwrap();
+        assert_eq!(col, 0);
+        assert_eq!(key_expr, Expr::qualified("i", "part_id"));
+        // Reversed orientation.
+        let on = parse_expression("inv.id = i.part_id").unwrap();
+        let (_, col) = equi_join_key(&on, &left, "inv", &right).unwrap();
+        assert_eq!(col, 0);
+        // Non-equi: none.
+        let on = parse_expression("i.part_id < inv.id").unwrap();
+        assert!(equi_join_key(&on, &left, "inv", &right).is_none());
+    }
+}

@@ -1,0 +1,101 @@
+//! Query results.
+
+use bcrdb_common::value::{Row, Value};
+
+/// The result of a SELECT (or the summary of a DML statement).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Rows in deterministic output order.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Empty result with the given column names.
+    pub fn empty(columns: Vec<String>) -> QueryResult {
+        QueryResult { columns, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single scalar of a one-row/one-column result, if so shaped.
+    pub fn scalar(&self) -> Option<&Value> {
+        match (self.rows.len(), self.columns.len()) {
+            (1, 1) => self.rows[0].first(),
+            _ => None,
+        }
+    }
+
+    /// Render as a simple aligned text table (for examples and debugging).
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.display_raw();
+                        if i < widths.len() && s.len() > widths[i] {
+                            widths[i] = s.len();
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in rendered {
+            for (i, cell) in row.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                out.push_str(&format!("{cell:<w$}  "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_extraction() {
+        let r = QueryResult { columns: vec!["n".into()], rows: vec![vec![Value::Int(7)]] };
+        assert_eq!(r.scalar(), Some(&Value::Int(7)));
+        let r2 = QueryResult { columns: vec!["a".into(), "b".into()], rows: vec![] };
+        assert!(r2.scalar().is_none());
+        assert!(r2.is_empty());
+    }
+
+    #[test]
+    fn table_rendering() {
+        let r = QueryResult {
+            columns: vec!["id".into(), "name".into()],
+            rows: vec![vec![Value::Int(1), Value::Text("alice".into())]],
+        };
+        let s = r.to_table_string();
+        assert!(s.contains("id"));
+        assert!(s.contains("alice"));
+    }
+}

@@ -1,0 +1,445 @@
+//! End-to-end tests of the SQL executor against the MVCC storage engine,
+//! including the three query shapes of the paper's evaluation contracts
+//! (simple insert, complex join+aggregate, group-by/order-by/limit).
+
+use std::sync::Arc;
+
+use bcrdb_common::error::Error;
+use bcrdb_common::value::Value;
+use bcrdb_engine::exec::{apply_catalog_op, Executor, StatementEffect};
+use bcrdb_engine::procedures::ContractRegistry;
+use bcrdb_engine::result::QueryResult;
+use bcrdb_sql::parse_statement;
+use bcrdb_storage::catalog::Catalog;
+use bcrdb_storage::snapshot::ScanMode;
+use bcrdb_txn::context::TxnCtx;
+use bcrdb_txn::ssi::{Flow, SsiManager};
+
+struct Db {
+    mgr: Arc<SsiManager>,
+    catalog: Catalog,
+    contracts: ContractRegistry,
+    certs: Arc<bcrdb_crypto::identity::CertificateRegistry>,
+    height: u64,
+    commit_pos: u32,
+}
+
+impl Db {
+    fn new() -> Db {
+        Db {
+            mgr: Arc::new(SsiManager::new()),
+            catalog: Catalog::new(),
+            contracts: ContractRegistry::new(),
+            certs: bcrdb_crypto::identity::CertificateRegistry::new(),
+            height: 0,
+            commit_pos: 0,
+        }
+    }
+
+    /// Run statements in one transaction and commit it as its own block.
+    fn run(&mut self, sql: &str) -> Vec<StatementEffect> {
+        self.run_with(sql, &[])
+    }
+
+    fn run_with(&mut self, sql: &str, params: &[Value]) -> Vec<StatementEffect> {
+        self.try_run(sql, params).expect("statement should succeed")
+    }
+
+    fn try_run(
+        &mut self,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<Vec<StatementEffect>, Error> {
+        let ctx = TxnCtx::begin(&self.mgr, self.height, ScanMode::Relaxed);
+        let stmts = bcrdb_sql::parse_statements(sql)?;
+        let exec = Executor::new(&self.catalog, &ctx, params);
+        let mut effects = Vec::new();
+        for s in &stmts {
+            match exec.execute(s) {
+                Ok(e) => effects.push(e),
+                Err(e) => {
+                    ctx.rollback();
+                    return Err(e);
+                }
+            }
+        }
+        let block = self.height + 1;
+        let outcome = ctx.apply_commit(block, self.commit_pos, Flow::OrderThenExecute);
+        self.commit_pos += 1;
+        if !outcome.is_committed() {
+            panic!("commit unexpectedly failed: {outcome:?}");
+        }
+        self.height = block;
+        // Apply deferred DDL at the commit point, like the block processor.
+        for e in &effects {
+            if let StatementEffect::Catalog(op) = e {
+                apply_catalog_op(&self.catalog, &self.contracts, &self.certs, op).unwrap();
+            }
+        }
+        Ok(effects)
+    }
+
+    /// Read-only query at the current height.
+    fn query(&self, sql: &str) -> QueryResult {
+        self.query_with(sql, &[])
+    }
+
+    fn query_with(&self, sql: &str, params: &[Value]) -> QueryResult {
+        let ctx = TxnCtx::read_only(&self.mgr, self.height);
+        let stmt = parse_statement(sql).unwrap();
+        let exec = Executor::new(&self.catalog, &ctx, params);
+        match exec.execute(&stmt).unwrap() {
+            StatementEffect::Rows(r) => r,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+}
+
+fn ints(r: &QueryResult) -> Vec<Vec<i64>> {
+    r.rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| match v {
+                    Value::Int(i) => *i,
+                    Value::Float(f) => *f as i64,
+                    other => panic!("not numeric: {other:?}"),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn seed_invoices(db: &mut Db) {
+    db.run(
+        "CREATE TABLE suppliers (id INT PRIMARY KEY, name TEXT NOT NULL, region TEXT NOT NULL)",
+    );
+    db.run(
+        "CREATE TABLE invoices (id INT PRIMARY KEY, supplier_id INT NOT NULL, amount FLOAT NOT NULL)",
+    );
+    db.run("CREATE INDEX idx_inv_supplier ON invoices (supplier_id)");
+    db.run(
+        "INSERT INTO suppliers VALUES (1, 'acme', 'emea'), (2, 'globex', 'apac'), (3, 'initech', 'emea')",
+    );
+    db.run(
+        "INSERT INTO invoices VALUES \
+           (10, 1, 100.0), (11, 1, 50.0), (12, 2, 75.0), (13, 2, 25.0), (14, 3, 200.0)",
+    );
+}
+
+#[test]
+fn create_insert_select_roundtrip() {
+    let mut db = Db::new();
+    db.run("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)");
+    db.run("INSERT INTO t VALUES (2, 'b'), (1, 'a')");
+    let r = db.query("SELECT id, name FROM t");
+    // No ORDER BY: deterministic row-id order (insertion order here).
+    assert_eq!(r.columns, vec!["id", "name"]);
+    assert_eq!(r.rows.len(), 2);
+    let r = db.query("SELECT id FROM t ORDER BY id");
+    assert_eq!(ints(&r), vec![vec![1], vec![2]]);
+}
+
+#[test]
+fn insert_with_column_list_fills_nulls() {
+    let mut db = Db::new();
+    db.run("CREATE TABLE t (id INT PRIMARY KEY, a TEXT, b INT)");
+    db.run("INSERT INTO t (id, b) VALUES (1, 42)");
+    let r = db.query("SELECT a, b FROM t WHERE id = 1");
+    assert_eq!(r.rows[0][0], Value::Null);
+    assert_eq!(r.rows[0][1], Value::Int(42));
+    // Arity mismatch is an error.
+    assert!(db.try_run("INSERT INTO t (id, b) VALUES (2)", &[]).is_err());
+    // NOT NULL violation is an error.
+    db.run("CREATE TABLE u (id INT PRIMARY KEY, req TEXT NOT NULL)");
+    assert!(db.try_run("INSERT INTO u (id) VALUES (1)", &[]).is_err());
+}
+
+#[test]
+fn where_filtering_and_index_paths() {
+    let mut db = Db::new();
+    seed_invoices(&mut db);
+    // Point lookup on the PK index.
+    let r = db.query("SELECT amount FROM invoices WHERE id = 12");
+    assert_eq!(r.rows, vec![vec![Value::Float(75.0)]]);
+    // Range on PK.
+    let r = db.query("SELECT id FROM invoices WHERE id BETWEEN 11 AND 13 ORDER BY id");
+    assert_eq!(ints(&r), vec![vec![11], vec![12], vec![13]]);
+    // Secondary index equality.
+    let r = db.query("SELECT id FROM invoices WHERE supplier_id = 2 ORDER BY id");
+    assert_eq!(ints(&r), vec![vec![12], vec![13]]);
+    // Residual predicate on top of the index.
+    let r = db.query("SELECT id FROM invoices WHERE supplier_id = 1 AND amount > 60 ORDER BY id");
+    assert_eq!(ints(&r), vec![vec![10]]);
+    // Unindexed predicate → full scan still correct (relaxed mode).
+    let r = db.query("SELECT id FROM invoices WHERE amount < 60 ORDER BY id");
+    assert_eq!(ints(&r), vec![vec![11], vec![13]]);
+}
+
+#[test]
+fn parameters_flow_through() {
+    let mut db = Db::new();
+    seed_invoices(&mut db);
+    let r = db.query_with(
+        "SELECT id FROM invoices WHERE supplier_id = $1 AND amount >= $2 ORDER BY id",
+        &[Value::Int(1), Value::Float(60.0)],
+    );
+    assert_eq!(ints(&r), vec![vec![10]]);
+}
+
+#[test]
+fn join_inner_and_comma_styles() {
+    let mut db = Db::new();
+    seed_invoices(&mut db);
+    let r = db.query(
+        "SELECT s.name, i.amount FROM invoices i JOIN suppliers s ON i.supplier_id = s.id \
+         WHERE s.region = 'emea' ORDER BY i.amount DESC",
+    );
+    assert_eq!(r.rows.len(), 3);
+    assert_eq!(r.rows[0][0], Value::Text("initech".into()));
+    assert_eq!(r.rows[0][1], Value::Float(200.0));
+
+    // Comma join with the condition in WHERE (Table 3 style).
+    let r2 = db.query(
+        "SELECT s.name, i.amount FROM invoices i, suppliers s \
+         WHERE i.supplier_id = s.id AND s.region = 'emea' ORDER BY i.amount DESC",
+    );
+    assert_eq!(r.rows, r2.rows);
+}
+
+#[test]
+fn complex_join_aggregate_into_third_table() {
+    // The shape of the paper's complex-join contract: aggregate a join and
+    // write the result to another table.
+    let mut db = Db::new();
+    seed_invoices(&mut db);
+    db.run("CREATE TABLE region_totals (region TEXT PRIMARY KEY, total FLOAT)");
+    db.run(
+        "INSERT INTO region_totals \
+         SELECT s.region, SUM(i.amount) FROM invoices i JOIN suppliers s \
+         ON i.supplier_id = s.id GROUP BY s.region",
+    );
+    let r = db.query("SELECT region, total FROM region_totals ORDER BY region");
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][0], Value::Text("apac".into()));
+    assert_eq!(r.rows[0][1], Value::Float(100.0));
+    assert_eq!(r.rows[1][0], Value::Text("emea".into()));
+    assert_eq!(r.rows[1][1], Value::Float(350.0));
+}
+
+#[test]
+fn group_by_having_order_limit() {
+    // The shape of the complex-group contract: aggregates over subgroups,
+    // ORDER BY + LIMIT picking the max.
+    let mut db = Db::new();
+    seed_invoices(&mut db);
+    let r = db.query(
+        "SELECT supplier_id, COUNT(*) AS n, SUM(amount) AS total, AVG(amount) AS mean, \
+                MIN(amount) AS lo, MAX(amount) AS hi \
+         FROM invoices GROUP BY supplier_id \
+         HAVING COUNT(*) > 1 ORDER BY total DESC LIMIT 1",
+    );
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    assert_eq!(r.rows[0][1], Value::Int(2));
+    assert_eq!(r.rows[0][2], Value::Float(150.0));
+    assert_eq!(r.rows[0][3], Value::Float(75.0));
+    assert_eq!(r.rows[0][4], Value::Float(50.0));
+    assert_eq!(r.rows[0][5], Value::Float(100.0));
+}
+
+#[test]
+fn aggregates_over_empty_and_whole_table() {
+    let mut db = Db::new();
+    db.run("CREATE TABLE t (id INT PRIMARY KEY, x INT)");
+    let r = db.query("SELECT COUNT(*), SUM(x), AVG(x), MIN(x) FROM t");
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(0));
+    assert_eq!(r.rows[0][1], Value::Null);
+    assert_eq!(r.rows[0][2], Value::Null);
+    assert_eq!(r.rows[0][3], Value::Null);
+
+    db.run("INSERT INTO t VALUES (1, 5), (2, NULL), (3, 7)");
+    let r = db.query("SELECT COUNT(*), COUNT(x), SUM(x) FROM t");
+    assert_eq!(r.rows[0][0], Value::Int(3));
+    assert_eq!(r.rows[0][1], Value::Int(2), "COUNT(expr) skips NULLs");
+    assert_eq!(r.rows[0][2], Value::Int(12));
+    // Arithmetic over aggregates.
+    let r = db.query("SELECT SUM(x) * 2 + COUNT(*) FROM t");
+    assert_eq!(r.rows[0][0], Value::Int(27));
+}
+
+#[test]
+fn update_and_delete_with_predicates() {
+    let mut db = Db::new();
+    seed_invoices(&mut db);
+    let effects = db.run("UPDATE invoices SET amount = amount + 10 WHERE supplier_id = 1");
+    match &effects[0] {
+        StatementEffect::Count(n) => assert_eq!(*n, 2),
+        other => panic!("expected count, got {other:?}"),
+    }
+    let r = db.query("SELECT amount FROM invoices WHERE id = 10");
+    assert_eq!(r.rows[0][0], Value::Float(110.0));
+
+    let effects = db.run("DELETE FROM invoices WHERE amount < 40");
+    match &effects[0] {
+        StatementEffect::Count(n) => assert_eq!(*n, 1), // id 13 (25.0)
+        other => panic!("expected count, got {other:?}"),
+    }
+    let r = db.query("SELECT COUNT(*) FROM invoices");
+    assert_eq!(r.rows[0][0], Value::Int(4));
+}
+
+#[test]
+fn select_without_from_and_scalar_math() {
+    let db = Db::new();
+    let r = db.query("SELECT 1 + 2 * 3 AS x, 'a' || 'b' AS s");
+    assert_eq!(r.columns, vec!["x", "s"]);
+    assert_eq!(r.rows, vec![vec![Value::Int(7), Value::Text("ab".into())]]);
+}
+
+#[test]
+fn order_by_alias_and_multiple_keys() {
+    let mut db = Db::new();
+    seed_invoices(&mut db);
+    let r = db.query(
+        "SELECT supplier_id AS sid, amount FROM invoices ORDER BY sid DESC, amount ASC",
+    );
+    assert_eq!(r.rows[0][0], Value::Int(3));
+    assert_eq!(r.rows[1], vec![Value::Int(2), Value::Float(25.0)]);
+    assert_eq!(r.rows[2], vec![Value::Int(2), Value::Float(75.0)]);
+}
+
+#[test]
+fn wildcard_projections() {
+    let mut db = Db::new();
+    seed_invoices(&mut db);
+    let r = db.query("SELECT * FROM suppliers ORDER BY id LIMIT 1");
+    assert_eq!(r.columns, vec!["id", "name", "region"]);
+    let r = db.query(
+        "SELECT i.*, s.name FROM invoices i JOIN suppliers s ON i.supplier_id = s.id \
+         WHERE i.id = 10",
+    );
+    assert_eq!(r.columns, vec!["id", "supplier_id", "amount", "name"]);
+    assert_eq!(r.rows[0][3], Value::Text("acme".into()));
+}
+
+#[test]
+fn ddl_is_deferred_to_commit() {
+    let mut db = Db::new();
+    // Within run(), the CatalogOp is applied after commit, so the table
+    // becomes queryable afterwards.
+    let effects = db.run("CREATE TABLE t (id INT PRIMARY KEY)");
+    assert!(matches!(effects[0], StatementEffect::Catalog(_)));
+    assert!(db.catalog.get("t").is_ok());
+    db.run("DROP TABLE t");
+    assert!(db.catalog.get("t").is_err());
+    // DROP of a missing table fails at apply; IF EXISTS succeeds.
+    db.run("DROP TABLE IF EXISTS t");
+}
+
+#[test]
+fn snapshot_reads_are_stable_under_concurrent_commits() {
+    let mut db = Db::new();
+    db.run("CREATE TABLE t (id INT PRIMARY KEY, x INT)");
+    db.run("INSERT INTO t VALUES (1, 10)");
+    let h1 = db.height;
+    db.run("UPDATE t SET x = 20 WHERE id = 1");
+
+    // A reader pinned at the old height sees the old value.
+    let ctx = TxnCtx::read_only(&db.mgr, h1);
+    let exec = Executor::new(&db.catalog, &ctx, &[]);
+    let r = match exec.execute(&parse_statement("SELECT x FROM t WHERE id = 1").unwrap()).unwrap()
+    {
+        StatementEffect::Rows(r) => r,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(r.rows[0][0], Value::Int(10));
+    // Current height sees the new value.
+    assert_eq!(db.query("SELECT x FROM t WHERE id = 1").rows[0][0], Value::Int(20));
+}
+
+#[test]
+fn error_paths_surface_cleanly() {
+    let mut db = Db::new();
+    db.run("CREATE TABLE t (id INT PRIMARY KEY, x INT)");
+    db.run("INSERT INTO t VALUES (1, 0)");
+    assert!(matches!(db.try_run("SELECT * FROM missing", &[]), Err(Error::NotFound(_))));
+    // Column resolution is evaluated per-row, so a populated table is
+    // needed for the error to surface.
+    assert!(matches!(
+        db.try_run("SELECT zzz FROM t", &[]),
+        Err(Error::Analysis(_))
+    ));
+    assert!(matches!(
+        db.try_run("INSERT INTO t VALUES (9, 'not an int')", &[]),
+        Err(Error::Constraint(_))
+    ));
+    assert!(matches!(
+        db.try_run("UPDATE t SET zzz = 1 WHERE id = 1", &[]),
+        Err(Error::Analysis(_))
+    ));
+    assert!(matches!(
+        db.try_run("SELECT * FROM t GROUP BY id", &[]),
+        Err(Error::Analysis(_)),
+
+    ));
+    // Division by zero inside a query is a type error.
+    assert!(matches!(
+        db.try_run("SELECT 1 / x FROM t WHERE id = 1", &[]),
+        Err(Error::Type(_))
+    ));
+}
+
+#[test]
+fn history_provenance_via_executor() {
+    let mut db = Db::new();
+    db.run("CREATE TABLE inv (id INT PRIMARY KEY, amt INT)");
+    db.run("INSERT INTO inv VALUES (1, 100)");
+    db.run("UPDATE inv SET amt = 150 WHERE id = 1");
+    db.run("UPDATE inv SET amt = 175 WHERE id = 1");
+
+    // All three versions visible through HISTORY, oldest first.
+    let r = db.query(
+        "SELECT h.amt, h._creator_block, h._deleter_block FROM HISTORY(inv) h \
+         WHERE h.id = 1 ORDER BY h._creator_block",
+    );
+    assert_eq!(r.rows.len(), 3);
+    assert_eq!(r.rows[0][0], Value::Int(100));
+    assert_eq!(r.rows[2][0], Value::Int(175));
+    assert_eq!(r.rows[2][2], Value::Null, "live version has no deleter");
+
+    // Historical filter: versions live at block 2.
+    let r = db.query(
+        "SELECT h.amt FROM HISTORY(inv) h WHERE h._creator_block <= 2 AND \
+         (h._deleter_block IS NULL OR h._deleter_block > 2) ORDER BY h.amt",
+    );
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(100));
+}
+
+#[test]
+fn contract_invocation_through_registry() {
+    let mut db = Db::new();
+    db.run("CREATE TABLE accounts (id INT PRIMARY KEY, balance FLOAT NOT NULL)");
+    db.run(
+        "CREATE FUNCTION transfer(src INT, dst INT, amt FLOAT) AS $$ \
+           UPDATE accounts SET balance = balance - $3 WHERE id = $1; \
+           UPDATE accounts SET balance = balance + $3 WHERE id = $2 \
+         $$",
+    );
+    db.run("INSERT INTO accounts VALUES (1, 100.0), (2, 50.0)");
+
+    let ctx = TxnCtx::begin(&db.mgr, db.height, ScanMode::Relaxed);
+    let inv = bcrdb_engine::procedures::Invocation::new(
+        "transfer",
+        vec![Value::Int(1), Value::Int(2), Value::Float(30.0)],
+    );
+    db.contracts.invoke(&db.catalog, &ctx, &inv).unwrap();
+    assert!(ctx.apply_commit(db.height + 1, 99, Flow::OrderThenExecute).is_committed());
+    db.height += 1;
+
+    let r = db.query("SELECT balance FROM accounts ORDER BY id");
+    assert_eq!(r.rows[0][0], Value::Float(70.0));
+    assert_eq!(r.rows[1][0], Value::Float(80.0));
+}

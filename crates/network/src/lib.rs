@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # bcrdb-network
+//!
+//! In-process network simulation with latency and bandwidth models.
+//!
+//! The paper evaluates two deployments (§5): all nodes in one data centre
+//! (LAN: 5 Gbps, sub-millisecond RTT) and a multi-cloud/WAN setup spanning
+//! four continents (50–60 Mbps, ~100 ms RTT). [`SimNetwork`] reproduces the
+//! communication layer of both: every registered endpoint gets a receive
+//! channel, and every send is scheduled for delivery after
+//! `latency + jitter + size/bandwidth`, with per-link serialization (a link
+//! transmits one message at a time, so bandwidth backpressure emerges
+//! naturally).
+//!
+//! The network is generic over the message type so the ordering service
+//! (orderer-to-orderer consensus messages) and the peer layer
+//! (transactions, blocks, checkpoint votes) can share the implementation.
+
+pub mod profile;
+pub mod sim;
+
+pub use profile::NetProfile;
+pub use sim::{Delivered, SimNetwork};

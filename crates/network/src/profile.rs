@@ -1,0 +1,72 @@
+//! Network profiles: the two deployment models of §5 of the paper.
+
+use std::time::Duration;
+
+/// Latency/bandwidth model for every link of a simulated network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetProfile {
+    /// One-way propagation latency.
+    pub latency: Duration,
+    /// Uniform jitter added on top of `latency` (0..=jitter).
+    pub jitter: Duration,
+    /// Link bandwidth in bytes/second; `None` = infinite.
+    pub bandwidth_bytes_per_sec: Option<u64>,
+}
+
+impl NetProfile {
+    /// Instantaneous delivery (unit tests).
+    pub fn instant() -> NetProfile {
+        NetProfile { latency: Duration::ZERO, jitter: Duration::ZERO, bandwidth_bytes_per_sec: None }
+    }
+
+    /// Single data centre (paper: 5 Gbps, sub-millisecond RTT).
+    pub fn lan() -> NetProfile {
+        NetProfile {
+            latency: Duration::from_micros(200),
+            jitter: Duration::from_micros(100),
+            bandwidth_bytes_per_sec: Some(5_000_000_000 / 8),
+        }
+    }
+
+    /// Multi-cloud WAN (paper: 50–60 Mbps, nodes on four continents —
+    /// ~100 ms one-way effective latency increase observed in Fig 8a).
+    pub fn wan() -> NetProfile {
+        NetProfile {
+            latency: Duration::from_millis(50),
+            jitter: Duration::from_millis(10),
+            bandwidth_bytes_per_sec: Some(55_000_000 / 8),
+        }
+    }
+
+    /// Transmission delay of `bytes` on this link.
+    pub fn transmission_delay(&self, bytes: usize) -> Duration {
+        match self.bandwidth_bytes_per_sec {
+            Some(bw) if bw > 0 => {
+                Duration::from_secs_f64(bytes as f64 / bw as f64)
+            }
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmission_delay_scales_with_size() {
+        let wan = NetProfile::wan();
+        let small = wan.transmission_delay(1_000);
+        let large = wan.transmission_delay(100_000);
+        assert!(large > small * 50);
+        // 100 KB at ~6.9 MB/s ≈ 14.5 ms — the paper's "block of 500 txs is
+        // ~100 KB, so WAN bandwidth barely matters" observation.
+        assert!(large < Duration::from_millis(30), "{large:?}");
+        assert_eq!(NetProfile::instant().transmission_delay(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn profiles_are_ordered_sensibly() {
+        assert!(NetProfile::wan().latency > NetProfile::lan().latency * 10);
+    }
+}

@@ -1,0 +1,88 @@
+//! Node configuration and outbound hooks.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bcrdb_chain::block::CheckpointVote;
+use bcrdb_chain::tx::Transaction;
+use bcrdb_txn::ssi::Flow;
+
+/// Static configuration of a database peer node.
+#[derive(Clone)]
+pub struct NodeConfig {
+    /// Node name (certificate name, e.g. `org1/peer`).
+    pub name: String,
+    /// Owning organization.
+    pub org: String,
+    /// Transaction flow (§3.3 vs §3.4).
+    pub flow: Flow,
+    /// Data directory for the block store and state snapshots; `None`
+    /// keeps everything in memory (tests/benchmarks).
+    pub data_dir: Option<PathBuf>,
+    /// Write a state snapshot every N blocks (0 = never). Snapshots bound
+    /// recovery replay time (§3.6).
+    pub snapshot_interval: u64,
+    /// Verify client and orderer signatures. Benchmarks measuring the
+    /// protocol (not our hash-based crypto) may disable this — see the
+    /// substitution table in DESIGN.md.
+    pub verify_signatures: bool,
+    /// Worker threads executing transactions concurrently.
+    pub executor_threads: usize,
+    /// Execute transactions one at a time at commit (the Ethereum-style
+    /// order-then-serial-execute baseline of §5.1).
+    pub serial_execution: bool,
+    /// Run the SSI manager's garbage collector every N blocks.
+    pub gc_interval: u64,
+    /// Minimum simulated execution time per transaction (µs). Models the
+    /// per-backend cost of the paper's PostgreSQL substrate (parse, plan,
+    /// WAL, IPC — ~0.2 ms for the simple contract on their testbed) that
+    /// an in-memory engine lacks; 0 disables. Used by the benchmark
+    /// harness only (see DESIGN.md's substitution table).
+    pub min_exec_micros: u64,
+}
+
+impl NodeConfig {
+    /// Reasonable defaults for `name` in `org` under `flow`.
+    pub fn new(name: impl Into<String>, org: impl Into<String>, flow: Flow) -> NodeConfig {
+        NodeConfig {
+            name: name.into(),
+            org: org.into(),
+            flow,
+            data_dir: None,
+            snapshot_interval: 0,
+            verify_signatures: true,
+            executor_threads: 4,
+            serial_execution: false,
+            gc_interval: 16,
+            min_exec_micros: 0,
+        }
+    }
+}
+
+/// Outbound callbacks wiring the node into the network: forwarding
+/// transactions to other peers (EO flow), submitting to the ordering
+/// service, and submitting checkpoint votes. Installed by the network
+/// builder in `bcrdb-core`.
+#[derive(Default, Clone)]
+pub struct NodeHooks {
+    /// EO: forward a locally submitted transaction to the other peers.
+    pub forward_tx: Option<Arc<dyn Fn(&Transaction) + Send + Sync>>,
+    /// EO: forward a locally submitted transaction to the ordering service.
+    pub submit_orderer: Option<Arc<dyn Fn(Transaction) + Send + Sync>>,
+    /// Submit a checkpoint vote after committing a block (§3.3.4).
+    pub submit_checkpoint: Option<Arc<dyn Fn(CheckpointVote) + Send + Sync>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = NodeConfig::new("org1/peer", "org1", Flow::OrderThenExecute);
+        assert!(c.verify_signatures);
+        assert!(!c.serial_execution);
+        assert!(c.executor_threads >= 1);
+        assert_eq!(c.flow, Flow::OrderThenExecute);
+    }
+}

@@ -1,0 +1,194 @@
+//! Micro-metrics matching Tables 4 and 5 of the paper.
+//!
+//! * `brr` — blocks received per second at the middleware;
+//! * `bpr` — blocks processed and committed per second;
+//! * `bpt` — average time to process and commit a block (ms);
+//! * `bet` — average time to start/execute all transactions of a block
+//!   until they are ready to commit (ms);
+//! * `bct` — serial commit time, `bpt − bet` (ms);
+//! * `tet` — average transaction execution time (ms);
+//! * `mt`  — missing transactions per second at block processing (EO flow);
+//! * `su`  — system utilization, `bpr × bpt` (fraction of time the block
+//!   processor is busy).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Atomic counters accumulated since the last [`NodeMetrics::take`].
+pub struct NodeMetrics {
+    window_start: Mutex<Instant>,
+    blocks_received: AtomicU64,
+    blocks_processed: AtomicU64,
+    bpt_us: AtomicU64,
+    bet_us: AtomicU64,
+    tet_us: AtomicU64,
+    txs_executed: AtomicU64,
+    txs_committed: AtomicU64,
+    txs_aborted: AtomicU64,
+    missing_txs: AtomicU64,
+}
+
+impl Default for NodeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Averaged view over one measurement window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Window length in seconds.
+    pub window_secs: f64,
+    /// Block receive rate (blocks/s).
+    pub brr: f64,
+    /// Block process rate (blocks/s).
+    pub bpr: f64,
+    /// Mean block processing time (ms).
+    pub bpt_ms: f64,
+    /// Mean block execution time (ms).
+    pub bet_ms: f64,
+    /// Mean block commit time (ms), `bpt − bet`.
+    pub bct_ms: f64,
+    /// Mean transaction execution time (ms).
+    pub tet_ms: f64,
+    /// Missing transactions per second (EO flow).
+    pub mt_per_s: f64,
+    /// System utilization (`bpr × bpt`, clamped to [0, 1]).
+    pub su: f64,
+    /// Committed transactions in the window.
+    pub committed: u64,
+    /// Aborted transactions in the window.
+    pub aborted: u64,
+}
+
+impl NodeMetrics {
+    /// Fresh metrics with the window starting now.
+    pub fn new() -> NodeMetrics {
+        NodeMetrics {
+            window_start: Mutex::new(Instant::now()),
+            blocks_received: AtomicU64::new(0),
+            blocks_processed: AtomicU64::new(0),
+            bpt_us: AtomicU64::new(0),
+            bet_us: AtomicU64::new(0),
+            tet_us: AtomicU64::new(0),
+            txs_executed: AtomicU64::new(0),
+            txs_committed: AtomicU64::new(0),
+            txs_aborted: AtomicU64::new(0),
+            missing_txs: AtomicU64::new(0),
+        }
+    }
+
+    /// A block arrived from the ordering service.
+    pub fn on_block_received(&self) {
+        self.blocks_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A block was fully processed; durations in microseconds.
+    pub fn on_block_processed(&self, bpt_us: u64, bet_us: u64) {
+        self.blocks_processed.fetch_add(1, Ordering::Relaxed);
+        self.bpt_us.fetch_add(bpt_us, Ordering::Relaxed);
+        self.bet_us.fetch_add(bet_us, Ordering::Relaxed);
+    }
+
+    /// One transaction finished executing (before its commit point).
+    pub fn on_tx_executed(&self, tet_us: u64) {
+        self.txs_executed.fetch_add(1, Ordering::Relaxed);
+        self.tet_us.fetch_add(tet_us, Ordering::Relaxed);
+    }
+
+    /// Commit-phase outcomes.
+    pub fn on_tx_committed(&self) {
+        self.txs_committed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A transaction aborted at commit.
+    pub fn on_tx_aborted(&self) {
+        self.txs_aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Transactions that had to be started by the block processor because
+    /// they never arrived via forwarding (EO flow, §3.4.3).
+    pub fn on_missing_txs(&self, n: u64) {
+        self.missing_txs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Committed count so far in this window.
+    pub fn committed(&self) -> u64 {
+        self.txs_committed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the window and reset all counters.
+    pub fn take(&self) -> MetricsSnapshot {
+        let mut start = self.window_start.lock();
+        let window_secs = start.elapsed().as_secs_f64().max(1e-9);
+        *start = Instant::now();
+        drop(start);
+
+        let received = self.blocks_received.swap(0, Ordering::Relaxed);
+        let processed = self.blocks_processed.swap(0, Ordering::Relaxed);
+        let bpt_us = self.bpt_us.swap(0, Ordering::Relaxed);
+        let bet_us = self.bet_us.swap(0, Ordering::Relaxed);
+        let tet_us = self.tet_us.swap(0, Ordering::Relaxed);
+        let executed = self.txs_executed.swap(0, Ordering::Relaxed);
+        let committed = self.txs_committed.swap(0, Ordering::Relaxed);
+        let aborted = self.txs_aborted.swap(0, Ordering::Relaxed);
+        let missing = self.missing_txs.swap(0, Ordering::Relaxed);
+
+        let bpt_ms = if processed > 0 { bpt_us as f64 / processed as f64 / 1000.0 } else { 0.0 };
+        let bet_ms = if processed > 0 { bet_us as f64 / processed as f64 / 1000.0 } else { 0.0 };
+        let tet_ms = if executed > 0 { tet_us as f64 / executed as f64 / 1000.0 } else { 0.0 };
+        let bpr = processed as f64 / window_secs;
+        MetricsSnapshot {
+            window_secs,
+            brr: received as f64 / window_secs,
+            bpr,
+            bpt_ms,
+            bet_ms,
+            bct_ms: (bpt_ms - bet_ms).max(0.0),
+            tet_ms,
+            mt_per_s: missing as f64 / window_secs,
+            su: (bpr * bpt_ms / 1000.0).min(1.0),
+            committed,
+            aborted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_averages_and_resets() {
+        let m = NodeMetrics::new();
+        m.on_block_received();
+        m.on_block_received();
+        m.on_block_processed(10_000, 6_000); // 10 ms, 6 ms
+        m.on_block_processed(20_000, 10_000);
+        m.on_tx_executed(1_000);
+        m.on_tx_executed(3_000);
+        m.on_tx_committed();
+        m.on_tx_aborted();
+        m.on_missing_txs(5);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+
+        let s = m.take();
+        assert!(s.window_secs > 0.0);
+        assert!((s.bpt_ms - 15.0).abs() < 1e-9);
+        assert!((s.bet_ms - 8.0).abs() < 1e-9);
+        assert!((s.bct_ms - 7.0).abs() < 1e-9);
+        assert!((s.tet_ms - 2.0).abs() < 1e-9);
+        assert_eq!(s.committed, 1);
+        assert_eq!(s.aborted, 1);
+        assert!(s.brr > 0.0);
+        assert!(s.mt_per_s > 0.0);
+        assert!(s.su > 0.0 && s.su <= 1.0);
+
+        // Second take: everything reset.
+        let s2 = m.take();
+        assert_eq!(s2.committed, 0);
+        assert_eq!(s2.bpt_ms, 0.0);
+    }
+}

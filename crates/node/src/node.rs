@@ -1,0 +1,453 @@
+//! The [`Node`]: one organization's database peer.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bcrdb_chain::blockstore::BlockStore;
+use bcrdb_chain::checkpoint::{CheckpointTracker, Divergence};
+use bcrdb_chain::ledger::{ledger_schema, LedgerRecord, LEDGER_TABLE_NAME};
+use bcrdb_chain::tx::Transaction;
+use bcrdb_common::codec::{Decoder, Encoder};
+use bcrdb_common::error::{AbortReason, Error, Result};
+use bcrdb_common::ids::{BlockHeight, GlobalTxId, TxId};
+use bcrdb_common::value::Value;
+use bcrdb_crypto::identity::CertificateRegistry;
+use bcrdb_crypto::sha256::{sha256, Digest};
+use bcrdb_engine::access::AccessController;
+use bcrdb_engine::exec::{Executor, StatementEffect};
+use bcrdb_engine::procedures::ContractRegistry;
+use bcrdb_engine::result::QueryResult;
+use bcrdb_sql::ast::Statement;
+use bcrdb_sql::display::function_to_sql;
+use bcrdb_storage::catalog::Catalog;
+use bcrdb_storage::persist;
+use bcrdb_storage::snapshot::ScanMode;
+use bcrdb_storage::table::Table;
+use bcrdb_storage::version::Version;
+use bcrdb_txn::context::TxnCtx;
+use bcrdb_txn::ssi::{Flow, SsiManager};
+use crossbeam_channel::Receiver;
+use parking_lot::{Mutex, RwLock};
+
+use crate::config::{NodeConfig, NodeHooks};
+use crate::exec_pool::{ExecEnv, ExecPool, ExecTask, NativeContract};
+use crate::metrics::NodeMetrics;
+use crate::notify::{NotificationHub, TxNotification};
+use crate::processor;
+use crate::slots::SlotTable;
+
+const SNAPSHOT_MAGIC: &[u8; 8] = b"BCRDBNS1";
+
+/// A database peer node.
+pub struct Node {
+    /// Static configuration.
+    pub config: NodeConfig,
+    pub(crate) env: Arc<ExecEnv>,
+    pub(crate) pool: Arc<ExecPool>,
+    /// The append-only block store (`pgBlockstore`).
+    pub blockstore: Arc<BlockStore>,
+    /// Checkpoint comparison state (§3.3.4).
+    pub checkpoints: Arc<CheckpointTracker>,
+    pub(crate) notifications: Arc<NotificationHub>,
+    pub(crate) hooks: RwLock<NodeHooks>,
+    pub(crate) ledger: Arc<Table>,
+    pub(crate) divergences: Mutex<Vec<Divergence>>,
+    pub(crate) shutting_down: AtomicBool,
+}
+
+impl Node {
+    /// Create (or re-open) a node. When `config.data_dir` is set, the
+    /// block store is opened from disk and the latest state snapshot is
+    /// loaded; call [`Node::recover`] (after installing any bootstrap
+    /// schema/contracts) to replay blocks beyond the snapshot height.
+    pub fn new(
+        config: NodeConfig,
+        certs: Arc<CertificateRegistry>,
+        orgs: Vec<String>,
+    ) -> Result<Arc<Node>> {
+        let (blockstore, snapshot) = match &config.data_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let store = BlockStore::open(dir.join("blocks.dat"))?;
+                let snap_path = dir.join("state.snapshot");
+                let snapshot = if snap_path.exists() {
+                    Some(load_snapshot(&snap_path)?)
+                } else {
+                    None
+                };
+                (Arc::new(store), snapshot)
+            }
+            None => (Arc::new(BlockStore::in_memory()), None),
+        };
+
+        let contracts = Arc::new(ContractRegistry::new());
+        let processed: Arc<Mutex<HashSet<GlobalTxId>>> = Arc::new(Mutex::new(HashSet::new()));
+        let (catalog, restored_height) = match snapshot {
+            Some(snap) => {
+                for (_, source) in &snap.contracts {
+                    if let Statement::CreateFunction(def) = bcrdb_sql::parse_statement(source)? {
+                        contracts.install(def)?;
+                    }
+                }
+                *processed.lock() = snap.processed;
+                (Arc::new(snap.catalog), snap.height)
+            }
+            None => {
+                let catalog = Arc::new(Catalog::new());
+                catalog.create_table(ledger_schema())?;
+                (catalog, 0)
+            }
+        };
+        let ledger = catalog.get(LEDGER_TABLE_NAME)?;
+
+        let env = Arc::new(ExecEnv {
+            catalog,
+            contracts,
+            access: Arc::new(AccessController::new()),
+            certs,
+            ssi: Arc::new(SsiManager::new()),
+            slots: Arc::new(SlotTable::new()),
+            metrics: Arc::new(NodeMetrics::new()),
+            committed_height: Arc::new(AtomicU64::new(restored_height)),
+            verify_signatures: config.verify_signatures,
+            processed,
+            min_exec_micros: config.min_exec_micros,
+            natives: Mutex::new(Default::default()),
+            orgs,
+        });
+        let pool = ExecPool::start(Arc::clone(&env), config.executor_threads);
+
+        let node = Arc::new(Node {
+            config,
+            env,
+            pool,
+            blockstore,
+            checkpoints: Arc::new(CheckpointTracker::new()),
+            notifications: Arc::new(NotificationHub::new()),
+            hooks: RwLock::new(NodeHooks::default()),
+            ledger,
+            divergences: Mutex::new(Vec::new()),
+            shutting_down: AtomicBool::new(false),
+        });
+
+        Ok(node)
+    }
+
+    /// Recovery (§3.6): replay all stored blocks beyond the current
+    /// committed height (the snapshot height, or 0 on a fresh store).
+    /// Callers must install bootstrap schema/contracts *before* recovering,
+    /// exactly as they did on the original run — on-chain deployments are
+    /// replayed automatically. Returns the recovered height.
+    pub fn recover(self: &Arc<Self>) -> Result<BlockHeight> {
+        let replay = self.blockstore.blocks_after(self.height());
+        for block in replay {
+            processor::process_block(self, &block)?;
+        }
+        Ok(self.height())
+    }
+
+    /// Install outbound hooks (forwarding, ordering, checkpoints).
+    pub fn set_hooks(&self, hooks: NodeHooks) {
+        *self.hooks.write() = hooks;
+    }
+
+    /// Register a native (built-in) contract such as the deploy family of
+    /// §3.7.
+    pub fn register_native(&self, name: impl Into<String>, contract: NativeContract) {
+        self.env.natives.lock().insert(name.into(), contract);
+    }
+
+    /// The access controller (the core layer sets per-contract policies).
+    pub fn access(&self) -> &Arc<AccessController> {
+        &self.env.access
+    }
+
+    /// The contract registry.
+    pub fn contracts(&self) -> &Arc<ContractRegistry> {
+        &self.env.contracts
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.env.catalog
+    }
+
+    /// Node metrics.
+    pub fn metrics(&self) -> &Arc<NodeMetrics> {
+        &self.env.metrics
+    }
+
+    /// Committed block height.
+    pub fn height(&self) -> BlockHeight {
+        self.env.committed_height.load(Ordering::Relaxed)
+    }
+
+    /// Start the block-processing loop on `block_rx` (blocks delivered by
+    /// the ordering service, §3.3.2).
+    pub fn start(self: &Arc<Self>, block_rx: Receiver<Arc<bcrdb_chain::block::Block>>) {
+        let node = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("{}-blockproc", self.config.name))
+            .spawn(move || processor::run_loop(node, block_rx))
+            .expect("spawn block processor");
+    }
+
+    /// Stop processing (threads exit at the next opportunity).
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Relaxed);
+    }
+
+    // -------------------------------------------------------- submission
+
+    /// EO flow: a client submits a transaction to this node (§3.4.1). The
+    /// node authenticates, forwards to the other peers and the ordering
+    /// service, and starts executing immediately.
+    pub fn submit_local(&self, tx: Transaction) -> Result<()> {
+        if self.config.flow != Flow::ExecuteOrderParallel {
+            // OE: clients submit to the ordering service; a node may proxy.
+            let hooks = self.hooks.read();
+            if let Some(submit) = &hooks.submit_orderer {
+                submit(tx);
+                return Ok(());
+            }
+            return Err(Error::Config(
+                "order-then-execute node has no ordering hook installed".into(),
+            ));
+        }
+        if self.env.processed.lock().contains(&tx.id) {
+            return Err(Error::Abort(AbortReason::DuplicateTxId));
+        }
+        if self.config.verify_signatures {
+            tx.verify(&self.env.certs)?;
+        }
+        let tx = Arc::new(tx);
+        if self.env.slots.try_claim(tx.id) {
+            self.schedule(Arc::clone(&tx));
+        }
+        // Forward in the background (middleware, §4.2).
+        let hooks = self.hooks.read();
+        if let Some(forward) = &hooks.forward_tx {
+            forward(&tx);
+        }
+        if let Some(submit) = &hooks.submit_orderer {
+            submit((*tx).clone());
+        }
+        Ok(())
+    }
+
+    /// EO flow: a transaction forwarded by another peer.
+    pub fn on_peer_tx(&self, tx: Transaction) {
+        if self.config.flow != Flow::ExecuteOrderParallel {
+            return;
+        }
+        if self.env.processed.lock().contains(&tx.id) {
+            return;
+        }
+        let tx = Arc::new(tx);
+        if self.env.slots.try_claim(tx.id) {
+            self.schedule(tx);
+        }
+    }
+
+    pub(crate) fn schedule(&self, tx: Arc<Transaction>) {
+        let snapshot_height = tx.snapshot_height.unwrap_or_else(|| self.height());
+        self.pool.submit(ExecTask { tx, snapshot_height, mode: ScanMode::Strict });
+    }
+
+    // ------------------------------------------------------------ queries
+
+    /// Run a read-only query (SELECT, including provenance `HISTORY()`
+    /// scans) at the current committed height. Reads execute on this node
+    /// only and are not recorded on the blockchain (§3.7).
+    pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        self.query_at(sql, params, self.height())
+    }
+
+    /// Run a read-only query at a specific historical block height.
+    pub fn query_at(
+        &self,
+        sql: &str,
+        params: &[Value],
+        height: BlockHeight,
+    ) -> Result<QueryResult> {
+        let stmt = bcrdb_sql::parse_statement(sql)?;
+        if !matches!(stmt, Statement::Select(_)) {
+            return Err(Error::Analysis(
+                "only SELECT statements may run outside a blockchain transaction (§3.7)".into(),
+            ));
+        }
+        let ctx = TxnCtx::read_only(&self.env.ssi, height);
+        let exec = Executor::new(&self.env.catalog, &ctx, params);
+        match exec.execute(&stmt)? {
+            StatementEffect::Rows(r) => Ok(r),
+            _ => Err(Error::internal("SELECT produced a non-row effect")),
+        }
+    }
+
+    /// Register for the final status of a transaction.
+    pub fn wait_for(&self, id: GlobalTxId) -> Receiver<TxNotification> {
+        self.notifications.wait_for(id)
+    }
+
+    /// Subscribe to all transaction notifications.
+    pub fn subscribe_notifications(&self) -> Receiver<TxNotification> {
+        self.notifications.subscribe_all()
+    }
+
+    /// Checkpoint divergences detected so far (§3.5 properties 3/5).
+    pub fn divergences(&self) -> Vec<Divergence> {
+        self.divergences.lock().clone()
+    }
+
+    /// Hash of the full committed state at the current height, excluding
+    /// the ledger table (whose commit timestamps are node-local). Two
+    /// honest replicas at the same height produce identical hashes.
+    pub fn state_hash(&self) -> Digest {
+        let mut enc = Encoder::with_capacity(64 * 1024);
+        enc.put_u64(self.height());
+        for name in self.env.catalog.table_names() {
+            if name == LEDGER_TABLE_NAME {
+                continue;
+            }
+            let table = self.env.catalog.get(&name).expect("listed table");
+            enc.put_str(&name);
+            // Committed versions in (row id, creator block) order.
+            let mut versions: Vec<(u64, u64, Vec<Value>, Option<u64>)> = table
+                .all_versions()
+                .iter()
+                .filter_map(|v| {
+                    let st = v.state();
+                    let creator = st.creator_block?;
+                    if st.aborted || creator > self.height() {
+                        return None;
+                    }
+                    let deleter = st.deleter_block.filter(|d| *d <= self.height());
+                    Some((st.row_id.0, creator, v.data.clone(), deleter))
+                })
+                .collect();
+            versions.sort_by_key(|(rid, cb, _, _)| (*rid, *cb));
+            enc.put_u32(versions.len() as u32);
+            for (rid, cb, data, deleter) in versions {
+                enc.put_u64(rid);
+                enc.put_u64(cb);
+                enc.put_u64(deleter.unwrap_or(0));
+                enc.put_row(&data);
+            }
+        }
+        sha256(&enc.finish())
+    }
+
+    /// Reclaim old row versions across all tables (the enhanced vacuum of
+    /// §7). Returns the number of versions removed.
+    pub fn vacuum(&self, horizon: BlockHeight) -> usize {
+        let mut total = 0;
+        for name in self.env.catalog.table_names() {
+            if let Ok(table) = self.env.catalog.get(&name) {
+                total += table.vacuum(horizon);
+            }
+        }
+        total
+    }
+
+    // ------------------------------------------------------- persistence
+
+    pub(crate) fn is_processed(&self, id: &GlobalTxId) -> bool {
+        self.env.processed.lock().contains(id)
+    }
+
+    pub(crate) fn mark_processed(&self, id: GlobalTxId) {
+        self.env.processed.lock().insert(id);
+    }
+
+    pub(crate) fn append_ledger(&self, records: &[LedgerRecord], block: BlockHeight) {
+        for r in records {
+            let rid = self.ledger.alloc_row_id();
+            self.ledger.append_restored(Version::restored(
+                TxId::INVALID,
+                r.to_row(),
+                rid,
+                block,
+                None,
+                None,
+            ));
+        }
+    }
+
+    /// Read back ledger records for a block (recovery checks, tests).
+    pub fn ledger_records(&self, block: BlockHeight) -> Vec<LedgerRecord> {
+        let mut out = Vec::new();
+        for v in self.ledger.all_versions() {
+            if v.state().creator_block == Some(block) {
+                if let Ok(r) = LedgerRecord::from_row(&v.data) {
+                    out.push(r);
+                }
+            }
+        }
+        out.sort_by_key(|r| r.tx_index);
+        out
+    }
+
+    /// Write a state snapshot (atomic: tmp + rename). No transactions may
+    /// be committing concurrently — called from the block processor only.
+    pub(crate) fn write_snapshot(&self) -> Result<()> {
+        let Some(dir) = &self.config.data_dir else { return Ok(()) };
+        let mut enc = Encoder::with_capacity(256 * 1024);
+        enc.put_bytes(SNAPSHOT_MAGIC);
+        enc.put_bytes(&persist::encode_catalog(&self.env.catalog, self.height()));
+        let names = self.env.contracts.names();
+        enc.put_u32(names.len() as u32);
+        for name in names {
+            let def = self.env.contracts.get(&name).expect("listed contract");
+            enc.put_str(&name);
+            enc.put_str(&function_to_sql(&def));
+        }
+        let processed = self.env.processed.lock();
+        enc.put_u32(processed.len() as u32);
+        // Deterministic file contents (not strictly required, but keeps
+        // snapshot bytes reproducible for testing).
+        let mut ids: Vec<&GlobalTxId> = processed.iter().collect();
+        ids.sort();
+        for id in ids {
+            enc.put_digest(&id.0);
+        }
+        drop(processed);
+
+        let tmp = dir.join("state.snapshot.tmp");
+        std::fs::write(&tmp, enc.finish())?;
+        std::fs::rename(&tmp, dir.join("state.snapshot"))?;
+        Ok(())
+    }
+}
+
+struct LoadedSnapshot {
+    catalog: Catalog,
+    height: BlockHeight,
+    contracts: Vec<(String, String)>,
+    processed: HashSet<GlobalTxId>,
+}
+
+fn load_snapshot(path: &PathBuf) -> Result<LoadedSnapshot> {
+    let bytes = std::fs::read(path)?;
+    let mut dec = Decoder::new(&bytes);
+    let magic = dec.get_bytes()?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(Error::Codec("bad node snapshot magic".into()));
+    }
+    let catalog_bytes = dec.get_bytes()?;
+    let (catalog, height) = persist::decode_catalog(&catalog_bytes)?;
+    let n = dec.get_u32()? as usize;
+    let mut contracts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = dec.get_str()?;
+        let source = dec.get_str()?;
+        contracts.push((name, source));
+    }
+    let n = dec.get_u32()? as usize;
+    let mut processed = HashSet::with_capacity(n);
+    for _ in 0..n {
+        processed.insert(GlobalTxId(dec.get_digest()?));
+    }
+    Ok(LoadedSnapshot { catalog, height, contracts, processed })
+}

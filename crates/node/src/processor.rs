@@ -1,0 +1,380 @@
+//! Block processing: the execution and committing phases of both flows.
+//!
+//! Order of operations per block (§3.3.2–§3.3.4, §3.4.3):
+//!
+//! 1. verify the block (sequence, hash chain, orderer signature) and
+//!    append it to the block store;
+//! 2. start any transactions not already executing (all of them in the OE
+//!    flow; only *missing* ones in the EO flow) and wait until every
+//!    transaction of the block is ready to commit;
+//! 3. serially signal each transaction in block order: SSI commit check →
+//!    primary-key check → write-set application (or rollback);
+//! 4. record every transaction in the ledger table, notify clients,
+//!    compute the write-set hash and submit the checkpoint vote;
+//! 5. compare checkpoint votes carried in the block's metadata against our
+//!    own hashes (tamper/divergence detection, §3.5).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use bcrdb_chain::block::{Block, CheckpointVote};
+use bcrdb_chain::checkpoint::WriteSetHasher;
+use bcrdb_chain::ledger::{LedgerRecord, TxStatus};
+use bcrdb_chain::tx::Transaction;
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::ids::{GlobalTxId, TxId};
+use bcrdb_engine::exec::{apply_catalog_op, CatalogOp};
+use bcrdb_engine::procedures::ContractRegistry;
+use bcrdb_sql::validate::DeterminismRules;
+use bcrdb_storage::catalog::Catalog;
+use bcrdb_storage::snapshot::ScanMode;
+use bcrdb_txn::context::CommitOutcome;
+use bcrdb_txn::ssi::Flow;
+use crossbeam_channel::Receiver;
+
+use crate::exec_pool::ExecTask;
+use crate::node::Node;
+use crate::notify::TxNotification;
+
+/// How long the block processor waits for transaction executions before
+/// declaring the node stuck (defensive; never hit in a healthy system).
+const EXEC_WAIT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Receive-and-process loop (runs on the node's block-processor thread).
+/// Out-of-order future blocks are held back and processed once the gap
+/// closes (§3.6: "the node then retrieves any missing blocks, processes
+/// and commits them one by one").
+pub fn run_loop(node: Arc<Node>, rx: Receiver<Arc<Block>>) {
+    let mut pending: std::collections::BTreeMap<u64, Arc<Block>> = Default::default();
+    for block in rx.iter() {
+        if node.shutting_down.load(Ordering::Relaxed) {
+            return;
+        }
+        let current = node.blockstore.height();
+        if block.number > current + 1 {
+            pending.insert(block.number, block);
+            continue;
+        }
+        if let Err(e) = on_block(&node, &block) {
+            // A verification failure means a byzantine orderer or local
+            // corruption: stop processing rather than diverge (§3.5(4)).
+            eprintln!("[{}] block {} rejected: {e}", node.config.name, block.number);
+            return;
+        }
+        // Drain any consecutively buffered blocks.
+        loop {
+            let next = node.blockstore.height() + 1;
+            let Some(b) = pending.remove(&next) else { break };
+            if let Err(e) = on_block(&node, &b) {
+                eprintln!("[{}] block {} rejected: {e}", node.config.name, b.number);
+                return;
+            }
+        }
+        pending.retain(|n, _| *n > node.blockstore.height());
+    }
+}
+
+/// Verify and process a newly received block.
+pub fn on_block(node: &Arc<Node>, block: &Arc<Block>) -> Result<()> {
+    node.env.metrics.on_block_received();
+    let current = node.blockstore.height();
+    if block.number <= current {
+        return Ok(()); // duplicate delivery
+    }
+    if block.number != current + 1 {
+        return Err(Error::internal(format!(
+            "block gap: have {current}, received {}",
+            block.number
+        )));
+    }
+    if node.config.verify_signatures {
+        block.verify(&node.blockstore.tip_hash(), &node.env.certs)?;
+    } else {
+        block.verify_integrity()?;
+    }
+    node.blockstore.append((**block).clone())?;
+    process_block(node, block)
+}
+
+/// Execute and commit one block (also the §3.6 recovery replay path —
+/// blocks from the local store are already verified).
+pub fn process_block(node: &Arc<Node>, block: &Arc<Block>) -> Result<()> {
+    let t0 = Instant::now();
+    let flow = node.config.flow;
+
+    if node.config.serial_execution {
+        return process_serial(node, block, t0);
+    }
+
+    // ---- execution phase -------------------------------------------------
+    let exec_height = block.number - 1;
+    let mut wait_ids: Vec<GlobalTxId> = Vec::with_capacity(block.txs.len());
+    let mut missing = 0u64;
+    for tx in &block.txs {
+        if node.is_processed(&tx.id) {
+            continue; // duplicate: aborted at the commit phase
+        }
+        let snap = effective_snapshot(tx, flow, exec_height);
+        if snap > exec_height {
+            continue; // future snapshot: deterministic abort, never executed
+        }
+        if node.env.slots.try_claim(tx.id) {
+            if flow == Flow::ExecuteOrderParallel {
+                // Should have arrived via peer forwarding (§3.4.3: "the
+                // committer starts executing all missing transactions").
+                missing += 1;
+            }
+            let mode = match flow {
+                Flow::OrderThenExecute => ScanMode::Relaxed,
+                Flow::ExecuteOrderParallel => ScanMode::Strict,
+            };
+            node.pool.submit(ExecTask { tx: Arc::new(tx.clone()), snapshot_height: snap, mode });
+        }
+        wait_ids.push(tx.id);
+    }
+    if missing > 0 {
+        node.env.metrics.on_missing_txs(missing);
+    }
+    node.env.slots.wait_all_done(&wait_ids, EXEC_WAIT_TIMEOUT)?;
+    let bet_us = t0.elapsed().as_micros() as u64;
+
+    // ---- committing phase ------------------------------------------------
+    let mut hasher = WriteSetHasher::new();
+    let mut records = Vec::with_capacity(block.txs.len());
+    for (i, tx) in block.txs.iter().enumerate() {
+        let record = commit_one(node, block, i as u32, tx, flow, &mut hasher);
+        node.mark_processed(tx.id);
+        records.push(record);
+    }
+    publish_checkpoint(node, block.number, hasher);
+    finish_block(node, block, records, t0, bet_us)
+}
+
+/// The Ethereum-style baseline (§5.1): execute and commit transactions one
+/// at a time, in block order, with no concurrency.
+fn process_serial(node: &Arc<Node>, block: &Arc<Block>, t0: Instant) -> Result<()> {
+    let flow = node.config.flow;
+    let exec_height = block.number - 1;
+    let mut hasher = WriteSetHasher::new();
+    let mut records = Vec::with_capacity(block.txs.len());
+    let mut bet_us = 0u64;
+    for (i, tx) in block.txs.iter().enumerate() {
+        let snap = effective_snapshot(tx, flow, exec_height);
+        if !node.is_processed(&tx.id) && snap <= exec_height && node.env.slots.try_claim(tx.id) {
+            let te = Instant::now();
+            node.pool.run_inline(ExecTask {
+                tx: Arc::new(tx.clone()),
+                snapshot_height: snap,
+                mode: ScanMode::Relaxed,
+            });
+            bet_us += te.elapsed().as_micros() as u64;
+        }
+        let record = commit_one(node, block, i as u32, tx, flow, &mut hasher);
+        node.mark_processed(tx.id);
+        records.push(record);
+    }
+    publish_checkpoint(node, block.number, hasher);
+    finish_block(node, block, records, t0, bet_us)
+}
+
+fn effective_snapshot(tx: &Transaction, flow: Flow, exec_height: u64) -> u64 {
+    match flow {
+        Flow::OrderThenExecute => exec_height,
+        Flow::ExecuteOrderParallel => tx.snapshot_height.unwrap_or(exec_height),
+    }
+}
+
+/// Serially decide one transaction (§3.3.3): the commit order is the order
+/// within the block, and every decision is a pure function of deterministic
+/// state — identical on all honest nodes.
+fn commit_one(
+    node: &Arc<Node>,
+    block: &Arc<Block>,
+    index: u32,
+    tx: &Transaction,
+    flow: Flow,
+    hasher: &mut WriteSetHasher,
+) -> LedgerRecord {
+    let now_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as i64)
+        .unwrap_or(0);
+    let base = |txid: TxId, status: TxStatus| LedgerRecord {
+        block: block.number,
+        tx_index: index,
+        global_id: tx.id,
+        user: tx.user.clone(),
+        contract: tx.payload.contract.clone(),
+        txid,
+        status,
+        commit_time_ms: now_ms,
+    };
+
+    if node.is_processed(&tx.id) {
+        return base(
+            TxId::INVALID,
+            TxStatus::Aborted("duplicate transaction identifier".into()),
+        );
+    }
+    let snap = effective_snapshot(tx, flow, block.number - 1);
+    if snap > block.number - 1 {
+        return base(
+            TxId::INVALID,
+            TxStatus::Aborted(format!(
+                "snapshot height {snap} is beyond block {}",
+                block.number
+            )),
+        );
+    }
+    let Some(done) = node.env.slots.take_done(&tx.id) else {
+        return base(TxId::INVALID, TxStatus::Aborted("execution result missing".into()));
+    };
+    let txid = done.ctx.id;
+
+    // Deferred DDL must be applicable before we commit data writes.
+    if let Err(e) =
+        validate_catalog_ops(&node.env.catalog, &node.env.contracts, &done.catalog_ops, flow)
+    {
+        done.ctx.rollback();
+        return base(txid, TxStatus::Aborted(format!("ddl rejected: {e}")));
+    }
+
+    match done.ctx.apply_commit(block.number, index, flow) {
+        CommitOutcome::Committed(write_set) => {
+            for op in &done.catalog_ops {
+                if let Err(e) = apply_catalog_op(&node.env.catalog, &node.env.contracts, &node.env.certs, op) {
+                    // Validated above; failure here is a bug, not a user
+                    // error — surface loudly but deterministically.
+                    eprintln!(
+                        "[{}] internal: catalog op failed after validation: {e}",
+                        node.config.name
+                    );
+                }
+            }
+            for w in &write_set {
+                hasher.add(&w.table, w.kind, w.row_id, &w.data);
+            }
+            base(txid, TxStatus::Committed)
+        }
+        CommitOutcome::Aborted(reason) => base(txid, TxStatus::Aborted(reason.to_string())),
+    }
+}
+
+fn validate_catalog_ops(
+    catalog: &Catalog,
+    contracts: &ContractRegistry,
+    ops: &[CatalogOp],
+    flow: Flow,
+) -> Result<()> {
+    let rules = match flow {
+        Flow::OrderThenExecute => DeterminismRules::order_then_execute(),
+        Flow::ExecuteOrderParallel => DeterminismRules::execute_order_parallel(),
+    };
+    for op in ops {
+        match op {
+            CatalogOp::CreateTable(schema) => {
+                if catalog.contains(&schema.name) {
+                    return Err(Error::AlreadyExists(format!("table {}", schema.name)));
+                }
+            }
+            CatalogOp::CreateIndex { table, index, column } => {
+                let t = catalog.get(table)?;
+                let schema = t.schema();
+                if schema.column_index(column).is_none() {
+                    return Err(Error::NotFound(format!("column {column} of {table}")));
+                }
+                if schema.indexes.iter().any(|i| i.name == *index) {
+                    return Err(Error::AlreadyExists(format!("index {index}")));
+                }
+            }
+            CatalogOp::DropTable { name, if_exists } => {
+                if !catalog.contains(name) && !*if_exists {
+                    return Err(Error::NotFound(format!("table {name}")));
+                }
+            }
+            CatalogOp::CreateFunction(def) => {
+                ContractRegistry::validate(def, &rules)?;
+                if contracts.get(&def.name).is_some() && !def.or_replace {
+                    return Err(Error::AlreadyExists(format!("contract {}", def.name)));
+                }
+            }
+            CatalogOp::DropFunction { name } => {
+                if contracts.get(name).is_none() {
+                    return Err(Error::NotFound(format!("contract {name}")));
+                }
+            }
+            // Certificate operations are idempotent registrations.
+            CatalogOp::RegisterCert(_) | CatalogOp::RevokeCert { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+/// Shared tail of block processing: ledger, height, checkpoints, metrics,
+/// maintenance.
+fn finish_block(
+    node: &Arc<Node>,
+    block: &Arc<Block>,
+    records: Vec<LedgerRecord>,
+    t0: Instant,
+    bet_us: u64,
+) -> Result<()> {
+    node.append_ledger(&records, block.number);
+    node.env.committed_height.store(block.number, Ordering::Relaxed);
+    node.pool.release_waiting(block.number);
+
+    // Notify clients only after the committed height advanced, so a
+    // "committed" notification guarantees the effects are visible to an
+    // immediate follow-up query on this node.
+    for record in &records {
+        node.notifications.notify(TxNotification {
+            id: record.global_id,
+            block: block.number,
+            status: record.status.clone(),
+        });
+        match record.status {
+            TxStatus::Committed => node.env.metrics.on_tx_committed(),
+            TxStatus::Aborted(_) => node.env.metrics.on_tx_aborted(),
+        }
+    }
+
+    let bpt_us = t0.elapsed().as_micros() as u64;
+    node.env.metrics.on_block_processed(bpt_us, bet_us.min(bpt_us));
+
+    // Process checkpoint votes carried by this block (§3.3.4: hashes of
+    // *previous* blocks' write sets arrive in later blocks).
+    for cv in &block.checkpoints {
+        if cv.node == node.config.name {
+            continue;
+        }
+        if let Some(d) = node.checkpoints.record_vote(&cv.node, cv.block, cv.state_hash) {
+            node.divergences.lock().push(d);
+        }
+    }
+
+    // Maintenance.
+    if node.config.gc_interval > 0 && block.number.is_multiple_of(node.config.gc_interval) {
+        node.env.ssi.gc();
+        node.checkpoints.prune(block.number.saturating_sub(64));
+    }
+    if node.config.snapshot_interval > 0 && block.number.is_multiple_of(node.config.snapshot_interval) {
+        node.write_snapshot()?;
+    }
+    Ok(())
+}
+
+/// Compute and publish the checkpoint for a processed block. Split from
+/// [`finish_block`] because the write-set hasher lives in the commit loop.
+pub(crate) fn publish_checkpoint(node: &Arc<Node>, block_number: u64, hasher: WriteSetHasher) {
+    let digest = hasher.finish();
+    node.checkpoints.record_local(block_number, digest);
+    let hooks = node.hooks.read();
+    if let Some(submit) = &hooks.submit_checkpoint {
+        submit(CheckpointVote {
+            node: node.config.name.clone(),
+            block: block_number,
+            state_hash: digest,
+        });
+    }
+}

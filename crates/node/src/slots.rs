@@ -1,0 +1,201 @@
+//! Execution slots: coordination between the executor pool and the block
+//! processor.
+//!
+//! This is the analogue of the paper's `TxMetadata` shared-memory
+//! structure (§4.2): "enables communication and synchronization between
+//! block processor and backends executing the transaction. The block
+//! processor uses this data structure to check whether all transactions
+//! have completed its execution."
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::ids::GlobalTxId;
+use bcrdb_engine::exec::CatalogOp;
+use bcrdb_txn::context::TxnCtx;
+use parking_lot::{Condvar, Mutex};
+
+/// Result of executing one transaction, parked until its commit signal.
+pub struct ExecDone {
+    /// The transaction context, ready for `apply_commit` or already doomed.
+    pub ctx: TxnCtx,
+    /// Deferred DDL produced by the contract.
+    pub catalog_ops: Vec<CatalogOp>,
+    /// Execution-time error (the context is already doomed accordingly).
+    pub error: Option<String>,
+    /// Execution duration (µs) — the paper's `tet`.
+    pub exec_us: u64,
+}
+
+enum SlotState {
+    /// Claimed: scheduled or running on a worker.
+    Pending,
+    /// Finished executing, waiting for the commit signal.
+    Done(Box<ExecDone>),
+}
+
+/// Slot table keyed by global transaction id.
+#[derive(Default)]
+pub struct SlotTable {
+    slots: Mutex<HashMap<GlobalTxId, SlotState>>,
+    done_cv: Condvar,
+}
+
+impl SlotTable {
+    /// Fresh table.
+    pub fn new() -> SlotTable {
+        SlotTable::default()
+    }
+
+    /// Claim a slot for execution. Returns false if the id is already
+    /// claimed (duplicate submission / already forwarded).
+    pub fn try_claim(&self, id: GlobalTxId) -> bool {
+        let mut slots = self.slots.lock();
+        if slots.contains_key(&id) {
+            return false;
+        }
+        slots.insert(id, SlotState::Pending);
+        true
+    }
+
+    /// Is the id present (pending or done)?
+    pub fn contains(&self, id: &GlobalTxId) -> bool {
+        self.slots.lock().contains_key(id)
+    }
+
+    /// Mark a claimed slot as executed.
+    pub fn complete(&self, id: GlobalTxId, done: ExecDone) {
+        let mut slots = self.slots.lock();
+        slots.insert(id, SlotState::Done(Box::new(done)));
+        drop(slots);
+        self.done_cv.notify_all();
+    }
+
+    /// Remove a slot entirely (duplicate aborts, cancelled executions).
+    pub fn remove(&self, id: &GlobalTxId) -> Option<Box<ExecDone>> {
+        match self.slots.lock().remove(id) {
+            Some(SlotState::Done(d)) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Block until every listed id is `Done` (the §3.3.3 pre-condition:
+    /// "only when all valid transactions are executed and ready to be
+    /// either committed or aborted"). Errors after `timeout`.
+    pub fn wait_all_done(&self, ids: &[GlobalTxId], timeout: Duration) -> Result<()> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slots = self.slots.lock();
+        loop {
+            let all_done = ids.iter().all(|id| {
+                matches!(slots.get(id), Some(SlotState::Done(_)))
+            });
+            if all_done {
+                return Ok(());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                let stuck: Vec<String> = ids
+                    .iter()
+                    .filter(|id| !matches!(slots.get(id), Some(SlotState::Done(_))))
+                    .map(|id| id.short())
+                    .collect();
+                return Err(Error::internal(format!(
+                    "timed out waiting for transaction execution: {stuck:?}"
+                )));
+            }
+            self.done_cv.wait_for(&mut slots, deadline - now);
+        }
+    }
+
+    /// Take the execution result of a done slot.
+    pub fn take_done(&self, id: &GlobalTxId) -> Option<Box<ExecDone>> {
+        let mut slots = self.slots.lock();
+        match slots.get(id) {
+            Some(SlotState::Done(_)) => match slots.remove(id) {
+                Some(SlotState::Done(d)) => Some(d),
+                _ => unreachable!("checked above"),
+            },
+            _ => None,
+        }
+    }
+
+    /// Number of tracked slots (diagnostics).
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// True when no slots are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcrdb_storage::snapshot::ScanMode;
+    use bcrdb_txn::ssi::SsiManager;
+    use std::sync::Arc;
+
+    fn done() -> ExecDone {
+        let mgr = Arc::new(SsiManager::new());
+        ExecDone {
+            ctx: TxnCtx::begin(&mgr, 0, ScanMode::Relaxed),
+            catalog_ops: Vec::new(),
+            error: None,
+            exec_us: 42,
+        }
+    }
+
+    fn id(n: u8) -> GlobalTxId {
+        GlobalTxId([n; 32])
+    }
+
+    #[test]
+    fn claim_complete_take() {
+        let t = SlotTable::new();
+        assert!(t.try_claim(id(1)));
+        assert!(!t.try_claim(id(1)), "double claim rejected");
+        assert!(t.contains(&id(1)));
+        assert!(t.take_done(&id(1)).is_none(), "not done yet");
+        t.complete(id(1), done());
+        let d = t.take_done(&id(1)).unwrap();
+        assert_eq!(d.exec_us, 42);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn wait_all_done_blocks_until_completion() {
+        let t = Arc::new(SlotTable::new());
+        t.try_claim(id(1));
+        t.try_claim(id(2));
+        let t2 = Arc::clone(&t);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            t2.complete(id(1), done());
+            std::thread::sleep(Duration::from_millis(30));
+            t2.complete(id(2), done());
+        });
+        t.wait_all_done(&[id(1), id(2)], Duration::from_secs(5)).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_all_done_times_out() {
+        let t = SlotTable::new();
+        t.try_claim(id(9));
+        let err = t
+            .wait_all_done(&[id(9)], Duration::from_millis(30))
+            .unwrap_err();
+        assert!(err.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn remove_discards_pending() {
+        let t = SlotTable::new();
+        t.try_claim(id(3));
+        assert!(t.remove(&id(3)).is_none(), "pending slot has no result");
+        assert!(!t.contains(&id(3)));
+    }
+}

@@ -1,0 +1,501 @@
+//! BFT ordering backend: a PBFT-style three-phase protocol in the spirit
+//! of BFT-SMaRt (§4.4).
+//!
+//! Replica 0 is the leader: it batches submitted transactions (block
+//! size/timeout) and proposes each block with a PRE-PREPARE. Replicas then
+//! exchange PREPARE and COMMIT messages over the simulated network —
+//! `n(n-1)` messages per phase — and deliver once a quorum of `2f+1`
+//! commits is observed. Every replica applies a configurable per-message
+//! processing cost ([`crate::OrderingConfig::bft_msg_cost`]), which is what
+//! produces the throughput degradation with orderer count seen in the
+//! paper's Fig 8(b).
+//!
+//! This is the *failure-free path* of PBFT only: view changes are out of
+//! scope (the paper likewise measures failure-free ordering throughput).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bcrdb_chain::block::{genesis_prev_hash, Block, CheckpointVote};
+use bcrdb_chain::tx::Transaction;
+use bcrdb_common::ids::BlockHeight;
+use bcrdb_crypto::identity::KeyPair;
+use bcrdb_crypto::sha256::Digest;
+use bcrdb_network::SimNetwork;
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::config::OrderingConfig;
+use crate::cutter::BlockCutter;
+use crate::service::{deliver_block, Input, OrderingStats};
+
+/// Consensus messages between orderer replicas.
+#[derive(Clone, Debug)]
+pub enum BftMsg {
+    /// A transaction forwarded to the leader.
+    Forward(Box<Transaction>),
+    /// A checkpoint vote forwarded to the leader.
+    ForwardVote(CheckpointVote),
+    /// Leader's proposal.
+    PrePrepare(Arc<Block>),
+    /// Phase-2 vote.
+    Prepare {
+        /// Block number.
+        number: BlockHeight,
+        /// Block hash.
+        hash: Digest,
+    },
+    /// Phase-3 vote.
+    Commit {
+        /// Block number.
+        number: BlockHeight,
+        /// Block hash.
+        hash: Digest,
+    },
+    /// Stop the replica.
+    Stop,
+}
+
+/// Handle owning the BFT threads.
+pub struct BftHandle {
+    net: Arc<SimNetwork<BftMsg>>,
+    stop: Arc<AtomicBool>,
+    replicas: usize,
+}
+
+impl BftHandle {
+    /// Signal every replica to stop and tear the network down.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for i in 0..self.replicas {
+            let _ = self.net.send("control", &replica_endpoint(i), BftMsg::Stop, 1);
+        }
+        // Give replicas a moment to observe Stop before the network dies.
+        std::thread::sleep(Duration::from_millis(20));
+        self.net.shutdown();
+    }
+}
+
+fn replica_endpoint(i: usize) -> String {
+    format!("bft-replica-{i}")
+}
+
+/// Start `config.orderers` BFT replicas. `input` feeds client submissions
+/// (they are forwarded to the leader).
+pub fn start(
+    config: &OrderingConfig,
+    keys: Vec<Arc<KeyPair>>,
+    subscribers: Arc<Vec<Mutex<Vec<Sender<Arc<Block>>>>>>,
+    height: Arc<AtomicU64>,
+    stats: Arc<OrderingStats>,
+    input: Receiver<Input>,
+) -> BftHandle {
+    let n = config.orderers;
+    let net: Arc<SimNetwork<BftMsg>> = SimNetwork::new(config.net_profile);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut rxs = Vec::with_capacity(n);
+    for i in 0..n {
+        rxs.push(net.register(replica_endpoint(i)));
+    }
+    for (i, rx) in rxs.into_iter().enumerate() {
+        let replica = Replica {
+            idx: i,
+            n,
+            f: (n.saturating_sub(1)) / 3,
+            key: Arc::clone(&keys[i]),
+            net: Arc::clone(&net),
+            msg_cost: config.bft_msg_cost,
+            block_size: config.block_size,
+            block_timeout: config.block_timeout,
+            subscribers: Arc::clone(&subscribers),
+            height: Arc::clone(&height),
+            stats: Arc::clone(&stats),
+            stop: Arc::clone(&stop),
+            consensus_label: config.kind.as_str(),
+        };
+        std::thread::Builder::new()
+            .name(format!("bft-replica-{i}"))
+            .spawn(move || replica.run(rx))
+            .expect("spawn bft replica");
+    }
+
+    // Input pump: forwards client submissions to the leader endpoint.
+    let pump_net = Arc::clone(&net);
+    let pump_stop = Arc::clone(&stop);
+    std::thread::Builder::new()
+        .name("bft-input-pump".into())
+        .spawn(move || {
+            for msg in input.iter() {
+                if pump_stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let wire = match msg {
+                    Input::Tx(tx) => {
+                        let size = tx.wire_size();
+                        (BftMsg::Forward(tx), size)
+                    }
+                    Input::Vote(v) => (BftMsg::ForwardVote(v), 72),
+                    Input::Stop => return,
+                };
+                let _ = pump_net.send("client-gateway", &replica_endpoint(0), wire.0, wire.1);
+            }
+        })
+        .expect("spawn bft input pump");
+
+    BftHandle { net, stop, replicas: n }
+}
+
+struct Replica {
+    idx: usize,
+    n: usize,
+    f: usize,
+    key: Arc<KeyPair>,
+    net: Arc<SimNetwork<BftMsg>>,
+    msg_cost: Duration,
+    block_size: usize,
+    block_timeout: Duration,
+    subscribers: Arc<Vec<Mutex<Vec<Sender<Arc<Block>>>>>>,
+    height: Arc<AtomicU64>,
+    stats: Arc<OrderingStats>,
+    stop: Arc<AtomicBool>,
+    consensus_label: &'static str,
+}
+
+#[derive(Default)]
+struct RoundState {
+    block: Option<Arc<Block>>,
+    prepares: usize,
+    commits: usize,
+    sent_commit: bool,
+    delivered: bool,
+}
+
+impl Replica {
+    fn is_leader(&self) -> bool {
+        self.idx == 0
+    }
+
+    fn broadcast(&self, msg: BftMsg, size: usize) {
+        for j in 0..self.n {
+            if j != self.idx {
+                let _ = self.net.send(
+                    &replica_endpoint(self.idx),
+                    &replica_endpoint(j),
+                    msg.clone(),
+                    size,
+                );
+            }
+        }
+    }
+
+    fn run(self, rx: Receiver<bcrdb_network::Delivered<BftMsg>>) {
+        let mut cutter = BlockCutter::new(self.block_size, self.block_timeout);
+        let mut rounds: HashMap<BlockHeight, RoundState> = HashMap::new();
+        let mut next_number: BlockHeight = 1;
+        let mut prev_hash = genesis_prev_hash();
+        // Leader proposes sequentially: one consensus instance at a time.
+        let mut in_flight = false;
+        let mut ready: Vec<(Vec<Transaction>, Vec<CheckpointVote>)> = Vec::new();
+
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let wait = if self.is_leader() {
+                cutter
+                    .time_until_cut(Instant::now())
+                    .unwrap_or(Duration::from_millis(50))
+                    .min(Duration::from_millis(50))
+            } else {
+                Duration::from_millis(50)
+            };
+            let msg = match rx.recv_timeout(wait) {
+                Ok(d) => Some(d.msg),
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => None,
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+            };
+
+            if let Some(msg) = msg {
+                match msg {
+                    BftMsg::Stop => return,
+                    BftMsg::Forward(tx) => {
+                        if self.is_leader() {
+                            if let Some(cut) = cutter.push_tx(*tx, Instant::now()) {
+                                ready.push((cut.txs, cut.votes));
+                            }
+                        }
+                    }
+                    BftMsg::ForwardVote(v) => {
+                        if self.is_leader() {
+                            cutter.push_vote(v);
+                        }
+                    }
+                    BftMsg::PrePrepare(block) => {
+                        self.pay_cost();
+                        // Replicas validate the proposal before voting.
+                        if block.verify_integrity().is_ok() {
+                            self.on_preprepare(block, &mut rounds, &mut in_flight, &mut prev_hash);
+                        }
+                    }
+                    BftMsg::Prepare { number, hash } => {
+                        self.pay_cost();
+                        self.on_prepare(number, hash, &mut rounds, &mut in_flight, &mut prev_hash);
+                    }
+                    BftMsg::Commit { number, hash } => {
+                        self.pay_cost();
+                        self.on_commit(
+                            number,
+                            hash,
+                            &mut rounds,
+                            &mut in_flight,
+                            &mut prev_hash,
+                        );
+                    }
+                }
+            }
+
+            if self.is_leader() {
+                if let Some(cut) = cutter.poll_timeout(Instant::now()) {
+                    ready.push((cut.txs, cut.votes));
+                }
+                if !in_flight && !ready.is_empty() {
+                    let (txs, votes) = ready.remove(0);
+                    let block = Arc::new(Block::build(
+                        next_number,
+                        prev_hash,
+                        txs,
+                        self.consensus_label,
+                        votes,
+                    ));
+                    next_number += 1;
+                    in_flight = true;
+                    let size = block.wire_size();
+                    self.broadcast(BftMsg::PrePrepare(Arc::clone(&block)), size);
+                    // The leader processes its own proposal.
+                    self.on_preprepare(block, &mut rounds, &mut in_flight, &mut prev_hash);
+                }
+            }
+        }
+    }
+
+    fn pay_cost(&self) {
+        if !self.msg_cost.is_zero() {
+            std::thread::sleep(self.msg_cost);
+        }
+    }
+
+    fn on_preprepare(
+        &self,
+        block: Arc<Block>,
+        rounds: &mut HashMap<BlockHeight, RoundState>,
+        in_flight: &mut bool,
+        prev_hash: &mut Digest,
+    ) {
+        let number = block.number;
+        let hash = block.hash;
+        let state = rounds.entry(number).or_default();
+        if state.block.is_some() {
+            return;
+        }
+        state.block = Some(block);
+        // Broadcast our PREPARE and count it for ourselves.
+        self.broadcast(BftMsg::Prepare { number, hash }, 64);
+        state.prepares += 1;
+        self.check_prepared(number, hash, rounds, in_flight, prev_hash);
+    }
+
+    fn on_prepare(
+        &self,
+        number: BlockHeight,
+        hash: Digest,
+        rounds: &mut HashMap<BlockHeight, RoundState>,
+        in_flight: &mut bool,
+        prev_hash: &mut Digest,
+    ) {
+        let state = rounds.entry(number).or_default();
+        state.prepares += 1;
+        self.check_prepared(number, hash, rounds, in_flight, prev_hash);
+    }
+
+    fn check_prepared(
+        &self,
+        number: BlockHeight,
+        hash: Digest,
+        rounds: &mut HashMap<BlockHeight, RoundState>,
+        in_flight: &mut bool,
+        prev_hash: &mut Digest,
+    ) {
+        let state = rounds.entry(number).or_default();
+        // Prepared once we hold the proposal and 2f matching PREPAREs
+        // (our own included).
+        if !state.sent_commit && state.block.is_some() && state.prepares > 2 * self.f {
+            state.sent_commit = true;
+            self.broadcast(BftMsg::Commit { number, hash }, 64);
+            state.commits += 1;
+            // With f = 0 our own commit may already complete the quorum.
+            self.try_deliver(number, rounds, in_flight, prev_hash);
+        }
+    }
+
+    fn on_commit(
+        &self,
+        number: BlockHeight,
+        _hash: Digest,
+        rounds: &mut HashMap<BlockHeight, RoundState>,
+        in_flight: &mut bool,
+        prev_hash: &mut Digest,
+    ) {
+        let state = rounds.entry(number).or_default();
+        state.commits += 1;
+        self.try_deliver(number, rounds, in_flight, prev_hash);
+    }
+
+    fn try_deliver(
+        &self,
+        number: BlockHeight,
+        rounds: &mut HashMap<BlockHeight, RoundState>,
+        in_flight: &mut bool,
+        prev_hash: &mut Digest,
+    ) {
+        let state = rounds.entry(number).or_default();
+        if state.delivered || state.block.is_none() || state.commits < 2 * self.f + 1 {
+            return;
+        }
+        state.delivered = true;
+        let block = state.block.clone().expect("checked above");
+        *prev_hash = block.hash;
+        deliver_block(&block, self.idx, &self.key, &self.subscribers);
+        if self.idx == 0 {
+            self.stats.blocks.fetch_add(1, Ordering::Relaxed);
+            self.stats.txs.fetch_add(block.txs.len() as u64, Ordering::Relaxed);
+            self.height.store(block.number, Ordering::Relaxed);
+            *in_flight = false;
+        }
+        rounds.retain(|n, _| *n + 8 > number);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OrderingConfig;
+    use crate::service::OrderingService;
+    use bcrdb_chain::tx::Payload;
+    use bcrdb_common::value::Value;
+    use bcrdb_crypto::identity::{Certificate, CertificateRegistry, Role, Scheme};
+    use bcrdb_network::NetProfile;
+
+    fn client() -> (KeyPair, Arc<CertificateRegistry>) {
+        let key = KeyPair::generate("org1/alice", b"alice", Scheme::Sim);
+        let certs = CertificateRegistry::new();
+        certs.register(Certificate {
+            name: "org1/alice".into(),
+            org: "org1".into(),
+            role: Role::Client,
+            public_key: key.public_key(),
+        });
+        (key, certs)
+    }
+
+    fn tx(key: &KeyPair, n: u64) -> Transaction {
+        Transaction::new_order_execute(
+            "org1/alice",
+            Payload::new("f", vec![Value::Int(n as i64)]),
+            n,
+            key,
+        )
+        .unwrap()
+    }
+
+    fn bft_config(n: usize) -> OrderingConfig {
+        let mut c = OrderingConfig::bft(n, 3, Duration::from_millis(100));
+        c.bft_msg_cost = Duration::from_micros(100); // fast tests
+        c.net_profile = NetProfile::instant();
+        c
+    }
+
+    #[test]
+    fn four_replicas_reach_agreement() {
+        let (key, certs) = client();
+        let svc = OrderingService::start(bft_config(4), &certs);
+        let rx0 = svc.subscribe_to(0);
+        let rx3 = svc.subscribe_to(3);
+        for i in 0..6 {
+            svc.submit(tx(&key, i)).unwrap();
+        }
+        for expected in 1..=2u64 {
+            let b0 = rx0.recv_timeout(Duration::from_secs(5)).unwrap();
+            let b3 = rx3.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(b0.number, expected);
+            assert_eq!(b0.hash, b3.hash, "replicas deliver the identical block");
+            assert_eq!(b0.consensus, "bft");
+        }
+        // Chain verifies against the orderer certificates.
+        svc.shutdown();
+    }
+
+    #[test]
+    fn single_replica_degenerates_to_solo() {
+        let (key, certs) = client();
+        let svc = OrderingService::start(bft_config(1), &certs);
+        let rx = svc.subscribe();
+        for i in 0..3 {
+            svc.submit(tx(&key, i)).unwrap();
+        }
+        let b = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(b.number, 1);
+        assert_eq!(b.txs.len(), 3);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn timeout_cut_works_under_bft() {
+        let (key, certs) = client();
+        let mut cfg = bft_config(4);
+        cfg.block_size = 1000;
+        cfg.block_timeout = Duration::from_millis(50);
+        let svc = OrderingService::start(cfg, &certs);
+        let rx = svc.subscribe();
+        svc.submit(tx(&key, 1)).unwrap();
+        let b = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(b.txs.len(), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn throughput_degrades_with_replica_count() {
+        // A miniature Fig 8(b): identical offered load, 2 vs 8 replicas
+        // with a non-trivial per-message cost. More replicas → more
+        // messages per round → lower delivered throughput.
+        let (key, _certs2) = client();
+        let run = |n: usize| -> u64 {
+            let certs = CertificateRegistry::new();
+            let mut cfg = OrderingConfig::bft(n, 5, Duration::from_millis(20));
+            cfg.bft_msg_cost = Duration::from_millis(2);
+            cfg.net_profile = NetProfile::instant();
+            let svc = OrderingService::start(cfg, &certs);
+            let _rx = svc.subscribe();
+            let deadline = Instant::now() + Duration::from_millis(600);
+            let mut i = 0u64;
+            while Instant::now() < deadline {
+                let _ = svc.submit(tx(&key, i));
+                i += 1;
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            std::thread::sleep(Duration::from_millis(300));
+            let (_, txs) = svc.stats();
+            svc.shutdown();
+            txs
+        };
+        let small = run(2);
+        let large = run(8);
+        assert!(small > 0);
+        assert!(
+            large < small,
+            "8 replicas ({large} txs) should order fewer than 2 replicas ({small} txs)"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Block cutting: batch pending transactions by size or timeout (§4.4).
+
+use std::time::{Duration, Instant};
+
+use bcrdb_chain::block::CheckpointVote;
+use bcrdb_chain::tx::Transaction;
+
+/// A batch ready to become a block.
+#[derive(Debug)]
+pub struct Cut {
+    /// Ordered transactions.
+    pub txs: Vec<Transaction>,
+    /// Checkpoint votes to embed in the block's metadata.
+    pub votes: Vec<CheckpointVote>,
+}
+
+/// Accumulates transactions and checkpoint votes; cuts when the batch
+/// reaches `block_size` or `timeout` after the first pending transaction.
+pub struct BlockCutter {
+    block_size: usize,
+    timeout: Duration,
+    pending: Vec<Transaction>,
+    votes: Vec<CheckpointVote>,
+    first_at: Option<Instant>,
+}
+
+impl BlockCutter {
+    /// New cutter.
+    pub fn new(block_size: usize, timeout: Duration) -> BlockCutter {
+        BlockCutter {
+            block_size: block_size.max(1),
+            timeout,
+            pending: Vec::new(),
+            votes: Vec::new(),
+            first_at: None,
+        }
+    }
+
+    /// Number of pending transactions.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Enqueue a transaction; returns a cut when the size bound is hit.
+    pub fn push_tx(&mut self, tx: Transaction, now: Instant) -> Option<Cut> {
+        if self.pending.is_empty() {
+            self.first_at = Some(now);
+        }
+        self.pending.push(tx);
+        if self.pending.len() >= self.block_size {
+            return Some(self.cut());
+        }
+        None
+    }
+
+    /// Enqueue a checkpoint vote (rides along with the next block).
+    pub fn push_vote(&mut self, vote: CheckpointVote) {
+        self.votes.push(vote);
+    }
+
+    /// Cut if the timeout since the first pending transaction has expired
+    /// (the "time-to-cut" message of §4.4).
+    pub fn poll_timeout(&mut self, now: Instant) -> Option<Cut> {
+        match self.first_at {
+            Some(first) if now.duration_since(first) >= self.timeout && !self.pending.is_empty() => {
+                Some(self.cut())
+            }
+            _ => None,
+        }
+    }
+
+    /// How long until the timeout would fire (None when nothing pending).
+    pub fn time_until_cut(&self, now: Instant) -> Option<Duration> {
+        self.first_at.map(|first| {
+            (first + self.timeout).saturating_duration_since(now)
+        })
+    }
+
+    fn cut(&mut self) -> Cut {
+        self.first_at = None;
+        Cut {
+            txs: std::mem::take(&mut self.pending),
+            votes: std::mem::take(&mut self.votes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcrdb_chain::tx::Payload;
+    use bcrdb_common::value::Value;
+    use bcrdb_crypto::identity::{KeyPair, Scheme};
+
+    fn tx(n: u64) -> Transaction {
+        let key = KeyPair::generate("c", b"seed", Scheme::Sim);
+        Transaction::new_order_execute("c", Payload::new("f", vec![Value::Int(n as i64)]), n, &key)
+            .unwrap()
+    }
+
+    #[test]
+    fn cuts_on_size() {
+        let mut c = BlockCutter::new(3, Duration::from_secs(60));
+        let now = Instant::now();
+        assert!(c.push_tx(tx(1), now).is_none());
+        assert!(c.push_tx(tx(2), now).is_none());
+        let cut = c.push_tx(tx(3), now).expect("size bound reached");
+        assert_eq!(cut.txs.len(), 3);
+        assert_eq!(c.pending_len(), 0);
+    }
+
+    #[test]
+    fn cuts_on_timeout() {
+        let mut c = BlockCutter::new(100, Duration::from_millis(50));
+        let t0 = Instant::now();
+        c.push_tx(tx(1), t0);
+        assert!(c.poll_timeout(t0 + Duration::from_millis(10)).is_none());
+        let cut = c.poll_timeout(t0 + Duration::from_millis(51)).expect("timeout fired");
+        assert_eq!(cut.txs.len(), 1);
+        // Nothing pending → no further cut.
+        assert!(c.poll_timeout(t0 + Duration::from_secs(9)).is_none());
+        assert!(c.time_until_cut(t0).is_none());
+    }
+
+    #[test]
+    fn timeout_counts_from_first_tx() {
+        let mut c = BlockCutter::new(100, Duration::from_millis(100));
+        let t0 = Instant::now();
+        c.push_tx(tx(1), t0);
+        c.push_tx(tx(2), t0 + Duration::from_millis(90));
+        // 95 ms after the FIRST tx → not yet; 100 ms after → cut both.
+        assert!(c.poll_timeout(t0 + Duration::from_millis(95)).is_none());
+        let cut = c.poll_timeout(t0 + Duration::from_millis(100)).unwrap();
+        assert_eq!(cut.txs.len(), 2);
+    }
+
+    #[test]
+    fn votes_ride_with_next_cut() {
+        let mut c = BlockCutter::new(1, Duration::from_secs(1));
+        c.push_vote(CheckpointVote { node: "n".into(), block: 1, state_hash: [0u8; 32] });
+        let cut = c.push_tx(tx(1), Instant::now()).unwrap();
+        assert_eq!(cut.votes.len(), 1);
+        // Votes drained: the next cut has none.
+        let cut = c.push_tx(tx(2), Instant::now()).unwrap();
+        assert!(cut.votes.is_empty());
+    }
+
+    #[test]
+    fn zero_block_size_clamped() {
+        let mut c = BlockCutter::new(0, Duration::from_secs(1));
+        assert!(c.push_tx(tx(1), Instant::now()).is_some());
+    }
+}

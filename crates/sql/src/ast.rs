@@ -1,0 +1,480 @@
+//! Abstract syntax tree for the SQL subset.
+
+use bcrdb_common::schema::DataType;
+use bcrdb_common::value::Value;
+
+/// A parsed SQL statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type [NOT NULL], ..., PRIMARY KEY (cols))`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions in order.
+        columns: Vec<ColumnDef>,
+        /// Primary key column names (may also come from inline `PRIMARY KEY`).
+        primary_key: Vec<String>,
+    },
+    /// `CREATE INDEX name ON table (column)`
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Table name.
+        table: String,
+        /// Indexed column name.
+        column: String,
+    },
+    /// `DROP TABLE [IF EXISTS] name`
+    DropTable {
+        /// Table name.
+        name: String,
+        /// Do not error if missing.
+        if_exists: bool,
+    },
+    /// `INSERT INTO table [(cols)] VALUES (...), ... | SELECT ...`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list, if given.
+        columns: Option<Vec<String>>,
+        /// Row source.
+        source: InsertSource,
+    },
+    /// `UPDATE table SET col = expr, ... [WHERE pred]`
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments (column name, value expression).
+        assignments: Vec<(String, Expr)>,
+        /// Optional predicate; `None` is a *blind update* (§3.4.3 forbids
+        /// these in the EO flow).
+        predicate: Option<Expr>,
+    },
+    /// `DELETE FROM table [WHERE pred]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional predicate.
+        predicate: Option<Expr>,
+    },
+    /// `SELECT ...`
+    Select(SelectStmt),
+    /// `CREATE [OR REPLACE] FUNCTION name(p type, ...) AS $$ body $$`
+    CreateFunction(FunctionDef),
+    /// `DROP FUNCTION name`
+    DropFunction {
+        /// Function (smart contract) name.
+        name: String,
+    },
+}
+
+/// A smart-contract definition: named, typed parameters and a body of
+/// statements referencing them as `$1..$n`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionDef {
+    /// Contract name.
+    pub name: String,
+    /// Parameter (name, type) pairs; `$i` refers to the i-th parameter.
+    pub params: Vec<(String, DataType)>,
+    /// Statement sequence executed atomically inside the transaction.
+    pub body: Vec<Statement>,
+    /// Whether `OR REPLACE` was specified.
+    pub or_replace: bool,
+}
+
+/// Column definition inside `CREATE TABLE`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// NULL permitted?
+    pub nullable: bool,
+    /// Inline `PRIMARY KEY` marker.
+    pub inline_pk: bool,
+}
+
+/// Source of rows for `INSERT`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InsertSource {
+    /// Literal rows of expressions.
+    Values(Vec<Vec<Expr>>),
+    /// `INSERT INTO ... SELECT`.
+    Select(Box<SelectStmt>),
+}
+
+/// A `SELECT` statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub projections: Vec<SelectItem>,
+    /// FROM clause; `None` allows `SELECT 1 + 1`.
+    pub from: Option<FromClause>,
+    /// WHERE predicate.
+    pub predicate: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY items.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT row count (a literal integer expression).
+    pub limit: Option<Expr>,
+}
+
+/// One projection item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr {
+        /// Projected expression.
+        expr: Expr,
+        /// Output column alias.
+        alias: Option<String>,
+    },
+}
+
+/// FROM clause: a base table plus zero or more inner joins.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FromClause {
+    /// First table.
+    pub base: TableRef,
+    /// Chained `JOIN ... ON ...` clauses.
+    pub joins: Vec<Join>,
+}
+
+/// A table reference, optionally aliased; `history` marks the provenance
+/// table function `HISTORY(t)` which scans *all* row versions (§4.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name.
+    pub name: String,
+    /// Alias (`FROM t AS a` or `FROM t a`).
+    pub alias: Option<String>,
+    /// True for `HISTORY(t)` provenance scans.
+    pub history: bool,
+}
+
+impl TableRef {
+    /// The name this table is referred to by in expressions.
+    pub fn effective_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// An inner join.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Join {
+    /// Joined table.
+    pub table: TableRef,
+    /// `ON` condition.
+    pub on: Expr,
+}
+
+/// ORDER BY item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderItem {
+    /// Sort key expression.
+    pub expr: Expr,
+    /// Descending if true.
+    pub desc: bool,
+}
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Logical OR.
+    Or,
+    /// Logical AND.
+    And,
+    /// Equality.
+    Eq,
+    /// Inequality (`<>` or `!=`).
+    NotEq,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    LtEq,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    GtEq,
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// String concatenation `||`.
+    Concat,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Modulo.
+    Mod,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical NOT.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference, optionally qualified: `t.col` or `col`.
+    Column {
+        /// Table qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Positional parameter `$1`, `$2`, ... (1-based in SQL, stored 0-based).
+    Param(usize),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `expr IN (e1, e2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// `NOT IN` form.
+        negated: bool,
+    },
+    /// `expr BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// `NOT BETWEEN` form.
+        negated: bool,
+    },
+    /// Function call: scalar builtins or aggregates.
+    Function {
+        /// Lower-cased function name.
+        name: String,
+        /// Arguments; empty plus `star=true` for `COUNT(*)`.
+        args: Vec<Expr>,
+        /// `COUNT(*)` marker.
+        star: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience: build `left op right`.
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Convenience: unqualified column reference.
+    pub fn column(name: impl Into<String>) -> Expr {
+        Expr::Column { table: None, name: name.into() }
+    }
+
+    /// Convenience: qualified column reference.
+    pub fn qualified(table: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column { table: Some(table.into()), name: name.into() }
+    }
+
+    /// True if this expression contains an aggregate function call at any
+    /// depth (used by the planner to route through the aggregation
+    /// operator).
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Function { name, args, .. } => {
+                is_aggregate_name(name) || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Unary { operand, .. } => operand.contains_aggregate(),
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+            Expr::Literal(_) | Expr::Column { .. } | Expr::Param(_) => false,
+        }
+    }
+
+    /// Visit every sub-expression (pre-order).
+    pub fn walk(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Unary { operand, .. } => operand.walk(f),
+            Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Literal(_) | Expr::Column { .. } | Expr::Param(_) => {}
+        }
+    }
+}
+
+/// Aggregate function names recognized by the engine.
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(name, "count" | "sum" | "avg" | "min" | "max")
+}
+
+impl Statement {
+    /// Visit every expression in the statement (for validation).
+    pub fn walk_exprs(&self, f: &mut dyn FnMut(&Expr)) {
+        match self {
+            Statement::Insert { source, .. } => match source {
+                InsertSource::Values(rows) => {
+                    for row in rows {
+                        for e in row {
+                            e.walk(f);
+                        }
+                    }
+                }
+                InsertSource::Select(sel) => walk_select(sel, f),
+            },
+            Statement::Update { assignments, predicate, .. } => {
+                for (_, e) in assignments {
+                    e.walk(f);
+                }
+                if let Some(p) = predicate {
+                    p.walk(f);
+                }
+            }
+            Statement::Delete { predicate, .. } => {
+                if let Some(p) = predicate {
+                    p.walk(f);
+                }
+            }
+            Statement::Select(sel) => walk_select(sel, f),
+            Statement::CreateFunction(def) => {
+                for s in &def.body {
+                    s.walk_exprs(f);
+                }
+            }
+            Statement::CreateTable { .. }
+            | Statement::CreateIndex { .. }
+            | Statement::DropTable { .. }
+            | Statement::DropFunction { .. } => {}
+        }
+    }
+}
+
+fn walk_select(sel: &SelectStmt, f: &mut dyn FnMut(&Expr)) {
+    for item in &sel.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            expr.walk(f);
+        }
+    }
+    if let Some(from) = &sel.from {
+        for j in &from.joins {
+            j.on.walk(f);
+        }
+    }
+    if let Some(p) = &sel.predicate {
+        p.walk(f);
+    }
+    for e in &sel.group_by {
+        e.walk(f);
+    }
+    if let Some(h) = &sel.having {
+        h.walk(f);
+    }
+    for o in &sel.order_by {
+        o.expr.walk(f);
+    }
+    if let Some(l) = &sel.limit {
+        l.walk(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Function { name: "sum".into(), args: vec![Expr::column("x")], star: false };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::binary(BinaryOp::Add, Expr::Literal(Value::Int(1)), agg);
+        assert!(nested.contains_aggregate());
+        let plain = Expr::binary(BinaryOp::Add, Expr::column("a"), Expr::column("b"));
+        assert!(!plain.contains_aggregate());
+        assert!(is_aggregate_name("count"));
+        assert!(!is_aggregate_name("abs"));
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::column("a")),
+            low: Box::new(Expr::Literal(Value::Int(1))),
+            high: Box::new(Expr::Param(0)),
+            negated: false,
+        };
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn effective_name_prefers_alias() {
+        let t = TableRef { name: "invoices".into(), alias: Some("i".into()), history: false };
+        assert_eq!(t.effective_name(), "i");
+        let t2 = TableRef { name: "invoices".into(), alias: None, history: false };
+        assert_eq!(t2.effective_name(), "invoices");
+    }
+}

@@ -1,0 +1,403 @@
+//! Rendering ASTs back to SQL text.
+//!
+//! Used to persist deployed contracts in node state snapshots (recovery
+//! re-parses the rendered source) and for diagnostics. The output is
+//! canonical: parsing the rendered text yields an AST equal to the
+//! original (round-trip property, tested below and in the property suite).
+
+use std::fmt::Write;
+
+use bcrdb_common::value::Value;
+
+use crate::ast::*;
+
+/// Render a statement as SQL text.
+pub fn statement_to_sql(stmt: &Statement) -> String {
+    let mut s = String::new();
+    write_statement(&mut s, stmt);
+    s
+}
+
+/// Render a full contract definition (`CREATE [OR REPLACE] FUNCTION ...`).
+pub fn function_to_sql(def: &FunctionDef) -> String {
+    let mut s = String::new();
+    s.push_str("CREATE ");
+    if def.or_replace {
+        s.push_str("OR REPLACE ");
+    }
+    let _ = write!(s, "FUNCTION {}(", def.name);
+    for (i, (name, ty)) in def.params.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{name} {ty}");
+    }
+    s.push_str(") AS $$ ");
+    for (i, stmt) in def.body.iter().enumerate() {
+        if i > 0 {
+            s.push_str("; ");
+        }
+        write_statement(&mut s, stmt);
+    }
+    s.push_str(" $$");
+    s
+}
+
+fn write_statement(s: &mut String, stmt: &Statement) {
+    match stmt {
+        Statement::CreateTable { name, columns, primary_key } => {
+            let _ = write!(s, "CREATE TABLE {name} (");
+            for (i, c) in columns.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{} {}", c.name, c.dtype);
+                if c.inline_pk {
+                    s.push_str(" PRIMARY KEY");
+                } else if !c.nullable {
+                    s.push_str(" NOT NULL");
+                }
+            }
+            if !primary_key.is_empty() {
+                let _ = write!(s, ", PRIMARY KEY ({})", primary_key.join(", "));
+            }
+            s.push(')');
+        }
+        Statement::CreateIndex { name, table, column } => {
+            let _ = write!(s, "CREATE INDEX {name} ON {table} ({column})");
+        }
+        Statement::DropTable { name, if_exists } => {
+            let _ = write!(
+                s,
+                "DROP TABLE {}{name}",
+                if *if_exists { "IF EXISTS " } else { "" }
+            );
+        }
+        Statement::Insert { table, columns, source } => {
+            let _ = write!(s, "INSERT INTO {table}");
+            if let Some(cols) = columns {
+                let _ = write!(s, " ({})", cols.join(", "));
+            }
+            match source {
+                InsertSource::Values(rows) => {
+                    s.push_str(" VALUES ");
+                    for (i, row) in rows.iter().enumerate() {
+                        if i > 0 {
+                            s.push_str(", ");
+                        }
+                        s.push('(');
+                        for (j, e) in row.iter().enumerate() {
+                            if j > 0 {
+                                s.push_str(", ");
+                            }
+                            write_expr(s, e);
+                        }
+                        s.push(')');
+                    }
+                }
+                InsertSource::Select(sel) => {
+                    s.push(' ');
+                    write_select(s, sel);
+                }
+            }
+        }
+        Statement::Update { table, assignments, predicate } => {
+            let _ = write!(s, "UPDATE {table} SET ");
+            for (i, (col, e)) in assignments.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{col} = ");
+                write_expr(s, e);
+            }
+            if let Some(p) = predicate {
+                s.push_str(" WHERE ");
+                write_expr(s, p);
+            }
+        }
+        Statement::Delete { table, predicate } => {
+            let _ = write!(s, "DELETE FROM {table}");
+            if let Some(p) = predicate {
+                s.push_str(" WHERE ");
+                write_expr(s, p);
+            }
+        }
+        Statement::Select(sel) => write_select(s, sel),
+        Statement::CreateFunction(def) => s.push_str(&function_to_sql(def)),
+        Statement::DropFunction { name } => {
+            let _ = write!(s, "DROP FUNCTION {name}");
+        }
+    }
+}
+
+fn write_select(s: &mut String, sel: &SelectStmt) {
+    s.push_str("SELECT ");
+    for (i, item) in sel.projections.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => s.push('*'),
+            SelectItem::QualifiedWildcard(q) => {
+                let _ = write!(s, "{q}.*");
+            }
+            SelectItem::Expr { expr, alias } => {
+                write_expr(s, expr);
+                if let Some(a) = alias {
+                    let _ = write!(s, " AS {a}");
+                }
+            }
+        }
+    }
+    if let Some(from) = &sel.from {
+        s.push_str(" FROM ");
+        write_table_ref(s, &from.base);
+        for j in &from.joins {
+            s.push_str(" JOIN ");
+            write_table_ref(s, &j.table);
+            s.push_str(" ON ");
+            write_expr(s, &j.on);
+        }
+    }
+    if let Some(p) = &sel.predicate {
+        s.push_str(" WHERE ");
+        write_expr(s, p);
+    }
+    if !sel.group_by.is_empty() {
+        s.push_str(" GROUP BY ");
+        for (i, e) in sel.group_by.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            write_expr(s, e);
+        }
+    }
+    if let Some(h) = &sel.having {
+        s.push_str(" HAVING ");
+        write_expr(s, h);
+    }
+    if !sel.order_by.is_empty() {
+        s.push_str(" ORDER BY ");
+        for (i, o) in sel.order_by.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            write_expr(s, &o.expr);
+            if o.desc {
+                s.push_str(" DESC");
+            }
+        }
+    }
+    if let Some(l) = &sel.limit {
+        s.push_str(" LIMIT ");
+        write_expr(s, l);
+    }
+}
+
+fn write_table_ref(s: &mut String, t: &TableRef) {
+    if t.history {
+        let _ = write!(s, "HISTORY({})", t.name);
+    } else {
+        s.push_str(&t.name);
+    }
+    if let Some(a) = &t.alias {
+        let _ = write!(s, " {a}");
+    }
+}
+
+fn op_str(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::Or => "OR",
+        BinaryOp::And => "AND",
+        BinaryOp::Eq => "=",
+        BinaryOp::NotEq => "<>",
+        BinaryOp::Lt => "<",
+        BinaryOp::LtEq => "<=",
+        BinaryOp::Gt => ">",
+        BinaryOp::GtEq => ">=",
+        BinaryOp::Add => "+",
+        BinaryOp::Sub => "-",
+        BinaryOp::Concat => "||",
+        BinaryOp::Mul => "*",
+        BinaryOp::Div => "/",
+        BinaryOp::Mod => "%",
+    }
+}
+
+fn write_expr(s: &mut String, e: &Expr) {
+    match e {
+        Expr::Literal(v) => write_value(s, v),
+        Expr::Column { table, name } => match table {
+            Some(t) => {
+                let _ = write!(s, "{t}.{name}");
+            }
+            None => s.push_str(name),
+        },
+        Expr::Param(i) => {
+            let _ = write!(s, "${}", i + 1);
+        }
+        Expr::Binary { op, left, right } => {
+            // Fully parenthesized: precedence-safe round trips.
+            s.push('(');
+            write_expr(s, left);
+            let _ = write!(s, " {} ", op_str(*op));
+            write_expr(s, right);
+            s.push(')');
+        }
+        Expr::Unary { op, operand } => {
+            s.push('(');
+            match op {
+                UnaryOp::Not => s.push_str("NOT "),
+                UnaryOp::Neg => s.push('-'),
+            }
+            write_expr(s, operand);
+            s.push(')');
+        }
+        Expr::IsNull { expr, negated } => {
+            s.push('(');
+            write_expr(s, expr);
+            s.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
+            s.push(')');
+        }
+        Expr::InList { expr, list, negated } => {
+            s.push('(');
+            write_expr(s, expr);
+            s.push_str(if *negated { " NOT IN (" } else { " IN (" });
+            for (i, item) in list.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                write_expr(s, item);
+            }
+            s.push_str("))");
+        }
+        Expr::Between { expr, low, high, negated } => {
+            s.push('(');
+            write_expr(s, expr);
+            s.push_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " });
+            write_expr(s, low);
+            s.push_str(" AND ");
+            write_expr(s, high);
+            s.push(')');
+        }
+        Expr::Function { name, args, star } => {
+            let _ = write!(s, "{name}(");
+            if *star {
+                s.push('*');
+            }
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                write_expr(s, a);
+            }
+            s.push(')');
+        }
+    }
+}
+
+fn write_value(s: &mut String, v: &Value) {
+    match v {
+        Value::Null => s.push_str("NULL"),
+        Value::Bool(b) => s.push_str(if *b { "TRUE" } else { "FALSE" }),
+        Value::Int(i) => {
+            let _ = write!(s, "{i}");
+        }
+        Value::Float(f) => {
+            // Ensure a float literal parses back as Float, not Int.
+            if f.fract() == 0.0 && f.is_finite() {
+                let _ = write!(s, "{f:.1}");
+            } else {
+                let _ = write!(s, "{f}");
+            }
+        }
+        Value::Text(t) => {
+            s.push('\'');
+            s.push_str(&t.replace('\'', "''"));
+            s.push('\'');
+        }
+        // Bytes/timestamps have no literal syntax in the subset; they are
+        // only produced by the engine, never parsed. Render as text.
+        Value::Bytes(b) => {
+            let _ = write!(s, "'\\x{}'", hex(b));
+        }
+        Value::Timestamp(t) => {
+            let _ = write!(s, "{t}");
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_statement, parse_statements};
+
+    fn roundtrip(sql: &str) {
+        let stmt = parse_statement(sql).unwrap();
+        let rendered = statement_to_sql(&stmt);
+        let reparsed = parse_statement(&rendered)
+            .unwrap_or_else(|e| panic!("rendered SQL failed to parse: {rendered}\n{e}"));
+        assert_eq!(stmt, reparsed, "round trip changed the AST:\n{rendered}");
+    }
+
+    #[test]
+    fn statements_round_trip() {
+        for sql in [
+            "CREATE TABLE t (id INT PRIMARY KEY, name TEXT NOT NULL, amt FLOAT)",
+            "CREATE TABLE t (a INT, b TEXT, PRIMARY KEY (a, b))",
+            "CREATE INDEX idx ON t (name)",
+            "DROP TABLE IF EXISTS t",
+            "DROP FUNCTION foo",
+            "INSERT INTO t (a, b) VALUES (1, 'x''y'), ($1, NULL)",
+            "INSERT INTO t SELECT a, SUM(b) FROM u WHERE a > 0 GROUP BY a",
+            "UPDATE t SET a = a + 1, b = 'z' WHERE id BETWEEN 1 AND 5",
+            "DELETE FROM t WHERE x IS NOT NULL",
+            "SELECT * FROM t",
+            "SELECT t.*, u.name AS n FROM t JOIN u ON t.id = u.tid WHERE NOT t.done",
+            "SELECT a, COUNT(*) FROM t WHERE b IN (1, 2, 3) GROUP BY a \
+             HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 10",
+            "SELECT h.amt FROM HISTORY(inv) h WHERE h.id = 5",
+            "SELECT -x + 2 * (y - 1) FROM t WHERE a = TRUE OR b = FALSE",
+            "SELECT 1.5, 2.0, 'text'",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn functions_round_trip() {
+        let sql = "CREATE OR REPLACE FUNCTION pay(src INT, dst INT, amt FLOAT) AS $$ \
+                   UPDATE accounts SET balance = balance - $3 WHERE id = $1; \
+                   UPDATE accounts SET balance = balance + $3 WHERE id = $2 $$";
+        let stmt = parse_statement(sql).unwrap();
+        let rendered = statement_to_sql(&stmt);
+        let reparsed = parse_statement(&rendered).unwrap();
+        assert_eq!(stmt, reparsed);
+        // function_to_sql agrees with statement rendering.
+        if let Statement::CreateFunction(def) = &stmt {
+            assert_eq!(function_to_sql(def), rendered);
+        } else {
+            panic!("expected function");
+        }
+    }
+
+    #[test]
+    fn multi_statement_bodies_round_trip() {
+        let stmts = parse_statements(
+            "INSERT INTO t VALUES (1); SELECT a FROM t WHERE a > $1 ORDER BY a LIMIT 1",
+        )
+        .unwrap();
+        for stmt in stmts {
+            let rendered = statement_to_sql(&stmt);
+            assert_eq!(stmt, parse_statement(&rendered).unwrap());
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! SQL lexer: hand-written, position-tracking tokenizer.
+//!
+//! Identifiers and keywords are case-insensitive (lowercased); string
+//! literals use single quotes with `''` escaping; `$n` produces parameter
+//! tokens; `$$ ... $$` produces a dollar-quoted body token used by
+//! `CREATE FUNCTION`.
+
+use bcrdb_common::error::{Error, Result};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased canonical form).
+    Keyword(Keyword),
+    /// Identifier (lowercased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// Positional parameter, 1-based as written (`$3` → `Param(3)`).
+    Param(usize),
+    /// Dollar-quoted body: everything between `$$` pairs, verbatim.
+    DollarBody(String),
+    /// Punctuation / operators.
+    Symbol(Symbol),
+}
+
+/// SQL keywords the parser understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select, From, Where, Group, By, Having, Order, Limit, Asc, Desc,
+    Insert, Into, Values, Update, Set, Delete, Create, Drop, Table, Index,
+    On, Join, Inner, As, And, Or, Not, Null, Is, In, Between, True, False,
+    Primary, Key, Unique, If, Exists, Function, Replace, History, Distinct,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "select" => Select,
+            "from" => From,
+            "where" => Where,
+            "group" => Group,
+            "by" => By,
+            "having" => Having,
+            "order" => Order,
+            "limit" => Limit,
+            "asc" => Asc,
+            "desc" => Desc,
+            "insert" => Insert,
+            "into" => Into,
+            "values" => Values,
+            "update" => Update,
+            "set" => Set,
+            "delete" => Delete,
+            "create" => Create,
+            "drop" => Drop,
+            "table" => Table,
+            "index" => Index,
+            "on" => On,
+            "join" => Join,
+            "inner" => Inner,
+            "as" => As,
+            "and" => And,
+            "or" => Or,
+            "not" => Not,
+            "null" => Null,
+            "is" => Is,
+            "in" => In,
+            "between" => Between,
+            "true" => True,
+            "false" => False,
+            "primary" => Primary,
+            "key" => Key,
+            "unique" => Unique,
+            "if" => If,
+            "exists" => Exists,
+            "function" => Function,
+            "replace" => Replace,
+            "history" => History,
+            "distinct" => Distinct,
+            _ => return None,
+        })
+    }
+}
+
+/// Punctuation and operator symbols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Symbol {
+    LParen, RParen, Comma, Semicolon, Dot, Star,
+    Eq, NotEq, Lt, LtEq, Gt, GtEq,
+    Plus, Minus, Slash, Percent, Concat,
+}
+
+/// A token with its byte offset in the input (for error messages).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token start.
+    pub offset: usize,
+}
+
+/// Tokenize `input` into a vector of spanned tokens.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push_sym(&mut tokens, Symbol::LParen, start, &mut i),
+            ')' => push_sym(&mut tokens, Symbol::RParen, start, &mut i),
+            ',' => push_sym(&mut tokens, Symbol::Comma, start, &mut i),
+            ';' => push_sym(&mut tokens, Symbol::Semicolon, start, &mut i),
+            '.' => push_sym(&mut tokens, Symbol::Dot, start, &mut i),
+            '*' => push_sym(&mut tokens, Symbol::Star, start, &mut i),
+            '+' => push_sym(&mut tokens, Symbol::Plus, start, &mut i),
+            '-' => push_sym(&mut tokens, Symbol::Minus, start, &mut i),
+            '/' => push_sym(&mut tokens, Symbol::Slash, start, &mut i),
+            '%' => push_sym(&mut tokens, Symbol::Percent, start, &mut i),
+            '=' => push_sym(&mut tokens, Symbol::Eq, start, &mut i),
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(SpannedToken { token: Token::Symbol(Symbol::Concat), offset: start });
+                    i += 2;
+                } else {
+                    return Err(err_at(input, start, "single '|' is not an operator"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(SpannedToken { token: Token::Symbol(Symbol::LtEq), offset: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(SpannedToken { token: Token::Symbol(Symbol::NotEq), offset: start });
+                    i += 2;
+                } else {
+                    push_sym(&mut tokens, Symbol::Lt, start, &mut i);
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(SpannedToken { token: Token::Symbol(Symbol::GtEq), offset: start });
+                    i += 2;
+                } else {
+                    push_sym(&mut tokens, Symbol::Gt, start, &mut i);
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(SpannedToken { token: Token::Symbol(Symbol::NotEq), offset: start });
+                    i += 2;
+                } else {
+                    return Err(err_at(input, start, "unexpected '!'"));
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(SpannedToken { token: Token::Str(s), offset: start });
+                i = next;
+            }
+            '$' => {
+                if bytes.get(i + 1) == Some(&b'$') {
+                    // Dollar-quoted body: scan to the next `$$`.
+                    let body_start = i + 2;
+                    let rest = &input[body_start..];
+                    match rest.find("$$") {
+                        Some(end) => {
+                            tokens.push(SpannedToken {
+                                token: Token::DollarBody(rest[..end].to_string()),
+                                offset: start,
+                            });
+                            i = body_start + end + 2;
+                        }
+                        None => return Err(err_at(input, start, "unterminated $$ body")),
+                    }
+                } else {
+                    let mut j = i + 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    if j == i + 1 {
+                        return Err(err_at(input, start, "expected parameter number after '$'"));
+                    }
+                    let n: usize = input[i + 1..j]
+                        .parse()
+                        .map_err(|_| err_at(input, start, "parameter number too large"))?;
+                    if n == 0 {
+                        return Err(err_at(input, start, "parameters are 1-based ($1, $2, ...)"));
+                    }
+                    tokens.push(SpannedToken { token: Token::Param(n), offset: start });
+                    i = j;
+                }
+            }
+            '0'..='9' => {
+                let (tok, next) = lex_number(input, i)?;
+                tokens.push(SpannedToken { token: tok, offset: start });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = input[i..j].to_ascii_lowercase();
+                let token = match Keyword::from_str(&word) {
+                    Some(kw) => Token::Keyword(kw),
+                    None => Token::Ident(word),
+                };
+                tokens.push(SpannedToken { token, offset: start });
+                i = j;
+            }
+            other => {
+                return Err(err_at(input, start, &format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn push_sym(tokens: &mut Vec<SpannedToken>, s: Symbol, start: usize, i: &mut usize) {
+    tokens.push(SpannedToken { token: Token::Symbol(s), offset: start });
+    *i += 1;
+}
+
+fn lex_string(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Copy the full UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(err_at(input, start, "unterminated string literal"))
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &input[start..i];
+    let token = if is_float {
+        Token::Float(text.parse().map_err(|_| err_at(input, start, "invalid float literal"))?)
+    } else {
+        Token::Int(text.parse().map_err(|_| err_at(input, start, "integer literal out of range"))?)
+    };
+    Ok((token, i))
+}
+
+/// Build a parse error with line/column context.
+pub fn err_at(input: &str, offset: usize, msg: &str) -> Error {
+    let upto = &input[..offset.min(input.len())];
+    let line = upto.matches('\n').count() + 1;
+    let col = offset - upto.rfind('\n').map_or(0, |p| p + 1) + 1;
+    Error::Parse(format!("{msg} at line {line}, column {col}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            toks("SELECT select SeLeCt"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::Select)
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_lowercased() {
+        assert_eq!(toks("Invoices MyCol"), vec![
+            Token::Ident("invoices".into()),
+            Token::Ident("mycol".into())
+        ]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 3.25 1e3 2.5e-1"), vec![
+            Token::Int(42),
+            Token::Float(3.25),
+            Token::Float(1000.0),
+            Token::Float(0.25),
+        ]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Token::Str("it's".into())]);
+        assert_eq!(toks("'héllo'"), vec![Token::Str("héllo".into())]);
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn params_and_dollar_body() {
+        assert_eq!(toks("$1 $23"), vec![Token::Param(1), Token::Param(23)]);
+        assert_eq!(
+            toks("$$ INSERT INTO t VALUES ($1) $$"),
+            vec![Token::DollarBody(" INSERT INTO t VALUES ($1) ".into())]
+        );
+        assert!(tokenize("$0").is_err());
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("$$ unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(toks("= <> != < <= > >= || + - * / %"), vec![
+            Token::Symbol(Symbol::Eq),
+            Token::Symbol(Symbol::NotEq),
+            Token::Symbol(Symbol::NotEq),
+            Token::Symbol(Symbol::Lt),
+            Token::Symbol(Symbol::LtEq),
+            Token::Symbol(Symbol::Gt),
+            Token::Symbol(Symbol::GtEq),
+            Token::Symbol(Symbol::Concat),
+            Token::Symbol(Symbol::Plus),
+            Token::Symbol(Symbol::Minus),
+            Token::Symbol(Symbol::Star),
+            Token::Symbol(Symbol::Slash),
+            Token::Symbol(Symbol::Percent),
+        ]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("select -- a comment\n 1"), vec![
+            Token::Keyword(Keyword::Select),
+            Token::Int(1)
+        ]);
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = tokenize("select\n  @").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("column 3"), "{msg}");
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # bcrdb-sql
+//!
+//! SQL front-end for the blockchain relational database: a hand-written
+//! lexer and recursive-descent parser for the deterministic SQL subset the
+//! paper's smart contracts need, plus the static *determinism validator*
+//! that enforces the rules of §2(1) and §4.3 of the paper:
+//!
+//! * no non-deterministic built-ins (`random`, `now`, sequence functions,
+//!   system-information functions);
+//! * `LIMIT`/`FETCH` requires `ORDER BY`;
+//! * row headers (`xmin`, `xmax`, `_creator_block`, ...) may not appear in
+//!   contract predicates (they are reserved for provenance queries);
+//! * blind updates (`UPDATE`/`DELETE` without `WHERE`) can be rejected for
+//!   the execute-order-in-parallel flow.
+//!
+//! The grammar covers: `CREATE TABLE`, `CREATE INDEX`, `DROP TABLE`,
+//! `INSERT ... VALUES | SELECT`, `UPDATE`, `DELETE`,
+//! `SELECT` with inner `JOIN`s, `WHERE`, `GROUP BY`, `HAVING`, `ORDER BY`,
+//! `LIMIT`, aggregates, and `CREATE FUNCTION` smart-contract definitions.
+//! Provenance queries use the `HISTORY(table)` table function (the paper's
+//! "special type of read only query", §4.2).
+
+pub mod ast;
+pub mod display;
+pub mod lexer;
+pub mod parser;
+pub mod validate;
+
+pub use ast::{
+    BinaryOp, ColumnDef, Expr, FromClause, FunctionDef, InsertSource, Join, OrderItem, SelectItem,
+    SelectStmt, Statement, TableRef, UnaryOp,
+};
+pub use parser::{parse_expression, parse_statement, parse_statements};
+pub use validate::{validate_contract_body, validate_statement, DeterminismRules};

@@ -1,0 +1,983 @@
+//! Recursive-descent SQL parser.
+//!
+//! Operator precedence (low → high): `OR` < `AND` < `NOT` < comparisons /
+//! `IS [NOT] NULL` / `[NOT] IN` / `[NOT] BETWEEN` < `+ - ||` < `* / %` <
+//! unary `-` < primary.
+
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::schema::DataType;
+use bcrdb_common::value::Value;
+
+use crate::ast::*;
+use crate::lexer::{err_at, tokenize, Keyword as Kw, SpannedToken, Symbol as Sym, Token};
+
+/// Parse a single statement (a trailing semicolon is allowed).
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let mut stmts = parse_statements(input)?;
+    match stmts.len() {
+        1 => Ok(stmts.pop().expect("len checked")),
+        0 => Err(Error::Parse("empty statement".into())),
+        n => Err(Error::Parse(format!("expected one statement, found {n}"))),
+    }
+}
+
+/// Parse a semicolon-separated sequence of statements.
+pub fn parse_statements(input: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { input, tokens: &tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    loop {
+        while p.eat_symbol(Sym::Semicolon) {}
+        if p.at_end() {
+            break;
+        }
+        stmts.push(p.parse_statement()?);
+        if !p.at_end() && !p.peek_symbol(Sym::Semicolon) {
+            return Err(p.err_here("expected ';' between statements"));
+        }
+    }
+    Ok(stmts)
+}
+
+/// Parse a standalone scalar expression (used by tests and the REPL-style
+/// client helpers).
+pub fn parse_expression(input: &str) -> Result<Expr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { input, tokens: &tokens, pos: 0 };
+    let e = p.parse_expr()?;
+    if !p.at_end() {
+        return Err(p.err_here("unexpected trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    tokens: &'a [SpannedToken],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek_ahead(&self, n: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + n).map(|t| &t.token)
+    }
+
+    fn advance(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos).map(|t| &t.token);
+        self.pos += 1;
+        t
+    }
+
+    fn err_here(&self, msg: &str) -> Error {
+        let offset = self
+            .tokens
+            .get(self.pos)
+            .map_or(self.input.len(), |t| t.offset);
+        err_at(self.input, offset, msg)
+    }
+
+    fn peek_keyword(&self, kw: Kw) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(k)) if *k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: Kw) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Kw) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("expected {kw:?}")))
+        }
+    }
+
+    fn peek_symbol(&self, s: Sym) -> bool {
+        matches!(self.peek(), Some(Token::Symbol(sym)) if *sym == s)
+    }
+
+    fn eat_symbol(&mut self, s: Sym) -> bool {
+        if self.peek_symbol(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Sym) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("expected {s:?}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s.clone()),
+            // Allow non-reserved keywords as identifiers where unambiguous
+            // (e.g. a column named "key" or "history").
+            Some(Token::Keyword(Kw::Key)) => Ok("key".into()),
+            Some(Token::Keyword(Kw::History)) => Ok("history".into()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err_here("expected identifier"))
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- DDL
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Some(Token::Keyword(Kw::Create)) => self.parse_create(),
+            Some(Token::Keyword(Kw::Drop)) => self.parse_drop(),
+            Some(Token::Keyword(Kw::Insert)) => self.parse_insert(),
+            Some(Token::Keyword(Kw::Update)) => self.parse_update(),
+            Some(Token::Keyword(Kw::Delete)) => self.parse_delete(),
+            Some(Token::Keyword(Kw::Select)) => Ok(Statement::Select(self.parse_select()?)),
+            _ => Err(self.err_here("expected a statement")),
+        }
+    }
+
+    fn parse_create(&mut self) -> Result<Statement> {
+        self.expect_keyword(Kw::Create)?;
+        let or_replace = if self.eat_keyword(Kw::Or) {
+            self.expect_keyword(Kw::Replace)?;
+            true
+        } else {
+            false
+        };
+        if self.eat_keyword(Kw::Table) {
+            if or_replace {
+                return Err(self.err_here("OR REPLACE is only valid for functions"));
+            }
+            return self.parse_create_table();
+        }
+        if self.eat_keyword(Kw::Index) || (self.eat_keyword(Kw::Unique) && self.eat_keyword(Kw::Index)) {
+            if or_replace {
+                return Err(self.err_here("OR REPLACE is only valid for functions"));
+            }
+            return self.parse_create_index();
+        }
+        if self.eat_keyword(Kw::Function) {
+            return self.parse_create_function(or_replace);
+        }
+        Err(self.err_here("expected TABLE, INDEX or FUNCTION after CREATE"))
+    }
+
+    fn parse_create_table(&mut self) -> Result<Statement> {
+        let name = self.expect_ident()?;
+        self.expect_symbol(Sym::LParen)?;
+        let mut columns = Vec::new();
+        let mut primary_key: Vec<String> = Vec::new();
+        loop {
+            if self.eat_keyword(Kw::Primary) {
+                self.expect_keyword(Kw::Key)?;
+                self.expect_symbol(Sym::LParen)?;
+                loop {
+                    primary_key.push(self.expect_ident()?);
+                    if !self.eat_symbol(Sym::Comma) {
+                        break;
+                    }
+                }
+                self.expect_symbol(Sym::RParen)?;
+            } else {
+                let col_name = self.expect_ident()?;
+                let type_name = self.expect_ident()?;
+                let dtype = DataType::from_sql_name(&type_name)?;
+                let mut nullable = true;
+                let mut inline_pk = false;
+                loop {
+                    if self.eat_keyword(Kw::Not) {
+                        self.expect_keyword(Kw::Null)?;
+                        nullable = false;
+                    } else if self.eat_keyword(Kw::Null) {
+                        nullable = true;
+                    } else if self.eat_keyword(Kw::Primary) {
+                        self.expect_keyword(Kw::Key)?;
+                        inline_pk = true;
+                        nullable = false;
+                    } else if self.eat_keyword(Kw::Unique) {
+                        // Accepted and treated as an index hint; uniqueness
+                        // beyond the PK is not enforced (documented subset).
+                    } else {
+                        break;
+                    }
+                }
+                columns.push(ColumnDef { name: col_name, dtype, nullable, inline_pk });
+            }
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Sym::RParen)?;
+        Ok(Statement::CreateTable { name, columns, primary_key })
+    }
+
+    fn parse_create_index(&mut self) -> Result<Statement> {
+        let name = self.expect_ident()?;
+        self.expect_keyword(Kw::On)?;
+        let table = self.expect_ident()?;
+        self.expect_symbol(Sym::LParen)?;
+        let column = self.expect_ident()?;
+        self.expect_symbol(Sym::RParen)?;
+        Ok(Statement::CreateIndex { name, table, column })
+    }
+
+    fn parse_create_function(&mut self, or_replace: bool) -> Result<Statement> {
+        let name = self.expect_ident()?;
+        self.expect_symbol(Sym::LParen)?;
+        let mut params = Vec::new();
+        if !self.peek_symbol(Sym::RParen) {
+            loop {
+                let pname = self.expect_ident()?;
+                let tname = self.expect_ident()?;
+                params.push((pname, DataType::from_sql_name(&tname)?));
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_symbol(Sym::RParen)?;
+        self.expect_keyword(Kw::As)?;
+        let body_src = match self.advance() {
+            Some(Token::DollarBody(b)) => b.clone(),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.err_here("expected $$ ... $$ function body"));
+            }
+        };
+        let body = parse_statements(&body_src)?;
+        if body.is_empty() {
+            return Err(Error::Parse(format!("function {name} has an empty body")));
+        }
+        Ok(Statement::CreateFunction(FunctionDef { name, params, body, or_replace }))
+    }
+
+    fn parse_drop(&mut self) -> Result<Statement> {
+        self.expect_keyword(Kw::Drop)?;
+        if self.eat_keyword(Kw::Table) {
+            let if_exists = if self.eat_keyword(Kw::If) {
+                self.expect_keyword(Kw::Exists)?;
+                true
+            } else {
+                false
+            };
+            let name = self.expect_ident()?;
+            return Ok(Statement::DropTable { name, if_exists });
+        }
+        if self.eat_keyword(Kw::Function) {
+            let name = self.expect_ident()?;
+            return Ok(Statement::DropFunction { name });
+        }
+        Err(self.err_here("expected TABLE or FUNCTION after DROP"))
+    }
+
+    // ---------------------------------------------------------------- DML
+
+    fn parse_insert(&mut self) -> Result<Statement> {
+        self.expect_keyword(Kw::Insert)?;
+        self.expect_keyword(Kw::Into)?;
+        let table = self.expect_ident()?;
+        let columns = if self.peek_symbol(Sym::LParen) && !self.peek_values_ahead() {
+            self.expect_symbol(Sym::LParen)?;
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.expect_ident()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        let source = if self.eat_keyword(Kw::Values) {
+            let mut rows = Vec::new();
+            loop {
+                self.expect_symbol(Sym::LParen)?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.parse_expr()?);
+                    if !self.eat_symbol(Sym::Comma) {
+                        break;
+                    }
+                }
+                self.expect_symbol(Sym::RParen)?;
+                rows.push(row);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if self.peek_keyword(Kw::Select) {
+            InsertSource::Select(Box::new(self.parse_select()?))
+        } else {
+            return Err(self.err_here("expected VALUES or SELECT in INSERT"));
+        };
+        Ok(Statement::Insert { table, columns, source })
+    }
+
+    /// Disambiguate `INSERT INTO t (a, b) VALUES ...` from a hypothetical
+    /// parenthesized select — we only need to check the token after the
+    /// closing paren is VALUES/SELECT, but a simple heuristic suffices: a
+    /// column list is always followed by VALUES or SELECT.
+    fn peek_values_ahead(&self) -> bool {
+        false
+    }
+
+    fn parse_update(&mut self) -> Result<Statement> {
+        self.expect_keyword(Kw::Update)?;
+        let table = self.expect_ident()?;
+        self.expect_keyword(Kw::Set)?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect_symbol(Sym::Eq)?;
+            let expr = self.parse_expr()?;
+            assignments.push((col, expr));
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_keyword(Kw::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update { table, assignments, predicate })
+    }
+
+    fn parse_delete(&mut self) -> Result<Statement> {
+        self.expect_keyword(Kw::Delete)?;
+        self.expect_keyword(Kw::From)?;
+        let table = self.expect_ident()?;
+        let predicate = if self.eat_keyword(Kw::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    // ------------------------------------------------------------- SELECT
+
+    fn parse_select(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword(Kw::Select)?;
+        // DISTINCT is accepted but not implemented; reject explicitly so the
+        // failure mode is a clear parse error, not silent wrong answers.
+        if self.eat_keyword(Kw::Distinct) {
+            return Err(self.err_here("DISTINCT is not supported"));
+        }
+        let mut projections = Vec::new();
+        loop {
+            projections.push(self.parse_select_item()?);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        let from = if self.eat_keyword(Kw::From) {
+            let base = self.parse_table_ref()?;
+            let mut joins = Vec::new();
+            loop {
+                let saw_inner = self.eat_keyword(Kw::Inner);
+                if self.eat_keyword(Kw::Join) {
+                    let table = self.parse_table_ref()?;
+                    self.expect_keyword(Kw::On)?;
+                    let on = self.parse_expr()?;
+                    joins.push(Join { table, on });
+                } else if saw_inner {
+                    return Err(self.err_here("expected JOIN after INNER"));
+                } else if self.eat_symbol(Sym::Comma) {
+                    // Comma join: `FROM a, b WHERE ...` — treated as a cross
+                    // join whose condition lives in WHERE (used by the
+                    // paper's provenance examples, Table 3).
+                    let table = self.parse_table_ref()?;
+                    joins.push(Join { table, on: Expr::Literal(Value::Bool(true)) });
+                } else {
+                    break;
+                }
+            }
+            Some(FromClause { base, joins })
+        } else {
+            None
+        };
+        let predicate = if self.eat_keyword(Kw::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword(Kw::Group) {
+            self.expect_keyword(Kw::By)?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_keyword(Kw::Having) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword(Kw::Order) {
+            self.expect_keyword(Kw::By)?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_keyword(Kw::Desc) {
+                    true
+                } else {
+                    self.eat_keyword(Kw::Asc);
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword(Kw::Limit) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt { projections, from, predicate, group_by, having, order_by, limit })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol(Sym::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let (Some(Token::Ident(name)), Some(Token::Symbol(Sym::Dot)), Some(Token::Symbol(Sym::Star))) =
+            (self.peek(), self.peek_ahead(1), self.peek_ahead(2))
+        {
+            let name = name.clone();
+            self.pos += 3;
+            return Ok(SelectItem::QualifiedWildcard(name));
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_keyword(Kw::As) {
+            Some(self.expect_ident()?)
+        } else if let Some(Token::Ident(id)) = self.peek() {
+            let id = id.clone();
+            self.pos += 1;
+            Some(id)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        // HISTORY(t) provenance scan.
+        if self.peek_keyword(Kw::History) && matches!(self.peek_ahead(1), Some(Token::Symbol(Sym::LParen))) {
+            self.pos += 2;
+            let name = self.expect_ident()?;
+            self.expect_symbol(Sym::RParen)?;
+            let alias = self.parse_opt_alias()?;
+            return Ok(TableRef { name, alias, history: true });
+        }
+        let name = self.expect_ident()?;
+        let alias = self.parse_opt_alias()?;
+        Ok(TableRef { name, alias, history: false })
+    }
+
+    fn parse_opt_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_keyword(Kw::As) {
+            return Ok(Some(self.expect_ident()?));
+        }
+        if let Some(Token::Ident(id)) = self.peek() {
+            let id = id.clone();
+            self.pos += 1;
+            return Ok(Some(id));
+        }
+        Ok(None)
+    }
+
+    // -------------------------------------------------------- expressions
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword(Kw::Or) {
+            let right = self.parse_and()?;
+            left = Expr::binary(BinaryOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword(Kw::And) {
+            let right = self.parse_not()?;
+            left = Expr::binary(BinaryOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_keyword(Kw::Not) {
+            let operand = self.parse_not()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(operand) });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL
+        if self.eat_keyword(Kw::Is) {
+            let negated = self.eat_keyword(Kw::Not);
+            self.expect_keyword(Kw::Null)?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        // [NOT] IN / [NOT] BETWEEN
+        let negated = self.eat_keyword(Kw::Not);
+        if self.eat_keyword(Kw::In) {
+            self.expect_symbol(Sym::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_keyword(Kw::Between) {
+            let low = self.parse_additive()?;
+            self.expect_keyword(Kw::And)?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.err_here("expected IN or BETWEEN after NOT"));
+        }
+        let op = match self.peek() {
+            Some(Token::Symbol(Sym::Eq)) => Some(BinaryOp::Eq),
+            Some(Token::Symbol(Sym::NotEq)) => Some(BinaryOp::NotEq),
+            Some(Token::Symbol(Sym::Lt)) => Some(BinaryOp::Lt),
+            Some(Token::Symbol(Sym::LtEq)) => Some(BinaryOp::LtEq),
+            Some(Token::Symbol(Sym::Gt)) => Some(BinaryOp::Gt),
+            Some(Token::Symbol(Sym::GtEq)) => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(Expr::binary(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Plus)) => BinaryOp::Add,
+                Some(Token::Symbol(Sym::Minus)) => BinaryOp::Sub,
+                Some(Token::Symbol(Sym::Concat)) => BinaryOp::Concat,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Star)) => BinaryOp::Mul,
+                Some(Token::Symbol(Sym::Slash)) => BinaryOp::Div,
+                Some(Token::Symbol(Sym::Percent)) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol(Sym::Minus) {
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, operand: Box::new(operand) });
+        }
+        if self.eat_symbol(Sym::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Float(f)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Text(s)))
+            }
+            Some(Token::Param(n)) => {
+                self.pos += 1;
+                Ok(Expr::Param(n - 1))
+            }
+            Some(Token::Keyword(Kw::Null)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Null))
+            }
+            Some(Token::Keyword(Kw::True)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Bool(true)))
+            }
+            Some(Token::Keyword(Kw::False)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Bool(false)))
+            }
+            Some(Token::Symbol(Sym::LParen)) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                // Function call?
+                if matches!(self.peek_ahead(1), Some(Token::Symbol(Sym::LParen))) {
+                    self.pos += 2;
+                    return self.parse_function_tail(name);
+                }
+                self.pos += 1;
+                // Qualified column `t.col`?
+                if self.eat_symbol(Sym::Dot) {
+                    let col = self.expect_ident()?;
+                    return Ok(Expr::qualified(name, col));
+                }
+                Ok(Expr::column(name))
+            }
+            // Non-reserved keywords usable as bare column names.
+            Some(Token::Keyword(Kw::Key)) => {
+                self.pos += 1;
+                Ok(Expr::column("key"))
+            }
+            _ => Err(self.err_here("expected expression")),
+        }
+    }
+
+    fn parse_function_tail(&mut self, name: String) -> Result<Expr> {
+        // COUNT(*) special case.
+        if self.eat_symbol(Sym::Star) {
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(Expr::Function { name, args: Vec::new(), star: true });
+        }
+        let mut args = Vec::new();
+        if !self.peek_symbol(Sym::RParen) {
+            loop {
+                args.push(self.parse_expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_symbol(Sym::RParen)?;
+        Ok(Expr::Function { name, args, star: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_with_pk_variants() {
+        let s = parse_statement(
+            "CREATE TABLE invoices (id INT PRIMARY KEY, supplier TEXT NOT NULL, amount FLOAT)",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable { name, columns, primary_key } => {
+                assert_eq!(name, "invoices");
+                assert_eq!(columns.len(), 3);
+                assert!(columns[0].inline_pk);
+                assert!(!columns[0].nullable);
+                assert!(!columns[1].nullable);
+                assert!(columns[2].nullable);
+                assert!(primary_key.is_empty());
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+
+        let s = parse_statement(
+            "CREATE TABLE t (a INT, b TEXT, PRIMARY KEY (a, b))",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable { primary_key, .. } => {
+                assert_eq!(primary_key, vec!["a".to_string(), "b".to_string()]);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_values_multi_row() {
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), ($1, $2)").unwrap();
+        match s {
+            Statement::Insert { table, columns, source } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns.unwrap(), vec!["a", "b"]);
+                match source {
+                    InsertSource::Values(rows) => {
+                        assert_eq!(rows.len(), 2);
+                        assert_eq!(rows[1][0], Expr::Param(0));
+                        assert_eq!(rows[1][1], Expr::Param(1));
+                    }
+                    other => panic!("wrong source: {other:?}"),
+                }
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_from_select() {
+        let s = parse_statement("INSERT INTO t SELECT a, SUM(b) FROM u GROUP BY a").unwrap();
+        match s {
+            Statement::Insert { source: InsertSource::Select(sel), .. } => {
+                assert_eq!(sel.group_by.len(), 1);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let s = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE id = $1").unwrap();
+        match s {
+            Statement::Update { assignments, predicate, .. } => {
+                assert_eq!(assignments.len(), 2);
+                assert!(predicate.is_some());
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        let s = parse_statement("DELETE FROM t WHERE id BETWEEN 1 AND 10").unwrap();
+        match s {
+            Statement::Delete { predicate: Some(Expr::Between { .. }), .. } => {}
+            other => panic!("wrong statement: {other:?}"),
+        }
+        // Blind update parses (the validator rejects it for EO).
+        assert!(parse_statement("UPDATE t SET a = 1").is_ok());
+    }
+
+    #[test]
+    fn select_full_clause_chain() {
+        let s = parse_statement(
+            "SELECT i.supplier, SUM(i.amount) AS total \
+             FROM invoices i JOIN parts p ON i.part_id = p.id \
+             WHERE p.kind = 'widget' AND i.amount > 10 \
+             GROUP BY i.supplier HAVING SUM(i.amount) > 100 \
+             ORDER BY total DESC, i.supplier LIMIT 5",
+        )
+        .unwrap();
+        let sel = match s {
+            Statement::Select(sel) => sel,
+            other => panic!("wrong statement: {other:?}"),
+        };
+        assert_eq!(sel.projections.len(), 2);
+        let from = sel.from.unwrap();
+        assert_eq!(from.base.effective_name(), "i");
+        assert_eq!(from.joins.len(), 1);
+        assert!(sel.having.is_some());
+        assert_eq!(sel.order_by.len(), 2);
+        assert!(sel.order_by[0].desc);
+        assert!(!sel.order_by[1].desc);
+        assert_eq!(sel.limit, Some(Expr::Literal(Value::Int(5))));
+    }
+
+    #[test]
+    fn comma_join_for_provenance_style_queries() {
+        let s = parse_statement(
+            "SELECT invoices.* FROM invoices, ledger WHERE invoices.xmax = ledger.txid",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                let from = sel.from.unwrap();
+                assert_eq!(from.joins.len(), 1);
+                assert_eq!(from.joins[0].table.name, "ledger");
+                assert_eq!(from.joins[0].on, Expr::Literal(Value::Bool(true)));
+                assert_eq!(sel.projections[0], SelectItem::QualifiedWildcard("invoices".into()));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn history_table_function() {
+        let s = parse_statement("SELECT * FROM HISTORY(invoices) h WHERE h.id = 5").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                let base = sel.from.unwrap().base;
+                assert!(base.history);
+                assert_eq!(base.name, "invoices");
+                assert_eq!(base.alias.as_deref(), Some("h"));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_function_with_body() {
+        let s = parse_statement(
+            "CREATE OR REPLACE FUNCTION add_invoice(inv_id INT, amount FLOAT) AS $$ \
+               INSERT INTO invoices VALUES ($1, $2); \
+               UPDATE totals SET amount = amount + $2 WHERE id = 1 \
+             $$",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateFunction(def) => {
+                assert_eq!(def.name, "add_invoice");
+                assert!(def.or_replace);
+                assert_eq!(def.params.len(), 2);
+                assert_eq!(def.body.len(), 2);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        assert!(parse_statement("CREATE FUNCTION f() AS $$ $$").is_err());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::binary(
+                BinaryOp::Add,
+                Expr::Literal(Value::Int(1)),
+                Expr::binary(BinaryOp::Mul, Expr::Literal(Value::Int(2)), Expr::Literal(Value::Int(3)))
+            )
+        );
+        let e = parse_expression("a = 1 OR b = 2 AND c = 3").unwrap();
+        match e {
+            Expr::Binary { op: BinaryOp::Or, right, .. } => match *right {
+                Expr::Binary { op: BinaryOp::And, .. } => {}
+                other => panic!("AND should bind tighter: {other:?}"),
+            },
+            other => panic!("wrong tree: {other:?}"),
+        }
+        let e = parse_expression("NOT a = 1").unwrap();
+        match e {
+            Expr::Unary { op: UnaryOp::Not, operand } => match *operand {
+                Expr::Binary { op: BinaryOp::Eq, .. } => {}
+                other => panic!("NOT should apply to the comparison: {other:?}"),
+            },
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_null_in_between_not_variants() {
+        assert!(matches!(
+            parse_expression("a IS NULL").unwrap(),
+            Expr::IsNull { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expression("a IS NOT NULL").unwrap(),
+            Expr::IsNull { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expression("a NOT IN (1, 2)").unwrap(),
+            Expr::InList { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expression("a NOT BETWEEN 1 AND 2").unwrap(),
+            Expr::Between { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn count_star_and_functions() {
+        assert_eq!(
+            parse_expression("COUNT(*)").unwrap(),
+            Expr::Function { name: "count".into(), args: vec![], star: true }
+        );
+        assert_eq!(
+            parse_expression("coalesce(a, 0)").unwrap(),
+            Expr::Function {
+                name: "coalesce".into(),
+                args: vec![Expr::column("a"), Expr::Literal(Value::Int(0))],
+                star: false
+            }
+        );
+    }
+
+    #[test]
+    fn multi_statement_scripts() {
+        let stmts = parse_statements(
+            "INSERT INTO t VALUES (1); INSERT INTO t VALUES (2);; SELECT * FROM t",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_statement("SELECT FROM t").is_err());
+        assert!(parse_statement("SELECT * FROM").is_err());
+        assert!(parse_statement("INSERT INTO t").is_err());
+        assert!(parse_statement("UPDATE t WHERE a = 1").is_err());
+        assert!(parse_statement("CREATE TABLE t ()").is_err());
+        assert!(parse_statement("SELECT DISTINCT a FROM t").is_err());
+        assert!(parse_statement("").is_err());
+        assert!(parse_statement("SELECT 1; SELECT 2").is_err()); // one expected
+        assert!(parse_expression("1 +").is_err());
+        assert!(parse_expression("(1").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_and_unary() {
+        assert_eq!(
+            parse_expression("-5").unwrap(),
+            Expr::Unary { op: UnaryOp::Neg, operand: Box::new(Expr::Literal(Value::Int(5))) }
+        );
+        assert!(parse_expression("+7").unwrap() == Expr::Literal(Value::Int(7)));
+    }
+}

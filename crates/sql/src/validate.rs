@@ -1,0 +1,264 @@
+//! Static determinism validation for smart-contract bodies.
+//!
+//! The paper requires contracts to be deterministic when re-executed
+//! independently on every node (§2 enhancement 1). PostgreSQL's PL/pgSQL is
+//! not deterministic by default, so the authors *restrict* it (§4.3); we
+//! enforce the same restrictions statically at `CREATE FUNCTION` time and
+//! again at invocation:
+//!
+//! 1. no date/time, random, sequence or system-information functions;
+//! 2. `SELECT ... LIMIT` requires `ORDER BY` (the paper requires ordering by
+//!    the primary key; we require an explicit ORDER BY, which the engine
+//!    evaluates deterministically);
+//! 3. row-header columns (`xmin`, `xmax`, `_creator_block`,
+//!    `_deleter_block`, `_row_id`) may not be referenced by contracts —
+//!    they are reserved for provenance queries;
+//! 4. optionally (EO flow): no blind `UPDATE`/`DELETE` without `WHERE`
+//!    (§3.4.3) and no `SELECT *` whole-table scans inside contracts (§4.3).
+
+use bcrdb_common::error::{Error, Result};
+
+use crate::ast::{Expr, InsertSource, SelectStmt, Statement};
+
+/// Functions whose results depend on wall-clock time, randomness or node-
+/// local state. Mirrors the restricted list of §4.3.
+const NON_DETERMINISTIC_FUNCTIONS: &[&str] = &[
+    // date/time
+    "now", "current_timestamp", "current_date", "current_time", "timeofday",
+    "clock_timestamp", "statement_timestamp", "transaction_timestamp", "age", "localtime",
+    // randomness
+    "random", "setseed", "gen_random_uuid", "uuid_generate_v4",
+    // sequences
+    "nextval", "currval", "setval", "lastval",
+    // system information
+    "version", "current_user", "session_user", "current_database", "pg_backend_pid",
+    "inet_client_addr", "txid_current", "pg_sleep",
+];
+
+/// Row-header / system columns reserved for provenance queries (§4.2);
+/// forbidden inside contracts (§4.3: "cannot use row headers such as xmin,
+/// xmax in WHERE clause").
+pub const SYSTEM_COLUMNS: &[&str] =
+    &["xmin", "xmax", "_creator_block", "_deleter_block", "_row_id", "_committed"];
+
+/// Which rule set to apply. The EO flow adds restrictions beyond those
+/// required by OE (blind updates would acquire ww locks on only a subset of
+/// nodes, §3.4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeterminismRules {
+    /// Reject `UPDATE`/`DELETE` without a `WHERE` clause.
+    pub forbid_blind_writes: bool,
+    /// Reject `SELECT *`-style whole-table reads inside contracts
+    /// (the paper routes all predicate reads through indexes in EO).
+    pub forbid_unfiltered_select: bool,
+}
+
+impl DeterminismRules {
+    /// Rules for the order-then-execute flow.
+    pub fn order_then_execute() -> DeterminismRules {
+        DeterminismRules { forbid_blind_writes: false, forbid_unfiltered_select: false }
+    }
+
+    /// Rules for the execute-order-in-parallel flow.
+    pub fn execute_order_parallel() -> DeterminismRules {
+        DeterminismRules { forbid_blind_writes: true, forbid_unfiltered_select: true }
+    }
+}
+
+/// Validate one statement against the determinism rules.
+pub fn validate_statement(stmt: &Statement, rules: &DeterminismRules) -> Result<()> {
+    // Rule 1 and 3: walk all expressions once.
+    let mut violation: Option<Error> = None;
+    stmt.walk_exprs(&mut |e| {
+        if violation.is_some() {
+            return;
+        }
+        match e {
+            Expr::Function { name, .. } if NON_DETERMINISTIC_FUNCTIONS.contains(&name.as_str()) => {
+                violation = Some(Error::Determinism(format!(
+                    "function {name}() is non-deterministic and forbidden in contracts"
+                )));
+            }
+            Expr::Column { name, .. } if SYSTEM_COLUMNS.contains(&name.as_str()) => {
+                violation = Some(Error::Determinism(format!(
+                    "system column {name} may only be used in provenance queries"
+                )));
+            }
+            _ => {}
+        }
+    });
+    if let Some(err) = violation {
+        return Err(err);
+    }
+
+    match stmt {
+        Statement::Select(sel) => validate_select(sel, rules)?,
+        Statement::Insert { source: InsertSource::Select(sel), .. } => {
+            validate_select(sel, rules)?;
+        }
+        Statement::Update { predicate, .. }
+            if rules.forbid_blind_writes && predicate.is_none() => {
+                return Err(Error::Determinism(
+                    "blind UPDATE without WHERE is not supported in the \
+                     execute-order-in-parallel flow (§3.4.3)"
+                        .into(),
+                ));
+            }
+        Statement::Delete { predicate, .. }
+            if rules.forbid_blind_writes && predicate.is_none() => {
+                return Err(Error::Determinism(
+                    "blind DELETE without WHERE is not supported in the \
+                     execute-order-in-parallel flow (§3.4.3)"
+                        .into(),
+                ));
+            }
+        Statement::CreateFunction(def) => {
+            for s in &def.body {
+                validate_statement(s, rules)?;
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn validate_select(sel: &SelectStmt, rules: &DeterminismRules) -> Result<()> {
+    // Rule 2: LIMIT requires ORDER BY.
+    if sel.limit.is_some() && sel.order_by.is_empty() {
+        return Err(Error::Determinism(
+            "SELECT with LIMIT must specify ORDER BY (§4.3)".into(),
+        ));
+    }
+    // HISTORY() scans are provenance-only, never inside contracts.
+    if let Some(from) = &sel.from {
+        if from.base.history || from.joins.iter().any(|j| j.table.history) {
+            return Err(Error::Determinism(
+                "HISTORY() provenance scans are not allowed inside contracts".into(),
+            ));
+        }
+        if rules.forbid_unfiltered_select
+            && sel.predicate.is_none()
+            && from.joins.is_empty()
+            && sel.group_by.is_empty()
+        {
+            return Err(Error::Determinism(
+                "unfiltered whole-table SELECT inside a contract is not allowed \
+                 in the execute-order-in-parallel flow (§4.3)"
+                    .into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validate a whole contract body (used at `CREATE FUNCTION` deploy time).
+pub fn validate_contract_body(body: &[Statement], rules: &DeterminismRules) -> Result<()> {
+    for stmt in body {
+        // Contracts may not contain nested contract definitions.
+        if matches!(stmt, Statement::CreateFunction(_) | Statement::DropFunction { .. }) {
+            return Err(Error::Determinism(
+                "contracts may not define or drop other contracts".into(),
+            ));
+        }
+        validate_statement(stmt, rules)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_statement, parse_statements};
+
+    fn oe() -> DeterminismRules {
+        DeterminismRules::order_then_execute()
+    }
+
+    fn eo() -> DeterminismRules {
+        DeterminismRules::execute_order_parallel()
+    }
+
+    #[test]
+    fn rejects_nondeterministic_functions() {
+        for sql in [
+            "SELECT now()",
+            "INSERT INTO t VALUES (random())",
+            "UPDATE t SET a = nextval('s') WHERE id = 1",
+            "SELECT * FROM t WHERE ts > current_timestamp()",
+        ] {
+            let stmt = parse_statement(sql).unwrap();
+            let err = validate_statement(&stmt, &oe()).unwrap_err();
+            assert!(matches!(err, Error::Determinism(_)), "{sql}");
+        }
+    }
+
+    #[test]
+    fn rejects_system_columns_in_contracts() {
+        let stmt = parse_statement("SELECT * FROM t WHERE xmax = 5").unwrap();
+        assert!(validate_statement(&stmt, &oe()).is_err());
+        let stmt = parse_statement("SELECT _creator_block FROM t WHERE id = 1").unwrap();
+        assert!(validate_statement(&stmt, &oe()).is_err());
+    }
+
+    #[test]
+    fn limit_requires_order_by() {
+        let bad = parse_statement("SELECT a FROM t WHERE a > 0 LIMIT 5").unwrap();
+        assert!(validate_statement(&bad, &oe()).is_err());
+        let good = parse_statement("SELECT a FROM t WHERE a > 0 ORDER BY a LIMIT 5").unwrap();
+        assert!(validate_statement(&good, &oe()).is_ok());
+    }
+
+    #[test]
+    fn blind_writes_flow_dependent() {
+        let upd = parse_statement("UPDATE t SET a = 1").unwrap();
+        assert!(validate_statement(&upd, &oe()).is_ok());
+        assert!(validate_statement(&upd, &eo()).is_err());
+        let del = parse_statement("DELETE FROM t").unwrap();
+        assert!(validate_statement(&del, &oe()).is_ok());
+        assert!(validate_statement(&del, &eo()).is_err());
+    }
+
+    #[test]
+    fn unfiltered_select_flow_dependent() {
+        let sel = parse_statement("SELECT * FROM t").unwrap();
+        assert!(validate_statement(&sel, &oe()).is_ok());
+        assert!(validate_statement(&sel, &eo()).is_err());
+        // Aggregations over the whole table are allowed (they are
+        // deterministic regardless of scan order).
+        let agg = parse_statement("SELECT count(*) FROM t GROUP BY a").unwrap();
+        assert!(validate_statement(&agg, &eo()).is_ok());
+    }
+
+    #[test]
+    fn history_scans_forbidden_in_contracts() {
+        let sel = parse_statement("SELECT * FROM HISTORY(t) WHERE id = 1").unwrap();
+        assert!(validate_statement(&sel, &oe()).is_err());
+        assert!(validate_statement(&sel, &eo()).is_err());
+    }
+
+    #[test]
+    fn contract_body_validation() {
+        let body = parse_statements(
+            "INSERT INTO t VALUES ($1); UPDATE t SET a = $2 WHERE id = $1",
+        )
+        .unwrap();
+        assert!(validate_contract_body(&body, &eo()).is_ok());
+
+        let nested = parse_statements("DROP FUNCTION foo").unwrap();
+        assert!(validate_contract_body(&nested, &oe()).is_err());
+
+        let nondet = parse_statements("INSERT INTO t VALUES (now())").unwrap();
+        assert!(validate_contract_body(&nondet, &oe()).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_checked() {
+        // Non-determinism hidden inside an expression tree.
+        let stmt =
+            parse_statement("SELECT a FROM t WHERE a > 1 + abs(random())").unwrap();
+        assert!(validate_statement(&stmt, &oe()).is_err());
+        // ... and inside INSERT..SELECT.
+        let stmt = parse_statement("INSERT INTO t SELECT random() FROM u WHERE u.a = 1").unwrap();
+        assert!(validate_statement(&stmt, &oe()).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! The table catalog: the named collection of tables forming one node's
+//! replica of the shared database (the paper's "blockchain schema", §3.7).
+//!
+//! DDL only ever executes inside the serial block-commit phase (contracts
+//! are deployed through system smart contracts), so catalog mutations are
+//! coarse-grained and rare; lookups are lock-free clones of `Arc`s.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::schema::TableSchema;
+use parking_lot::RwLock;
+
+use crate::table::Table;
+
+/// A named set of tables.
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Create a table from a schema. Fails if the name is taken.
+    pub fn create_table(&self, schema: TableSchema) -> Result<Arc<Table>> {
+        let mut tables = self.tables.write();
+        let name = schema.name.clone();
+        if tables.contains_key(&name) {
+            return Err(Error::AlreadyExists(format!("table {name}")));
+        }
+        let table = Arc::new(Table::new(schema));
+        tables.insert(name, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Register an existing table object (snapshot restore).
+    pub fn install_table(&self, table: Arc<Table>) {
+        self.tables.write().insert(table.name(), table);
+    }
+
+    /// Drop a table. With `if_exists`, missing tables are not an error.
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<()> {
+        let removed = self.tables.write().remove(name).is_some();
+        if !removed && !if_exists {
+            return Err(Error::NotFound(format!("table {name}")));
+        }
+        Ok(())
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("table {name}")))
+    }
+
+    /// Does the table exist?
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// Sorted table names.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// True if no tables exist.
+    pub fn is_empty(&self) -> bool {
+        self.tables.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcrdb_common::schema::{Column, DataType};
+
+    fn schema(name: &str) -> TableSchema {
+        TableSchema::new(name, vec![Column::new("id", DataType::Int)], vec![0]).unwrap()
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.create_table(schema("a")).unwrap();
+        cat.create_table(schema("b")).unwrap();
+        assert_eq!(cat.table_names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(cat.get("a").is_ok());
+        assert!(cat.get("zzz").is_err());
+        assert!(cat.contains("b"));
+        // Duplicate create fails.
+        assert!(cat.create_table(schema("a")).is_err());
+        // Drop.
+        cat.drop_table("a", false).unwrap();
+        assert!(cat.get("a").is_err());
+        assert!(cat.drop_table("a", false).is_err());
+        assert!(cat.drop_table("a", true).is_ok());
+        assert_eq!(cat.len(), 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! B-tree secondary indexes.
+//!
+//! An index maps a column value to the heap positions of *all* versions
+//! carrying that value (live, dead and in-flight alike); visibility is
+//! resolved by the caller via [`crate::snapshot::classify`]. This mirrors
+//! PostgreSQL, where every update inserts a new index entry and scans
+//! filter by tuple visibility (§4.1 of the paper).
+//!
+//! The paper routes all predicate reads through indexes in the
+//! execute-order-in-parallel flow (§4.3); [`KeyRange`] is both the scan
+//! argument here and the *predicate lock* granularity used by the SSI layer.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use bcrdb_common::value::Value;
+use parking_lot::RwLock;
+
+/// An inclusive/exclusive/unbounded key interval over one column.
+///
+/// Shared between index scans and SSI predicate locks so that "the set of
+/// rows this transaction read" and "the set of rows a writer changed" are
+/// compared in the same language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Lower bound.
+    pub low: Bound<Value>,
+    /// Upper bound.
+    pub high: Bound<Value>,
+}
+
+impl KeyRange {
+    /// The full range (a whole-column predicate lock).
+    pub fn all() -> KeyRange {
+        KeyRange { low: Bound::Unbounded, high: Bound::Unbounded }
+    }
+
+    /// Exact-match range.
+    pub fn eq(v: Value) -> KeyRange {
+        KeyRange { low: Bound::Included(v.clone()), high: Bound::Included(v) }
+    }
+
+    /// `[low, high]` inclusive range (for BETWEEN).
+    pub fn between(low: Value, high: Value) -> KeyRange {
+        KeyRange { low: Bound::Included(low), high: Bound::Included(high) }
+    }
+
+    /// `> v` or `>= v` range.
+    pub fn greater(v: Value, inclusive: bool) -> KeyRange {
+        KeyRange {
+            low: if inclusive { Bound::Included(v) } else { Bound::Excluded(v) },
+            high: Bound::Unbounded,
+        }
+    }
+
+    /// `< v` or `<= v` range.
+    pub fn less(v: Value, inclusive: bool) -> KeyRange {
+        KeyRange {
+            low: Bound::Unbounded,
+            high: if inclusive { Bound::Included(v) } else { Bound::Excluded(v) },
+        }
+    }
+
+    /// Does the range contain `v`?
+    pub fn contains(&self, v: &Value) -> bool {
+        let lo_ok = match &self.low {
+            Bound::Unbounded => true,
+            Bound::Included(l) => v.cmp_total(l) != std::cmp::Ordering::Less,
+            Bound::Excluded(l) => v.cmp_total(l) == std::cmp::Ordering::Greater,
+        };
+        let hi_ok = match &self.high {
+            Bound::Unbounded => true,
+            Bound::Included(h) => v.cmp_total(h) != std::cmp::Ordering::Greater,
+            Bound::Excluded(h) => v.cmp_total(h) == std::cmp::Ordering::Less,
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Do two ranges overlap? (Used to merge predicate locks.)
+    pub fn overlaps(&self, other: &KeyRange) -> bool {
+        // r1.low <= r2.high && r2.low <= r1.high, honoring bound kinds.
+        fn low_leq_high(low: &Bound<Value>, high: &Bound<Value>) -> bool {
+            match (low, high) {
+                (Bound::Unbounded, _) | (_, Bound::Unbounded) => true,
+                (Bound::Included(l), Bound::Included(h)) => l.cmp_total(h) != std::cmp::Ordering::Greater,
+                (Bound::Included(l), Bound::Excluded(h))
+                | (Bound::Excluded(l), Bound::Included(h))
+                | (Bound::Excluded(l), Bound::Excluded(h)) => {
+                    l.cmp_total(h) == std::cmp::Ordering::Less
+                }
+            }
+        }
+        low_leq_high(&self.low, &other.high) && low_leq_high(&other.low, &self.high)
+    }
+}
+
+/// A concurrent B-tree index from column value to heap positions.
+pub struct BTreeIndex {
+    /// Indexed column ordinal.
+    pub column: usize,
+    /// Index name (for catalog display).
+    pub name: String,
+    map: RwLock<BTreeMap<Value, Vec<usize>>>,
+}
+
+impl BTreeIndex {
+    /// Empty index over `column`.
+    pub fn new(name: impl Into<String>, column: usize) -> BTreeIndex {
+        BTreeIndex { column, name: name.into(), map: RwLock::new(BTreeMap::new()) }
+    }
+
+    /// Register a heap position under `key`.
+    pub fn insert(&self, key: Value, position: usize) {
+        self.map.write().entry(key).or_default().push(position);
+    }
+
+    /// Heap positions whose key falls in `range`, in key order. Positions
+    /// under the same key keep insertion order; the caller re-sorts visible
+    /// results by row id for cross-node determinism.
+    pub fn positions_in_range(&self, range: &KeyRange) -> Vec<usize> {
+        let map = self.map.read();
+        map.range((range.low.clone(), range.high.clone()))
+            .flat_map(|(_, positions)| positions.iter().copied())
+            .collect()
+    }
+
+    /// Heap positions with exactly `key`.
+    pub fn positions_eq(&self, key: &Value) -> Vec<usize> {
+        self.map.read().get(key).cloned().unwrap_or_default()
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Total number of position entries.
+    pub fn entry_count(&self) -> usize {
+        self.map.read().values().map(Vec::len).sum()
+    }
+
+    /// Drop all entries (used by vacuum before a rebuild).
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_contains() {
+        let r = KeyRange::between(Value::Int(2), Value::Int(5));
+        assert!(!r.contains(&Value::Int(1)));
+        assert!(r.contains(&Value::Int(2)));
+        assert!(r.contains(&Value::Int(5)));
+        assert!(!r.contains(&Value::Int(6)));
+
+        let r = KeyRange::greater(Value::Int(3), false);
+        assert!(!r.contains(&Value::Int(3)));
+        assert!(r.contains(&Value::Int(4)));
+
+        let r = KeyRange::less(Value::Int(3), true);
+        assert!(r.contains(&Value::Int(3)));
+        assert!(!r.contains(&Value::Int(4)));
+
+        assert!(KeyRange::all().contains(&Value::Text("anything".into())));
+    }
+
+    #[test]
+    fn range_overlap() {
+        let a = KeyRange::between(Value::Int(1), Value::Int(5));
+        let b = KeyRange::between(Value::Int(5), Value::Int(9));
+        let c = KeyRange::between(Value::Int(6), Value::Int(9));
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(KeyRange::all().overlaps(&a));
+        // Excluded boundaries do not touch.
+        let d = KeyRange::greater(Value::Int(5), false);
+        assert!(!a.overlaps(&d));
+        let e = KeyRange::greater(Value::Int(5), true);
+        assert!(a.overlaps(&e));
+        // Point ranges.
+        assert!(KeyRange::eq(Value::Int(3)).overlaps(&a));
+        assert!(!KeyRange::eq(Value::Int(0)).overlaps(&a));
+    }
+
+    #[test]
+    fn index_insert_and_scan() {
+        let idx = BTreeIndex::new("idx_a", 0);
+        idx.insert(Value::Int(10), 0);
+        idx.insert(Value::Int(20), 1);
+        idx.insert(Value::Int(10), 2); // second version of key 10
+        idx.insert(Value::Int(30), 3);
+
+        assert_eq!(idx.positions_eq(&Value::Int(10)), vec![0, 2]);
+        assert_eq!(idx.positions_eq(&Value::Int(99)), Vec::<usize>::new());
+        assert_eq!(
+            idx.positions_in_range(&KeyRange::between(Value::Int(10), Value::Int(20))),
+            vec![0, 2, 1]
+        );
+        assert_eq!(idx.positions_in_range(&KeyRange::all()), vec![0, 2, 1, 3]);
+        assert_eq!(idx.key_count(), 3);
+        assert_eq!(idx.entry_count(), 4);
+        idx.clear();
+        assert_eq!(idx.entry_count(), 0);
+    }
+
+    #[test]
+    fn mixed_type_keys_order_consistently() {
+        // A nullable indexed column can hold NULL; ensure the canonical
+        // value order keeps scans total.
+        let idx = BTreeIndex::new("idx", 0);
+        idx.insert(Value::Null, 0);
+        idx.insert(Value::Int(1), 1);
+        assert_eq!(idx.positions_in_range(&KeyRange::all()), vec![0, 1]);
+        assert_eq!(
+            idx.positions_in_range(&KeyRange::greater(Value::Int(0), true)),
+            vec![1]
+        );
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # bcrdb-storage
+//!
+//! The MVCC storage engine underneath the blockchain relational database.
+//!
+//! Modeled on PostgreSQL's storage as described in §4.1 of the paper:
+//! every row version carries `xmin`/`xmax` transaction stamps, *plus* the
+//! paper's two new fields — the **creator block number** and **deleter
+//! block number** (§3.4.1, Figure 3) — which enable snapshot isolation
+//! based on block height. Updates never modify rows in place: an UPDATE is
+//! a delete-flag on the old version and an insert of a new version sharing
+//! the same logical [`bcrdb_common::RowId`]; nothing is purged except by an
+//! explicit [`table::Table::vacuum`], which is what makes provenance
+//! queries over full row history possible (§4.2).
+//!
+//! Crucially for cross-node determinism, **row ids are assigned at commit
+//! time** (commits are serialized in block order by the node), and all
+//! scans order results by `(key, row_id)` — so independently executing
+//! replicas observe identical scan orders and produce identical write-set
+//! hashes during the checkpointing phase.
+
+pub mod catalog;
+pub mod index;
+pub mod persist;
+pub mod snapshot;
+pub mod table;
+pub mod version;
+
+pub use catalog::Catalog;
+pub use index::BTreeIndex;
+pub use snapshot::{Classification, ScanMode, Snapshot};
+pub use table::Table;
+pub use version::{Version, VersionState};

@@ -1,0 +1,236 @@
+//! Snapshot-isolation visibility based on block height (§3.4.1, Figure 3).
+//!
+//! A transaction executes at a *snapshot height* `h` and sees exactly the
+//! database state committed by blocks `1..=h`:
+//!
+//! * a version is visible iff `creator_block <= h` and
+//!   (`deleter_block` is empty or `> h`), plus the transaction's own
+//!   uncommitted writes;
+//! * in the execute-order-in-parallel flow the node may already be at a
+//!   *higher* committed height than `h`; reads that would be affected by
+//!   those newer commits are serializability violations the paper resolves
+//!   by aborting the reader: **phantom** (`creator > h`, not deleted) and
+//!   **stale** (`creator <= h < deleter`) reads (§3.4.1 rules 1–2).
+//!
+//! The order-then-execute flow always executes at the node's current
+//! height, so those two cases cannot arise there; the same code path
+//! serves both flows.
+
+use bcrdb_common::ids::{BlockHeight, TxId};
+
+use crate::version::VersionState;
+
+/// A transaction's view of the database.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Committed state visible up to and including this block height.
+    pub height: BlockHeight,
+    /// The reading transaction's own (local) id; own writes are visible.
+    pub tx: TxId,
+}
+
+impl Snapshot {
+    /// Snapshot at `height` for transaction `tx`.
+    pub fn new(tx: TxId, height: BlockHeight) -> Snapshot {
+        Snapshot { height, tx }
+    }
+}
+
+/// Whether a scan must abort on phantom/stale versions (EO flow executing
+/// below the node's committed height) or may ignore them (OE flow, and
+/// read-only queries that don't participate in consensus).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Abort on phantom/stale candidates (§3.4.1). Used for contract
+    /// execution in the EO flow.
+    Strict,
+    /// Serve the snapshot silently. Used in the OE flow (where the cases
+    /// cannot arise) and for local read-only queries.
+    Relaxed,
+}
+
+/// Outcome of classifying one version against a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Classification {
+    /// Visible to the snapshot; carries the other in-flight writers of the
+    /// version so the caller can register rw-antidependencies.
+    Visible {
+        /// In-flight writers other than the reader itself.
+        pending_writers: Vec<TxId>,
+    },
+    /// Not visible and irrelevant to this snapshot.
+    Invisible,
+    /// Committed *after* the snapshot height and still live — a phantom
+    /// candidate if it matches the read predicate (§3.4.1 rule 1).
+    Phantom,
+    /// Visible at the snapshot height but deleted by a later committed
+    /// block — a stale-read candidate (§3.4.1 rule 2).
+    Stale,
+    /// An uncommitted version written by another in-flight transaction;
+    /// the reader must record a `reader -rw-> writer` antidependency.
+    PendingWrite {
+        /// The in-flight creating transaction.
+        writer: TxId,
+    },
+}
+
+/// Classify a version (by its header state and creating transaction)
+/// against a snapshot.
+pub fn classify(xmin: TxId, state: &VersionState, snap: &Snapshot) -> Classification {
+    if state.aborted {
+        return Classification::Invisible;
+    }
+
+    // Own writes: visible unless also deleted by self.
+    if xmin == snap.tx {
+        if state.xmax_pending.contains(&snap.tx) || state.xmax_committed == Some(snap.tx) {
+            return Classification::Invisible;
+        }
+        return Classification::Visible {
+            pending_writers: state
+                .xmax_pending
+                .iter()
+                .copied()
+                .filter(|t| *t != snap.tx)
+                .collect(),
+        };
+    }
+
+    match state.creator_block {
+        // In-flight insert by another transaction.
+        None => Classification::PendingWrite { writer: xmin },
+        Some(cb) if cb > snap.height => {
+            // Committed beyond the snapshot. Live → phantom candidate;
+            // already deleted again → cannot affect this snapshot.
+            if state.deleter_block.is_none() {
+                Classification::Phantom
+            } else {
+                Classification::Invisible
+            }
+        }
+        Some(_) => {
+            match state.deleter_block {
+                Some(db) if db <= snap.height => Classification::Invisible,
+                Some(_) => Classification::Stale,
+                None => {
+                    // Deleted by self (update/delete in this transaction)?
+                    if state.xmax_pending.contains(&snap.tx) {
+                        return Classification::Invisible;
+                    }
+                    Classification::Visible {
+                        pending_writers: state
+                            .xmax_pending
+                            .iter()
+                            .copied()
+                            .filter(|t| *t != snap.tx)
+                            .collect(),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcrdb_common::ids::RowId;
+
+    fn committed(cb: BlockHeight, db: Option<BlockHeight>) -> VersionState {
+        VersionState {
+            creator_block: Some(cb),
+            deleter_block: db,
+            xmax_committed: db.map(|_| TxId(99)),
+            xmax_pending: Vec::new(),
+            aborted: false,
+            row_id: RowId(1),
+        }
+    }
+
+    fn snap(h: BlockHeight) -> Snapshot {
+        Snapshot::new(TxId(7), h)
+    }
+
+    #[test]
+    fn basic_block_height_visibility() {
+        // Figure 3 of the paper: at snapshot-height 1, only state committed
+        // by block 1 is visible.
+        let st = committed(1, None);
+        assert!(matches!(classify(TxId(2), &st, &snap(1)), Classification::Visible { .. }));
+        assert!(matches!(classify(TxId(2), &st, &snap(5)), Classification::Visible { .. }));
+
+        let st = committed(3, None);
+        assert!(matches!(classify(TxId(2), &st, &snap(2)), Classification::Phantom));
+        assert!(matches!(classify(TxId(2), &st, &snap(3)), Classification::Visible { .. }));
+    }
+
+    #[test]
+    fn deleted_versions() {
+        // Created at 1, deleted at 3.
+        let st = committed(1, Some(3));
+        // At height 3+ the version is simply gone.
+        assert!(matches!(classify(TxId(2), &st, &snap(3)), Classification::Invisible));
+        assert!(matches!(classify(TxId(2), &st, &snap(9)), Classification::Invisible));
+        // At heights 1..=2 the row existed, but a later block deleted it:
+        // stale-read candidate (§3.4.1 rule 2).
+        assert!(matches!(classify(TxId(2), &st, &snap(1)), Classification::Stale));
+        assert!(matches!(classify(TxId(2), &st, &snap(2)), Classification::Stale));
+        // Created at 5, already deleted at 7: invisible to snapshot 4 (it
+        // never existed there and no longer matters).
+        let st = committed(5, Some(7));
+        assert!(matches!(classify(TxId(2), &st, &snap(4)), Classification::Invisible));
+    }
+
+    #[test]
+    fn own_writes_visible_own_deletes_invisible() {
+        let me = TxId(7);
+        // Own uncommitted insert.
+        let st = VersionState { row_id: RowId(1), ..Default::default() };
+        assert!(matches!(classify(me, &st, &snap(4)), Classification::Visible { .. }));
+        // Own insert then own delete.
+        let st = VersionState {
+            xmax_pending: vec![me],
+            row_id: RowId(1),
+            ..Default::default()
+        };
+        assert!(matches!(classify(me, &st, &snap(4)), Classification::Invisible));
+        // Committed row deleted by self → invisible to self.
+        let mut st = committed(1, None);
+        st.xmax_pending.push(me);
+        assert!(matches!(classify(TxId(2), &st, &snap(4)), Classification::Invisible));
+    }
+
+    #[test]
+    fn pending_writes_by_others() {
+        let st = VersionState { row_id: RowId(1), ..Default::default() };
+        match classify(TxId(3), &st, &snap(4)) {
+            Classification::PendingWrite { writer } => assert_eq!(writer, TxId(3)),
+            other => panic!("expected PendingWrite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn visible_reports_pending_writers() {
+        let mut st = committed(1, None);
+        st.xmax_pending = vec![TxId(3), TxId(4)];
+        match classify(TxId(2), &st, &snap(4)) {
+            Classification::Visible { pending_writers } => {
+                assert_eq!(pending_writers, vec![TxId(3), TxId(4)]);
+            }
+            other => panic!("expected Visible, got {other:?}"),
+        }
+        // The reader itself is excluded.
+        st.xmax_pending = vec![TxId(7), TxId(4)];
+        match classify(TxId(2), &st, &snap(4)) {
+            // snap.tx == 7 is a pending writer → the row is deleted by self.
+            Classification::Invisible => {}
+            other => panic!("expected Invisible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aborted_versions_are_dead() {
+        let st = VersionState { aborted: true, ..Default::default() };
+        assert!(matches!(classify(TxId(2), &st, &snap(4)), Classification::Invisible));
+    }
+}

@@ -1,0 +1,384 @@
+//! Tables: an append-only version heap plus B-tree indexes.
+//!
+//! The heap only ever grows (updates append new versions); positions are
+//! stable until an explicit [`Table::vacuum`], which is a stop-the-world
+//! maintenance operation in the spirit of the paper's enhanced `VACUUM`
+//! (§7: pruning by creator/deleter block).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::ids::{BlockHeight, RowId, TxId};
+use bcrdb_common::schema::TableSchema;
+use bcrdb_common::value::{Row, Value};
+use parking_lot::RwLock;
+
+use crate::index::{BTreeIndex, KeyRange};
+use crate::version::Version;
+
+/// A table: schema, version heap and indexes.
+pub struct Table {
+    schema: RwLock<TableSchema>,
+    versions: RwLock<Vec<Arc<Version>>>,
+    /// Column ordinal → index. The primary-key index always exists for
+    /// single-column PKs.
+    indexes: RwLock<HashMap<usize, Arc<BTreeIndex>>>,
+    /// Commit-time row-id allocator. Advanced only during the serial commit
+    /// phase, so the sequence is identical on every node.
+    next_row_id: AtomicU64,
+}
+
+impl Table {
+    /// Create an empty table. A primary-key index is created automatically
+    /// for single-column primary keys; secondary indexes declared in the
+    /// schema are materialized too.
+    pub fn new(schema: TableSchema) -> Table {
+        let mut indexes = HashMap::new();
+        if schema.primary_key.len() == 1 {
+            let col = schema.primary_key[0];
+            indexes.insert(
+                col,
+                Arc::new(BTreeIndex::new(format!("{}_pkey", schema.name), col)),
+            );
+        }
+        for def in &schema.indexes {
+            indexes
+                .entry(def.column)
+                .or_insert_with(|| Arc::new(BTreeIndex::new(def.name.clone(), def.column)));
+        }
+        Table {
+            schema: RwLock::new(schema),
+            versions: RwLock::new(Vec::new()),
+            indexes: RwLock::new(indexes),
+            next_row_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Clone of the schema.
+    pub fn schema(&self) -> TableSchema {
+        self.schema.read().clone()
+    }
+
+    /// Table name.
+    pub fn name(&self) -> String {
+        self.schema.read().name.clone()
+    }
+
+    /// Add a secondary index over `column_name` and backfill it from the
+    /// existing heap.
+    pub fn add_index(&self, index_name: &str, column_name: &str) -> Result<()> {
+        let column = {
+            let mut schema = self.schema.write();
+            schema.add_index(index_name, column_name)?;
+            schema.column_index(column_name).expect("column checked by add_index")
+        };
+        let idx = Arc::new(BTreeIndex::new(index_name, column));
+        let versions = self.versions.read();
+        for (pos, v) in versions.iter().enumerate() {
+            idx.insert(v.data[column].clone(), pos);
+        }
+        self.indexes.write().insert(column, idx);
+        Ok(())
+    }
+
+    /// The index over `column`, if one exists.
+    pub fn index_for(&self, column: usize) -> Option<Arc<BTreeIndex>> {
+        self.indexes.read().get(&column).cloned()
+    }
+
+    /// Append an in-flight version (INSERT or the successor image of an
+    /// UPDATE). Returns its heap position.
+    pub fn append_version(&self, xmin: TxId, data: Row, row_id: RowId) -> (usize, Arc<Version>) {
+        let version = Arc::new(Version::new(xmin, data, row_id));
+        let pos = {
+            let mut versions = self.versions.write();
+            versions.push(Arc::clone(&version));
+            versions.len() - 1
+        };
+        for idx in self.indexes.read().values() {
+            idx.insert(version.data[idx.column].clone(), pos);
+        }
+        (pos, version)
+    }
+
+    /// Append a fully committed version (snapshot restore path).
+    pub fn append_restored(&self, version: Version) {
+        let version = Arc::new(version);
+        let pos = {
+            let mut versions = self.versions.write();
+            versions.push(Arc::clone(&version));
+            versions.len() - 1
+        };
+        for idx in self.indexes.read().values() {
+            idx.insert(version.data[idx.column].clone(), pos);
+        }
+    }
+
+    /// The version at a heap position.
+    pub fn version_at(&self, pos: usize) -> Option<Arc<Version>> {
+        self.versions.read().get(pos).cloned()
+    }
+
+    /// Versions at the given heap positions (missing positions skipped).
+    pub fn versions_at(&self, positions: &[usize]) -> Vec<Arc<Version>> {
+        let versions = self.versions.read();
+        positions.iter().filter_map(|&p| versions.get(p).cloned()).collect()
+    }
+
+    /// All versions, in heap order. Full scans re-sort visible rows by
+    /// row id for determinism.
+    pub fn all_versions(&self) -> Vec<Arc<Version>> {
+        self.versions.read().clone()
+    }
+
+    /// Number of versions in the heap (live + dead + in-flight).
+    pub fn version_count(&self) -> usize {
+        self.versions.read().len()
+    }
+
+    /// Candidate versions for an indexed range scan.
+    pub fn index_scan(&self, column: usize, range: &KeyRange) -> Option<Vec<Arc<Version>>> {
+        let idx = self.index_for(column)?;
+        Some(self.versions_at(&idx.positions_in_range(range)))
+    }
+
+    /// Allocate the next committed row id. **Only call from the serial
+    /// commit phase** — determinism across nodes depends on allocation
+    /// order matching the block order.
+    pub fn alloc_row_id(&self) -> RowId {
+        RowId(self.next_row_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Current row-id high-water mark (for persistence).
+    pub fn row_id_watermark(&self) -> u64 {
+        self.next_row_id.load(Ordering::Relaxed)
+    }
+
+    /// Force the row-id allocator (snapshot restore).
+    pub fn set_row_id_watermark(&self, v: u64) {
+        self.next_row_id.store(v, Ordering::Relaxed);
+    }
+
+    /// Count of live (committed, not deleted) rows — a consistency check
+    /// helper for tests and checkpoint audits.
+    pub fn live_row_count(&self) -> usize {
+        self.versions.read().iter().filter(|v| v.is_live()).count()
+    }
+
+    /// Remove versions deleted at or before `horizon` and versions from
+    /// aborted transactions, rebuilding the heap and all indexes. Returns
+    /// the number of versions reclaimed.
+    ///
+    /// This is the paper's enhanced vacuum (§7): it trades provenance
+    /// history older than `horizon` for space. Never run it while
+    /// transactions are executing.
+    pub fn vacuum(&self, horizon: BlockHeight) -> usize {
+        let mut versions = self.versions.write();
+        let before = versions.len();
+        let retained: Vec<Arc<Version>> = versions
+            .iter()
+            .filter(|v| {
+                let st = v.state();
+                if st.aborted {
+                    return false;
+                }
+                match st.deleter_block {
+                    Some(db) => db > horizon,
+                    None => true,
+                }
+            })
+            .cloned()
+            .collect();
+        *versions = retained;
+        // Rebuild indexes against the compacted positions.
+        let indexes = self.indexes.read();
+        for idx in indexes.values() {
+            idx.clear();
+            for (pos, v) in versions.iter().enumerate() {
+                idx.insert(v.data[idx.column].clone(), pos);
+            }
+        }
+        before - versions.len()
+    }
+
+    /// Look up live committed rows by primary-key value (single-column PK
+    /// fast path used for uniqueness checks at commit).
+    pub fn committed_pk_conflicts(&self, pk_value: &Value, exclude_tx: TxId) -> Vec<Arc<Version>> {
+        let schema = self.schema.read();
+        if schema.primary_key.len() != 1 {
+            return Vec::new();
+        }
+        let col = schema.primary_key[0];
+        drop(schema);
+        let Some(idx) = self.index_for(col) else { return Vec::new() };
+        self.versions_at(&idx.positions_eq(pk_value))
+            .into_iter()
+            .filter(|v| v.is_live() && v.xmin != exclude_tx)
+            .collect()
+    }
+}
+
+/// A sanity guard: tables are shared across executor threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Table>()
+};
+
+/// Convenience for building a table error.
+pub fn unknown_table(name: &str) -> Error {
+    Error::NotFound(format!("table {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::UNASSIGNED_ROW_ID;
+    use bcrdb_common::schema::{Column, DataType};
+
+    fn table() -> Table {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+            ],
+            vec![0],
+        )
+        .unwrap();
+        Table::new(schema)
+    }
+
+    #[test]
+    fn pk_index_created_automatically() {
+        let t = table();
+        assert!(t.index_for(0).is_some());
+        assert!(t.index_for(1).is_none());
+    }
+
+    #[test]
+    fn append_and_index_scan() {
+        let t = table();
+        let (p0, v0) = t.append_version(
+            TxId(1),
+            vec![Value::Int(10), Value::Text("a".into())],
+            UNASSIGNED_ROW_ID,
+        );
+        v0.commit_create(1, t.alloc_row_id());
+        let (p1, v1) = t.append_version(
+            TxId(1),
+            vec![Value::Int(20), Value::Text("b".into())],
+            UNASSIGNED_ROW_ID,
+        );
+        v1.commit_create(1, t.alloc_row_id());
+        assert_eq!((p0, p1), (0, 1));
+        assert_eq!(t.version_count(), 2);
+        assert_eq!(t.live_row_count(), 2);
+
+        let hits = t.index_scan(0, &KeyRange::eq(Value::Int(10))).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].data[1], Value::Text("a".into()));
+    }
+
+    #[test]
+    fn secondary_index_backfills() {
+        let t = table();
+        let (_, v) = t.append_version(
+            TxId(1),
+            vec![Value::Int(1), Value::Text("x".into())],
+            UNASSIGNED_ROW_ID,
+        );
+        v.commit_create(1, t.alloc_row_id());
+        t.add_index("idx_name", "name").unwrap();
+        let hits = t.index_scan(1, &KeyRange::eq(Value::Text("x".into()))).unwrap();
+        assert_eq!(hits.len(), 1);
+        // Index registered in the schema too.
+        assert_eq!(t.schema().indexes.len(), 1);
+    }
+
+    #[test]
+    fn pk_conflict_detection() {
+        let t = table();
+        let (_, v) = t.append_version(
+            TxId(1),
+            vec![Value::Int(5), Value::Text("a".into())],
+            UNASSIGNED_ROW_ID,
+        );
+        v.commit_create(1, t.alloc_row_id());
+        let conflicts = t.committed_pk_conflicts(&Value::Int(5), TxId(2));
+        assert_eq!(conflicts.len(), 1);
+        // The inserting transaction itself is excluded.
+        assert!(t.committed_pk_conflicts(&Value::Int(5), TxId(1)).is_empty());
+        // Deleted rows do not conflict.
+        v.add_pending_writer(TxId(3));
+        v.commit_delete(TxId(3), 2);
+        assert!(t.committed_pk_conflicts(&Value::Int(5), TxId(2)).is_empty());
+    }
+
+    #[test]
+    fn vacuum_reclaims_dead_versions() {
+        let t = table();
+        // v1 committed at block 1, deleted at block 2.
+        let (_, v1) = t.append_version(
+            TxId(1),
+            vec![Value::Int(1), Value::Text("old".into())],
+            UNASSIGNED_ROW_ID,
+        );
+        let rid = t.alloc_row_id();
+        v1.commit_create(1, rid);
+        v1.add_pending_writer(TxId(2));
+        v1.commit_delete(TxId(2), 2);
+        // Successor version committed at block 2.
+        let (_, v2) = t.append_version(
+            TxId(2),
+            vec![Value::Int(1), Value::Text("new".into())],
+            rid,
+        );
+        v2.commit_create(2, rid);
+        // An aborted insert.
+        let (_, v3) = t.append_version(
+            TxId(3),
+            vec![Value::Int(9), Value::Text("zzz".into())],
+            UNASSIGNED_ROW_ID,
+        );
+        v3.abort_create();
+
+        assert_eq!(t.version_count(), 3);
+        let reclaimed = t.vacuum(2);
+        assert_eq!(reclaimed, 2);
+        assert_eq!(t.version_count(), 1);
+        assert_eq!(t.live_row_count(), 1);
+        // Index positions were rebuilt: scans still work.
+        let hits = t.index_scan(0, &KeyRange::eq(Value::Int(1))).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].data[1], Value::Text("new".into()));
+    }
+
+    #[test]
+    fn vacuum_preserves_history_after_horizon() {
+        let t = table();
+        let (_, v1) = t.append_version(
+            TxId(1),
+            vec![Value::Int(1), Value::Text("v1".into())],
+            UNASSIGNED_ROW_ID,
+        );
+        let rid = t.alloc_row_id();
+        v1.commit_create(1, rid);
+        v1.add_pending_writer(TxId(2));
+        v1.commit_delete(TxId(2), 5);
+        // Horizon 3 < deleter 5 → history kept.
+        assert_eq!(t.vacuum(3), 0);
+        assert_eq!(t.version_count(), 1);
+    }
+
+    #[test]
+    fn row_id_watermark_roundtrip() {
+        let t = table();
+        assert_eq!(t.alloc_row_id(), RowId(1));
+        assert_eq!(t.alloc_row_id(), RowId(2));
+        assert_eq!(t.row_id_watermark(), 3);
+        t.set_row_id_watermark(100);
+        assert_eq!(t.alloc_row_id(), RowId(100));
+    }
+}

@@ -1,0 +1,249 @@
+//! Row versions.
+//!
+//! A [`Version`] is one immutable row image plus a small mutable state
+//! block protected by a mutex. The mutable state mirrors PostgreSQL's
+//! tuple header as extended by the paper (§4.3):
+//!
+//! * `creator_block` — block that committed this version (`None` while the
+//!   creating transaction is still in flight);
+//! * `deleter_block` — block that committed this version's deletion;
+//! * `xmax` — **an array** of in-flight writer transaction ids. The paper
+//!   replaces PostgreSQL's exclusive row lock with an xmax *array* so that
+//!   concurrent transactions may all "write" the row during the execution
+//!   phase, with the block-order commit phase choosing the single winner
+//!   and dooming the rest (§3.3.3, §4.3);
+//! * `aborted` — set when the creating transaction aborts, making the
+//!   version permanently invisible (the analogue of a dead tuple).
+
+use bcrdb_common::ids::{BlockHeight, RowId, TxId};
+use bcrdb_common::value::Row;
+use parking_lot::Mutex;
+
+/// Mutable portion of a version's header.
+#[derive(Clone, Debug)]
+pub struct VersionState {
+    /// Block that committed the creating transaction.
+    pub creator_block: Option<BlockHeight>,
+    /// Block that committed the deleting transaction.
+    pub deleter_block: Option<BlockHeight>,
+    /// The winning deleter (set when `deleter_block` is set).
+    pub xmax_committed: Option<TxId>,
+    /// In-flight writers that have flagged this version for delete/update.
+    pub xmax_pending: Vec<TxId>,
+    /// The creating transaction aborted; version is dead.
+    pub aborted: bool,
+    /// Commit-time row id. `RowId(u64::MAX)` until the creating transaction
+    /// commits (row ids are assigned serially at commit to be identical on
+    /// every node). Versions created by an UPDATE inherit the id of the
+    /// updated row at write time.
+    pub row_id: RowId,
+}
+
+impl Default for VersionState {
+    fn default() -> Self {
+        VersionState {
+            creator_block: None,
+            deleter_block: None,
+            xmax_committed: None,
+            xmax_pending: Vec::new(),
+            aborted: false,
+            row_id: UNASSIGNED_ROW_ID,
+        }
+    }
+}
+
+/// Sentinel for "row id not yet assigned".
+pub const UNASSIGNED_ROW_ID: RowId = RowId(u64::MAX);
+
+/// One version of a row.
+#[derive(Debug)]
+pub struct Version {
+    /// Creating transaction (local id).
+    pub xmin: TxId,
+    /// The row image (immutable once written).
+    pub data: Row,
+    state: Mutex<VersionState>,
+}
+
+impl Version {
+    /// Create a fresh in-flight version. `row_id` is
+    /// [`UNASSIGNED_ROW_ID`] for INSERTs and the existing row's id for
+    /// UPDATE-created successors.
+    pub fn new(xmin: TxId, data: Row, row_id: RowId) -> Version {
+        Version {
+            xmin,
+            data,
+            state: Mutex::new(VersionState { row_id, ..VersionState::default() }),
+        }
+    }
+
+    /// Construct a fully committed version directly (used when restoring a
+    /// persisted state snapshot).
+    pub fn restored(
+        xmin: TxId,
+        data: Row,
+        row_id: RowId,
+        creator_block: BlockHeight,
+        deleter_block: Option<BlockHeight>,
+        xmax_committed: Option<TxId>,
+    ) -> Version {
+        Version {
+            xmin,
+            data,
+            state: Mutex::new(VersionState {
+                creator_block: Some(creator_block),
+                deleter_block,
+                xmax_committed,
+                xmax_pending: Vec::new(),
+                aborted: false,
+                row_id,
+            }),
+        }
+    }
+
+    /// Consistent copy of the mutable header.
+    pub fn state(&self) -> VersionState {
+        self.state.lock().clone()
+    }
+
+    /// The commit-time row id (or [`UNASSIGNED_ROW_ID`]).
+    pub fn row_id(&self) -> RowId {
+        self.state.lock().row_id
+    }
+
+    /// Register `tx` as a pending writer (UPDATE/DELETE intent). Returns the
+    /// ids of the *other* pending writers at that moment so the caller can
+    /// record rw/ww conflicts. Idempotent per transaction.
+    pub fn add_pending_writer(&self, tx: TxId) -> Vec<TxId> {
+        let mut st = self.state.lock();
+        let others: Vec<TxId> = st.xmax_pending.iter().copied().filter(|t| *t != tx).collect();
+        if !st.xmax_pending.contains(&tx) {
+            st.xmax_pending.push(tx);
+        }
+        others
+    }
+
+    /// Remove a pending writer (on abort, or after losing a ww conflict).
+    pub fn remove_pending_writer(&self, tx: TxId) {
+        let mut st = self.state.lock();
+        st.xmax_pending.retain(|t| *t != tx);
+    }
+
+    /// All pending writers except `exclude`.
+    pub fn pending_writers_except(&self, exclude: TxId) -> Vec<TxId> {
+        self.state
+            .lock()
+            .xmax_pending
+            .iter()
+            .copied()
+            .filter(|t| *t != exclude)
+            .collect()
+    }
+
+    /// Commit this version's creation: stamp the creator block and the
+    /// final row id.
+    pub fn commit_create(&self, block: BlockHeight, row_id: RowId) {
+        let mut st = self.state.lock();
+        debug_assert!(st.creator_block.is_none(), "version committed twice");
+        st.creator_block = Some(block);
+        st.row_id = row_id;
+    }
+
+    /// The creating transaction aborted.
+    pub fn abort_create(&self) {
+        let mut st = self.state.lock();
+        st.aborted = true;
+    }
+
+    /// Commit a deletion by `tx` at `block`. Returns the pending writers
+    /// that lost the ww race (every pending writer other than `tx`); the
+    /// caller dooms them per §4.3 ("marks all other transactions for abort
+    /// as only one transaction can write to the row").
+    pub fn commit_delete(&self, tx: TxId, block: BlockHeight) -> Vec<TxId> {
+        let mut st = self.state.lock();
+        debug_assert!(st.deleter_block.is_none(), "version deleted twice");
+        st.deleter_block = Some(block);
+        st.xmax_committed = Some(tx);
+        let losers = st.xmax_pending.iter().copied().filter(|t| *t != tx).collect();
+        st.xmax_pending.clear();
+        losers
+    }
+
+    /// True if this version is committed and not yet superseded — i.e. the
+    /// current image of its logical row.
+    pub fn is_live(&self) -> bool {
+        let st = self.state.lock();
+        !st.aborted && st.creator_block.is_some() && st.deleter_block.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcrdb_common::value::Value;
+
+    fn v() -> Version {
+        Version::new(TxId(1), vec![Value::Int(1)], UNASSIGNED_ROW_ID)
+    }
+
+    #[test]
+    fn lifecycle_insert_commit() {
+        let ver = v();
+        assert!(!ver.is_live());
+        ver.commit_create(5, RowId(7));
+        assert!(ver.is_live());
+        let st = ver.state();
+        assert_eq!(st.creator_block, Some(5));
+        assert_eq!(st.row_id, RowId(7));
+    }
+
+    #[test]
+    fn lifecycle_insert_abort() {
+        let ver = v();
+        ver.abort_create();
+        assert!(!ver.is_live());
+        assert!(ver.state().aborted);
+    }
+
+    #[test]
+    fn xmax_array_concurrent_writers() {
+        let ver = v();
+        ver.commit_create(1, RowId(1));
+        // Two concurrent writers both flag the row (no lock wait — the
+        // paper's xmax-array semantics).
+        let others = ver.add_pending_writer(TxId(10));
+        assert!(others.is_empty());
+        let others = ver.add_pending_writer(TxId(11));
+        assert_eq!(others, vec![TxId(10)]);
+        // Re-adding is idempotent.
+        ver.add_pending_writer(TxId(10));
+        assert_eq!(ver.state().xmax_pending.len(), 2);
+        // Winner commits; loser is reported.
+        let losers = ver.commit_delete(TxId(10), 2);
+        assert_eq!(losers, vec![TxId(11)]);
+        let st = ver.state();
+        assert_eq!(st.deleter_block, Some(2));
+        assert_eq!(st.xmax_committed, Some(TxId(10)));
+        assert!(st.xmax_pending.is_empty());
+        assert!(!ver.is_live());
+    }
+
+    #[test]
+    fn pending_writer_removal() {
+        let ver = v();
+        ver.commit_create(1, RowId(1));
+        ver.add_pending_writer(TxId(5));
+        ver.remove_pending_writer(TxId(5));
+        assert!(ver.state().xmax_pending.is_empty());
+        assert!(ver.pending_writers_except(TxId(5)).is_empty());
+    }
+
+    #[test]
+    fn restored_version_is_committed() {
+        let ver = Version::restored(TxId(3), vec![Value::Int(9)], RowId(4), 10, None, None);
+        assert!(ver.is_live());
+        let ver = Version::restored(TxId(3), vec![Value::Int(9)], RowId(4), 10, Some(12), Some(TxId(8)));
+        assert!(!ver.is_live());
+        assert_eq!(ver.state().deleter_block, Some(12));
+    }
+}

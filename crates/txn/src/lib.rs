@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # bcrdb-txn
+//!
+//! Concurrency control for the blockchain relational database: the
+//! transaction lifecycle, serializable snapshot isolation (SSI) with the
+//! *abort during commit* heuristic of Ports & Grittner (used by the
+//! order-then-execute flow, §3.3), and the paper's novel **block-aware
+//! abort during commit** variant (Table 2, §3.4.3) for the
+//! execute-order-in-parallel flow.
+//!
+//! Layering:
+//!
+//! * [`ssi::SsiManager`] tracks rw-antidependencies (SIREAD row locks and
+//!   index predicate locks), in/out conflict lists per transaction, and
+//!   makes the commit/abort decision when the block processor serially
+//!   signals each transaction;
+//! * [`context::TxnCtx`] is the per-transaction data access layer the SQL
+//!   executor uses: block-height-snapshot scans with phantom/stale-read
+//!   detection (§3.4.1), writes via the xmax-array (no ww lock waits,
+//!   §3.3.3/§4.3), and the commit-time application of the write set
+//!   (creator/deleter block stamping, deterministic row-id assignment,
+//!   primary-key enforcement, ww-loser dooming).
+//!
+//! The determinism argument that makes untrusted replicas agree is spread
+//! across this crate: conflict edges derive only from read/write sets (not
+//! thread timing), commit order is block order, and every abort decision is
+//! a pure function of (conflict graph, block positions, commit states).
+
+pub mod context;
+pub mod ssi;
+
+pub use context::{CommitOutcome, TxnCtx, WriteOp};
+pub use ssi::{Flow, SsiManager, TxnState};

@@ -1,0 +1,118 @@
+//! Contract governance: the §3.7 deployment workflow with per-organization
+//! approvals, rejections and on-chain user management.
+//!
+//! Demonstrates that schema evolution itself is decentralized: no single
+//! organization can change the shared contracts; every deployment is an
+//! immutable, queryable audit trail.
+//!
+//! Run with: `cargo run --example contract_governance`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bcrdb::crypto::identity::{KeyPair, Scheme};
+use bcrdb::prelude::*;
+
+const WAIT: Duration = Duration::from_secs(10);
+
+fn main() -> Result<()> {
+    let net = Network::build(NetworkConfig::quick(
+        &["org1", "org2", "org3"],
+        Flow::OrderThenExecute,
+    ))?;
+    net.bootstrap_sql("CREATE TABLE parts (id INT PRIMARY KEY, name TEXT NOT NULL)")?;
+
+    let admin1 = net.admin("org1")?;
+    let admin2 = net.admin("org2")?;
+    let admin3 = net.admin("org3")?;
+
+    // ── Proposal: org1 stages a new smart contract.
+    println!("org1 stages deployment #1 (add_part contract)");
+    admin1.invoke_wait(
+        "create_deploytx",
+        vec![
+            Value::Int(1),
+            Value::Text(
+                "CREATE FUNCTION add_part(id INT, name TEXT) AS $$ \
+                   INSERT INTO parts VALUES ($1, $2) $$"
+                    .into(),
+            ),
+        ],
+        WAIT,
+    )?;
+
+    // ── Early submission fails: not everyone approved yet.
+    let premature = admin1.invoke("submit_deploytx", vec![Value::Int(1)])?;
+    match premature.wait(WAIT)?.status {
+        TxStatus::Aborted(reason) => println!("premature submit rejected: {reason}"),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+
+    // ── Review: org3 comments, everyone approves.
+    admin3.invoke_wait(
+        "comment_deploytx",
+        vec![Value::Int(1), Value::Text("looks good; ship it".into())],
+        WAIT,
+    )?;
+    for admin in [&admin1, &admin2, &admin3] {
+        admin.invoke_wait("approve_deploytx", vec![Value::Int(1)], WAIT)?;
+    }
+
+    // ── Execution: the staged DDL applies on every node atomically.
+    admin1.invoke_wait("submit_deploytx", vec![Value::Int(1)], WAIT)?;
+    println!("deployment #1 applied");
+
+    // ── A rejected proposal never executes.
+    admin2.invoke_wait(
+        "create_deploytx",
+        vec![Value::Int(2), Value::Text("DROP TABLE parts".into())],
+        WAIT,
+    )?;
+    admin3.invoke_wait(
+        "reject_deploytx",
+        vec![Value::Int(2), Value::Text("dropping parts would destroy history".into())],
+        WAIT,
+    )?;
+    let veto = admin2.invoke("submit_deploytx", vec![Value::Int(2)])?;
+    match veto.wait(WAIT)?.status {
+        TxStatus::Aborted(reason) => println!("vetoed deployment blocked: {reason}"),
+        other => panic!("expected veto, got {other:?}"),
+    }
+
+    // ── On-chain user onboarding: org2's admin registers a new client.
+    let dana_key = Arc::new(KeyPair::generate("org2/dana", b"dana-seed", Scheme::Sim));
+    admin2.invoke_wait(
+        "create_usertx",
+        vec![
+            Value::Text("org2/dana".into()),
+            Value::Text("org2".into()),
+            Value::Text("client".into()),
+            Value::Bytes(dana_key.public_key().to_bytes()),
+        ],
+        WAIT,
+    )?;
+    let dana = net.attach_client("org2", "dana", dana_key)?;
+    dana.invoke_wait(
+        "add_part",
+        vec![Value::Int(1), Value::Text("flux capacitor".into())],
+        WAIT,
+    )?;
+    println!("newly onboarded user invoked the newly deployed contract");
+
+    // ── The whole governance story is plain SQL.
+    println!("\ndeployment audit trail:");
+    let r = dana.query(
+        "SELECT d.id, d.status, v.org, v.vote, v.detail \
+         FROM deployments d JOIN deployment_votes v ON d.id = v.deploy_id \
+         ORDER BY d.id, v.org, v.vote",
+        &[],
+    )?;
+    println!("{}", r.to_table_string());
+
+    println!("network users:");
+    let r = dana.query("SELECT name, role, status FROM network_users ORDER BY name", &[])?;
+    println!("{}", r.to_table_string());
+
+    net.shutdown();
+    Ok(())
+}

@@ -1,0 +1,330 @@
+//! End-to-end integration tests: multi-organization networks running both
+//! transaction flows, checking the paper's core guarantee — every honest
+//! node commits the same transactions in the same order and converges to
+//! an identical state.
+
+use std::time::Duration;
+
+use bcrdb::prelude::*;
+
+const WAIT: Duration = Duration::from_secs(20);
+
+fn build(flow: Flow) -> Network {
+    let net = Network::build(NetworkConfig::quick(&["org1", "org2", "org3"], flow)).unwrap();
+    net.bootstrap_sql(
+        "CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT NOT NULL, balance FLOAT NOT NULL); \
+         CREATE FUNCTION open_account(id INT, owner TEXT, balance FLOAT) AS $$ \
+           INSERT INTO accounts VALUES ($1, $2, $3) $$; \
+         CREATE FUNCTION transfer(src INT, dst INT, amount FLOAT) AS $$ \
+           UPDATE accounts SET balance = balance - $3 WHERE id = $1; \
+           UPDATE accounts SET balance = balance + $3 WHERE id = $2 $$",
+    )
+    .unwrap();
+    net
+}
+
+fn assert_converged(net: &Network) {
+    let hashes = net.state_hashes();
+    let (first_name, first_hash) = &hashes[0];
+    for (name, hash) in &hashes[1..] {
+        assert_eq!(
+            hash, first_hash,
+            "node {name} diverged from {first_name}"
+        );
+    }
+    for node in net.nodes() {
+        assert!(node.divergences().is_empty(), "{} saw divergence", node.config.name);
+    }
+}
+
+fn run_banking_scenario(flow: Flow) {
+    let net = build(flow);
+    let alice = net.client("org1", "alice").unwrap();
+    let bob = net.client("org2", "bob").unwrap();
+
+    // Open accounts and wait for commitment.
+    alice
+        .invoke_wait(
+            "open_account",
+            vec![Value::Int(1), Value::Text("alice".into()), Value::Float(100.0)],
+            WAIT,
+        )
+        .unwrap();
+    bob.invoke_wait(
+        "open_account",
+        vec![Value::Int(2), Value::Text("bob".into()), Value::Float(50.0)],
+        WAIT,
+    )
+    .unwrap();
+
+    // A transfer.
+    alice
+        .invoke_wait(
+            "transfer",
+            vec![Value::Int(1), Value::Int(2), Value::Float(30.0)],
+            WAIT,
+        )
+        .unwrap();
+
+    // Every node answers the same query identically.
+    let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
+    net.await_height(height, WAIT).unwrap();
+    for node in net.nodes() {
+        let r = node
+            .query("SELECT id, balance FROM accounts ORDER BY id", &[])
+            .unwrap();
+        assert_eq!(r.rows.len(), 2, "{}", node.config.name);
+        assert_eq!(r.rows[0][1], Value::Float(70.0));
+        assert_eq!(r.rows[1][1], Value::Float(80.0));
+    }
+    assert_converged(&net);
+    net.shutdown();
+}
+
+#[test]
+fn banking_order_then_execute() {
+    run_banking_scenario(Flow::OrderThenExecute);
+}
+
+#[test]
+fn banking_execute_order_parallel() {
+    run_banking_scenario(Flow::ExecuteOrderParallel);
+}
+
+#[test]
+fn contract_errors_abort_deterministically() {
+    let net = build(Flow::OrderThenExecute);
+    let alice = net.client("org1", "alice").unwrap();
+    alice
+        .invoke_wait(
+            "open_account",
+            vec![Value::Int(1), Value::Text("a".into()), Value::Float(10.0)],
+            WAIT,
+        )
+        .unwrap();
+    // Duplicate primary key → aborted on every node, network stays alive.
+    let pending = alice
+        .invoke(
+            "open_account",
+            vec![Value::Int(1), Value::Text("dup".into()), Value::Float(1.0)],
+        )
+        .unwrap();
+    let n = pending.wait(WAIT).unwrap();
+    match n.status {
+        TxStatus::Aborted(reason) => assert!(reason.contains("duplicate key"), "{reason}"),
+        other => panic!("expected abort, got {other:?}"),
+    }
+    // Unknown contract → aborted too.
+    let pending = alice.invoke("no_such_contract", vec![]).unwrap();
+    assert!(matches!(pending.wait(WAIT).unwrap().status, TxStatus::Aborted(_)));
+
+    // The system still works afterwards.
+    alice
+        .invoke_wait(
+            "open_account",
+            vec![Value::Int(2), Value::Text("b".into()), Value::Float(5.0)],
+            WAIT,
+        )
+        .unwrap();
+    let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
+    net.await_height(height, WAIT).unwrap();
+    assert_converged(&net);
+    net.shutdown();
+}
+
+#[test]
+fn concurrent_clients_converge() {
+    for flow in [Flow::OrderThenExecute, Flow::ExecuteOrderParallel] {
+        let net = build(flow);
+        let mut pendings = Vec::new();
+        for (i, org) in ["org1", "org2", "org3"].iter().enumerate() {
+            let client = net.client(org, "load").unwrap();
+            for k in 0..20 {
+                let id = (i * 100 + k) as i64;
+                let p = client
+                    .invoke(
+                        "open_account",
+                        vec![
+                            Value::Int(id),
+                            Value::Text(format!("acct-{id}")),
+                            Value::Float(10.0),
+                        ],
+                    )
+                    .unwrap();
+                pendings.push(p);
+            }
+        }
+        let mut committed = 0;
+        for p in pendings {
+            if matches!(p.wait(WAIT).unwrap().status, TxStatus::Committed) {
+                committed += 1;
+            }
+        }
+        assert_eq!(committed, 60, "{flow:?}: all unique-key inserts commit");
+        let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
+        net.await_height(height, WAIT).unwrap();
+        for node in net.nodes() {
+            let r = node.query("SELECT COUNT(*) FROM accounts", &[]).unwrap();
+            assert_eq!(r.rows[0][0], Value::Int(60), "{}", node.config.name);
+        }
+        assert_converged(&net);
+        net.shutdown();
+    }
+}
+
+#[test]
+fn ww_conflicts_resolve_identically_across_nodes() {
+    // Concurrent transfers touching the same account: SSI and the ww rules
+    // abort some, but every node must agree on which.
+    for flow in [Flow::OrderThenExecute, Flow::ExecuteOrderParallel] {
+        let net = build(flow);
+        let setup = net.client("org1", "setup").unwrap();
+        setup
+            .invoke_wait(
+                "open_account",
+                vec![Value::Int(1), Value::Text("hot".into()), Value::Float(1000.0)],
+                WAIT,
+            )
+            .unwrap();
+        setup
+            .invoke_wait(
+                "open_account",
+                vec![Value::Int(2), Value::Text("cold".into()), Value::Float(0.0)],
+                WAIT,
+            )
+            .unwrap();
+
+        // Fire conflicting transfers from all three orgs without waiting.
+        let mut pendings = Vec::new();
+        for (i, org) in ["org1", "org2", "org3"].iter().enumerate() {
+            let c = net.client(org, "contender").unwrap();
+            for k in 0..5 {
+                let amount = 1.0 + (i * 5 + k) as f64; // unique payloads
+                pendings.push(
+                    c.invoke(
+                        "transfer",
+                        vec![Value::Int(1), Value::Int(2), Value::Float(amount)],
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+        let mut committed_sum = 0.0;
+        let mut aborted = 0;
+        for p in pendings {
+            match p.wait(WAIT).unwrap() {
+                n if matches!(n.status, TxStatus::Committed) => {}
+                _ => {
+                    aborted += 1;
+                    continue;
+                }
+            }
+        }
+        // Derive the committed sum from any node's state.
+        let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
+        net.await_height(height, WAIT).unwrap();
+        let r = net
+            .node("org1")
+            .unwrap()
+            .query("SELECT balance FROM accounts WHERE id = 2", &[])
+            .unwrap();
+        if let Value::Float(f) = r.rows[0][0] {
+            committed_sum = f;
+        }
+        // Conservation: id1 + id2 == 1000 on every node.
+        for node in net.nodes() {
+            let r = node
+                .query("SELECT SUM(balance) FROM accounts", &[])
+                .unwrap();
+            assert_eq!(r.rows[0][0], Value::Float(1000.0), "{}", node.config.name);
+        }
+        assert!(committed_sum >= 0.0);
+        assert!(aborted < 15, "at least one transfer should commit");
+        assert_converged(&net);
+        net.shutdown();
+    }
+}
+
+#[test]
+fn provenance_and_time_travel_queries() {
+    let net = build(Flow::OrderThenExecute);
+    let alice = net.client("org1", "alice").unwrap();
+    alice
+        .invoke_wait(
+            "open_account",
+            vec![Value::Int(1), Value::Text("alice".into()), Value::Float(100.0)],
+            WAIT,
+        )
+        .unwrap();
+    let h_open = alice.chain_height();
+    alice
+        .invoke_wait("transfer", vec![Value::Int(1), Value::Int(1), Value::Float(0.0)], WAIT)
+        .unwrap();
+    alice
+        .invoke_wait(
+            "open_account",
+            vec![Value::Int(2), Value::Text("bob".into()), Value::Float(1.0)],
+            WAIT,
+        )
+        .unwrap();
+
+    // HISTORY exposes all versions of account 1 (self-transfer created two
+    // extra versions).
+    let r = alice
+        .query(
+            "SELECT h.balance, h._creator_block FROM HISTORY(accounts) h WHERE h.id = 1 \
+             ORDER BY h._creator_block",
+            &[],
+        )
+        .unwrap();
+    assert!(r.rows.len() >= 3, "expected version history, got {:?}", r.rows);
+
+    // Ledger join: who wrote versions of account 1 (Table 3 style).
+    let r = alice
+        .query(
+            "SELECT l.username, l.contract FROM HISTORY(accounts) h, ledger l \
+             WHERE h.id = 1 AND h.xmin = l.txid ORDER BY l.block",
+            &[],
+        )
+        .unwrap();
+    assert!(!r.rows.is_empty());
+    assert_eq!(r.rows[0][0], Value::Text("org1/alice".into()));
+
+    // Time travel: at the height of the first open, balance was 100 and
+    // account 2 did not exist.
+    let r = alice
+        .query_at("SELECT balance FROM accounts WHERE id = 1", &[], h_open)
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Float(100.0));
+    let r = alice
+        .query_at("SELECT COUNT(*) FROM accounts", &[], h_open)
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    net.shutdown();
+}
+
+#[test]
+fn blocks_chain_and_verify_on_every_node() {
+    let net = build(Flow::OrderThenExecute);
+    let alice = net.client("org1", "alice").unwrap();
+    for i in 0..5 {
+        alice
+            .invoke_wait(
+                "open_account",
+                vec![Value::Int(i), Value::Text(format!("a{i}")), Value::Float(1.0)],
+                WAIT,
+            )
+            .unwrap();
+    }
+    let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
+    net.await_height(height, WAIT).unwrap();
+    for node in net.nodes() {
+        let mut prev = bcrdb::chain::block::genesis_prev_hash();
+        for h in 1..=node.blockstore.height() {
+            let block = node.blockstore.get(h).unwrap();
+            block.verify(&prev, net.certs()).unwrap();
+            prev = block.hash;
+        }
+    }
+    net.shutdown();
+}

@@ -1,0 +1,130 @@
+//! Node-level behaviours: vacuum (the §7 pruning tool), deterministic
+//! rejection of future snapshot heights, and the serial-execution baseline
+//! producing the same state as SSI-parallel execution.
+
+use std::time::Duration;
+
+use bcrdb::prelude::*;
+
+const WAIT: Duration = Duration::from_secs(20);
+
+fn build(flow: Flow) -> Network {
+    let net = Network::build(NetworkConfig::quick(&["org1", "org2"], flow)).unwrap();
+    net.bootstrap_sql(
+        "CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL); \
+         CREATE FUNCTION put(k INT, v INT) AS $$ INSERT INTO kv VALUES ($1, $2) $$; \
+         CREATE FUNCTION bump(k INT) AS $$ UPDATE kv SET v = v + 1 WHERE k = $1 $$",
+    )
+    .unwrap();
+    net
+}
+
+#[test]
+fn vacuum_prunes_history_but_preserves_live_state() {
+    let net = build(Flow::OrderThenExecute);
+    let c = net.client("org1", "alice").unwrap();
+    c.invoke_wait("put", vec![Value::Int(1), Value::Int(0)], WAIT).unwrap();
+    for _ in 0..3 {
+        c.invoke_wait("bump", vec![Value::Int(1)], WAIT).unwrap();
+    }
+    let node = net.node("org1").unwrap();
+    let height = node.height();
+
+    // Full history visible before vacuum.
+    let r = node
+        .query("SELECT COUNT(*) FROM HISTORY(kv) h WHERE h.k = 1", &[])
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(4)); // insert + 3 bumps
+
+    // Vacuum everything deleted at or before the tip.
+    let reclaimed = node.vacuum(height);
+    assert!(reclaimed >= 3, "three superseded versions reclaimed, got {reclaimed}");
+
+    // Live state untouched; history shrunk to the live version.
+    let r = node.query("SELECT v FROM kv WHERE k = 1", &[]).unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(3));
+    let r = node
+        .query("SELECT COUNT(*) FROM HISTORY(kv) h WHERE h.k = 1", &[])
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+
+    // The node keeps working after vacuum (indexes were rebuilt).
+    c.invoke_wait("bump", vec![Value::Int(1)], WAIT).unwrap();
+    let r = node.query("SELECT v FROM kv WHERE k = 1", &[]).unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(4));
+    net.shutdown();
+}
+
+#[test]
+fn future_snapshot_height_aborts_deterministically() {
+    let net = build(Flow::ExecuteOrderParallel);
+    let c = net.client("org1", "alice").unwrap();
+    c.invoke_wait("put", vec![Value::Int(1), Value::Int(0)], WAIT).unwrap();
+
+    // A snapshot height far beyond the chain tip: the transaction is
+    // ordered but cannot legally execute before its own block — aborted
+    // identically on every node (§3.4.1 / processor rule).
+    let pending = c
+        .invoke_at("bump", vec![Value::Int(1)], c.chain_height() + 50)
+        .unwrap();
+    match pending.wait(WAIT).unwrap().status {
+        TxStatus::Aborted(reason) => assert!(reason.contains("snapshot height"), "{reason}"),
+        other => panic!("expected future-height abort, got {other:?}"),
+    }
+    // Nodes agree afterwards.
+    let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
+    net.await_height(height, WAIT).unwrap();
+    let hashes: Vec<_> = net.nodes().iter().map(|n| n.state_hash()).collect();
+    assert_eq!(hashes[0], hashes[1]);
+    net.shutdown();
+}
+
+#[test]
+fn serial_baseline_produces_identical_state_to_parallel() {
+    // The §5.1 Ethereum-style baseline is slower but must be functionally
+    // identical: same inputs → same committed state hash.
+    let run = |serial: bool| {
+        let mut cfg = NetworkConfig::quick(&["org1", "org2"], Flow::OrderThenExecute);
+        cfg.serial_execution = serial;
+        let net = Network::build(cfg).unwrap();
+        net.bootstrap_sql(
+            "CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL); \
+             CREATE FUNCTION put(k INT, v INT) AS $$ INSERT INTO kv VALUES ($1, $2) $$; \
+             CREATE FUNCTION bump(k INT) AS $$ UPDATE kv SET v = v + 1 WHERE k = $1 $$",
+        )
+        .unwrap();
+        let c = net.client("org1", "alice").unwrap();
+        for k in 0..10 {
+            c.invoke_wait("put", vec![Value::Int(k), Value::Int(k)], WAIT).unwrap();
+        }
+        for k in 0..10 {
+            c.invoke_wait("bump", vec![Value::Int(k % 5)], WAIT).unwrap();
+        }
+        let node = net.node("org1").unwrap();
+        let hash = node.state_hash();
+        let rows = node.query("SELECT k, v FROM kv ORDER BY k", &[]).unwrap();
+        net.shutdown();
+        (hash, rows)
+    };
+    let (h_serial, rows_serial) = run(true);
+    let (h_parallel, rows_parallel) = run(false);
+    assert_eq!(rows_serial, rows_parallel);
+    assert_eq!(h_serial, h_parallel);
+}
+
+#[test]
+fn metrics_reflect_traffic() {
+    let net = build(Flow::OrderThenExecute);
+    let c = net.client("org1", "alice").unwrap();
+    let node = net.node("org1").unwrap();
+    let _ = node.metrics().take(); // reset
+    for k in 0..5 {
+        c.invoke_wait("put", vec![Value::Int(k), Value::Int(0)], WAIT).unwrap();
+    }
+    let snap = node.metrics().take();
+    assert_eq!(snap.committed, 5);
+    assert_eq!(snap.aborted, 0);
+    assert!(snap.brr > 0.0);
+    assert!(snap.bpt_ms >= snap.bet_ms);
+    net.shutdown();
+}

@@ -1,0 +1,203 @@
+//! Property-based tests over core invariants: codec round trips, SQL
+//! render/parse round trips, Merkle proofs, value ordering laws, index
+//! scans vs full scans, and MVCC visibility.
+
+use proptest::prelude::*;
+
+use bcrdb::common::codec::{Decoder, Encoder};
+use bcrdb::common::schema::{Column, DataType, TableSchema};
+use bcrdb::common::value::Value;
+use bcrdb::crypto::merkle::MerkleTree;
+use bcrdb::storage::index::KeyRange;
+use bcrdb::storage::snapshot::ScanMode;
+use bcrdb::storage::table::Table;
+use bcrdb::txn::context::TxnCtx;
+use bcrdb::txn::ssi::{Flow, SsiManager};
+use std::sync::Arc;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks equality round trips by design.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 _'-]{0,24}".prop_map(Value::Text),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+        any::<i64>().prop_map(Value::Timestamp),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_roundtrips_any_row(row in proptest::collection::vec(arb_value(), 0..8)) {
+        let mut enc = Encoder::new();
+        enc.put_row(&row);
+        let bytes = enc.finish();
+        let back = Decoder::new(&bytes).get_row().unwrap();
+        prop_assert_eq!(row, back);
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_antisymmetric(
+        a in arb_value(),
+        b in arb_value(),
+        c in arb_value(),
+    ) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        let ab = a.cmp_total(&b);
+        let ba = b.cmp_total(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        // Transitivity (on a sorted triple).
+        let mut v = vec![a.clone(), b.clone(), c.clone()];
+        v.sort();
+        prop_assert!(v[0].cmp_total(&v[1]) != Ordering::Greater);
+        prop_assert!(v[1].cmp_total(&v[2]) != Ordering::Greater);
+        prop_assert!(v[0].cmp_total(&v[2]) != Ordering::Greater);
+    }
+
+    #[test]
+    fn merkle_proofs_verify_for_every_leaf(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 1..24)
+    ) {
+        let tree = MerkleTree::build(&leaves);
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i);
+            prop_assert!(MerkleTree::verify(&tree.root(), leaf, &proof));
+        }
+    }
+
+    #[test]
+    fn sql_expression_render_parse_roundtrip(
+        // Non-negative literals: `-1` re-parses as unary negation of `1`,
+        // which is semantically equal but structurally different.
+        a in 0i64..1000,
+        b in 0i64..1000,
+        // `c_` prefix keeps the generated identifier out of keyword space.
+        t in "c_[a-z]{1,5}",
+    ) {
+        use bcrdb::sql::{parse_expression, display};
+        use bcrdb::sql::ast::{Expr, BinaryOp, Statement, SelectStmt, SelectItem};
+        let expr = Expr::binary(
+            BinaryOp::Add,
+            Expr::binary(BinaryOp::Mul, Expr::Literal(Value::Int(a)), Expr::column(t.clone())),
+            Expr::Literal(Value::Int(b)),
+        );
+        let stmt = Statement::Select(SelectStmt {
+            projections: vec![SelectItem::Expr { expr: expr.clone(), alias: None }],
+            from: None,
+            predicate: None,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+        });
+        let sql = display::statement_to_sql(&stmt);
+        let reparsed = bcrdb::sql::parse_statement(&sql).unwrap();
+        prop_assert_eq!(&stmt, &reparsed);
+        // Expression fragment too.
+        let fragment = {
+            let mut s = String::new();
+            s.push_str(&sql["SELECT ".len()..]);
+            s
+        };
+        let e = parse_expression(&fragment).unwrap();
+        prop_assert_eq!(e, expr);
+    }
+
+    #[test]
+    fn index_scan_equals_full_scan_filter(
+        keys in proptest::collection::vec(-50i64..50, 1..40),
+        lo in -60i64..60,
+        width in 0i64..40,
+    ) {
+        let schema = TableSchema::new(
+            "t",
+            vec![Column::new("k", DataType::Int), Column::new("seq", DataType::Int)],
+            vec![1], // pk on seq so duplicate k values are allowed
+        ).unwrap();
+        let mut schema = schema;
+        schema.add_index("idx_k", "k").unwrap();
+        let table = Arc::new(Table::new(schema));
+        let mgr = Arc::new(SsiManager::new());
+
+        // Commit all rows in one transaction at block 1.
+        let ctx = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
+        for (i, k) in keys.iter().enumerate() {
+            ctx.insert(&table, vec![Value::Int(*k), Value::Int(i as i64)]).unwrap();
+        }
+        prop_assert!(ctx.apply_commit(1, 0, Flow::OrderThenExecute).is_committed());
+
+        let hi = lo + width;
+        let range = KeyRange::between(Value::Int(lo), Value::Int(hi));
+        let reader = TxnCtx::read_only(&mgr, 1);
+        let via_index: Vec<i64> = reader
+            .scan(&table, Some((0, &range)))
+            .unwrap()
+            .iter()
+            .map(|r| r.data[1].as_i64().unwrap())
+            .collect();
+        let via_scan: Vec<i64> = reader
+            .scan(&table, None)
+            .unwrap()
+            .iter()
+            .filter(|r| {
+                let k = r.data[0].as_i64().unwrap();
+                k >= lo && k <= hi
+            })
+            .map(|r| r.data[1].as_i64().unwrap())
+            .collect();
+        prop_assert_eq!(via_index, via_scan);
+    }
+
+    #[test]
+    fn snapshot_visibility_is_monotone_per_version(
+        creators in proptest::collection::vec(1u64..10, 1..20),
+        query_height in 0u64..12,
+    ) {
+        // Insert one row per "creator block" and check that a reader at
+        // height h sees exactly the rows committed at blocks ≤ h.
+        let schema = TableSchema::new(
+            "t",
+            vec![Column::new("id", DataType::Int)],
+            vec![0],
+        ).unwrap();
+        let table = Arc::new(Table::new(schema));
+        let mgr = Arc::new(SsiManager::new());
+        let mut sorted = creators.clone();
+        sorted.sort_unstable();
+        for (i, block) in sorted.iter().enumerate() {
+            let ctx = TxnCtx::begin(&mgr, block - 1, ScanMode::Relaxed);
+            ctx.insert(&table, vec![Value::Int(i as i64)]).unwrap();
+            prop_assert!(ctx.apply_commit(*block, i as u32, Flow::OrderThenExecute).is_committed());
+        }
+        let reader = TxnCtx::read_only(&mgr, query_height);
+        let visible = reader.scan(&table, None).unwrap().len();
+        let expected = sorted.iter().filter(|b| **b <= query_height).count();
+        prop_assert_eq!(visible, expected);
+    }
+
+    #[test]
+    fn writeset_hash_injective_on_content(
+        rows_a in proptest::collection::vec((any::<u8>(), -100i64..100), 1..10),
+        rows_b in proptest::collection::vec((any::<u8>(), -100i64..100), 1..10),
+    ) {
+        use bcrdb::chain::checkpoint::WriteSetHasher;
+        use bcrdb::common::ids::RowId;
+        let hash = |rows: &[(u8, i64)]| {
+            let mut h = WriteSetHasher::new();
+            for (i, (kind, v)) in rows.iter().enumerate() {
+                h.add("t", kind % 3, RowId(i as u64), &[Value::Int(*v)]);
+            }
+            h.finish()
+        };
+        if rows_a == rows_b {
+            prop_assert_eq!(hash(&rows_a), hash(&rows_b));
+        } else {
+            prop_assert_ne!(hash(&rows_a), hash(&rows_b));
+        }
+    }
+}

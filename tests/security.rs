@@ -1,0 +1,204 @@
+//! Security-property tests mirroring §3.5 of the paper: forged and
+//! tampered transactions, byzantine orderers, checkpoint divergence
+//! detection, and access control.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bcrdb::chain::block::{genesis_prev_hash, Block, CheckpointVote};
+use bcrdb::chain::tx::{Payload, Transaction};
+use bcrdb::crypto::identity::{KeyPair, Scheme};
+use bcrdb::prelude::*;
+
+const WAIT: Duration = Duration::from_secs(20);
+
+fn build() -> Network {
+    let mut cfg = NetworkConfig::quick(&["org1", "org2", "org3"], Flow::OrderThenExecute);
+    // Real hash-based signatures for the security suite.
+    cfg.scheme = Scheme::HashBased { height: 6 };
+    let net = Network::build(cfg).unwrap();
+    net.bootstrap_sql(
+        "CREATE TABLE kv (k INT PRIMARY KEY, v INT); \
+         CREATE FUNCTION put(k INT, v INT) AS $$ INSERT INTO kv VALUES ($1, $2) $$",
+    )
+    .unwrap();
+    net
+}
+
+#[test]
+fn forged_signature_rejected_on_every_node() {
+    let net = build();
+    let alice = net.client("org1", "alice").unwrap();
+    // Mallory holds her own (unregistered-as-alice) key and tries to sign
+    // a transaction claiming to be alice.
+    let mallory = KeyPair::generate("org1/alice", b"mallory", Scheme::HashBased { height: 4 });
+    let tx = Transaction::new_order_execute(
+        "org1/alice",
+        Payload::new("put", vec![Value::Int(1), Value::Int(666)]),
+        999,
+        &mallory,
+    )
+    .unwrap();
+    let rx = net.node("org1").unwrap().wait_for(tx.id);
+    net.ordering().submit(tx).unwrap();
+    let n = rx.recv_timeout(WAIT).unwrap();
+    match n.status {
+        TxStatus::Aborted(reason) => assert!(reason.contains("authentication"), "{reason}"),
+        other => panic!("forged tx must abort, got {other:?}"),
+    }
+    // Nothing was written anywhere.
+    for node in net.nodes() {
+        let r = node.query("SELECT COUNT(*) FROM kv", &[]).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(0), "{}", node.config.name);
+    }
+    // And honest traffic still works.
+    alice
+        .invoke_wait("put", vec![Value::Int(1), Value::Int(1)], WAIT)
+        .unwrap();
+    net.shutdown();
+}
+
+#[test]
+fn tampered_transaction_in_flight_rejected() {
+    let net = build();
+    let alice = net.client("org1", "alice").unwrap();
+    alice
+        .invoke_wait("put", vec![Value::Int(1), Value::Int(10)], WAIT)
+        .unwrap();
+    // Grab the committed transaction from a block store, tamper with an
+    // argument and try to replay it under the original signature.
+    let node = net.node("org1").unwrap();
+    let block = node.blockstore.get(node.blockstore.height()).unwrap();
+    let mut tampered = block.txs[0].clone();
+    tampered.payload.args = vec![Value::Int(2), Value::Int(31337)];
+    let rx = node.wait_for(tampered.id);
+    net.ordering().submit(tampered).unwrap();
+    let n = rx.recv_timeout(WAIT).unwrap();
+    assert!(matches!(n.status, TxStatus::Aborted(_)));
+    let r = node.query("SELECT COUNT(*) FROM kv", &[]).unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    net.shutdown();
+}
+
+#[test]
+fn byzantine_orderer_block_rejected() {
+    // A block not signed by a registered orderer must be rejected by the
+    // block processor (§3.5 property 4) and must not advance the chain.
+    let net = build();
+    let alice = net.client("org1", "alice").unwrap();
+    alice
+        .invoke_wait("put", vec![Value::Int(1), Value::Int(1)], WAIT)
+        .unwrap();
+    let node = net.node("org1").unwrap();
+    let h = node.height();
+
+    // Craft a rogue block extending the chain with a bogus transaction.
+    let rogue_orderer = KeyPair::generate("evil/orderer", b"evil", Scheme::Sim);
+    let rogue_client = KeyPair::generate("evil/client", b"ec", Scheme::Sim);
+    let tx = Transaction::new_order_execute(
+        "evil/client",
+        Payload::new("put", vec![Value::Int(9), Value::Int(9)]),
+        1,
+        &rogue_client,
+    )
+    .unwrap();
+    let mut block = Block::build(h + 1, node.blockstore.tip_hash(), vec![tx], "solo", vec![]);
+    block.sign(&rogue_orderer).unwrap();
+
+    let result = bcrdb::node::processor::on_block(&node, &Arc::new(block));
+    assert!(result.is_err(), "unsigned-by-known-orderer block must be rejected");
+    assert_eq!(node.height(), h, "chain did not advance");
+    // A block with a broken prev-hash is rejected too.
+    let mut forked = Block::build(h + 1, genesis_prev_hash(), vec![], "solo", vec![]);
+    forked.sign(&rogue_orderer).unwrap();
+    assert!(bcrdb::node::processor::on_block(&node, &Arc::new(forked)).is_err());
+    net.shutdown();
+}
+
+#[test]
+fn checkpoint_divergence_detected() {
+    let net = build();
+    let alice = net.client("org1", "alice").unwrap();
+    alice
+        .invoke_wait("put", vec![Value::Int(1), Value::Int(1)], WAIT)
+        .unwrap();
+    let block_done = net.node("org1").unwrap().height();
+
+    // A "malicious node" submits a checkpoint vote with a wrong state hash
+    // for the committed block; it arrives in a later block's metadata.
+    net.ordering()
+        .submit_checkpoint(CheckpointVote {
+            node: "orgx/peer".into(),
+            block: block_done,
+            state_hash: [0xde; 32],
+        })
+        .unwrap();
+    // Another transaction forces the next block to be cut.
+    alice
+        .invoke_wait("put", vec![Value::Int(2), Value::Int(2)], WAIT)
+        .unwrap();
+
+    let deadline = std::time::Instant::now() + WAIT;
+    loop {
+        let divergences = net.node("org1").unwrap().divergences();
+        if divergences
+            .iter()
+            .any(|d| d.block == block_done && d.divergent_nodes.contains(&"orgx/peer".to_string()))
+        {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "divergence not detected: {divergences:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Honest nodes' own votes agree with each other: no divergence entry
+    // ever names a real peer.
+    for node in net.nodes() {
+        for d in node.divergences() {
+            for name in &d.divergent_nodes {
+                assert_eq!(name, "orgx/peer");
+            }
+        }
+    }
+    net.shutdown();
+}
+
+#[test]
+fn access_control_blocks_non_admins() {
+    let net = build();
+    let alice = net.client("org1", "alice").unwrap();
+    // A plain client may not stage deployments (AdminOnly policy).
+    let pending = alice
+        .invoke(
+            "create_deploytx",
+            vec![Value::Int(1), Value::Text("DROP TABLE kv".into())],
+        )
+        .unwrap();
+    match pending.wait(WAIT).unwrap().status {
+        TxStatus::Aborted(reason) => assert!(reason.contains("access denied"), "{reason}"),
+        other => panic!("expected access-denied abort, got {other:?}"),
+    }
+    // The admin may.
+    let admin = net.admin("org1").unwrap();
+    admin
+        .invoke_wait(
+            "create_deploytx",
+            vec![
+                Value::Int(1),
+                Value::Text("CREATE TABLE extra (id INT PRIMARY KEY)".into()),
+            ],
+            WAIT,
+        )
+        .unwrap();
+    net.shutdown();
+}
+
+#[test]
+fn signing_key_exhaustion_is_explicit() {
+    // Hash-based keys sign a bounded number of messages (2^height); the
+    // client gets a hard error instead of a silent forgery-prone fallback.
+    let key = KeyPair::generate("x", b"x", Scheme::HashBased { height: 1 });
+    assert!(key.sign(b"1").is_some());
+    assert!(key.sign(b"2").is_some());
+    assert!(key.sign(b"3").is_none());
+}

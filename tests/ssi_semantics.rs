@@ -1,0 +1,212 @@
+//! Serializability semantics at the network level: block-height snapshot
+//! reads (§3.4.1), stale/phantom detection for the execute-order-in-
+//! parallel flow, and write-skew prevention under both flows.
+
+use std::time::Duration;
+
+use bcrdb::prelude::*;
+
+const WAIT: Duration = Duration::from_secs(20);
+
+fn build(flow: Flow) -> Network {
+    let net = Network::build(NetworkConfig::quick(&["org1", "org2"], flow)).unwrap();
+    net.bootstrap_sql(
+        "CREATE TABLE accounts (id INT PRIMARY KEY, balance INT NOT NULL); \
+         CREATE TABLE audit_log (entry_id INT PRIMARY KEY, acct INT NOT NULL, balance INT NOT NULL); \
+         CREATE FUNCTION open_acct(id INT, bal INT) AS $$ INSERT INTO accounts VALUES ($1, $2) $$; \
+         CREATE FUNCTION set_balance(id INT, bal INT) AS $$ \
+           UPDATE accounts SET balance = $2 WHERE id = $1 $$; \
+         CREATE FUNCTION audit_then_set(entry INT, read_id INT, write_id INT) AS $$ \
+           INSERT INTO audit_log SELECT $1, id, balance FROM accounts WHERE id = $2; \
+           UPDATE accounts SET balance = 0 WHERE id = $3 $$",
+    )
+    .unwrap();
+    net
+}
+
+#[test]
+fn eo_stale_snapshot_read_aborts() {
+    let net = build(Flow::ExecuteOrderParallel);
+    let alice = net.client("org1", "alice").unwrap();
+    alice
+        .invoke_wait("open_acct", vec![Value::Int(1), Value::Int(100)], WAIT)
+        .unwrap();
+    let old_height = alice.chain_height();
+    // The row is updated twice by later blocks.
+    alice
+        .invoke_wait("set_balance", vec![Value::Int(1), Value::Int(50)], WAIT)
+        .unwrap();
+
+    // A transaction pinned to the old snapshot height reads row 1, which a
+    // later committed block has since rewritten → stale read, aborted on
+    // every node (§3.4.1 rule 2).
+    let pending = alice
+        .invoke_at("set_balance", vec![Value::Int(1), Value::Int(77)], old_height)
+        .unwrap();
+    match pending.wait(WAIT).unwrap().status {
+        TxStatus::Aborted(reason) => {
+            assert!(
+                reason.contains("stale") || reason.contains("serialization"),
+                "{reason}"
+            );
+        }
+        other => panic!("expected stale-read abort, got {other:?}"),
+    }
+    // State unchanged by the aborted transaction, identical across nodes.
+    let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
+    net.await_height(height, WAIT).unwrap();
+    for node in net.nodes() {
+        let r = node.query("SELECT balance FROM accounts WHERE id = 1", &[]).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(50), "{}", node.config.name);
+    }
+    net.shutdown();
+}
+
+#[test]
+fn eo_current_snapshot_commits_fine() {
+    let net = build(Flow::ExecuteOrderParallel);
+    let alice = net.client("org1", "alice").unwrap();
+    alice
+        .invoke_wait("open_acct", vec![Value::Int(1), Value::Int(100)], WAIT)
+        .unwrap();
+    // Same contract at the *current* height: commits.
+    alice
+        .invoke_wait("set_balance", vec![Value::Int(1), Value::Int(42)], WAIT)
+        .unwrap();
+    let r = alice.query("SELECT balance FROM accounts WHERE id = 1", &[]).unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(42));
+    net.shutdown();
+}
+
+#[test]
+fn write_skew_is_prevented() {
+    // Classic write skew: T1 reads account A and zeroes account B; T2 reads
+    // B and zeroes A. Under plain SI both commit (each saw the other's
+    // pre-state); under SSI at least one must abort.
+    for flow in [Flow::OrderThenExecute, Flow::ExecuteOrderParallel] {
+        let net = build(flow);
+        let alice = net.client("org1", "alice").unwrap();
+        let bob = net.client("org2", "bob").unwrap();
+        alice
+            .invoke_wait("open_acct", vec![Value::Int(1), Value::Int(100)], WAIT)
+            .unwrap();
+        alice
+            .invoke_wait("open_acct", vec![Value::Int(2), Value::Int(100)], WAIT)
+            .unwrap();
+
+        // Fire both without waiting so they land in the same block and are
+        // concurrent.
+        let p1 = alice
+            .invoke("audit_then_set", vec![Value::Int(10), Value::Int(1), Value::Int(2)])
+            .unwrap();
+        let p2 = bob
+            .invoke("audit_then_set", vec![Value::Int(20), Value::Int(2), Value::Int(1)])
+            .unwrap();
+        let s1 = p1.wait(WAIT).unwrap().status;
+        let s2 = p2.wait(WAIT).unwrap().status;
+        let committed = [&s1, &s2]
+            .iter()
+            .filter(|s| matches!(s, TxStatus::Committed))
+            .count();
+        assert!(
+            committed <= 1,
+            "{flow:?}: write skew! both committed: {s1:?} / {s2:?}"
+        );
+
+        // Serializability invariant: any audit row must record the balance
+        // that existed *before* the other transaction's zeroing — and since
+        // at most one committed, no audit row can show a zeroed account
+        // alongside its own zeroing of the other.
+        let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
+        net.await_height(height, WAIT).unwrap();
+        let mut hashes = Vec::new();
+        for node in net.nodes() {
+            hashes.push(node.state_hash());
+        }
+        assert_eq!(hashes[0], hashes[1], "{flow:?}: nodes diverged");
+        net.shutdown();
+    }
+}
+
+#[test]
+fn serializable_history_is_acyclic() {
+    // Build a random-ish workload and verify the committed history is
+    // serializable by checking the multi-version serialization graph
+    // (§3.2 / Adya et al.): wr and ww edges follow block order by
+    // construction, so it suffices that every committed reader of a row
+    // version serializes before that version's (committed) overwriter.
+    let net = build(Flow::OrderThenExecute);
+    let alice = net.client("org1", "alice").unwrap();
+    let bob = net.client("org2", "bob").unwrap();
+    for id in 0..4 {
+        alice
+            .invoke_wait("open_acct", vec![Value::Int(id), Value::Int(100)], WAIT)
+            .unwrap();
+    }
+    let mut pendings = Vec::new();
+    for round in 0..10i64 {
+        for (i, c) in [&alice, &bob].iter().enumerate() {
+            let i = i as i64;
+            let read_id = (round + i) % 4;
+            let write_id = (round + i + 1) % 4;
+            pendings.push(
+                c.invoke(
+                    "audit_then_set",
+                    vec![
+                        Value::Int(100 + round * 10 + i * 1000),
+                        Value::Int(read_id),
+                        Value::Int(write_id),
+                    ],
+                )
+                .unwrap(),
+            );
+        }
+    }
+    let mut any_committed = false;
+    for p in pendings {
+        if matches!(p.wait(WAIT).unwrap().status, TxStatus::Committed) {
+            any_committed = true;
+        }
+    }
+    assert!(any_committed);
+
+    // Cross-node agreement is the end-to-end proxy for the acyclicity
+    // argument: both nodes applied the same commit/abort decisions in the
+    // same order.
+    let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
+    net.await_height(height, WAIT).unwrap();
+    let hashes: Vec<_> = net.nodes().iter().map(|n| n.state_hash()).collect();
+    assert_eq!(hashes[0], hashes[1]);
+
+    // And the audit log is consistent with some serial order: every entry
+    // recorded a balance that the account actually had at some committed
+    // height ≤ the entry's creation block.
+    let node = net.node("org1").unwrap();
+    let entries = node
+        .query(
+            "SELECT a.entry_id, a.acct, a.balance, h._creator_block \
+             FROM audit_log a JOIN HISTORY(audit_log) h ON a.entry_id = h.entry_id",
+            &[],
+        )
+        .unwrap();
+    for row in &entries.rows {
+        let acct = row[1].as_i64().unwrap();
+        let recorded = row[2].as_i64().unwrap();
+        let created = row[3].as_i64().unwrap() as u64;
+        // The recorded balance must match the account state at the height
+        // just before the entry committed (reads run at block-1 in OE).
+        let r = node
+            .query_at(
+                "SELECT balance FROM accounts WHERE id = $1",
+                &[Value::Int(acct)],
+                created - 1,
+            )
+            .unwrap();
+        assert_eq!(
+            r.rows[0][0],
+            Value::Int(recorded),
+            "audit entry saw a balance the account never had at its snapshot"
+        );
+    }
+    net.shutdown();
+}
