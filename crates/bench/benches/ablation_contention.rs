@@ -10,9 +10,9 @@
 
 use std::time::Duration;
 
-use bcrdb_bench::harness::{bench_config, seed_genesis_rows, run_open_loop, BenchNetwork};
-use bcrdb_bench::scaled_secs;
 use bcrdb_bench::contracts::{Workload, WorkloadKind};
+use bcrdb_bench::harness::{bench_config, run_open_loop, seed_genesis_rows, BenchNetwork};
+use bcrdb_bench::scaled_secs;
 use bcrdb_common::value::Value;
 use bcrdb_txn::ssi::Flow;
 
@@ -39,8 +39,9 @@ fn main() {
                UPDATE counters SET n = n + $2 WHERE id = $1 $$",
         )
         .expect("bootstrap");
-        let rows: Vec<Vec<Value>> =
-            (0..5000).map(|i| vec![Value::Int(i), Value::Int(0)]).collect();
+        let rows: Vec<Vec<Value>> = (0..5000)
+            .map(|i| vec![Value::Int(i), Value::Int(0)])
+            .collect();
         seed_genesis_rows(&net, "counters", &rows).expect("seed");
 
         let mut workload = Workload::new(WorkloadKind::Simple, 0);
@@ -53,7 +54,10 @@ fn main() {
                 vec![Value::Int(id), Value::Int(1)]
             }),
         ));
-        let bench = BenchNetwork { net: net.handle(), workload };
+        let bench = BenchNetwork {
+            net: net.handle(),
+            workload,
+        };
         let stats = run_open_loop(
             &bench,
             arrival,
@@ -68,11 +72,14 @@ fn main() {
             stats.throughput,
             stats.committed,
             stats.aborted,
-            if total > 0 { stats.aborted as f64 * 100.0 / total as f64 } else { 0.0 }
+            if total > 0 {
+                stats.aborted as f64 * 100.0 / total as f64
+            } else {
+                0.0
+            }
         );
         net.shutdown();
     }
     println!("\nreading: abort rate grows with the hot share (first-committer-wins);");
     println!("throughput of *committed* work degrades gracefully, and no executor ever blocks.");
 }
-

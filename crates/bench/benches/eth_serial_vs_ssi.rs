@@ -17,7 +17,10 @@ fn main() {
     let bs = 100usize;
     println!("\n=== Ethereum-style serial execution vs SSI-parallel (OE flow, bs={bs}) ===");
     println!("paper: serial ~800 tps = ~40% of SSI-parallel ~1800 tps");
-    println!("{:>22}  {:>12}  {:>9}  {:>9}", "mode", "peak tput", "bpt ms", "bet ms");
+    println!(
+        "{:>22}  {:>12}  {:>9}  {:>9}",
+        "mode", "peak tput", "bpt ms", "bet ms"
+    );
 
     let mut results = Vec::new();
     for (serial, label) in [(true, "serial (Ethereum-like)"), (false, "SSI parallel")] {

@@ -45,24 +45,20 @@ fn main() {
             // on PostgreSQL; see DESIGN.md): without it our in-memory
             // engine never saturates and the flows are indistinguishable.
             cfg.min_exec_micros = 1_500;
-            let bench = BenchNetwork::build(
-                cfg,
-                Workload::new(WorkloadKind::Simple, 0),
-            )
-            .expect("network");
+            let bench =
+                BenchNetwork::build(cfg, Workload::new(WorkloadKind::Simple, 0)).expect("network");
             let mut id_base = 0u64;
             for &rate in &rates {
-                let stats = run_open_loop(
-                    &bench,
-                    rate,
-                    Duration::from_secs_f64(run_secs),
-                    id_base,
-                )
-                .expect("run");
+                let stats = run_open_loop(&bench, rate, Duration::from_secs_f64(run_secs), id_base)
+                    .expect("run");
                 id_base += stats.submitted + 10;
                 println!(
                     "{:>6}  {:>6.0}  {:>12.0}  {:>12.2}  {:>10.2}  {:>8}",
-                    bs, rate, stats.throughput, stats.avg_latency_ms, stats.p95_latency_ms,
+                    bs,
+                    rate,
+                    stats.throughput,
+                    stats.avg_latency_ms,
+                    stats.p95_latency_ms,
                     stats.aborted
                 );
             }

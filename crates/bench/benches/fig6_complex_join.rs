@@ -31,21 +31,27 @@ pub fn run(kind: WorkloadKind, figure: &str, paper: &str) {
         (Flow::OrderThenExecute, "(a) order-then-execute"),
         (Flow::ExecuteOrderParallel, "(b) execute-order-in-parallel"),
     ] {
-        println!("\n=== {figure}{label} — {} contract ({paper}) ===", kind.name());
+        println!(
+            "\n=== {figure}{label} — {} contract ({paper}) ===",
+            kind.name()
+        );
         println!(
             "{:>6}  {:>12}  {:>9}  {:>9}  {:>9}  {:>8}",
             "bs", "peak tput", "bpt ms", "bet ms", "tet ms", "aborts"
         );
         for &bs in &block_sizes {
             let cfg = bench_config(flow, bs, Duration::from_millis(250));
-            let bench =
-                BenchNetwork::build(cfg, Workload::new(kind, seed_rows)).expect("network");
-            let stats = run_open_loop(&bench, arrival, Duration::from_secs_f64(run_secs), 0)
-                .expect("run");
+            let bench = BenchNetwork::build(cfg, Workload::new(kind, seed_rows)).expect("network");
+            let stats =
+                run_open_loop(&bench, arrival, Duration::from_secs_f64(run_secs), 0).expect("run");
             println!(
                 "{:>6}  {:>12.0}  {:>9.2}  {:>9.2}  {:>9.3}  {:>8}",
-                bs, stats.throughput, stats.micro.bpt_ms, stats.micro.bet_ms,
-                stats.micro.tet_ms, stats.aborted
+                bs,
+                stats.throughput,
+                stats.micro.bpt_ms,
+                stats.micro.bet_ms,
+                stats.micro.tet_ms,
+                stats.aborted
             );
             bench.net.shutdown();
         }

@@ -32,14 +32,19 @@ fn main() {
         );
         for &bs in &block_sizes {
             let cfg = bench_config(flow, bs, Duration::from_millis(250));
-            let bench = BenchNetwork::build(cfg, Workload::new(WorkloadKind::ComplexGroup, seed_rows))
-                .expect("network");
-            let stats = run_open_loop(&bench, arrival, Duration::from_secs_f64(run_secs), 0)
-                .expect("run");
+            let bench =
+                BenchNetwork::build(cfg, Workload::new(WorkloadKind::ComplexGroup, seed_rows))
+                    .expect("network");
+            let stats =
+                run_open_loop(&bench, arrival, Duration::from_secs_f64(run_secs), 0).expect("run");
             println!(
                 "{:>6}  {:>12.0}  {:>9.2}  {:>9.2}  {:>9.3}  {:>8}",
-                bs, stats.throughput, stats.micro.bpt_ms, stats.micro.bet_ms,
-                stats.micro.tet_ms, stats.aborted
+                bs,
+                stats.throughput,
+                stats.micro.bpt_ms,
+                stats.micro.bet_ms,
+                stats.micro.tet_ms,
+                stats.aborted
             );
             bench.net.shutdown();
         }

@@ -36,14 +36,11 @@ fn main() {
             for (profile, name) in [(NetProfile::lan(), "LAN"), (NetProfile::wan(), "WAN")] {
                 let mut cfg = bench_config(flow, bs, Duration::from_millis(250));
                 cfg.net_profile = profile;
-                let bench = BenchNetwork::build(
-                    cfg,
-                    Workload::new(WorkloadKind::ComplexJoin, seed_rows),
-                )
-                .expect("network");
-                let stats =
-                    run_open_loop(&bench, arrival, Duration::from_secs_f64(run_secs), 0)
-                        .expect("run");
+                let bench =
+                    BenchNetwork::build(cfg, Workload::new(WorkloadKind::ComplexJoin, seed_rows))
+                        .expect("network");
+                let stats = run_open_loop(&bench, arrival, Duration::from_secs_f64(run_secs), 0)
+                    .expect("run");
                 let increase = if name == "LAN" {
                     lan_lat = stats.avg_latency_ms;
                     String::from("—")

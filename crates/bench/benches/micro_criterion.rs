@@ -19,7 +19,9 @@ fn bench_crypto(c: &mut Criterion) {
     let mut g = c.benchmark_group("crypto");
     let data_1k = vec![0xabu8; 1024];
     g.throughput(Throughput::Bytes(1024));
-    g.bench_function("sha256_1k", |b| b.iter(|| sha256(std::hint::black_box(&data_1k))));
+    g.bench_function("sha256_1k", |b| {
+        b.iter(|| sha256(std::hint::black_box(&data_1k)))
+    });
     g.throughput(Throughput::Elements(100));
     let leaves: Vec<Vec<u8>> = (0..100).map(|i| vec![i as u8; 64]).collect();
     g.bench_function("merkle_root_100_leaves", |b| {
@@ -31,7 +33,9 @@ fn bench_crypto(c: &mut Criterion) {
     let sim = KeyPair::generate("sim", b"s", Scheme::Sim);
     let hb = KeyPair::generate("hb", b"h", Scheme::HashBased { height: 14 });
     let msg = b"a blockchain transaction payload";
-    g.bench_function("sim_sign", |b| b.iter(|| sim.sign(std::hint::black_box(msg)).unwrap()));
+    g.bench_function("sim_sign", |b| {
+        b.iter(|| sim.sign(std::hint::black_box(msg)).unwrap())
+    });
     let sim_sig = sim.sign(msg).unwrap();
     g.bench_function("sim_verify", |b| {
         b.iter(|| bcrdb_crypto::identity::verify(&sim.public_key(), msg, &sim_sig))
@@ -52,7 +56,10 @@ fn bench_block_codec(c: &mut Criterion) {
         .map(|i| {
             Transaction::new_order_execute(
                 "c",
-                Payload::new("f", vec![Value::Int(i as i64), Value::Text(format!("p{i}"))]),
+                Payload::new(
+                    "f",
+                    vec![Value::Int(i as i64), Value::Text(format!("p{i}"))],
+                ),
                 i,
                 &key,
             )
@@ -68,7 +75,9 @@ fn bench_block_codec(c: &mut Criterion) {
     g.bench_function("decode_100tx", |b| {
         b.iter(|| Block::decode_all(std::hint::black_box(&bytes)).unwrap())
     });
-    g.bench_function("verify_integrity_100tx", |b| b.iter(|| block.verify_integrity().unwrap()));
+    g.bench_function("verify_integrity_100tx", |b| {
+        b.iter(|| block.verify_integrity().unwrap())
+    });
     g.finish();
 }
 
@@ -97,8 +106,14 @@ fn bench_ssi(c: &mut Criterion) {
         b.iter(|| {
             let t = mgr.begin();
             mgr.register_row_read(t, "t", RowId(block % 1000));
-            mgr.on_write(t, "t", RowId(block % 1000 + 1), &[(0, Value::Int(block as i64))]);
-            mgr.commit_check(t, block, 0, Flow::ExecuteOrderParallel).unwrap();
+            mgr.on_write(
+                t,
+                "t",
+                RowId(block % 1000 + 1),
+                &[(0, Value::Int(block as i64))],
+            );
+            mgr.commit_check(t, block, 0, Flow::ExecuteOrderParallel)
+                .unwrap();
             mgr.commit(t);
             block += 1;
             if block % 4096 == 0 {

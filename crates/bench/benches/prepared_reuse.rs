@@ -1,0 +1,172 @@
+//! Prepared-statement reuse vs. per-query re-parsing on the **Fig. 6**
+//! complex-join workload.
+//!
+//! The paper's client interface is PostgreSQL's wire protocol, where
+//! `PREPARE`/`EXECUTE` amortizes parse+plan across invocations (§4.3).
+//! This microbench isolates that win on the read path of the complex-join
+//! contract: the same join+aggregate SELECT executed repeatedly against
+//! seeded reference tables, once through `Node::query` (full re-parse
+//! every call) and once through `Node::query_prepared` (parsed once,
+//! executed with fresh parameters).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bcrdb_bench::contracts::{Workload, WorkloadKind, GROUPS};
+use bcrdb_common::ids::TxId;
+use bcrdb_common::schema::{Column, DataType, TableSchema};
+use bcrdb_common::value::Value;
+use bcrdb_crypto::identity::CertificateRegistry;
+use bcrdb_node::{Node, NodeConfig};
+use bcrdb_storage::version::Version;
+use bcrdb_txn::ssi::Flow;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// The read shape inside the Fig. 10 complex-join contract, as a
+/// parameterized SELECT.
+const JOIN_SQL: &str = "SELECT i.dept, SUM(o.amount) FROM bench_items i \
+                        JOIN bench_orders o ON o.item_id = i.id \
+                        WHERE i.dept = $1 GROUP BY i.dept";
+
+/// A point read against the same reference tables — the shape where
+/// parsing dominates execution and statement reuse pays the most.
+const POINT_SQL: &str = "SELECT price FROM bench_items WHERE id = $1";
+
+fn build_node(seed_rows: usize) -> Arc<Node> {
+    let certs = CertificateRegistry::new();
+    let cfg = NodeConfig::new("org1/peer", "org1", Flow::OrderThenExecute);
+    let node = Node::new(cfg, Arc::clone(&certs), vec!["org1".into()]).unwrap();
+
+    let mut items = TableSchema::new(
+        "bench_items",
+        vec![
+            Column::new("id", DataType::Int),
+            Column::new("dept", DataType::Int),
+            Column::new("price", DataType::Float),
+        ],
+        vec![0],
+    )
+    .unwrap();
+    items.add_index("idx_items_dept", "dept").unwrap();
+    node.catalog().create_table(items).unwrap();
+    let mut orders = TableSchema::new(
+        "bench_orders",
+        vec![
+            Column::new("id", DataType::Int),
+            Column::new("item_id", DataType::Int),
+            Column::new("amount", DataType::Float),
+        ],
+        vec![0],
+    )
+    .unwrap();
+    orders.add_index("idx_orders_item", "item_id").unwrap();
+    node.catalog().create_table(orders).unwrap();
+
+    // Seed the Fig. 6 reference data (same generator the macro bench uses),
+    // committed at genesis.
+    let workload = Workload::new(WorkloadKind::ComplexJoin, seed_rows);
+    for (table, rows) in workload.seed() {
+        let t = node.catalog().get(&table).unwrap();
+        for row in rows {
+            let row = t.schema().check_row(row).unwrap();
+            let rid = t.alloc_row_id();
+            t.append_restored(Version::restored(TxId::INVALID, row, rid, 0, None, None));
+        }
+    }
+    node
+}
+
+fn bench_prepared_vs_reparse(c: &mut Criterion) {
+    let seed_rows = if bcrdb_bench::full_mode() {
+        20_000
+    } else {
+        2_000
+    };
+    let node = build_node(seed_rows);
+    let prepared = node.prepare(JOIN_SQL).unwrap();
+
+    let mut g = c.benchmark_group("fig6_join_read");
+    let mut dept = 0i64;
+    g.bench_function("reparse_per_query", |b| {
+        b.iter(|| {
+            dept = (dept + 1) % GROUPS;
+            node.query(JOIN_SQL, &[Value::Int(dept)]).unwrap()
+        })
+    });
+    g.bench_function("prepared_reuse", |b| {
+        b.iter(|| {
+            dept = (dept + 1) % GROUPS;
+            node.query_prepared(&prepared, &[Value::Int(dept)]).unwrap()
+        })
+    });
+    g.finish();
+
+    let point = node.prepare(POINT_SQL).unwrap();
+    let items = 100i64.max(seed_rows as i64 / 20);
+    let mut id = 0i64;
+    g.bench_function("point_reparse_per_query", |b| {
+        b.iter(|| {
+            id = (id + 1) % items;
+            node.query(POINT_SQL, &[Value::Int(id)]).unwrap()
+        })
+    });
+    g.bench_function("point_prepared_reuse", |b| {
+        b.iter(|| {
+            id = (id + 1) % items;
+            node.query_prepared(&point, &[Value::Int(id)]).unwrap()
+        })
+    });
+    g.finish();
+
+    // Explicit head-to-head so the win is visible without reading the
+    // per-bench medians: identical query streams, wall-clock totals.
+    let iters = 2_000u64;
+    let run = |f: &mut dyn FnMut(i64)| {
+        let t0 = Instant::now();
+        for n in 0..iters {
+            f((n % GROUPS as u64) as i64);
+        }
+        t0.elapsed()
+    };
+    let join_reparse = run(&mut |d| {
+        node.query(JOIN_SQL, &[Value::Int(d)]).unwrap();
+    });
+    let join_reuse = run(&mut |d| {
+        node.query_prepared(&prepared, &[Value::Int(d)]).unwrap();
+    });
+    let point_reparse = run(&mut |d| {
+        node.query(POINT_SQL, &[Value::Int(d)]).unwrap();
+    });
+    let point_reuse = run(&mut |d| {
+        node.query_prepared(&point, &[Value::Int(d)]).unwrap();
+    });
+    println!(
+        "\n{iters} executions, {seed_rows} seeded orders:\n\
+         join  — re-parse {:.1} ms, prepared {:.1} ms ({:.2}x)\n\
+         point — re-parse {:.1} ms, prepared {:.1} ms ({:.2}x)",
+        join_reparse.as_secs_f64() * 1e3,
+        join_reuse.as_secs_f64() * 1e3,
+        join_reparse.as_secs_f64() / join_reuse.as_secs_f64(),
+        point_reparse.as_secs_f64() * 1e3,
+        point_reuse.as_secs_f64() * 1e3,
+        point_reparse.as_secs_f64() / point_reuse.as_secs_f64(),
+    );
+    // The join is execution-dominated, so reuse must merely not lose
+    // (within noise); the point read is parse-dominated, so reuse must
+    // win outright.
+    assert!(
+        join_reuse.as_secs_f64() <= join_reparse.as_secs_f64() * 1.05,
+        "prepared reuse slower than re-parsing on the join: {join_reuse:?} vs {join_reparse:?}"
+    );
+    assert!(
+        point_reuse < point_reparse,
+        "prepared reuse must beat re-parsing on point reads: {point_reuse:?} vs {point_reparse:?}"
+    );
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_prepared_vs_reparse
+);
+criterion_main!(benches);

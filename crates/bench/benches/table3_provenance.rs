@@ -6,7 +6,7 @@
 use std::time::{Duration, Instant};
 
 use bcrdb_common::value::Value;
-use bcrdb_core::{Network, NetworkConfig};
+use bcrdb_core::{Call, Network, NetworkConfig};
 use bcrdb_txn::ssi::Flow;
 
 fn main() {
@@ -31,37 +31,32 @@ fn main() {
     let wait = Duration::from_secs(30);
 
     println!("\n=== Table 3: provenance queries (populating {n_invoices} invoices × {updates_per_invoice} updates) ===");
-    let mut pendings = Vec::new();
-    for id in 0..n_invoices {
-        pendings.push(
-            supplier
-                .invoke(
-                    "create_invoice",
-                    vec![Value::Int(id), Value::Text("s".into()), Value::Float(100.0)],
-                )
-                .expect("invoke"),
-        );
-    }
-    for p in pendings.drain(..) {
-        p.wait_committed(wait).expect("create committed");
-    }
+    // Population runs as signed batches: one submit_all per round, one
+    // fanned-in notification channel instead of a channel per tx.
+    supplier
+        .submit_all(
+            (0..n_invoices).map(|id| Call::new("create_invoice").arg(id).arg("s").arg(100.0)),
+        )
+        .expect("submit batch")
+        .wait_committed_all(wait)
+        .expect("creates committed");
     for round in 0..updates_per_invoice {
         // Alternate updaters; the supplier performs the final round so it
         // owns the live versions that query 1 looks for.
-        let client = if round % 2 == 0 { &manufacturer } else { &supplier };
-        for id in 0..n_invoices {
-            pendings.push(
-                client
-                    .invoke(
-                        "revise_invoice",
-                        vec![Value::Int(id), Value::Float(100.0 + round as f64)],
-                    )
-                    .expect("invoke"),
-            );
-        }
-        for p in pendings.drain(..) {
-            p.wait_committed(wait).expect("revision committed");
-        }
+        let client = if round % 2 == 0 {
+            &manufacturer
+        } else {
+            &supplier
+        };
+        client
+            .submit_all((0..n_invoices).map(|id| {
+                Call::new("revise_invoice")
+                    .arg(id)
+                    .arg(100.0 + round as f64)
+            }))
+            .expect("submit batch")
+            .wait_committed_all(wait)
+            .expect("revisions committed");
     }
 
     // Query 1 (Table 3): all invoice versions updated by supplier S

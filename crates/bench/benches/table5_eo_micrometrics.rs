@@ -40,8 +40,8 @@ fn main() {
         cfg.forward_drop_permille = 150;
         let bench =
             BenchNetwork::build(cfg, Workload::new(WorkloadKind::Simple, 0)).expect("network");
-        let stats = run_open_loop(&bench, arrival, Duration::from_secs_f64(run_secs), 0)
-            .expect("run");
+        let stats =
+            run_open_loop(&bench, arrival, Duration::from_secs_f64(run_secs), 0).expect("run");
         println!("{}", stats.micro_row(bs));
         bench.net.shutdown();
     }

@@ -36,7 +36,10 @@ pub const GROUPS: i64 = 10;
 
 /// Custom per-transaction argument generator (ablations and ad-hoc
 /// workloads): (contract name, args for the n-th transaction).
-pub type CustomArgs = (String, std::sync::Arc<dyn Fn(u64) -> Vec<Value> + Send + Sync>);
+pub type CustomArgs = (
+    String,
+    std::sync::Arc<dyn Fn(u64) -> Vec<Value> + Send + Sync>,
+);
 
 /// A workload: schema DDL + contracts + per-transaction argument
 /// generation.
@@ -53,7 +56,11 @@ impl Workload {
     /// Build a workload of `kind` with `seed_rows` reference rows (used by
     /// the complex contracts; ignored by `simple`).
     pub fn new(kind: WorkloadKind, seed_rows: usize) -> Workload {
-        Workload { kind, seed_rows, custom: None }
+        Workload {
+            kind,
+            seed_rows,
+            custom: None,
+        }
     }
 
     /// Genesis DDL: every table, index and contract the workload needs.
@@ -175,7 +182,11 @@ mod tests {
     fn bootstrap_sql_parses_and_validates() {
         // The DDL must parse and pass even the stricter EO-flow rules.
         let rules = bcrdb_sql::validate::DeterminismRules::execute_order_parallel();
-        for kind in [WorkloadKind::Simple, WorkloadKind::ComplexJoin, WorkloadKind::ComplexGroup] {
+        for kind in [
+            WorkloadKind::Simple,
+            WorkloadKind::ComplexJoin,
+            WorkloadKind::ComplexGroup,
+        ] {
             let w = Workload::new(kind, 500);
             let stmts = bcrdb_sql::parse_statements(&w.bootstrap_sql()).unwrap();
             for stmt in &stmts {

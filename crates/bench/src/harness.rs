@@ -14,11 +14,11 @@ use std::time::{Duration, Instant};
 use bcrdb_chain::ledger::TxStatus;
 use bcrdb_common::error::Result;
 use bcrdb_common::ids::GlobalTxId;
+use bcrdb_common::ids::TxId;
 use bcrdb_common::value::Value;
 use bcrdb_core::{Network, NetworkConfig};
 use bcrdb_node::MetricsSnapshot;
 use bcrdb_storage::version::Version;
-use bcrdb_common::ids::TxId;
 use parking_lot::Mutex;
 
 use crate::contracts::Workload;
@@ -133,11 +133,15 @@ pub fn run_open_loop(
         collector_handles.push(std::thread::spawn(move || {
             for n in rx.iter() {
                 let now = Instant::now();
-                let Some(t0) = submit_times.lock().remove(&n.id) else { continue };
+                let Some(t0) = submit_times.lock().remove(&n.id) else {
+                    continue;
+                };
                 match n.status {
                     TxStatus::Committed => {
                         committed.fetch_add(1, Ordering::Relaxed);
-                        latencies.lock().push(now.duration_since(t0).as_secs_f64() * 1000.0);
+                        latencies
+                            .lock()
+                            .push(now.duration_since(t0).as_secs_f64() * 1000.0);
                     }
                     TxStatus::Aborted(_) => {
                         aborted.fetch_add(1, Ordering::Relaxed);
@@ -157,7 +161,7 @@ pub fn run_open_loop(
     while warm_start.elapsed() < warm {
         let client = &clients[(warm_n as usize) % clients.len()];
         let args = bench.workload.args(u64::MAX - 1_000_000 + warm_n);
-        if let Ok(p) = client.invoke(bench.workload.contract(), args) {
+        if let Ok(p) = client.call(bench.workload.contract()).args(args).submit() {
             submit_times.lock().insert(p.id, Instant::now());
         }
         warm_n += 1;
@@ -183,8 +187,7 @@ pub fn run_open_loop(
         let n = id_base + submitted;
         let client = &clients[(submitted as usize) % clients.len()];
         let args = bench.workload.args(n);
-        // Record submit time by deriving the id the same way invoke will.
-        match client.invoke(bench.workload.contract(), args) {
+        match client.call(bench.workload.contract()).args(args).submit() {
             Ok(pending) => {
                 submit_times.lock().insert(pending.id, Instant::now());
                 submitted += 1;
@@ -216,8 +219,16 @@ pub fn run_open_loop(
     let aborted = aborted.load(Ordering::Relaxed);
     let mut lat = latencies.lock().clone();
     lat.sort_by(|a, b| a.total_cmp(b));
-    let avg = if lat.is_empty() { 0.0 } else { lat.iter().sum::<f64>() / lat.len() as f64 };
-    let p95 = if lat.is_empty() { 0.0 } else { lat[(lat.len() * 95 / 100).min(lat.len() - 1)] };
+    let avg = if lat.is_empty() {
+        0.0
+    } else {
+        lat.iter().sum::<f64>() / lat.len() as f64
+    };
+    let p95 = if lat.is_empty() {
+        0.0
+    } else {
+        lat[(lat.len() * 95 / 100).min(lat.len() - 1)]
+    };
 
     Ok(RunStats {
         submitted,
@@ -229,6 +240,49 @@ pub fn run_open_loop(
         p95_latency_ms: p95,
         micro,
     })
+}
+
+/// Closed-loop batch driver: sign and submit `count` workload
+/// transactions as one [`bcrdb_core::PendingBatch`] per client and wait
+/// for every outcome. Replaces the open-coded per-transaction channel
+/// loops for closed workloads (convergence tests, ablation baselines).
+/// Returns `(committed, aborted)`.
+pub fn run_batch(
+    bench: &BenchNetwork,
+    count: u64,
+    id_base: u64,
+    timeout: Duration,
+) -> Result<(u64, u64)> {
+    let orgs: Vec<String> = bench.net.config().orgs.clone();
+    let clients: Vec<_> = orgs
+        .iter()
+        .map(|o| bench.net.client(o, "bench-batch").expect("client"))
+        .collect();
+    // Round-robin the batch across organizations, one submit_all each.
+    let mut batches = Vec::with_capacity(clients.len());
+    for (i, client) in clients.iter().enumerate() {
+        let calls: Vec<bcrdb_core::Call> = (0..count)
+            .filter(|n| (*n as usize) % clients.len() == i)
+            .map(|n| {
+                bcrdb_core::Call::new(bench.workload.contract())
+                    .args(bench.workload.args(id_base + n))
+            })
+            .collect();
+        if !calls.is_empty() {
+            batches.push(client.submit_all(calls)?);
+        }
+    }
+    let mut committed = 0;
+    let mut aborted = 0;
+    for batch in batches {
+        for n in batch.wait_all(timeout)? {
+            match n.status {
+                TxStatus::Committed => committed += 1,
+                TxStatus::Aborted(_) => aborted += 1,
+            }
+        }
+    }
+    Ok((committed, aborted))
 }
 
 /// Standard benchmark network configuration: three organizations, Sim

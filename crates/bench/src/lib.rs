@@ -18,11 +18,13 @@ pub mod contracts;
 pub mod harness;
 
 pub use contracts::{Workload, WorkloadKind};
-pub use harness::{run_open_loop, seed_genesis_rows, BenchNetwork, RunStats};
+pub use harness::{run_batch, run_open_loop, seed_genesis_rows, BenchNetwork, RunStats};
 
 /// True when full-scale runs were requested.
 pub fn full_mode() -> bool {
-    std::env::var("BCRDB_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("BCRDB_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Scale a quick-mode duration up in full mode.

@@ -73,7 +73,16 @@ impl Block {
         let leaves: Vec<Vec<u8>> = txs.iter().map(Transaction::canonical_bytes).collect();
         let tx_root = MerkleTree::build(&leaves).root();
         let hash = Self::compute_hash(number, &tx_root, &consensus, &checkpoints, &prev_hash);
-        Block { number, prev_hash, txs, consensus, checkpoints, tx_root, hash, signatures: Vec::new() }
+        Block {
+            number,
+            prev_hash,
+            txs,
+            consensus,
+            checkpoints,
+            tx_root,
+            hash,
+            signatures: Vec::new(),
+        }
     }
 
     fn compute_hash(
@@ -124,7 +133,10 @@ impl Block {
             &self.prev_hash,
         );
         if hash != self.hash {
-            return Err(Error::TamperDetected(format!("block {}: hash mismatch", self.number)));
+            return Err(Error::TamperDetected(format!(
+                "block {}: hash mismatch",
+                self.number
+            )));
         }
         Ok(())
     }
@@ -283,7 +295,11 @@ mod tests {
             genesis_prev_hash(),
             txs,
             "solo",
-            vec![CheckpointVote { node: "org1/peer".into(), block: 1, state_hash: [1u8; 32] }],
+            vec![CheckpointVote {
+                node: "org1/peer".into(),
+                block: 1,
+                state_hash: [1u8; 32],
+            }],
         );
         assert_ne!(a.hash, b.hash);
     }

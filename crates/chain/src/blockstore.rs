@@ -41,7 +41,13 @@ impl std::fmt::Debug for BlockStore {
 impl BlockStore {
     /// In-memory store (tests, benchmarks).
     pub fn in_memory() -> BlockStore {
-        BlockStore { path: None, inner: Mutex::new(Inner { blocks: Vec::new(), file: None }) }
+        BlockStore {
+            path: None,
+            inner: Mutex::new(Inner {
+                blocks: Vec::new(),
+                file: None,
+            }),
+        }
     }
 
     /// Open (or create) a store at `path`, verifying the persisted chain.
@@ -82,7 +88,13 @@ impl BlockStore {
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(BlockStore { path: Some(path), inner: Mutex::new(Inner { blocks, file: Some(file) }) })
+        Ok(BlockStore {
+            path: Some(path),
+            inner: Mutex::new(Inner {
+                blocks,
+                file: Some(file),
+            }),
+        })
     }
 
     /// Store file path, if file-backed.
@@ -98,7 +110,10 @@ impl BlockStore {
     /// Hash of the latest block (or the genesis predecessor hash).
     pub fn tip_hash(&self) -> [u8; 32] {
         let inner = self.inner.lock();
-        inner.blocks.last().map_or_else(genesis_prev_hash, |b| b.hash)
+        inner
+            .blocks
+            .last()
+            .map_or_else(genesis_prev_hash, |b| b.hash)
     }
 
     /// Append a block. It must extend the chain (`number == height + 1`,
@@ -112,8 +127,10 @@ impl BlockStore {
                 block.number
             )));
         }
-        let expected_prev =
-            inner.blocks.last().map_or_else(genesis_prev_hash, |b| b.hash);
+        let expected_prev = inner
+            .blocks
+            .last()
+            .map_or_else(genesis_prev_hash, |b| b.hash);
         if block.prev_hash != expected_prev {
             return Err(Error::TamperDetected(format!(
                 "block {} does not link to the current tip",
@@ -224,7 +241,10 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let err = BlockStore::open(&path).unwrap_err();
         assert!(
-            matches!(err, Error::TamperDetected(_) | Error::Codec(_) | Error::Crypto(_)),
+            matches!(
+                err,
+                Error::TamperDetected(_) | Error::Codec(_) | Error::Crypto(_)
+            ),
             "{err}"
         );
         std::fs::remove_file(&path).unwrap();

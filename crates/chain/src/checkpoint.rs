@@ -103,14 +103,13 @@ impl CheckpointTracker {
 
     /// Record a peer's vote (from block metadata). Returns a divergence
     /// report if this vote disagrees with our local hash.
-    pub fn record_vote(
-        &self,
-        node: &str,
-        block: BlockHeight,
-        hash: Digest,
-    ) -> Option<Divergence> {
+    pub fn record_vote(&self, node: &str, block: BlockHeight, hash: Digest) -> Option<Divergence> {
         let mut inner = self.inner.lock();
-        inner.votes.entry(block).or_default().insert(node.to_string(), hash);
+        inner
+            .votes
+            .entry(block)
+            .or_default()
+            .insert(node.to_string(), hash);
         let local = *inner.local.get(&block)?;
         let divergent: Vec<String> = inner
             .votes
@@ -129,14 +128,19 @@ impl CheckpointTracker {
             return None;
         }
         inner.flagged.push(block);
-        Some(Divergence { block, divergent_nodes: divergent })
+        Some(Divergence {
+            block,
+            divergent_nodes: divergent,
+        })
     }
 
     /// Number of nodes (including us, if we voted via `record_vote`) that
     /// agree with our local hash for `block`.
     pub fn agreement_count(&self, block: BlockHeight) -> usize {
         let inner = self.inner.lock();
-        let Some(local) = inner.local.get(&block) else { return 0 };
+        let Some(local) = inner.local.get(&block) else {
+            return 0;
+        };
         inner
             .votes
             .get(&block)

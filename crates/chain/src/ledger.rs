@@ -80,8 +80,12 @@ pub fn ledger_schema() -> TableSchema {
     )
     .expect("static schema is valid");
     // Joins in provenance queries hit `txid`; recovery scans hit `block`.
-    schema.add_index("ledger_txid_idx", "txid").expect("column exists");
-    schema.add_index("ledger_block_idx", "block").expect("column exists");
+    schema
+        .add_index("ledger_txid_idx", "txid")
+        .expect("column exists");
+    schema
+        .add_index("ledger_block_idx", "block")
+        .expect("column exists");
     schema
 }
 

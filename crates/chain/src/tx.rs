@@ -33,7 +33,10 @@ pub struct Payload {
 impl Payload {
     /// Convenience constructor.
     pub fn new(contract: impl Into<String>, args: Vec<Value>) -> Payload {
-        Payload { contract: contract.into(), args }
+        Payload {
+            contract: contract.into(),
+            args,
+        }
     }
 
     /// Canonical encoding (signed content).
@@ -85,7 +88,13 @@ impl Transaction {
         let signature = key
             .sign_digest(&digest)
             .ok_or_else(|| Error::Crypto("signing key exhausted".into()))?;
-        Ok(Transaction { id, user: user.to_string(), payload, snapshot_height: None, signature })
+        Ok(Transaction {
+            id,
+            user: user.to_string(),
+            payload,
+            snapshot_height: None,
+            signature,
+        })
     }
 
     /// Build an execute-order-in-parallel transaction at `snapshot_height`.
@@ -210,7 +219,10 @@ mod tests {
     }
 
     fn payload() -> Payload {
-        Payload::new("transfer", vec![Value::Int(1), Value::Int(2), Value::Float(5.0)])
+        Payload::new(
+            "transfer",
+            vec![Value::Int(1), Value::Int(2), Value::Float(5.0)],
+        )
     }
 
     #[test]

@@ -17,10 +17,10 @@ use crate::tx::{Payload, Transaction};
 /// in other crates, so a trait impl would violate the orphan rule).
 pub fn encode_signature(sig: &Signature, enc: &mut Encoder) {
     match sig {
-            Signature::Sim(d) => {
-                enc.put_u8(0);
-                enc.put_digest(d);
-            }
+        Signature::Sim(d) => {
+            enc.put_u8(0);
+            enc.put_digest(d);
+        }
         Signature::HashBased(sig) => {
             enc.put_u8(1);
             enc.put_u64(sig.leaf_index);
@@ -67,7 +67,10 @@ pub fn decode_signature(dec: &mut Decoder<'_>) -> Result<Signature> {
             Ok(Signature::HashBased(Box::new(MssSignature {
                 leaf_index,
                 wots: WotsSignature { values },
-                auth_path: MerkleProof { leaf_index: proof_leaf, steps },
+                auth_path: MerkleProof {
+                    leaf_index: proof_leaf,
+                    steps,
+                },
             })))
         }
         t => Err(Error::Codec(format!("bad signature tag {t}"))),
@@ -97,7 +100,11 @@ impl Decode for Transaction {
         let user = dec.get_str()?;
         let contract = dec.get_str()?;
         let args = dec.get_row()?;
-        let snapshot_height = if dec.get_bool()? { Some(dec.get_u64()?) } else { None };
+        let snapshot_height = if dec.get_bool()? {
+            Some(dec.get_u64()?)
+        } else {
+            None
+        };
         let signature = decode_signature(dec)?;
         Ok(Transaction {
             id,
@@ -170,7 +177,16 @@ impl Decode for Block {
             let name = dec.get_str()?;
             signatures.push((name, decode_signature(dec)?));
         }
-        Ok(Block { number, prev_hash, txs, consensus, checkpoints, tx_root, hash, signatures })
+        Ok(Block {
+            number,
+            prev_hash,
+            txs,
+            consensus,
+            checkpoints,
+            tx_root,
+            hash,
+            signatures,
+        })
     }
 }
 
@@ -187,7 +203,10 @@ mod tests {
         let txs = vec![
             Transaction::new_order_execute(
                 "org1/alice",
-                Payload::new("f", vec![Value::Int(1), Value::Text("x".into()), Value::Null]),
+                Payload::new(
+                    "f",
+                    vec![Value::Int(1), Value::Text("x".into()), Value::Null],
+                ),
                 1,
                 &client,
             )
@@ -205,7 +224,11 @@ mod tests {
             genesis_prev_hash(),
             txs,
             "kafka",
-            vec![CheckpointVote { node: "n1".into(), block: 0, state_hash: [3u8; 32] }],
+            vec![CheckpointVote {
+                node: "n1".into(),
+                block: 0,
+                state_hash: [3u8; 32],
+            }],
         );
         b.sign(&orderer).unwrap();
         b

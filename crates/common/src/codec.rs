@@ -7,31 +7,33 @@
 //! the paper's checkpointing phase (§3.3.4), block hash chain and signed
 //! transaction envelopes.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::error::{Error, Result};
 use crate::value::Value;
 
 /// Incremental encoder over a growable buffer.
 #[derive(Default)]
 pub struct Encoder {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Encoder {
     /// New empty encoder.
     pub fn new() -> Encoder {
-        Encoder { buf: BytesMut::with_capacity(256) }
+        Encoder {
+            buf: Vec::with_capacity(256),
+        }
     }
 
     /// New encoder with a capacity hint.
     pub fn with_capacity(cap: usize) -> Encoder {
-        Encoder { buf: BytesMut::with_capacity(cap) }
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Finish and return the encoded bytes.
-    pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
     }
 
     /// Encoded length so far.
@@ -46,38 +48,38 @@ impl Encoder {
 
     /// Append a single byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Append a big-endian u32.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Append a big-endian u64.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Append a big-endian i64.
     pub fn put_i64(&mut self, v: i64) {
-        self.buf.put_i64(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Append an f64 via its IEEE-754 bit pattern.
     pub fn put_f64(&mut self, v: f64) {
-        self.buf.put_u64(v.to_bits());
+        self.put_u64(v.to_bits());
     }
 
     /// Append a bool as one byte.
     pub fn put_bool(&mut self, v: bool) {
-        self.buf.put_u8(u8::from(v));
+        self.buf.push(u8::from(v));
     }
 
     /// Append length-prefixed bytes.
     pub fn put_bytes(&mut self, v: &[u8]) {
-        self.buf.put_u32(v.len() as u32);
-        self.buf.put_slice(v);
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
     }
 
     /// Append a length-prefixed UTF-8 string.
@@ -87,7 +89,7 @@ impl Encoder {
 
     /// Append a fixed-width 32-byte digest (no length prefix).
     pub fn put_digest(&mut self, v: &[u8; 32]) {
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Append a tagged [`Value`].
@@ -143,7 +145,7 @@ impl<'a> Decoder<'a> {
 
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
-        self.buf.remaining()
+        self.buf.len()
     }
 
     /// True when all input has been consumed.
@@ -152,37 +154,46 @@ impl<'a> Decoder<'a> {
     }
 
     fn need(&self, n: usize) -> Result<()> {
-        if self.buf.remaining() < n {
+        if self.buf.len() < n {
             return Err(Error::Codec(format!(
                 "unexpected end of input: need {n} bytes, have {}",
-                self.buf.remaining()
+                self.buf.len()
             )));
         }
         Ok(())
     }
 
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.need(n)?;
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
     /// Read one byte.
     pub fn get_u8(&mut self) -> Result<u8> {
-        self.need(1)?;
-        Ok(self.buf.get_u8())
+        Ok(self.take(1)?[0])
     }
 
     /// Read a big-endian u32.
     pub fn get_u32(&mut self) -> Result<u32> {
-        self.need(4)?;
-        Ok(self.buf.get_u32())
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Read a big-endian u64.
     pub fn get_u64(&mut self) -> Result<u64> {
-        self.need(8)?;
-        Ok(self.buf.get_u64())
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Read a big-endian i64.
     pub fn get_i64(&mut self) -> Result<i64> {
-        self.need(8)?;
-        Ok(self.buf.get_i64())
+        Ok(i64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Read an f64 from its bit pattern.
@@ -202,10 +213,7 @@ impl<'a> Decoder<'a> {
     /// Read length-prefixed bytes.
     pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
         let len = self.get_u32()? as usize;
-        self.need(len)?;
-        let mut out = vec![0u8; len];
-        self.buf.copy_to_slice(&mut out);
-        Ok(out)
+        Ok(self.take(len)?.to_vec())
     }
 
     /// Read a length-prefixed UTF-8 string.
@@ -216,10 +224,7 @@ impl<'a> Decoder<'a> {
 
     /// Read a fixed 32-byte digest.
     pub fn get_digest(&mut self) -> Result<[u8; 32]> {
-        self.need(32)?;
-        let mut out = [0u8; 32];
-        self.buf.copy_to_slice(&mut out);
-        Ok(out)
+        Ok(self.take(32)?.try_into().expect("32 bytes"))
     }
 
     /// Read a tagged [`Value`].
@@ -262,7 +267,7 @@ pub trait Encode {
     fn encode_to_vec(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         self.encode(&mut enc);
-        enc.finish().to_vec()
+        enc.finish()
     }
 }
 

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use crate::ids::GlobalTxId;
+
 /// Convenience alias used across the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
 
@@ -48,14 +50,28 @@ impl fmt::Display for AbortReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AbortReason::SsiDangerousStructure => {
-                write!(f, "serialization failure: dangerous rw-antidependency structure")
+                write!(
+                    f,
+                    "serialization failure: dangerous rw-antidependency structure"
+                )
             }
             AbortReason::SsiDoomedByPeer => {
-                write!(f, "serialization failure: aborted by a conflicting transaction's commit")
+                write!(
+                    f,
+                    "serialization failure: aborted by a conflicting transaction's commit"
+                )
             }
-            AbortReason::PhantomRead => write!(f, "serialization failure: phantom read beyond snapshot height"),
-            AbortReason::StaleRead => write!(f, "serialization failure: stale read beyond snapshot height"),
-            AbortReason::WwConflict => write!(f, "serialization failure: concurrent write-write conflict"),
+            AbortReason::PhantomRead => write!(
+                f,
+                "serialization failure: phantom read beyond snapshot height"
+            ),
+            AbortReason::StaleRead => write!(
+                f,
+                "serialization failure: stale read beyond snapshot height"
+            ),
+            AbortReason::WwConflict => {
+                write!(f, "serialization failure: concurrent write-write conflict")
+            }
             AbortReason::DuplicateTxId => write!(f, "duplicate transaction identifier"),
             AbortReason::ContractError(m) => write!(f, "contract error: {m}"),
             AbortReason::AuthenticationFailed => write!(f, "authentication failed"),
@@ -96,6 +112,23 @@ pub enum Error {
     Config(String),
     /// Component shut down / channel disconnected.
     Shutdown(String),
+    /// A client-side wait elapsed before the awaited event arrived
+    /// (e.g. no commit notification within the deadline). Distinct from
+    /// [`Error::TxAborted`]: the transaction may still commit later.
+    Timeout(String),
+    /// A submitted transaction reached a final **aborted** status. The
+    /// structured form lets callers branch on the outcome without string
+    /// matching; `reason` preserves the node's abort message (the
+    /// rendered [`AbortReason`]).
+    TxAborted {
+        /// Network-unique id of the aborted transaction.
+        id: GlobalTxId,
+        /// The abort reason as recorded in the ledger.
+        reason: String,
+    },
+    /// Typed row decoding failed (wrong column type, unknown column,
+    /// arity mismatch) — see `FromRow`/`FromValue`.
+    Decode(String),
     /// Invariant violation: indicates a bug, not a user error.
     Internal(String),
 }
@@ -103,17 +136,27 @@ pub enum Error {
 impl Error {
     /// True if the failure is an SSI-style serialization failure that a
     /// client may simply retry (possibly at a newer snapshot height).
+    ///
+    /// [`Error::TxAborted`] carries the node's rendered reason string;
+    /// every retriable [`AbortReason`] — and only those — renders with
+    /// the `"serialization failure"` *prefix* (terminal reasons such as
+    /// `ContractError` render with their own prefixes, so a contract
+    /// message merely containing the phrase cannot misclassify). The
+    /// prefix is a stable part of the ledger format: abort reasons are
+    /// recorded on-chain, so honest replicas already depend on these
+    /// renderings being identical.
     pub fn is_retriable(&self) -> bool {
-        matches!(
-            self,
+        match self {
             Error::Abort(
                 AbortReason::SsiDangerousStructure
-                    | AbortReason::SsiDoomedByPeer
-                    | AbortReason::PhantomRead
-                    | AbortReason::StaleRead
-                    | AbortReason::WwConflict
-            )
-        )
+                | AbortReason::SsiDoomedByPeer
+                | AbortReason::PhantomRead
+                | AbortReason::StaleRead
+                | AbortReason::WwConflict,
+            ) => true,
+            Error::TxAborted { reason, .. } => reason.starts_with("serialization failure"),
+            _ => false,
+        }
     }
 
     /// Shorthand constructor for internal invariant violations.
@@ -139,6 +182,11 @@ impl fmt::Display for Error {
             Error::Codec(m) => write!(f, "codec error: {m}"),
             Error::Config(m) => write!(f, "config error: {m}"),
             Error::Shutdown(m) => write!(f, "shutdown: {m}"),
+            Error::Timeout(m) => write!(f, "timed out: {m}"),
+            Error::TxAborted { id, reason } => {
+                write!(f, "transaction {} aborted: {reason}", id.short())
+            }
+            Error::Decode(m) => write!(f, "decode error: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -173,6 +221,45 @@ mod tests {
         assert!(!Error::Abort(AbortReason::DuplicateTxId).is_retriable());
         assert!(!Error::Abort(AbortReason::AuthenticationFailed).is_retriable());
         assert!(!Error::Parse("x".into()).is_retriable());
+    }
+
+    #[test]
+    fn tx_aborted_retriability_follows_reason() {
+        let retriable = Error::TxAborted {
+            id: GlobalTxId::ZERO,
+            reason: AbortReason::WwConflict.to_string(),
+        };
+        assert!(retriable.is_retriable());
+        let terminal = Error::TxAborted {
+            id: GlobalTxId::ZERO,
+            reason: AbortReason::ContractError("division by zero".into()).to_string(),
+        };
+        assert!(!terminal.is_retriable());
+        // A contract message *containing* the retriable phrase must not
+        // misclassify: only the prefix counts.
+        let trap = Error::TxAborted {
+            id: GlobalTxId::ZERO,
+            reason: AbortReason::ContractError(
+                "upstream reported: serialization failure in replica log".into(),
+            )
+            .to_string(),
+        };
+        assert!(!trap.is_retriable());
+        assert!(!Error::Timeout("x".into()).is_retriable());
+    }
+
+    #[test]
+    fn new_variants_display() {
+        let e = Error::Timeout("waiting for tx abc".into());
+        assert!(e.to_string().contains("timed out"));
+        let e = Error::TxAborted {
+            id: GlobalTxId::ZERO,
+            reason: "boom".into(),
+        };
+        assert!(e.to_string().contains("aborted"));
+        assert!(e.to_string().contains("boom"));
+        let e = Error::Decode("expected Int".into());
+        assert!(e.to_string().contains("decode"));
     }
 
     #[test]

@@ -72,12 +72,20 @@ pub struct Column {
 impl Column {
     /// Convenience constructor for a non-nullable column.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Column {
-        Column { name: name.into(), dtype, nullable: false }
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
     }
 
     /// Convenience constructor for a nullable column.
     pub fn nullable(name: impl Into<String>, dtype: DataType) -> Column {
-        Column { name: name.into(), dtype, nullable: true }
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
     }
 }
 
@@ -133,7 +141,12 @@ impl TableSchema {
                 )));
             }
         }
-        Ok(TableSchema { name, columns, primary_key, indexes: Vec::new() })
+        Ok(TableSchema {
+            name,
+            columns,
+            primary_key,
+            indexes: Vec::new(),
+        })
     }
 
     /// Number of columns.
@@ -151,7 +164,11 @@ impl TableSchema {
     /// served by an index — mandatory in the EO flow (§4.3).
     pub fn index_on(&self, column: usize) -> Option<IndexDef> {
         if self.primary_key.len() == 1 && self.primary_key[0] == column {
-            return Some(IndexDef { name: format!("{}_pkey", self.name), column, unique: true });
+            return Some(IndexDef {
+                name: format!("{}_pkey", self.name),
+                column,
+                unique: true,
+            });
         }
         self.indexes.iter().find(|i| i.column == column).cloned()
     }
@@ -165,7 +182,11 @@ impl TableSchema {
         if self.indexes.iter().any(|i| i.name == index_name) {
             return Err(Error::AlreadyExists(format!("index {index_name}")));
         }
-        self.indexes.push(IndexDef { name: index_name, column, unique: false });
+        self.indexes.push(IndexDef {
+            name: index_name,
+            column,
+            unique: false,
+        });
         Ok(())
     }
 
@@ -233,7 +254,10 @@ mod tests {
     fn duplicate_column_rejected() {
         let err = TableSchema::new(
             "t",
-            vec![Column::new("a", DataType::Int), Column::new("a", DataType::Int)],
+            vec![
+                Column::new("a", DataType::Int),
+                Column::new("a", DataType::Int),
+            ],
             vec![],
         );
         assert!(err.is_err());
@@ -243,7 +267,11 @@ mod tests {
     fn row_checking_coerces_and_validates() {
         let s = sample();
         let row = s
-            .check_row(vec![Value::Int(1), Value::Text("acme".into()), Value::Int(10)])
+            .check_row(vec![
+                Value::Int(1),
+                Value::Text("acme".into()),
+                Value::Int(10),
+            ])
             .unwrap();
         assert_eq!(row[2], Value::Float(10.0));
 
@@ -259,7 +287,11 @@ mod tests {
         assert!(s.check_row(vec![Value::Int(1)]).is_err());
         // type mismatch
         assert!(s
-            .check_row(vec![Value::Text("no".into()), Value::Text("x".into()), Value::Null])
+            .check_row(vec![
+                Value::Text("no".into()),
+                Value::Text("x".into()),
+                Value::Null
+            ])
             .is_err());
     }
 

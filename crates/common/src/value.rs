@@ -67,9 +67,7 @@ impl Value {
             (v @ Value::Text(_), DataType::Text) => Ok(v),
             (v @ Value::Bytes(_), DataType::Bytes) => Ok(v),
             (v @ Value::Timestamp(_), DataType::Timestamp) => Ok(v),
-            (v, ty) => Err(Error::Type(format!(
-                "cannot coerce value {v:?} to {ty}",
-            ))),
+            (v, ty) => Err(Error::Type(format!("cannot coerce value {v:?} to {ty}",))),
         }
     }
 
@@ -173,9 +171,7 @@ impl Value {
             return Ok(Value::Null);
         }
         match (self, other) {
-            (Value::Int(_), Value::Int(0)) => {
-                Err(Error::Type("division by zero".into()))
-            }
+            (Value::Int(_), Value::Int(0)) => Err(Error::Type("division by zero".into())),
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a / b)),
             _ => {
                 let b = other.as_f64()?;
@@ -204,7 +200,11 @@ impl Value {
         if self.is_null() || other.is_null() {
             return Ok(Value::Null);
         }
-        Ok(Value::Text(format!("{}{}", self.display_raw(), other.display_raw())))
+        Ok(Value::Text(format!(
+            "{}{}",
+            self.display_raw(),
+            other.display_raw()
+        )))
     }
 
     /// Unary negation.
@@ -274,7 +274,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_total(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -330,6 +330,200 @@ impl fmt::Display for Value {
 /// A row of values (one per column, in schema order).
 pub type Row = Vec<Value>;
 
+// ------------------------------------------------------------ conversions
+
+/// Conversion *into* a SQL [`Value`] — the argument side of the typed
+/// session API. Lets callers write `client.call("transfer").arg(5).arg("a")`
+/// instead of hand-building `Vec<Value>`.
+pub trait IntoValue {
+    /// Convert into a [`Value`].
+    fn into_value(self) -> Value;
+}
+
+impl IntoValue for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+}
+
+impl IntoValue for &Value {
+    fn into_value(self) -> Value {
+        self.clone()
+    }
+}
+
+impl IntoValue for bool {
+    fn into_value(self) -> Value {
+        Value::Bool(self)
+    }
+}
+
+impl IntoValue for i64 {
+    fn into_value(self) -> Value {
+        Value::Int(self)
+    }
+}
+
+impl IntoValue for i32 {
+    fn into_value(self) -> Value {
+        Value::Int(self as i64)
+    }
+}
+
+impl IntoValue for i16 {
+    fn into_value(self) -> Value {
+        Value::Int(self as i64)
+    }
+}
+
+impl IntoValue for u32 {
+    fn into_value(self) -> Value {
+        Value::Int(self as i64)
+    }
+}
+
+impl IntoValue for f64 {
+    fn into_value(self) -> Value {
+        Value::Float(self)
+    }
+}
+
+impl IntoValue for f32 {
+    fn into_value(self) -> Value {
+        Value::Float(self as f64)
+    }
+}
+
+impl IntoValue for &str {
+    fn into_value(self) -> Value {
+        Value::Text(self.to_string())
+    }
+}
+
+impl IntoValue for String {
+    fn into_value(self) -> Value {
+        Value::Text(self)
+    }
+}
+
+impl IntoValue for &String {
+    fn into_value(self) -> Value {
+        Value::Text(self.clone())
+    }
+}
+
+impl IntoValue for Vec<u8> {
+    fn into_value(self) -> Value {
+        Value::Bytes(self)
+    }
+}
+
+impl IntoValue for &[u8] {
+    fn into_value(self) -> Value {
+        Value::Bytes(self.to_vec())
+    }
+}
+
+impl<T: IntoValue> IntoValue for Option<T> {
+    fn into_value(self) -> Value {
+        match self {
+            Some(v) => v.into_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Conversion *out of* a SQL [`Value`] — the row-decoding side of the
+/// typed session API (`row.get::<i64>("balance")`,
+/// `result.rows_as::<(i64, String)>()`). Failures surface as
+/// [`Error::Decode`] so callers can distinguish decode bugs from engine
+/// errors.
+pub trait FromValue: Sized {
+    /// Convert from a [`Value`] reference.
+    fn from_value(v: &Value) -> Result<Self>;
+}
+
+fn decode_err<T>(v: &Value, want: &str) -> Result<T> {
+    Err(Error::Decode(format!("expected {want}, got {v:?}")))
+}
+
+impl FromValue for Value {
+    fn from_value(v: &Value) -> Result<Value> {
+        Ok(v.clone())
+    }
+}
+
+impl FromValue for bool {
+    fn from_value(v: &Value) -> Result<bool> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => decode_err(other, "Bool"),
+        }
+    }
+}
+
+impl FromValue for i64 {
+    fn from_value(v: &Value) -> Result<i64> {
+        match v {
+            Value::Int(i) => Ok(*i),
+            Value::Timestamp(t) => Ok(*t),
+            other => decode_err(other, "Int"),
+        }
+    }
+}
+
+impl FromValue for i32 {
+    fn from_value(v: &Value) -> Result<i32> {
+        let i = i64::from_value(v)?;
+        i32::try_from(i).map_err(|_| Error::Decode(format!("Int {i} out of i32 range")))
+    }
+}
+
+impl FromValue for u64 {
+    fn from_value(v: &Value) -> Result<u64> {
+        let i = i64::from_value(v)?;
+        u64::try_from(i).map_err(|_| Error::Decode(format!("Int {i} is negative")))
+    }
+}
+
+impl FromValue for f64 {
+    fn from_value(v: &Value) -> Result<f64> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => decode_err(other, "Float"),
+        }
+    }
+}
+
+impl FromValue for String {
+    fn from_value(v: &Value) -> Result<String> {
+        match v {
+            Value::Text(s) => Ok(s.clone()),
+            other => decode_err(other, "Text"),
+        }
+    }
+}
+
+impl FromValue for Vec<u8> {
+    fn from_value(v: &Value) -> Result<Vec<u8>> {
+        match v {
+            Value::Bytes(b) => Ok(b.clone()),
+            other => decode_err(other, "Bytes"),
+        }
+    }
+}
+
+impl<T: FromValue> FromValue for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,7 +532,10 @@ mod tests {
     fn null_propagation_in_arithmetic() {
         assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
         assert_eq!(Value::Int(1).mul(&Value::Null).unwrap(), Value::Null);
-        assert_eq!(Value::Null.concat(&Value::Text("x".into())).unwrap(), Value::Null);
+        assert_eq!(
+            Value::Null.concat(&Value::Text("x".into())).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -391,7 +588,10 @@ mod tests {
     fn int_float_cross_comparison() {
         assert_eq!(Value::Int(2).cmp_total(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(2).cmp_total(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.5).cmp_total(&Value::Int(3)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(3.5).cmp_total(&Value::Int(3)),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -408,16 +608,47 @@ mod tests {
             Value::Int(3).coerce_to(DataType::Float).unwrap(),
             Value::Float(3.0)
         );
-        assert_eq!(
-            Value::Null.coerce_to(DataType::Int).unwrap(),
-            Value::Null
-        );
+        assert_eq!(Value::Null.coerce_to(DataType::Int).unwrap(), Value::Null);
         assert!(Value::Text("x".into()).coerce_to(DataType::Int).is_err());
     }
 
     #[test]
     fn bytes_display_hex() {
         assert_eq!(Value::Bytes(vec![0xde, 0xad]).display_raw(), "\\xdead");
+    }
+
+    #[test]
+    fn into_value_conversions() {
+        assert_eq!(5i64.into_value(), Value::Int(5));
+        assert_eq!(5i32.into_value(), Value::Int(5));
+        assert_eq!(2.5f64.into_value(), Value::Float(2.5));
+        assert_eq!("x".into_value(), Value::Text("x".into()));
+        assert_eq!(String::from("y").into_value(), Value::Text("y".into()));
+        assert_eq!(true.into_value(), Value::Bool(true));
+        assert_eq!(vec![1u8, 2].into_value(), Value::Bytes(vec![1, 2]));
+        assert_eq!(None::<i64>.into_value(), Value::Null);
+        assert_eq!(Some(3i64).into_value(), Value::Int(3));
+        assert_eq!(Value::Int(7).into_value(), Value::Int(7));
+    }
+
+    #[test]
+    fn from_value_conversions() {
+        assert_eq!(i64::from_value(&Value::Int(5)).unwrap(), 5);
+        assert_eq!(f64::from_value(&Value::Float(2.5)).unwrap(), 2.5);
+        // Ints widen to float on decode (SUM over ints etc.).
+        assert_eq!(f64::from_value(&Value::Int(2)).unwrap(), 2.0);
+        assert_eq!(String::from_value(&Value::Text("a".into())).unwrap(), "a");
+        assert_eq!(Option::<i64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<i64>::from_value(&Value::Int(1)).unwrap(), Some(1));
+        // Type mismatches are Decode errors, not Type errors.
+        assert!(matches!(
+            i64::from_value(&Value::Text("x".into())),
+            Err(Error::Decode(_))
+        ));
+        assert!(matches!(
+            i32::from_value(&Value::Int(1 << 40)),
+            Err(Error::Decode(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! A minimal, dependency-free drop-in for the subset of `criterion`
+//! this workspace's micro-benchmarks use.
+//!
+//! The build environment is fully offline, so the real crate cannot be
+//! fetched. This shim keeps the same source-level API (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`,
+//! `criterion_group!`, `criterion_main!`) and implements a simple but
+//! honest measurement loop: per benchmark it warms up, then runs
+//! `sample_size` samples of auto-calibrated batches and reports the
+//! median, min and max time per iteration. Statistical machinery
+//! (outlier classification, regression) is intentionally out of scope.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark driver configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the measured samples.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n── group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let report = run_benchmark(self, &mut f);
+        print_report(name, &report, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let report = run_benchmark(self.criterion, &mut f);
+        print_report(name, &report, self.throughput);
+        self
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine `self.iters` times, recording total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+fn time_batch<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Criterion, f: &mut F) -> Report {
+    // Calibrate: grow the batch until one batch takes ≥ ~1 ms (or the
+    // routine is so slow a single iteration blows past the budget).
+    let mut iters: u64 = 1;
+    loop {
+        let t = time_batch(f, iters);
+        if t >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    // Warm up.
+    let warm_deadline = Instant::now() + config.warm_up_time;
+    while Instant::now() < warm_deadline {
+        time_batch(f, iters);
+    }
+    // Measure.
+    let per_sample = config.measurement_time / config.sample_size as u32;
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let sample_deadline = Instant::now() + per_sample;
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        // At least one batch per sample, more if the budget allows.
+        loop {
+            total += time_batch(f, iters);
+            total_iters += iters;
+            if Instant::now() >= sample_deadline {
+                break;
+            }
+        }
+        samples_ns.push(total.as_nanos() as f64 / total_iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    Report {
+        median_ns: samples_ns[samples_ns.len() / 2],
+        min_ns: samples_ns[0],
+        max_ns: samples_ns[samples_ns.len() - 1],
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn print_report(name: &str, r: &Report, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbps = n as f64 / r.median_ns * 1_000.0; // bytes/ns → MB/s
+            format!("  ({mbps:.1} MB/s)")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / r.median_ns * 1e9;
+            format!("  ({eps:.0} elem/s)")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<40} time: [{} {} {}]{rate}",
+        fmt_ns(r.min_ns),
+        fmt_ns(r.median_ns),
+        fmt_ns(r.max_ns),
+    );
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        let mut ran = 0u64;
+        g.bench_function("add", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran + 1)
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,56 +1,32 @@
-//! Client API: asynchronous invocation with notifications (§2(7)) and
-//! local read-only queries.
+//! The [`Client`]: a user identity bound to its organization's database
+//! node.
+//!
+//! The typed session surface (fluent calls, prepared statements, typed
+//! rows, batch submission) lives in [`crate::session`]; this module
+//! holds the client identity itself plus the **deprecated** stringly
+//! shims (`invoke`/`query`) kept for one release so downstream code can
+//! migrate gradually. See `DESIGN.md` ("Deprecation path") for the
+//! mapping from old to new calls.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use bcrdb_chain::ledger::TxStatus;
-use bcrdb_chain::tx::{Payload, Transaction};
-use bcrdb_common::error::{Error, Result};
-use bcrdb_common::ids::{BlockHeight, GlobalTxId};
+use bcrdb_common::error::Result;
+use bcrdb_common::ids::BlockHeight;
 use bcrdb_common::value::Value;
 use bcrdb_crypto::identity::KeyPair;
 use bcrdb_engine::result::QueryResult;
 use bcrdb_node::TxNotification;
-use bcrdb_txn::ssi::Flow;
-use crossbeam_channel::Receiver;
 
 use crate::network::NetworkInner;
+use crate::session::PendingTx;
 
 /// A client user bound to its organization's database node.
 pub struct Client {
-    name: String,
-    key: Arc<KeyPair>,
-    net: Arc<NetworkInner>,
-    node_idx: usize,
-}
-
-/// An in-flight transaction: the id plus the notification channel.
-pub struct PendingTx {
-    /// Network-unique transaction id.
-    pub id: GlobalTxId,
-    rx: Receiver<TxNotification>,
-}
-
-impl PendingTx {
-    /// Wait for the final status.
-    pub fn wait(&self, timeout: Duration) -> Result<TxNotification> {
-        self.rx
-            .recv_timeout(timeout)
-            .map_err(|_| Error::internal(format!("timed out waiting for tx {}", self.id.short())))
-    }
-
-    /// Wait and require a committed outcome.
-    pub fn wait_committed(&self, timeout: Duration) -> Result<TxNotification> {
-        let n = self.wait(timeout)?;
-        match &n.status {
-            TxStatus::Committed => Ok(n),
-            TxStatus::Aborted(reason) => Err(Error::internal(format!(
-                "transaction {} aborted: {reason}",
-                self.id.short()
-            ))),
-        }
-    }
+    pub(crate) name: String,
+    pub(crate) key: Arc<KeyPair>,
+    pub(crate) net: Arc<NetworkInner>,
+    pub(crate) node_idx: usize,
 }
 
 impl Client {
@@ -60,7 +36,12 @@ impl Client {
         net: Arc<NetworkInner>,
         node_idx: usize,
     ) -> Client {
-        Client { name, key, net, node_idx }
+        Client {
+            name,
+            key,
+            net,
+            node_idx,
+        }
     }
 
     /// The client's registered name (`org/user`).
@@ -74,70 +55,66 @@ impl Client {
         self.net.nodes[self.node_idx].height()
     }
 
-    /// Invoke a contract asynchronously. In the EO flow the transaction is
-    /// submitted to the client's node at the current chain height; in the
-    /// OE flow it goes straight to the ordering service (§3.3.1).
-    pub fn invoke(&self, contract: &str, args: Vec<Value>) -> Result<PendingTx> {
-        match self.net.config.flow {
-            Flow::ExecuteOrderParallel => self.invoke_at(contract, args, self.chain_height()),
-            Flow::OrderThenExecute => {
-                let nonce = self.net.nonce.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let tx = Transaction::new_order_execute(
-                    &self.name,
-                    Payload::new(contract, args),
-                    nonce,
-                    &self.key,
-                )?;
-                let rx = self.net.nodes[self.node_idx].wait_for(tx.id);
-                let id = tx.id;
-                self.net.ordering.submit(tx)?;
-                Ok(PendingTx { id, rx })
-            }
-        }
+    /// The public key bytes of this client (for `create_usertx`).
+    pub fn public_key_bytes(&self) -> Vec<u8> {
+        self.key.public_key().to_bytes()
     }
 
-    /// EO flow: invoke at an explicit snapshot height (§3.4.1).
+    // ------------------------------------------------- deprecated shims
+
+    /// Invoke a contract asynchronously.
+    #[deprecated(since = "0.1.0", note = "use `client.call(name).args(...).submit()`")]
+    pub fn invoke(&self, contract: &str, args: Vec<Value>) -> Result<PendingTx> {
+        self.submit(crate::session::Call::new(contract).args(args))
+    }
+
+    /// Invoke at an explicit snapshot height (EO flow, §3.4.1).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `client.call(name).args(...).at_height(h).submit()`"
+    )]
     pub fn invoke_at(
         &self,
         contract: &str,
         args: Vec<Value>,
         snapshot_height: BlockHeight,
     ) -> Result<PendingTx> {
-        if self.net.config.flow != Flow::ExecuteOrderParallel {
-            return Err(Error::Config(
-                "snapshot heights only apply to the execute-order-in-parallel flow".into(),
-            ));
-        }
-        let tx = Transaction::new_execute_order(
-            &self.name,
-            Payload::new(contract, args),
-            snapshot_height,
-            &self.key,
-        )?;
-        let node = &self.net.nodes[self.node_idx];
-        let rx = node.wait_for(tx.id);
-        let id = tx.id;
-        node.submit_local(tx)?;
-        Ok(PendingTx { id, rx })
+        self.submit(
+            crate::session::Call::new(contract)
+                .args(args)
+                .at_height(snapshot_height),
+        )
     }
 
     /// Invoke and wait for commitment.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `client.call(name).args(...).submit_wait(timeout)`"
+    )]
     pub fn invoke_wait(
         &self,
         contract: &str,
         args: Vec<Value>,
         timeout: Duration,
     ) -> Result<TxNotification> {
-        self.invoke(contract, args)?.wait_committed(timeout)
+        self.submit(crate::session::Call::new(contract).args(args))?
+            .wait_committed(timeout)
     }
 
-    /// Read-only query on the client's node at the current height
-    /// (individual SELECTs are not recorded on the blockchain, §3.7).
+    /// Read-only query on the client's node at the current height.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `client.select(sql).binds(params).fetch()`"
+    )]
     pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
         self.net.nodes[self.node_idx].query(sql, params)
     }
 
-    /// Read-only query at a historical height (time travel / audits).
+    /// Read-only query at a historical height.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `client.select(sql).binds(params).at_height(h).fetch()`"
+    )]
     pub fn query_at(
         &self,
         sql: &str,
@@ -145,10 +122,5 @@ impl Client {
         height: BlockHeight,
     ) -> Result<QueryResult> {
         self.net.nodes[self.node_idx].query_at(sql, params, height)
-    }
-
-    /// The public key bytes of this client (for `create_usertx`).
-    pub fn public_key_bytes(&self) -> Vec<u8> {
-        self.key.public_key().to_bytes()
     }
 }

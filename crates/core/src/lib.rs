@@ -9,7 +9,6 @@
 //!
 //! ```no_run
 //! use bcrdb_core::{Network, NetworkConfig};
-//! use bcrdb_common::value::Value;
 //!
 //! let net = Network::build(NetworkConfig::quick(
 //!     &["org1", "org2", "org3"],
@@ -21,17 +20,25 @@
 //!        INSERT INTO accounts VALUES ($1, $2) $$",
 //! ).unwrap();
 //! let alice = net.client("org1", "alice").unwrap();
-//! let pending = alice.invoke("open_account", vec![Value::Int(1), Value::Float(100.0)]).unwrap();
-//! pending.wait(std::time::Duration::from_secs(5)).unwrap();
-//! let r = alice.query("SELECT balance FROM accounts WHERE id = 1", &[]).unwrap();
-//! println!("{}", r.to_table_string());
+//! alice.call("open_account").arg(1).arg(100.0)
+//!     .submit_wait(std::time::Duration::from_secs(5)).unwrap();
+//! let balance: f64 = alice
+//!     .select("SELECT balance FROM accounts WHERE id = $1")
+//!     .bind(1)
+//!     .fetch_scalar()
+//!     .unwrap();
+//! println!("balance: {balance}");
 //! ```
 
 pub mod client;
 pub mod config;
 pub mod network;
+pub mod session;
 pub mod system;
 
-pub use client::{Client, PendingTx};
+pub use client::Client;
 pub use config::NetworkConfig;
 pub use network::Network;
+pub use session::{
+    Call, CallBuilder, PendingBatch, PendingTx, Prepared, PreparedRun, QueryBuilder,
+};

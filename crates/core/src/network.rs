@@ -54,7 +54,9 @@ impl Network {
     /// Build and start the network.
     pub fn build(config: NetworkConfig) -> Result<Network> {
         if config.orgs.is_empty() {
-            return Err(Error::Config("a network needs at least one organization".into()));
+            return Err(Error::Config(
+                "a network needs at least one organization".into(),
+            ));
         }
         let certs = CertificateRegistry::new();
         let mut ordering_cfg = config.ordering.clone();
@@ -212,7 +214,9 @@ impl Network {
     /// A second handle to the same running network (cheap: the network is
     /// internally reference-counted). Used by tooling and benchmarks.
     pub fn handle(&self) -> Network {
-        Network { inner: Arc::clone(&self.inner) }
+        Network {
+            inner: Arc::clone(&self.inner),
+        }
     }
 
     /// The network configuration.
@@ -281,7 +285,12 @@ impl Network {
     /// `create_usertx` (the key pair lives with the caller).
     pub fn attach_client(&self, org: &str, user: &str, key: Arc<KeyPair>) -> Result<Client> {
         let idx = self.org_index(org)?;
-        Ok(Client::new(format!("{org}/{user}"), key, Arc::clone(&self.inner), idx))
+        Ok(Client::new(
+            format!("{org}/{user}"),
+            key,
+            Arc::clone(&self.inner),
+            idx,
+        ))
     }
 
     /// The admin client of `org`.
@@ -309,26 +318,29 @@ impl Network {
     /// Run the full §3.7 deployment workflow for one DDL statement:
     /// `create_deploytx` by the first org's admin, `approve_deploytx` by
     /// every org's admin, then `submit_deploytx`. Returns when the deploy
-    /// transaction commits (or fails).
+    /// transaction commits (or fails). Retriable serialization failures
+    /// (the EO flow can see phantom reads under concurrent traffic) are
+    /// retried at a fresh snapshot height.
     pub fn deploy_contract(&self, deploy_id: i64, sql: &str) -> Result<()> {
-        use bcrdb_common::value::Value;
         let timeout = Duration::from_secs(30);
         let first = self.admin(&self.inner.config.orgs[0].clone())?;
-        first
-            .invoke(
-                "create_deploytx",
-                vec![Value::Int(deploy_id), Value::Text(sql.to_string())],
-            )?
-            .wait_committed(timeout)?;
+        first.submit_retrying(
+            crate::session::Call::new("create_deploytx")
+                .arg(deploy_id)
+                .arg(sql),
+            timeout,
+        )?;
         for org in self.inner.config.orgs.clone() {
             let admin = self.admin(&org)?;
-            admin
-                .invoke("approve_deploytx", vec![Value::Int(deploy_id)])?
-                .wait_committed(timeout)?;
+            admin.submit_retrying(
+                crate::session::Call::new("approve_deploytx").arg(deploy_id),
+                timeout,
+            )?;
         }
-        first
-            .invoke("submit_deploytx", vec![Value::Int(deploy_id)])?
-            .wait_committed(timeout)?;
+        first.submit_retrying(
+            crate::session::Call::new("submit_deploytx").arg(deploy_id),
+            timeout,
+        )?;
         Ok(())
     }
 
@@ -408,7 +420,11 @@ fn apply_bootstrap_sql(node: &Arc<Node>, sql: &str, flow: Flow) -> Result<()> {
 
 fn apply_bootstrap_ddl(node: &Arc<Node>, stmt: &Statement) -> Result<()> {
     match stmt {
-        Statement::CreateTable { name, columns, primary_key } => {
+        Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+        } => {
             let cols: Vec<bcrdb_common::schema::Column> = columns
                 .iter()
                 .map(|c| bcrdb_common::schema::Column {
@@ -438,9 +454,11 @@ fn apply_bootstrap_ddl(node: &Arc<Node>, stmt: &Statement) -> Result<()> {
             node.catalog().create_table(schema)?;
             Ok(())
         }
-        Statement::CreateIndex { name, table, column } => {
-            node.catalog().get(table)?.add_index(name, column)
-        }
+        Statement::CreateIndex {
+            name,
+            table,
+            column,
+        } => node.catalog().get(table)?.add_index(name, column),
         Statement::DropTable { name, if_exists } => node.catalog().drop_table(name, *if_exists),
         _ => Err(Error::internal("apply_bootstrap_ddl on non-DDL")),
     }

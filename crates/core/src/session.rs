@@ -1,0 +1,590 @@
+//! The typed, libpq-style session API.
+//!
+//! The paper's client interface is PostgreSQL's wire protocol plus a
+//! `libpq` extension for snapshot-height pinning (§4.3). This module is
+//! our equivalent driver surface, replacing the stringly
+//! `invoke(&str, Vec<Value>)` API:
+//!
+//! * **Fluent invocation** — [`Client::call`] builds a contract call
+//!   argument by argument with [`IntoValue`] conversions, then
+//!   [`CallBuilder::submit`]s it as a signed blockchain transaction:
+//!
+//!   ```ignore
+//!   let pending = client.call("transfer").arg(1).arg(2).arg(40.0).submit()?;
+//!   pending.wait_committed(timeout)?;
+//!   ```
+//!
+//! * **Prepared read-only statements** — [`Client::prepare`] parses a
+//!   SELECT once (shared through the node's statement cache) and
+//!   executes it many times with fresh parameters.
+//!
+//! * **Typed rows** — [`QueryBuilder::fetch_as`],
+//!   `QueryResult::rows_as::<T>()` and `row.get::<i64>("balance")`
+//!   decode results into Rust types, with failures as
+//!   [`Error::Decode`].
+//!
+//! * **Batch submission** — [`Client::submit_all`] signs and submits a
+//!   whole batch, returning a [`PendingBatch`] whose notifications are
+//!   fanned in to a single channel.
+//!
+//! * **Error taxonomy** — waits distinguish [`Error::Timeout`] (no
+//!   final status yet) from [`Error::TxAborted`] (a definitive abort
+//!   with the ledger's reason).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bcrdb_chain::ledger::TxStatus;
+use bcrdb_chain::tx::{Payload, Transaction};
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::ids::{BlockHeight, GlobalTxId};
+use bcrdb_common::value::{FromValue, IntoValue, Value};
+use bcrdb_engine::prepared::PreparedQuery;
+use bcrdb_engine::result::{FromRow, QueryResult};
+use bcrdb_node::TxNotification;
+use bcrdb_txn::ssi::Flow;
+use crossbeam_channel::Receiver;
+
+use crate::client::Client;
+use crate::network::NetworkInner;
+
+// ------------------------------------------------------------------ calls
+
+/// A contract invocation: name, arguments and an optional pinned
+/// snapshot height (EO flow only). Build one standalone with
+/// [`Call::new`] (for [`Client::submit_all`]) or fluently through
+/// [`Client::call`].
+#[derive(Clone, Debug)]
+pub struct Call {
+    pub(crate) contract: String,
+    pub(crate) args: Vec<Value>,
+    pub(crate) snapshot_height: Option<BlockHeight>,
+}
+
+impl Call {
+    /// Start a call to `contract`.
+    pub fn new(contract: impl Into<String>) -> Call {
+        Call {
+            contract: contract.into(),
+            args: Vec::new(),
+            snapshot_height: None,
+        }
+    }
+
+    /// Append one argument.
+    pub fn arg(mut self, v: impl IntoValue) -> Call {
+        self.args.push(v.into_value());
+        self
+    }
+
+    /// Append several arguments.
+    pub fn args<I>(mut self, items: I) -> Call
+    where
+        I: IntoIterator,
+        I::Item: IntoValue,
+    {
+        self.args
+            .extend(items.into_iter().map(IntoValue::into_value));
+        self
+    }
+
+    /// Pin the transaction to an explicit snapshot height (§3.4.1; the
+    /// execute-order-in-parallel flow only).
+    pub fn at_height(mut self, height: BlockHeight) -> Call {
+        self.snapshot_height = Some(height);
+        self
+    }
+
+    /// The target contract name.
+    pub fn contract(&self) -> &str {
+        &self.contract
+    }
+}
+
+/// Fluent builder for a single invocation, bound to a [`Client`].
+#[must_use = "a call builder does nothing until .submit() or .submit_wait()"]
+pub struct CallBuilder<'a> {
+    client: &'a Client,
+    call: Call,
+}
+
+impl<'a> CallBuilder<'a> {
+    pub(crate) fn new(client: &'a Client, contract: &str) -> CallBuilder<'a> {
+        CallBuilder {
+            client,
+            call: Call::new(contract),
+        }
+    }
+
+    /// Append one argument.
+    pub fn arg(mut self, v: impl IntoValue) -> Self {
+        self.call = self.call.arg(v);
+        self
+    }
+
+    /// Append several arguments.
+    pub fn args<I>(mut self, items: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: IntoValue,
+    {
+        self.call = self.call.args(items);
+        self
+    }
+
+    /// Pin the transaction to an explicit snapshot height (§3.4.1; the
+    /// execute-order-in-parallel flow only).
+    pub fn at_height(mut self, height: BlockHeight) -> Self {
+        self.call = self.call.at_height(height);
+        self
+    }
+
+    /// Detach the accumulated [`Call`] (e.g. to collect into a batch).
+    pub fn into_call(self) -> Call {
+        self.call
+    }
+
+    /// Sign and submit asynchronously; returns the in-flight handle.
+    pub fn submit(self) -> Result<PendingTx> {
+        self.client.submit(self.call)
+    }
+
+    /// Sign, submit, and wait for a **committed** outcome. Returns
+    /// [`Error::TxAborted`] if the network aborted the transaction and
+    /// [`Error::Timeout`] if no final status arrived within `timeout`.
+    pub fn submit_wait(self, timeout: Duration) -> Result<TxNotification> {
+        self.submit()?.wait_committed(timeout)
+    }
+
+    /// Like [`CallBuilder::submit_wait`], but transparently re-submits on
+    /// *retriable* serialization failures (SSI aborts, stale/phantom
+    /// snapshot reads) — the §3.4.1 client protocol: "retry at a newer
+    /// snapshot height". Calls without an explicit [`Self::at_height`]
+    /// re-pin to the fresh chain height on every attempt; explicitly
+    /// pinned calls retry at the same height (and so will keep failing if
+    /// the pin itself is stale — pinning is the caller's choice).
+    pub fn submit_wait_retrying(self, timeout: Duration) -> Result<TxNotification> {
+        self.client.submit_retrying(self.call, timeout)
+    }
+}
+
+// --------------------------------------------------------------- pending
+
+/// An in-flight transaction: the id plus its notification channel.
+pub struct PendingTx {
+    /// Network-unique transaction id.
+    pub id: GlobalTxId,
+    pub(crate) rx: Receiver<TxNotification>,
+}
+
+impl PendingTx {
+    /// Wait for the final status (committed **or** aborted). Returns
+    /// [`Error::Timeout`] when no final status arrives in time — the
+    /// transaction may still commit later; the caller can keep waiting.
+    pub fn wait(&self, timeout: Duration) -> Result<TxNotification> {
+        self.rx.recv_timeout(timeout).map_err(|_| {
+            Error::Timeout(format!(
+                "no final status for transaction {} within {timeout:?}",
+                self.id.short()
+            ))
+        })
+    }
+
+    /// Wait and require a committed outcome; a definitive abort becomes
+    /// [`Error::TxAborted`] carrying the ledger's reason.
+    pub fn wait_committed(&self, timeout: Duration) -> Result<TxNotification> {
+        let n = self.wait(timeout)?;
+        match &n.status {
+            TxStatus::Committed => Ok(n),
+            TxStatus::Aborted(reason) => Err(Error::TxAborted {
+                id: self.id,
+                reason: reason.clone(),
+            }),
+        }
+    }
+}
+
+/// A batch of in-flight transactions whose notifications fan in to one
+/// channel (one registration on the node instead of one channel per
+/// transaction).
+pub struct PendingBatch {
+    ids: Vec<GlobalTxId>,
+    rx: Receiver<TxNotification>,
+}
+
+impl PendingBatch {
+    /// Ids in submission order (deduplicated).
+    pub fn ids(&self) -> &[GlobalTxId] {
+        &self.ids
+    }
+
+    /// Number of distinct transactions in flight.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Wait for the final status of **every** transaction in the batch.
+    /// Results are returned in submission order regardless of commit
+    /// order. [`Error::Timeout`] if any member lacks a final status when
+    /// `timeout` elapses.
+    pub fn wait_all(&self, timeout: Duration) -> Result<Vec<TxNotification>> {
+        let deadline = Instant::now() + timeout;
+        let mut by_id: std::collections::HashMap<GlobalTxId, TxNotification> =
+            std::collections::HashMap::with_capacity(self.ids.len());
+        while by_id.len() < self.ids.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(Error::Timeout(format!(
+                    "batch: {} of {} transactions still unresolved after {timeout:?}",
+                    self.ids.len() - by_id.len(),
+                    self.ids.len()
+                )));
+            }
+            let n = self.rx.recv_timeout(deadline - now).map_err(|_| {
+                Error::Timeout(format!(
+                    "batch: {} of {} transactions still unresolved after {timeout:?}",
+                    self.ids.len() - by_id.len(),
+                    self.ids.len()
+                ))
+            })?;
+            by_id.insert(n.id, n);
+        }
+        Ok(self
+            .ids
+            .iter()
+            .map(|id| by_id.remove(id).expect("collected all ids"))
+            .collect())
+    }
+
+    /// Wait for every member and require all of them committed; the
+    /// first abort (in submission order) becomes [`Error::TxAborted`].
+    pub fn wait_committed_all(&self, timeout: Duration) -> Result<Vec<TxNotification>> {
+        let all = self.wait_all(timeout)?;
+        for n in &all {
+            if let TxStatus::Aborted(reason) = &n.status {
+                return Err(Error::TxAborted {
+                    id: n.id,
+                    reason: reason.clone(),
+                });
+            }
+        }
+        Ok(all)
+    }
+}
+
+// -------------------------------------------------------------- prepared
+
+/// A prepared read-only statement bound to the client's home node.
+/// Parse once, execute many times with fresh parameters.
+pub struct Prepared {
+    query: Arc<PreparedQuery>,
+    net: Arc<NetworkInner>,
+    node_idx: usize,
+}
+
+impl Prepared {
+    /// The SQL text this statement was prepared from.
+    pub fn sql(&self) -> &str {
+        self.query.sql()
+    }
+
+    /// Number of `$n` parameters the statement expects.
+    pub fn param_count(&self) -> usize {
+        self.query.param_count()
+    }
+
+    /// Execute at the current committed height (hot path: no builder
+    /// allocation beyond the params).
+    pub fn query(&self, params: &[Value]) -> Result<QueryResult> {
+        self.net.nodes[self.node_idx].query_prepared(&self.query, params)
+    }
+
+    /// Execute at a historical height (time travel / audits).
+    pub fn query_at(&self, params: &[Value], height: BlockHeight) -> Result<QueryResult> {
+        self.net.nodes[self.node_idx].query_prepared_at(&self.query, params, height)
+    }
+
+    /// Start a fluent execution with typed parameter binding.
+    pub fn run(&self) -> PreparedRun<'_> {
+        PreparedRun {
+            prepared: self,
+            params: Vec::new(),
+            height: None,
+        }
+    }
+}
+
+/// Fluent parameter binding for one execution of a [`Prepared`]
+/// statement.
+#[must_use = "a prepared run does nothing until .fetch()"]
+pub struct PreparedRun<'a> {
+    prepared: &'a Prepared,
+    params: Vec<Value>,
+    height: Option<BlockHeight>,
+}
+
+impl PreparedRun<'_> {
+    /// Bind the next `$n` parameter.
+    pub fn bind(mut self, v: impl IntoValue) -> Self {
+        self.params.push(v.into_value());
+        self
+    }
+
+    /// Read from the snapshot at `height` instead of the current tip.
+    pub fn at_height(mut self, height: BlockHeight) -> Self {
+        self.height = Some(height);
+        self
+    }
+
+    /// Execute and return the raw result.
+    pub fn fetch(self) -> Result<QueryResult> {
+        match self.height {
+            Some(h) => self.prepared.query_at(&self.params, h),
+            None => self.prepared.query(&self.params),
+        }
+    }
+
+    /// Execute and decode every row into `T`.
+    pub fn fetch_as<T: FromRow>(self) -> Result<Vec<T>> {
+        self.fetch()?.rows_as()
+    }
+
+    /// Execute and decode the single row into `T`.
+    pub fn fetch_one<T: FromRow>(self) -> Result<T> {
+        self.fetch()?.one_as()
+    }
+
+    /// Execute and decode the single scalar into `T`.
+    pub fn fetch_scalar<T: FromValue>(self) -> Result<T> {
+        self.fetch()?.scalar_as()
+    }
+}
+
+// --------------------------------------------------------------- queries
+
+/// Fluent builder for a one-off read-only query. Internally every fetch
+/// goes through the node's prepared-statement cache, so repeated SQL
+/// text is parsed once even without an explicit [`Client::prepare`].
+#[must_use = "a query builder does nothing until .fetch()"]
+pub struct QueryBuilder<'a> {
+    client: &'a Client,
+    sql: String,
+    params: Vec<Value>,
+    height: Option<BlockHeight>,
+}
+
+impl<'a> QueryBuilder<'a> {
+    pub(crate) fn new(client: &'a Client, sql: &str) -> QueryBuilder<'a> {
+        QueryBuilder {
+            client,
+            sql: sql.to_string(),
+            params: Vec::new(),
+            height: None,
+        }
+    }
+
+    /// Bind the next `$n` parameter.
+    pub fn bind(mut self, v: impl IntoValue) -> Self {
+        self.params.push(v.into_value());
+        self
+    }
+
+    /// Bind several parameters.
+    pub fn binds<I>(mut self, items: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: IntoValue,
+    {
+        self.params
+            .extend(items.into_iter().map(IntoValue::into_value));
+        self
+    }
+
+    /// Read from the snapshot at `height` instead of the current tip
+    /// (time travel / audits — the §4.3 libpq height extension).
+    pub fn at_height(mut self, height: BlockHeight) -> Self {
+        self.height = Some(height);
+        self
+    }
+
+    /// Execute and return the raw result.
+    pub fn fetch(self) -> Result<QueryResult> {
+        let node = &self.client.net.nodes[self.client.node_idx];
+        let q = node.prepare(&self.sql)?;
+        match self.height {
+            Some(h) => node.query_prepared_at(&q, &self.params, h),
+            None => node.query_prepared(&q, &self.params),
+        }
+    }
+
+    /// Execute and decode every row into `T`.
+    pub fn fetch_as<T: FromRow>(self) -> Result<Vec<T>> {
+        self.fetch()?.rows_as()
+    }
+
+    /// Execute and decode the single row into `T`.
+    pub fn fetch_one<T: FromRow>(self) -> Result<T> {
+        self.fetch()?.one_as()
+    }
+
+    /// Execute and decode the single scalar into `T`.
+    pub fn fetch_scalar<T: FromValue>(self) -> Result<T> {
+        self.fetch()?.scalar_as()
+    }
+}
+
+// ------------------------------------------------------- client surface
+
+impl Client {
+    /// Start a fluent contract invocation:
+    /// `client.call("transfer").arg(1).arg(2).arg(40.0).submit()`.
+    pub fn call(&self, contract: &str) -> CallBuilder<'_> {
+        CallBuilder::new(self, contract)
+    }
+
+    /// Sign and submit a [`Call`] asynchronously. In the EO flow the
+    /// transaction is submitted to the client's node at the call's
+    /// snapshot height (default: the current chain height); in the OE
+    /// flow it goes straight to the ordering service (§3.3.1).
+    pub fn submit(&self, call: Call) -> Result<PendingTx> {
+        let tx = self.sign_call(call)?;
+        let node = &self.net.nodes[self.node_idx];
+        // Register before submitting so the notification cannot race
+        // past us; deregister again if submission itself fails.
+        let rx = node.wait_for(tx.id);
+        let id = tx.id;
+        let submitted = match self.net.config.flow {
+            Flow::ExecuteOrderParallel => node.submit_local(tx),
+            Flow::OrderThenExecute => self.net.ordering.submit(tx),
+        };
+        if let Err(e) = submitted {
+            drop(rx);
+            node.cancel_wait(&id);
+            return Err(e);
+        }
+        Ok(PendingTx { id, rx })
+    }
+
+    /// Sign and submit a whole batch, fanning every notification into a
+    /// single channel. Duplicate calls (same contract, args and
+    /// snapshot height hash to the same global id in the EO flow) are
+    /// submitted once. Returns a [`PendingBatch`].
+    pub fn submit_all<I>(&self, calls: I) -> Result<PendingBatch>
+    where
+        I: IntoIterator<Item = Call>,
+    {
+        let mut txs: Vec<Transaction> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for call in calls {
+            let tx = self.sign_call(call)?;
+            if seen.insert(tx.id) {
+                txs.push(tx);
+            }
+        }
+        let ids: Vec<GlobalTxId> = txs.iter().map(|t| t.id).collect();
+        let node = &self.net.nodes[self.node_idx];
+        // Register the fan-in *before* submitting so no notification can
+        // race past the registration.
+        let rx = node.wait_for_batch(&ids);
+        let flow = self.net.config.flow;
+        for tx in txs {
+            let submitted = match flow {
+                Flow::ExecuteOrderParallel => node.submit_local(tx),
+                Flow::OrderThenExecute => self.net.ordering.submit(tx),
+            };
+            if let Err(e) = submitted {
+                // Members submitted before the failure stay in flight
+                // network-side, but the caller gets no batch handle:
+                // drop the fan-in channel and prune every registration
+                // so the hub does not leak.
+                drop(rx);
+                for id in &ids {
+                    node.cancel_wait(id);
+                }
+                return Err(e);
+            }
+        }
+        Ok(PendingBatch { ids, rx })
+    }
+
+    /// Submit a call and wait for commitment, retrying retriable
+    /// serialization failures with a short backoff (each retry re-signs,
+    /// and — unless the call pinned a height — re-pins at the fresh
+    /// chain height). At most five retries; terminal aborts and
+    /// timeouts propagate immediately.
+    pub fn submit_retrying(&self, call: Call, timeout: Duration) -> Result<TxNotification> {
+        let mut attempts: u64 = 0;
+        loop {
+            match self.submit(call.clone())?.wait_committed(timeout) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.is_retriable() && attempts < 5 => {
+                    attempts += 1;
+                    std::thread::sleep(Duration::from_millis(5 * attempts));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Prepare a read-only statement against this client's node: parsed
+    /// once (shared through the node's statement cache), executed many
+    /// times with fresh parameters.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        let query = self.net.nodes[self.node_idx].prepare(sql)?;
+        Ok(Prepared {
+            query,
+            net: Arc::clone(&self.net),
+            node_idx: self.node_idx,
+        })
+    }
+
+    /// Start a fluent read-only query:
+    /// `client.select("SELECT balance FROM accounts WHERE id = $1").bind(1).fetch()`.
+    ///
+    /// Reads execute on this client's node only and are not recorded on
+    /// the blockchain (§3.7).
+    pub fn select(&self, sql: &str) -> QueryBuilder<'_> {
+        QueryBuilder::new(self, sql)
+    }
+
+    fn sign_call(&self, call: Call) -> Result<Transaction> {
+        let Call {
+            contract,
+            args,
+            snapshot_height,
+        } = call;
+        match self.net.config.flow {
+            Flow::ExecuteOrderParallel => {
+                let height = snapshot_height.unwrap_or_else(|| self.chain_height());
+                Transaction::new_execute_order(
+                    &self.name,
+                    Payload::new(&contract, args),
+                    height,
+                    &self.key,
+                )
+            }
+            Flow::OrderThenExecute => {
+                if snapshot_height.is_some() {
+                    return Err(Error::Config(
+                        "snapshot heights only apply to the execute-order-in-parallel flow".into(),
+                    ));
+                }
+                let nonce = self
+                    .net
+                    .nonce
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Transaction::new_order_execute(
+                    &self.name,
+                    Payload::new(&contract, args),
+                    nonce,
+                    &self.key,
+                )
+            }
+        }
+    }
+}

@@ -117,7 +117,9 @@ fn arg_text<'a>(args: &'a [Value], i: usize, what: &str) -> Result<&'a str> {
 
 fn find_deployment(nc: &NativeCtx<'_>, id: i64) -> Result<(Arc<bcrdb_storage::Table>, VisibleRow)> {
     let table = nc.catalog.get("deployments")?;
-    let rows = nc.ctx.scan(&table, Some((0, &KeyRange::eq(Value::Int(id)))))?;
+    let rows = nc
+        .ctx
+        .scan(&table, Some((0, &KeyRange::eq(Value::Int(id)))))?;
     let row = rows
         .into_iter()
         .next()
@@ -209,7 +211,10 @@ fn comment_deploytx(nc: &NativeCtx<'_>) -> Result<Vec<StatementEffect>> {
     let id = arg_int(nc.args, 0, "deployment id")?;
     let comment = arg_text(nc.args, 1, "comment")?;
     let digest = sha256(comment.as_bytes());
-    let suffix = format!("{:02x}{:02x}{:02x}{:02x}", digest[0], digest[1], digest[2], digest[3]);
+    let suffix = format!(
+        "{:02x}{:02x}{:02x}{:02x}",
+        digest[0], digest[1], digest[2], digest[3]
+    );
     record_vote(nc, id, "comment", Some(comment), Some(&suffix))?;
     Ok(vec![])
 }
@@ -314,12 +319,14 @@ fn create_usertx(nc: &NativeCtx<'_>) -> Result<Vec<StatementEffect>> {
             Value::Text("active".into()),
         ],
     )?;
-    Ok(vec![StatementEffect::Catalog(CatalogOp::RegisterCert(Certificate {
-        name,
-        org,
-        role,
-        public_key,
-    }))])
+    Ok(vec![StatementEffect::Catalog(CatalogOp::RegisterCert(
+        Certificate {
+            name,
+            org,
+            role,
+            public_key,
+        },
+    ))])
 }
 
 /// `delete_usertx(name TEXT)` — revokes a certificate.
@@ -343,7 +350,9 @@ fn delete_usertx(nc: &NativeCtx<'_>) -> Result<Vec<StatementEffect>> {
     let mut new_row = row.data.clone();
     new_row[3] = Value::Text("deleted".into());
     nc.ctx.update(&table, &row, new_row)?;
-    Ok(vec![StatementEffect::Catalog(CatalogOp::RevokeCert { name })])
+    Ok(vec![StatementEffect::Catalog(CatalogOp::RevokeCert {
+        name,
+    })])
 }
 
 #[cfg(test)]

@@ -138,7 +138,11 @@ impl KeyPair {
             Scheme::HashBased { height } => {
                 let sk = MssPrivateKey::generate(seed, height);
                 let public = PublicKey::HashBased(sk.public_key());
-                KeyPair { name, public, inner: KeyPairInner::HashBased(sk) }
+                KeyPair {
+                    name,
+                    public,
+                    inner: KeyPairInner::HashBased(sk),
+                }
             }
             Scheme::Sim => {
                 let mut h = Sha256::new();
@@ -146,7 +150,11 @@ impl KeyPair {
                 h.update(seed);
                 let secret = h.finalize();
                 let public = PublicKey::Sim(sha256(&secret));
-                KeyPair { name, public, inner: KeyPairInner::Sim }
+                KeyPair {
+                    name,
+                    public,
+                    inner: KeyPairInner::Sim,
+                }
             }
         }
     }

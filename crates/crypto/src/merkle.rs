@@ -61,7 +61,9 @@ impl MerkleTree {
     /// prefixed), so empty blocks still chain correctly.
     pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> MerkleTree {
         if leaves.is_empty() {
-            return MerkleTree { levels: vec![vec![leaf_hash(b"")]] };
+            return MerkleTree {
+                levels: vec![vec![leaf_hash(b"")]],
+            };
         }
         let mut levels = Vec::new();
         let mut current: Vec<Digest> = leaves.iter().map(|l| leaf_hash(l.as_ref())).collect();
@@ -88,7 +90,9 @@ impl MerkleTree {
     /// used by the MSS where leaves are already hashes of public keys.
     pub fn from_leaf_digests(digests: Vec<Digest>) -> MerkleTree {
         if digests.is_empty() {
-            return MerkleTree { levels: vec![vec![leaf_hash(b"")]] };
+            return MerkleTree {
+                levels: vec![vec![leaf_hash(b"")]],
+            };
         }
         let mut levels = vec![digests];
         while levels.last().unwrap().len() > 1 {
@@ -132,10 +136,16 @@ impl MerkleTree {
             } else {
                 level[i] // odd promotion pairs with itself
             };
-            steps.push(ProofStep { sibling, sibling_is_left: i % 2 == 1 });
+            steps.push(ProofStep {
+                sibling,
+                sibling_is_left: i % 2 == 1,
+            });
             i /= 2;
         }
-        MerkleProof { leaf_index: index, steps }
+        MerkleProof {
+            leaf_index: index,
+            steps,
+        }
     }
 
     /// Verify a proof that `leaf_payload` is a member of the tree with the

@@ -97,7 +97,10 @@ impl MssPrivateKey {
 
     /// The corresponding public key.
     pub fn public_key(&self) -> MssPublicKey {
-        MssPublicKey { root: self.tree.root(), height: self.height }
+        MssPublicKey {
+            root: self.tree.root(),
+            height: self.height,
+        }
     }
 
     /// Number of signatures still available.
@@ -115,7 +118,11 @@ impl MssPrivateKey {
         let sk = WotsPrivateKey::derive(&self.master_seed, leaf);
         let wots = sk.sign(digest);
         let auth_path = self.tree.prove(leaf as usize);
-        Some(MssSignature { leaf_index: leaf, wots, auth_path })
+        Some(MssSignature {
+            leaf_index: leaf,
+            wots,
+            auth_path,
+        })
     }
 }
 

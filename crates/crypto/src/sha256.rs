@@ -46,7 +46,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Fresh hasher.
     pub fn new() -> Sha256 {
-        Sha256 { state: H0, len: 0, buf: [0u8; 64], buf_len: 0 }
+        Sha256 {
+            state: H0,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
     }
 
     /// Absorb input bytes.
@@ -185,7 +190,9 @@ mod tests {
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
         );
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
         assert_eq!(
@@ -239,10 +246,7 @@ mod tests {
     #[test]
     fn length_boundary_padding() {
         // 55, 56 and 64 byte messages exercise all padding branches.
-        assert_eq!(
-            hex(&sha256(&[b'x'; 55])),
-            hex(&sha256(&[b'x'; 55])),
-        );
+        assert_eq!(hex(&sha256(&[b'x'; 55])), hex(&sha256(&[b'x'; 55])),);
         let d55 = sha256(&[0u8; 55]);
         let d56 = sha256(&[0u8; 56]);
         let d64 = sha256(&[0u8; 64]);

@@ -15,11 +15,11 @@ use std::collections::HashMap;
 
 use bcrdb_common::error::{Error, Result};
 use bcrdb_common::schema::{Column, TableSchema};
-use bcrdb_crypto::identity::{Certificate, CertificateRegistry};
 use bcrdb_common::value::{Row, Value};
+use bcrdb_crypto::identity::{Certificate, CertificateRegistry};
 use bcrdb_sql::ast::{
-    BinaryOp, Expr, FromClause, FunctionDef, InsertSource, Join, OrderItem, SelectItem,
-    SelectStmt, Statement, TableRef,
+    BinaryOp, Expr, FromClause, FunctionDef, InsertSource, Join, OrderItem, SelectItem, SelectStmt,
+    Statement, TableRef,
 };
 use bcrdb_storage::catalog::Catalog;
 use bcrdb_storage::index::KeyRange;
@@ -82,9 +82,11 @@ pub fn apply_catalog_op(
             catalog.create_table(schema.clone())?;
             Ok(())
         }
-        CatalogOp::CreateIndex { table, index, column } => {
-            catalog.get(table)?.add_index(index, column)
-        }
+        CatalogOp::CreateIndex {
+            table,
+            index,
+            column,
+        } => catalog.get(table)?.add_index(index, column),
         CatalogOp::DropTable { name, if_exists } => catalog.drop_table(name, *if_exists),
         CatalogOp::CreateFunction(def) => contracts.install(def.clone()),
         CatalogOp::DropFunction { name } => contracts.remove(name),
@@ -135,40 +137,69 @@ type Dataset = (RowSchema, Vec<Row>);
 impl<'a> Executor<'a> {
     /// Create an executor.
     pub fn new(catalog: &'a Catalog, ctx: &'a TxnCtx, params: &'a [Value]) -> Executor<'a> {
-        Executor { catalog, ctx, params }
+        Executor {
+            catalog,
+            ctx,
+            params,
+        }
     }
 
     /// Execute one statement.
     pub fn execute(&self, stmt: &Statement) -> Result<StatementEffect> {
         match stmt {
             Statement::Select(sel) => Ok(StatementEffect::Rows(self.run_select(sel)?)),
-            Statement::Insert { table, columns, source } => {
-                Ok(StatementEffect::Count(self.run_insert(table, columns.as_deref(), source)?))
-            }
-            Statement::Update { table, assignments, predicate } => Ok(StatementEffect::Count(
-                self.run_update(table, assignments, predicate.as_ref())?,
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => Ok(StatementEffect::Count(self.run_insert(
+                table,
+                columns.as_deref(),
+                source,
+            )?)),
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => Ok(StatementEffect::Count(self.run_update(
+                table,
+                assignments,
+                predicate.as_ref(),
+            )?)),
+            Statement::Delete { table, predicate } => Ok(StatementEffect::Count(
+                self.run_delete(table, predicate.as_ref())?,
             )),
-            Statement::Delete { table, predicate } => {
-                Ok(StatementEffect::Count(self.run_delete(table, predicate.as_ref())?))
-            }
-            Statement::CreateTable { name, columns, primary_key } => {
-                Ok(StatementEffect::Catalog(build_create_table(name, columns, primary_key)?))
-            }
-            Statement::CreateIndex { name, table, column } => {
-                Ok(StatementEffect::Catalog(CatalogOp::CreateIndex {
-                    table: table.clone(),
-                    index: name.clone(),
-                    column: column.clone(),
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => Ok(StatementEffect::Catalog(build_create_table(
+                name,
+                columns,
+                primary_key,
+            )?)),
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+            } => Ok(StatementEffect::Catalog(CatalogOp::CreateIndex {
+                table: table.clone(),
+                index: name.clone(),
+                column: column.clone(),
+            })),
+            Statement::DropTable { name, if_exists } => {
+                Ok(StatementEffect::Catalog(CatalogOp::DropTable {
+                    name: name.clone(),
+                    if_exists: *if_exists,
                 }))
             }
-            Statement::DropTable { name, if_exists } => Ok(StatementEffect::Catalog(
-                CatalogOp::DropTable { name: name.clone(), if_exists: *if_exists },
+            Statement::CreateFunction(def) => Ok(StatementEffect::Catalog(
+                CatalogOp::CreateFunction(def.clone()),
             )),
-            Statement::CreateFunction(def) => {
-                Ok(StatementEffect::Catalog(CatalogOp::CreateFunction(def.clone())))
-            }
             Statement::DropFunction { name } => {
-                Ok(StatementEffect::Catalog(CatalogOp::DropFunction { name: name.clone() }))
+                Ok(StatementEffect::Catalog(CatalogOp::DropFunction {
+                    name: name.clone(),
+                }))
             }
         }
     }
@@ -186,7 +217,11 @@ impl<'a> Executor<'a> {
         if let Some(pred) = &sel.predicate {
             let mut kept = Vec::with_capacity(rows.len());
             for row in rows {
-                let env = Env { schema: &schema, row: &row, params: self.params };
+                let env = Env {
+                    schema: &schema,
+                    row: &row,
+                    params: self.params,
+                };
                 if eval(pred, &env)?.is_truthy() {
                     kept.push(row);
                 }
@@ -210,7 +245,11 @@ impl<'a> Executor<'a> {
         // LIMIT.
         if let Some(limit_expr) = &sel.limit {
             let empty = RowSchema::default();
-            let env = Env { schema: &empty, row: &[], params: self.params };
+            let env = Env {
+                schema: &empty,
+                row: &[],
+                params: self.params,
+            };
             let n = eval(limit_expr, &env)?.as_i64()?;
             let n = usize::try_from(n.max(0)).unwrap_or(usize::MAX);
             result.rows.truncate(n);
@@ -238,7 +277,11 @@ impl<'a> Executor<'a> {
             Some(p) => self.ctx.scan(&table, Some((p.column, &p.range)))?,
             None => self.ctx.scan(&table, None)?,
         };
-        let names: Vec<String> = table_schema.columns.iter().map(|c| c.name.clone()).collect();
+        let names: Vec<String> = table_schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         let schema = RowSchema::for_table(&alias, &names);
         Ok((schema, rows.into_iter().map(|r| r.data).collect()))
     }
@@ -256,21 +299,18 @@ impl<'a> Executor<'a> {
             let (right_schema, right_rows) =
                 provenance::history_scan(self.catalog, self.ctx, &join.table)?;
             let schema = left_schema.join(&right_schema);
-            let rows = nested_loop(
-                &schema,
-                &left_rows,
-                &right_rows,
-                &join.on,
-                self.params,
-            )?;
+            let rows = nested_loop(&schema, &left_rows, &right_rows, &join.on, self.params)?;
             return Ok((schema, rows));
         }
 
         let right_table = self.catalog.get(&join.table.name)?;
         let right_alias = join.table.effective_name().to_string();
         let right_table_schema = right_table.schema();
-        let names: Vec<String> =
-            right_table_schema.columns.iter().map(|c| c.name.clone()).collect();
+        let names: Vec<String> = right_table_schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         let right_schema = RowSchema::for_table(&right_alias, &names);
         let combined = left_schema.join(&right_schema);
 
@@ -281,7 +321,11 @@ impl<'a> Executor<'a> {
                 // precise predicate locks (EO-flow friendly).
                 let mut out = Vec::new();
                 for lrow in &left_rows {
-                    let env = Env { schema: &left_schema, row: lrow, params: self.params };
+                    let env = Env {
+                        schema: &left_schema,
+                        row: lrow,
+                        params: self.params,
+                    };
                     let key = eval(key_expr, &env)?;
                     if key.is_null() {
                         continue;
@@ -291,7 +335,11 @@ impl<'a> Executor<'a> {
                     for m in matches {
                         let mut row = lrow.clone();
                         row.extend(m.data);
-                        let env = Env { schema: &combined, row: &row, params: self.params };
+                        let env = Env {
+                            schema: &combined,
+                            row: &row,
+                            params: self.params,
+                        };
                         if eval(&join.on, &env)?.is_truthy() {
                             out.push(row);
                         }
@@ -321,7 +369,11 @@ impl<'a> Executor<'a> {
             }
             let mut out = Vec::new();
             for lrow in &left_rows {
-                let env = Env { schema: &left_schema, row: lrow, params: self.params };
+                let env = Env {
+                    schema: &left_schema,
+                    row: lrow,
+                    params: self.params,
+                };
                 let key = eval(key_expr, &env)?;
                 if key.is_null() {
                     continue;
@@ -330,7 +382,11 @@ impl<'a> Executor<'a> {
                     for m in matches {
                         let mut row = lrow.clone();
                         row.extend(m.iter().cloned());
-                        let env = Env { schema: &combined, row: &row, params: self.params };
+                        let env = Env {
+                            schema: &combined,
+                            row: &row,
+                            params: self.params,
+                        };
                         if eval(&join.on, &env)?.is_truthy() {
                             out.push(row);
                         }
@@ -355,7 +411,11 @@ impl<'a> Executor<'a> {
         let columns = output_columns(&sel.projections, schema)?;
         let mut outputs: Vec<(Row, Row)> = Vec::with_capacity(rows.len()); // (input, output)
         for row in rows {
-            let env = Env { schema, row: &row, params: self.params };
+            let env = Env {
+                schema,
+                row: &row,
+                params: self.params,
+            };
             let mut out = Vec::with_capacity(columns.len());
             for item in &sel.projections {
                 match item {
@@ -381,9 +441,15 @@ impl<'a> Executor<'a> {
                 keyed.push((keys, output));
             }
             sort_by_keys(&mut keyed, &sel.order_by);
-            return Ok(QueryResult { columns, rows: keyed.into_iter().map(|(_, r)| r).collect() });
+            return Ok(QueryResult {
+                columns,
+                rows: keyed.into_iter().map(|(_, r)| r).collect(),
+            });
         }
-        Ok(QueryResult { columns, rows: outputs.into_iter().map(|(_, o)| o).collect() })
+        Ok(QueryResult {
+            columns,
+            rows: outputs.into_iter().map(|(_, o)| o).collect(),
+        })
     }
 
     fn order_keys(
@@ -402,7 +468,11 @@ impl<'a> Executor<'a> {
                     continue;
                 }
             }
-            let env = Env { schema, row: input, params: self.params };
+            let env = Env {
+                schema,
+                row: input,
+                params: self.params,
+            };
             keys.push(eval(&item.expr, &env)?);
         }
         Ok(keys)
@@ -417,7 +487,10 @@ impl<'a> Executor<'a> {
         rows: Vec<Row>,
     ) -> Result<QueryResult> {
         for item in &sel.projections {
-            if matches!(item, SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)) {
+            if matches!(
+                item,
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)
+            ) {
                 return Err(Error::Analysis(
                     "wildcard projections are not valid in aggregate queries".into(),
                 ));
@@ -456,7 +529,11 @@ impl<'a> Executor<'a> {
         }
         let mut groups: BTreeMap<Vec<Value>, Group> = BTreeMap::new();
         for row in rows {
-            let env = Env { schema, row: &row, params: self.params };
+            let env = Env {
+                schema,
+                row: &row,
+                params: self.params,
+            };
             let mut key = Vec::with_capacity(sel.group_by.len());
             for g in &sel.group_by {
                 key.push(eval(g, &env)?);
@@ -465,11 +542,18 @@ impl<'a> Executor<'a> {
                 Some(g) => g,
                 None => {
                     let accs = agg_exprs.iter().map(AggAcc::new).collect::<Result<_>>()?;
-                    groups.entry(key.clone()).or_insert(Group { rep: row.clone(), accs });
+                    groups.entry(key.clone()).or_insert(Group {
+                        rep: row.clone(),
+                        accs,
+                    });
                     groups.get_mut(&key).expect("just inserted")
                 }
             };
-            let env = Env { schema, row: &row, params: self.params };
+            let env = Env {
+                schema,
+                row: &row,
+                params: self.params,
+            };
             for (acc, aexpr) in group.accs.iter_mut().zip(&agg_exprs) {
                 acc.fold(aexpr, &env)?;
             }
@@ -477,7 +561,13 @@ impl<'a> Executor<'a> {
         // Aggregates without GROUP BY over zero rows: one empty group.
         if groups.is_empty() && sel.group_by.is_empty() {
             let accs = agg_exprs.iter().map(AggAcc::new).collect::<Result<_>>()?;
-            groups.insert(Vec::new(), Group { rep: Vec::new(), accs });
+            groups.insert(
+                Vec::new(),
+                Group {
+                    rep: Vec::new(),
+                    accs,
+                },
+            );
         }
 
         let columns = output_columns(&sel.projections, schema)?;
@@ -490,9 +580,16 @@ impl<'a> Executor<'a> {
             } else {
                 group.rep.clone()
             };
-            let agg_values: Vec<Value> =
-                group.accs.iter().map(AggAcc::finish).collect::<Result<_>>()?;
-            let env = Env { schema, row: &rep, params: self.params };
+            let agg_values: Vec<Value> = group
+                .accs
+                .iter()
+                .map(AggAcc::finish)
+                .collect::<Result<_>>()?;
+            let env = Env {
+                schema,
+                row: &rep,
+                params: self.params,
+            };
             // HAVING.
             if let Some(h) = &sel.having {
                 if !eval_with_aggs(h, &env, &agg_exprs, &agg_values)?.is_truthy() {
@@ -521,7 +618,10 @@ impl<'a> Executor<'a> {
         if !sel.order_by.is_empty() {
             sort_by_keys(&mut keyed, &sel.order_by);
         }
-        Ok(QueryResult { columns, rows: keyed.into_iter().map(|(_, r)| r).collect() })
+        Ok(QueryResult {
+            columns,
+            rows: keyed.into_iter().map(|(_, r)| r).collect(),
+        })
     }
 
     // --------------------------------------------------------------- DML
@@ -551,7 +651,11 @@ impl<'a> Executor<'a> {
                 let empty = RowSchema::default();
                 let mut out = Vec::with_capacity(expr_rows.len());
                 for exprs in expr_rows {
-                    let env = Env { schema: &empty, row: &[], params: self.params };
+                    let env = Env {
+                        schema: &empty,
+                        row: &[],
+                        params: self.params,
+                    };
                     let mut row = Vec::with_capacity(exprs.len());
                     for e in exprs {
                         row.push(eval(e, &env)?);
@@ -596,12 +700,9 @@ impl<'a> Executor<'a> {
         let assigned: Vec<(usize, &Expr)> = assignments
             .iter()
             .map(|(name, e)| {
-                schema
-                    .column_index(name)
-                    .map(|i| (i, e))
-                    .ok_or_else(|| {
-                        Error::Analysis(format!("unknown column {name} in table {table_name}"))
-                    })
+                schema.column_index(name).map(|i| (i, e)).ok_or_else(|| {
+                    Error::Analysis(format!("unknown column {name} in table {table_name}"))
+                })
             })
             .collect::<Result<_>>()?;
 
@@ -614,12 +715,20 @@ impl<'a> Executor<'a> {
         let mut count = 0;
         for target in targets {
             if let Some(pred) = predicate {
-                let env = Env { schema: &row_schema, row: &target.data, params: self.params };
+                let env = Env {
+                    schema: &row_schema,
+                    row: &target.data,
+                    params: self.params,
+                };
                 if !eval(pred, &env)?.is_truthy() {
                     continue;
                 }
             }
-            let env = Env { schema: &row_schema, row: &target.data, params: self.params };
+            let env = Env {
+                schema: &row_schema,
+                row: &target.data,
+                params: self.params,
+            };
             let mut new_row = target.data.clone();
             for (ordinal, e) in &assigned {
                 new_row[*ordinal] = eval(e, &env)?;
@@ -644,7 +753,11 @@ impl<'a> Executor<'a> {
         let mut count = 0;
         for target in targets {
             if let Some(pred) = predicate {
-                let env = Env { schema: &row_schema, row: &target.data, params: self.params };
+                let env = Env {
+                    schema: &row_schema,
+                    row: &target.data,
+                    params: self.params,
+                };
                 if !eval(pred, &env)?.is_truthy() {
                     continue;
                 }
@@ -668,7 +781,11 @@ fn nested_loop(
         for rrow in right_rows {
             let mut row = lrow.clone();
             row.extend(rrow.iter().cloned());
-            let env = Env { schema: combined, row: &row, params };
+            let env = Env {
+                schema: combined,
+                row: &row,
+                params,
+            };
             if eval(on, &env)?.is_truthy() {
                 out.push(row);
             }
@@ -744,11 +861,17 @@ fn eval_with_aggs(
         Expr::Unary { op, operand } => {
             let v = eval_with_aggs(operand, env, agg_exprs, agg_values)?;
             eval(
-                &Expr::Unary { op: *op, operand: Box::new(Expr::Literal(v)) },
+                &Expr::Unary {
+                    op: *op,
+                    operand: Box::new(Expr::Literal(v)),
+                },
                 env,
             )
         }
-        Expr::IsNull { expr: inner, negated } => {
+        Expr::IsNull {
+            expr: inner,
+            negated,
+        } => {
             let v = eval_with_aggs(inner, env, agg_exprs, agg_values)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
@@ -879,7 +1002,11 @@ fn build_create_table(
 ) -> Result<CatalogOp> {
     let cols: Vec<Column> = columns
         .iter()
-        .map(|c| Column { name: c.name.clone(), dtype: c.dtype, nullable: c.nullable })
+        .map(|c| Column {
+            name: c.name.clone(),
+            dtype: c.dtype,
+            nullable: c.nullable,
+        })
         .collect();
     let mut pk: Vec<usize> = columns
         .iter()

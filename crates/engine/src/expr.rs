@@ -66,7 +66,9 @@ impl RowSchema {
             };
             if qual_matches && col == name {
                 if found.is_some() {
-                    return Err(Error::Analysis(format!("ambiguous column reference {name}")));
+                    return Err(Error::Analysis(format!(
+                        "ambiguous column reference {name}"
+                    )));
                 }
                 found = Some(i);
             }
@@ -131,7 +133,11 @@ pub fn eval(expr: &Expr, env: &Env<'_>) -> Result<Value> {
             let v = eval(expr, env)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, env)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -151,7 +157,12 @@ pub fn eval(expr: &Expr, env: &Env<'_>) -> Result<Value> {
                 Ok(Value::Bool(*negated))
             }
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval(expr, env)?;
             let lo = eval(low, env)?;
             let hi = eval(high, env)?;
@@ -243,7 +254,9 @@ fn eval_scalar_function(name: &str, args: &[Expr], env: &Env<'_>) -> Result<Valu
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => Ok(Value::Int(i.abs())),
                 Value::Float(f) => Ok(Value::Float(f.abs())),
-                other => Err(Error::Type(format!("abs() requires a number, got {other:?}"))),
+                other => Err(Error::Type(format!(
+                    "abs() requires a number, got {other:?}"
+                ))),
             }
         }
         "length" => {
@@ -252,7 +265,9 @@ fn eval_scalar_function(name: &str, args: &[Expr], env: &Env<'_>) -> Result<Valu
                 Value::Null => Ok(Value::Null),
                 Value::Text(s) => Ok(Value::Int(s.chars().count() as i64)),
                 Value::Bytes(b) => Ok(Value::Int(b.len() as i64)),
-                other => Err(Error::Type(format!("length() requires text, got {other:?}"))),
+                other => Err(Error::Type(format!(
+                    "length() requires text, got {other:?}"
+                ))),
             }
         }
         "lower" => {
@@ -273,7 +288,9 @@ fn eval_scalar_function(name: &str, args: &[Expr], env: &Env<'_>) -> Result<Valu
         }
         "coalesce" => {
             if args.is_empty() {
-                return Err(Error::Analysis("coalesce() needs at least one argument".into()));
+                return Err(Error::Analysis(
+                    "coalesce() needs at least one argument".into(),
+                ));
             }
             for a in args {
                 let v = eval(a, env)?;
@@ -289,7 +306,9 @@ fn eval_scalar_function(name: &str, args: &[Expr], env: &Env<'_>) -> Result<Valu
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => Ok(Value::Int(i)),
                 Value::Float(f) => Ok(Value::Float(f.round())),
-                other => Err(Error::Type(format!("round() requires a number, got {other:?}"))),
+                other => Err(Error::Type(format!(
+                    "round() requires a number, got {other:?}"
+                ))),
             }
         }
         other => Err(Error::Analysis(format!("unknown function {other}()"))),
@@ -312,7 +331,11 @@ mod tests {
     fn eval_str(s: &str, row: &[Value], params: &[Value]) -> Result<Value> {
         let e = parse_expression(s).unwrap();
         let schema = schema();
-        let env = Env { schema: &schema, row, params };
+        let env = Env {
+            schema: &schema,
+            row,
+            params,
+        };
         eval(&e, &env)
     }
 
@@ -330,7 +353,10 @@ mod tests {
     #[test]
     fn arithmetic_and_comparison() {
         let row = vec![Value::Int(10), Value::Int(3), Value::Int(0)];
-        assert_eq!(eval_str("t.a + t.b * 2", &row, &[]).unwrap(), Value::Int(16));
+        assert_eq!(
+            eval_str("t.a + t.b * 2", &row, &[]).unwrap(),
+            Value::Int(16)
+        );
         assert_eq!(eval_str("t.a > t.b", &row, &[]).unwrap(), Value::Bool(true));
         assert_eq!(eval_str("t.a % t.b", &row, &[]).unwrap(), Value::Int(1));
         assert_eq!(eval_str("-t.b", &row, &[]).unwrap(), Value::Int(-3));
@@ -339,7 +365,10 @@ mod tests {
     #[test]
     fn params() {
         let row = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
-        assert_eq!(eval_str("$1 + $2", &row, &[Value::Int(5), Value::Int(6)]).unwrap(), Value::Int(11));
+        assert_eq!(
+            eval_str("$1 + $2", &row, &[Value::Int(5), Value::Int(6)]).unwrap(),
+            Value::Int(11)
+        );
         assert!(eval_str("$3", &row, &[Value::Int(5)]).is_err());
     }
 
@@ -349,35 +378,71 @@ mod tests {
         // NULL = NULL is unknown.
         assert_eq!(eval_str("t.a = t.a", &row, &[]).unwrap(), Value::Null);
         // FALSE AND NULL = FALSE; TRUE OR NULL = TRUE.
-        assert_eq!(eval_str("u.a AND t.a", &row, &[]).unwrap(), Value::Bool(false));
-        assert_eq!(eval_str("t.b OR t.a", &row, &[]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("u.a AND t.a", &row, &[]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_str("t.b OR t.a", &row, &[]).unwrap(),
+            Value::Bool(true)
+        );
         // TRUE AND NULL = NULL.
         assert_eq!(eval_str("t.b AND t.a", &row, &[]).unwrap(), Value::Null);
         assert_eq!(eval_str("NOT t.a", &row, &[]).unwrap(), Value::Null);
-        assert_eq!(eval_str("t.a IS NULL", &row, &[]).unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("t.b IS NOT NULL", &row, &[]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("t.a IS NULL", &row, &[]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("t.b IS NOT NULL", &row, &[]).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
     fn in_list_and_between() {
         let row = vec![Value::Int(5), Value::Null, Value::Int(0)];
-        assert_eq!(eval_str("t.a IN (1, 5, 9)", &row, &[]).unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("t.a NOT IN (1, 9)", &row, &[]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("t.a IN (1, 5, 9)", &row, &[]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("t.a NOT IN (1, 9)", &row, &[]).unwrap(),
+            Value::Bool(true)
+        );
         // x IN (..., NULL) without a match is unknown.
         assert_eq!(eval_str("t.a IN (1, t.b)", &row, &[]).unwrap(), Value::Null);
-        assert_eq!(eval_str("t.a BETWEEN 1 AND 9", &row, &[]).unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("t.a NOT BETWEEN 6 AND 9", &row, &[]).unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("t.a BETWEEN t.b AND 9", &row, &[]).unwrap(), Value::Null);
+        assert_eq!(
+            eval_str("t.a BETWEEN 1 AND 9", &row, &[]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("t.a NOT BETWEEN 6 AND 9", &row, &[]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("t.a BETWEEN t.b AND 9", &row, &[]).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
     fn scalar_functions() {
         let row = vec![Value::Text("Héllo".into()), Value::Int(-4), Value::Null];
         assert_eq!(eval_str("length(t.a)", &row, &[]).unwrap(), Value::Int(5));
-        assert_eq!(eval_str("upper(t.a)", &row, &[]).unwrap(), Value::Text("HÉLLO".into()));
+        assert_eq!(
+            eval_str("upper(t.a)", &row, &[]).unwrap(),
+            Value::Text("HÉLLO".into())
+        );
         assert_eq!(eval_str("abs(t.b)", &row, &[]).unwrap(), Value::Int(4));
-        assert_eq!(eval_str("coalesce(u.a, t.b, 7)", &row, &[]).unwrap(), Value::Int(-4));
-        assert_eq!(eval_str("round(2.7)", &row, &[]).unwrap(), Value::Float(3.0));
+        assert_eq!(
+            eval_str("coalesce(u.a, t.b, 7)", &row, &[]).unwrap(),
+            Value::Int(-4)
+        );
+        assert_eq!(
+            eval_str("round(2.7)", &row, &[]).unwrap(),
+            Value::Float(3.0)
+        );
         assert!(eval_str("frobnicate(1)", &row, &[]).is_err());
         assert!(eval_str("abs(1, 2)", &row, &[]).is_err());
     }

@@ -19,11 +19,13 @@ pub mod access;
 pub mod exec;
 pub mod expr;
 pub mod plan;
+pub mod prepared;
 pub mod procedures;
 pub mod provenance;
 pub mod result;
 
 pub use access::{AccessController, AccessPolicy};
 pub use exec::{CatalogOp, Executor, StatementEffect};
+pub use prepared::PreparedQuery;
 pub use procedures::{ContractRegistry, Invocation};
-pub use result::QueryResult;
+pub use result::{FromRow, QueryResult, RowRef};

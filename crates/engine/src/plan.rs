@@ -31,7 +31,12 @@ pub struct AccessPath {
 pub fn conjuncts(expr: &Expr) -> Vec<&Expr> {
     let mut out = Vec::new();
     fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-        if let Expr::Binary { op: BinaryOp::And, left, right } = e {
+        if let Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } = e
+        {
             walk(left, out);
             walk(right, out);
         } else {
@@ -62,7 +67,11 @@ fn is_const(e: &Expr) -> bool {
 /// Evaluate a constant expression at plan time.
 fn eval_const(e: &Expr, params: &[Value]) -> Result<Value> {
     let schema = RowSchema::default();
-    let env = Env { schema: &schema, row: &[], params };
+    let env = Env {
+        schema: &schema,
+        row: &[],
+        params,
+    };
     eval(e, &env)
 }
 
@@ -98,7 +107,9 @@ pub fn choose_access_path(
     predicate: Option<&Expr>,
     params: &[Value],
 ) -> Result<Option<AccessPath>> {
-    let Some(pred) = predicate else { return Ok(None) };
+    let Some(pred) = predicate else {
+        return Ok(None);
+    };
     let mut best: Option<AccessPath> = None;
     let mut consider = |column: usize, range: KeyRange| {
         if schema.index_on(column).is_none() {
@@ -151,7 +162,12 @@ pub fn choose_access_path(
                 };
                 consider(col, range);
             }
-            Expr::Between { expr, low, high, negated: false } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated: false,
+            } => {
                 if let Some(col) = column_of(expr, alias, schema) {
                     if is_const(low) && is_const(high) {
                         let lo = eval_const(low, params)?;
@@ -180,20 +196,23 @@ pub fn equi_join_key(
 ) -> Option<(Expr, usize)> {
     let mut candidates: Vec<(Expr, usize)> = Vec::new();
     for c in conjuncts(on) {
-        if let Expr::Binary { op: BinaryOp::Eq, left, right } = c {
+        if let Expr::Binary {
+            op: BinaryOp::Eq,
+            left,
+            right,
+        } = c
+        {
             // One side must be a genuine expression over the left relation
             // (pure literals are filters, not join keys), the other a
             // column of the right table.
             let left_in_left = resolves_in(left, left_schema) && has_column(left);
-            let right_col = column_of(right, right_alias, right_schema);
-            if left_in_left && right_col.is_some() {
-                candidates.push(((**left).clone(), right_col.unwrap()));
+            if let (true, Some(col)) = (left_in_left, column_of(right, right_alias, right_schema)) {
+                candidates.push(((**left).clone(), col));
                 continue;
             }
             let right_in_left = resolves_in(right, left_schema) && has_column(right);
-            let left_col = column_of(left, right_alias, right_schema);
-            if right_in_left && left_col.is_some() {
-                candidates.push(((**right).clone(), left_col.unwrap()));
+            if let (true, Some(col)) = (right_in_left, column_of(left, right_alias, right_schema)) {
+                candidates.push(((**right).clone(), col));
             }
         }
     }
@@ -296,15 +315,21 @@ mod tests {
         assert!(path("id = amount", &[]).is_none(), "both sides columns");
         assert!(path("id = NULL", &[]).is_none(), "null constant");
         let e = parse_expression("id = 1 OR id = 2").unwrap();
-        assert!(choose_access_path(&schema(), "inv", Some(&e), &[]).unwrap().is_none());
+        assert!(choose_access_path(&schema(), "inv", Some(&e), &[])
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn qualified_references_respect_alias() {
         let e = parse_expression("other.id = 5").unwrap();
-        assert!(choose_access_path(&schema(), "inv", Some(&e), &[]).unwrap().is_none());
+        assert!(choose_access_path(&schema(), "inv", Some(&e), &[])
+            .unwrap()
+            .is_none());
         let e = parse_expression("inv.id = 5").unwrap();
-        assert!(choose_access_path(&schema(), "inv", Some(&e), &[]).unwrap().is_some());
+        assert!(choose_access_path(&schema(), "inv", Some(&e), &[])
+            .unwrap()
+            .is_some());
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub struct Invocation {
 impl Invocation {
     /// Convenience constructor.
     pub fn new(contract: impl Into<String>, args: Vec<Value>) -> Invocation {
-        Invocation { contract: contract.into(), args }
+        Invocation {
+            contract: contract.into(),
+            args,
+        }
     }
 
     /// Canonical string rendering (part of the signed transaction content
@@ -150,8 +153,8 @@ impl ContractRegistry {
 mod tests {
     use super::*;
     use bcrdb_common::schema::{Column, DataType, TableSchema};
-    use bcrdb_sql::parse_statement;
     use bcrdb_sql::ast::Statement;
+    use bcrdb_sql::parse_statement;
     use bcrdb_storage::snapshot::ScanMode;
     use bcrdb_txn::ssi::{Flow, SsiManager};
     use std::sync::Arc;
@@ -196,9 +199,16 @@ mod tests {
         let inv = Invocation::new("open_account", vec![Value::Int(1), Value::Float(50.0)]);
         let effects = registry.invoke(&catalog, &ctx, &inv).unwrap();
         assert_eq!(effects.len(), 1);
-        assert!(ctx.apply_commit(1, 0, Flow::OrderThenExecute).is_committed());
+        assert!(ctx
+            .apply_commit(1, 0, Flow::OrderThenExecute)
+            .is_committed());
         let r = TxnCtx::read_only(&mgr, 1);
-        assert_eq!(r.scan(&catalog.get("accounts").unwrap(), None).unwrap().len(), 1);
+        assert_eq!(
+            r.scan(&catalog.get("accounts").unwrap(), None)
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -207,7 +217,11 @@ mod tests {
         let ctx = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
         // Wrong arity.
         let err = registry
-            .invoke(&catalog, &ctx, &Invocation::new("open_account", vec![Value::Int(1)]))
+            .invoke(
+                &catalog,
+                &ctx,
+                &Invocation::new("open_account", vec![Value::Int(1)]),
+            )
             .unwrap_err();
         assert!(matches!(err, Error::Analysis(_)));
         // Int coerces to float; text does not.
@@ -222,10 +236,7 @@ mod tests {
             .invoke(
                 &catalog,
                 &ctx,
-                &Invocation::new(
-                    "open_account",
-                    vec![Value::Int(3), Value::Text("x".into())],
-                ),
+                &Invocation::new("open_account", vec![Value::Int(3), Value::Text("x".into())]),
             )
             .unwrap_err();
         assert!(matches!(err, Error::Type(_)));
@@ -261,7 +272,9 @@ mod tests {
             ContractRegistry::validate(&def, &DeterminismRules::order_then_execute()).unwrap_err();
         assert!(matches!(err, Error::Determinism(_)));
         let ok = contract("CREATE FUNCTION g(x INT) AS $$ INSERT INTO t VALUES ($1) $$");
-        assert!(ContractRegistry::validate(&ok, &DeterminismRules::execute_order_parallel()).is_ok());
+        assert!(
+            ContractRegistry::validate(&ok, &DeterminismRules::execute_order_parallel()).is_ok()
+        );
     }
 
     #[test]

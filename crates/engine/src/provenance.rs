@@ -28,8 +28,13 @@ use bcrdb_txn::context::TxnCtx;
 use crate::expr::RowSchema;
 
 /// Names of the system columns appended by `HISTORY(t)`.
-pub const SYSTEM_COLUMN_NAMES: [&str; 5] =
-    ["_row_id", "xmin", "xmax", "_creator_block", "_deleter_block"];
+pub const SYSTEM_COLUMN_NAMES: [&str; 5] = [
+    "_row_id",
+    "xmin",
+    "xmax",
+    "_creator_block",
+    "_deleter_block",
+];
 
 /// Scan the full committed version history of a table.
 pub fn history_scan(
@@ -41,7 +46,11 @@ pub fn history_scan(
     let alias = tref.effective_name().to_string();
     let table_schema = table.schema();
 
-    let mut names: Vec<String> = table_schema.columns.iter().map(|c| c.name.clone()).collect();
+    let mut names: Vec<String> = table_schema
+        .columns
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
     names.extend(SYSTEM_COLUMN_NAMES.iter().map(|s| s.to_string()));
     let schema = RowSchema::for_table(&alias, &names);
 
@@ -52,7 +61,9 @@ pub fn history_scan(
         if st.aborted {
             continue;
         }
-        let Some(creator) = st.creator_block else { continue };
+        let Some(creator) = st.creator_block else {
+            continue;
+        };
         if creator > height {
             continue;
         }
@@ -61,9 +72,7 @@ pub fn history_scan(
         row.push(Value::Int(version.xmin.0 as i64));
         row.push(match st.xmax_committed {
             // Deletions beyond the snapshot height are not yet visible.
-            Some(tx) if st.deleter_block.is_some_and(|db| db <= height) => {
-                Value::Int(tx.0 as i64)
-            }
+            Some(tx) if st.deleter_block.is_some_and(|db| db <= height) => Value::Int(tx.0 as i64),
             _ => Value::Null,
         });
         row.push(Value::Int(creator as i64));
@@ -93,7 +102,10 @@ mod tests {
             .create_table(
                 TableSchema::new(
                     "inv",
-                    vec![Column::new("id", DataType::Int), Column::new("amt", DataType::Int)],
+                    vec![
+                        Column::new("id", DataType::Int),
+                        Column::new("amt", DataType::Int),
+                    ],
                     vec![0],
                 )
                 .unwrap(),
@@ -103,7 +115,11 @@ mod tests {
     }
 
     fn tref() -> TableRef {
-        TableRef { name: "inv".into(), alias: Some("h".into()), history: true }
+        TableRef {
+            name: "inv".into(),
+            alias: Some("h".into()),
+            history: true,
+        }
     }
 
     #[test]
@@ -113,11 +129,13 @@ mod tests {
 
         // Block 1: insert. Block 2: update.
         let t1 = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
-        t1.insert(&table, vec![Value::Int(1), Value::Int(100)]).unwrap();
+        t1.insert(&table, vec![Value::Int(1), Value::Int(100)])
+            .unwrap();
         assert!(t1.apply_commit(1, 0, Flow::OrderThenExecute).is_committed());
         let t2 = TxnCtx::begin(&mgr, 1, ScanMode::Relaxed);
         let target = t2.scan(&table, None).unwrap()[0].clone();
-        t2.update(&table, &target, vec![Value::Int(1), Value::Int(150)]).unwrap();
+        t2.update(&table, &target, vec![Value::Int(1), Value::Int(150)])
+            .unwrap();
         assert!(t2.apply_commit(2, 0, Flow::OrderThenExecute).is_committed());
 
         let reader = TxnCtx::read_only(&mgr, 2);
@@ -130,7 +148,7 @@ mod tests {
         assert_eq!(rows[0][4], Value::Int(t2.id.0 as i64)); // xmax
         assert_eq!(rows[0][5], Value::Int(1)); // _creator_block
         assert_eq!(rows[0][6], Value::Int(2)); // _deleter_block
-        // Second version: created at 2, live.
+                                               // Second version: created at 2, live.
         assert_eq!(rows[1][1], Value::Int(150));
         assert_eq!(rows[1][4], Value::Null);
         assert_eq!(rows[1][6], Value::Null);
@@ -143,7 +161,8 @@ mod tests {
         let (mgr, catalog) = setup();
         let table = catalog.get("inv").unwrap();
         let t1 = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
-        t1.insert(&table, vec![Value::Int(1), Value::Int(100)]).unwrap();
+        t1.insert(&table, vec![Value::Int(1), Value::Int(100)])
+            .unwrap();
         assert!(t1.apply_commit(1, 0, Flow::OrderThenExecute).is_committed());
         let t2 = TxnCtx::begin(&mgr, 1, ScanMode::Relaxed);
         let target = t2.scan(&table, None).unwrap()[0].clone();
@@ -172,10 +191,12 @@ mod tests {
         let (mgr, catalog) = setup();
         let table = catalog.get("inv").unwrap();
         let t1 = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
-        t1.insert(&table, vec![Value::Int(1), Value::Int(1)]).unwrap();
+        t1.insert(&table, vec![Value::Int(1), Value::Int(1)])
+            .unwrap();
         t1.rollback();
         let t2 = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
-        t2.insert(&table, vec![Value::Int(2), Value::Int(2)]).unwrap();
+        t2.insert(&table, vec![Value::Int(2), Value::Int(2)])
+            .unwrap();
         // t2 still pending.
         let r = TxnCtx::read_only(&mgr, 5);
         let (_, rows) = history_scan(&catalog, &r, &tref()).unwrap();

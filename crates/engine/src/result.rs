@@ -1,6 +1,17 @@
-//! Query results.
+//! Query results and typed row decoding.
+//!
+//! [`QueryResult`] is the raw wire shape (column names + rows of
+//! [`Value`]s). The typed layer on top — [`FromRow`], [`RowRef`],
+//! [`QueryResult::rows_as`] — is what the session API exposes so
+//! applications never hand-decode `Vec<Value>`:
+//!
+//! ```ignore
+//! let accounts: Vec<(i64, String, f64)> = result.rows_as()?;
+//! let balance: f64 = result.row(0).unwrap().get("balance")?;
+//! ```
 
-use bcrdb_common::value::{Row, Value};
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::value::{FromValue, Row, Value};
 
 /// The result of a SELECT (or the summary of a DML statement).
 #[derive(Clone, Debug, PartialEq, Default)]
@@ -14,7 +25,10 @@ pub struct QueryResult {
 impl QueryResult {
     /// Empty result with the given column names.
     pub fn empty(columns: Vec<String>) -> QueryResult {
-        QueryResult { columns, rows: Vec::new() }
+        QueryResult {
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -33,6 +47,60 @@ impl QueryResult {
             (1, 1) => self.rows[0].first(),
             _ => None,
         }
+    }
+
+    /// The single scalar, decoded into `T`. Errors when the result is not
+    /// exactly one row by one column, or the value has the wrong type.
+    pub fn scalar_as<T: FromValue>(&self) -> Result<T> {
+        let v = self.scalar().ok_or_else(|| {
+            Error::Decode(format!(
+                "expected a 1x1 result, got {} rows x {} columns",
+                self.rows.len(),
+                self.columns.len()
+            ))
+        })?;
+        T::from_value(v)
+    }
+
+    /// Ordinal of a named output column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// A typed view of the `i`-th row, or `None` past the end.
+    pub fn row(&self, i: usize) -> Option<RowRef<'_>> {
+        self.rows.get(i).map(|row| RowRef {
+            columns: &self.columns,
+            row,
+        })
+    }
+
+    /// Iterate over typed row views.
+    pub fn iter_rows(&self) -> impl Iterator<Item = RowRef<'_>> {
+        self.rows.iter().map(|row| RowRef {
+            columns: &self.columns,
+            row,
+        })
+    }
+
+    /// Decode every row into `T` (tuples of [`FromValue`] types, or any
+    /// custom [`FromRow`] impl).
+    pub fn rows_as<T: FromRow>(&self) -> Result<Vec<T>> {
+        self.rows
+            .iter()
+            .map(|row| T::from_row(&self.columns, row))
+            .collect()
+    }
+
+    /// Decode the single row of a one-row result into `T`.
+    pub fn one_as<T: FromRow>(&self) -> Result<T> {
+        if self.rows.len() != 1 {
+            return Err(Error::Decode(format!(
+                "expected exactly one row, got {}",
+                self.rows.len()
+            )));
+        }
+        T::from_row(&self.columns, &self.rows[0])
     }
 
     /// Render as a simple aligned text table (for examples and debugging).
@@ -75,17 +143,182 @@ impl QueryResult {
     }
 }
 
+/// A borrowed row paired with its column names, for by-name typed access.
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    columns: &'a [String],
+    row: &'a [Value],
+}
+
+impl<'a> RowRef<'a> {
+    /// Decode the named column into `T`.
+    pub fn get<T: FromValue>(&self, column: &str) -> Result<T> {
+        let i = self
+            .columns
+            .iter()
+            .position(|c| c == column)
+            .ok_or_else(|| {
+                Error::Decode(format!(
+                    "unknown column {column:?} (have: {})",
+                    self.columns.join(", ")
+                ))
+            })?;
+        T::from_value(&self.row[i])
+    }
+
+    /// Decode the column at ordinal `i` into `T`.
+    pub fn at<T: FromValue>(&self, i: usize) -> Result<T> {
+        let v = self.row.get(i).ok_or_else(|| {
+            Error::Decode(format!(
+                "column ordinal {i} out of range ({})",
+                self.row.len()
+            ))
+        })?;
+        T::from_value(v)
+    }
+
+    /// The raw values of this row.
+    pub fn values(&self) -> &'a [Value] {
+        self.row
+    }
+
+    /// The output column names.
+    pub fn columns(&self) -> &'a [String] {
+        self.columns
+    }
+}
+
+/// Decode a whole row into a typed value — the `libpq`-style typed-row
+/// trait of the session API. Implemented for tuples of [`FromValue`]
+/// types (positional) and derivable by hand for named structs.
+pub trait FromRow: Sized {
+    /// Decode one row given its output column names.
+    fn from_row(columns: &[String], row: &[Value]) -> Result<Self>;
+}
+
+impl FromRow for Row {
+    fn from_row(_columns: &[String], row: &[Value]) -> Result<Row> {
+        Ok(row.to_vec())
+    }
+}
+
+impl<T: FromValue> FromRow for (T,) {
+    fn from_row(columns: &[String], row: &[Value]) -> Result<(T,)> {
+        check_arity(columns, row, 1)?;
+        Ok((T::from_value(&row[0])?,))
+    }
+}
+
+fn check_arity(_columns: &[String], row: &[Value], want: usize) -> Result<()> {
+    if row.len() != want {
+        return Err(Error::Decode(format!(
+            "row has {} columns, tuple expects {want}",
+            row.len()
+        )));
+    }
+    Ok(())
+}
+
+macro_rules! impl_from_row_tuple {
+    ($n:expr => $($t:ident : $i:tt),+) => {
+        impl<$($t: FromValue),+> FromRow for ($($t,)+) {
+            fn from_row(columns: &[String], row: &[Value]) -> Result<($($t,)+)> {
+                check_arity(columns, row, $n)?;
+                Ok(($($t::from_value(&row[$i])?,)+))
+            }
+        }
+    };
+}
+
+impl_from_row_tuple!(2 => A:0, B:1);
+impl_from_row_tuple!(3 => A:0, B:1, C:2);
+impl_from_row_tuple!(4 => A:0, B:1, C:2, D:3);
+impl_from_row_tuple!(5 => A:0, B:1, C:2, D:3, E:4);
+impl_from_row_tuple!(6 => A:0, B:1, C:2, D:3, E:4, F:5);
+impl_from_row_tuple!(7 => A:0, B:1, C:2, D:3, E:4, F:5, G:6);
+impl_from_row_tuple!(8 => A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7);
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn scalar_extraction() {
-        let r = QueryResult { columns: vec!["n".into()], rows: vec![vec![Value::Int(7)]] };
+        let r = QueryResult {
+            columns: vec!["n".into()],
+            rows: vec![vec![Value::Int(7)]],
+        };
         assert_eq!(r.scalar(), Some(&Value::Int(7)));
-        let r2 = QueryResult { columns: vec!["a".into(), "b".into()], rows: vec![] };
+        let r2 = QueryResult {
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![],
+        };
         assert!(r2.scalar().is_none());
         assert!(r2.is_empty());
+    }
+
+    fn sample() -> QueryResult {
+        QueryResult {
+            columns: vec!["id".into(), "name".into(), "balance".into()],
+            rows: vec![
+                vec![
+                    Value::Int(1),
+                    Value::Text("alice".into()),
+                    Value::Float(100.0),
+                ],
+                vec![Value::Int(2), Value::Text("bob".into()), Value::Float(25.5)],
+            ],
+        }
+    }
+
+    #[test]
+    fn rows_as_tuples() {
+        let r = sample();
+        let typed: Vec<(i64, String, f64)> = r.rows_as().unwrap();
+        assert_eq!(typed[0], (1, "alice".to_string(), 100.0));
+        assert_eq!(typed[1].2, 25.5);
+        // Arity mismatch is a decode error.
+        assert!(matches!(
+            r.rows_as::<(i64, String)>(),
+            Err(Error::Decode(_))
+        ));
+        // Type mismatch is a decode error.
+        assert!(matches!(
+            r.rows_as::<(String, String, f64)>(),
+            Err(Error::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn row_ref_by_name_and_ordinal() {
+        let r = sample();
+        let row = r.row(1).unwrap();
+        assert_eq!(row.get::<i64>("id").unwrap(), 2);
+        assert_eq!(row.get::<String>("name").unwrap(), "bob");
+        assert_eq!(row.at::<f64>(2).unwrap(), 25.5);
+        assert!(matches!(row.get::<i64>("missing"), Err(Error::Decode(_))));
+        assert!(r.row(5).is_none());
+        assert_eq!(r.iter_rows().count(), 2);
+    }
+
+    #[test]
+    fn scalar_as_typed() {
+        let r = QueryResult {
+            columns: vec!["n".into()],
+            rows: vec![vec![Value::Int(7)]],
+        };
+        assert_eq!(r.scalar_as::<i64>().unwrap(), 7);
+        assert!(matches!(sample().scalar_as::<i64>(), Err(Error::Decode(_))));
+    }
+
+    #[test]
+    fn one_as_requires_exactly_one_row() {
+        let r = QueryResult {
+            columns: vec!["n".into()],
+            rows: vec![vec![Value::Int(7)]],
+        };
+        assert_eq!(r.one_as::<(i64,)>().unwrap(), (7,));
+        assert!(sample().one_as::<(i64, String, f64)>().is_err());
     }
 
     #[test]

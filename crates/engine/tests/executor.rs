@@ -45,11 +45,7 @@ impl Db {
         self.try_run(sql, params).expect("statement should succeed")
     }
 
-    fn try_run(
-        &mut self,
-        sql: &str,
-        params: &[Value],
-    ) -> Result<Vec<StatementEffect>, Error> {
+    fn try_run(&mut self, sql: &str, params: &[Value]) -> Result<Vec<StatementEffect>, Error> {
         let ctx = TxnCtx::begin(&self.mgr, self.height, ScanMode::Relaxed);
         let stmts = bcrdb_sql::parse_statements(sql)?;
         let exec = Executor::new(&self.catalog, &ctx, params);
@@ -111,9 +107,7 @@ fn ints(r: &QueryResult) -> Vec<Vec<i64>> {
 }
 
 fn seed_invoices(db: &mut Db) {
-    db.run(
-        "CREATE TABLE suppliers (id INT PRIMARY KEY, name TEXT NOT NULL, region TEXT NOT NULL)",
-    );
+    db.run("CREATE TABLE suppliers (id INT PRIMARY KEY, name TEXT NOT NULL, region TEXT NOT NULL)");
     db.run(
         "CREATE TABLE invoices (id INT PRIMARY KEY, supplier_id INT NOT NULL, amount FLOAT NOT NULL)",
     );
@@ -302,9 +296,8 @@ fn select_without_from_and_scalar_math() {
 fn order_by_alias_and_multiple_keys() {
     let mut db = Db::new();
     seed_invoices(&mut db);
-    let r = db.query(
-        "SELECT supplier_id AS sid, amount FROM invoices ORDER BY sid DESC, amount ASC",
-    );
+    let r =
+        db.query("SELECT supplier_id AS sid, amount FROM invoices ORDER BY sid DESC, amount ASC");
     assert_eq!(r.rows[0][0], Value::Int(3));
     assert_eq!(r.rows[1], vec![Value::Int(2), Value::Float(25.0)]);
     assert_eq!(r.rows[2], vec![Value::Int(2), Value::Float(75.0)]);
@@ -349,14 +342,19 @@ fn snapshot_reads_are_stable_under_concurrent_commits() {
     // A reader pinned at the old height sees the old value.
     let ctx = TxnCtx::read_only(&db.mgr, h1);
     let exec = Executor::new(&db.catalog, &ctx, &[]);
-    let r = match exec.execute(&parse_statement("SELECT x FROM t WHERE id = 1").unwrap()).unwrap()
+    let r = match exec
+        .execute(&parse_statement("SELECT x FROM t WHERE id = 1").unwrap())
+        .unwrap()
     {
         StatementEffect::Rows(r) => r,
         other => panic!("{other:?}"),
     };
     assert_eq!(r.rows[0][0], Value::Int(10));
     // Current height sees the new value.
-    assert_eq!(db.query("SELECT x FROM t WHERE id = 1").rows[0][0], Value::Int(20));
+    assert_eq!(
+        db.query("SELECT x FROM t WHERE id = 1").rows[0][0],
+        Value::Int(20)
+    );
 }
 
 #[test]
@@ -364,7 +362,10 @@ fn error_paths_surface_cleanly() {
     let mut db = Db::new();
     db.run("CREATE TABLE t (id INT PRIMARY KEY, x INT)");
     db.run("INSERT INTO t VALUES (1, 0)");
-    assert!(matches!(db.try_run("SELECT * FROM missing", &[]), Err(Error::NotFound(_))));
+    assert!(matches!(
+        db.try_run("SELECT * FROM missing", &[]),
+        Err(Error::NotFound(_))
+    ));
     // Column resolution is evaluated per-row, so a populated table is
     // needed for the error to surface.
     assert!(matches!(
@@ -382,7 +383,6 @@ fn error_paths_surface_cleanly() {
     assert!(matches!(
         db.try_run("SELECT * FROM t GROUP BY id", &[]),
         Err(Error::Analysis(_)),
-
     ));
     // Division by zero inside a query is a type error.
     assert!(matches!(
@@ -436,7 +436,9 @@ fn contract_invocation_through_registry() {
         vec![Value::Int(1), Value::Int(2), Value::Float(30.0)],
     );
     db.contracts.invoke(&db.catalog, &ctx, &inv).unwrap();
-    assert!(ctx.apply_commit(db.height + 1, 99, Flow::OrderThenExecute).is_committed());
+    assert!(ctx
+        .apply_commit(db.height + 1, 99, Flow::OrderThenExecute)
+        .is_committed());
     db.height += 1;
 
     let r = db.query("SELECT balance FROM accounts ORDER BY id");

@@ -16,7 +16,11 @@ pub struct NetProfile {
 impl NetProfile {
     /// Instantaneous delivery (unit tests).
     pub fn instant() -> NetProfile {
-        NetProfile { latency: Duration::ZERO, jitter: Duration::ZERO, bandwidth_bytes_per_sec: None }
+        NetProfile {
+            latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            bandwidth_bytes_per_sec: None,
+        }
     }
 
     /// Single data centre (paper: 5 Gbps, sub-millisecond RTT).
@@ -41,9 +45,7 @@ impl NetProfile {
     /// Transmission delay of `bytes` on this link.
     pub fn transmission_delay(&self, bytes: usize) -> Duration {
         match self.bandwidth_bytes_per_sec {
-            Some(bw) if bw > 0 => {
-                Duration::from_secs_f64(bytes as f64 / bw as f64)
-            }
+            Some(bw) if bw > 0 => Duration::from_secs_f64(bytes as f64 / bw as f64),
             _ => Duration::ZERO,
         }
     }
@@ -62,7 +64,10 @@ mod tests {
         // 100 KB at ~6.9 MB/s ≈ 14.5 ms — the paper's "block of 500 txs is
         // ~100 KB, so WAN bandwidth barely matters" observation.
         assert!(large < Duration::from_millis(30), "{large:?}");
-        assert_eq!(NetProfile::instant().transmission_delay(1 << 20), Duration::ZERO);
+        assert_eq!(
+            NetProfile::instant().transmission_delay(1 << 20),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -121,8 +121,7 @@ impl<M: Send + Clone + 'static> SimNetwork<M> {
 
     /// Registered endpoint names (sorted).
     pub fn endpoint_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.state.lock().endpoints.keys().cloned().collect();
+        let mut names: Vec<String> = self.state.lock().endpoints.keys().cloned().collect();
         names.sort();
         names
     }
@@ -171,7 +170,10 @@ impl<M: Send + Clone + 'static> SimNetwork<M> {
             deliver_at,
             seq,
             to: to.to_string(),
-            delivered: Delivered { from: from.to_string(), msg },
+            delivered: Delivered {
+                from: from.to_string(),
+                msg,
+            },
         });
         drop(st);
         self.wake.notify_one();
@@ -182,7 +184,11 @@ impl<M: Send + Clone + 'static> SimNetwork<M> {
     pub fn broadcast(&self, from: &str, msg: &M, size: usize) -> Result<usize> {
         let targets: Vec<String> = {
             let st = self.state.lock();
-            st.endpoints.keys().filter(|n| n.as_str() != from).cloned().collect()
+            st.endpoints
+                .keys()
+                .filter(|n| n.as_str() != from)
+                .cloned()
+                .collect()
         };
         let mut sent = 0;
         for t in &targets {
@@ -220,7 +226,8 @@ impl<M: Send + Clone + 'static> SimNetwork<M> {
             match st.queue.peek().map(|n| n.deliver_at) {
                 Some(at) => {
                     let timeout = at.saturating_duration_since(Instant::now());
-                    self.wake.wait_for(&mut st, timeout.max(Duration::from_micros(10)));
+                    self.wake
+                        .wait_for(&mut st, timeout.max(Duration::from_micros(10)));
                 }
                 None => {
                     self.wake.wait(&mut st);

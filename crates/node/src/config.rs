@@ -59,6 +59,9 @@ impl NodeConfig {
     }
 }
 
+/// Callback forwarding a transaction reference to the peer network.
+pub type ForwardTxHook = Arc<dyn Fn(&Transaction) + Send + Sync>;
+
 /// Outbound callbacks wiring the node into the network: forwarding
 /// transactions to other peers (EO flow), submitting to the ordering
 /// service, and submitting checkpoint votes. Installed by the network
@@ -66,7 +69,7 @@ impl NodeConfig {
 #[derive(Default, Clone)]
 pub struct NodeHooks {
     /// EO: forward a locally submitted transaction to the other peers.
-    pub forward_tx: Option<Arc<dyn Fn(&Transaction) + Send + Sync>>,
+    pub forward_tx: Option<ForwardTxHook>,
     /// EO: forward a locally submitted transaction to the ordering service.
     pub submit_orderer: Option<Arc<dyn Fn(Transaction) + Send + Sync>>,
     /// Submit a checkpoint vote after committing a block (§3.3.4).

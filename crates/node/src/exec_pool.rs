@@ -149,8 +149,7 @@ impl ExecPool {
         let mut ready = Vec::new();
         {
             let mut waiting = self.waiting.lock();
-            let keys: Vec<BlockHeight> =
-                waiting.range(..=committed).map(|(k, _)| *k).collect();
+            let keys: Vec<BlockHeight> = waiting.range(..=committed).map(|(k, _)| *k).collect();
             for k in keys {
                 if let Some(tasks) = waiting.remove(&k) {
                     ready.extend(tasks);
@@ -184,7 +183,9 @@ impl ExecPool {
         if env.min_exec_micros > 0 {
             let spent = started.elapsed().as_micros() as u64;
             if spent < env.min_exec_micros {
-                std::thread::sleep(std::time::Duration::from_micros(env.min_exec_micros - spent));
+                std::thread::sleep(std::time::Duration::from_micros(
+                    env.min_exec_micros - spent,
+                ));
             }
         }
         let exec_us = started.elapsed().as_micros() as u64;
@@ -204,18 +205,19 @@ impl ExecPool {
         };
         env.slots.complete(
             task.tx.id,
-            ExecDone { ctx, catalog_ops, error, exec_us },
+            ExecDone {
+                ctx,
+                catalog_ops,
+                error,
+                exec_us,
+            },
         );
     }
 }
 
 /// Authenticate and execute a transaction inside `ctx`, returning deferred
 /// catalog ops.
-fn execute_in_ctx(
-    env: &Arc<ExecEnv>,
-    ctx: &TxnCtx,
-    tx: &Transaction,
-) -> Result<Vec<CatalogOp>> {
+fn execute_in_ctx(env: &Arc<ExecEnv>, ctx: &TxnCtx, tx: &Transaction) -> Result<Vec<CatalogOp>> {
     // 1. Authenticate the invoker (§3.3.2 step 2).
     let cert = env
         .certs
@@ -274,7 +276,10 @@ mod tests {
             .create_table(
                 TableSchema::new(
                     "t",
-                    vec![Column::new("id", DataType::Int), Column::new("v", DataType::Int)],
+                    vec![
+                        Column::new("id", DataType::Int),
+                        Column::new("v", DataType::Int),
+                    ],
                     vec![0],
                 )
                 .unwrap(),
@@ -336,8 +341,14 @@ mod tests {
         let pool = ExecPool::start(Arc::clone(&env), 2);
         let t = tx(&key, 1);
         assert!(env.slots.try_claim(t.id));
-        pool.submit(ExecTask { tx: Arc::clone(&t), snapshot_height: 0, mode: ScanMode::Relaxed });
-        env.slots.wait_all_done(&[t.id], Duration::from_secs(5)).unwrap();
+        pool.submit(ExecTask {
+            tx: Arc::clone(&t),
+            snapshot_height: 0,
+            mode: ScanMode::Relaxed,
+        });
+        env.slots
+            .wait_all_done(&[t.id], Duration::from_secs(5))
+            .unwrap();
         let done = env.slots.take_done(&t.id).unwrap();
         assert!(done.error.is_none());
         assert!(done.ctx.write_count() == 1);
@@ -350,14 +361,20 @@ mod tests {
         let pool = ExecPool::start(Arc::clone(&env), 1);
         let t = tx(&key, 2);
         env.slots.try_claim(t.id);
-        pool.submit(ExecTask { tx: Arc::clone(&t), snapshot_height: 3, mode: ScanMode::Relaxed });
+        pool.submit(ExecTask {
+            tx: Arc::clone(&t),
+            snapshot_height: 3,
+            mode: ScanMode::Relaxed,
+        });
         // Not executed while the chain is behind.
         std::thread::sleep(Duration::from_millis(50));
         assert!(env.slots.take_done(&t.id).is_none());
         // Advance the chain and release.
         env.committed_height.store(3, Ordering::Relaxed);
         pool.release_waiting(3);
-        env.slots.wait_all_done(&[t.id], Duration::from_secs(5)).unwrap();
+        env.slots
+            .wait_all_done(&[t.id], Duration::from_secs(5))
+            .unwrap();
         env.slots.take_done(&t.id).unwrap().ctx.rollback();
     }
 
@@ -369,11 +386,20 @@ mod tests {
         bad.payload.args[1] = Value::Int(999); // invalidates the signature
         let bad = Arc::new(bad);
         env.slots.try_claim(bad.id);
-        pool.submit(ExecTask { tx: Arc::clone(&bad), snapshot_height: 0, mode: ScanMode::Relaxed });
-        env.slots.wait_all_done(&[bad.id], Duration::from_secs(5)).unwrap();
+        pool.submit(ExecTask {
+            tx: Arc::clone(&bad),
+            snapshot_height: 0,
+            mode: ScanMode::Relaxed,
+        });
+        env.slots
+            .wait_all_done(&[bad.id], Duration::from_secs(5))
+            .unwrap();
         let done = env.slots.take_done(&bad.id).unwrap();
         assert!(done.error.is_some());
-        assert!(!done.ctx.apply_commit(1, 0, bcrdb_txn::ssi::Flow::OrderThenExecute).is_committed());
+        assert!(!done
+            .ctx
+            .apply_commit(1, 0, bcrdb_txn::ssi::Flow::OrderThenExecute)
+            .is_committed());
     }
 
     #[test]
@@ -390,8 +416,14 @@ mod tests {
             .unwrap(),
         );
         env.slots.try_claim(t.id);
-        pool.submit(ExecTask { tx: Arc::clone(&t), snapshot_height: 0, mode: ScanMode::Relaxed });
-        env.slots.wait_all_done(&[t.id], Duration::from_secs(5)).unwrap();
+        pool.submit(ExecTask {
+            tx: Arc::clone(&t),
+            snapshot_height: 0,
+            mode: ScanMode::Relaxed,
+        });
+        env.slots
+            .wait_all_done(&[t.id], Duration::from_secs(5))
+            .unwrap();
         let done = env.slots.take_done(&t.id).unwrap();
         assert!(done.error.as_deref().unwrap_or("").contains("not found"));
         done.ctx.rollback();
@@ -404,7 +436,8 @@ mod tests {
             "native_put".into(),
             Arc::new(|nc: &NativeCtx<'_>| {
                 let table = nc.catalog.get("t")?;
-                nc.ctx.insert(&table, vec![nc.args[0].clone(), Value::Int(77)])?;
+                nc.ctx
+                    .insert(&table, vec![nc.args[0].clone(), Value::Int(77)])?;
                 Ok(vec![])
             }),
         );
@@ -419,8 +452,14 @@ mod tests {
             .unwrap(),
         );
         env.slots.try_claim(t.id);
-        pool.submit(ExecTask { tx: Arc::clone(&t), snapshot_height: 0, mode: ScanMode::Relaxed });
-        env.slots.wait_all_done(&[t.id], Duration::from_secs(5)).unwrap();
+        pool.submit(ExecTask {
+            tx: Arc::clone(&t),
+            snapshot_height: 0,
+            mode: ScanMode::Relaxed,
+        });
+        env.slots
+            .wait_all_done(&[t.id], Duration::from_secs(5))
+            .unwrap();
         let done = env.slots.take_done(&t.id).unwrap();
         assert!(done.error.is_none());
         assert_eq!(done.ctx.write_count(), 1);

@@ -136,9 +136,21 @@ impl NodeMetrics {
         let aborted = self.txs_aborted.swap(0, Ordering::Relaxed);
         let missing = self.missing_txs.swap(0, Ordering::Relaxed);
 
-        let bpt_ms = if processed > 0 { bpt_us as f64 / processed as f64 / 1000.0 } else { 0.0 };
-        let bet_ms = if processed > 0 { bet_us as f64 / processed as f64 / 1000.0 } else { 0.0 };
-        let tet_ms = if executed > 0 { tet_us as f64 / executed as f64 / 1000.0 } else { 0.0 };
+        let bpt_ms = if processed > 0 {
+            bpt_us as f64 / processed as f64 / 1000.0
+        } else {
+            0.0
+        };
+        let bet_ms = if processed > 0 {
+            bet_us as f64 / processed as f64 / 1000.0
+        } else {
+            0.0
+        };
+        let tet_ms = if executed > 0 {
+            tet_us as f64 / executed as f64 / 1000.0
+        } else {
+            0.0
+        };
         let bpr = processed as f64 / window_secs;
         MetricsSnapshot {
             window_secs,

@@ -17,6 +17,7 @@ use bcrdb_crypto::identity::CertificateRegistry;
 use bcrdb_crypto::sha256::{sha256, Digest};
 use bcrdb_engine::access::AccessController;
 use bcrdb_engine::exec::{Executor, StatementEffect};
+use bcrdb_engine::prepared::PreparedQuery;
 use bcrdb_engine::procedures::ContractRegistry;
 use bcrdb_engine::result::QueryResult;
 use bcrdb_sql::ast::Statement;
@@ -55,7 +56,15 @@ pub struct Node {
     pub(crate) ledger: Arc<Table>,
     pub(crate) divergences: Mutex<Vec<Divergence>>,
     pub(crate) shutting_down: AtomicBool,
+    /// Prepared-statement cache keyed by SQL text (§4.3: the client
+    /// interface is libpq-style; statement reuse amortizes parsing).
+    statements: Mutex<std::collections::HashMap<String, Arc<PreparedQuery>>>,
 }
+
+/// Bound on the per-node prepared-statement cache (each entry is one
+/// parsed AST; eviction clears the whole map — simple and sufficient for
+/// workloads with a stable statement set).
+const STATEMENT_CACHE_CAP: usize = 1024;
 
 impl Node {
     /// Create (or re-open) a node. When `config.data_dir` is set, the
@@ -130,6 +139,7 @@ impl Node {
             ledger,
             divergences: Mutex::new(Vec::new()),
             shutting_down: AtomicBool::new(false),
+            statements: Mutex::new(std::collections::HashMap::new()),
         });
 
         Ok(node)
@@ -253,7 +263,11 @@ impl Node {
 
     pub(crate) fn schedule(&self, tx: Arc<Transaction>) {
         let snapshot_height = tx.snapshot_height.unwrap_or_else(|| self.height());
-        self.pool.submit(ExecTask { tx, snapshot_height, mode: ScanMode::Strict });
+        self.pool.submit(ExecTask {
+            tx,
+            snapshot_height,
+            mode: ScanMode::Strict,
+        });
     }
 
     // ------------------------------------------------------------ queries
@@ -266,12 +280,15 @@ impl Node {
     }
 
     /// Run a read-only query at a specific historical block height.
+    /// The height must not exceed the committed tip: a "future" snapshot
+    /// cannot be served (its blocks have not committed here yet).
     pub fn query_at(
         &self,
         sql: &str,
         params: &[Value],
         height: BlockHeight,
     ) -> Result<QueryResult> {
+        self.check_height(height)?;
         let stmt = bcrdb_sql::parse_statement(sql)?;
         if !matches!(stmt, Statement::Select(_)) {
             return Err(Error::Analysis(
@@ -286,9 +303,76 @@ impl Node {
         }
     }
 
+    fn check_height(&self, height: BlockHeight) -> Result<()> {
+        let tip = self.height();
+        if height > tip {
+            return Err(Error::Analysis(format!(
+                "snapshot height {height} is beyond this node's committed height {tip}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Parse (or fetch from the statement cache) a reusable read-only
+    /// statement. Repeated `prepare` calls with the same SQL text share
+    /// one parsed AST across all of this node's sessions.
+    pub fn prepare(&self, sql: &str) -> Result<Arc<PreparedQuery>> {
+        if let Some(q) = self.statements.lock().get(sql) {
+            return Ok(Arc::clone(q));
+        }
+        let q = PreparedQuery::parse(sql)?;
+        let mut cache = self.statements.lock();
+        if cache.len() >= STATEMENT_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(sql.to_string(), Arc::clone(&q));
+        Ok(q)
+    }
+
+    /// Number of cached prepared statements (observability/tests).
+    pub fn prepared_statement_count(&self) -> usize {
+        self.statements.lock().len()
+    }
+
+    /// Execute a prepared statement at the current committed height.
+    pub fn query_prepared(&self, q: &PreparedQuery, params: &[Value]) -> Result<QueryResult> {
+        self.query_prepared_at(q, params, self.height())
+    }
+
+    /// Execute a prepared statement at a historical height.
+    pub fn query_prepared_at(
+        &self,
+        q: &PreparedQuery,
+        params: &[Value],
+        height: BlockHeight,
+    ) -> Result<QueryResult> {
+        self.check_height(height)?;
+        let ctx = TxnCtx::read_only(&self.env.ssi, height);
+        q.execute(&self.env.catalog, &ctx, params)
+    }
+
     /// Register for the final status of a transaction.
     pub fn wait_for(&self, id: GlobalTxId) -> Receiver<TxNotification> {
         self.notifications.wait_for(id)
+    }
+
+    /// Register for the final statuses of a batch of transactions on one
+    /// fanned-in channel (see `NotificationHub::wait_for_all`).
+    pub fn wait_for_batch(&self, ids: &[GlobalTxId]) -> Receiver<TxNotification> {
+        self.notifications.wait_for_all(ids)
+    }
+
+    /// Drop abandoned waiter registrations for `id` — call after a
+    /// failed submission whose receiver was discarded, so the hub's
+    /// waiter map cannot grow without bound.
+    pub fn cancel_wait(&self, id: &GlobalTxId) {
+        self.notifications.cancel(id)
+    }
+
+    /// Number of distinct transactions with registered notification
+    /// waiters (observability / leak tests).
+    pub fn pending_notification_waiters(&self) -> usize {
+        self.notifications.pending_waiters()
     }
 
     /// Subscribe to all transaction notifications.
@@ -392,7 +476,9 @@ impl Node {
     /// Write a state snapshot (atomic: tmp + rename). No transactions may
     /// be committing concurrently — called from the block processor only.
     pub(crate) fn write_snapshot(&self) -> Result<()> {
-        let Some(dir) = &self.config.data_dir else { return Ok(()) };
+        let Some(dir) = &self.config.data_dir else {
+            return Ok(());
+        };
         let mut enc = Encoder::with_capacity(256 * 1024);
         enc.put_bytes(SNAPSHOT_MAGIC);
         enc.put_bytes(&persist::encode_catalog(&self.env.catalog, self.height()));
@@ -449,5 +535,10 @@ fn load_snapshot(path: &PathBuf) -> Result<LoadedSnapshot> {
     for _ in 0..n {
         processed.insert(GlobalTxId(dec.get_digest()?));
     }
-    Ok(LoadedSnapshot { catalog, height, contracts, processed })
+    Ok(LoadedSnapshot {
+        catalog,
+        height,
+        contracts,
+        processed,
+    })
 }

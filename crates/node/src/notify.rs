@@ -49,6 +49,34 @@ impl NotificationHub {
         rx
     }
 
+    /// Register interest in a whole batch of transactions, fanned in to a
+    /// *single* channel. The channel receives exactly one notification
+    /// per listed id (in commit order, not submission order) — the
+    /// batch-submission primitive of the session API, replacing one
+    /// channel per transaction.
+    pub fn wait_for_all(&self, ids: &[GlobalTxId]) -> Receiver<TxNotification> {
+        let (tx, rx) = bounded(ids.len());
+        let mut waiters = self.waiters.lock();
+        for id in ids {
+            waiters.entry(*id).or_default().push(tx.clone());
+        }
+        rx
+    }
+
+    /// Drop registrations for `id` whose receiver is gone (a failed
+    /// submission abandons its channel without a notification ever
+    /// firing). Removes the id entirely when no live waiter remains, so
+    /// failed submits cannot grow the waiter map without bound.
+    pub fn cancel(&self, id: &GlobalTxId) {
+        let mut waiters = self.waiters.lock();
+        if let Some(ws) = waiters.get_mut(id) {
+            ws.retain(|s| !s.is_disconnected());
+            if ws.is_empty() {
+                waiters.remove(id);
+            }
+        }
+    }
+
     /// Publish a final status.
     pub fn notify(&self, n: TxNotification) {
         if let Some(waiters) = self.waiters.lock().remove(&n.id) {
@@ -80,7 +108,11 @@ mod tests {
         let hub = NotificationHub::new();
         let rx = hub.wait_for(id(1));
         let other = hub.wait_for(id(2));
-        hub.notify(TxNotification { id: id(1), block: 3, status: TxStatus::Committed });
+        hub.notify(TxNotification {
+            id: id(1),
+            block: 3,
+            status: TxStatus::Committed,
+        });
         let n = rx.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(n.block, 3);
         assert_eq!(n.status, TxStatus::Committed);
@@ -89,10 +121,66 @@ mod tests {
     }
 
     #[test]
+    fn cancel_prunes_only_dead_waiters() {
+        let hub = NotificationHub::new();
+        let dead = hub.wait_for(id(1));
+        let live = hub.wait_for(id(1));
+        drop(dead);
+        hub.cancel(&id(1));
+        assert_eq!(hub.pending_waiters(), 1, "live waiter survives cancel");
+        hub.notify(TxNotification {
+            id: id(1),
+            block: 1,
+            status: TxStatus::Committed,
+        });
+        assert!(live.recv_timeout(Duration::from_secs(1)).is_ok());
+        // A fully-abandoned id disappears from the map.
+        drop(hub.wait_for(id(2)));
+        hub.cancel(&id(2));
+        assert_eq!(hub.pending_waiters(), 0);
+    }
+
+    #[test]
+    fn batch_fan_in_delivers_every_member_once() {
+        let hub = NotificationHub::new();
+        let rx = hub.wait_for_all(&[id(1), id(2), id(3)]);
+        hub.notify(TxNotification {
+            id: id(2),
+            block: 1,
+            status: TxStatus::Committed,
+        });
+        hub.notify(TxNotification {
+            id: id(9),
+            block: 1,
+            status: TxStatus::Committed,
+        }); // not ours
+        hub.notify(TxNotification {
+            id: id(1),
+            block: 2,
+            status: TxStatus::Aborted("ww".into()),
+        });
+        hub.notify(TxNotification {
+            id: id(3),
+            block: 2,
+            status: TxStatus::Committed,
+        });
+        let mut got: Vec<GlobalTxId> = (0..3)
+            .map(|_| rx.recv_timeout(Duration::from_secs(1)).unwrap().id)
+            .collect();
+        got.sort();
+        assert_eq!(got, vec![id(1), id(2), id(3)]);
+        assert!(rx.recv_timeout(Duration::from_millis(20)).is_err());
+    }
+
+    #[test]
     fn firehose_sees_everything() {
         let hub = NotificationHub::new();
         let all = hub.subscribe_all();
-        hub.notify(TxNotification { id: id(1), block: 1, status: TxStatus::Committed });
+        hub.notify(TxNotification {
+            id: id(1),
+            block: 1,
+            status: TxStatus::Committed,
+        });
         hub.notify(TxNotification {
             id: id(2),
             block: 1,
@@ -106,8 +194,16 @@ mod tests {
     fn dropped_subscribers_are_pruned() {
         let hub = NotificationHub::new();
         drop(hub.subscribe_all());
-        hub.notify(TxNotification { id: id(1), block: 1, status: TxStatus::Committed });
+        hub.notify(TxNotification {
+            id: id(1),
+            block: 1,
+            status: TxStatus::Committed,
+        });
         // No panic; dead sender removed.
-        hub.notify(TxNotification { id: id(2), block: 1, status: TxStatus::Committed });
+        hub.notify(TxNotification {
+            id: id(2),
+            block: 1,
+            status: TxStatus::Committed,
+        });
     }
 }

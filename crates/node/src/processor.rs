@@ -59,13 +59,18 @@ pub fn run_loop(node: Arc<Node>, rx: Receiver<Arc<Block>>) {
         if let Err(e) = on_block(&node, &block) {
             // A verification failure means a byzantine orderer or local
             // corruption: stop processing rather than diverge (§3.5(4)).
-            eprintln!("[{}] block {} rejected: {e}", node.config.name, block.number);
+            eprintln!(
+                "[{}] block {} rejected: {e}",
+                node.config.name, block.number
+            );
             return;
         }
         // Drain any consecutively buffered blocks.
         loop {
             let next = node.blockstore.height() + 1;
-            let Some(b) = pending.remove(&next) else { break };
+            let Some(b) = pending.remove(&next) else {
+                break;
+            };
             if let Err(e) = on_block(&node, &b) {
                 eprintln!("[{}] block {} rejected: {e}", node.config.name, b.number);
                 return;
@@ -129,7 +134,11 @@ pub fn process_block(node: &Arc<Node>, block: &Arc<Block>) -> Result<()> {
                 Flow::OrderThenExecute => ScanMode::Relaxed,
                 Flow::ExecuteOrderParallel => ScanMode::Strict,
             };
-            node.pool.submit(ExecTask { tx: Arc::new(tx.clone()), snapshot_height: snap, mode });
+            node.pool.submit(ExecTask {
+                tx: Arc::new(tx.clone()),
+                snapshot_height: snap,
+                mode,
+            });
         }
         wait_ids.push(tx.id);
     }
@@ -228,14 +237,20 @@ fn commit_one(
         );
     }
     let Some(done) = node.env.slots.take_done(&tx.id) else {
-        return base(TxId::INVALID, TxStatus::Aborted("execution result missing".into()));
+        return base(
+            TxId::INVALID,
+            TxStatus::Aborted("execution result missing".into()),
+        );
     };
     let txid = done.ctx.id;
 
     // Deferred DDL must be applicable before we commit data writes.
-    if let Err(e) =
-        validate_catalog_ops(&node.env.catalog, &node.env.contracts, &done.catalog_ops, flow)
-    {
+    if let Err(e) = validate_catalog_ops(
+        &node.env.catalog,
+        &node.env.contracts,
+        &done.catalog_ops,
+        flow,
+    ) {
         done.ctx.rollback();
         return base(txid, TxStatus::Aborted(format!("ddl rejected: {e}")));
     }
@@ -243,7 +258,9 @@ fn commit_one(
     match done.ctx.apply_commit(block.number, index, flow) {
         CommitOutcome::Committed(write_set) => {
             for op in &done.catalog_ops {
-                if let Err(e) = apply_catalog_op(&node.env.catalog, &node.env.contracts, &node.env.certs, op) {
+                if let Err(e) =
+                    apply_catalog_op(&node.env.catalog, &node.env.contracts, &node.env.certs, op)
+                {
                     // Validated above; failure here is a bug, not a user
                     // error — surface loudly but deterministically.
                     eprintln!(
@@ -278,7 +295,11 @@ fn validate_catalog_ops(
                     return Err(Error::AlreadyExists(format!("table {}", schema.name)));
                 }
             }
-            CatalogOp::CreateIndex { table, index, column } => {
+            CatalogOp::CreateIndex {
+                table,
+                index,
+                column,
+            } => {
                 let t = catalog.get(table)?;
                 let schema = t.schema();
                 if schema.column_index(column).is_none() {
@@ -321,8 +342,24 @@ fn finish_block(
     bet_us: u64,
 ) -> Result<()> {
     node.append_ledger(&records, block.number);
-    node.env.committed_height.store(block.number, Ordering::Relaxed);
+    node.env
+        .committed_height
+        .store(block.number, Ordering::Relaxed);
     node.pool.release_waiting(block.number);
+
+    // Record metrics *before* notifying: a client that returns from
+    // `wait_committed` and immediately reads this node's metrics must
+    // see its own transaction counted.
+    for record in &records {
+        match record.status {
+            TxStatus::Committed => node.env.metrics.on_tx_committed(),
+            TxStatus::Aborted(_) => node.env.metrics.on_tx_aborted(),
+        }
+    }
+    let bpt_us = t0.elapsed().as_micros() as u64;
+    node.env
+        .metrics
+        .on_block_processed(bpt_us, bet_us.min(bpt_us));
 
     // Notify clients only after the committed height advanced, so a
     // "committed" notification guarantees the effects are visible to an
@@ -333,14 +370,7 @@ fn finish_block(
             block: block.number,
             status: record.status.clone(),
         });
-        match record.status {
-            TxStatus::Committed => node.env.metrics.on_tx_committed(),
-            TxStatus::Aborted(_) => node.env.metrics.on_tx_aborted(),
-        }
     }
-
-    let bpt_us = t0.elapsed().as_micros() as u64;
-    node.env.metrics.on_block_processed(bpt_us, bet_us.min(bpt_us));
 
     // Process checkpoint votes carried by this block (§3.3.4: hashes of
     // *previous* blocks' write sets arrive in later blocks).
@@ -348,7 +378,10 @@ fn finish_block(
         if cv.node == node.config.name {
             continue;
         }
-        if let Some(d) = node.checkpoints.record_vote(&cv.node, cv.block, cv.state_hash) {
+        if let Some(d) = node
+            .checkpoints
+            .record_vote(&cv.node, cv.block, cv.state_hash)
+        {
             node.divergences.lock().push(d);
         }
     }
@@ -358,7 +391,9 @@ fn finish_block(
         node.env.ssi.gc();
         node.checkpoints.prune(block.number.saturating_sub(64));
     }
-    if node.config.snapshot_interval > 0 && block.number.is_multiple_of(node.config.snapshot_interval) {
+    if node.config.snapshot_interval > 0
+        && block.number.is_multiple_of(node.config.snapshot_interval)
+    {
         node.write_snapshot()?;
     }
     Ok(())

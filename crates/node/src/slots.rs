@@ -87,9 +87,9 @@ impl SlotTable {
         let deadline = std::time::Instant::now() + timeout;
         let mut slots = self.slots.lock();
         loop {
-            let all_done = ids.iter().all(|id| {
-                matches!(slots.get(id), Some(SlotState::Done(_)))
-            });
+            let all_done = ids
+                .iter()
+                .all(|id| matches!(slots.get(id), Some(SlotState::Done(_))));
             if all_done {
                 return Ok(());
             }
@@ -177,7 +177,8 @@ mod tests {
             std::thread::sleep(Duration::from_millis(30));
             t2.complete(id(2), done());
         });
-        t.wait_all_done(&[id(1), id(2)], Duration::from_secs(5)).unwrap();
+        t.wait_all_done(&[id(1), id(2)], Duration::from_secs(5))
+            .unwrap();
         handle.join().unwrap();
     }
 

@@ -18,14 +18,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::service::BlockSubscribers;
 use bcrdb_chain::block::{genesis_prev_hash, Block, CheckpointVote};
 use bcrdb_chain::tx::Transaction;
 use bcrdb_common::ids::BlockHeight;
 use bcrdb_crypto::identity::KeyPair;
 use bcrdb_crypto::sha256::Digest;
 use bcrdb_network::SimNetwork;
-use crossbeam_channel::{Receiver, Sender};
-use parking_lot::Mutex;
+use crossbeam_channel::Receiver;
 
 use crate::config::OrderingConfig;
 use crate::cutter::BlockCutter;
@@ -70,7 +70,9 @@ impl BftHandle {
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Relaxed);
         for i in 0..self.replicas {
-            let _ = self.net.send("control", &replica_endpoint(i), BftMsg::Stop, 1);
+            let _ = self
+                .net
+                .send("control", &replica_endpoint(i), BftMsg::Stop, 1);
         }
         // Give replicas a moment to observe Stop before the network dies.
         std::thread::sleep(Duration::from_millis(20));
@@ -87,7 +89,7 @@ fn replica_endpoint(i: usize) -> String {
 pub fn start(
     config: &OrderingConfig,
     keys: Vec<Arc<KeyPair>>,
-    subscribers: Arc<Vec<Mutex<Vec<Sender<Arc<Block>>>>>>,
+    subscribers: BlockSubscribers,
     height: Arc<AtomicU64>,
     stats: Arc<OrderingStats>,
     input: Receiver<Input>,
@@ -145,7 +147,11 @@ pub fn start(
         })
         .expect("spawn bft input pump");
 
-    BftHandle { net, stop, replicas: n }
+    BftHandle {
+        net,
+        stop,
+        replicas: n,
+    }
 }
 
 struct Replica {
@@ -157,7 +163,7 @@ struct Replica {
     msg_cost: Duration,
     block_size: usize,
     block_timeout: Duration,
-    subscribers: Arc<Vec<Mutex<Vec<Sender<Arc<Block>>>>>>,
+    subscribers: BlockSubscribers,
     height: Arc<AtomicU64>,
     stats: Arc<OrderingStats>,
     stop: Arc<AtomicBool>,
@@ -246,13 +252,7 @@ impl Replica {
                     }
                     BftMsg::Commit { number, hash } => {
                         self.pay_cost();
-                        self.on_commit(
-                            number,
-                            hash,
-                            &mut rounds,
-                            &mut in_flight,
-                            &mut prev_hash,
-                        );
+                        self.on_commit(number, hash, &mut rounds, &mut in_flight, &mut prev_hash);
                     }
                 }
             }
@@ -370,7 +370,9 @@ impl Replica {
         deliver_block(&block, self.idx, &self.key, &self.subscribers);
         if self.idx == 0 {
             self.stats.blocks.fetch_add(1, Ordering::Relaxed);
-            self.stats.txs.fetch_add(block.txs.len() as u64, Ordering::Relaxed);
+            self.stats
+                .txs
+                .fetch_add(block.txs.len() as u64, Ordering::Relaxed);
             self.height.store(block.number, Ordering::Relaxed);
             *in_flight = false;
         }

@@ -62,7 +62,9 @@ impl BlockCutter {
     /// (the "time-to-cut" message of §4.4).
     pub fn poll_timeout(&mut self, now: Instant) -> Option<Cut> {
         match self.first_at {
-            Some(first) if now.duration_since(first) >= self.timeout && !self.pending.is_empty() => {
+            Some(first)
+                if now.duration_since(first) >= self.timeout && !self.pending.is_empty() =>
+            {
                 Some(self.cut())
             }
             _ => None,
@@ -71,9 +73,8 @@ impl BlockCutter {
 
     /// How long until the timeout would fire (None when nothing pending).
     pub fn time_until_cut(&self, now: Instant) -> Option<Duration> {
-        self.first_at.map(|first| {
-            (first + self.timeout).saturating_duration_since(now)
-        })
+        self.first_at
+            .map(|first| (first + self.timeout).saturating_duration_since(now))
     }
 
     fn cut(&mut self) -> Cut {
@@ -115,7 +116,9 @@ mod tests {
         let t0 = Instant::now();
         c.push_tx(tx(1), t0);
         assert!(c.poll_timeout(t0 + Duration::from_millis(10)).is_none());
-        let cut = c.poll_timeout(t0 + Duration::from_millis(51)).expect("timeout fired");
+        let cut = c
+            .poll_timeout(t0 + Duration::from_millis(51))
+            .expect("timeout fired");
         assert_eq!(cut.txs.len(), 1);
         // Nothing pending → no further cut.
         assert!(c.poll_timeout(t0 + Duration::from_secs(9)).is_none());
@@ -137,7 +140,11 @@ mod tests {
     #[test]
     fn votes_ride_with_next_cut() {
         let mut c = BlockCutter::new(1, Duration::from_secs(1));
-        c.push_vote(CheckpointVote { node: "n".into(), block: 1, state_hash: [0u8; 32] });
+        c.push_vote(CheckpointVote {
+            node: "n".into(),
+            block: 1,
+            state_hash: [0u8; 32],
+        });
         let cut = c.push_tx(tx(1), Instant::now()).unwrap();
         assert_eq!(cut.votes.len(), 1);
         // Votes drained: the next cut has none.

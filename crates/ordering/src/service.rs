@@ -20,6 +20,10 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::bft::{self, BftHandle};
+
+/// Per-organization block delivery channels (one slot per subscriber
+/// index, each holding the senders registered for that organization).
+pub(crate) type BlockSubscribers = Arc<Vec<Mutex<Vec<Sender<Arc<Block>>>>>>;
 use crate::config::{OrderingConfig, OrderingKind};
 use crate::cutter::{BlockCutter, Cut};
 
@@ -46,7 +50,7 @@ pub struct OrderingStats {
 pub struct OrderingService {
     config: OrderingConfig,
     input: Sender<Input>,
-    subscribers: Arc<Vec<Mutex<Vec<Sender<Arc<Block>>>>>>,
+    subscribers: BlockSubscribers,
     keys: Vec<Arc<KeyPair>>,
     next_sub: AtomicUsize,
     height: Arc<AtomicU64>,
@@ -81,8 +85,11 @@ impl OrderingService {
             })
             .collect();
 
-        let subscribers: Arc<Vec<Mutex<Vec<Sender<Arc<Block>>>>>> =
-            Arc::new((0..config.orderers).map(|_| Mutex::new(Vec::new())).collect());
+        let subscribers: BlockSubscribers = Arc::new(
+            (0..config.orderers)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        );
         let height = Arc::new(AtomicU64::new(0));
         let stats = Arc::new(OrderingStats::default());
         let (input_tx, input_rx) = unbounded();
@@ -159,7 +166,9 @@ impl OrderingService {
     /// Subscribe to a specific orderer node.
     pub fn subscribe_to(&self, orderer: usize) -> Receiver<Arc<Block>> {
         let (tx, rx) = unbounded();
-        self.subscribers[orderer % self.subscribers.len()].lock().push(tx);
+        self.subscribers[orderer % self.subscribers.len()]
+            .lock()
+            .push(tx);
         rx
     }
 
@@ -170,7 +179,10 @@ impl OrderingService {
 
     /// Delivery counters.
     pub fn stats(&self) -> (u64, u64) {
-        (self.stats.blocks.load(Ordering::Relaxed), self.stats.txs.load(Ordering::Relaxed))
+        (
+            self.stats.blocks.load(Ordering::Relaxed),
+            self.stats.txs.load(Ordering::Relaxed),
+        )
     }
 
     /// Stop all threads.
@@ -207,7 +219,7 @@ pub(crate) fn deliver_block(
 struct Sequencer {
     config: OrderingConfig,
     keys: Vec<Arc<KeyPair>>,
-    subscribers: Arc<Vec<Mutex<Vec<Sender<Arc<Block>>>>>>,
+    subscribers: BlockSubscribers,
     height: Arc<AtomicU64>,
     stats: Arc<OrderingStats>,
 }
@@ -253,7 +265,9 @@ impl Sequencer {
         *prev_hash = block.hash;
         *next_number += 1;
         self.stats.blocks.fetch_add(1, Ordering::Relaxed);
-        self.stats.txs.fetch_add(block.txs.len() as u64, Ordering::Relaxed);
+        self.stats
+            .txs
+            .fetch_add(block.txs.len() as u64, Ordering::Relaxed);
         self.height.store(block.number, Ordering::Relaxed);
         for (i, key) in self.keys.iter().enumerate() {
             deliver_block(&block, i, key, &self.subscribers);
@@ -293,10 +307,7 @@ mod tests {
     #[test]
     fn solo_cuts_by_size() {
         let (key, certs) = client();
-        let svc = OrderingService::start(
-            OrderingConfig::solo(3, Duration::from_secs(60)),
-            &certs,
-        );
+        let svc = OrderingService::start(OrderingConfig::solo(3, Duration::from_secs(60)), &certs);
         let rx = svc.subscribe();
         for i in 0..6 {
             svc.submit(tx(&key, i)).unwrap();
@@ -359,10 +370,7 @@ mod tests {
     #[test]
     fn checkpoint_votes_embedded_in_next_block() {
         let (key, certs) = client();
-        let svc = OrderingService::start(
-            OrderingConfig::solo(1, Duration::from_secs(60)),
-            &certs,
-        );
+        let svc = OrderingService::start(OrderingConfig::solo(1, Duration::from_secs(60)), &certs);
         let rx = svc.subscribe();
         svc.submit_checkpoint(CheckpointVote {
             node: "org1/peer".into(),
@@ -380,10 +388,7 @@ mod tests {
     #[test]
     fn submit_after_shutdown_errors() {
         let (key, certs) = client();
-        let svc = OrderingService::start(
-            OrderingConfig::solo(1, Duration::from_secs(60)),
-            &certs,
-        );
+        let svc = OrderingService::start(OrderingConfig::solo(1, Duration::from_secs(60)), &certs);
         svc.shutdown();
         std::thread::sleep(Duration::from_millis(50));
         // The sequencer consumed Stop; the channel may still accept sends

@@ -4,7 +4,13 @@ use bcrdb_common::schema::DataType;
 use bcrdb_common::value::Value;
 
 /// A parsed SQL statement.
+///
+/// Variant sizes differ widely (CreateFunction carries a whole body);
+/// statements are built once per parse and never stored in bulk, so
+/// boxing the large variants would cost more in ergonomics than the
+/// few words of stack it saves.
 #[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::large_enum_variant)]
 pub enum Statement {
     /// `CREATE TABLE name (col type [NOT NULL], ..., PRIMARY KEY (cols))`
     CreateTable {
@@ -298,17 +304,27 @@ pub enum Expr {
 impl Expr {
     /// Convenience: build `left op right`.
     pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Convenience: unqualified column reference.
     pub fn column(name: impl Into<String>) -> Expr {
-        Expr::Column { table: None, name: name.into() }
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
     }
 
     /// Convenience: qualified column reference.
     pub fn qualified(table: impl Into<String>, name: impl Into<String>) -> Expr {
-        Expr::Column { table: Some(table.into()), name: name.into() }
+        Expr::Column {
+            table: Some(table.into()),
+            name: name.into(),
+        }
     }
 
     /// True if this expression contains an aggregate function call at any
@@ -327,11 +343,9 @@ impl Expr {
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::Literal(_) | Expr::Column { .. } | Expr::Param(_) => false,
         }
     }
@@ -352,7 +366,9 @@ impl Expr {
                     e.walk(f);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.walk(f);
                 low.walk(f);
                 high.walk(f);
@@ -386,7 +402,11 @@ impl Statement {
                 }
                 InsertSource::Select(sel) => walk_select(sel, f),
             },
-            Statement::Update { assignments, predicate, .. } => {
+            Statement::Update {
+                assignments,
+                predicate,
+                ..
+            } => {
                 for (_, e) in assignments {
                     e.walk(f);
                 }
@@ -447,7 +467,11 @@ mod tests {
 
     #[test]
     fn aggregate_detection() {
-        let agg = Expr::Function { name: "sum".into(), args: vec![Expr::column("x")], star: false };
+        let agg = Expr::Function {
+            name: "sum".into(),
+            args: vec![Expr::column("x")],
+            star: false,
+        };
         assert!(agg.contains_aggregate());
         let nested = Expr::binary(BinaryOp::Add, Expr::Literal(Value::Int(1)), agg);
         assert!(nested.contains_aggregate());
@@ -472,9 +496,17 @@ mod tests {
 
     #[test]
     fn effective_name_prefers_alias() {
-        let t = TableRef { name: "invoices".into(), alias: Some("i".into()), history: false };
+        let t = TableRef {
+            name: "invoices".into(),
+            alias: Some("i".into()),
+            history: false,
+        };
         assert_eq!(t.effective_name(), "i");
-        let t2 = TableRef { name: "invoices".into(), alias: None, history: false };
+        let t2 = TableRef {
+            name: "invoices".into(),
+            alias: None,
+            history: false,
+        };
         assert_eq!(t2.effective_name(), "invoices");
     }
 }

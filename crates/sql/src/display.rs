@@ -45,7 +45,11 @@ pub fn function_to_sql(def: &FunctionDef) -> String {
 
 fn write_statement(s: &mut String, stmt: &Statement) {
     match stmt {
-        Statement::CreateTable { name, columns, primary_key } => {
+        Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+        } => {
             let _ = write!(s, "CREATE TABLE {name} (");
             for (i, c) in columns.iter().enumerate() {
                 if i > 0 {
@@ -63,7 +67,11 @@ fn write_statement(s: &mut String, stmt: &Statement) {
             }
             s.push(')');
         }
-        Statement::CreateIndex { name, table, column } => {
+        Statement::CreateIndex {
+            name,
+            table,
+            column,
+        } => {
             let _ = write!(s, "CREATE INDEX {name} ON {table} ({column})");
         }
         Statement::DropTable { name, if_exists } => {
@@ -73,7 +81,11 @@ fn write_statement(s: &mut String, stmt: &Statement) {
                 if *if_exists { "IF EXISTS " } else { "" }
             );
         }
-        Statement::Insert { table, columns, source } => {
+        Statement::Insert {
+            table,
+            columns,
+            source,
+        } => {
             let _ = write!(s, "INSERT INTO {table}");
             if let Some(cols) = columns {
                 let _ = write!(s, " ({})", cols.join(", "));
@@ -101,7 +113,11 @@ fn write_statement(s: &mut String, stmt: &Statement) {
                 }
             }
         }
-        Statement::Update { table, assignments, predicate } => {
+        Statement::Update {
+            table,
+            assignments,
+            predicate,
+        } => {
             let _ = write!(s, "UPDATE {table} SET ");
             for (i, (col, e)) in assignments.iter().enumerate() {
                 if i > 0 {
@@ -259,7 +275,11 @@ fn write_expr(s: &mut String, e: &Expr) {
             s.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
             s.push(')');
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             s.push('(');
             write_expr(s, expr);
             s.push_str(if *negated { " NOT IN (" } else { " IN (" });
@@ -271,10 +291,19 @@ fn write_expr(s: &mut String, e: &Expr) {
             }
             s.push_str("))");
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             s.push('(');
             write_expr(s, expr);
-            s.push_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " });
+            s.push_str(if *negated {
+                " NOT BETWEEN "
+            } else {
+                " BETWEEN "
+            });
             write_expr(s, low);
             s.push_str(" AND ");
             write_expr(s, high);

@@ -32,10 +32,48 @@ pub enum Token {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Keyword {
-    Select, From, Where, Group, By, Having, Order, Limit, Asc, Desc,
-    Insert, Into, Values, Update, Set, Delete, Create, Drop, Table, Index,
-    On, Join, Inner, As, And, Or, Not, Null, Is, In, Between, True, False,
-    Primary, Key, Unique, If, Exists, Function, Replace, History, Distinct,
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Limit,
+    Asc,
+    Desc,
+    Insert,
+    Into,
+    Values,
+    Update,
+    Set,
+    Delete,
+    Create,
+    Drop,
+    Table,
+    Index,
+    On,
+    Join,
+    Inner,
+    As,
+    And,
+    Or,
+    Not,
+    Null,
+    Is,
+    In,
+    Between,
+    True,
+    False,
+    Primary,
+    Key,
+    Unique,
+    If,
+    Exists,
+    Function,
+    Replace,
+    History,
+    Distinct,
 }
 
 impl Keyword {
@@ -93,9 +131,23 @@ impl Keyword {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Symbol {
-    LParen, RParen, Comma, Semicolon, Dot, Star,
-    Eq, NotEq, Lt, LtEq, Gt, GtEq,
-    Plus, Minus, Slash, Percent, Concat,
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Dot,
+    Star,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Concat,
 }
 
 /// A token with its byte offset in the input (for error messages).
@@ -139,7 +191,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
             '=' => push_sym(&mut tokens, Symbol::Eq, start, &mut i),
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    tokens.push(SpannedToken { token: Token::Symbol(Symbol::Concat), offset: start });
+                    tokens.push(SpannedToken {
+                        token: Token::Symbol(Symbol::Concat),
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(err_at(input, start, "single '|' is not an operator"));
@@ -147,10 +202,16 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(SpannedToken { token: Token::Symbol(Symbol::LtEq), offset: start });
+                    tokens.push(SpannedToken {
+                        token: Token::Symbol(Symbol::LtEq),
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(SpannedToken { token: Token::Symbol(Symbol::NotEq), offset: start });
+                    tokens.push(SpannedToken {
+                        token: Token::Symbol(Symbol::NotEq),
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     push_sym(&mut tokens, Symbol::Lt, start, &mut i);
@@ -158,7 +219,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(SpannedToken { token: Token::Symbol(Symbol::GtEq), offset: start });
+                    tokens.push(SpannedToken {
+                        token: Token::Symbol(Symbol::GtEq),
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     push_sym(&mut tokens, Symbol::Gt, start, &mut i);
@@ -166,7 +230,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(SpannedToken { token: Token::Symbol(Symbol::NotEq), offset: start });
+                    tokens.push(SpannedToken {
+                        token: Token::Symbol(Symbol::NotEq),
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(err_at(input, start, "unexpected '!'"));
@@ -174,7 +241,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
             }
             '\'' => {
                 let (s, next) = lex_string(input, i)?;
-                tokens.push(SpannedToken { token: Token::Str(s), offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Str(s),
+                    offset: start,
+                });
                 i = next;
             }
             '$' => {
@@ -206,13 +276,19 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
                     if n == 0 {
                         return Err(err_at(input, start, "parameters are 1-based ($1, $2, ...)"));
                     }
-                    tokens.push(SpannedToken { token: Token::Param(n), offset: start });
+                    tokens.push(SpannedToken {
+                        token: Token::Param(n),
+                        offset: start,
+                    });
                     i = j;
                 }
             }
             '0'..='9' => {
                 let (tok, next) = lex_number(input, i)?;
-                tokens.push(SpannedToken { token: tok, offset: start });
+                tokens.push(SpannedToken {
+                    token: tok,
+                    offset: start,
+                });
                 i = next;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -227,11 +303,18 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
                     Some(kw) => Token::Keyword(kw),
                     None => Token::Ident(word),
                 };
-                tokens.push(SpannedToken { token, offset: start });
+                tokens.push(SpannedToken {
+                    token,
+                    offset: start,
+                });
                 i = j;
             }
             other => {
-                return Err(err_at(input, start, &format!("unexpected character '{other}'")));
+                return Err(err_at(
+                    input,
+                    start,
+                    &format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
@@ -239,7 +322,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
 }
 
 fn push_sym(tokens: &mut Vec<SpannedToken>, s: Symbol, start: usize, i: &mut usize) {
-    tokens.push(SpannedToken { token: Token::Symbol(s), offset: start });
+    tokens.push(SpannedToken {
+        token: Token::Symbol(s),
+        offset: start,
+    });
     *i += 1;
 }
 
@@ -303,9 +389,15 @@ fn lex_number(input: &str, start: usize) -> Result<(Token, usize)> {
     }
     let text = &input[start..i];
     let token = if is_float {
-        Token::Float(text.parse().map_err(|_| err_at(input, start, "invalid float literal"))?)
+        Token::Float(
+            text.parse()
+                .map_err(|_| err_at(input, start, "invalid float literal"))?,
+        )
     } else {
-        Token::Int(text.parse().map_err(|_| err_at(input, start, "integer literal out of range"))?)
+        Token::Int(
+            text.parse()
+                .map_err(|_| err_at(input, start, "integer literal out of range"))?,
+        )
     };
     Ok((token, i))
 }
@@ -340,20 +432,26 @@ mod tests {
 
     #[test]
     fn identifiers_lowercased() {
-        assert_eq!(toks("Invoices MyCol"), vec![
-            Token::Ident("invoices".into()),
-            Token::Ident("mycol".into())
-        ]);
+        assert_eq!(
+            toks("Invoices MyCol"),
+            vec![
+                Token::Ident("invoices".into()),
+                Token::Ident("mycol".into())
+            ]
+        );
     }
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 3.25 1e3 2.5e-1"), vec![
-            Token::Int(42),
-            Token::Float(3.25),
-            Token::Float(1000.0),
-            Token::Float(0.25),
-        ]);
+        assert_eq!(
+            toks("42 3.25 1e3 2.5e-1"),
+            vec![
+                Token::Int(42),
+                Token::Float(3.25),
+                Token::Float(1000.0),
+                Token::Float(0.25),
+            ]
+        );
     }
 
     #[test]
@@ -377,29 +475,32 @@ mod tests {
 
     #[test]
     fn operators() {
-        assert_eq!(toks("= <> != < <= > >= || + - * / %"), vec![
-            Token::Symbol(Symbol::Eq),
-            Token::Symbol(Symbol::NotEq),
-            Token::Symbol(Symbol::NotEq),
-            Token::Symbol(Symbol::Lt),
-            Token::Symbol(Symbol::LtEq),
-            Token::Symbol(Symbol::Gt),
-            Token::Symbol(Symbol::GtEq),
-            Token::Symbol(Symbol::Concat),
-            Token::Symbol(Symbol::Plus),
-            Token::Symbol(Symbol::Minus),
-            Token::Symbol(Symbol::Star),
-            Token::Symbol(Symbol::Slash),
-            Token::Symbol(Symbol::Percent),
-        ]);
+        assert_eq!(
+            toks("= <> != < <= > >= || + - * / %"),
+            vec![
+                Token::Symbol(Symbol::Eq),
+                Token::Symbol(Symbol::NotEq),
+                Token::Symbol(Symbol::NotEq),
+                Token::Symbol(Symbol::Lt),
+                Token::Symbol(Symbol::LtEq),
+                Token::Symbol(Symbol::Gt),
+                Token::Symbol(Symbol::GtEq),
+                Token::Symbol(Symbol::Concat),
+                Token::Symbol(Symbol::Plus),
+                Token::Symbol(Symbol::Minus),
+                Token::Symbol(Symbol::Star),
+                Token::Symbol(Symbol::Slash),
+                Token::Symbol(Symbol::Percent),
+            ]
+        );
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("select -- a comment\n 1"), vec![
-            Token::Keyword(Keyword::Select),
-            Token::Int(1)
-        ]);
+        assert_eq!(
+            toks("select -- a comment\n 1"),
+            vec![Token::Keyword(Keyword::Select), Token::Int(1)]
+        );
     }
 
     #[test]

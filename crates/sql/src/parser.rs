@@ -24,7 +24,11 @@ pub fn parse_statement(input: &str) -> Result<Statement> {
 /// Parse a semicolon-separated sequence of statements.
 pub fn parse_statements(input: &str) -> Result<Vec<Statement>> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { input, tokens: &tokens, pos: 0 };
+    let mut p = Parser {
+        input,
+        tokens: &tokens,
+        pos: 0,
+    };
     let mut stmts = Vec::new();
     loop {
         while p.eat_symbol(Sym::Semicolon) {}
@@ -43,7 +47,11 @@ pub fn parse_statements(input: &str) -> Result<Vec<Statement>> {
 /// client helpers).
 pub fn parse_expression(input: &str) -> Result<Expr> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { input, tokens: &tokens, pos: 0 };
+    let mut p = Parser {
+        input,
+        tokens: &tokens,
+        pos: 0,
+    };
     let e = p.parse_expr()?;
     if !p.at_end() {
         return Err(p.err_here("unexpected trailing tokens after expression"));
@@ -168,7 +176,9 @@ impl<'a> Parser<'a> {
             }
             return self.parse_create_table();
         }
-        if self.eat_keyword(Kw::Index) || (self.eat_keyword(Kw::Unique) && self.eat_keyword(Kw::Index)) {
+        if self.eat_keyword(Kw::Index)
+            || (self.eat_keyword(Kw::Unique) && self.eat_keyword(Kw::Index))
+        {
             if or_replace {
                 return Err(self.err_here("OR REPLACE is only valid for functions"));
             }
@@ -219,14 +229,23 @@ impl<'a> Parser<'a> {
                         break;
                     }
                 }
-                columns.push(ColumnDef { name: col_name, dtype, nullable, inline_pk });
+                columns.push(ColumnDef {
+                    name: col_name,
+                    dtype,
+                    nullable,
+                    inline_pk,
+                });
             }
             if !self.eat_symbol(Sym::Comma) {
                 break;
             }
         }
         self.expect_symbol(Sym::RParen)?;
-        Ok(Statement::CreateTable { name, columns, primary_key })
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+        })
     }
 
     fn parse_create_index(&mut self) -> Result<Statement> {
@@ -236,7 +255,11 @@ impl<'a> Parser<'a> {
         self.expect_symbol(Sym::LParen)?;
         let column = self.expect_ident()?;
         self.expect_symbol(Sym::RParen)?;
-        Ok(Statement::CreateIndex { name, table, column })
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+        })
     }
 
     fn parse_create_function(&mut self, or_replace: bool) -> Result<Statement> {
@@ -266,7 +289,12 @@ impl<'a> Parser<'a> {
         if body.is_empty() {
             return Err(Error::Parse(format!("function {name} has an empty body")));
         }
-        Ok(Statement::CreateFunction(FunctionDef { name, params, body, or_replace }))
+        Ok(Statement::CreateFunction(FunctionDef {
+            name,
+            params,
+            body,
+            or_replace,
+        }))
     }
 
     fn parse_drop(&mut self) -> Result<Statement> {
@@ -331,7 +359,11 @@ impl<'a> Parser<'a> {
         } else {
             return Err(self.err_here("expected VALUES or SELECT in INSERT"));
         };
-        Ok(Statement::Insert { table, columns, source })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            source,
+        })
     }
 
     /// Disambiguate `INSERT INTO t (a, b) VALUES ...` from a hypothetical
@@ -361,7 +393,11 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
-        Ok(Statement::Update { table, assignments, predicate })
+        Ok(Statement::Update {
+            table,
+            assignments,
+            predicate,
+        })
     }
 
     fn parse_delete(&mut self) -> Result<Statement> {
@@ -409,7 +445,10 @@ impl<'a> Parser<'a> {
                     // join whose condition lives in WHERE (used by the
                     // paper's provenance examples, Table 3).
                     let table = self.parse_table_ref()?;
-                    joins.push(Join { table, on: Expr::Literal(Value::Bool(true)) });
+                    joins.push(Join {
+                        table,
+                        on: Expr::Literal(Value::Bool(true)),
+                    });
                 } else {
                     break;
                 }
@@ -460,7 +499,15 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
-        Ok(SelectStmt { projections, from, predicate, group_by, having, order_by, limit })
+        Ok(SelectStmt {
+            projections,
+            from,
+            predicate,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem> {
@@ -468,8 +515,11 @@ impl<'a> Parser<'a> {
             return Ok(SelectItem::Wildcard);
         }
         // `alias.*`
-        if let (Some(Token::Ident(name)), Some(Token::Symbol(Sym::Dot)), Some(Token::Symbol(Sym::Star))) =
-            (self.peek(), self.peek_ahead(1), self.peek_ahead(2))
+        if let (
+            Some(Token::Ident(name)),
+            Some(Token::Symbol(Sym::Dot)),
+            Some(Token::Symbol(Sym::Star)),
+        ) = (self.peek(), self.peek_ahead(1), self.peek_ahead(2))
         {
             let name = name.clone();
             self.pos += 3;
@@ -490,16 +540,26 @@ impl<'a> Parser<'a> {
 
     fn parse_table_ref(&mut self) -> Result<TableRef> {
         // HISTORY(t) provenance scan.
-        if self.peek_keyword(Kw::History) && matches!(self.peek_ahead(1), Some(Token::Symbol(Sym::LParen))) {
+        if self.peek_keyword(Kw::History)
+            && matches!(self.peek_ahead(1), Some(Token::Symbol(Sym::LParen)))
+        {
             self.pos += 2;
             let name = self.expect_ident()?;
             self.expect_symbol(Sym::RParen)?;
             let alias = self.parse_opt_alias()?;
-            return Ok(TableRef { name, alias, history: true });
+            return Ok(TableRef {
+                name,
+                alias,
+                history: true,
+            });
         }
         let name = self.expect_ident()?;
         let alias = self.parse_opt_alias()?;
-        Ok(TableRef { name, alias, history: false })
+        Ok(TableRef {
+            name,
+            alias,
+            history: false,
+        })
     }
 
     fn parse_opt_alias(&mut self) -> Result<Option<String>> {
@@ -541,7 +601,10 @@ impl<'a> Parser<'a> {
     fn parse_not(&mut self) -> Result<Expr> {
         if self.eat_keyword(Kw::Not) {
             let operand = self.parse_not()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            });
         }
         self.parse_comparison()
     }
@@ -552,7 +615,10 @@ impl<'a> Parser<'a> {
         if self.eat_keyword(Kw::Is) {
             let negated = self.eat_keyword(Kw::Not);
             self.expect_keyword(Kw::Null)?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] IN / [NOT] BETWEEN
         let negated = self.eat_keyword(Kw::Not);
@@ -566,7 +632,11 @@ impl<'a> Parser<'a> {
                 }
             }
             self.expect_symbol(Sym::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_keyword(Kw::Between) {
             let low = self.parse_additive()?;
@@ -634,7 +704,10 @@ impl<'a> Parser<'a> {
     fn parse_unary(&mut self) -> Result<Expr> {
         if self.eat_symbol(Sym::Minus) {
             let operand = self.parse_unary()?;
-            return Ok(Expr::Unary { op: UnaryOp::Neg, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(operand),
+            });
         }
         if self.eat_symbol(Sym::Plus) {
             return self.parse_unary();
@@ -705,7 +778,11 @@ impl<'a> Parser<'a> {
         // COUNT(*) special case.
         if self.eat_symbol(Sym::Star) {
             self.expect_symbol(Sym::RParen)?;
-            return Ok(Expr::Function { name, args: Vec::new(), star: true });
+            return Ok(Expr::Function {
+                name,
+                args: Vec::new(),
+                star: true,
+            });
         }
         let mut args = Vec::new();
         if !self.peek_symbol(Sym::RParen) {
@@ -717,7 +794,11 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect_symbol(Sym::RParen)?;
-        Ok(Expr::Function { name, args, star: false })
+        Ok(Expr::Function {
+            name,
+            args,
+            star: false,
+        })
     }
 }
 
@@ -732,7 +813,11 @@ mod tests {
         )
         .unwrap();
         match s {
-            Statement::CreateTable { name, columns, primary_key } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
                 assert_eq!(name, "invoices");
                 assert_eq!(columns.len(), 3);
                 assert!(columns[0].inline_pk);
@@ -744,10 +829,7 @@ mod tests {
             other => panic!("wrong statement: {other:?}"),
         }
 
-        let s = parse_statement(
-            "CREATE TABLE t (a INT, b TEXT, PRIMARY KEY (a, b))",
-        )
-        .unwrap();
+        let s = parse_statement("CREATE TABLE t (a INT, b TEXT, PRIMARY KEY (a, b))").unwrap();
         match s {
             Statement::CreateTable { primary_key, .. } => {
                 assert_eq!(primary_key, vec!["a".to_string(), "b".to_string()]);
@@ -760,7 +842,11 @@ mod tests {
     fn insert_values_multi_row() {
         let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), ($1, $2)").unwrap();
         match s {
-            Statement::Insert { table, columns, source } => {
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => {
                 assert_eq!(table, "t");
                 assert_eq!(columns.unwrap(), vec!["a", "b"]);
                 match source {
@@ -780,7 +866,10 @@ mod tests {
     fn insert_from_select() {
         let s = parse_statement("INSERT INTO t SELECT a, SUM(b) FROM u GROUP BY a").unwrap();
         match s {
-            Statement::Insert { source: InsertSource::Select(sel), .. } => {
+            Statement::Insert {
+                source: InsertSource::Select(sel),
+                ..
+            } => {
                 assert_eq!(sel.group_by.len(), 1);
             }
             other => panic!("wrong statement: {other:?}"),
@@ -791,7 +880,11 @@ mod tests {
     fn update_and_delete() {
         let s = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE id = $1").unwrap();
         match s {
-            Statement::Update { assignments, predicate, .. } => {
+            Statement::Update {
+                assignments,
+                predicate,
+                ..
+            } => {
                 assert_eq!(assignments.len(), 2);
                 assert!(predicate.is_some());
             }
@@ -799,7 +892,10 @@ mod tests {
         }
         let s = parse_statement("DELETE FROM t WHERE id BETWEEN 1 AND 10").unwrap();
         match s {
-            Statement::Delete { predicate: Some(Expr::Between { .. }), .. } => {}
+            Statement::Delete {
+                predicate: Some(Expr::Between { .. }),
+                ..
+            } => {}
             other => panic!("wrong statement: {other:?}"),
         }
         // Blind update parses (the validator rejects it for EO).
@@ -843,7 +939,10 @@ mod tests {
                 assert_eq!(from.joins.len(), 1);
                 assert_eq!(from.joins[0].table.name, "ledger");
                 assert_eq!(from.joins[0].on, Expr::Literal(Value::Bool(true)));
-                assert_eq!(sel.projections[0], SelectItem::QualifiedWildcard("invoices".into()));
+                assert_eq!(
+                    sel.projections[0],
+                    SelectItem::QualifiedWildcard("invoices".into())
+                );
             }
             other => panic!("wrong statement: {other:?}"),
         }
@@ -892,21 +991,36 @@ mod tests {
             Expr::binary(
                 BinaryOp::Add,
                 Expr::Literal(Value::Int(1)),
-                Expr::binary(BinaryOp::Mul, Expr::Literal(Value::Int(2)), Expr::Literal(Value::Int(3)))
+                Expr::binary(
+                    BinaryOp::Mul,
+                    Expr::Literal(Value::Int(2)),
+                    Expr::Literal(Value::Int(3))
+                )
             )
         );
         let e = parse_expression("a = 1 OR b = 2 AND c = 3").unwrap();
         match e {
-            Expr::Binary { op: BinaryOp::Or, right, .. } => match *right {
-                Expr::Binary { op: BinaryOp::And, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::Or,
+                right,
+                ..
+            } => match *right {
+                Expr::Binary {
+                    op: BinaryOp::And, ..
+                } => {}
                 other => panic!("AND should bind tighter: {other:?}"),
             },
             other => panic!("wrong tree: {other:?}"),
         }
         let e = parse_expression("NOT a = 1").unwrap();
         match e {
-            Expr::Unary { op: UnaryOp::Not, operand } => match *operand {
-                Expr::Binary { op: BinaryOp::Eq, .. } => {}
+            Expr::Unary {
+                op: UnaryOp::Not,
+                operand,
+            } => match *operand {
+                Expr::Binary {
+                    op: BinaryOp::Eq, ..
+                } => {}
                 other => panic!("NOT should apply to the comparison: {other:?}"),
             },
             other => panic!("wrong tree: {other:?}"),
@@ -937,7 +1051,11 @@ mod tests {
     fn count_star_and_functions() {
         assert_eq!(
             parse_expression("COUNT(*)").unwrap(),
-            Expr::Function { name: "count".into(), args: vec![], star: true }
+            Expr::Function {
+                name: "count".into(),
+                args: vec![],
+                star: true
+            }
         );
         assert_eq!(
             parse_expression("coalesce(a, 0)").unwrap(),
@@ -976,7 +1094,10 @@ mod tests {
     fn negative_numbers_and_unary() {
         assert_eq!(
             parse_expression("-5").unwrap(),
-            Expr::Unary { op: UnaryOp::Neg, operand: Box::new(Expr::Literal(Value::Int(5))) }
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(Expr::Literal(Value::Int(5)))
+            }
         );
         assert!(parse_expression("+7").unwrap() == Expr::Literal(Value::Int(7)));
     }

@@ -24,22 +24,48 @@ use crate::ast::{Expr, InsertSource, SelectStmt, Statement};
 /// local state. Mirrors the restricted list of §4.3.
 const NON_DETERMINISTIC_FUNCTIONS: &[&str] = &[
     // date/time
-    "now", "current_timestamp", "current_date", "current_time", "timeofday",
-    "clock_timestamp", "statement_timestamp", "transaction_timestamp", "age", "localtime",
+    "now",
+    "current_timestamp",
+    "current_date",
+    "current_time",
+    "timeofday",
+    "clock_timestamp",
+    "statement_timestamp",
+    "transaction_timestamp",
+    "age",
+    "localtime",
     // randomness
-    "random", "setseed", "gen_random_uuid", "uuid_generate_v4",
+    "random",
+    "setseed",
+    "gen_random_uuid",
+    "uuid_generate_v4",
     // sequences
-    "nextval", "currval", "setval", "lastval",
+    "nextval",
+    "currval",
+    "setval",
+    "lastval",
     // system information
-    "version", "current_user", "session_user", "current_database", "pg_backend_pid",
-    "inet_client_addr", "txid_current", "pg_sleep",
+    "version",
+    "current_user",
+    "session_user",
+    "current_database",
+    "pg_backend_pid",
+    "inet_client_addr",
+    "txid_current",
+    "pg_sleep",
 ];
 
 /// Row-header / system columns reserved for provenance queries (§4.2);
 /// forbidden inside contracts (§4.3: "cannot use row headers such as xmin,
 /// xmax in WHERE clause").
-pub const SYSTEM_COLUMNS: &[&str] =
-    &["xmin", "xmax", "_creator_block", "_deleter_block", "_row_id", "_committed"];
+pub const SYSTEM_COLUMNS: &[&str] = &[
+    "xmin",
+    "xmax",
+    "_creator_block",
+    "_deleter_block",
+    "_row_id",
+    "_committed",
+];
 
 /// Which rule set to apply. The EO flow adds restrictions beyond those
 /// required by OE (blind updates would acquire ww locks on only a subset of
@@ -56,12 +82,18 @@ pub struct DeterminismRules {
 impl DeterminismRules {
     /// Rules for the order-then-execute flow.
     pub fn order_then_execute() -> DeterminismRules {
-        DeterminismRules { forbid_blind_writes: false, forbid_unfiltered_select: false }
+        DeterminismRules {
+            forbid_blind_writes: false,
+            forbid_unfiltered_select: false,
+        }
     }
 
     /// Rules for the execute-order-in-parallel flow.
     pub fn execute_order_parallel() -> DeterminismRules {
-        DeterminismRules { forbid_blind_writes: true, forbid_unfiltered_select: true }
+        DeterminismRules {
+            forbid_blind_writes: true,
+            forbid_unfiltered_select: true,
+        }
     }
 }
 
@@ -93,25 +125,26 @@ pub fn validate_statement(stmt: &Statement, rules: &DeterminismRules) -> Result<
 
     match stmt {
         Statement::Select(sel) => validate_select(sel, rules)?,
-        Statement::Insert { source: InsertSource::Select(sel), .. } => {
+        Statement::Insert {
+            source: InsertSource::Select(sel),
+            ..
+        } => {
             validate_select(sel, rules)?;
         }
-        Statement::Update { predicate, .. }
-            if rules.forbid_blind_writes && predicate.is_none() => {
-                return Err(Error::Determinism(
-                    "blind UPDATE without WHERE is not supported in the \
+        Statement::Update { predicate, .. } if rules.forbid_blind_writes && predicate.is_none() => {
+            return Err(Error::Determinism(
+                "blind UPDATE without WHERE is not supported in the \
                      execute-order-in-parallel flow (§3.4.3)"
-                        .into(),
-                ));
-            }
-        Statement::Delete { predicate, .. }
-            if rules.forbid_blind_writes && predicate.is_none() => {
-                return Err(Error::Determinism(
-                    "blind DELETE without WHERE is not supported in the \
+                    .into(),
+            ));
+        }
+        Statement::Delete { predicate, .. } if rules.forbid_blind_writes && predicate.is_none() => {
+            return Err(Error::Determinism(
+                "blind DELETE without WHERE is not supported in the \
                      execute-order-in-parallel flow (§3.4.3)"
-                        .into(),
-                ));
-            }
+                    .into(),
+            ));
+        }
         Statement::CreateFunction(def) => {
             for s in &def.body {
                 validate_statement(s, rules)?;
@@ -155,7 +188,10 @@ fn validate_select(sel: &SelectStmt, rules: &DeterminismRules) -> Result<()> {
 pub fn validate_contract_body(body: &[Statement], rules: &DeterminismRules) -> Result<()> {
     for stmt in body {
         // Contracts may not contain nested contract definitions.
-        if matches!(stmt, Statement::CreateFunction(_) | Statement::DropFunction { .. }) {
+        if matches!(
+            stmt,
+            Statement::CreateFunction(_) | Statement::DropFunction { .. }
+        ) {
             return Err(Error::Determinism(
                 "contracts may not define or drop other contracts".into(),
             ));
@@ -238,10 +274,8 @@ mod tests {
 
     #[test]
     fn contract_body_validation() {
-        let body = parse_statements(
-            "INSERT INTO t VALUES ($1); UPDATE t SET a = $2 WHERE id = $1",
-        )
-        .unwrap();
+        let body = parse_statements("INSERT INTO t VALUES ($1); UPDATE t SET a = $2 WHERE id = $1")
+            .unwrap();
         assert!(validate_contract_body(&body, &eo()).is_ok());
 
         let nested = parse_statements("DROP FUNCTION foo").unwrap();
@@ -254,8 +288,7 @@ mod tests {
     #[test]
     fn deep_nesting_is_checked() {
         // Non-determinism hidden inside an expression tree.
-        let stmt =
-            parse_statement("SELECT a FROM t WHERE a > 1 + abs(random())").unwrap();
+        let stmt = parse_statement("SELECT a FROM t WHERE a > 1 + abs(random())").unwrap();
         assert!(validate_statement(&stmt, &oe()).is_err());
         // ... and inside INSERT..SELECT.
         let stmt = parse_statement("INSERT INTO t SELECT random() FROM u WHERE u.a = 1").unwrap();

@@ -32,23 +32,36 @@ pub struct KeyRange {
 impl KeyRange {
     /// The full range (a whole-column predicate lock).
     pub fn all() -> KeyRange {
-        KeyRange { low: Bound::Unbounded, high: Bound::Unbounded }
+        KeyRange {
+            low: Bound::Unbounded,
+            high: Bound::Unbounded,
+        }
     }
 
     /// Exact-match range.
     pub fn eq(v: Value) -> KeyRange {
-        KeyRange { low: Bound::Included(v.clone()), high: Bound::Included(v) }
+        KeyRange {
+            low: Bound::Included(v.clone()),
+            high: Bound::Included(v),
+        }
     }
 
     /// `[low, high]` inclusive range (for BETWEEN).
     pub fn between(low: Value, high: Value) -> KeyRange {
-        KeyRange { low: Bound::Included(low), high: Bound::Included(high) }
+        KeyRange {
+            low: Bound::Included(low),
+            high: Bound::Included(high),
+        }
     }
 
     /// `> v` or `>= v` range.
     pub fn greater(v: Value, inclusive: bool) -> KeyRange {
         KeyRange {
-            low: if inclusive { Bound::Included(v) } else { Bound::Excluded(v) },
+            low: if inclusive {
+                Bound::Included(v)
+            } else {
+                Bound::Excluded(v)
+            },
             high: Bound::Unbounded,
         }
     }
@@ -57,7 +70,11 @@ impl KeyRange {
     pub fn less(v: Value, inclusive: bool) -> KeyRange {
         KeyRange {
             low: Bound::Unbounded,
-            high: if inclusive { Bound::Included(v) } else { Bound::Excluded(v) },
+            high: if inclusive {
+                Bound::Included(v)
+            } else {
+                Bound::Excluded(v)
+            },
         }
     }
 
@@ -82,7 +99,9 @@ impl KeyRange {
         fn low_leq_high(low: &Bound<Value>, high: &Bound<Value>) -> bool {
             match (low, high) {
                 (Bound::Unbounded, _) | (_, Bound::Unbounded) => true,
-                (Bound::Included(l), Bound::Included(h)) => l.cmp_total(h) != std::cmp::Ordering::Greater,
+                (Bound::Included(l), Bound::Included(h)) => {
+                    l.cmp_total(h) != std::cmp::Ordering::Greater
+                }
                 (Bound::Included(l), Bound::Excluded(h))
                 | (Bound::Excluded(l), Bound::Included(h))
                 | (Bound::Excluded(l), Bound::Excluded(h)) => {
@@ -106,7 +125,11 @@ pub struct BTreeIndex {
 impl BTreeIndex {
     /// Empty index over `column`.
     pub fn new(name: impl Into<String>, column: usize) -> BTreeIndex {
-        BTreeIndex { column, name: name.into(), map: RwLock::new(BTreeMap::new()) }
+        BTreeIndex {
+            column,
+            name: name.into(),
+            map: RwLock::new(BTreeMap::new()),
+        }
     }
 
     /// Register a heap position under `key`.

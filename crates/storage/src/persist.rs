@@ -115,7 +115,11 @@ fn decode_table(dec: &mut Decoder<'_>) -> Result<Table> {
         let cname = dec.get_str()?;
         let dtype = dtype_from_tag(dec.get_u8()?)?;
         let nullable = dec.get_bool()?;
-        columns.push(Column { name: cname, dtype, nullable });
+        columns.push(Column {
+            name: cname,
+            dtype,
+            nullable,
+        });
     }
     let pk_count = dec.get_u32()?;
     let mut primary_key = Vec::with_capacity(pk_count as usize);
@@ -128,7 +132,11 @@ fn decode_table(dec: &mut Decoder<'_>) -> Result<Table> {
         let iname = dec.get_str()?;
         let column = dec.get_u32()? as usize;
         let unique = dec.get_bool()?;
-        schema.indexes.push(IndexDef { name: iname, column, unique });
+        schema.indexes.push(IndexDef {
+            name: iname,
+            column,
+            unique,
+        });
     }
     let watermark = dec.get_u64()?;
     let table = Table::new(schema);
@@ -147,7 +155,9 @@ fn decode_table(dec: &mut Decoder<'_>) -> Result<Table> {
             (None, None)
         };
         let data = dec.get_row()?;
-        table.append_restored(Version::restored(xmin, data, row_id, creator, deleter, xmax));
+        table.append_restored(Version::restored(
+            xmin, data, row_id, creator, deleter, xmax,
+        ));
     }
     Ok(table)
 }
@@ -197,11 +207,19 @@ mod tests {
 
         // One live row, one updated (historical + successor), one aborted,
         // one in-flight — only committed versions should survive.
-        let (_, v1) = t.append_version(TxId(1), vec![Value::Int(1), Value::Float(5.0)], UNASSIGNED_ROW_ID);
+        let (_, v1) = t.append_version(
+            TxId(1),
+            vec![Value::Int(1), Value::Float(5.0)],
+            UNASSIGNED_ROW_ID,
+        );
         let r1 = t.alloc_row_id();
         v1.commit_create(1, r1);
 
-        let (_, v2) = t.append_version(TxId(2), vec![Value::Int(2), Value::Float(7.5)], UNASSIGNED_ROW_ID);
+        let (_, v2) = t.append_version(
+            TxId(2),
+            vec![Value::Int(2), Value::Float(7.5)],
+            UNASSIGNED_ROW_ID,
+        );
         let r2 = t.alloc_row_id();
         v2.commit_create(1, r2);
         v2.add_pending_writer(TxId(3));
@@ -209,7 +227,8 @@ mod tests {
         let (_, v2b) = t.append_version(TxId(3), vec![Value::Int(2), Value::Float(9.0)], r2);
         v2b.commit_create(2, r2);
 
-        let (_, va) = t.append_version(TxId(4), vec![Value::Int(3), Value::Null], UNASSIGNED_ROW_ID);
+        let (_, va) =
+            t.append_version(TxId(4), vec![Value::Int(3), Value::Null], UNASSIGNED_ROW_ID);
         va.abort_create();
         let (_, _inflight) =
             t.append_version(TxId(5), vec![Value::Int(4), Value::Null], UNASSIGNED_ROW_ID);
@@ -228,7 +247,10 @@ mod tests {
         // in-flight dropped.
         assert_eq!(t.version_count(), 3);
         assert_eq!(t.live_row_count(), 2);
-        assert_eq!(t.row_id_watermark(), cat.get("inv").unwrap().row_id_watermark());
+        assert_eq!(
+            t.row_id_watermark(),
+            cat.get("inv").unwrap().row_id_watermark()
+        );
         // Schema round-trips with indexes.
         let schema = t.schema();
         assert_eq!(schema.indexes.len(), 1);

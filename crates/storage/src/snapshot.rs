@@ -156,12 +156,24 @@ mod tests {
         // Figure 3 of the paper: at snapshot-height 1, only state committed
         // by block 1 is visible.
         let st = committed(1, None);
-        assert!(matches!(classify(TxId(2), &st, &snap(1)), Classification::Visible { .. }));
-        assert!(matches!(classify(TxId(2), &st, &snap(5)), Classification::Visible { .. }));
+        assert!(matches!(
+            classify(TxId(2), &st, &snap(1)),
+            Classification::Visible { .. }
+        ));
+        assert!(matches!(
+            classify(TxId(2), &st, &snap(5)),
+            Classification::Visible { .. }
+        ));
 
         let st = committed(3, None);
-        assert!(matches!(classify(TxId(2), &st, &snap(2)), Classification::Phantom));
-        assert!(matches!(classify(TxId(2), &st, &snap(3)), Classification::Visible { .. }));
+        assert!(matches!(
+            classify(TxId(2), &st, &snap(2)),
+            Classification::Phantom
+        ));
+        assert!(matches!(
+            classify(TxId(2), &st, &snap(3)),
+            Classification::Visible { .. }
+        ));
     }
 
     #[test]
@@ -169,40 +181,70 @@ mod tests {
         // Created at 1, deleted at 3.
         let st = committed(1, Some(3));
         // At height 3+ the version is simply gone.
-        assert!(matches!(classify(TxId(2), &st, &snap(3)), Classification::Invisible));
-        assert!(matches!(classify(TxId(2), &st, &snap(9)), Classification::Invisible));
+        assert!(matches!(
+            classify(TxId(2), &st, &snap(3)),
+            Classification::Invisible
+        ));
+        assert!(matches!(
+            classify(TxId(2), &st, &snap(9)),
+            Classification::Invisible
+        ));
         // At heights 1..=2 the row existed, but a later block deleted it:
         // stale-read candidate (§3.4.1 rule 2).
-        assert!(matches!(classify(TxId(2), &st, &snap(1)), Classification::Stale));
-        assert!(matches!(classify(TxId(2), &st, &snap(2)), Classification::Stale));
+        assert!(matches!(
+            classify(TxId(2), &st, &snap(1)),
+            Classification::Stale
+        ));
+        assert!(matches!(
+            classify(TxId(2), &st, &snap(2)),
+            Classification::Stale
+        ));
         // Created at 5, already deleted at 7: invisible to snapshot 4 (it
         // never existed there and no longer matters).
         let st = committed(5, Some(7));
-        assert!(matches!(classify(TxId(2), &st, &snap(4)), Classification::Invisible));
+        assert!(matches!(
+            classify(TxId(2), &st, &snap(4)),
+            Classification::Invisible
+        ));
     }
 
     #[test]
     fn own_writes_visible_own_deletes_invisible() {
         let me = TxId(7);
         // Own uncommitted insert.
-        let st = VersionState { row_id: RowId(1), ..Default::default() };
-        assert!(matches!(classify(me, &st, &snap(4)), Classification::Visible { .. }));
+        let st = VersionState {
+            row_id: RowId(1),
+            ..Default::default()
+        };
+        assert!(matches!(
+            classify(me, &st, &snap(4)),
+            Classification::Visible { .. }
+        ));
         // Own insert then own delete.
         let st = VersionState {
             xmax_pending: vec![me],
             row_id: RowId(1),
             ..Default::default()
         };
-        assert!(matches!(classify(me, &st, &snap(4)), Classification::Invisible));
+        assert!(matches!(
+            classify(me, &st, &snap(4)),
+            Classification::Invisible
+        ));
         // Committed row deleted by self → invisible to self.
         let mut st = committed(1, None);
         st.xmax_pending.push(me);
-        assert!(matches!(classify(TxId(2), &st, &snap(4)), Classification::Invisible));
+        assert!(matches!(
+            classify(TxId(2), &st, &snap(4)),
+            Classification::Invisible
+        ));
     }
 
     #[test]
     fn pending_writes_by_others() {
-        let st = VersionState { row_id: RowId(1), ..Default::default() };
+        let st = VersionState {
+            row_id: RowId(1),
+            ..Default::default()
+        };
         match classify(TxId(3), &st, &snap(4)) {
             Classification::PendingWrite { writer } => assert_eq!(writer, TxId(3)),
             other => panic!("expected PendingWrite, got {other:?}"),
@@ -230,7 +272,13 @@ mod tests {
 
     #[test]
     fn aborted_versions_are_dead() {
-        let st = VersionState { aborted: true, ..Default::default() };
-        assert!(matches!(classify(TxId(2), &st, &snap(4)), Classification::Invisible));
+        let st = VersionState {
+            aborted: true,
+            ..Default::default()
+        };
+        assert!(matches!(
+            classify(TxId(2), &st, &snap(4)),
+            Classification::Invisible
+        ));
     }
 }

@@ -72,7 +72,9 @@ impl Table {
         let column = {
             let mut schema = self.schema.write();
             schema.add_index(index_name, column_name)?;
-            schema.column_index(column_name).expect("column checked by add_index")
+            schema
+                .column_index(column_name)
+                .expect("column checked by add_index")
         };
         let idx = Arc::new(BTreeIndex::new(index_name, column));
         let versions = self.versions.read();
@@ -124,7 +126,10 @@ impl Table {
     /// Versions at the given heap positions (missing positions skipped).
     pub fn versions_at(&self, positions: &[usize]) -> Vec<Arc<Version>> {
         let versions = self.versions.read();
-        positions.iter().filter_map(|&p| versions.get(p).cloned()).collect()
+        positions
+            .iter()
+            .filter_map(|&p| versions.get(p).cloned())
+            .collect()
     }
 
     /// All versions, in heap order. Full scans re-sort visible rows by
@@ -212,7 +217,9 @@ impl Table {
         }
         let col = schema.primary_key[0];
         drop(schema);
-        let Some(idx) = self.index_for(col) else { return Vec::new() };
+        let Some(idx) = self.index_for(col) else {
+            return Vec::new();
+        };
         self.versions_at(&idx.positions_eq(pk_value))
             .into_iter()
             .filter(|v| v.is_live() && v.xmin != exclude_tx)
@@ -291,7 +298,9 @@ mod tests {
         );
         v.commit_create(1, t.alloc_row_id());
         t.add_index("idx_name", "name").unwrap();
-        let hits = t.index_scan(1, &KeyRange::eq(Value::Text("x".into()))).unwrap();
+        let hits = t
+            .index_scan(1, &KeyRange::eq(Value::Text("x".into())))
+            .unwrap();
         assert_eq!(hits.len(), 1);
         // Index registered in the schema too.
         assert_eq!(t.schema().indexes.len(), 1);
@@ -330,11 +339,8 @@ mod tests {
         v1.add_pending_writer(TxId(2));
         v1.commit_delete(TxId(2), 2);
         // Successor version committed at block 2.
-        let (_, v2) = t.append_version(
-            TxId(2),
-            vec![Value::Int(1), Value::Text("new".into())],
-            rid,
-        );
+        let (_, v2) =
+            t.append_version(TxId(2), vec![Value::Int(1), Value::Text("new".into())], rid);
         v2.commit_create(2, rid);
         // An aborted insert.
         let (_, v3) = t.append_version(

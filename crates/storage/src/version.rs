@@ -73,7 +73,10 @@ impl Version {
         Version {
             xmin,
             data,
-            state: Mutex::new(VersionState { row_id, ..VersionState::default() }),
+            state: Mutex::new(VersionState {
+                row_id,
+                ..VersionState::default()
+            }),
         }
     }
 
@@ -116,7 +119,12 @@ impl Version {
     /// record rw/ww conflicts. Idempotent per transaction.
     pub fn add_pending_writer(&self, tx: TxId) -> Vec<TxId> {
         let mut st = self.state.lock();
-        let others: Vec<TxId> = st.xmax_pending.iter().copied().filter(|t| *t != tx).collect();
+        let others: Vec<TxId> = st
+            .xmax_pending
+            .iter()
+            .copied()
+            .filter(|t| *t != tx)
+            .collect();
         if !st.xmax_pending.contains(&tx) {
             st.xmax_pending.push(tx);
         }
@@ -164,7 +172,12 @@ impl Version {
         debug_assert!(st.deleter_block.is_none(), "version deleted twice");
         st.deleter_block = Some(block);
         st.xmax_committed = Some(tx);
-        let losers = st.xmax_pending.iter().copied().filter(|t| *t != tx).collect();
+        let losers = st
+            .xmax_pending
+            .iter()
+            .copied()
+            .filter(|t| *t != tx)
+            .collect();
         st.xmax_pending.clear();
         losers
     }
@@ -242,7 +255,14 @@ mod tests {
     fn restored_version_is_committed() {
         let ver = Version::restored(TxId(3), vec![Value::Int(9)], RowId(4), 10, None, None);
         assert!(ver.is_live());
-        let ver = Version::restored(TxId(3), vec![Value::Int(9)], RowId(4), 10, Some(12), Some(TxId(8)));
+        let ver = Version::restored(
+            TxId(3),
+            vec![Value::Int(9)],
+            RowId(4),
+            10,
+            Some(12),
+            Some(TxId(8)),
+        );
         assert!(!ver.is_live());
         assert_eq!(ver.state().deleter_block, Some(12));
     }

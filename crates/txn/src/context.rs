@@ -173,12 +173,8 @@ impl TxnCtx {
             Some((column, range)) => {
                 if self.tracking {
                     // Predicate lock FIRST (see module docs on ordering).
-                    self.mgr.register_predicate_read(
-                        self.id,
-                        &table.name(),
-                        column,
-                        range.clone(),
-                    );
+                    self.mgr
+                        .register_predicate_read(self.id, &table.name(), column, range.clone());
                 }
                 table.index_scan(column, range).ok_or_else(|| {
                     Error::Determinism(format!(
@@ -218,7 +214,11 @@ impl TxnCtx {
                             self.mgr.register_rw_edge(self.id, w);
                         }
                     }
-                    rows.push(VisibleRow { row_id, data: version.data.clone(), version });
+                    rows.push(VisibleRow {
+                        row_id,
+                        data: version.data.clone(),
+                        version,
+                    });
                 }
                 Classification::PendingWrite { writer } => {
                     // An uncommitted insert matching our predicate: the
@@ -240,7 +240,11 @@ impl TxnCtx {
                     }
                     // Relaxed time-travel semantics: the row existed at the
                     // snapshot height, so it is visible.
-                    rows.push(VisibleRow { row_id, data: version.data.clone(), version });
+                    rows.push(VisibleRow {
+                        row_id,
+                        data: version.data.clone(),
+                        version,
+                    });
                 }
                 Classification::Invisible => {}
             }
@@ -285,8 +289,12 @@ impl TxnCtx {
         // reader locks — see module docs.
         let (_, version) = table.append_version(self.id, row, UNASSIGNED_ROW_ID);
         let probes = Self::indexed_values(table, &version.data);
-        self.mgr.on_write(self.id, &table.name(), UNASSIGNED_ROW_ID, &probes);
-        self.ops.lock().push(WriteOp::Insert { table: Arc::clone(table), version });
+        self.mgr
+            .on_write(self.id, &table.name(), UNASSIGNED_ROW_ID, &probes);
+        self.ops.lock().push(WriteOp::Insert {
+            table: Arc::clone(table),
+            version,
+        });
         Ok(())
     }
 
@@ -296,15 +304,15 @@ impl TxnCtx {
         // Flag the old version first (xmax array, no lock wait — §4.3),
         // then probe reader locks.
         target.version.add_pending_writer(self.id);
-        let (_, new_version) =
-            table.append_version(self.id, new_row, target.version.row_id());
+        let (_, new_version) = table.append_version(self.id, new_row, target.version.row_id());
         let mut probes = Self::indexed_values(table, &target.data);
         for (c, v) in Self::indexed_values(table, &new_version.data) {
             if !probes.contains(&(c, v.clone())) {
                 probes.push((c, v));
             }
         }
-        self.mgr.on_write(self.id, &table.name(), target.row_id, &probes);
+        self.mgr
+            .on_write(self.id, &table.name(), target.row_id, &probes);
         self.ops.lock().push(WriteOp::Update {
             table: Arc::clone(table),
             old: Arc::clone(&target.version),
@@ -318,7 +326,8 @@ impl TxnCtx {
         self.ensure_writable()?;
         target.version.add_pending_writer(self.id);
         let probes = Self::indexed_values(table, &target.data);
-        self.mgr.on_write(self.id, &table.name(), target.row_id, &probes);
+        self.mgr
+            .on_write(self.id, &table.name(), target.row_id, &probes);
         self.ops.lock().push(WriteOp::Delete {
             table: Arc::clone(table),
             old: Arc::clone(&target.version),
@@ -492,7 +501,8 @@ mod tests {
     fn insert_commit_read_roundtrip() {
         let (mgr, table) = setup();
         let t1 = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
-        t1.insert(&table, vec![Value::Int(1), Value::Int(100)]).unwrap();
+        t1.insert(&table, vec![Value::Int(1), Value::Int(100)])
+            .unwrap();
         // Own write visible before commit.
         let rows = t1.scan(&table, None).unwrap();
         assert_eq!(rows.len(), 1);
@@ -511,13 +521,15 @@ mod tests {
     fn update_creates_new_version_same_row_id() {
         let (mgr, table) = setup();
         let t1 = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
-        t1.insert(&table, vec![Value::Int(1), Value::Int(100)]).unwrap();
+        t1.insert(&table, vec![Value::Int(1), Value::Int(100)])
+            .unwrap();
         assert!(commit(&t1, 1, 0).is_committed());
 
         let t2 = TxnCtx::begin(&mgr, 1, ScanMode::Relaxed);
         let target = &t2.scan(&table, None).unwrap()[0];
         let rid = target.row_id;
-        t2.update(&table, target, vec![Value::Int(1), Value::Int(150)]).unwrap();
+        t2.update(&table, target, vec![Value::Int(1), Value::Int(150)])
+            .unwrap();
         assert!(commit(&t2, 2, 0).is_committed());
 
         let r = TxnCtx::read_only(&mgr, 2);
@@ -534,7 +546,8 @@ mod tests {
     fn delete_hides_row() {
         let (mgr, table) = setup();
         let t1 = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
-        t1.insert(&table, vec![Value::Int(1), Value::Int(5)]).unwrap();
+        t1.insert(&table, vec![Value::Int(1), Value::Int(5)])
+            .unwrap();
         assert!(commit(&t1, 1, 0).is_committed());
         let t2 = TxnCtx::begin(&mgr, 1, ScanMode::Relaxed);
         let target = t2.scan(&table, None).unwrap()[0].clone();
@@ -542,15 +555,22 @@ mod tests {
         // Own delete: the row is gone for t2 already.
         assert_eq!(t2.scan(&table, None).unwrap().len(), 0);
         assert!(commit(&t2, 2, 0).is_committed());
-        assert_eq!(TxnCtx::read_only(&mgr, 2).scan(&table, None).unwrap().len(), 0);
-        assert_eq!(TxnCtx::read_only(&mgr, 1).scan(&table, None).unwrap().len(), 1);
+        assert_eq!(
+            TxnCtx::read_only(&mgr, 2).scan(&table, None).unwrap().len(),
+            0
+        );
+        assert_eq!(
+            TxnCtx::read_only(&mgr, 1).scan(&table, None).unwrap().len(),
+            1
+        );
     }
 
     #[test]
     fn ww_conflict_first_committer_wins() {
         let (mgr, table) = setup();
         let t0 = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
-        t0.insert(&table, vec![Value::Int(1), Value::Int(100)]).unwrap();
+        t0.insert(&table, vec![Value::Int(1), Value::Int(100)])
+            .unwrap();
         assert!(commit(&t0, 1, 0).is_committed());
 
         // Two concurrent updaters of the same row — no lock wait (xmax
@@ -559,8 +579,10 @@ mod tests {
         let tb = TxnCtx::begin(&mgr, 1, ScanMode::Relaxed);
         let target_a = ta.scan(&table, None).unwrap()[0].clone();
         let target_b = tb.scan(&table, None).unwrap()[0].clone();
-        ta.update(&table, &target_a, vec![Value::Int(1), Value::Int(110)]).unwrap();
-        tb.update(&table, &target_b, vec![Value::Int(1), Value::Int(120)]).unwrap();
+        ta.update(&table, &target_a, vec![Value::Int(1), Value::Int(110)])
+            .unwrap();
+        tb.update(&table, &target_b, vec![Value::Int(1), Value::Int(120)])
+            .unwrap();
 
         assert!(ta.apply_commit(2, 0, Flow::OrderThenExecute).is_committed());
         // The loser aborts: either flagged as the ww loser at the winner's
@@ -584,12 +606,14 @@ mod tests {
     fn pk_uniqueness_at_commit() {
         let (mgr, table) = setup();
         let t0 = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
-        t0.insert(&table, vec![Value::Int(1), Value::Int(1)]).unwrap();
+        t0.insert(&table, vec![Value::Int(1), Value::Int(1)])
+            .unwrap();
         assert!(commit(&t0, 1, 0).is_committed());
 
         // Committed duplicate.
         let t1 = TxnCtx::begin(&mgr, 1, ScanMode::Relaxed);
-        t1.insert(&table, vec![Value::Int(1), Value::Int(2)]).unwrap();
+        t1.insert(&table, vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
         match commit(&t1, 2, 0) {
             CommitOutcome::Aborted(AbortReason::ContractError(msg)) => {
                 assert!(msg.contains("duplicate key"), "{msg}");
@@ -601,15 +625,19 @@ mod tests {
         // aborts deterministically.
         let ta = TxnCtx::begin(&mgr, 1, ScanMode::Relaxed);
         let tb = TxnCtx::begin(&mgr, 1, ScanMode::Relaxed);
-        ta.insert(&table, vec![Value::Int(7), Value::Int(0)]).unwrap();
-        tb.insert(&table, vec![Value::Int(7), Value::Int(0)]).unwrap();
+        ta.insert(&table, vec![Value::Int(7), Value::Int(0)])
+            .unwrap();
+        tb.insert(&table, vec![Value::Int(7), Value::Int(0)])
+            .unwrap();
         assert!(ta.apply_commit(2, 1, Flow::OrderThenExecute).is_committed());
         assert!(!tb.apply_commit(2, 2, Flow::OrderThenExecute).is_committed());
 
         // Same-transaction duplicate.
         let tc = TxnCtx::begin(&mgr, 2, ScanMode::Relaxed);
-        tc.insert(&table, vec![Value::Int(9), Value::Int(0)]).unwrap();
-        tc.insert(&table, vec![Value::Int(9), Value::Int(1)]).unwrap();
+        tc.insert(&table, vec![Value::Int(9), Value::Int(0)])
+            .unwrap();
+        tc.insert(&table, vec![Value::Int(9), Value::Int(1)])
+            .unwrap();
         assert!(!commit(&tc, 3, 0).is_committed());
 
         // Update replacing a row with the same key is fine.
@@ -618,7 +646,8 @@ mod tests {
             .scan(&table, Some((0, &KeyRange::eq(Value::Int(1)))))
             .unwrap()[0]
             .clone();
-        td.update(&table, &target, vec![Value::Int(1), Value::Int(42)]).unwrap();
+        td.update(&table, &target, vec![Value::Int(1), Value::Int(42)])
+            .unwrap();
         assert!(commit(&td, 3, 1).is_committed());
     }
 
@@ -627,24 +656,33 @@ mod tests {
         let (mgr, table) = setup();
         // Height 1: row 1 exists. Height 2: row 2 inserted, row 1 updated.
         let t0 = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
-        t0.insert(&table, vec![Value::Int(1), Value::Int(10)]).unwrap();
+        t0.insert(&table, vec![Value::Int(1), Value::Int(10)])
+            .unwrap();
         assert!(commit(&t0, 1, 0).is_committed());
         let t1 = TxnCtx::begin(&mgr, 1, ScanMode::Relaxed);
-        t1.insert(&table, vec![Value::Int(2), Value::Int(20)]).unwrap();
+        t1.insert(&table, vec![Value::Int(2), Value::Int(20)])
+            .unwrap();
         let target = t1
             .scan(&table, Some((0, &KeyRange::eq(Value::Int(1)))))
             .unwrap()[0]
             .clone();
-        t1.update(&table, &target, vec![Value::Int(1), Value::Int(11)]).unwrap();
+        t1.update(&table, &target, vec![Value::Int(1), Value::Int(11)])
+            .unwrap();
         assert!(commit(&t1, 2, 0).is_committed());
 
         // A strict transaction at snapshot height 1 scanning a range that
         // covers the block-2 insert → phantom read abort (§3.4.1 rule 1).
         let tp = TxnCtx::begin(&mgr, 1, ScanMode::Strict);
         let err = tp
-            .scan(&table, Some((0, &KeyRange::between(Value::Int(0), Value::Int(100)))))
+            .scan(
+                &table,
+                Some((0, &KeyRange::between(Value::Int(0), Value::Int(100)))),
+            )
             .unwrap_err();
-        assert!(matches!(err, Error::Abort(AbortReason::PhantomRead | AbortReason::StaleRead)));
+        assert!(matches!(
+            err,
+            Error::Abort(AbortReason::PhantomRead | AbortReason::StaleRead)
+        ));
         tp.rollback();
 
         // A strict transaction at height 1 reading exactly row 1 (updated
@@ -658,13 +696,18 @@ mod tests {
 
         // Relaxed read-only time travel at height 1 still works.
         let r = TxnCtx::read_only(&mgr, 1);
-        let rows = r.scan(&table, Some((0, &KeyRange::eq(Value::Int(1))))).unwrap();
+        let rows = r
+            .scan(&table, Some((0, &KeyRange::eq(Value::Int(1)))))
+            .unwrap();
         assert_eq!(rows[0].data[1], Value::Int(10));
 
         // A strict transaction at the current height is unaffected.
         let tok = TxnCtx::begin(&mgr, 2, ScanMode::Strict);
         let rows = tok
-            .scan(&table, Some((0, &KeyRange::between(Value::Int(0), Value::Int(100)))))
+            .scan(
+                &table,
+                Some((0, &KeyRange::between(Value::Int(0), Value::Int(100)))),
+            )
             .unwrap();
         assert_eq!(rows.len(), 2);
         tok.rollback();
@@ -687,16 +730,19 @@ mod tests {
     fn rollback_undoes_everything() {
         let (mgr, table) = setup();
         let t0 = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
-        t0.insert(&table, vec![Value::Int(1), Value::Int(10)]).unwrap();
+        t0.insert(&table, vec![Value::Int(1), Value::Int(10)])
+            .unwrap();
         assert!(commit(&t0, 1, 0).is_committed());
 
         let t1 = TxnCtx::begin(&mgr, 1, ScanMode::Relaxed);
-        t1.insert(&table, vec![Value::Int(2), Value::Int(20)]).unwrap();
+        t1.insert(&table, vec![Value::Int(2), Value::Int(20)])
+            .unwrap();
         let target = t1
             .scan(&table, Some((0, &KeyRange::eq(Value::Int(1)))))
             .unwrap()[0]
             .clone();
-        t1.update(&table, &target, vec![Value::Int(1), Value::Int(99)]).unwrap();
+        t1.update(&table, &target, vec![Value::Int(1), Value::Int(99)])
+            .unwrap();
         t1.rollback();
 
         let rows = TxnCtx::read_only(&mgr, 1).scan(&table, None).unwrap();
@@ -705,7 +751,8 @@ mod tests {
         // The old version's xmax was cleared: a new update succeeds.
         let t2 = TxnCtx::begin(&mgr, 1, ScanMode::Relaxed);
         let target = t2.scan(&table, None).unwrap()[0].clone();
-        t2.update(&table, &target, vec![Value::Int(1), Value::Int(11)]).unwrap();
+        t2.update(&table, &target, vec![Value::Int(1), Value::Int(11)])
+            .unwrap();
         assert!(commit(&t2, 2, 0).is_committed());
     }
 
@@ -713,8 +760,10 @@ mod tests {
     fn write_set_summary_is_deterministic() {
         let (mgr, table) = setup();
         let t = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
-        t.insert(&table, vec![Value::Int(1), Value::Int(10)]).unwrap();
-        t.insert(&table, vec![Value::Int(2), Value::Int(20)]).unwrap();
+        t.insert(&table, vec![Value::Int(1), Value::Int(10)])
+            .unwrap();
+        t.insert(&table, vec![Value::Int(2), Value::Int(20)])
+            .unwrap();
         match commit(&t, 1, 0) {
             CommitOutcome::Committed(summary) => {
                 assert_eq!(summary.len(), 2);
@@ -730,6 +779,8 @@ mod tests {
     fn read_only_context_cannot_write() {
         let (mgr, table) = setup();
         let r = TxnCtx::read_only(&mgr, 0);
-        assert!(r.insert(&table, vec![Value::Int(1), Value::Int(1)]).is_err());
+        assert!(r
+            .insert(&table, vec![Value::Int(1), Value::Int(1)])
+            .is_err());
     }
 }

@@ -97,14 +97,19 @@ impl Record {
 /// Number of shards for the SIREAD row-lock table.
 const SIREAD_SHARDS: usize = 16;
 
+/// One shard of the SIREAD lock table: (table, row) → reader transactions.
+type SireadShard = Mutex<HashMap<(String, RowId), Vec<TxId>>>;
+/// Predicate-lock table: (table, column) → list of (range, reader).
+type PredicateLocks = Mutex<HashMap<(String, usize), Vec<(KeyRange, TxId)>>>;
+
 /// The SSI manager: one per database node.
 pub struct SsiManager {
     records: RwLock<HashMap<TxId, Arc<Mutex<Record>>>>,
     /// SIREAD row locks: (table, row) → reader transactions. Sharded by
     /// row id to reduce contention among executor threads.
-    siread: Vec<Mutex<HashMap<(String, RowId), Vec<TxId>>>>,
+    siread: Vec<SireadShard>,
     /// Predicate locks: (table, column) → list of (range, reader).
-    predicates: Mutex<HashMap<(String, usize), Vec<(KeyRange, TxId)>>>,
+    predicates: PredicateLocks,
     /// Whole-table read locks (full scans in the OE flow).
     table_readers: Mutex<HashMap<String, Vec<TxId>>>,
     next_tx: AtomicU64,
@@ -122,7 +127,9 @@ impl SsiManager {
     pub fn new() -> SsiManager {
         SsiManager {
             records: RwLock::new(HashMap::new()),
-            siread: (0..SIREAD_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            siread: (0..SIREAD_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             predicates: Mutex::new(HashMap::new()),
             table_readers: Mutex::new(HashMap::new()),
             next_tx: AtomicU64::new(1),
@@ -142,7 +149,9 @@ impl SsiManager {
     pub fn begin(&self) -> TxId {
         let tx = TxId(self.next_tx.fetch_add(1, Ordering::Relaxed));
         let seq = self.clock.fetch_add(1, Ordering::Relaxed);
-        self.records.write().insert(tx, Arc::new(Mutex::new(Record::new(seq))));
+        self.records
+            .write()
+            .insert(tx, Arc::new(Mutex::new(Record::new(seq))));
         tx
     }
 
@@ -191,7 +200,10 @@ impl SsiManager {
     /// Record that `tx` performed an index range read on (table, column).
     pub fn register_predicate_read(&self, tx: TxId, table: &str, column: usize, range: KeyRange) {
         let mut preds = self.predicates.lock();
-        preds.entry((table.to_string(), column)).or_default().push((range, tx));
+        preds
+            .entry((table.to_string(), column))
+            .or_default()
+            .push((range, tx));
     }
 
     /// Record that `tx` read the whole table (full scan, OE flow only).
@@ -292,12 +304,16 @@ impl SsiManager {
 
     /// In-conflicts (nearConflicts) of `tx` — test/diagnostic accessor.
     pub fn in_conflicts(&self, tx: TxId) -> Vec<TxId> {
-        self.record(tx).map_or_else(Vec::new, |r| r.lock().in_conflicts.iter().copied().collect())
+        self.record(tx).map_or_else(Vec::new, |r| {
+            r.lock().in_conflicts.iter().copied().collect()
+        })
     }
 
     /// Out-conflicts of `tx` — test/diagnostic accessor.
     pub fn out_conflicts(&self, tx: TxId) -> Vec<TxId> {
-        self.record(tx).map_or_else(Vec::new, |r| r.lock().out_conflicts.iter().copied().collect())
+        self.record(tx).map_or_else(Vec::new, |r| {
+            r.lock().out_conflicts.iter().copied().collect()
+        })
     }
 
     // ------------------------------------------------------ commit/abort
@@ -326,7 +342,10 @@ impl SsiManager {
 
         let (in_set, out_set): (Vec<TxId>, Vec<TxId>) = {
             let r = rec.lock();
-            (r.in_conflicts.iter().copied().collect(), r.out_conflicts.iter().copied().collect())
+            (
+                r.in_conflicts.iter().copied().collect(),
+                r.out_conflicts.iter().copied().collect(),
+            )
         };
 
         // 2. EO only: abort if any outConflict committed in an earlier
@@ -365,10 +384,16 @@ impl SsiManager {
         // 4. Victim selection for dangerous structures headed by tx:
         //    F -rw-> N -rw-> tx.
         for n in &in_set {
-            let Some(n_rec) = self.record(*n) else { continue };
+            let Some(n_rec) = self.record(*n) else {
+                continue;
+            };
             let (n_state, n_block, n_far): (TxnState, Option<(BlockHeight, u32)>, Vec<TxId>) = {
                 let nr = n_rec.lock();
-                (nr.state, nr.block_pos, nr.in_conflicts.iter().copied().collect())
+                (
+                    nr.state,
+                    nr.block_pos,
+                    nr.in_conflicts.iter().copied().collect(),
+                )
             };
             if n_state != TxnState::Active {
                 continue; // committed in-edges are harmless; aborted gone
@@ -505,8 +530,7 @@ impl SsiManager {
             .iter()
             .filter(|(_, r)| {
                 let rec = r.lock();
-                rec.state != TxnState::Active
-                    && rec.end_seq.is_some_and(|e| e < min_active_begin)
+                rec.state != TxnState::Active && rec.end_seq.is_some_and(|e| e < min_active_begin)
             })
             .map(|(t, _)| *t)
             .collect();
@@ -589,7 +613,12 @@ mod tests {
         let m = mgr();
         let reader = m.begin();
         let writer = m.begin();
-        m.register_predicate_read(reader, "t", 0, KeyRange::between(Value::Int(1), Value::Int(10)));
+        m.register_predicate_read(
+            reader,
+            "t",
+            0,
+            KeyRange::between(Value::Int(1), Value::Int(10)),
+        );
         // Insert with key 5 matches; key 50 does not.
         m.on_write(writer, "t", RowId(99), &[(0, Value::Int(5))]);
         assert_eq!(m.in_conflicts(writer), vec![reader]);
@@ -666,7 +695,10 @@ mod tests {
             m.commit(t1);
             let err = m.commit_check(t2, 1, 1, flow).unwrap_err();
             assert!(
-                matches!(err, AbortReason::SsiDoomedByPeer | AbortReason::SsiDangerousStructure),
+                matches!(
+                    err,
+                    AbortReason::SsiDoomedByPeer | AbortReason::SsiDangerousStructure
+                ),
                 "{flow:?}: {err:?}"
             );
             m.abort(t2);
@@ -695,7 +727,9 @@ mod tests {
         m.commit(t1);
         // t2 is the pivot: either doomed at t1's commit (abort-during-
         // commit heuristic) or caught by the committed-outConflict rule.
-        let err = m.commit_check(t2, 1, 1, Flow::OrderThenExecute).unwrap_err();
+        let err = m
+            .commit_check(t2, 1, 1, Flow::OrderThenExecute)
+            .unwrap_err();
         assert!(matches!(
             err,
             AbortReason::SsiDangerousStructure | AbortReason::SsiDoomedByPeer
@@ -714,12 +748,16 @@ mod tests {
         let reader = m.begin();
         m.register_row_read(reader, "t", RowId(1));
         m.on_write(writer, "t", RowId(1), &[]);
-        assert!(m.commit_check(writer, 1, 0, Flow::ExecuteOrderParallel).is_ok());
+        assert!(m
+            .commit_check(writer, 1, 0, Flow::ExecuteOrderParallel)
+            .is_ok());
         m.commit(writer);
         // Reader commits in a later block: must abort (either via the
         // no-farConflict dooming at the writer's commit or the cross-block
         // committed-outConflict rule at its own commit).
-        let err = m.commit_check(reader, 2, 0, Flow::ExecuteOrderParallel).unwrap_err();
+        let err = m
+            .commit_check(reader, 2, 0, Flow::ExecuteOrderParallel)
+            .unwrap_err();
         assert!(matches!(
             err,
             AbortReason::SsiDangerousStructure | AbortReason::SsiDoomedByPeer
@@ -787,7 +825,7 @@ mod tests {
         let f = m.begin();
         m.assign_block(t, 1, 0);
         m.assign_block(n, 1, 1); // same block as t
-        // f has no block assignment (still ordering)
+                                 // f has no block assignment (still ordering)
         m.register_row_read(n, "t", RowId(1));
         m.on_write(t, "t", RowId(1), &[]);
         m.register_row_read(f, "t", RowId(2));
@@ -819,7 +857,10 @@ mod tests {
         m.register_row_read(n, "t", RowId(1));
         m.on_write(t, "t", RowId(1), &[]);
         assert!(m.commit_check(t, 1, 0, Flow::ExecuteOrderParallel).is_ok());
-        assert!(m.doomed_reason(n).is_some(), "near not in same block, no far → doomed");
+        assert!(
+            m.doomed_reason(n).is_some(),
+            "near not in same block, no far → doomed"
+        );
     }
 
     /// Table 2 row 7: nearConflict in the same block with no farConflict →

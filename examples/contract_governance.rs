@@ -28,90 +28,93 @@ fn main() -> Result<()> {
 
     // ── Proposal: org1 stages a new smart contract.
     println!("org1 stages deployment #1 (add_part contract)");
-    admin1.invoke_wait(
-        "create_deploytx",
-        vec![
-            Value::Int(1),
-            Value::Text(
-                "CREATE FUNCTION add_part(id INT, name TEXT) AS $$ \
-                   INSERT INTO parts VALUES ($1, $2) $$"
-                    .into(),
-            ),
-        ],
-        WAIT,
-    )?;
+    admin1
+        .call("create_deploytx")
+        .arg(1)
+        .arg(
+            "CREATE FUNCTION add_part(id INT, name TEXT) AS $$ \
+               INSERT INTO parts VALUES ($1, $2) $$",
+        )
+        .submit_wait(WAIT)?;
 
-    // ── Early submission fails: not everyone approved yet.
-    let premature = admin1.invoke("submit_deploytx", vec![Value::Int(1)])?;
-    match premature.wait(WAIT)?.status {
-        TxStatus::Aborted(reason) => println!("premature submit rejected: {reason}"),
-        other => panic!("expected rejection, got {other:?}"),
+    // ── Early submission fails: not everyone approved yet. The typed
+    // error taxonomy makes the rejection a structured `TxAborted`.
+    match admin1.call("submit_deploytx").arg(1).submit_wait(WAIT) {
+        Err(Error::TxAborted { reason, .. }) => {
+            println!("premature submit rejected: {reason}");
+        }
+        other => panic!("expected TxAborted, got {other:?}"),
     }
 
     // ── Review: org3 comments, everyone approves.
-    admin3.invoke_wait(
-        "comment_deploytx",
-        vec![Value::Int(1), Value::Text("looks good; ship it".into())],
-        WAIT,
-    )?;
+    admin3
+        .call("comment_deploytx")
+        .arg(1)
+        .arg("looks good; ship it")
+        .submit_wait(WAIT)?;
     for admin in [&admin1, &admin2, &admin3] {
-        admin.invoke_wait("approve_deploytx", vec![Value::Int(1)], WAIT)?;
+        admin.call("approve_deploytx").arg(1).submit_wait(WAIT)?;
     }
 
     // ── Execution: the staged DDL applies on every node atomically.
-    admin1.invoke_wait("submit_deploytx", vec![Value::Int(1)], WAIT)?;
+    admin1.call("submit_deploytx").arg(1).submit_wait(WAIT)?;
     println!("deployment #1 applied");
 
     // ── A rejected proposal never executes.
-    admin2.invoke_wait(
-        "create_deploytx",
-        vec![Value::Int(2), Value::Text("DROP TABLE parts".into())],
-        WAIT,
-    )?;
-    admin3.invoke_wait(
-        "reject_deploytx",
-        vec![Value::Int(2), Value::Text("dropping parts would destroy history".into())],
-        WAIT,
-    )?;
-    let veto = admin2.invoke("submit_deploytx", vec![Value::Int(2)])?;
-    match veto.wait(WAIT)?.status {
-        TxStatus::Aborted(reason) => println!("vetoed deployment blocked: {reason}"),
+    admin2
+        .call("create_deploytx")
+        .arg(2)
+        .arg("DROP TABLE parts")
+        .submit_wait(WAIT)?;
+    admin3
+        .call("reject_deploytx")
+        .arg(2)
+        .arg("dropping parts would destroy history")
+        .submit_wait(WAIT)?;
+    match admin2.call("submit_deploytx").arg(2).submit_wait(WAIT) {
+        Err(Error::TxAborted { reason, .. }) => {
+            println!("vetoed deployment blocked: {reason}");
+        }
         other => panic!("expected veto, got {other:?}"),
     }
 
     // ── On-chain user onboarding: org2's admin registers a new client.
     let dana_key = Arc::new(KeyPair::generate("org2/dana", b"dana-seed", Scheme::Sim));
-    admin2.invoke_wait(
-        "create_usertx",
-        vec![
-            Value::Text("org2/dana".into()),
-            Value::Text("org2".into()),
-            Value::Text("client".into()),
-            Value::Bytes(dana_key.public_key().to_bytes()),
-        ],
-        WAIT,
-    )?;
+    admin2
+        .call("create_usertx")
+        .arg("org2/dana")
+        .arg("org2")
+        .arg("client")
+        .arg(dana_key.public_key().to_bytes())
+        .submit_wait(WAIT)?;
     let dana = net.attach_client("org2", "dana", dana_key)?;
-    dana.invoke_wait(
-        "add_part",
-        vec![Value::Int(1), Value::Text("flux capacitor".into())],
-        WAIT,
-    )?;
+    dana.call("add_part")
+        .arg(1)
+        .arg("flux capacitor")
+        .submit_wait(WAIT)?;
     println!("newly onboarded user invoked the newly deployed contract");
 
-    // ── The whole governance story is plain SQL.
+    // ── The whole governance story is plain SQL with typed rows.
     println!("\ndeployment audit trail:");
-    let r = dana.query(
-        "SELECT d.id, d.status, v.org, v.vote, v.detail \
-         FROM deployments d JOIN deployment_votes v ON d.id = v.deploy_id \
-         ORDER BY d.id, v.org, v.vote",
-        &[],
-    )?;
-    println!("{}", r.to_table_string());
+    let votes: Vec<(i64, String, String, String, Option<String>)> = dana
+        .select(
+            "SELECT d.id, d.status, v.org, v.vote, v.detail \
+             FROM deployments d JOIN deployment_votes v ON d.id = v.deploy_id \
+             ORDER BY d.id, v.org, v.vote",
+        )
+        .fetch_as()?;
+    for (id, status, org, vote, detail) in &votes {
+        let detail = detail.as_deref().unwrap_or("");
+        println!("  deploy {id} [{status}] {org}: {vote} {detail}");
+    }
 
     println!("network users:");
-    let r = dana.query("SELECT name, role, status FROM network_users ORDER BY name", &[])?;
-    println!("{}", r.to_table_string());
+    let users: Vec<(String, String, String)> = dana
+        .select("SELECT name, role, status FROM network_users ORDER BY name")
+        .fetch_as()?;
+    for (name, role, status) in &users {
+        println!("  {name} ({role}): {status}");
+    }
 
     net.shutdown();
     Ok(())

@@ -6,7 +6,8 @@
 //! The settlement contract is a *complex* smart contract (joins and
 //! aggregates — impossible to express efficiently on key-value blockchain
 //! platforms, §5 "complex-join contract"), and the regulator runs
-//! analytical SQL directly against its own replica.
+//! analytical SQL directly against its own replica through prepared
+//! statements and typed rows.
 //!
 //! Run with: `cargo run --example financial_audit`
 
@@ -44,19 +45,15 @@ fn main() -> Result<()> {
     let teller_b = net.client("bank_b", "teller")?;
     let regulator = net.client("regulator", "examiner")?;
 
-    // Customer accounts at both banks.
-    for (id, bank, bal) in [
-        (1, "bank_a", 1_000.0),
-        (2, "bank_a", 750.0),
-        (3, "bank_b", 2_000.0),
-        (4, "bank_b", 50.0),
-    ] {
-        teller_a.invoke_wait(
-            "open_account",
-            vec![Value::Int(id), Value::Text(bank.into()), Value::Float(bal)],
-            WAIT,
-        )?;
-    }
+    // Customer accounts at both banks, opened as one batch: signed
+    // up front, submitted together, notifications fanned in.
+    let batch = teller_a.submit_all([
+        Call::new("open_account").arg(1).arg("bank_a").arg(1_000.0),
+        Call::new("open_account").arg(2).arg("bank_a").arg(750.0),
+        Call::new("open_account").arg(3).arg("bank_b").arg(2_000.0),
+        Call::new("open_account").arg(4).arg("bank_b").arg(50.0),
+    ])?;
+    batch.wait_committed_all(WAIT)?;
 
     // A day of settlement traffic from both banks.
     let transfers = [
@@ -69,50 +66,64 @@ fn main() -> Result<()> {
     ];
     for (tid, src, dst, amt) in transfers {
         let teller = if src <= 2 { &teller_a } else { &teller_b };
-        teller.invoke_wait(
-            "transfer",
-            vec![Value::Int(tid), Value::Int(src), Value::Int(dst), Value::Float(amt)],
-            WAIT,
-        )?;
+        teller
+            .call("transfer")
+            .arg(tid)
+            .arg(src)
+            .arg(dst)
+            .arg(amt)
+            .submit_wait(WAIT)?;
     }
 
     // The exposure report is *itself* a smart contract: the complex-join
     // shape from the paper's evaluation, recomputed on every node.
-    regulator.invoke_wait("compute_exposure", vec![], WAIT)?;
+    regulator.call("compute_exposure").submit_wait(WAIT)?;
 
     println!("closing balances:");
-    let r = regulator.query(
-        "SELECT id, bank, balance FROM accounts ORDER BY id",
-        &[],
-    )?;
-    println!("{}", r.to_table_string());
+    let balances: Vec<(i64, String, f64)> = regulator
+        .select("SELECT id, bank, balance FROM accounts ORDER BY id")
+        .fetch_as()?;
+    for (id, bank, balance) in &balances {
+        println!("  account {id} at {bank}: {balance:.2}");
+    }
 
     println!("per-bank outgoing exposure (computed on-chain):");
-    let r = regulator.query("SELECT bank, total FROM exposure ORDER BY bank", &[])?;
-    println!("{}", r.to_table_string());
+    let exposures: Vec<(String, f64)> = regulator
+        .select("SELECT bank, total FROM exposure ORDER BY bank")
+        .fetch_as()?;
+    for (bank, total) in &exposures {
+        println!("  {bank}: {total:.2}");
+    }
 
     // Regulator-side analytics: arbitrary SQL against its own replica —
-    // group-by/having/order-by over the shared tables.
+    // group-by/having/order-by over the shared tables, rows decoded by
+    // column name.
     println!("largest net senders (ad-hoc analytical query):");
-    let r = regulator.query(
-        "SELECT t.src, COUNT(*) AS n, SUM(t.amount) AS sent \
-         FROM transfers t GROUP BY t.src HAVING SUM(t.amount) > 50 \
-         ORDER BY sent DESC LIMIT 3",
-        &[],
-    )?;
-    println!("{}", r.to_table_string());
+    let r = regulator
+        .select(
+            "SELECT t.src, COUNT(*) AS n, SUM(t.amount) AS sent \
+             FROM transfers t GROUP BY t.src HAVING SUM(t.amount) > 50 \
+             ORDER BY sent DESC LIMIT 3",
+        )
+        .fetch()?;
+    for row in r.iter_rows() {
+        let src: i64 = row.get("src")?;
+        let n: i64 = row.get("n")?;
+        let sent: f64 = row.get("sent")?;
+        println!("  account {src}: {n} transfers, {sent:.2} sent");
+    }
 
-    // Compliance check: money is conserved at every block height.
+    // Compliance check: money is conserved at every block height. The
+    // conservation query is *prepared once* and executed per height.
     let tip = regulator.chain_height();
+    let conservation = regulator.prepare("SELECT SUM(balance) FROM accounts")?;
     for h in 1..=tip {
-        let r = regulator.query_at("SELECT SUM(balance) FROM accounts", &[], h)?;
-        if let Some(Value::Float(total)) = r.rows.first().map(|row| row[0].clone()) {
-            if r.rows[0][0] != Value::Null {
-                assert!(
-                    (total - 3_800.0).abs() < 1e-6 || total == 0.0 || total < 3_800.0,
-                    "conservation check at height {h}: {total}"
-                );
-            }
+        let total: Option<f64> = conservation.run().at_height(h).fetch_scalar()?;
+        if let Some(total) = total {
+            assert!(
+                (total - 3_800.0).abs() < 1e-6 || total == 0.0 || total < 3_800.0,
+                "conservation check at height {h}: {total}"
+            );
         }
     }
     println!("conservation verified at every height up to {tip}");

@@ -1,8 +1,9 @@
 //! Quickstart: a three-organization blockchain relational database.
 //!
 //! Builds a permissioned network, bootstraps a schema and a smart
-//! contract, invokes it from two organizations' clients, and shows that
-//! every node independently committed the same state.
+//! contract, invokes it from two organizations' clients through the
+//! typed session API, and shows that every node independently committed
+//! the same state.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -33,28 +34,37 @@ fn main() -> Result<()> {
     let bob = net.client("org2", "bob")?;
     let wait = Duration::from_secs(10);
 
-    // Signed blockchain transactions: ordered by consensus, executed and
-    // committed independently on every node.
-    alice.invoke_wait(
-        "open_account",
-        vec![Value::Int(1), Value::Text("alice".into()), Value::Float(100.0)],
-        wait,
-    )?;
-    bob.invoke_wait(
-        "open_account",
-        vec![Value::Int(2), Value::Text("bob".into()), Value::Float(25.0)],
-        wait,
-    )?;
-    alice.invoke_wait(
-        "transfer",
-        vec![Value::Int(1), Value::Int(2), Value::Float(40.0)],
-        wait,
-    )?;
+    // Signed blockchain transactions, built fluently: ordered by
+    // consensus, executed and committed independently on every node.
+    // The retrying variant transparently resubmits on retriable SSI
+    // aborts (the §3.4.1 client protocol for the EO flow).
+    alice
+        .call("open_account")
+        .arg(1)
+        .arg("alice")
+        .arg(100.0)
+        .submit_wait_retrying(wait)?;
+    bob.call("open_account")
+        .arg(2)
+        .arg("bob")
+        .arg(25.0)
+        .submit_wait_retrying(wait)?;
+    alice
+        .call("transfer")
+        .arg(1)
+        .arg(2)
+        .arg(40.0)
+        .submit_wait_retrying(wait)?;
 
-    // Query any node — reads are local and instantaneous.
+    // Query any node — reads are local and instantaneous, and rows
+    // decode straight into Rust types.
     println!("accounts (asked org2's node):");
-    let r = bob.query("SELECT id, owner, balance FROM accounts ORDER BY id", &[])?;
-    println!("{}", r.to_table_string());
+    let accounts: Vec<(i64, String, f64)> = bob
+        .select("SELECT id, owner, balance FROM accounts ORDER BY id")
+        .fetch_as()?;
+    for (id, owner, balance) in &accounts {
+        println!("  account {id}: {owner} has {balance}");
+    }
 
     // Every replica holds the identical state.
     let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
@@ -65,10 +75,9 @@ fn main() -> Result<()> {
     }
 
     // The ledger is ordinary SQL too.
-    let r = alice.query(
-        "SELECT block, username, contract, status FROM ledger ORDER BY block, tx_index",
-        &[],
-    )?;
+    let r = alice
+        .select("SELECT block, username, contract, status FROM ledger ORDER BY block, tx_index")
+        .fetch()?;
     println!("ledger:\n{}", r.to_table_string());
 
     net.shutdown();

@@ -37,25 +37,31 @@ fn main() -> Result<()> {
     let auditor = net.client("auditor", "ana")?;
 
     // Lifecycle of two invoices, touched by different parties.
-    supplier.invoke_wait(
-        "create_invoice",
-        vec![Value::Int(1001), Value::Text("sally".into()), Value::Float(500.0)],
-        WAIT,
-    )?;
-    supplier.invoke_wait(
-        "create_invoice",
-        vec![Value::Int(1002), Value::Text("sally".into()), Value::Float(80.0)],
-        WAIT,
-    )?;
+    supplier
+        .call("create_invoice")
+        .arg(1001)
+        .arg("sally")
+        .arg(500.0)
+        .submit_wait(WAIT)?;
+    supplier
+        .call("create_invoice")
+        .arg(1002)
+        .arg("sally")
+        .arg(80.0)
+        .submit_wait(WAIT)?;
     // The supplier revises invoice 1001 upward...
-    supplier.invoke_wait(
-        "revise_amount",
-        vec![Value::Int(1001), Value::Float(550.0)],
-        WAIT,
-    )?;
-    // ...and the manufacturer pays both.
-    manufacturer.invoke_wait("pay_invoice", vec![Value::Int(1001)], WAIT)?;
-    manufacturer.invoke_wait("pay_invoice", vec![Value::Int(1002)], WAIT)?;
+    supplier
+        .call("revise_amount")
+        .arg(1001)
+        .arg(550.0)
+        .submit_wait(WAIT)?;
+    // ...and the manufacturer pays both, as one batch.
+    manufacturer
+        .submit_all([
+            Call::new("pay_invoice").arg(1001),
+            Call::new("pay_invoice").arg(1002),
+        ])?
+        .wait_committed_all(WAIT)?;
 
     // Let the auditor's replica catch up to the latest block before
     // auditing (commits propagate asynchronously, §2(7)).
@@ -63,54 +69,61 @@ fn main() -> Result<()> {
     net.await_height(tip, WAIT)?;
 
     println!("current invoices:");
-    let r = auditor.query(
-        "SELECT invoice_id, amount, status FROM invoices ORDER BY invoice_id",
-        &[],
-    )?;
-    println!("{}", r.to_table_string());
+    let invoices: Vec<(i64, f64, String)> = auditor
+        .select("SELECT invoice_id, amount, status FROM invoices ORDER BY invoice_id")
+        .fetch_as()?;
+    for (id, amount, status) in &invoices {
+        println!("  invoice {id}: {amount:.2} [{status}]");
+    }
 
     // ── Table 3, query 1 (adapted): every historical version of invoice
     // 1001 with the block that created it and the user who wrote it.
     println!("full history of invoice 1001 (who wrote each version):");
-    let r = auditor.query(
-        "SELECT h.amount, h.status, h._creator_block, l.username, l.contract \
-         FROM HISTORY(invoices) h, ledger l \
-         WHERE h.invoice_id = 1001 AND h.xmin = l.txid \
-         ORDER BY h._creator_block",
-        &[],
-    )?;
+    let r = auditor
+        .select(
+            "SELECT h.amount, h.status, h._creator_block, l.username, l.contract \
+             FROM HISTORY(invoices) h, ledger l \
+             WHERE h.invoice_id = $1 AND h.xmin = l.txid \
+             ORDER BY h._creator_block",
+        )
+        .bind(1001)
+        .fetch()?;
     println!("{}", r.to_table_string());
 
     // ── Table 3, query 2 (adapted): versions of any invoice updated by
     // the supplier between two block heights.
     println!("versions written by supplier sally between blocks 1 and 3:");
-    let r = auditor.query(
-        "SELECT h.invoice_id, h.amount, l.block \
-         FROM HISTORY(invoices) h, ledger l \
-         WHERE h.xmin = l.txid AND l.username = 'supplier/sally' \
-           AND l.block BETWEEN 1 AND 3 \
-         ORDER BY l.block, h.invoice_id",
-        &[],
-    )?;
+    let r = auditor
+        .select(
+            "SELECT h.invoice_id, h.amount, l.block \
+             FROM HISTORY(invoices) h, ledger l \
+             WHERE h.xmin = l.txid AND l.username = $1 \
+               AND l.block BETWEEN $2 AND $3 \
+             ORDER BY l.block, h.invoice_id",
+        )
+        .bind("supplier/sally")
+        .bind(1)
+        .bind(3)
+        .fetch()?;
     println!("{}", r.to_table_string());
 
     // Time travel: the state as of the height where 1001 was still unpaid.
-    let paid_block = auditor
-        .query(
+    let paid_block: i64 = auditor
+        .select(
             "SELECT h._creator_block FROM HISTORY(invoices) h \
-             WHERE h.invoice_id = 1001 AND h.status = 'paid' ORDER BY h._creator_block LIMIT 1",
-            &[],
-        )?
-        .rows[0][0]
-        .as_i64()
-        .unwrap() as u64;
-    let r = auditor.query_at(
-        "SELECT invoice_id, amount, status FROM invoices ORDER BY invoice_id",
-        &[],
-        paid_block - 1,
-    )?;
-    println!("state one block before payment (height {}):", paid_block - 1);
-    println!("{}", r.to_table_string());
+             WHERE h.invoice_id = $1 AND h.status = 'paid' ORDER BY h._creator_block LIMIT 1",
+        )
+        .bind(1001)
+        .fetch_scalar()?;
+    let before_payment = (paid_block as u64) - 1;
+    let state: Vec<(i64, f64, String)> = auditor
+        .select("SELECT invoice_id, amount, status FROM invoices ORDER BY invoice_id")
+        .at_height(before_payment)
+        .fetch_as()?;
+    println!("state one block before payment (height {before_payment}):");
+    for (id, amount, status) in &state {
+        println!("  invoice {id}: {amount:.2} [{status}]");
+    }
 
     net.shutdown();
     Ok(())

@@ -10,11 +10,15 @@
 //! serializable snapshot isolation guarantees that every replica commits
 //! the same transactions in the same serializable order.
 //!
-//! This facade re-exports the public API ([`Network`], [`Client`]) plus
-//! every substrate crate for direct use. See `README.md` for a tour and
-//! `DESIGN.md` for the architecture and the paper-experiment index.
+//! This facade re-exports the public API ([`Network`], [`Client`] and
+//! the typed session surface) plus every substrate crate for direct
+//! use. See `README.md` for a tour and `DESIGN.md` for the architecture
+//! and the paper-experiment index.
 
-pub use bcrdb_core::{Client, Network, NetworkConfig, PendingTx};
+pub use bcrdb_core::{
+    Call, CallBuilder, Client, Network, NetworkConfig, PendingBatch, PendingTx, Prepared,
+    PreparedRun, QueryBuilder,
+};
 
 pub use bcrdb_chain as chain;
 pub use bcrdb_common as common;
@@ -31,8 +35,10 @@ pub use bcrdb_txn as txn;
 /// Commonly used items for applications.
 pub mod prelude {
     pub use bcrdb_chain::ledger::TxStatus;
-    pub use bcrdb_common::value::Value;
+    pub use bcrdb_common::value::{FromValue, IntoValue, Value};
     pub use bcrdb_common::{Error, Result};
-    pub use bcrdb_core::{Client, Network, NetworkConfig, PendingTx};
+    pub use bcrdb_core::{Call, Client, Network, NetworkConfig, PendingBatch, PendingTx, Prepared};
+    pub use bcrdb_engine::result::{FromRow, QueryResult, RowRef};
+    pub use bcrdb_node::TxNotification;
     pub use bcrdb_txn::ssi::Flow;
 }

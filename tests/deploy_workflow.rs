@@ -11,7 +11,8 @@ const WAIT: Duration = Duration::from_secs(20);
 
 fn build(flow: Flow) -> Network {
     let net = Network::build(NetworkConfig::quick(&["org1", "org2", "org3"], flow)).unwrap();
-    net.bootstrap_sql("CREATE TABLE kv (k INT PRIMARY KEY, v INT)").unwrap();
+    net.bootstrap_sql("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        .unwrap();
     net
 }
 
@@ -29,25 +30,28 @@ fn full_deploy_workflow_installs_contract_everywhere() {
         net.await_height(height, WAIT).unwrap();
         // The contract exists on every node and is invokable.
         for node in net.nodes() {
-            assert!(node.contracts().get("put").is_some(), "{}", node.config.name);
+            assert!(
+                node.contracts().get("put").is_some(),
+                "{}",
+                node.config.name
+            );
         }
         let alice = net.client("org2", "alice").unwrap();
-        alice
-            .invoke_wait("put", vec![Value::Int(1), Value::Int(7)], WAIT)
-            .unwrap();
+        alice.call("put").arg(1).arg(7).submit_wait(WAIT).unwrap();
         // Deployment audit trail is queryable SQL (status applied, votes
         // from all three orgs).
-        let r = alice
-            .query("SELECT status FROM deployments WHERE id = 1", &[])
+        let status: String = alice
+            .select("SELECT status FROM deployments WHERE id = $1")
+            .bind(1)
+            .fetch_scalar()
             .unwrap();
-        assert_eq!(r.rows[0][0], Value::Text("applied".into()));
-        let r = alice
-            .query(
-                "SELECT COUNT(*) FROM deployment_votes WHERE deploy_id = 1",
-                &[],
-            )
+        assert_eq!(status, "applied");
+        let votes: i64 = alice
+            .select("SELECT COUNT(*) FROM deployment_votes WHERE deploy_id = $1")
+            .bind(1)
+            .fetch_scalar()
             .unwrap();
-        assert_eq!(r.rows[0][0], Value::Int(3));
+        assert_eq!(votes, 3);
         net.shutdown();
     }
 }
@@ -57,28 +61,22 @@ fn submit_without_all_approvals_aborts() {
     let net = build(Flow::OrderThenExecute);
     let admin1 = net.admin("org1").unwrap();
     admin1
-        .invoke_wait(
-            "create_deploytx",
-            vec![
-                Value::Int(5),
-                Value::Text(
-                    "CREATE FUNCTION put(k INT, v INT) AS $$ INSERT INTO kv VALUES ($1, $2) $$"
-                        .into(),
-                ),
-            ],
-            WAIT,
-        )
+        .call("create_deploytx")
+        .arg(5)
+        .arg("CREATE FUNCTION put(k INT, v INT) AS $$ INSERT INTO kv VALUES ($1, $2) $$")
+        .submit_wait(WAIT)
         .unwrap();
     // Only two of three orgs approve.
     for org in ["org1", "org2"] {
         net.admin(org)
             .unwrap()
-            .invoke_wait("approve_deploytx", vec![Value::Int(5)], WAIT)
+            .call("approve_deploytx")
+            .arg(5)
+            .submit_wait(WAIT)
             .unwrap();
     }
-    let pending = admin1.invoke("submit_deploytx", vec![Value::Int(5)]).unwrap();
-    match pending.wait(WAIT).unwrap().status {
-        TxStatus::Aborted(reason) => {
+    match admin1.call("submit_deploytx").arg(5).submit_wait(WAIT) {
+        Err(Error::TxAborted { reason, .. }) => {
             assert!(reason.contains("lacks approvals"), "{reason}");
             assert!(reason.contains("org3"), "{reason}");
         }
@@ -95,20 +93,22 @@ fn double_approval_by_same_org_rejected() {
     let net = build(Flow::OrderThenExecute);
     let admin1 = net.admin("org1").unwrap();
     admin1
-        .invoke_wait(
-            "create_deploytx",
-            vec![Value::Int(9), Value::Text("DROP TABLE IF EXISTS nothing".into())],
-            WAIT,
-        )
+        .call("create_deploytx")
+        .arg(9)
+        .arg("DROP TABLE IF EXISTS nothing")
+        .submit_wait(WAIT)
         .unwrap();
     admin1
-        .invoke_wait("approve_deploytx", vec![Value::Int(9)], WAIT)
+        .call("approve_deploytx")
+        .arg(9)
+        .submit_wait(WAIT)
         .unwrap();
     // The vote row's primary key (deploy/org) makes a second approval a
     // duplicate-key abort.
-    let pending = admin1.invoke("approve_deploytx", vec![Value::Int(9)]).unwrap();
-    match pending.wait(WAIT).unwrap().status {
-        TxStatus::Aborted(reason) => assert!(reason.contains("duplicate"), "{reason}"),
+    match admin1.call("approve_deploytx").arg(9).submit_wait(WAIT) {
+        Err(Error::TxAborted { reason, .. }) => {
+            assert!(reason.contains("duplicate"), "{reason}")
+        }
         other => panic!("expected duplicate-vote abort, got {other:?}"),
     }
     net.shutdown();
@@ -119,16 +119,17 @@ fn rejected_deployment_cannot_be_submitted() {
     let net = build(Flow::OrderThenExecute);
     let admin1 = net.admin("org1").unwrap();
     admin1
-        .invoke_wait(
-            "create_deploytx",
-            vec![Value::Int(2), Value::Text("DROP TABLE kv".into())],
-            WAIT,
-        )
+        .call("create_deploytx")
+        .arg(2)
+        .arg("DROP TABLE kv")
+        .submit_wait(WAIT)
         .unwrap();
     for org in ["org1", "org2", "org3"] {
         net.admin(org)
             .unwrap()
-            .invoke_wait("approve_deploytx", vec![Value::Int(2)], WAIT)
+            .call("approve_deploytx")
+            .arg(2)
+            .submit_wait(WAIT)
             .unwrap();
     }
     // org3 changes its mind with a rejection (recorded with a reason).
@@ -136,42 +137,39 @@ fn rejected_deployment_cannot_be_submitted() {
     // comment + reject paths.
     net.admin("org3")
         .unwrap()
-        .invoke_wait(
-            "comment_deploytx",
-            vec![Value::Int(2), Value::Text("dropping kv loses audit data".into())],
-            WAIT,
-        )
+        .call("comment_deploytx")
+        .arg(2)
+        .arg("dropping kv loses audit data")
+        .submit_wait(WAIT)
         .unwrap();
     // Rejection flips the status even after approvals.
     // (org3 already approved, so its rejection vote needs the comment path
     // exercised above; rejection itself is voted by org2 here.)
     net.admin("org2")
         .unwrap()
-        .invoke_wait(
-            "reject_deploytx",
-            vec![Value::Int(2), Value::Text("veto".into())],
-            WAIT,
-        )
+        .call("reject_deploytx")
+        .arg(2)
+        .arg("veto")
+        .submit_wait(WAIT)
         .unwrap_err(); // org2 already approved → duplicate vote key aborts
-    // Stage a clean rejection from scratch on a new deployment.
+                       // Stage a clean rejection from scratch on a new deployment.
     admin1
-        .invoke_wait(
-            "create_deploytx",
-            vec![Value::Int(3), Value::Text("DROP TABLE kv".into())],
-            WAIT,
-        )
+        .call("create_deploytx")
+        .arg(3)
+        .arg("DROP TABLE kv")
+        .submit_wait(WAIT)
         .unwrap();
     net.admin("org2")
         .unwrap()
-        .invoke_wait(
-            "reject_deploytx",
-            vec![Value::Int(3), Value::Text("veto".into())],
-            WAIT,
-        )
+        .call("reject_deploytx")
+        .arg(3)
+        .arg("veto")
+        .submit_wait(WAIT)
         .unwrap();
-    let pending = admin1.invoke("submit_deploytx", vec![Value::Int(3)]).unwrap();
-    match pending.wait(WAIT).unwrap().status {
-        TxStatus::Aborted(reason) => assert!(reason.contains("rejected"), "{reason}"),
+    match admin1.call("submit_deploytx").arg(3).submit_wait(WAIT) {
+        Err(Error::TxAborted { reason, .. }) => {
+            assert!(reason.contains("rejected"), "{reason}")
+        }
         other => panic!("expected rejected-status abort, got {other:?}"),
     }
     // kv survived both attempts.
@@ -194,51 +192,53 @@ fn on_chain_user_management() {
     let carol_key = Arc::new(KeyPair::generate("org1/carol", b"carol", Scheme::Sim));
     let admin = net.admin("org1").unwrap();
     admin
-        .invoke_wait(
-            "create_usertx",
-            vec![
-                Value::Text("org1/carol".into()),
-                Value::Text("org1".into()),
-                Value::Text("client".into()),
-                Value::Bytes(carol_key.public_key().to_bytes()),
-            ],
-            WAIT,
-        )
+        .call("create_usertx")
+        .arg("org1/carol")
+        .arg("org1")
+        .arg("client")
+        .arg(carol_key.public_key().to_bytes())
+        .submit_wait(WAIT)
         .unwrap();
 
     // Carol can now transact with her own key.
-    let carol = net.attach_client("org1", "carol", Arc::clone(&carol_key)).unwrap();
-    carol
-        .invoke_wait("put", vec![Value::Int(42), Value::Int(1)], WAIT)
+    let carol = net
+        .attach_client("org1", "carol", Arc::clone(&carol_key))
         .unwrap();
-    // The registration is on-chain, queryable SQL.
-    let r = carol
-        .query("SELECT org, role, status FROM network_users WHERE name = 'org1/carol'", &[])
+    carol.call("put").arg(42).arg(1).submit_wait(WAIT).unwrap();
+    // The registration is on-chain, queryable SQL with typed rows.
+    let (org, _role, status): (String, String, String) = carol
+        .select("SELECT org, role, status FROM network_users WHERE name = $1")
+        .bind("org1/carol")
+        .fetch_one()
         .unwrap();
-    assert_eq!(r.rows[0][2], Value::Text("active".into()));
+    assert_eq!(org, "org1");
+    assert_eq!(status, "active");
 
     // Deletion revokes the certificate: further transactions abort.
     admin
-        .invoke_wait("delete_usertx", vec![Value::Text("org1/carol".into())], WAIT)
+        .call("delete_usertx")
+        .arg("org1/carol")
+        .submit_wait(WAIT)
         .unwrap();
-    let pending = carol.invoke("put", vec![Value::Int(43), Value::Int(1)]).unwrap();
-    assert!(matches!(pending.wait(WAIT).unwrap().status, TxStatus::Aborted(_)));
+    let pending = carol.call("put").arg(43).arg(1).submit().unwrap();
+    assert!(matches!(
+        pending.wait(WAIT).unwrap().status,
+        TxStatus::Aborted(_)
+    ));
 
     // Cross-org onboarding is denied.
     let mallory_key = KeyPair::generate("org2/mallory", b"m", Scheme::Sim);
-    let pending = admin
-        .invoke(
-            "create_usertx",
-            vec![
-                Value::Text("org2/mallory".into()),
-                Value::Text("org2".into()),
-                Value::Text("client".into()),
-                Value::Bytes(mallory_key.public_key().to_bytes()),
-            ],
-        )
-        .unwrap();
-    match pending.wait(WAIT).unwrap().status {
-        TxStatus::Aborted(reason) => assert!(reason.contains("cannot create"), "{reason}"),
+    match admin
+        .call("create_usertx")
+        .arg("org2/mallory")
+        .arg("org2")
+        .arg("client")
+        .arg(mallory_key.public_key().to_bytes())
+        .submit_wait(WAIT)
+    {
+        Err(Error::TxAborted { reason, .. }) => {
+            assert!(reason.contains("cannot create"), "{reason}")
+        }
         other => panic!("expected cross-org denial, got {other:?}"),
     }
     net.shutdown();

@@ -27,13 +27,14 @@ fn assert_converged(net: &Network) {
     let hashes = net.state_hashes();
     let (first_name, first_hash) = &hashes[0];
     for (name, hash) in &hashes[1..] {
-        assert_eq!(
-            hash, first_hash,
-            "node {name} diverged from {first_name}"
-        );
+        assert_eq!(hash, first_hash, "node {name} diverged from {first_name}");
     }
     for node in net.nodes() {
-        assert!(node.divergences().is_empty(), "{} saw divergence", node.config.name);
+        assert!(
+            node.divergences().is_empty(),
+            "{} saw divergence",
+            node.config.name
+        );
     }
 }
 
@@ -42,28 +43,30 @@ fn run_banking_scenario(flow: Flow) {
     let alice = net.client("org1", "alice").unwrap();
     let bob = net.client("org2", "bob").unwrap();
 
-    // Open accounts and wait for commitment.
+    // Open accounts and wait for commitment. In the EO flow a fresh
+    // transaction can race a neighbour's block and see a retriable
+    // phantom abort (§3.4.1); the retrying variant re-pins and retries.
     alice
-        .invoke_wait(
-            "open_account",
-            vec![Value::Int(1), Value::Text("alice".into()), Value::Float(100.0)],
-            WAIT,
-        )
+        .call("open_account")
+        .arg(1)
+        .arg("alice")
+        .arg(100.0)
+        .submit_wait_retrying(WAIT)
         .unwrap();
-    bob.invoke_wait(
-        "open_account",
-        vec![Value::Int(2), Value::Text("bob".into()), Value::Float(50.0)],
-        WAIT,
-    )
-    .unwrap();
+    bob.call("open_account")
+        .arg(2)
+        .arg("bob")
+        .arg(50.0)
+        .submit_wait_retrying(WAIT)
+        .unwrap();
 
     // A transfer.
     alice
-        .invoke_wait(
-            "transfer",
-            vec![Value::Int(1), Value::Int(2), Value::Float(30.0)],
-            WAIT,
-        )
+        .call("transfer")
+        .arg(1)
+        .arg(2)
+        .arg(30.0)
+        .submit_wait_retrying(WAIT)
         .unwrap();
 
     // Every node answers the same query identically.
@@ -96,35 +99,40 @@ fn contract_errors_abort_deterministically() {
     let net = build(Flow::OrderThenExecute);
     let alice = net.client("org1", "alice").unwrap();
     alice
-        .invoke_wait(
-            "open_account",
-            vec![Value::Int(1), Value::Text("a".into()), Value::Float(10.0)],
-            WAIT,
-        )
+        .call("open_account")
+        .arg(1)
+        .arg("a")
+        .arg(10.0)
+        .submit_wait(WAIT)
         .unwrap();
-    // Duplicate primary key → aborted on every node, network stays alive.
-    let pending = alice
-        .invoke(
-            "open_account",
-            vec![Value::Int(1), Value::Text("dup".into()), Value::Float(1.0)],
-        )
-        .unwrap();
-    let n = pending.wait(WAIT).unwrap();
-    match n.status {
-        TxStatus::Aborted(reason) => assert!(reason.contains("duplicate key"), "{reason}"),
-        other => panic!("expected abort, got {other:?}"),
+    // Duplicate primary key → aborted on every node (as a structured
+    // TxAborted), network stays alive.
+    match alice
+        .call("open_account")
+        .arg(1)
+        .arg("dup")
+        .arg(1.0)
+        .submit_wait(WAIT)
+    {
+        Err(Error::TxAborted { reason, .. }) => {
+            assert!(reason.contains("duplicate key"), "{reason}")
+        }
+        other => panic!("expected TxAborted, got {other:?}"),
     }
     // Unknown contract → aborted too.
-    let pending = alice.invoke("no_such_contract", vec![]).unwrap();
-    assert!(matches!(pending.wait(WAIT).unwrap().status, TxStatus::Aborted(_)));
+    let pending = alice.call("no_such_contract").submit().unwrap();
+    assert!(matches!(
+        pending.wait(WAIT).unwrap().status,
+        TxStatus::Aborted(_)
+    ));
 
     // The system still works afterwards.
     alice
-        .invoke_wait(
-            "open_account",
-            vec![Value::Int(2), Value::Text("b".into()), Value::Float(5.0)],
-            WAIT,
-        )
+        .call("open_account")
+        .arg(2)
+        .arg("b")
+        .arg(5.0)
+        .submit_wait(WAIT)
         .unwrap();
     let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
     net.await_height(height, WAIT).unwrap();
@@ -136,28 +144,28 @@ fn contract_errors_abort_deterministically() {
 fn concurrent_clients_converge() {
     for flow in [Flow::OrderThenExecute, Flow::ExecuteOrderParallel] {
         let net = build(flow);
-        let mut pendings = Vec::new();
+        // One signed batch per organization, notifications fanned in.
+        let mut batches = Vec::new();
         for (i, org) in ["org1", "org2", "org3"].iter().enumerate() {
             let client = net.client(org, "load").unwrap();
-            for k in 0..20 {
-                let id = (i * 100 + k) as i64;
-                let p = client
-                    .invoke(
-                        "open_account",
-                        vec![
-                            Value::Int(id),
-                            Value::Text(format!("acct-{id}")),
-                            Value::Float(10.0),
-                        ],
-                    )
-                    .unwrap();
-                pendings.push(p);
-            }
+            let calls: Vec<Call> = (0..20)
+                .map(|k| {
+                    let id = (i * 100 + k) as i64;
+                    Call::new("open_account")
+                        .arg(id)
+                        .arg(format!("acct-{id}"))
+                        .arg(10.0)
+                })
+                .collect();
+            batches.push(client.submit_all(calls).unwrap());
         }
         let mut committed = 0;
-        for p in pendings {
-            if matches!(p.wait(WAIT).unwrap().status, TxStatus::Committed) {
-                committed += 1;
+        for batch in batches {
+            assert_eq!(batch.len(), 20);
+            for n in batch.wait_all(WAIT).unwrap() {
+                if matches!(n.status, TxStatus::Committed) {
+                    committed += 1;
+                }
             }
         }
         assert_eq!(committed, 60, "{flow:?}: all unique-key inserts commit");
@@ -180,18 +188,18 @@ fn ww_conflicts_resolve_identically_across_nodes() {
         let net = build(flow);
         let setup = net.client("org1", "setup").unwrap();
         setup
-            .invoke_wait(
-                "open_account",
-                vec![Value::Int(1), Value::Text("hot".into()), Value::Float(1000.0)],
-                WAIT,
-            )
+            .call("open_account")
+            .arg(1)
+            .arg("hot")
+            .arg(1000.0)
+            .submit_wait(WAIT)
             .unwrap();
         setup
-            .invoke_wait(
-                "open_account",
-                vec![Value::Int(2), Value::Text("cold".into()), Value::Float(0.0)],
-                WAIT,
-            )
+            .call("open_account")
+            .arg(2)
+            .arg("cold")
+            .arg(0.0)
+            .submit_wait(WAIT)
             .unwrap();
 
         // Fire conflicting transfers from all three orgs without waiting.
@@ -201,11 +209,12 @@ fn ww_conflicts_resolve_identically_across_nodes() {
             for k in 0..5 {
                 let amount = 1.0 + (i * 5 + k) as f64; // unique payloads
                 pendings.push(
-                    c.invoke(
-                        "transfer",
-                        vec![Value::Int(1), Value::Int(2), Value::Float(amount)],
-                    )
-                    .unwrap(),
+                    c.call("transfer")
+                        .arg(1)
+                        .arg(2)
+                        .arg(amount)
+                        .submit()
+                        .unwrap(),
                 );
             }
         }
@@ -250,56 +259,70 @@ fn provenance_and_time_travel_queries() {
     let net = build(Flow::OrderThenExecute);
     let alice = net.client("org1", "alice").unwrap();
     alice
-        .invoke_wait(
-            "open_account",
-            vec![Value::Int(1), Value::Text("alice".into()), Value::Float(100.0)],
-            WAIT,
-        )
+        .call("open_account")
+        .arg(1)
+        .arg("alice")
+        .arg(100.0)
+        .submit_wait(WAIT)
         .unwrap();
     let h_open = alice.chain_height();
     alice
-        .invoke_wait("transfer", vec![Value::Int(1), Value::Int(1), Value::Float(0.0)], WAIT)
+        .call("transfer")
+        .arg(1)
+        .arg(1)
+        .arg(0.0)
+        .submit_wait(WAIT)
         .unwrap();
     alice
-        .invoke_wait(
-            "open_account",
-            vec![Value::Int(2), Value::Text("bob".into()), Value::Float(1.0)],
-            WAIT,
-        )
+        .call("open_account")
+        .arg(2)
+        .arg("bob")
+        .arg(1.0)
+        .submit_wait(WAIT)
         .unwrap();
 
     // HISTORY exposes all versions of account 1 (self-transfer created two
     // extra versions).
     let r = alice
-        .query(
+        .select(
             "SELECT h.balance, h._creator_block FROM HISTORY(accounts) h WHERE h.id = 1 \
              ORDER BY h._creator_block",
-            &[],
         )
+        .fetch()
         .unwrap();
-    assert!(r.rows.len() >= 3, "expected version history, got {:?}", r.rows);
+    assert!(
+        r.rows.len() >= 3,
+        "expected version history, got {:?}",
+        r.rows
+    );
 
-    // Ledger join: who wrote versions of account 1 (Table 3 style).
+    // Ledger join: who wrote versions of account 1 (Table 3 style), with
+    // typed row decoding by column name.
     let r = alice
-        .query(
+        .select(
             "SELECT l.username, l.contract FROM HISTORY(accounts) h, ledger l \
              WHERE h.id = 1 AND h.xmin = l.txid ORDER BY l.block",
-            &[],
         )
+        .fetch()
         .unwrap();
     assert!(!r.rows.is_empty());
-    assert_eq!(r.rows[0][0], Value::Text("org1/alice".into()));
+    let who: String = r.row(0).unwrap().get("username").unwrap();
+    assert_eq!(who, "org1/alice");
 
     // Time travel: at the height of the first open, balance was 100 and
     // account 2 did not exist.
-    let r = alice
-        .query_at("SELECT balance FROM accounts WHERE id = 1", &[], h_open)
+    let balance: f64 = alice
+        .select("SELECT balance FROM accounts WHERE id = 1")
+        .at_height(h_open)
+        .fetch_scalar()
         .unwrap();
-    assert_eq!(r.rows[0][0], Value::Float(100.0));
-    let r = alice
-        .query_at("SELECT COUNT(*) FROM accounts", &[], h_open)
+    assert_eq!(balance, 100.0);
+    let count: i64 = alice
+        .select("SELECT COUNT(*) FROM accounts")
+        .at_height(h_open)
+        .fetch_scalar()
         .unwrap();
-    assert_eq!(r.rows[0][0], Value::Int(1));
+    assert_eq!(count, 1);
     net.shutdown();
 }
 
@@ -309,11 +332,11 @@ fn blocks_chain_and_verify_on_every_node() {
     let alice = net.client("org1", "alice").unwrap();
     for i in 0..5 {
         alice
-            .invoke_wait(
-                "open_account",
-                vec![Value::Int(i), Value::Text(format!("a{i}")), Value::Float(1.0)],
-                WAIT,
-            )
+            .call("open_account")
+            .arg(i)
+            .arg(format!("a{i}"))
+            .arg(1.0)
+            .submit_wait(WAIT)
             .unwrap();
     }
     let height = net.nodes().iter().map(|n| n.height()).max().unwrap();

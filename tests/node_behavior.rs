@@ -23,9 +23,9 @@ fn build(flow: Flow) -> Network {
 fn vacuum_prunes_history_but_preserves_live_state() {
     let net = build(Flow::OrderThenExecute);
     let c = net.client("org1", "alice").unwrap();
-    c.invoke_wait("put", vec![Value::Int(1), Value::Int(0)], WAIT).unwrap();
+    c.call("put").arg(1).arg(0).submit_wait(WAIT).unwrap();
     for _ in 0..3 {
-        c.invoke_wait("bump", vec![Value::Int(1)], WAIT).unwrap();
+        c.call("bump").arg(1).submit_wait(WAIT).unwrap();
     }
     let node = net.node("org1").unwrap();
     let height = node.height();
@@ -38,7 +38,10 @@ fn vacuum_prunes_history_but_preserves_live_state() {
 
     // Vacuum everything deleted at or before the tip.
     let reclaimed = node.vacuum(height);
-    assert!(reclaimed >= 3, "three superseded versions reclaimed, got {reclaimed}");
+    assert!(
+        reclaimed >= 3,
+        "three superseded versions reclaimed, got {reclaimed}"
+    );
 
     // Live state untouched; history shrunk to the live version.
     let r = node.query("SELECT v FROM kv WHERE k = 1", &[]).unwrap();
@@ -49,7 +52,7 @@ fn vacuum_prunes_history_but_preserves_live_state() {
     assert_eq!(r.rows[0][0], Value::Int(1));
 
     // The node keeps working after vacuum (indexes were rebuilt).
-    c.invoke_wait("bump", vec![Value::Int(1)], WAIT).unwrap();
+    c.call("bump").arg(1).submit_wait(WAIT).unwrap();
     let r = node.query("SELECT v FROM kv WHERE k = 1", &[]).unwrap();
     assert_eq!(r.rows[0][0], Value::Int(4));
     net.shutdown();
@@ -59,13 +62,16 @@ fn vacuum_prunes_history_but_preserves_live_state() {
 fn future_snapshot_height_aborts_deterministically() {
     let net = build(Flow::ExecuteOrderParallel);
     let c = net.client("org1", "alice").unwrap();
-    c.invoke_wait("put", vec![Value::Int(1), Value::Int(0)], WAIT).unwrap();
+    c.call("put").arg(1).arg(0).submit_wait(WAIT).unwrap();
 
     // A snapshot height far beyond the chain tip: the transaction is
     // ordered but cannot legally execute before its own block — aborted
     // identically on every node (§3.4.1 / processor rule).
     let pending = c
-        .invoke_at("bump", vec![Value::Int(1)], c.chain_height() + 50)
+        .call("bump")
+        .arg(1)
+        .at_height(c.chain_height() + 50)
+        .submit()
         .unwrap();
     match pending.wait(WAIT).unwrap().status {
         TxStatus::Aborted(reason) => assert!(reason.contains("snapshot height"), "{reason}"),
@@ -95,10 +101,10 @@ fn serial_baseline_produces_identical_state_to_parallel() {
         .unwrap();
         let c = net.client("org1", "alice").unwrap();
         for k in 0..10 {
-            c.invoke_wait("put", vec![Value::Int(k), Value::Int(k)], WAIT).unwrap();
+            c.call("put").arg(k).arg(k).submit_wait(WAIT).unwrap();
         }
         for k in 0..10 {
-            c.invoke_wait("bump", vec![Value::Int(k % 5)], WAIT).unwrap();
+            c.call("bump").arg(k % 5).submit_wait(WAIT).unwrap();
         }
         let node = net.node("org1").unwrap();
         let hash = node.state_hash();
@@ -119,7 +125,7 @@ fn metrics_reflect_traffic() {
     let node = net.node("org1").unwrap();
     let _ = node.metrics().take(); // reset
     for k in 0..5 {
-        c.invoke_wait("put", vec![Value::Int(k), Value::Int(0)], WAIT).unwrap();
+        c.call("put").arg(k).arg(0).submit_wait(WAIT).unwrap();
     }
     let snap = node.metrics().take();
     assert_eq!(snap.committed, 5);

@@ -1,8 +1,10 @@
-//! Property-based tests over core invariants: codec round trips, SQL
+//! Randomized-property tests over core invariants: codec round trips, SQL
 //! render/parse round trips, Merkle proofs, value ordering laws, index
 //! scans vs full scans, and MVCC visibility.
-
-use proptest::prelude::*;
+//!
+//! The offline build cannot fetch `proptest`, so these use a small
+//! deterministic xorshift generator: every run explores the same ~64
+//! cases per property, and a failing case is reproducible from its seed.
 
 use bcrdb::common::codec::{Decoder, Encoder};
 use bcrdb::common::schema::{Column, DataType, TableSchema};
@@ -15,79 +17,145 @@ use bcrdb::txn::context::TxnCtx;
 use bcrdb::txn::ssi::{Flow, SsiManager};
 use std::sync::Arc;
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        // Finite floats only: NaN breaks equality round trips by design.
-        (-1e12f64..1e12).prop_map(Value::Float),
-        "[a-zA-Z0-9 _'-]{0,24}".prop_map(Value::Text),
-        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
-        any::<i64>().prop_map(Value::Timestamp),
-    ]
+const CASES: u64 = 64;
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.below((hi - lo) as u64) as i64)
+    }
+
+    fn value(&mut self) -> Value {
+        match self.below(7) {
+            0 => Value::Null,
+            1 => Value::Bool(self.below(2) == 1),
+            2 => Value::Int(self.next_u64() as i64),
+            // Finite floats only: NaN breaks equality round trips by design.
+            3 => Value::Float((self.range_i64(-1_000_000_000, 1_000_000_000) as f64) / 831.0),
+            4 => {
+                let len = self.below(24) as usize;
+                let s: String = (0..len)
+                    .map(|_| {
+                        let chars = b"abcdefghijklmnopqrstuvwxyz 0123456789_'-";
+                        chars[self.below(chars.len() as u64) as usize] as char
+                    })
+                    .collect();
+                Value::Text(s)
+            }
+            5 => {
+                let len = self.below(32) as usize;
+                Value::Bytes((0..len).map(|_| self.next_u64() as u8).collect())
+            }
+            _ => Value::Timestamp(self.next_u64() as i64),
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn codec_roundtrips_any_row(row in proptest::collection::vec(arb_value(), 0..8)) {
+#[test]
+fn codec_roundtrips_any_row() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let row: Vec<Value> = (0..rng.below(8)).map(|_| rng.value()).collect();
         let mut enc = Encoder::new();
         enc.put_row(&row);
         let bytes = enc.finish();
         let back = Decoder::new(&bytes).get_row().unwrap();
-        prop_assert_eq!(row, back);
+        assert_eq!(row, back, "seed {seed}");
     }
+}
 
-    #[test]
-    fn value_ordering_is_total_and_antisymmetric(
-        a in arb_value(),
-        b in arb_value(),
-        c in arb_value(),
-    ) {
-        use std::cmp::Ordering;
+#[test]
+fn value_ordering_is_total_and_antisymmetric() {
+    use std::cmp::Ordering;
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let (a, b, c) = (rng.value(), rng.value(), rng.value());
         // Antisymmetry.
-        let ab = a.cmp_total(&b);
-        let ba = b.cmp_total(&a);
-        prop_assert_eq!(ab, ba.reverse());
+        assert_eq!(a.cmp_total(&b), b.cmp_total(&a).reverse(), "seed {seed}");
         // Transitivity (on a sorted triple).
-        let mut v = vec![a.clone(), b.clone(), c.clone()];
+        let mut v = [a.clone(), b.clone(), c.clone()];
         v.sort();
-        prop_assert!(v[0].cmp_total(&v[1]) != Ordering::Greater);
-        prop_assert!(v[1].cmp_total(&v[2]) != Ordering::Greater);
-        prop_assert!(v[0].cmp_total(&v[2]) != Ordering::Greater);
+        assert!(v[0].cmp_total(&v[1]) != Ordering::Greater, "seed {seed}");
+        assert!(v[1].cmp_total(&v[2]) != Ordering::Greater, "seed {seed}");
+        assert!(v[0].cmp_total(&v[2]) != Ordering::Greater, "seed {seed}");
     }
+}
 
-    #[test]
-    fn merkle_proofs_verify_for_every_leaf(
-        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 1..24)
-    ) {
+#[test]
+fn merkle_proofs_verify_for_every_leaf() {
+    for seed in 0..CASES / 4 {
+        let mut rng = Rng::new(seed);
+        let n_leaves = 1 + rng.below(23) as usize;
+        let leaves: Vec<Vec<u8>> = (0..n_leaves)
+            .map(|_| {
+                let len = rng.below(16) as usize;
+                (0..len).map(|_| rng.next_u64() as u8).collect()
+            })
+            .collect();
         let tree = MerkleTree::build(&leaves);
         for (i, leaf) in leaves.iter().enumerate() {
             let proof = tree.prove(i);
-            prop_assert!(MerkleTree::verify(&tree.root(), leaf, &proof));
+            assert!(
+                MerkleTree::verify(&tree.root(), leaf, &proof),
+                "seed {seed} leaf {i}"
+            );
         }
     }
+}
 
-    #[test]
-    fn sql_expression_render_parse_roundtrip(
+#[test]
+fn sql_expression_render_parse_roundtrip() {
+    use bcrdb::sql::ast::{BinaryOp, Expr, SelectItem, SelectStmt, Statement};
+    use bcrdb::sql::{display, parse_expression};
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
         // Non-negative literals: `-1` re-parses as unary negation of `1`,
         // which is semantically equal but structurally different.
-        a in 0i64..1000,
-        b in 0i64..1000,
+        let a = rng.range_i64(0, 1000);
+        let b = rng.range_i64(0, 1000);
         // `c_` prefix keeps the generated identifier out of keyword space.
-        t in "c_[a-z]{1,5}",
-    ) {
-        use bcrdb::sql::{parse_expression, display};
-        use bcrdb::sql::ast::{Expr, BinaryOp, Statement, SelectStmt, SelectItem};
+        let t: String = {
+            let len = 1 + rng.below(5) as usize;
+            let body: String = (0..len)
+                .map(|_| (b'a' + rng.below(26) as u8) as char)
+                .collect();
+            format!("c_{body}")
+        };
         let expr = Expr::binary(
             BinaryOp::Add,
-            Expr::binary(BinaryOp::Mul, Expr::Literal(Value::Int(a)), Expr::column(t.clone())),
+            Expr::binary(
+                BinaryOp::Mul,
+                Expr::Literal(Value::Int(a)),
+                Expr::column(t.clone()),
+            ),
             Expr::Literal(Value::Int(b)),
         );
         let stmt = Statement::Select(SelectStmt {
-            projections: vec![SelectItem::Expr { expr: expr.clone(), alias: None }],
+            projections: vec![SelectItem::Expr {
+                expr: expr.clone(),
+                alias: None,
+            }],
             from: None,
             predicate: None,
             group_by: vec![],
@@ -97,29 +165,33 @@ proptest! {
         });
         let sql = display::statement_to_sql(&stmt);
         let reparsed = bcrdb::sql::parse_statement(&sql).unwrap();
-        prop_assert_eq!(&stmt, &reparsed);
+        assert_eq!(stmt, reparsed, "seed {seed}: {sql}");
         // Expression fragment too.
-        let fragment = {
-            let mut s = String::new();
-            s.push_str(&sql["SELECT ".len()..]);
-            s
-        };
-        let e = parse_expression(&fragment).unwrap();
-        prop_assert_eq!(e, expr);
+        let fragment = &sql["SELECT ".len()..];
+        let e = parse_expression(fragment).unwrap();
+        assert_eq!(e, expr, "seed {seed}: {fragment}");
     }
+}
 
-    #[test]
-    fn index_scan_equals_full_scan_filter(
-        keys in proptest::collection::vec(-50i64..50, 1..40),
-        lo in -60i64..60,
-        width in 0i64..40,
-    ) {
-        let schema = TableSchema::new(
+#[test]
+fn index_scan_equals_full_scan_filter() {
+    for seed in 0..CASES / 2 {
+        let mut rng = Rng::new(seed);
+        let keys: Vec<i64> = (0..1 + rng.below(39))
+            .map(|_| rng.range_i64(-50, 50))
+            .collect();
+        let lo = rng.range_i64(-60, 60);
+        let width = rng.range_i64(0, 40);
+
+        let mut schema = TableSchema::new(
             "t",
-            vec![Column::new("k", DataType::Int), Column::new("seq", DataType::Int)],
+            vec![
+                Column::new("k", DataType::Int),
+                Column::new("seq", DataType::Int),
+            ],
             vec![1], // pk on seq so duplicate k values are allowed
-        ).unwrap();
-        let mut schema = schema;
+        )
+        .unwrap();
         schema.add_index("idx_k", "k").unwrap();
         let table = Arc::new(Table::new(schema));
         let mgr = Arc::new(SsiManager::new());
@@ -127,9 +199,12 @@ proptest! {
         // Commit all rows in one transaction at block 1.
         let ctx = TxnCtx::begin(&mgr, 0, ScanMode::Relaxed);
         for (i, k) in keys.iter().enumerate() {
-            ctx.insert(&table, vec![Value::Int(*k), Value::Int(i as i64)]).unwrap();
+            ctx.insert(&table, vec![Value::Int(*k), Value::Int(i as i64)])
+                .unwrap();
         }
-        prop_assert!(ctx.apply_commit(1, 0, Flow::OrderThenExecute).is_committed());
+        assert!(ctx
+            .apply_commit(1, 0, Flow::OrderThenExecute)
+            .is_committed());
 
         let hi = lo + width;
         let range = KeyRange::between(Value::Int(lo), Value::Int(hi));
@@ -150,21 +225,21 @@ proptest! {
             })
             .map(|r| r.data[1].as_i64().unwrap())
             .collect();
-        prop_assert_eq!(via_index, via_scan);
+        assert_eq!(via_index, via_scan, "seed {seed}");
     }
+}
 
-    #[test]
-    fn snapshot_visibility_is_monotone_per_version(
-        creators in proptest::collection::vec(1u64..10, 1..20),
-        query_height in 0u64..12,
-    ) {
+#[test]
+fn snapshot_visibility_is_monotone_per_version() {
+    for seed in 0..CASES / 2 {
+        let mut rng = Rng::new(seed);
         // Insert one row per "creator block" and check that a reader at
         // height h sees exactly the rows committed at blocks ≤ h.
-        let schema = TableSchema::new(
-            "t",
-            vec![Column::new("id", DataType::Int)],
-            vec![0],
-        ).unwrap();
+        let creators: Vec<u64> = (0..1 + rng.below(19)).map(|_| 1 + rng.below(9)).collect();
+        let query_height = rng.below(12);
+
+        let schema =
+            TableSchema::new("t", vec![Column::new("id", DataType::Int)], vec![0]).unwrap();
         let table = Arc::new(Table::new(schema));
         let mgr = Arc::new(SsiManager::new());
         let mut sorted = creators.clone();
@@ -172,32 +247,43 @@ proptest! {
         for (i, block) in sorted.iter().enumerate() {
             let ctx = TxnCtx::begin(&mgr, block - 1, ScanMode::Relaxed);
             ctx.insert(&table, vec![Value::Int(i as i64)]).unwrap();
-            prop_assert!(ctx.apply_commit(*block, i as u32, Flow::OrderThenExecute).is_committed());
+            assert!(ctx
+                .apply_commit(*block, i as u32, Flow::OrderThenExecute)
+                .is_committed());
         }
         let reader = TxnCtx::read_only(&mgr, query_height);
         let visible = reader.scan(&table, None).unwrap().len();
         let expected = sorted.iter().filter(|b| **b <= query_height).count();
-        prop_assert_eq!(visible, expected);
+        assert_eq!(visible, expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn writeset_hash_injective_on_content(
-        rows_a in proptest::collection::vec((any::<u8>(), -100i64..100), 1..10),
-        rows_b in proptest::collection::vec((any::<u8>(), -100i64..100), 1..10),
-    ) {
-        use bcrdb::chain::checkpoint::WriteSetHasher;
-        use bcrdb::common::ids::RowId;
-        let hash = |rows: &[(u8, i64)]| {
-            let mut h = WriteSetHasher::new();
-            for (i, (kind, v)) in rows.iter().enumerate() {
-                h.add("t", kind % 3, RowId(i as u64), &[Value::Int(*v)]);
-            }
-            h.finish()
-        };
-        if rows_a == rows_b {
-            prop_assert_eq!(hash(&rows_a), hash(&rows_b));
-        } else {
-            prop_assert_ne!(hash(&rows_a), hash(&rows_b));
+#[test]
+fn writeset_hash_injective_on_content() {
+    use bcrdb::chain::checkpoint::WriteSetHasher;
+    use bcrdb::common::ids::RowId;
+    let hash = |rows: &[(u8, i64)]| {
+        let mut h = WriteSetHasher::new();
+        for (i, (kind, v)) in rows.iter().enumerate() {
+            h.add("t", kind % 3, RowId(i as u64), &[Value::Int(*v)]);
         }
+        h.finish()
+    };
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let gen = |rng: &mut Rng| -> Vec<(u8, i64)> {
+            (0..1 + rng.below(9))
+                .map(|_| (rng.next_u64() as u8, rng.range_i64(-100, 100)))
+                .collect()
+        };
+        let rows_a = gen(&mut rng);
+        let rows_b = gen(&mut rng);
+        if rows_a == rows_b {
+            assert_eq!(hash(&rows_a), hash(&rows_b), "seed {seed}");
+        } else {
+            assert_ne!(hash(&rows_a), hash(&rows_b), "seed {seed}");
+        }
+        // And always equal to itself.
+        assert_eq!(hash(&rows_a), hash(&rows_a), "seed {seed}");
     }
 }

@@ -35,7 +35,11 @@ impl Rig {
             role: Role::Orderer,
             public_key: orderer.public_key(),
         });
-        Rig { certs, client, orderer }
+        Rig {
+            certs,
+            client,
+            orderer,
+        }
     }
 
     fn node(&self, dir: &std::path::Path, snapshot_interval: u64) -> Arc<Node> {
@@ -81,7 +85,10 @@ impl Rig {
     fn tx(&self, n: u64) -> Transaction {
         Transaction::new_order_execute(
             "org1/alice",
-            Payload::new("put", vec![Value::Int(n as i64), Value::Int((n * 10) as i64)]),
+            Payload::new(
+                "put",
+                vec![Value::Int(n as i64), Value::Int((n * 10) as i64)],
+            ),
             n,
             &self.client,
         )
@@ -117,7 +124,11 @@ fn deliver_all(node: &Arc<Node>, blocks: &[Arc<Block>]) {
     let want = blocks.last().map(|b| b.number).unwrap_or(0);
     let deadline = std::time::Instant::now() + Duration::from_secs(20);
     while node.height() < want {
-        assert!(std::time::Instant::now() < deadline, "node stuck at {}", node.height());
+        assert!(
+            std::time::Instant::now() < deadline,
+            "node stuck at {}",
+            node.height()
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
 }
@@ -149,7 +160,11 @@ fn restart_replays_blockstore_to_identical_state() {
     // Reopen: full replay from the block store (no snapshot).
     let node = rig.node(&dir, 0);
     assert_eq!(node.height(), 4, "recovery replayed all blocks");
-    assert_eq!(node.state_hash(), hash_before, "state identical after recovery");
+    assert_eq!(
+        node.state_hash(),
+        hash_before,
+        "state identical after recovery"
+    );
     // Ledger records recovered too (rebuilt by replay).
     assert_eq!(node.ledger_records(2).len(), 5);
     node.shutdown();
@@ -222,8 +237,14 @@ fn recovered_node_matches_never_crashed_node() {
                 bcrdb::common::schema::TableSchema::new(
                     "kv",
                     vec![
-                        bcrdb::common::schema::Column::new("k", bcrdb::common::schema::DataType::Int),
-                        bcrdb::common::schema::Column::new("v", bcrdb::common::schema::DataType::Int),
+                        bcrdb::common::schema::Column::new(
+                            "k",
+                            bcrdb::common::schema::DataType::Int,
+                        ),
+                        bcrdb::common::schema::Column::new(
+                            "v",
+                            bcrdb::common::schema::DataType::Int,
+                        ),
                     ],
                     vec![0],
                 )

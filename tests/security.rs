@@ -52,9 +52,7 @@ fn forged_signature_rejected_on_every_node() {
         assert_eq!(r.rows[0][0], Value::Int(0), "{}", node.config.name);
     }
     // And honest traffic still works.
-    alice
-        .invoke_wait("put", vec![Value::Int(1), Value::Int(1)], WAIT)
-        .unwrap();
+    alice.call("put").arg(1).arg(1).submit_wait(WAIT).unwrap();
     net.shutdown();
 }
 
@@ -62,9 +60,7 @@ fn forged_signature_rejected_on_every_node() {
 fn tampered_transaction_in_flight_rejected() {
     let net = build();
     let alice = net.client("org1", "alice").unwrap();
-    alice
-        .invoke_wait("put", vec![Value::Int(1), Value::Int(10)], WAIT)
-        .unwrap();
+    alice.call("put").arg(1).arg(10).submit_wait(WAIT).unwrap();
     // Grab the committed transaction from a block store, tamper with an
     // argument and try to replay it under the original signature.
     let node = net.node("org1").unwrap();
@@ -86,9 +82,7 @@ fn byzantine_orderer_block_rejected() {
     // block processor (§3.5 property 4) and must not advance the chain.
     let net = build();
     let alice = net.client("org1", "alice").unwrap();
-    alice
-        .invoke_wait("put", vec![Value::Int(1), Value::Int(1)], WAIT)
-        .unwrap();
+    alice.call("put").arg(1).arg(1).submit_wait(WAIT).unwrap();
     let node = net.node("org1").unwrap();
     let h = node.height();
 
@@ -106,7 +100,10 @@ fn byzantine_orderer_block_rejected() {
     block.sign(&rogue_orderer).unwrap();
 
     let result = bcrdb::node::processor::on_block(&node, &Arc::new(block));
-    assert!(result.is_err(), "unsigned-by-known-orderer block must be rejected");
+    assert!(
+        result.is_err(),
+        "unsigned-by-known-orderer block must be rejected"
+    );
     assert_eq!(node.height(), h, "chain did not advance");
     // A block with a broken prev-hash is rejected too.
     let mut forked = Block::build(h + 1, genesis_prev_hash(), vec![], "solo", vec![]);
@@ -119,9 +116,7 @@ fn byzantine_orderer_block_rejected() {
 fn checkpoint_divergence_detected() {
     let net = build();
     let alice = net.client("org1", "alice").unwrap();
-    alice
-        .invoke_wait("put", vec![Value::Int(1), Value::Int(1)], WAIT)
-        .unwrap();
+    alice.call("put").arg(1).arg(1).submit_wait(WAIT).unwrap();
     let block_done = net.node("org1").unwrap().height();
 
     // A "malicious node" submits a checkpoint vote with a wrong state hash
@@ -134,9 +129,7 @@ fn checkpoint_divergence_detected() {
         })
         .unwrap();
     // Another transaction forces the next block to be cut.
-    alice
-        .invoke_wait("put", vec![Value::Int(2), Value::Int(2)], WAIT)
-        .unwrap();
+    alice.call("put").arg(2).arg(2).submit_wait(WAIT).unwrap();
 
     let deadline = std::time::Instant::now() + WAIT;
     loop {
@@ -147,7 +140,10 @@ fn checkpoint_divergence_detected() {
         {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "divergence not detected: {divergences:?}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "divergence not detected: {divergences:?}"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
 
@@ -168,27 +164,24 @@ fn access_control_blocks_non_admins() {
     let net = build();
     let alice = net.client("org1", "alice").unwrap();
     // A plain client may not stage deployments (AdminOnly policy).
-    let pending = alice
-        .invoke(
-            "create_deploytx",
-            vec![Value::Int(1), Value::Text("DROP TABLE kv".into())],
-        )
-        .unwrap();
-    match pending.wait(WAIT).unwrap().status {
-        TxStatus::Aborted(reason) => assert!(reason.contains("access denied"), "{reason}"),
+    match alice
+        .call("create_deploytx")
+        .arg(1)
+        .arg("DROP TABLE kv")
+        .submit_wait(WAIT)
+    {
+        Err(Error::TxAborted { reason, .. }) => {
+            assert!(reason.contains("access denied"), "{reason}")
+        }
         other => panic!("expected access-denied abort, got {other:?}"),
     }
     // The admin may.
     let admin = net.admin("org1").unwrap();
     admin
-        .invoke_wait(
-            "create_deploytx",
-            vec![
-                Value::Int(1),
-                Value::Text("CREATE TABLE extra (id INT PRIMARY KEY)".into()),
-            ],
-            WAIT,
-        )
+        .call("create_deploytx")
+        .arg(1)
+        .arg("CREATE TABLE extra (id INT PRIMARY KEY)")
+        .submit_wait(WAIT)
         .unwrap();
     net.shutdown();
 }

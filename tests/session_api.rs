@@ -1,0 +1,324 @@
+//! The typed session API end-to-end: fluent calls, prepared statements,
+//! typed rows, batch submission, time-travel reads and the error
+//! taxonomy (`Timeout` vs `TxAborted` vs `Decode`).
+
+use std::time::Duration;
+
+use bcrdb::prelude::*;
+
+const WAIT: Duration = Duration::from_secs(20);
+
+fn build(flow: Flow) -> Network {
+    let net = Network::build(NetworkConfig::quick(&["org1", "org2"], flow)).unwrap();
+    net.bootstrap_sql(
+        "CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL, label TEXT); \
+         CREATE FUNCTION put(k INT, v INT, label TEXT) AS $$ \
+           INSERT INTO kv VALUES ($1, $2, $3) $$; \
+         CREATE FUNCTION bump(k INT) AS $$ UPDATE kv SET v = v + 1 WHERE k = $1 $$; \
+         CREATE FUNCTION fail_div(k INT) AS $$ \
+           UPDATE kv SET v = v / 0 WHERE k = $1 $$",
+    )
+    .unwrap();
+    net
+}
+
+// ---------------------------------------------------------- time travel
+
+#[test]
+fn query_at_returns_each_historical_snapshot() {
+    let net = build(Flow::OrderThenExecute);
+    let c = net.client("org1", "alice").unwrap();
+    c.call("put")
+        .arg(1)
+        .arg(0)
+        .arg("x")
+        .submit_wait(WAIT)
+        .unwrap();
+    let h0 = c.chain_height();
+    // Record the height after each bump; each height is its own snapshot.
+    let mut heights = vec![h0];
+    for _ in 0..3 {
+        c.call("bump").arg(1).submit_wait(WAIT).unwrap();
+        heights.push(c.chain_height());
+    }
+    // The value at each recorded height is exactly the bump count then.
+    let probe = c.prepare("SELECT v FROM kv WHERE k = $1").unwrap();
+    for (expect, h) in heights.iter().enumerate() {
+        let v: i64 = probe.run().bind(1).at_height(*h).fetch_scalar().unwrap();
+        assert_eq!(v, expect as i64, "height {h}");
+    }
+    // Height 0 (genesis): the row does not exist yet.
+    let r = probe.query_at(&[Value::Int(1)], 0).unwrap();
+    assert!(r.is_empty(), "row visible at genesis: {r:?}");
+    net.shutdown();
+}
+
+#[test]
+fn query_at_future_height_errors_cleanly() {
+    let net = build(Flow::OrderThenExecute);
+    let c = net.client("org1", "alice").unwrap();
+    c.call("put")
+        .arg(1)
+        .arg(7)
+        .arg("x")
+        .submit_wait(WAIT)
+        .unwrap();
+    let tip = c.chain_height();
+    // A snapshot beyond the committed tip cannot be served: its blocks
+    // have not committed on this node. The error names both heights.
+    let err = c
+        .select("SELECT v FROM kv WHERE k = $1")
+        .bind(1)
+        .at_height(tip + 10)
+        .fetch()
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(matches!(err, Error::Analysis(_)), "{msg}");
+    assert!(msg.contains(&format!("{}", tip + 10)), "{msg}");
+    assert!(msg.contains("committed height"), "{msg}");
+    // Prepared statements hit the same guard.
+    let probe = c.prepare("SELECT v FROM kv WHERE k = $1").unwrap();
+    assert!(probe.query_at(&[Value::Int(1)], tip + 1).is_err());
+    net.shutdown();
+}
+
+// --------------------------------------------------------- error paths
+
+#[test]
+fn submit_wait_surfaces_tx_aborted_with_reason() {
+    let net = build(Flow::OrderThenExecute);
+    let c = net.client("org1", "alice").unwrap();
+    c.call("put")
+        .arg(1)
+        .arg(1)
+        .arg("x")
+        .submit_wait(WAIT)
+        .unwrap();
+    // A contract error (division by zero) is a terminal abort: the typed
+    // error carries the transaction id and the ledger's reason string.
+    let pending = c.call("fail_div").arg(1).submit().unwrap();
+    let id = pending.id;
+    match pending.wait_committed(WAIT) {
+        Err(e @ Error::TxAborted { .. }) => {
+            let Error::TxAborted { id: got, reason } = &e else {
+                unreachable!()
+            };
+            assert_eq!(*got, id);
+            assert!(reason.contains("division by zero"), "{reason}");
+            assert!(!e.is_retriable(), "contract errors are not retriable");
+        }
+        other => panic!("expected TxAborted, got {other:?}"),
+    }
+    // submit_wait is the same path.
+    match c.call("fail_div").arg(1).submit_wait(WAIT) {
+        Err(Error::TxAborted { reason, .. }) => {
+            assert!(reason.contains("division by zero"), "{reason}")
+        }
+        other => panic!("expected TxAborted, got {other:?}"),
+    }
+    net.shutdown();
+}
+
+#[test]
+fn wait_timeout_is_a_timeout_not_an_abort() {
+    let net = build(Flow::OrderThenExecute);
+    let c = net.client("org1", "alice").unwrap();
+    let pending = c.call("put").arg(1).arg(1).arg("x").submit().unwrap();
+    // A zero timeout cannot have a final status yet.
+    match pending.wait(Duration::ZERO) {
+        Err(e @ Error::Timeout(_)) => assert!(!e.is_retriable()),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    // The transaction still commits afterwards — Timeout is not final.
+    pending.wait_committed(WAIT).unwrap();
+    net.shutdown();
+}
+
+// ----------------------------------------------------- typed decoding
+
+#[test]
+fn typed_rows_and_decode_errors() {
+    let net = build(Flow::OrderThenExecute);
+    let c = net.client("org1", "alice").unwrap();
+    c.call("put")
+        .arg(1)
+        .arg(10)
+        .arg("a")
+        .submit_wait(WAIT)
+        .unwrap();
+    c.call("put")
+        .arg(2)
+        .arg(20)
+        .arg(None::<String>)
+        .submit_wait(WAIT)
+        .unwrap();
+
+    let rows: Vec<(i64, i64, Option<String>)> = c
+        .select("SELECT k, v, label FROM kv ORDER BY k")
+        .fetch_as()
+        .unwrap();
+    assert_eq!(rows, vec![(1, 10, Some("a".into())), (2, 20, None)]);
+
+    // By-name access through RowRef.
+    let r = c
+        .select("SELECT k, v, label FROM kv ORDER BY k")
+        .fetch()
+        .unwrap();
+    assert_eq!(r.row(0).unwrap().get::<i64>("v").unwrap(), 10);
+    assert_eq!(
+        r.row(1).unwrap().get::<Option<String>>("label").unwrap(),
+        None
+    );
+
+    // Wrong target type → Decode, not a panic or engine error.
+    match c
+        .select("SELECT label FROM kv WHERE k = 1")
+        .fetch_scalar::<i64>()
+    {
+        Err(Error::Decode(msg)) => assert!(msg.contains("expected Int"), "{msg}"),
+        other => panic!("expected Decode, got {other:?}"),
+    }
+    // fetch_one on a two-row result → Decode.
+    assert!(matches!(
+        c.select("SELECT k FROM kv ORDER BY k")
+            .fetch_one::<(i64,)>(),
+        Err(Error::Decode(_))
+    ));
+    net.shutdown();
+}
+
+// ------------------------------------------------- prepared statements
+
+#[test]
+fn prepared_statements_reuse_one_parse() {
+    let net = build(Flow::OrderThenExecute);
+    let c = net.client("org1", "alice").unwrap();
+    for k in 0..10 {
+        c.call("put")
+            .arg(k)
+            .arg(k * 100)
+            .arg("x")
+            .submit_wait(WAIT)
+            .unwrap();
+    }
+    let node = net.node("org1").unwrap();
+    let baseline = node.prepared_statement_count();
+
+    let probe = c.prepare("SELECT v FROM kv WHERE k = $1").unwrap();
+    assert_eq!(probe.param_count(), 1);
+    assert_eq!(node.prepared_statement_count(), baseline + 1);
+
+    // Many executions with fresh params; no cache growth.
+    for k in 0..10i64 {
+        let v: i64 = probe.run().bind(k).fetch_scalar().unwrap();
+        assert_eq!(v, k * 100);
+    }
+    assert_eq!(node.prepared_statement_count(), baseline + 1);
+
+    // The same SQL text prepared again (or run via select()) shares the
+    // cached parse.
+    let again = c.prepare("SELECT v FROM kv WHERE k = $1").unwrap();
+    assert_eq!(again.sql(), probe.sql());
+    let _ = c
+        .select("SELECT v FROM kv WHERE k = $1")
+        .bind(3)
+        .fetch()
+        .unwrap();
+    assert_eq!(node.prepared_statement_count(), baseline + 1);
+
+    // Writes cannot be prepared.
+    assert!(c.prepare("DELETE FROM kv").is_err());
+    // Missing parameters fail cleanly.
+    assert!(probe.query(&[]).is_err());
+    net.shutdown();
+}
+
+// -------------------------------------------------- batch submission
+
+#[test]
+fn batch_submission_fans_in_notifications() {
+    for flow in [Flow::OrderThenExecute, Flow::ExecuteOrderParallel] {
+        let net = build(flow);
+        let c = net.client("org1", "alice").unwrap();
+        let batch = c
+            .submit_all((0..25).map(|k| Call::new("put").arg(k).arg(k).arg("b")))
+            .unwrap();
+        assert_eq!(batch.len(), 25);
+        let outcomes = batch.wait_all(WAIT).unwrap();
+        assert_eq!(outcomes.len(), 25);
+        // Results come back in submission order regardless of commit order.
+        for (i, (n, id)) in outcomes.iter().zip(batch.ids()).enumerate() {
+            assert_eq!(n.id, *id, "position {i}");
+            assert!(
+                matches!(n.status, TxStatus::Committed),
+                "{flow:?} position {i}"
+            );
+        }
+        let count: i64 = c.select("SELECT COUNT(*) FROM kv").fetch_scalar().unwrap();
+        assert_eq!(count, 25, "{flow:?}");
+        net.shutdown();
+    }
+}
+
+#[test]
+fn failed_submission_does_not_leak_waiters() {
+    // A submission that fails at the node (here: resubmitting an
+    // already-processed EO transaction id) must deregister its
+    // notification waiter — otherwise retry loops grow the hub forever.
+    let net = build(Flow::ExecuteOrderParallel);
+    let c = net.client("org1", "alice").unwrap();
+    let h = c.chain_height();
+    c.call("put")
+        .arg(1)
+        .arg(1)
+        .arg("x")
+        .at_height(h)
+        .submit_wait(WAIT)
+        .unwrap();
+    let node = net.node("org1").unwrap();
+    let baseline = node.pending_notification_waiters();
+    for _ in 0..5 {
+        // Same contract, args and pinned height → same global id → the
+        // node rejects the duplicate at submission time.
+        let res = c.call("put").arg(1).arg(1).arg("x").at_height(h).submit();
+        assert!(res.is_err(), "duplicate pinned resubmission must fail");
+    }
+    assert_eq!(
+        node.pending_notification_waiters(),
+        baseline,
+        "failed submits leaked notification waiters"
+    );
+    net.shutdown();
+}
+
+#[test]
+fn batch_wait_committed_all_reports_first_abort_in_order() {
+    let net = build(Flow::OrderThenExecute);
+    let c = net.client("org1", "alice").unwrap();
+    c.call("put")
+        .arg(0)
+        .arg(0)
+        .arg("seed")
+        .submit_wait(WAIT)
+        .unwrap();
+    // Middle call fails (duplicate key 0); the rest commit.
+    let batch = c
+        .submit_all([
+            Call::new("put").arg(1).arg(1).arg("ok"),
+            Call::new("put").arg(0).arg(9).arg("dup"),
+            Call::new("put").arg(2).arg(2).arg("ok"),
+        ])
+        .unwrap();
+    let failing_id = batch.ids()[1];
+    match batch.wait_committed_all(WAIT) {
+        Err(Error::TxAborted { id, reason }) => {
+            assert_eq!(id, failing_id);
+            assert!(reason.contains("duplicate"), "{reason}");
+        }
+        other => panic!("expected TxAborted, got {other:?}"),
+    }
+    // Non-failing members still committed.
+    let count: i64 = c.select("SELECT COUNT(*) FROM kv").fetch_scalar().unwrap();
+    assert_eq!(count, 3); // seed + two ok
+    net.shutdown();
+}

@@ -29,26 +29,38 @@ fn eo_stale_snapshot_read_aborts() {
     let net = build(Flow::ExecuteOrderParallel);
     let alice = net.client("org1", "alice").unwrap();
     alice
-        .invoke_wait("open_acct", vec![Value::Int(1), Value::Int(100)], WAIT)
+        .call("open_acct")
+        .arg(1)
+        .arg(100)
+        .submit_wait(WAIT)
         .unwrap();
     let old_height = alice.chain_height();
     // The row is updated twice by later blocks.
     alice
-        .invoke_wait("set_balance", vec![Value::Int(1), Value::Int(50)], WAIT)
+        .call("set_balance")
+        .arg(1)
+        .arg(50)
+        .submit_wait(WAIT)
         .unwrap();
 
     // A transaction pinned to the old snapshot height reads row 1, which a
     // later committed block has since rewritten → stale read, aborted on
-    // every node (§3.4.1 rule 2).
-    let pending = alice
-        .invoke_at("set_balance", vec![Value::Int(1), Value::Int(77)], old_height)
-        .unwrap();
-    match pending.wait(WAIT).unwrap().status {
-        TxStatus::Aborted(reason) => {
+    // every node (§3.4.1 rule 2). The abort surfaces as the structured
+    // `TxAborted` (and classifies as retriable).
+    match alice
+        .call("set_balance")
+        .arg(1)
+        .arg(77)
+        .at_height(old_height)
+        .submit_wait(WAIT)
+    {
+        Err(e @ Error::TxAborted { .. }) => {
+            let msg = e.to_string();
             assert!(
-                reason.contains("stale") || reason.contains("serialization"),
-                "{reason}"
+                msg.contains("stale") || msg.contains("serialization"),
+                "{msg}"
             );
+            assert!(e.is_retriable(), "stale reads are retriable: {msg}");
         }
         other => panic!("expected stale-read abort, got {other:?}"),
     }
@@ -56,7 +68,9 @@ fn eo_stale_snapshot_read_aborts() {
     let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
     net.await_height(height, WAIT).unwrap();
     for node in net.nodes() {
-        let r = node.query("SELECT balance FROM accounts WHERE id = 1", &[]).unwrap();
+        let r = node
+            .query("SELECT balance FROM accounts WHERE id = 1", &[])
+            .unwrap();
         assert_eq!(r.rows[0][0], Value::Int(50), "{}", node.config.name);
     }
     net.shutdown();
@@ -67,14 +81,24 @@ fn eo_current_snapshot_commits_fine() {
     let net = build(Flow::ExecuteOrderParallel);
     let alice = net.client("org1", "alice").unwrap();
     alice
-        .invoke_wait("open_acct", vec![Value::Int(1), Value::Int(100)], WAIT)
+        .call("open_acct")
+        .arg(1)
+        .arg(100)
+        .submit_wait(WAIT)
         .unwrap();
     // Same contract at the *current* height: commits.
     alice
-        .invoke_wait("set_balance", vec![Value::Int(1), Value::Int(42)], WAIT)
+        .call("set_balance")
+        .arg(1)
+        .arg(42)
+        .submit_wait(WAIT)
         .unwrap();
-    let r = alice.query("SELECT balance FROM accounts WHERE id = 1", &[]).unwrap();
-    assert_eq!(r.rows[0][0], Value::Int(42));
+    let balance: i64 = alice
+        .select("SELECT balance FROM accounts WHERE id = $1")
+        .bind(1)
+        .fetch_scalar()
+        .unwrap();
+    assert_eq!(balance, 42);
     net.shutdown();
 }
 
@@ -88,19 +112,33 @@ fn write_skew_is_prevented() {
         let alice = net.client("org1", "alice").unwrap();
         let bob = net.client("org2", "bob").unwrap();
         alice
-            .invoke_wait("open_acct", vec![Value::Int(1), Value::Int(100)], WAIT)
+            .call("open_acct")
+            .arg(1)
+            .arg(100)
+            .submit_wait(WAIT)
             .unwrap();
         alice
-            .invoke_wait("open_acct", vec![Value::Int(2), Value::Int(100)], WAIT)
+            .call("open_acct")
+            .arg(2)
+            .arg(100)
+            .submit_wait(WAIT)
             .unwrap();
 
         // Fire both without waiting so they land in the same block and are
         // concurrent.
         let p1 = alice
-            .invoke("audit_then_set", vec![Value::Int(10), Value::Int(1), Value::Int(2)])
+            .call("audit_then_set")
+            .arg(10)
+            .arg(1)
+            .arg(2)
+            .submit()
             .unwrap();
         let p2 = bob
-            .invoke("audit_then_set", vec![Value::Int(20), Value::Int(2), Value::Int(1)])
+            .call("audit_then_set")
+            .arg(20)
+            .arg(2)
+            .arg(1)
+            .submit()
             .unwrap();
         let s1 = p1.wait(WAIT).unwrap().status;
         let s2 = p2.wait(WAIT).unwrap().status;
@@ -140,7 +178,10 @@ fn serializable_history_is_acyclic() {
     let bob = net.client("org2", "bob").unwrap();
     for id in 0..4 {
         alice
-            .invoke_wait("open_acct", vec![Value::Int(id), Value::Int(100)], WAIT)
+            .call("open_acct")
+            .arg(id)
+            .arg(100)
+            .submit_wait(WAIT)
             .unwrap();
     }
     let mut pendings = Vec::new();
@@ -150,15 +191,12 @@ fn serializable_history_is_acyclic() {
             let read_id = (round + i) % 4;
             let write_id = (round + i + 1) % 4;
             pendings.push(
-                c.invoke(
-                    "audit_then_set",
-                    vec![
-                        Value::Int(100 + round * 10 + i * 1000),
-                        Value::Int(read_id),
-                        Value::Int(write_id),
-                    ],
-                )
-                .unwrap(),
+                c.call("audit_then_set")
+                    .arg(100 + round * 10 + i * 1000)
+                    .arg(read_id)
+                    .arg(write_id)
+                    .submit()
+                    .unwrap(),
             );
         }
     }
@@ -180,31 +218,33 @@ fn serializable_history_is_acyclic() {
 
     // And the audit log is consistent with some serial order: every entry
     // recorded a balance that the account actually had at some committed
-    // height ≤ the entry's creation block.
-    let node = net.node("org1").unwrap();
-    let entries = node
-        .query(
+    // height ≤ the entry's creation block. The per-height probe is a
+    // prepared statement executed once per entry.
+    let client = net.client("org1", "verifier").unwrap();
+    let entries = client
+        .select(
             "SELECT a.entry_id, a.acct, a.balance, h._creator_block \
              FROM audit_log a JOIN HISTORY(audit_log) h ON a.entry_id = h.entry_id",
-            &[],
         )
+        .fetch()
         .unwrap();
-    for row in &entries.rows {
-        let acct = row[1].as_i64().unwrap();
-        let recorded = row[2].as_i64().unwrap();
-        let created = row[3].as_i64().unwrap() as u64;
+    let probe = client
+        .prepare("SELECT balance FROM accounts WHERE id = $1")
+        .unwrap();
+    for row in entries.iter_rows() {
+        let acct: i64 = row.get("acct").unwrap();
+        let recorded: i64 = row.get("balance").unwrap();
+        let created: i64 = row.get("_creator_block").unwrap();
         // The recorded balance must match the account state at the height
         // just before the entry committed (reads run at block-1 in OE).
-        let r = node
-            .query_at(
-                "SELECT balance FROM accounts WHERE id = $1",
-                &[Value::Int(acct)],
-                created - 1,
-            )
+        let at_snapshot: i64 = probe
+            .run()
+            .bind(acct)
+            .at_height((created as u64) - 1)
+            .fetch_scalar()
             .unwrap();
         assert_eq!(
-            r.rows[0][0],
-            Value::Int(recorded),
+            at_snapshot, recorded,
             "audit entry saw a balance the account never had at its snapshot"
         );
     }
