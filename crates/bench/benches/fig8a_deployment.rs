@@ -5,16 +5,29 @@
 //! (50–60 Mbps, ~100 ms) adds ~100 ms of latency but leaves throughput
 //! almost unchanged (−4% at block size 100) because blocks are only
 //! ~100 KB.
+//!
+//! Two latency series per cell:
+//!
+//! * **node lat** — commit latency of the open-loop load as measured at
+//!   the node (in-process clients; the pre-transport series).
+//! * **client lat** — commit latency as a *remote* client observes it:
+//!   probe clients connect through the `Simulated` transport, so their
+//!   submissions, acks and commit notifications all travel the same
+//!   latency/bandwidth profile as peer and orderer traffic. The `wire Δ`
+//!   column is `client lat − ack-to-commit lat` for those same probe
+//!   transactions — exactly the submission round trips the wire adds
+//!   (≥ 1 client↔node RTT under WAN).
 
 use std::time::Duration;
 
-use bcrdb_bench::harness::{bench_config, run_open_loop, BenchNetwork};
+use bcrdb_bench::harness::{bench_config, run_latency_probe, run_open_loop, BenchNetwork};
 use bcrdb_bench::{full_mode, scaled_secs, Workload, WorkloadKind};
 use bcrdb_network::NetProfile;
 use bcrdb_txn::ssi::Flow;
 
 fn main() {
     let run_secs = scaled_secs(3.0);
+    let probe_secs = scaled_secs(1.5);
     let seed_rows = if full_mode() { 20_000 } else { 4_000 };
     let arrival = 1200.0;
     let block_sizes = [10usize, 50, 100];
@@ -28,8 +41,8 @@ fn main() {
              (paper: +~100ms latency, ~same throughput) ==="
         );
         println!(
-            "{:>6}  {:>6}  {:>12}  {:>12}  {:>14}",
-            "bs", "net", "peak tput", "avg lat ms", "lat increase"
+            "{:>6}  {:>6}  {:>12}  {:>12}  {:>12}  {:>10}  {:>14}",
+            "bs", "net", "peak tput", "node lat ms", "client lat", "wire Δ ms", "lat increase"
         );
         for &bs in &block_sizes {
             let mut lan_lat = 0.0;
@@ -41,20 +54,43 @@ fn main() {
                         .expect("network");
                 let stats = run_open_loop(&bench, arrival, Duration::from_secs_f64(run_secs), 0)
                     .expect("run");
+                // Client-observed latency through the simulated wire
+                // (after the open-loop window, on the same network).
+                let probe =
+                    run_latency_probe(&bench, 6, Duration::from_secs_f64(probe_secs), 500_000_000)
+                        .expect("probe");
                 let increase = if name == "LAN" {
                     lan_lat = stats.avg_latency_ms;
                     String::from("—")
                 } else {
                     format!("{:+.1} ms", stats.avg_latency_ms - lan_lat)
                 };
+                // An empty probe series must not print as a 0.00 ms
+                // measurement.
+                let (client_lat, wire_delta) = if probe.samples == 0 {
+                    ("—".to_string(), "— (0 samples)".to_string())
+                } else {
+                    (
+                        format!("{:.2}", probe.client_ms),
+                        format!("{:.2}", probe.client_ms - probe.node_ms),
+                    )
+                };
                 println!(
-                    "{:>6}  {:>6}  {:>12.0}  {:>12.2}  {:>14}",
-                    bs, name, stats.throughput, stats.avg_latency_ms, increase
+                    "{:>6}  {:>6}  {:>12.0}  {:>12.2}  {:>12}  {:>10}  {:>14}",
+                    bs,
+                    name,
+                    stats.throughput,
+                    stats.avg_latency_ms,
+                    client_lat,
+                    wire_delta,
+                    increase
                 );
                 bench.net.shutdown();
             }
         }
     }
     println!("\nshape check: WAN adds roughly the configured one-way latency (~50-100 ms)");
-    println!("to commit latency while throughput stays within a few percent of LAN.");
+    println!("to node-side commit latency while throughput stays within a few percent of LAN;");
+    println!("client-observed latency exceeds node-side latency by the submission round trips");
+    println!("(wire Δ ≥ one client↔node RTT, ~100+ ms under the WAN profile).");
 }

@@ -116,7 +116,7 @@ fn bench_ssi(c: &mut Criterion) {
                 .unwrap();
             mgr.commit(t);
             block += 1;
-            if block % 4096 == 0 {
+            if block.is_multiple_of(4096) {
                 mgr.gc();
             }
         })

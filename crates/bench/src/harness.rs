@@ -16,7 +16,7 @@ use bcrdb_common::error::Result;
 use bcrdb_common::ids::GlobalTxId;
 use bcrdb_common::ids::TxId;
 use bcrdb_common::value::Value;
-use bcrdb_core::{Network, NetworkConfig};
+use bcrdb_core::{Network, NetworkConfig, TransportKind};
 use bcrdb_node::MetricsSnapshot;
 use bcrdb_storage::version::Version;
 use parking_lot::Mutex;
@@ -239,6 +239,93 @@ pub fn run_open_loop(
         avg_latency_ms: avg,
         p95_latency_ms: p95,
         micro,
+    })
+}
+
+/// Client-observed latency statistics from [`run_latency_probe`].
+///
+/// Check `samples` before trusting the means: with zero committed
+/// probe transactions both latencies read 0.0 and must be reported as
+/// "no data", not as a measurement.
+#[derive(Clone, Debug)]
+pub struct ProbeStats {
+    /// Committed transactions sampled.
+    pub samples: usize,
+    /// Mean submit-call → notification latency as the **client**
+    /// experiences it over the wire (includes every client↔node hop).
+    pub client_ms: f64,
+    /// Mean submit-ack → notification latency: the node-side commit
+    /// latency as estimable from the client (the submission round trips
+    /// cancel out of this difference).
+    pub node_ms: f64,
+}
+
+/// Drive `threads` closed-loop probe clients connected through the
+/// **`Simulated` transport**, measuring commit latency as a remote
+/// client observes it (Fig. 8a's client-observed series). Each probe
+/// submits, waits for the commit notification, and records two numbers
+/// per transaction: latency from the submit *call* (`client_ms`) and
+/// latency from the submit *acknowledgement* (`node_ms`). Their
+/// difference is exactly the wire cost of submission — at least one
+/// client↔node round trip under any non-instant profile.
+pub fn run_latency_probe(
+    bench: &BenchNetwork,
+    threads: usize,
+    duration: Duration,
+    id_base: u64,
+) -> Result<ProbeStats> {
+    let orgs: Vec<String> = bench.net.config().orgs.clone();
+    let samples: Mutex<Vec<(f64, f64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| -> Result<()> {
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let client = bench.net.client_with_transport(
+                &orgs[t % orgs.len()],
+                &format!("probe-{t}"),
+                TransportKind::Simulated,
+            )?;
+            let samples = &samples;
+            let workload = &bench.workload;
+            joins.push(s.spawn(move || {
+                let start = Instant::now();
+                let mut n = 0u64;
+                while start.elapsed() < duration {
+                    let id = id_base + (t as u64) * 1_000_000 + n;
+                    n += 1;
+                    let t_call = Instant::now();
+                    let pending = match client
+                        .call(workload.contract())
+                        .args(workload.args(id))
+                        .submit()
+                    {
+                        Ok(p) => p,
+                        Err(_) => continue,
+                    };
+                    let t_ack = Instant::now();
+                    let Ok(notif) = pending.wait(Duration::from_secs(30)) else {
+                        continue;
+                    };
+                    if matches!(notif.status, TxStatus::Committed) {
+                        let done = Instant::now();
+                        samples.lock().push((
+                            done.duration_since(t_call).as_secs_f64() * 1000.0,
+                            done.duration_since(t_ack).as_secs_f64() * 1000.0,
+                        ));
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            let _ = j.join();
+        }
+        Ok(())
+    })?;
+    let lat = samples.into_inner();
+    let count = lat.len().max(1) as f64;
+    Ok(ProbeStats {
+        samples: lat.len(),
+        client_ms: lat.iter().map(|(c, _)| c).sum::<f64>() / count,
+        node_ms: lat.iter().map(|(_, n)| n).sum::<f64>() / count,
     })
 }
 

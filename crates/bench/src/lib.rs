@@ -18,7 +18,10 @@ pub mod contracts;
 pub mod harness;
 
 pub use contracts::{Workload, WorkloadKind};
-pub use harness::{run_batch, run_open_loop, seed_genesis_rows, BenchNetwork, RunStats};
+pub use harness::{
+    run_batch, run_latency_probe, run_open_loop, seed_genesis_rows, BenchNetwork, ProbeStats,
+    RunStats,
+};
 
 /// True when full-scale runs were requested.
 pub fn full_mode() -> bool {

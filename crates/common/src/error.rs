@@ -81,7 +81,11 @@ impl fmt::Display for AbortReason {
 }
 
 /// Workspace-wide error type.
-#[derive(Debug)]
+///
+/// `Clone` so errors can cross the client/node RPC boundary: a
+/// [`crate::codec`]-sized response travelling a simulated network must be
+/// cloneable like any other wire message.
+#[derive(Clone, Debug)]
 pub enum Error {
     /// SQL lexing/parsing failure, with position information in the message.
     Parse(String),
@@ -104,14 +108,21 @@ pub enum Error {
     Crypto(String),
     /// Tampering detected (block store, checkpoint mismatch).
     TamperDetected(String),
-    /// Underlying I/O failure (block store, WAL, snapshots).
-    Io(std::io::Error),
+    /// Underlying I/O failure (block store, WAL, snapshots). Carries the
+    /// rendered cause (not the `std::io::Error` itself, which is not
+    /// cloneable).
+    Io(String),
     /// Malformed binary data while decoding.
     Codec(String),
     /// Configuration problem while assembling a network.
     Config(String),
     /// Component shut down / channel disconnected.
     Shutdown(String),
+    /// Client-side admission control: the per-client window of in-flight
+    /// transactions is full. Distinct from [`Error::Timeout`]: nothing
+    /// was submitted; release an outstanding handle (drop a `PendingTx` /
+    /// `PendingBatch`) or wait for notifications before resubmitting.
+    Busy(String),
     /// A client-side wait elapsed before the awaited event arrived
     /// (e.g. no commit notification within the deadline). Distinct from
     /// [`Error::TxAborted`]: the transaction may still commit later.
@@ -182,6 +193,7 @@ impl fmt::Display for Error {
             Error::Codec(m) => write!(f, "codec error: {m}"),
             Error::Config(m) => write!(f, "config error: {m}"),
             Error::Shutdown(m) => write!(f, "shutdown: {m}"),
+            Error::Busy(m) => write!(f, "busy: {m}"),
             Error::Timeout(m) => write!(f, "timed out: {m}"),
             Error::TxAborted { id, reason } => {
                 write!(f, "transaction {} aborted: {reason}", id.short())
@@ -192,18 +204,11 @@ impl fmt::Display for Error {
     }
 }
 
-impl std::error::Error for Error {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            Error::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
+impl std::error::Error for Error {}
 
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
-        Error::Io(e)
+        Error::Io(e.to_string())
     }
 }
 
@@ -266,7 +271,16 @@ mod tests {
     fn display_contains_cause() {
         let e = Error::Abort(AbortReason::ContractError("division by zero".into()));
         assert!(e.to_string().contains("division by zero"));
-        let e = Error::Io(std::io::Error::new(std::io::ErrorKind::Other, "disk gone"));
+        let e = Error::from(std::io::Error::other("disk gone"));
         assert!(e.to_string().contains("disk gone"));
+        // Every variant is cloneable (errors cross the RPC boundary).
+        let e = Error::TxAborted {
+            id: GlobalTxId::ZERO,
+            reason: "ww".into(),
+        };
+        assert!(e.clone().to_string().contains("ww"));
+        assert!(Error::Busy("window full".into())
+            .to_string()
+            .contains("busy"));
     }
 }

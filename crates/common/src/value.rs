@@ -569,7 +569,7 @@ mod tests {
 
     #[test]
     fn total_order_null_first() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Text("b".into()),
             Value::Null,
             Value::Int(3),

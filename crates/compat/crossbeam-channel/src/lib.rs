@@ -100,6 +100,13 @@ pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
 }
 
 impl<T> Sender<T> {
+    /// True when `other` sends into the same channel as `self` (matches
+    /// the real crate's `Sender::same_channel`). Used to cancel channel
+    /// registrations by identity.
+    pub fn same_channel(&self, other: &Sender<T>) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
     /// True when every receiver has been dropped (sends would fail).
     pub fn is_disconnected(&self) -> bool {
         self.0
@@ -266,6 +273,15 @@ impl<'a, T> IntoIterator for &'a Receiver<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn same_channel_is_identity() {
+        let (tx, _rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        let (other, _orx) = unbounded::<u8>();
+        assert!(tx.same_channel(&tx2));
+        assert!(!tx.same_channel(&other));
+    }
 
     #[test]
     fn send_recv_in_order() {

@@ -8,6 +8,8 @@ use bcrdb_network::NetProfile;
 use bcrdb_ordering::OrderingConfig;
 use bcrdb_txn::ssi::Flow;
 
+use crate::transport::TransportKind;
+
 /// Configuration for a whole permissioned network.
 #[derive(Clone)]
 pub struct NetworkConfig {
@@ -48,6 +50,18 @@ pub struct NetworkConfig {
     /// bootstrap step. Required for persistent networks so restarted nodes
     /// can replay their chains.
     pub genesis_sql: Option<String>,
+    /// Default transport backend for clients: `InProcess` (direct calls,
+    /// zero overhead) or `Simulated` (client↔node RPCs travel the
+    /// simulated network under `net_profile`, like peer and orderer
+    /// traffic). Per-client override: `Network::client_with_transport`.
+    pub client_transport: TransportKind,
+    /// Per-client admission window: maximum transactions in flight
+    /// (submitted, handle not yet dropped) before `submit` returns
+    /// `Error::Busy`.
+    pub client_window: usize,
+    /// Per-node prepared-statement cache bound (LRU entries); see
+    /// `NodeConfig::statement_cache_cap`.
+    pub statement_cache_cap: usize,
 }
 
 impl NetworkConfig {
@@ -68,6 +82,9 @@ impl NetworkConfig {
             forward_drop_permille: 0,
             min_exec_micros: 0,
             genesis_sql: None,
+            client_transport: TransportKind::InProcess,
+            client_window: 1024,
+            statement_cache_cap: 1024,
         }
     }
 
@@ -91,6 +108,9 @@ mod tests {
         assert_eq!(c.orgs, vec!["a", "b"]);
         assert!(c.verify_signatures);
         assert!(c.data_root.is_none());
+        assert_eq!(c.client_transport, TransportKind::InProcess);
+        assert!(c.client_window >= 1);
+        assert!(c.statement_cache_cap >= 1);
         let p = NetworkConfig::paper_default(&["a", "b", "c"], Flow::ExecuteOrderParallel, 100);
         assert_eq!(p.ordering.orderers, 3);
         assert_eq!(p.ordering.block_size, 100);

@@ -7,6 +7,12 @@
 //! contracts as signed blockchain transactions and run (provenance)
 //! queries.
 //!
+//! Clients speak to their node through a [`NodeTransport`] (the paper's
+//! PostgreSQL-wire + libpq boundary, §4.3): [`InProcess`] for direct
+//! zero-overhead dispatch, or [`Simulated`] to route client traffic over
+//! the simulated network's latency/bandwidth model like peer and orderer
+//! traffic (see [`transport`]).
+//!
 //! ```no_run
 //! use bcrdb_core::{Network, NetworkConfig};
 //!
@@ -35,6 +41,7 @@ pub mod config;
 pub mod network;
 pub mod session;
 pub mod system;
+pub mod transport;
 
 pub use client::Client;
 pub use config::NetworkConfig;
@@ -42,3 +49,4 @@ pub use network::Network;
 pub use session::{
     Call, CallBuilder, PendingBatch, PendingTx, Prepared, PreparedRun, QueryBuilder,
 };
+pub use transport::{InProcess, NodeTransport, Simulated, TransportKind};

@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 use crate::client::Client;
 use crate::config::NetworkConfig;
 use crate::system;
+use crate::transport::{self, ClientWire, InProcess, NodeTransport, Simulated, TransportKind};
 
 /// Messages between peers (and from the orderer relay to peers).
 #[derive(Clone)]
@@ -39,9 +40,15 @@ pub(crate) struct NetworkInner {
     pub nodes: Vec<Arc<Node>>,
     pub ordering: Arc<OrderingService>,
     pub peer_net: Arc<SimNetwork<PeerMsg>>,
+    /// Client↔node RPC traffic (same profile as the peer network); every
+    /// node's frontend is served here, used by `Simulated` transports.
+    pub client_net: Arc<SimNetwork<ClientWire>>,
     admins: Vec<Arc<KeyPair>>,
     clients: Mutex<HashMap<String, Arc<KeyPair>>>,
-    pub nonce: AtomicU64,
+    /// OE nonce source shared by every client handle.
+    pub nonce: Arc<AtomicU64>,
+    /// Unique suffix for client transport endpoints.
+    conn_seq: AtomicU64,
 }
 
 /// A running permissioned network: one database node per organization, a
@@ -63,6 +70,7 @@ impl Network {
         ordering_cfg.scheme = config.scheme;
         let ordering = OrderingService::start(ordering_cfg, &certs);
         let peer_net: Arc<SimNetwork<PeerMsg>> = SimNetwork::new(config.net_profile);
+        let client_net: Arc<SimNetwork<ClientWire>> = SimNetwork::new(config.net_profile);
 
         // Per-org admins (their certificates are shared with every node at
         // startup, §3.7).
@@ -108,6 +116,7 @@ impl Network {
             node_cfg.serial_execution = config.serial_execution;
             node_cfg.snapshot_interval = config.snapshot_interval;
             node_cfg.min_exec_micros = config.min_exec_micros;
+            node_cfg.statement_cache_cap = config.statement_cache_cap;
             node_cfg.data_dir = config.data_root.as_ref().map(|root| root.join(org));
             let node = Node::new(node_cfg, Arc::clone(&certs), config.orgs.clone())?;
             system::bootstrap_node(&node)?;
@@ -182,9 +191,7 @@ impl Network {
                 }),
                 submit_orderer: Some({
                     let ordering = Arc::clone(&ordering);
-                    Arc::new(move |tx: Transaction| {
-                        let _ = ordering.submit(tx);
-                    })
+                    Arc::new(move |tx: Transaction| ordering.submit(tx))
                 }),
                 submit_checkpoint: Some({
                     let ordering = Arc::clone(&ordering);
@@ -194,6 +201,14 @@ impl Network {
                 }),
             };
             node.set_hooks(hooks);
+
+            // Serve the node's client-facing RPC frontend on the client
+            // network (used by `Simulated` transports).
+            transport::serve_frontend(
+                Arc::clone(&node),
+                Arc::clone(&client_net),
+                transport::frontend_endpoint(&node_name),
+            );
             nodes.push(node);
         }
 
@@ -204,9 +219,11 @@ impl Network {
                 nodes,
                 ordering,
                 peer_net,
+                client_net,
                 admins,
                 clients: Mutex::new(HashMap::new()),
-                nonce: AtomicU64::new(1),
+                nonce: Arc::new(AtomicU64::new(1)),
+                conn_seq: AtomicU64::new(1),
             }),
         })
     }
@@ -254,53 +271,104 @@ impl Network {
             .ok_or_else(|| Error::NotFound(format!("organization {org}")))
     }
 
-    /// Create (and register) a client user of `org`.
+    /// Open a transport connection to the node at `idx`.
+    fn connect(&self, idx: usize, kind: TransportKind, who: &str) -> Arc<dyn NodeTransport> {
+        match kind {
+            TransportKind::InProcess => {
+                Arc::new(InProcess::new(Arc::clone(&self.inner.nodes[idx])))
+            }
+            TransportKind::Simulated => {
+                let seq = self.inner.conn_seq.fetch_add(1, Ordering::Relaxed);
+                let server = transport::frontend_endpoint(&self.inner.nodes[idx].config.name);
+                Arc::new(Simulated::connect(
+                    Arc::clone(&self.inner.client_net),
+                    server,
+                    format!("client:{who}#{seq}"),
+                ))
+            }
+        }
+    }
+
+    fn make_client(
+        &self,
+        idx: usize,
+        name: String,
+        key: Arc<KeyPair>,
+        kind: TransportKind,
+    ) -> Client {
+        let transport = self.connect(idx, kind, &name);
+        Client::new(
+            name,
+            key,
+            self.inner.config.flow,
+            Arc::clone(&self.inner.nonce),
+            transport,
+            self.inner.config.client_window,
+        )
+    }
+
+    fn client_key(&self, org: &str, name: &str) -> Arc<KeyPair> {
+        let mut clients = self.inner.clients.lock();
+        if let Some(k) = clients.get(name) {
+            Arc::clone(k)
+        } else {
+            let key = Arc::new(KeyPair::generate(
+                name.to_string(),
+                format!("client-seed-{name}").as_bytes(),
+                self.inner.config.scheme,
+            ));
+            self.inner.certs.register(Certificate {
+                name: name.to_string(),
+                org: org.to_string(),
+                role: Role::Client,
+                public_key: key.public_key(),
+            });
+            clients.insert(name.to_string(), Arc::clone(&key));
+            key
+        }
+    }
+
+    /// Create (and register) a client user of `org`, connected through
+    /// the configured default transport (`NetworkConfig::client_transport`).
     pub fn client(&self, org: &str, user: &str) -> Result<Client> {
+        self.client_with_transport(org, user, self.inner.config.client_transport)
+    }
+
+    /// Like [`Network::client`], but with an explicit transport backend —
+    /// e.g. a `Simulated` connection on a network whose default is
+    /// in-process, to measure client-observed latency.
+    pub fn client_with_transport(
+        &self,
+        org: &str,
+        user: &str,
+        kind: TransportKind,
+    ) -> Result<Client> {
         let idx = self.org_index(org)?;
         let name = format!("{org}/{user}");
-        let key = {
-            let mut clients = self.inner.clients.lock();
-            if let Some(k) = clients.get(&name) {
-                Arc::clone(k)
-            } else {
-                let key = Arc::new(KeyPair::generate(
-                    name.clone(),
-                    format!("client-seed-{name}").as_bytes(),
-                    self.inner.config.scheme,
-                ));
-                self.inner.certs.register(Certificate {
-                    name: name.clone(),
-                    org: org.to_string(),
-                    role: Role::Client,
-                    public_key: key.public_key(),
-                });
-                clients.insert(name.clone(), Arc::clone(&key));
-                key
-            }
-        };
-        Ok(Client::new(name, key, Arc::clone(&self.inner), idx))
+        let key = self.client_key(org, &name);
+        Ok(self.make_client(idx, name, key, kind))
     }
 
     /// Attach a client whose certificate was registered *on-chain* via
     /// `create_usertx` (the key pair lives with the caller).
     pub fn attach_client(&self, org: &str, user: &str, key: Arc<KeyPair>) -> Result<Client> {
         let idx = self.org_index(org)?;
-        Ok(Client::new(
+        Ok(self.make_client(
+            idx,
             format!("{org}/{user}"),
             key,
-            Arc::clone(&self.inner),
-            idx,
+            self.inner.config.client_transport,
         ))
     }
 
     /// The admin client of `org`.
     pub fn admin(&self, org: &str) -> Result<Client> {
         let idx = self.org_index(org)?;
-        Ok(Client::new(
+        Ok(self.make_client(
+            idx,
             format!("{org}/admin"),
             Arc::clone(&self.inner.admins[idx]),
-            Arc::clone(&self.inner),
-            idx,
+            self.inner.config.client_transport,
         ))
     }
 
@@ -384,6 +452,7 @@ impl Network {
         }
         self.inner.ordering.shutdown();
         self.inner.peer_net.shutdown();
+        self.inner.client_net.shutdown();
     }
 }
 

@@ -1,9 +1,12 @@
-//! The typed, libpq-style session API.
+//! The typed, libpq-style session API, spoken over a [`NodeTransport`].
 //!
 //! The paper's client interface is PostgreSQL's wire protocol plus a
 //! `libpq` extension for snapshot-height pinning (§4.3). This module is
-//! our equivalent driver surface, replacing the stringly
-//! `invoke(&str, Vec<Value>)` API:
+//! our equivalent driver surface; every operation travels the client's
+//! transport connection as a typed RPC
+//! ([`bcrdb_node::ClientRequest`]/[`bcrdb_node::ClientResponse`]), so
+//! the same code runs over the zero-overhead in-process backend and the
+//! simulated network:
 //!
 //! * **Fluent invocation** — [`Client::call`] builds a contract call
 //!   argument by argument with [`IntoValue`] conversions, then
@@ -15,8 +18,10 @@
 //!   ```
 //!
 //! * **Prepared read-only statements** — [`Client::prepare`] parses a
-//!   SELECT once (shared through the node's statement cache) and
-//!   executes it many times with fresh parameters.
+//!   SELECT once on the node and returns a **server-side handle**;
+//!   executions carry only the handle and fresh parameters. If the
+//!   node's bounded statement cache evicts the handle, the driver
+//!   re-prepares transparently.
 //!
 //! * **Typed rows** — [`QueryBuilder::fetch_as`],
 //!   `QueryResult::rows_as::<T>()` and `row.get::<i64>("balance")`
@@ -27,10 +32,16 @@
 //!   whole batch, returning a [`PendingBatch`] whose notifications are
 //!   fanned in to a single channel.
 //!
+//! * **Admission control** — each client bounds its in-flight
+//!   transactions (`NetworkConfig::client_window`); a full window is
+//!   [`Error::Busy`] *before* anything is signed or submitted. Slots
+//!   free when the corresponding [`PendingTx`]/[`PendingBatch`] drops.
+//!
 //! * **Error taxonomy** — waits distinguish [`Error::Timeout`] (no
 //!   final status yet) from [`Error::TxAborted`] (a definitive abort
 //!   with the ledger's reason).
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,14 +50,120 @@ use bcrdb_chain::tx::{Payload, Transaction};
 use bcrdb_common::error::{Error, Result};
 use bcrdb_common::ids::{BlockHeight, GlobalTxId};
 use bcrdb_common::value::{FromValue, IntoValue, Value};
-use bcrdb_engine::prepared::PreparedQuery;
 use bcrdb_engine::result::{FromRow, QueryResult};
-use bcrdb_node::TxNotification;
+use bcrdb_node::{ClientRequest, ClientResponse, StatementHandle, TxNotification};
 use bcrdb_txn::ssi::Flow;
 use crossbeam_channel::Receiver;
 
 use crate::client::Client;
-use crate::network::NetworkInner;
+use crate::transport::NodeTransport;
+
+// -------------------------------------------------------------- helpers
+
+/// Round-trip a request that answers with `Ack`.
+fn rpc_ack(transport: &dyn NodeTransport, req: ClientRequest) -> Result<()> {
+    match transport.call(req)? {
+        ClientResponse::Ack => Ok(()),
+        other => Err(Error::internal(format!("expected Ack, got {other:?}"))),
+    }
+}
+
+/// Round-trip a request that answers with `Rows`.
+fn rpc_rows(transport: &dyn NodeTransport, req: ClientRequest) -> Result<QueryResult> {
+    match transport.call(req)? {
+        ClientResponse::Rows(r) => Ok(r),
+        other => Err(Error::internal(format!("expected Rows, got {other:?}"))),
+    }
+}
+
+/// Round-trip a `Prepare`, returning `(handle, param_count)`.
+fn rpc_prepare(transport: &dyn NodeTransport, sql: &str) -> Result<(StatementHandle, usize)> {
+    match transport.call(ClientRequest::Prepare {
+        sql: sql.to_string(),
+    })? {
+        ClientResponse::Statement {
+            handle,
+            param_count,
+        } => Ok((handle, param_count)),
+        other => Err(Error::internal(format!(
+            "expected Statement, got {other:?}"
+        ))),
+    }
+}
+
+// ----------------------------------------------------- admission window
+
+/// Shared state of a client's in-flight window (admission control): a
+/// bounded count of transactions submitted but not yet released by their
+/// [`PendingTx`]/[`PendingBatch`] handle.
+pub(crate) struct WindowState {
+    cap: usize,
+    used: AtomicUsize,
+}
+
+impl WindowState {
+    pub(crate) fn new(cap: usize) -> WindowState {
+        WindowState {
+            cap: cap.max(1),
+            used: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn in_flight(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    fn acquire(self: &Arc<Self>, n: usize) -> Result<WindowPermit> {
+        if n > self.cap {
+            return Err(Error::Busy(format!(
+                "batch of {n} transactions exceeds the client window of {}",
+                self.cap
+            )));
+        }
+        loop {
+            let used = self.used.load(Ordering::Relaxed);
+            if used + n > self.cap {
+                return Err(Error::Busy(format!(
+                    "client window full: {used} of {} transactions in flight",
+                    self.cap
+                )));
+            }
+            if self
+                .used
+                .compare_exchange(used, used + n, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Ok(WindowPermit {
+                    state: Arc::clone(self),
+                    n,
+                });
+            }
+        }
+    }
+}
+
+/// Releases its window slots on drop.
+pub(crate) struct WindowPermit {
+    state: Arc<WindowState>,
+    n: usize,
+}
+
+impl WindowPermit {
+    /// Release surplus slots down to `m` (e.g. after batch deduplication
+    /// shrank the transaction count the permit was acquired for).
+    fn shrink(&mut self, m: usize) {
+        if m < self.n {
+            self.state.used.fetch_sub(self.n - m, Ordering::Relaxed);
+            self.n = m;
+        }
+    }
+}
+
+impl Drop for WindowPermit {
+    fn drop(&mut self) {
+        self.state.used.fetch_sub(self.n, Ordering::Relaxed);
+    }
+}
 
 // ------------------------------------------------------------------ calls
 
@@ -170,11 +287,22 @@ impl<'a> CallBuilder<'a> {
 
 // --------------------------------------------------------------- pending
 
-/// An in-flight transaction: the id plus its notification channel.
+/// An in-flight transaction: the id plus its notification channel. Holds
+/// one slot of the client's admission window until dropped, and keeps
+/// the transport connection alive so the notification can still be
+/// delivered if the [`Client`] itself is dropped first.
 pub struct PendingTx {
     /// Network-unique transaction id.
     pub id: GlobalTxId,
     pub(crate) rx: Receiver<TxNotification>,
+    pub(crate) _permit: WindowPermit,
+    pub(crate) _transport: Arc<dyn NodeTransport>,
+}
+
+impl std::fmt::Debug for PendingTx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingTx").field("id", &self.id).finish()
+    }
 }
 
 impl PendingTx {
@@ -206,10 +334,21 @@ impl PendingTx {
 
 /// A batch of in-flight transactions whose notifications fan in to one
 /// channel (one registration on the node instead of one channel per
-/// transaction).
+/// transaction). Holds `len()` slots of the client's admission window
+/// until dropped.
 pub struct PendingBatch {
     ids: Vec<GlobalTxId>,
     rx: Receiver<TxNotification>,
+    _permit: WindowPermit,
+    _transport: Arc<dyn NodeTransport>,
+}
+
+impl std::fmt::Debug for PendingBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingBatch")
+            .field("ids", &self.ids)
+            .finish()
+    }
 }
 
 impl PendingBatch {
@@ -279,34 +418,68 @@ impl PendingBatch {
 
 // -------------------------------------------------------------- prepared
 
-/// A prepared read-only statement bound to the client's home node.
-/// Parse once, execute many times with fresh parameters.
+/// A prepared read-only statement: a **server-side handle** into the
+/// home node's bounded statement cache. Parse once, execute many times
+/// with fresh parameters; if the node evicts the handle (LRU), the next
+/// execution re-prepares transparently.
 pub struct Prepared {
-    query: Arc<PreparedQuery>,
-    net: Arc<NetworkInner>,
-    node_idx: usize,
+    transport: Arc<dyn NodeTransport>,
+    sql: String,
+    param_count: usize,
+    handle: AtomicU64,
 }
 
 impl Prepared {
     /// The SQL text this statement was prepared from.
     pub fn sql(&self) -> &str {
-        self.query.sql()
+        &self.sql
     }
 
     /// Number of `$n` parameters the statement expects.
     pub fn param_count(&self) -> usize {
-        self.query.param_count()
+        self.param_count
     }
 
-    /// Execute at the current committed height (hot path: no builder
-    /// allocation beyond the params).
+    /// The current server-side handle (may change if the node evicted
+    /// the statement and the driver re-prepared).
+    pub fn handle(&self) -> StatementHandle {
+        self.handle.load(Ordering::Relaxed)
+    }
+
+    /// Execute at the current committed height (hot path: an 8-byte
+    /// handle plus the parameters travel the wire, not the SQL text).
     pub fn query(&self, params: &[Value]) -> Result<QueryResult> {
-        self.net.nodes[self.node_idx].query_prepared(&self.query, params)
+        self.exec(params, None)
     }
 
     /// Execute at a historical height (time travel / audits).
     pub fn query_at(&self, params: &[Value], height: BlockHeight) -> Result<QueryResult> {
-        self.net.nodes[self.node_idx].query_prepared_at(&self.query, params, height)
+        self.exec(params, Some(height))
+    }
+
+    fn exec(&self, params: &[Value], height: Option<BlockHeight>) -> Result<QueryResult> {
+        let req = ClientRequest::QueryPrepared {
+            handle: self.handle.load(Ordering::Relaxed),
+            params: params.to_vec(),
+            height,
+        };
+        match rpc_rows(&*self.transport, req) {
+            Err(Error::NotFound(msg)) if msg.contains("prepared statement handle") => {
+                // Evicted from the node's bounded cache: re-prepare and
+                // retry once with the fresh handle.
+                let (handle, _) = rpc_prepare(&*self.transport, &self.sql)?;
+                self.handle.store(handle, Ordering::Relaxed);
+                rpc_rows(
+                    &*self.transport,
+                    ClientRequest::QueryPrepared {
+                        handle,
+                        params: params.to_vec(),
+                        height,
+                    },
+                )
+            }
+            other => other,
+        }
     }
 
     /// Start a fluent execution with typed parameter binding.
@@ -343,10 +516,7 @@ impl PreparedRun<'_> {
 
     /// Execute and return the raw result.
     pub fn fetch(self) -> Result<QueryResult> {
-        match self.height {
-            Some(h) => self.prepared.query_at(&self.params, h),
-            None => self.prepared.query(&self.params),
-        }
+        self.prepared.exec(&self.params, self.height)
     }
 
     /// Execute and decode every row into `T`.
@@ -367,9 +537,10 @@ impl PreparedRun<'_> {
 
 // --------------------------------------------------------------- queries
 
-/// Fluent builder for a one-off read-only query. Internally every fetch
-/// goes through the node's prepared-statement cache, so repeated SQL
-/// text is parsed once even without an explicit [`Client::prepare`].
+/// Fluent builder for a one-off read-only query, shipped as a single
+/// `Query`/`QueryAt` RPC. Server-side, every fetch goes through the
+/// node's statement cache, so repeated SQL text is parsed once even
+/// without an explicit [`Client::prepare`].
 #[must_use = "a query builder does nothing until .fetch()"]
 pub struct QueryBuilder<'a> {
     client: &'a Client,
@@ -414,12 +585,18 @@ impl<'a> QueryBuilder<'a> {
 
     /// Execute and return the raw result.
     pub fn fetch(self) -> Result<QueryResult> {
-        let node = &self.client.net.nodes[self.client.node_idx];
-        let q = node.prepare(&self.sql)?;
-        match self.height {
-            Some(h) => node.query_prepared_at(&q, &self.params, h),
-            None => node.query_prepared(&q, &self.params),
-        }
+        let req = match self.height {
+            Some(height) => ClientRequest::QueryAt {
+                sql: self.sql,
+                params: self.params,
+                height,
+            },
+            None => ClientRequest::Query {
+                sql: self.sql,
+                params: self.params,
+            },
+        };
+        rpc_rows(&*self.client.transport, req)
     }
 
     /// Execute and decode every row into `T`.
@@ -447,27 +624,29 @@ impl Client {
         CallBuilder::new(self, contract)
     }
 
-    /// Sign and submit a [`Call`] asynchronously. In the EO flow the
-    /// transaction is submitted to the client's node at the call's
-    /// snapshot height (default: the current chain height); in the OE
-    /// flow it goes straight to the ordering service (§3.3.1).
+    /// Sign and submit a [`Call`] asynchronously. The transaction
+    /// travels the transport to the client's node, which executes it
+    /// immediately (EO flow, §3.4.1) or proxies it to the ordering
+    /// service (OE flow, §3.3.1). A full admission window is
+    /// [`Error::Busy`] before anything is signed.
     pub fn submit(&self, call: Call) -> Result<PendingTx> {
+        let permit = self.window.acquire(1)?;
         let tx = self.sign_call(call)?;
-        let node = &self.net.nodes[self.node_idx];
+        let id = tx.id;
         // Register before submitting so the notification cannot race
         // past us; deregister again if submission itself fails.
-        let rx = node.wait_for(tx.id);
-        let id = tx.id;
-        let submitted = match self.net.config.flow {
-            Flow::ExecuteOrderParallel => node.submit_local(tx),
-            Flow::OrderThenExecute => self.net.ordering.submit(tx),
-        };
-        if let Err(e) = submitted {
+        let rx = self.transport.wait_for(id)?;
+        if let Err(e) = rpc_ack(&*self.transport, ClientRequest::Submit(Box::new(tx))) {
             drop(rx);
-            node.cancel_wait(&id);
+            let _ = self.transport.cancel_wait(&id);
             return Err(e);
         }
-        Ok(PendingTx { id, rx })
+        Ok(PendingTx {
+            id,
+            rx,
+            _permit: permit,
+            _transport: Arc::clone(&self.transport),
+        })
     }
 
     /// Sign and submit a whole batch, fanning every notification into a
@@ -478,6 +657,12 @@ impl Client {
     where
         I: IntoIterator<Item = Call>,
     {
+        // Admission first — a full window must be rejected before any
+        // signing work (each EO signature also resolves a snapshot
+        // height, a round trip over a simulated wire). The permit covers
+        // the pre-dedup count and shrinks once duplicates are known.
+        let calls: Vec<Call> = calls.into_iter().collect();
+        let mut permit = self.window.acquire(calls.len())?;
         let mut txs: Vec<Transaction> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for call in calls {
@@ -487,29 +672,29 @@ impl Client {
             }
         }
         let ids: Vec<GlobalTxId> = txs.iter().map(|t| t.id).collect();
-        let node = &self.net.nodes[self.node_idx];
+        permit.shrink(ids.len());
         // Register the fan-in *before* submitting so no notification can
         // race past the registration.
-        let rx = node.wait_for_batch(&ids);
-        let flow = self.net.config.flow;
+        let rx = self.transport.wait_for_batch(&ids)?;
         for tx in txs {
-            let submitted = match flow {
-                Flow::ExecuteOrderParallel => node.submit_local(tx),
-                Flow::OrderThenExecute => self.net.ordering.submit(tx),
-            };
-            if let Err(e) = submitted {
+            if let Err(e) = rpc_ack(&*self.transport, ClientRequest::Submit(Box::new(tx))) {
                 // Members submitted before the failure stay in flight
                 // network-side, but the caller gets no batch handle:
                 // drop the fan-in channel and prune every registration
                 // so the hub does not leak.
                 drop(rx);
                 for id in &ids {
-                    node.cancel_wait(id);
+                    let _ = self.transport.cancel_wait(id);
                 }
                 return Err(e);
             }
         }
-        Ok(PendingBatch { ids, rx })
+        Ok(PendingBatch {
+            ids,
+            rx,
+            _permit: permit,
+            _transport: Arc::clone(&self.transport),
+        })
     }
 
     /// Submit a call and wait for commitment, retrying retriable
@@ -531,15 +716,16 @@ impl Client {
         }
     }
 
-    /// Prepare a read-only statement against this client's node: parsed
-    /// once (shared through the node's statement cache), executed many
-    /// times with fresh parameters.
+    /// Prepare a read-only statement on this client's node: parsed once
+    /// into the node's bounded statement cache, addressed afterwards by
+    /// the returned server-side handle.
     pub fn prepare(&self, sql: &str) -> Result<Prepared> {
-        let query = self.net.nodes[self.node_idx].prepare(sql)?;
+        let (handle, param_count) = rpc_prepare(&*self.transport, sql)?;
         Ok(Prepared {
-            query,
-            net: Arc::clone(&self.net),
-            node_idx: self.node_idx,
+            transport: Arc::clone(&self.transport),
+            sql: sql.to_string(),
+            param_count,
+            handle: AtomicU64::new(handle),
         })
     }
 
@@ -558,9 +744,12 @@ impl Client {
             args,
             snapshot_height,
         } = call;
-        match self.net.config.flow {
+        match self.flow {
             Flow::ExecuteOrderParallel => {
-                let height = snapshot_height.unwrap_or_else(|| self.chain_height());
+                let height = match snapshot_height {
+                    Some(h) => h,
+                    None => self.chain_height()?,
+                };
                 Transaction::new_execute_order(
                     &self.name,
                     Payload::new(&contract, args),
@@ -574,10 +763,7 @@ impl Client {
                         "snapshot heights only apply to the execute-order-in-parallel flow".into(),
                     ));
                 }
-                let nonce = self
-                    .net
-                    .nonce
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
                 Transaction::new_order_execute(
                     &self.name,
                     Payload::new(&contract, args),

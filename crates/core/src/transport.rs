@@ -1,0 +1,470 @@
+//! The wire-level client/node boundary: [`NodeTransport`] and its two
+//! backends.
+//!
+//! The paper's clients reach their database node over PostgreSQL's wire
+//! protocol plus a libpq snapshot extension (§4.3) — a *network hop*
+//! whose latency is part of every client-observed number in Fig. 8a.
+//! This module reifies that hop: the whole session API speaks
+//! [`ClientRequest`]/[`ClientResponse`] through a [`NodeTransport`], and
+//! the backend decides what the hop costs:
+//!
+//! * [`InProcess`] — requests dispatch straight into the node's
+//!   [`Frontend`] on the caller's thread; notification waits register
+//!   directly with the node's hub. Zero overhead; the default.
+//! * [`Simulated`] — requests, responses and streamed notifications
+//!   travel the same [`SimNetwork`] latency/bandwidth model that peer
+//!   and orderer traffic pay, charged their codec-derived byte sizes.
+//!   `NetProfile::wan()` therefore applies to client traffic too, which
+//!   is what makes client-observed commit latency honest.
+//!
+//! Both backends cancel every outstanding notification registration when
+//! the transport is dropped (an explicit `Disconnect` message on the
+//! simulated wire), so an abandoned client cannot leak waiters in the
+//! node's notification hub.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::ids::GlobalTxId;
+use bcrdb_network::SimNetwork;
+use bcrdb_node::frontend::{notification_wire_size, response_wire_size};
+use bcrdb_node::{ClientRequest, ClientResponse, Frontend, Node, TxNotification};
+use crossbeam_channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// Which transport backend [`crate::Network::client`] hands out (see
+/// `NetworkConfig::client_transport`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Direct in-process dispatch (zero overhead).
+    InProcess,
+    /// Client traffic travels the simulated network.
+    Simulated,
+}
+
+/// How long a simulated-wire RPC waits for its response before reporting
+/// [`Error::Timeout`]. Generous: request round trips are bounded by the
+/// network profile, not by transaction commit times.
+const RPC_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The transport boundary between a client session and its home node.
+///
+/// Everything the session API does — submissions, queries, prepared
+/// statements, notification waits — goes through this trait, so a
+/// backend swap changes *where the node is*, never what the API means.
+pub trait NodeTransport: Send + Sync {
+    /// Round-trip one request to the node's frontend.
+    fn call(&self, req: ClientRequest) -> Result<ClientResponse>;
+
+    /// Register for the final status of `id`. The returned channel
+    /// delivers at most one notification; registration is complete when
+    /// this returns, so a submission sent afterwards cannot race it.
+    ///
+    /// A registration lives at most as long as the connection: dropping
+    /// the transport cancels undeliverable waits (the session layer's
+    /// `PendingTx`/`PendingBatch` hold the transport alive until their
+    /// notification can no longer be consumed).
+    fn wait_for(&self, id: GlobalTxId) -> Result<Receiver<TxNotification>>;
+
+    /// Register one fanned-in channel for a whole batch (one
+    /// registration round trip instead of one per transaction).
+    fn wait_for_batch(&self, ids: &[GlobalTxId]) -> Result<Receiver<TxNotification>>;
+
+    /// Drop this connection's registration for `id` (after a failed
+    /// submission abandoned the wait).
+    fn cancel_wait(&self, id: &GlobalTxId) -> Result<()>;
+}
+
+// ------------------------------------------------------------ in-process
+
+/// Zero-overhead backend: requests dispatch into the node's [`Frontend`]
+/// on the caller's thread, and waits register per-transaction channels
+/// directly with the node's notification hub.
+pub struct InProcess {
+    frontend: Frontend,
+    /// This connection's live hub registrations, so dropping the
+    /// transport can cancel them (pruned lazily as waits resolve).
+    waits: Mutex<Vec<(GlobalTxId, Sender<TxNotification>)>>,
+}
+
+impl InProcess {
+    /// Connect directly to `node`.
+    pub fn new(node: Arc<Node>) -> InProcess {
+        // The per-connection notification stream is unused here: each
+        // wait gets its own channel (today's zero-copy fast path).
+        let (frontend, _notify_rx) = Frontend::new(node);
+        InProcess {
+            frontend,
+            waits: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn track(&self, regs: Vec<(GlobalTxId, Sender<TxNotification>)>) {
+        let mut waits = self.waits.lock();
+        waits.retain(|(_, s)| !s.is_disconnected());
+        waits.extend(regs);
+    }
+}
+
+impl NodeTransport for InProcess {
+    fn call(&self, req: ClientRequest) -> Result<ClientResponse> {
+        // Wait registrations through the raw request enum would deliver
+        // into the frontend's (unconsumed) connection stream and silently
+        // vanish — reject them so callers use the trait's channel-returning
+        // wait methods instead.
+        if matches!(
+            req,
+            ClientRequest::WaitFor { .. }
+                | ClientRequest::WaitForBatch { .. }
+                | ClientRequest::CancelWait { .. }
+        ) {
+            return Err(Error::Config(
+                "the in-process transport dispatches waits through \
+                 NodeTransport::{wait_for, wait_for_batch, cancel_wait}, \
+                 not raw WaitFor/CancelWait requests"
+                    .into(),
+            ));
+        }
+        self.frontend.handle(req)
+    }
+
+    fn wait_for(&self, id: GlobalTxId) -> Result<Receiver<TxNotification>> {
+        let (tx, rx) = bounded(1);
+        self.frontend
+            .node()
+            .notifications()
+            .register(id, tx.clone());
+        self.track(vec![(id, tx)]);
+        Ok(rx)
+    }
+
+    fn wait_for_batch(&self, ids: &[GlobalTxId]) -> Result<Receiver<TxNotification>> {
+        let (tx, rx) = bounded(ids.len());
+        let hub = self.frontend.node().notifications();
+        let mut regs = Vec::with_capacity(ids.len());
+        for id in ids {
+            hub.register(*id, tx.clone());
+            regs.push((*id, tx.clone()));
+        }
+        self.track(regs);
+        Ok(rx)
+    }
+
+    fn cancel_wait(&self, id: &GlobalTxId) -> Result<()> {
+        // Cancel only *abandoned* registrations (receiver dropped): a
+        // live PendingTx waiting on the same id — e.g. while a duplicate
+        // resubmission fails — must keep its registration.
+        let hub = self.frontend.node().notifications();
+        let mut waits = self.waits.lock();
+        for (wid, s) in waits.iter() {
+            if wid == id && s.is_disconnected() {
+                hub.cancel_for(id, s);
+            }
+        }
+        waits.retain(|(wid, s)| wid != id || !s.is_disconnected());
+        Ok(())
+    }
+}
+
+impl Drop for InProcess {
+    fn drop(&mut self) {
+        let hub = self.frontend.node().notifications();
+        for (id, s) in self.waits.lock().drain(..) {
+            hub.cancel_for(&id, &s);
+        }
+    }
+}
+
+// -------------------------------------------------------- simulated wire
+
+/// Messages on the client↔node segment of the simulated network.
+#[derive(Clone)]
+pub(crate) enum ClientWire {
+    /// Client → node: one RPC request.
+    Request { seq: u64, req: ClientRequest },
+    /// Node → client: the response to request `seq`.
+    Response {
+        seq: u64,
+        resp: Result<ClientResponse>,
+    },
+    /// Node → client: a streamed transaction notification.
+    Notification(TxNotification),
+    /// Client → node: the connection is going away; cancel its waits.
+    Disconnect,
+}
+
+/// Endpoint name of a node's RPC frontend on the client network.
+pub(crate) fn frontend_endpoint(node_name: &str) -> String {
+    format!("{node_name}/rpc")
+}
+
+struct SimShared {
+    /// In-flight RPCs by sequence number.
+    rpc: Mutex<HashMap<u64, Sender<Result<ClientResponse>>>>,
+    /// Client-side demux of streamed notifications by transaction id.
+    waits: Mutex<HashMap<GlobalTxId, Vec<Sender<TxNotification>>>>,
+}
+
+/// Simulated-network backend: every request/response/notification pays
+/// the configured latency, jitter and bandwidth for its codec-derived
+/// size, exactly like peer and orderer traffic.
+pub struct Simulated {
+    net: Arc<SimNetwork<ClientWire>>,
+    /// This connection's unique endpoint.
+    endpoint: String,
+    /// The home node's frontend endpoint.
+    server: String,
+    seq: AtomicU64,
+    shared: Arc<SimShared>,
+}
+
+impl Simulated {
+    /// Open a connection: registers `endpoint` on the client network and
+    /// spawns the reader that demultiplexes responses and notifications.
+    pub(crate) fn connect(
+        net: Arc<SimNetwork<ClientWire>>,
+        server: String,
+        endpoint: String,
+    ) -> Simulated {
+        let rx = net.register(endpoint.clone());
+        let shared = Arc::new(SimShared {
+            rpc: Mutex::new(HashMap::new()),
+            waits: Mutex::new(HashMap::new()),
+        });
+        {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("{endpoint}-reader"))
+                .spawn(move || {
+                    for d in rx.iter() {
+                        match d.msg {
+                            ClientWire::Response { seq, resp } => {
+                                if let Some(tx) = shared.rpc.lock().remove(&seq) {
+                                    let _ = tx.send(resp);
+                                }
+                            }
+                            ClientWire::Notification(n) => {
+                                if let Some(ws) = shared.waits.lock().remove(&n.id) {
+                                    for w in ws {
+                                        let _ = w.send(n.clone());
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                })
+                .expect("spawn transport reader");
+        }
+        Simulated {
+            net,
+            endpoint,
+            server,
+            seq: AtomicU64::new(1),
+            shared,
+        }
+    }
+
+    fn rpc(&self, req: ClientRequest) -> Result<ClientResponse> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.shared.rpc.lock().insert(seq, tx);
+        let size = req.wire_size();
+        if let Err(e) = self.net.send(
+            &self.endpoint,
+            &self.server,
+            ClientWire::Request { seq, req },
+            size,
+        ) {
+            self.shared.rpc.lock().remove(&seq);
+            return Err(e);
+        }
+        match rx.recv_timeout(RPC_TIMEOUT) {
+            Ok(resp) => resp,
+            Err(_) => {
+                self.shared.rpc.lock().remove(&seq);
+                Err(Error::Timeout(format!(
+                    "no RPC response from {} within {RPC_TIMEOUT:?}",
+                    self.server
+                )))
+            }
+        }
+    }
+
+    fn unregister_local(&self, id: &GlobalTxId, tx: &Sender<TxNotification>) {
+        let mut waits = self.shared.waits.lock();
+        if let Some(ws) = waits.get_mut(id) {
+            ws.retain(|s| !s.same_channel(tx));
+            if ws.is_empty() {
+                waits.remove(id);
+            }
+        }
+    }
+}
+
+impl NodeTransport for Simulated {
+    fn call(&self, req: ClientRequest) -> Result<ClientResponse> {
+        self.rpc(req)
+    }
+
+    fn wait_for(&self, id: GlobalTxId) -> Result<Receiver<TxNotification>> {
+        // Local registration first: once the server acknowledges, a
+        // notification may already be racing back.
+        let (tx, rx) = bounded(1);
+        self.shared
+            .waits
+            .lock()
+            .entry(id)
+            .or_default()
+            .push(tx.clone());
+        match self.rpc(ClientRequest::WaitFor { id }) {
+            Ok(_) => Ok(rx),
+            Err(e) => {
+                self.unregister_local(&id, &tx);
+                Err(e)
+            }
+        }
+    }
+
+    fn wait_for_batch(&self, ids: &[GlobalTxId]) -> Result<Receiver<TxNotification>> {
+        let (tx, rx) = bounded(ids.len());
+        {
+            let mut waits = self.shared.waits.lock();
+            for id in ids {
+                waits.entry(*id).or_default().push(tx.clone());
+            }
+        }
+        match self.rpc(ClientRequest::WaitForBatch { ids: ids.to_vec() }) {
+            Ok(_) => Ok(rx),
+            Err(e) => {
+                for id in ids {
+                    self.unregister_local(id, &tx);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn cancel_wait(&self, id: &GlobalTxId) -> Result<()> {
+        // Drop only abandoned local registrations (receiver gone); a live
+        // wait on the same id keeps both its demux entry and — because
+        // the server removes exactly one registration per CancelWait —
+        // its server-side registration.
+        {
+            let mut waits = self.shared.waits.lock();
+            if let Some(ws) = waits.get_mut(id) {
+                ws.retain(|s| !s.is_disconnected());
+                if ws.is_empty() {
+                    waits.remove(id);
+                }
+            }
+        }
+        self.rpc(ClientRequest::CancelWait { id: *id }).map(|_| ())
+    }
+}
+
+impl Drop for Simulated {
+    fn drop(&mut self) {
+        // Best effort: tell the node so it cancels this connection's
+        // waits; ignore failures (the network may already be down).
+        let _ = self
+            .net
+            .send(&self.endpoint, &self.server, ClientWire::Disconnect, 8);
+        self.net.unregister(&self.endpoint);
+    }
+}
+
+// ------------------------------------------------------ server dispatch
+
+/// Serve a node's RPC frontend on the client network. One dispatcher
+/// thread per node routes messages; each connection gets its **own**
+/// worker thread owning a [`Frontend`] — the equivalent of PostgreSQL's
+/// backend-per-connection model — so a slow request on one connection
+/// never head-of-line-blocks another (per-connection FIFO is preserved).
+/// [`ClientWire::Disconnect`] tears the connection down.
+pub(crate) fn serve_frontend(node: Arc<Node>, net: Arc<SimNetwork<ClientWire>>, endpoint: String) {
+    let rx = net.register(endpoint.clone());
+    std::thread::Builder::new()
+        .name(format!("{endpoint}-dispatch"))
+        .spawn(move || {
+            // Per-connection request queues; dropping a sender ends its
+            // worker, which drops the Frontend (cancelling the
+            // connection's hub registrations and notification pump).
+            let mut conns: HashMap<String, Sender<(u64, ClientRequest)>> = HashMap::new();
+            for d in rx.iter() {
+                match d.msg {
+                    ClientWire::Request { seq, req } => {
+                        let conn = conns
+                            .entry(d.from.clone())
+                            .or_insert_with(|| open_conn(&node, &net, &endpoint, &d.from));
+                        let _ = conn.send((seq, req));
+                    }
+                    ClientWire::Disconnect => {
+                        conns.remove(&d.from);
+                    }
+                    _ => {}
+                }
+            }
+        })
+        .expect("spawn frontend dispatcher");
+}
+
+/// Spawn one connection's backend: a worker draining its request queue
+/// through a fresh [`Frontend`], plus a pump streaming the connection's
+/// notifications back over the wire.
+fn open_conn(
+    node: &Arc<Node>,
+    net: &Arc<SimNetwork<ClientWire>>,
+    server: &str,
+    client: &str,
+) -> Sender<(u64, ClientRequest)> {
+    let (frontend, notify_rx) = Frontend::new(Arc::clone(node));
+    let (req_tx, req_rx) = crossbeam_channel::unbounded::<(u64, ClientRequest)>();
+    {
+        let net = Arc::clone(net);
+        let server = server.to_string();
+        let client = client.to_string();
+        std::thread::Builder::new()
+            .name(format!("{client}-backend"))
+            .spawn(move || {
+                // Frontend moves in here: it lives exactly as long as the
+                // connection's request queue.
+                for (seq, req) in req_rx.iter() {
+                    let resp = frontend.handle(req);
+                    let size = response_wire_size(&resp);
+                    if net
+                        .send(&server, &client, ClientWire::Response { seq, resp }, size)
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn connection backend");
+    }
+    {
+        let net = Arc::clone(net);
+        let server = server.to_string();
+        let client = client.to_string();
+        std::thread::Builder::new()
+            .name(format!("{client}-notify"))
+            .spawn(move || {
+                // Stream notifications back over the wire until the
+                // frontend (and with it every sender) is gone.
+                for n in notify_rx.iter() {
+                    let size = notification_wire_size(&n);
+                    if net
+                        .send(&server, &client, ClientWire::Notification(n), size)
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn notification pump");
+    }
+    req_tx
+}

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use bcrdb_chain::block::CheckpointVote;
 use bcrdb_chain::tx::Transaction;
+use bcrdb_common::error::Result;
 use bcrdb_txn::ssi::Flow;
 
 /// Static configuration of a database peer node.
@@ -39,6 +40,10 @@ pub struct NodeConfig {
     /// an in-memory engine lacks; 0 disables. Used by the benchmark
     /// harness only (see DESIGN.md's substitution table).
     pub min_exec_micros: u64,
+    /// Bound on the prepared-statement cache (LRU entries, minimum 1). A
+    /// client preparing unbounded distinct SQL text evicts old entries
+    /// instead of growing node memory without limit.
+    pub statement_cache_cap: usize,
 }
 
 impl NodeConfig {
@@ -55,6 +60,7 @@ impl NodeConfig {
             serial_execution: false,
             gc_interval: 16,
             min_exec_micros: 0,
+            statement_cache_cap: 1024,
         }
     }
 }
@@ -70,8 +76,10 @@ pub type ForwardTxHook = Arc<dyn Fn(&Transaction) + Send + Sync>;
 pub struct NodeHooks {
     /// EO: forward a locally submitted transaction to the other peers.
     pub forward_tx: Option<ForwardTxHook>,
-    /// EO: forward a locally submitted transaction to the ordering service.
-    pub submit_orderer: Option<Arc<dyn Fn(Transaction) + Send + Sync>>,
+    /// Forward a locally submitted transaction to the ordering service
+    /// (EO middleware; the OE submission proxy). Fallible: an ordering
+    /// failure is surfaced to the submitting client.
+    pub submit_orderer: Option<Arc<dyn Fn(Transaction) -> Result<()> + Send + Sync>>,
     /// Submit a checkpoint vote after committing a block (§3.3.4).
     pub submit_checkpoint: Option<Arc<dyn Fn(CheckpointVote) + Send + Sync>>,
 }

@@ -1,0 +1,336 @@
+//! The node's client-facing RPC frontend.
+//!
+//! The paper's clients speak to database nodes over PostgreSQL's wire
+//! protocol plus a libpq extension for snapshot heights (§4.3). This
+//! module is our equivalent of that boundary: a typed
+//! [`ClientRequest`]/[`ClientResponse`] message pair covering the whole
+//! client surface (submission, queries, server-side prepared-statement
+//! handles, notification waits, metrics), dispatched per **connection**
+//! by a [`Frontend`].
+//!
+//! The frontend is transport-agnostic: an in-process transport calls
+//! [`Frontend::handle`] directly, while a simulated-network transport
+//! moves the same messages over a `SimNetwork` using the codec-derived
+//! [`ClientRequest::wire_size`]/[`response_wire_size`] byte counts, so
+//! latency/bandwidth profiles apply to client traffic exactly as they do
+//! to peer and orderer traffic.
+//!
+//! Notification waits registered through a frontend all funnel into one
+//! per-connection channel; [`Frontend::disconnect`] (and `Drop`) cancels
+//! every outstanding registration, so an abandoned connection cannot
+//! leak waiters in the node's [`crate::notify::NotificationHub`].
+
+use std::sync::Arc;
+
+use bcrdb_chain::tx::Transaction;
+use bcrdb_common::codec::Encoder;
+use bcrdb_common::error::Result;
+use bcrdb_common::ids::{BlockHeight, GlobalTxId};
+use bcrdb_common::value::Value;
+use bcrdb_engine::result::QueryResult;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+use crate::metrics::MetricsSnapshot;
+use crate::node::Node;
+use crate::notify::TxNotification;
+use crate::statements::StatementHandle;
+
+/// A request from a client to its home node — the complete RPC surface
+/// of the client/node boundary.
+#[derive(Clone, Debug)]
+pub enum ClientRequest {
+    /// Submit a signed transaction (EO: execute + forward + order;
+    /// OE: proxy to the ordering service).
+    Submit(Box<Transaction>),
+    /// One-shot read-only query at the current committed height (routed
+    /// through the statement cache server-side).
+    Query {
+        /// SELECT text with `$n` placeholders.
+        sql: String,
+        /// Positional parameters.
+        params: Vec<Value>,
+    },
+    /// One-shot read-only query at a historical height (time travel;
+    /// the §4.3 libpq snapshot extension).
+    QueryAt {
+        /// SELECT text with `$n` placeholders.
+        sql: String,
+        /// Positional parameters.
+        params: Vec<Value>,
+        /// Snapshot height; must not exceed the node's committed tip.
+        height: BlockHeight,
+    },
+    /// Parse a read-only statement into the node's bounded statement
+    /// cache; answers with a server-side handle.
+    Prepare {
+        /// SELECT text with `$n` placeholders.
+        sql: String,
+    },
+    /// Execute a previously prepared statement by handle. An evicted
+    /// handle is `Error::NotFound` (drivers re-prepare transparently).
+    QueryPrepared {
+        /// Handle from a [`ClientRequest::Prepare`] response.
+        handle: StatementHandle,
+        /// Positional parameters.
+        params: Vec<Value>,
+        /// Optional historical snapshot height.
+        height: Option<BlockHeight>,
+    },
+    /// Register this connection for the final status of one transaction;
+    /// the notification arrives on the connection's notification stream.
+    WaitFor {
+        /// The awaited transaction.
+        id: GlobalTxId,
+    },
+    /// Register for a whole batch at once (one registration round trip).
+    WaitForBatch {
+        /// The awaited transactions.
+        ids: Vec<GlobalTxId>,
+    },
+    /// Drop this connection's registration for `id` (e.g. after a failed
+    /// submission abandoned the wait).
+    CancelWait {
+        /// The abandoned transaction.
+        id: GlobalTxId,
+    },
+    /// The node's committed chain height.
+    ChainHeight,
+    /// Snapshot (and reset) the node's micro-metrics window.
+    Metrics,
+}
+
+/// A response from the node frontend. Every variant answers exactly one
+/// [`ClientRequest`]; transaction notifications travel separately on the
+/// connection's notification stream.
+#[derive(Clone, Debug)]
+pub enum ClientResponse {
+    /// The request was accepted and carries no payload (Submit, waits).
+    Ack,
+    /// Query rows.
+    Rows(QueryResult),
+    /// A prepared statement's server-side handle.
+    Statement {
+        /// Handle to pass in [`ClientRequest::QueryPrepared`].
+        handle: StatementHandle,
+        /// Number of `$n` parameters the statement expects.
+        param_count: usize,
+    },
+    /// The committed chain height.
+    Height(BlockHeight),
+    /// A micro-metrics window snapshot.
+    Metrics(MetricsSnapshot),
+}
+
+/// One client connection's server-side half: dispatches requests against
+/// the node and funnels notification waits into a single per-connection
+/// stream.
+pub struct Frontend {
+    node: Arc<Node>,
+    notify_tx: Sender<TxNotification>,
+}
+
+impl Frontend {
+    /// Open a connection to `node`. Returns the frontend and the
+    /// connection's notification stream (every `WaitFor`/`WaitForBatch`
+    /// delivers there).
+    pub fn new(node: Arc<Node>) -> (Frontend, Receiver<TxNotification>) {
+        let (notify_tx, notify_rx) = unbounded();
+        (Frontend { node, notify_tx }, notify_rx)
+    }
+
+    /// The node this connection serves.
+    pub fn node(&self) -> &Arc<Node> {
+        &self.node
+    }
+
+    /// Dispatch one request.
+    pub fn handle(&self, req: ClientRequest) -> Result<ClientResponse> {
+        match req {
+            ClientRequest::Submit(tx) => {
+                self.node.submit_local(*tx)?;
+                Ok(ClientResponse::Ack)
+            }
+            ClientRequest::Query { sql, params } => self
+                .node
+                .query_cached(&sql, &params, None)
+                .map(ClientResponse::Rows),
+            ClientRequest::QueryAt {
+                sql,
+                params,
+                height,
+            } => self
+                .node
+                .query_cached(&sql, &params, Some(height))
+                .map(ClientResponse::Rows),
+            ClientRequest::Prepare { sql } => {
+                let (handle, query) = self.node.prepare_handle(&sql)?;
+                Ok(ClientResponse::Statement {
+                    handle,
+                    param_count: query.param_count(),
+                })
+            }
+            ClientRequest::QueryPrepared {
+                handle,
+                params,
+                height,
+            } => self
+                .node
+                .query_by_handle(handle, &params, height)
+                .map(ClientResponse::Rows),
+            ClientRequest::WaitFor { id } => {
+                self.node
+                    .notifications()
+                    .register(id, self.notify_tx.clone());
+                Ok(ClientResponse::Ack)
+            }
+            ClientRequest::WaitForBatch { ids } => {
+                let hub = self.node.notifications();
+                for id in ids {
+                    hub.register(id, self.notify_tx.clone());
+                }
+                Ok(ClientResponse::Ack)
+            }
+            ClientRequest::CancelWait { id } => {
+                self.node.notifications().cancel_for(&id, &self.notify_tx);
+                Ok(ClientResponse::Ack)
+            }
+            ClientRequest::ChainHeight => Ok(ClientResponse::Height(self.node.height())),
+            ClientRequest::Metrics => Ok(ClientResponse::Metrics(self.node.metrics().take())),
+        }
+    }
+
+    /// Cancel every notification registration of this connection — the
+    /// client went away, so none of its waits can be delivered.
+    pub fn disconnect(&self) {
+        self.node.notifications().cancel_sender(&self.notify_tx);
+    }
+}
+
+impl Drop for Frontend {
+    fn drop(&mut self) {
+        self.disconnect();
+    }
+}
+
+// ------------------------------------------------------------ wire sizes
+//
+// The simulated transport charges each message its codec-derived size so
+// the latency/bandwidth model applies honestly. Requests/responses are
+// not re-encoded on the in-process hop — only their size is.
+
+impl ClientRequest {
+    /// Encoded size in bytes (1 tag byte + codec-encoded payload).
+    pub fn wire_size(&self) -> usize {
+        let mut enc = Encoder::new();
+        match self {
+            ClientRequest::Submit(tx) => return 1 + tx.wire_size(),
+            ClientRequest::Query { sql, params } => {
+                enc.put_str(sql);
+                enc.put_row(params);
+            }
+            ClientRequest::QueryAt {
+                sql,
+                params,
+                height,
+            } => {
+                enc.put_str(sql);
+                enc.put_row(params);
+                enc.put_u64(*height);
+            }
+            ClientRequest::Prepare { sql } => enc.put_str(sql),
+            ClientRequest::QueryPrepared {
+                handle,
+                params,
+                height,
+            } => {
+                enc.put_u64(*handle);
+                enc.put_row(params);
+                enc.put_u64(height.unwrap_or(0));
+            }
+            ClientRequest::WaitFor { id } | ClientRequest::CancelWait { id } => {
+                enc.put_digest(&id.0);
+            }
+            ClientRequest::WaitForBatch { ids } => {
+                enc.put_u32(ids.len() as u32);
+                for id in ids {
+                    enc.put_digest(&id.0);
+                }
+            }
+            ClientRequest::ChainHeight | ClientRequest::Metrics => {}
+        }
+        1 + enc.len()
+    }
+}
+
+/// Encoded size of a response (1 tag byte + codec-encoded payload;
+/// errors travel as their rendered message).
+pub fn response_wire_size(resp: &Result<ClientResponse>) -> usize {
+    let mut enc = Encoder::new();
+    match resp {
+        Ok(ClientResponse::Ack) => {}
+        Ok(ClientResponse::Rows(r)) => {
+            enc.put_u32(r.columns.len() as u32);
+            for c in &r.columns {
+                enc.put_str(c);
+            }
+            enc.put_u32(r.rows.len() as u32);
+            for row in &r.rows {
+                enc.put_row(row);
+            }
+        }
+        Ok(ClientResponse::Statement { .. }) => enc.put_u64(0),
+        Ok(ClientResponse::Height(h)) => enc.put_u64(*h),
+        // 11 f64/u64 fields.
+        Ok(ClientResponse::Metrics(_)) => return 1 + 11 * 8,
+        Err(e) => enc.put_str(&e.to_string()),
+    }
+    1 + enc.len()
+}
+
+/// Encoded size of a streamed notification (id + block + status).
+pub fn notification_wire_size(n: &TxNotification) -> usize {
+    use bcrdb_chain::ledger::TxStatus;
+    let status = match &n.status {
+        TxStatus::Committed => 1,
+        TxStatus::Aborted(reason) => 1 + 4 + reason.len(),
+    };
+    32 + 8 + status
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcrdb_common::error::Error;
+
+    #[test]
+    fn request_sizes_scale_with_payload() {
+        let small = ClientRequest::Query {
+            sql: "SELECT 1".into(),
+            params: vec![],
+        };
+        let big = ClientRequest::Query {
+            sql: format!("SELECT {}", "x".repeat(4000)),
+            params: vec![Value::Int(1), Value::Text("abc".into())],
+        };
+        assert!(small.wire_size() < 40, "{}", small.wire_size());
+        assert!(big.wire_size() > 4000);
+        assert!(ClientRequest::ChainHeight.wire_size() <= 2);
+        let batch = ClientRequest::WaitForBatch {
+            ids: vec![GlobalTxId([1; 32]); 10],
+        };
+        assert!(batch.wire_size() >= 10 * 32);
+    }
+
+    #[test]
+    fn response_sizes_scale_with_rows() {
+        let empty = Ok(ClientResponse::Rows(QueryResult::empty(vec!["a".into()])));
+        let mut r = QueryResult::empty(vec!["a".into()]);
+        for i in 0..100 {
+            r.rows.push(vec![Value::Int(i), Value::Text("row".into())]);
+        }
+        let full = Ok(ClientResponse::Rows(r));
+        assert!(response_wire_size(&full) > response_wire_size(&empty) + 100);
+        let err: Result<ClientResponse> = Err(Error::Analysis("nope".into()));
+        assert!(response_wire_size(&err) > 4);
+    }
+}

@@ -23,17 +23,28 @@
 //! client notifications (§2(7)), crash recovery from the block store plus
 //! periodic state snapshots (§3.6), and the serial-execution mode used for
 //! the paper's Ethereum-style comparison (§5.1).
+//!
+//! Clients never touch a node directly: the [`frontend`] module defines
+//! the typed [`ClientRequest`]/[`ClientResponse`] RPC surface — our
+//! equivalent of the paper's PostgreSQL wire protocol + libpq extension
+//! (§4.3) — dispatched per connection by a [`Frontend`], with prepared
+//! statements addressed by server-side [`StatementHandle`]s from a
+//! bounded LRU cache ([`statements`]).
 
 pub mod config;
 pub mod exec_pool;
+pub mod frontend;
 pub mod metrics;
 pub mod node;
 pub mod notify;
 pub mod processor;
 pub mod slots;
+pub mod statements;
 
 pub use config::{NodeConfig, NodeHooks};
 pub use exec_pool::{NativeContract, NativeCtx};
+pub use frontend::{ClientRequest, ClientResponse, Frontend};
 pub use metrics::{MetricsSnapshot, NodeMetrics};
 pub use node::Node;
 pub use notify::TxNotification;
+pub use statements::StatementHandle;

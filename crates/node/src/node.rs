@@ -38,6 +38,7 @@ use crate::metrics::NodeMetrics;
 use crate::notify::{NotificationHub, TxNotification};
 use crate::processor;
 use crate::slots::SlotTable;
+use crate::statements::{StatementCache, StatementHandle};
 
 const SNAPSHOT_MAGIC: &[u8; 8] = b"BCRDBNS1";
 
@@ -56,15 +57,12 @@ pub struct Node {
     pub(crate) ledger: Arc<Table>,
     pub(crate) divergences: Mutex<Vec<Divergence>>,
     pub(crate) shutting_down: AtomicBool,
-    /// Prepared-statement cache keyed by SQL text (§4.3: the client
-    /// interface is libpq-style; statement reuse amortizes parsing).
-    statements: Mutex<std::collections::HashMap<String, Arc<PreparedQuery>>>,
+    /// Prepared-statement cache keyed by SQL text and addressed by
+    /// server-side handles (§4.3: the client interface is libpq-style;
+    /// statement reuse amortizes parsing). Bounded LRU, cap from
+    /// [`NodeConfig::statement_cache_cap`].
+    statements: Mutex<StatementCache>,
 }
-
-/// Bound on the per-node prepared-statement cache (each entry is one
-/// parsed AST; eviction clears the whole map — simple and sufficient for
-/// workloads with a stable statement set).
-const STATEMENT_CACHE_CAP: usize = 1024;
 
 impl Node {
     /// Create (or re-open) a node. When `config.data_dir` is set, the
@@ -128,6 +126,7 @@ impl Node {
         });
         let pool = ExecPool::start(Arc::clone(&env), config.executor_threads);
 
+        let statements = Mutex::new(StatementCache::new(config.statement_cache_cap));
         let node = Arc::new(Node {
             config,
             env,
@@ -139,7 +138,7 @@ impl Node {
             ledger,
             divergences: Mutex::new(Vec::new()),
             shutting_down: AtomicBool::new(false),
-            statements: Mutex::new(std::collections::HashMap::new()),
+            statements,
         });
 
         Ok(node)
@@ -219,8 +218,7 @@ impl Node {
             // OE: clients submit to the ordering service; a node may proxy.
             let hooks = self.hooks.read();
             if let Some(submit) = &hooks.submit_orderer {
-                submit(tx);
-                return Ok(());
+                return submit(tx);
             }
             return Err(Error::Config(
                 "order-then-execute node has no ordering hook installed".into(),
@@ -242,7 +240,9 @@ impl Node {
             forward(&tx);
         }
         if let Some(submit) = &hooks.submit_orderer {
-            submit((*tx).clone());
+            // An ordering failure means the transaction can never commit;
+            // surface it to the submitting client.
+            submit((*tx).clone())?;
         }
         Ok(())
     }
@@ -317,21 +317,55 @@ impl Node {
     /// statement. Repeated `prepare` calls with the same SQL text share
     /// one parsed AST across all of this node's sessions.
     pub fn prepare(&self, sql: &str) -> Result<Arc<PreparedQuery>> {
-        if let Some(q) = self.statements.lock().get(sql) {
-            return Ok(Arc::clone(q));
+        self.prepare_handle(sql).map(|(_, q)| q)
+    }
+
+    /// Like [`Node::prepare`], but also returns the statement's
+    /// server-side handle — what the RPC frontend hands to clients so
+    /// later executions carry an 8-byte id instead of the SQL text.
+    pub fn prepare_handle(&self, sql: &str) -> Result<(StatementHandle, Arc<PreparedQuery>)> {
+        self.statements.lock().prepare(sql)
+    }
+
+    /// Execute a cached statement by handle. An evicted or unknown
+    /// handle is [`Error::NotFound`]; drivers re-prepare and retry.
+    pub fn query_by_handle(
+        &self,
+        handle: StatementHandle,
+        params: &[Value],
+        height: Option<BlockHeight>,
+    ) -> Result<QueryResult> {
+        let q = self.statements.lock().get(handle)?;
+        match height {
+            Some(h) => self.query_prepared_at(&q, params, h),
+            None => self.query_prepared(&q, params),
         }
-        let q = PreparedQuery::parse(sql)?;
-        let mut cache = self.statements.lock();
-        if cache.len() >= STATEMENT_CACHE_CAP {
-            cache.clear();
+    }
+
+    /// One-shot read-only query routed through the statement cache, so
+    /// repeated SQL text is parsed once even without an explicit prepare
+    /// (the frontend's `Query`/`QueryAt` path).
+    pub fn query_cached(
+        &self,
+        sql: &str,
+        params: &[Value],
+        height: Option<BlockHeight>,
+    ) -> Result<QueryResult> {
+        let q = self.prepare(sql)?;
+        match height {
+            Some(h) => self.query_prepared_at(&q, params, h),
+            None => self.query_prepared(&q, params),
         }
-        cache.insert(sql.to_string(), Arc::clone(&q));
-        Ok(q)
     }
 
     /// Number of cached prepared statements (observability/tests).
     pub fn prepared_statement_count(&self) -> usize {
         self.statements.lock().len()
+    }
+
+    /// The notification hub (transports register connection channels).
+    pub fn notifications(&self) -> &Arc<NotificationHub> {
+        &self.notifications
     }
 
     /// Execute a prepared statement at the current committed height.

@@ -38,8 +38,17 @@ impl NotificationHub {
     /// notification.
     pub fn wait_for(&self, id: GlobalTxId) -> Receiver<TxNotification> {
         let (tx, rx) = bounded(1);
-        self.waiters.lock().entry(id).or_default().push(tx);
+        self.register(id, tx);
         rx
+    }
+
+    /// Register a caller-supplied sender for `id` — the connection-level
+    /// primitive behind the RPC frontend: one connection funnels every
+    /// registered wait into a single channel whose sender it owns, so a
+    /// disconnect can cancel all of them by identity
+    /// ([`NotificationHub::cancel_sender`]).
+    pub fn register(&self, id: GlobalTxId, tx: Sender<TxNotification>) {
+        self.waiters.lock().entry(id).or_default().push(tx);
     }
 
     /// Subscribe to every notification.
@@ -75,6 +84,36 @@ impl NotificationHub {
                 waiters.remove(id);
             }
         }
+    }
+
+    /// Drop **one** registration for `id` sending into the same channel
+    /// as `sender` (plus any whose receiver is gone). Exactly one,
+    /// mirroring one abandoned `WaitFor`: a connection that registered
+    /// the same id twice (e.g. a live wait plus a failed resubmission)
+    /// keeps its remaining registration, and *other* connections waiting
+    /// on the same transaction are never disturbed.
+    pub fn cancel_for(&self, id: &GlobalTxId, sender: &Sender<TxNotification>) {
+        let mut waiters = self.waiters.lock();
+        if let Some(ws) = waiters.get_mut(id) {
+            if let Some(i) = ws.iter().position(|s| s.same_channel(sender)) {
+                ws.remove(i);
+            }
+            ws.retain(|s| !s.is_disconnected());
+            if ws.is_empty() {
+                waiters.remove(id);
+            }
+        }
+    }
+
+    /// Drop every registration sending into the same channel as `sender`
+    /// — a client connection disconnected, so none of its waits can ever
+    /// be delivered. O(pending waiters); runs once per disconnect.
+    pub fn cancel_sender(&self, sender: &Sender<TxNotification>) {
+        let mut waiters = self.waiters.lock();
+        waiters.retain(|_, ws| {
+            ws.retain(|s| !s.same_channel(sender) && !s.is_disconnected());
+            !ws.is_empty()
+        });
     }
 
     /// Publish a final status.
@@ -137,6 +176,28 @@ mod tests {
         // A fully-abandoned id disappears from the map.
         drop(hub.wait_for(id(2)));
         hub.cancel(&id(2));
+        assert_eq!(hub.pending_waiters(), 0);
+    }
+
+    #[test]
+    fn cancel_for_is_identity_scoped() {
+        let hub = NotificationHub::new();
+        let other = hub.wait_for(id(1));
+        let (conn_tx, conn_rx) = crossbeam_channel::unbounded();
+        hub.register(id(1), conn_tx.clone());
+        hub.register(id(2), conn_tx.clone());
+        assert_eq!(hub.pending_waiters(), 2);
+        // Cancelling one id removes only this connection's registration.
+        hub.cancel_for(&id(1), &conn_tx);
+        hub.notify(TxNotification {
+            id: id(1),
+            block: 1,
+            status: TxStatus::Committed,
+        });
+        assert!(other.recv_timeout(Duration::from_secs(1)).is_ok());
+        assert!(conn_rx.try_recv().is_err(), "cancelled wait must not fire");
+        // A disconnect sweeps the rest.
+        hub.cancel_sender(&conn_tx);
         assert_eq!(hub.pending_waiters(), 0);
     }
 

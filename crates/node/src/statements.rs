@@ -1,0 +1,171 @@
+//! The node's prepared-statement cache: parsed SELECTs keyed by SQL
+//! text, addressed by clients through opaque **server-side handles**.
+//!
+//! The paper's client interface is libpq (§4.3), where `PREPARE` creates
+//! a named server-side statement and `EXECUTE` refers to it by name —
+//! the client never holds the parse tree. This module is that shape: a
+//! client `Prepare` RPC returns a [`StatementHandle`]; later
+//! `QueryPrepared` RPCs carry only the handle and fresh parameters.
+//!
+//! The cache is bounded (LRU, `NodeConfig::statement_cache_cap`): a
+//! client preparing unbounded *distinct* SQL text evicts the
+//! least-recently-used entry instead of growing node memory without
+//! limit. An evicted handle later produces [`Error::NotFound`] naming
+//! the handle; the client-side driver re-prepares transparently.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bcrdb_common::error::{Error, Result};
+use bcrdb_engine::prepared::PreparedQuery;
+
+/// Opaque server-side identifier of a cached prepared statement.
+pub type StatementHandle = u64;
+
+struct Entry {
+    sql: String,
+    query: Arc<PreparedQuery>,
+    last_used: u64,
+}
+
+/// Bounded LRU of parsed statements, shared by every session of a node.
+pub struct StatementCache {
+    cap: usize,
+    entries: HashMap<StatementHandle, Entry>,
+    by_sql: HashMap<String, StatementHandle>,
+    next_handle: StatementHandle,
+    tick: u64,
+}
+
+impl StatementCache {
+    /// Empty cache holding at most `cap` parsed statements (minimum 1).
+    pub fn new(cap: usize) -> StatementCache {
+        StatementCache {
+            cap: cap.max(1),
+            entries: HashMap::new(),
+            by_sql: HashMap::new(),
+            next_handle: 1,
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self, handle: StatementHandle) {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&handle) {
+            e.last_used = self.tick;
+        }
+    }
+
+    /// Parse `sql` (or find it cached) and return its handle and parsed
+    /// form. Repeated calls with the same text share one parse and one
+    /// handle; a full cache evicts the least-recently-used entry.
+    pub fn prepare(&mut self, sql: &str) -> Result<(StatementHandle, Arc<PreparedQuery>)> {
+        if let Some(&handle) = self.by_sql.get(sql) {
+            self.touch(handle);
+            let q = Arc::clone(&self.entries[&handle].query);
+            return Ok((handle, q));
+        }
+        let query = PreparedQuery::parse(sql)?;
+        if self.entries.len() >= self.cap {
+            // O(n) scan — eviction only happens once the cache is full,
+            // and `cap` is small (config default 1024).
+            if let Some(&lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(h, _)| h)
+            {
+                let evicted = self.entries.remove(&lru).expect("lru entry");
+                self.by_sql.remove(&evicted.sql);
+            }
+        }
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.tick += 1;
+        self.entries.insert(
+            handle,
+            Entry {
+                sql: sql.to_string(),
+                query: Arc::clone(&query),
+                last_used: self.tick,
+            },
+        );
+        self.by_sql.insert(sql.to_string(), handle);
+        Ok((handle, query))
+    }
+
+    /// Resolve a handle, refreshing its LRU position. An evicted (or
+    /// never-issued) handle is [`Error::NotFound`] — the stable signal
+    /// drivers use to re-prepare.
+    pub fn get(&mut self, handle: StatementHandle) -> Result<Arc<PreparedQuery>> {
+        match self.entries.get(&handle) {
+            Some(e) => {
+                let q = Arc::clone(&e.query);
+                self.touch(handle);
+                Ok(q)
+            }
+            None => Err(Error::NotFound(format!(
+                "prepared statement handle {handle} (evicted or never prepared)"
+            ))),
+        }
+    }
+
+    /// Number of cached statements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_text_shares_one_handle() {
+        let mut c = StatementCache::new(8);
+        let (h1, q1) = c.prepare("SELECT 1").unwrap();
+        let (h2, q2) = c.prepare("SELECT 1").unwrap();
+        assert_eq!(h1, h2);
+        assert!(Arc::ptr_eq(&q1, &q2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_bounded() {
+        let mut c = StatementCache::new(3);
+        let (h1, _) = c.prepare("SELECT 1").unwrap();
+        let (h2, _) = c.prepare("SELECT 2").unwrap();
+        let (h3, _) = c.prepare("SELECT 3").unwrap();
+        // Touch h1 so h2 becomes the LRU victim.
+        c.get(h1).unwrap();
+        let (h4, _) = c.prepare("SELECT 4").unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c.get(h1).is_ok());
+        assert!(c.get(h3).is_ok());
+        assert!(c.get(h4).is_ok());
+        let err = c.get(h2).unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)), "{err}");
+        assert!(err.to_string().contains("prepared statement handle"));
+    }
+
+    #[test]
+    fn distinct_text_flood_stays_bounded() {
+        let mut c = StatementCache::new(16);
+        for i in 0..500 {
+            c.prepare(&format!("SELECT {i}")).unwrap();
+        }
+        assert_eq!(c.len(), 16);
+    }
+
+    #[test]
+    fn only_selects_enter_the_cache() {
+        let mut c = StatementCache::new(4);
+        assert!(c.prepare("DELETE FROM t").is_err());
+        assert!(c.is_empty());
+    }
+}

@@ -115,7 +115,7 @@ fn main() -> Result<()> {
 
     // Compliance check: money is conserved at every block height. The
     // conservation query is *prepared once* and executed per height.
-    let tip = regulator.chain_height();
+    let tip = regulator.chain_height()?;
     let conservation = regulator.prepare("SELECT SUM(balance) FROM accounts")?;
     for h in 1..=tip {
         let total: Option<f64> = conservation.run().at_height(h).fetch_scalar()?;

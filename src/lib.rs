@@ -16,8 +16,8 @@
 //! and the paper-experiment index.
 
 pub use bcrdb_core::{
-    Call, CallBuilder, Client, Network, NetworkConfig, PendingBatch, PendingTx, Prepared,
-    PreparedRun, QueryBuilder,
+    Call, CallBuilder, Client, InProcess, Network, NetworkConfig, NodeTransport, PendingBatch,
+    PendingTx, Prepared, PreparedRun, QueryBuilder, Simulated, TransportKind,
 };
 
 pub use bcrdb_chain as chain;
@@ -37,7 +37,10 @@ pub mod prelude {
     pub use bcrdb_chain::ledger::TxStatus;
     pub use bcrdb_common::value::{FromValue, IntoValue, Value};
     pub use bcrdb_common::{Error, Result};
-    pub use bcrdb_core::{Call, Client, Network, NetworkConfig, PendingBatch, PendingTx, Prepared};
+    pub use bcrdb_core::{
+        Call, Client, Network, NetworkConfig, NodeTransport, PendingBatch, PendingTx, Prepared,
+        TransportKind,
+    };
     pub use bcrdb_engine::result::{FromRow, QueryResult, RowRef};
     pub use bcrdb_node::TxNotification;
     pub use bcrdb_txn::ssi::Flow;

@@ -2,15 +2,23 @@
 //! transaction flows, checking the paper's core guarantee — every honest
 //! node commits the same transactions in the same order and converges to
 //! an identical state.
+//!
+//! Every scenario runs over **both** client transports: `InProcess`
+//! (direct dispatch) and `Simulated` (client↔node RPCs travel the
+//! simulated network). The observable behavior must be identical — only
+//! the cost of the client hop differs.
 
 use std::time::Duration;
 
 use bcrdb::prelude::*;
 
 const WAIT: Duration = Duration::from_secs(20);
+const TRANSPORTS: [TransportKind; 2] = [TransportKind::InProcess, TransportKind::Simulated];
 
-fn build(flow: Flow) -> Network {
-    let net = Network::build(NetworkConfig::quick(&["org1", "org2", "org3"], flow)).unwrap();
+fn build(flow: Flow, transport: TransportKind) -> Network {
+    let mut cfg = NetworkConfig::quick(&["org1", "org2", "org3"], flow);
+    cfg.client_transport = transport;
+    let net = Network::build(cfg).unwrap();
     net.bootstrap_sql(
         "CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT NOT NULL, balance FLOAT NOT NULL); \
          CREATE FUNCTION open_account(id INT, owner TEXT, balance FLOAT) AS $$ \
@@ -38,8 +46,8 @@ fn assert_converged(net: &Network) {
     }
 }
 
-fn run_banking_scenario(flow: Flow) {
-    let net = build(flow);
+fn run_banking_scenario(flow: Flow, transport: TransportKind) {
+    let net = build(flow, transport);
     let alice = net.client("org1", "alice").unwrap();
     let bob = net.client("org2", "bob").unwrap();
 
@@ -86,97 +94,108 @@ fn run_banking_scenario(flow: Flow) {
 
 #[test]
 fn banking_order_then_execute() {
-    run_banking_scenario(Flow::OrderThenExecute);
+    for transport in TRANSPORTS {
+        run_banking_scenario(Flow::OrderThenExecute, transport);
+    }
 }
 
 #[test]
 fn banking_execute_order_parallel() {
-    run_banking_scenario(Flow::ExecuteOrderParallel);
+    for transport in TRANSPORTS {
+        run_banking_scenario(Flow::ExecuteOrderParallel, transport);
+    }
 }
 
 #[test]
 fn contract_errors_abort_deterministically() {
-    let net = build(Flow::OrderThenExecute);
-    let alice = net.client("org1", "alice").unwrap();
-    alice
-        .call("open_account")
-        .arg(1)
-        .arg("a")
-        .arg(10.0)
-        .submit_wait(WAIT)
-        .unwrap();
-    // Duplicate primary key → aborted on every node (as a structured
-    // TxAborted), network stays alive.
-    match alice
-        .call("open_account")
-        .arg(1)
-        .arg("dup")
-        .arg(1.0)
-        .submit_wait(WAIT)
-    {
-        Err(Error::TxAborted { reason, .. }) => {
-            assert!(reason.contains("duplicate key"), "{reason}")
+    for transport in TRANSPORTS {
+        let net = build(Flow::OrderThenExecute, transport);
+        let alice = net.client("org1", "alice").unwrap();
+        alice
+            .call("open_account")
+            .arg(1)
+            .arg("a")
+            .arg(10.0)
+            .submit_wait(WAIT)
+            .unwrap();
+        // Duplicate primary key → aborted on every node (as a structured
+        // TxAborted), network stays alive.
+        match alice
+            .call("open_account")
+            .arg(1)
+            .arg("dup")
+            .arg(1.0)
+            .submit_wait(WAIT)
+        {
+            Err(Error::TxAborted { reason, .. }) => {
+                assert!(reason.contains("duplicate key"), "{reason}")
+            }
+            other => panic!("expected TxAborted, got {other:?}"),
         }
-        other => panic!("expected TxAborted, got {other:?}"),
-    }
-    // Unknown contract → aborted too.
-    let pending = alice.call("no_such_contract").submit().unwrap();
-    assert!(matches!(
-        pending.wait(WAIT).unwrap().status,
-        TxStatus::Aborted(_)
-    ));
+        // Unknown contract → aborted too.
+        let pending = alice.call("no_such_contract").submit().unwrap();
+        assert!(matches!(
+            pending.wait(WAIT).unwrap().status,
+            TxStatus::Aborted(_)
+        ));
 
-    // The system still works afterwards.
-    alice
-        .call("open_account")
-        .arg(2)
-        .arg("b")
-        .arg(5.0)
-        .submit_wait(WAIT)
-        .unwrap();
-    let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
-    net.await_height(height, WAIT).unwrap();
-    assert_converged(&net);
-    net.shutdown();
+        // The system still works afterwards.
+        alice
+            .call("open_account")
+            .arg(2)
+            .arg("b")
+            .arg(5.0)
+            .submit_wait(WAIT)
+            .unwrap();
+        let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
+        net.await_height(height, WAIT).unwrap();
+        assert_converged(&net);
+        net.shutdown();
+    }
 }
 
 #[test]
 fn concurrent_clients_converge() {
     for flow in [Flow::OrderThenExecute, Flow::ExecuteOrderParallel] {
-        let net = build(flow);
-        // One signed batch per organization, notifications fanned in.
-        let mut batches = Vec::new();
-        for (i, org) in ["org1", "org2", "org3"].iter().enumerate() {
-            let client = net.client(org, "load").unwrap();
-            let calls: Vec<Call> = (0..20)
-                .map(|k| {
-                    let id = (i * 100 + k) as i64;
-                    Call::new("open_account")
-                        .arg(id)
-                        .arg(format!("acct-{id}"))
-                        .arg(10.0)
-                })
-                .collect();
-            batches.push(client.submit_all(calls).unwrap());
-        }
-        let mut committed = 0;
-        for batch in batches {
-            assert_eq!(batch.len(), 20);
-            for n in batch.wait_all(WAIT).unwrap() {
-                if matches!(n.status, TxStatus::Committed) {
-                    committed += 1;
+        for transport in TRANSPORTS {
+            let net = build(flow, transport);
+            // One signed batch per organization, notifications fanned in.
+            let mut batches = Vec::new();
+            for (i, org) in ["org1", "org2", "org3"].iter().enumerate() {
+                let client = net.client(org, "load").unwrap();
+                let calls: Vec<Call> = (0..20)
+                    .map(|k| {
+                        let id = (i * 100 + k) as i64;
+                        Call::new("open_account")
+                            .arg(id)
+                            .arg(format!("acct-{id}"))
+                            .arg(10.0)
+                    })
+                    .collect();
+                batches.push(client.submit_all(calls).unwrap());
+            }
+            let mut committed = 0;
+            for batch in batches {
+                assert_eq!(batch.len(), 20);
+                for n in batch.wait_all(WAIT).unwrap() {
+                    if matches!(n.status, TxStatus::Committed) {
+                        committed += 1;
+                    }
                 }
             }
+            assert_eq!(
+                committed, 60,
+                "{flow:?}/{transport:?}: all unique-key inserts commit"
+            );
+            let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
+            net.await_height(height, WAIT).unwrap();
+            for node in net.nodes() {
+                let r = node.query("SELECT COUNT(*) FROM accounts", &[]).unwrap();
+                assert_eq!(r.rows[0][0], Value::Int(60), "{}", node.config.name);
+            }
+            assert_converged(&net);
+            net.shutdown();
         }
-        assert_eq!(committed, 60, "{flow:?}: all unique-key inserts commit");
-        let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
-        net.await_height(height, WAIT).unwrap();
-        for node in net.nodes() {
-            let r = node.query("SELECT COUNT(*) FROM accounts", &[]).unwrap();
-            assert_eq!(r.rows[0][0], Value::Int(60), "{}", node.config.name);
-        }
-        assert_converged(&net);
-        net.shutdown();
     }
 }
 
@@ -185,169 +204,178 @@ fn ww_conflicts_resolve_identically_across_nodes() {
     // Concurrent transfers touching the same account: SSI and the ww rules
     // abort some, but every node must agree on which.
     for flow in [Flow::OrderThenExecute, Flow::ExecuteOrderParallel] {
-        let net = build(flow);
-        let setup = net.client("org1", "setup").unwrap();
-        setup
-            .call("open_account")
-            .arg(1)
-            .arg("hot")
-            .arg(1000.0)
-            .submit_wait(WAIT)
-            .unwrap();
-        setup
-            .call("open_account")
-            .arg(2)
-            .arg("cold")
-            .arg(0.0)
-            .submit_wait(WAIT)
-            .unwrap();
+        for transport in TRANSPORTS {
+            let net = build(flow, transport);
+            let setup = net.client("org1", "setup").unwrap();
+            setup
+                .call("open_account")
+                .arg(1)
+                .arg("hot")
+                .arg(1000.0)
+                .submit_wait(WAIT)
+                .unwrap();
+            setup
+                .call("open_account")
+                .arg(2)
+                .arg("cold")
+                .arg(0.0)
+                .submit_wait(WAIT)
+                .unwrap();
 
-        // Fire conflicting transfers from all three orgs without waiting.
-        let mut pendings = Vec::new();
-        for (i, org) in ["org1", "org2", "org3"].iter().enumerate() {
-            let c = net.client(org, "contender").unwrap();
-            for k in 0..5 {
-                let amount = 1.0 + (i * 5 + k) as f64; // unique payloads
-                pendings.push(
-                    c.call("transfer")
-                        .arg(1)
-                        .arg(2)
-                        .arg(amount)
-                        .submit()
-                        .unwrap(),
-                );
+            // Fire conflicting transfers from all three orgs without waiting.
+            let mut pendings = Vec::new();
+            for (i, org) in ["org1", "org2", "org3"].iter().enumerate() {
+                let c = net.client(org, "contender").unwrap();
+                for k in 0..5 {
+                    let amount = 1.0 + (i * 5 + k) as f64; // unique payloads
+                    pendings.push(
+                        c.call("transfer")
+                            .arg(1)
+                            .arg(2)
+                            .arg(amount)
+                            .submit()
+                            .unwrap(),
+                    );
+                }
+                // `c` is dropped here while its transactions are still in
+                // flight: the PendingTx handles keep the transport
+                // connection alive, so every notification still arrives.
             }
-        }
-        let mut committed_sum = 0.0;
-        let mut aborted = 0;
-        for p in pendings {
-            match p.wait(WAIT).unwrap() {
-                n if matches!(n.status, TxStatus::Committed) => {}
-                _ => {
-                    aborted += 1;
-                    continue;
+            let mut committed_sum = 0.0;
+            let mut aborted = 0;
+            for p in pendings {
+                match p.wait(WAIT).unwrap() {
+                    n if matches!(n.status, TxStatus::Committed) => {}
+                    _ => {
+                        aborted += 1;
+                        continue;
+                    }
                 }
             }
-        }
-        // Derive the committed sum from any node's state.
-        let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
-        net.await_height(height, WAIT).unwrap();
-        let r = net
-            .node("org1")
-            .unwrap()
-            .query("SELECT balance FROM accounts WHERE id = 2", &[])
-            .unwrap();
-        if let Value::Float(f) = r.rows[0][0] {
-            committed_sum = f;
-        }
-        // Conservation: id1 + id2 == 1000 on every node.
-        for node in net.nodes() {
-            let r = node
-                .query("SELECT SUM(balance) FROM accounts", &[])
+            // Derive the committed sum from any node's state.
+            let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
+            net.await_height(height, WAIT).unwrap();
+            let r = net
+                .node("org1")
+                .unwrap()
+                .query("SELECT balance FROM accounts WHERE id = 2", &[])
                 .unwrap();
-            assert_eq!(r.rows[0][0], Value::Float(1000.0), "{}", node.config.name);
+            if let Value::Float(f) = r.rows[0][0] {
+                committed_sum = f;
+            }
+            // Conservation: id1 + id2 == 1000 on every node.
+            for node in net.nodes() {
+                let r = node
+                    .query("SELECT SUM(balance) FROM accounts", &[])
+                    .unwrap();
+                assert_eq!(r.rows[0][0], Value::Float(1000.0), "{}", node.config.name);
+            }
+            assert!(committed_sum >= 0.0);
+            assert!(aborted < 15, "at least one transfer should commit");
+            assert_converged(&net);
+            net.shutdown();
         }
-        assert!(committed_sum >= 0.0);
-        assert!(aborted < 15, "at least one transfer should commit");
-        assert_converged(&net);
-        net.shutdown();
     }
 }
 
 #[test]
 fn provenance_and_time_travel_queries() {
-    let net = build(Flow::OrderThenExecute);
-    let alice = net.client("org1", "alice").unwrap();
-    alice
-        .call("open_account")
-        .arg(1)
-        .arg("alice")
-        .arg(100.0)
-        .submit_wait(WAIT)
-        .unwrap();
-    let h_open = alice.chain_height();
-    alice
-        .call("transfer")
-        .arg(1)
-        .arg(1)
-        .arg(0.0)
-        .submit_wait(WAIT)
-        .unwrap();
-    alice
-        .call("open_account")
-        .arg(2)
-        .arg("bob")
-        .arg(1.0)
-        .submit_wait(WAIT)
-        .unwrap();
+    for transport in TRANSPORTS {
+        let net = build(Flow::OrderThenExecute, transport);
+        let alice = net.client("org1", "alice").unwrap();
+        alice
+            .call("open_account")
+            .arg(1)
+            .arg("alice")
+            .arg(100.0)
+            .submit_wait(WAIT)
+            .unwrap();
+        let h_open = alice.chain_height().unwrap();
+        alice
+            .call("transfer")
+            .arg(1)
+            .arg(1)
+            .arg(0.0)
+            .submit_wait(WAIT)
+            .unwrap();
+        alice
+            .call("open_account")
+            .arg(2)
+            .arg("bob")
+            .arg(1.0)
+            .submit_wait(WAIT)
+            .unwrap();
 
-    // HISTORY exposes all versions of account 1 (self-transfer created two
-    // extra versions).
-    let r = alice
-        .select(
-            "SELECT h.balance, h._creator_block FROM HISTORY(accounts) h WHERE h.id = 1 \
-             ORDER BY h._creator_block",
-        )
-        .fetch()
-        .unwrap();
-    assert!(
-        r.rows.len() >= 3,
-        "expected version history, got {:?}",
-        r.rows
-    );
+        // HISTORY exposes all versions of account 1 (self-transfer created
+        // two extra versions).
+        let r = alice
+            .select(
+                "SELECT h.balance, h._creator_block FROM HISTORY(accounts) h WHERE h.id = 1 \
+                 ORDER BY h._creator_block",
+            )
+            .fetch()
+            .unwrap();
+        assert!(
+            r.rows.len() >= 3,
+            "expected version history, got {:?}",
+            r.rows
+        );
 
-    // Ledger join: who wrote versions of account 1 (Table 3 style), with
-    // typed row decoding by column name.
-    let r = alice
-        .select(
-            "SELECT l.username, l.contract FROM HISTORY(accounts) h, ledger l \
-             WHERE h.id = 1 AND h.xmin = l.txid ORDER BY l.block",
-        )
-        .fetch()
-        .unwrap();
-    assert!(!r.rows.is_empty());
-    let who: String = r.row(0).unwrap().get("username").unwrap();
-    assert_eq!(who, "org1/alice");
+        // Ledger join: who wrote versions of account 1 (Table 3 style), with
+        // typed row decoding by column name.
+        let r = alice
+            .select(
+                "SELECT l.username, l.contract FROM HISTORY(accounts) h, ledger l \
+                 WHERE h.id = 1 AND h.xmin = l.txid ORDER BY l.block",
+            )
+            .fetch()
+            .unwrap();
+        assert!(!r.rows.is_empty());
+        let who: String = r.row(0).unwrap().get("username").unwrap();
+        assert_eq!(who, "org1/alice");
 
-    // Time travel: at the height of the first open, balance was 100 and
-    // account 2 did not exist.
-    let balance: f64 = alice
-        .select("SELECT balance FROM accounts WHERE id = 1")
-        .at_height(h_open)
-        .fetch_scalar()
-        .unwrap();
-    assert_eq!(balance, 100.0);
-    let count: i64 = alice
-        .select("SELECT COUNT(*) FROM accounts")
-        .at_height(h_open)
-        .fetch_scalar()
-        .unwrap();
-    assert_eq!(count, 1);
-    net.shutdown();
+        // Time travel: at the height of the first open, balance was 100 and
+        // account 2 did not exist.
+        let balance: f64 = alice
+            .select("SELECT balance FROM accounts WHERE id = 1")
+            .at_height(h_open)
+            .fetch_scalar()
+            .unwrap();
+        assert_eq!(balance, 100.0);
+        let count: i64 = alice
+            .select("SELECT COUNT(*) FROM accounts")
+            .at_height(h_open)
+            .fetch_scalar()
+            .unwrap();
+        assert_eq!(count, 1);
+        net.shutdown();
+    }
 }
 
 #[test]
 fn blocks_chain_and_verify_on_every_node() {
-    let net = build(Flow::OrderThenExecute);
-    let alice = net.client("org1", "alice").unwrap();
-    for i in 0..5 {
-        alice
-            .call("open_account")
-            .arg(i)
-            .arg(format!("a{i}"))
-            .arg(1.0)
-            .submit_wait(WAIT)
-            .unwrap();
-    }
-    let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
-    net.await_height(height, WAIT).unwrap();
-    for node in net.nodes() {
-        let mut prev = bcrdb::chain::block::genesis_prev_hash();
-        for h in 1..=node.blockstore.height() {
-            let block = node.blockstore.get(h).unwrap();
-            block.verify(&prev, net.certs()).unwrap();
-            prev = block.hash;
+    for transport in TRANSPORTS {
+        let net = build(Flow::OrderThenExecute, transport);
+        let alice = net.client("org1", "alice").unwrap();
+        for i in 0..5 {
+            alice
+                .call("open_account")
+                .arg(i)
+                .arg(format!("a{i}"))
+                .arg(1.0)
+                .submit_wait(WAIT)
+                .unwrap();
         }
+        let height = net.nodes().iter().map(|n| n.height()).max().unwrap();
+        net.await_height(height, WAIT).unwrap();
+        for node in net.nodes() {
+            let mut prev = bcrdb::chain::block::genesis_prev_hash();
+            for h in 1..=node.blockstore.height() {
+                let block = node.blockstore.get(h).unwrap();
+                block.verify(&prev, net.certs()).unwrap();
+                prev = block.hash;
+            }
+        }
+        net.shutdown();
     }
-    net.shutdown();
 }

@@ -70,7 +70,7 @@ fn future_snapshot_height_aborts_deterministically() {
     let pending = c
         .call("bump")
         .arg(1)
-        .at_height(c.chain_height() + 50)
+        .at_height(c.chain_height().unwrap() + 50)
         .submit()
         .unwrap();
     match pending.wait(WAIT).unwrap().status {

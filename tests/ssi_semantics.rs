@@ -34,7 +34,7 @@ fn eo_stale_snapshot_read_aborts() {
         .arg(100)
         .submit_wait(WAIT)
         .unwrap();
-    let old_height = alice.chain_height();
+    let old_height = alice.chain_height().unwrap();
     // The row is updated twice by later blocks.
     alice
         .call("set_balance")
