@@ -1,0 +1,122 @@
+//! CI smoke benchmark: a quick throughput run plus a crash-and-rejoin
+//! catch-up scenario, emitting one machine-readable `BENCH_smoke.json`
+//! artifact so the perf trajectory (throughput and catch-up duration) is
+//! tracked run over run.
+//!
+//! Output path: `$BENCH_OUT` or `./BENCH_smoke.json`. Runtime target is
+//! well under a minute — this is a trend line, not a rigorous benchmark.
+
+use std::time::{Duration, Instant};
+
+use bcrdb_bench::{run_open_loop, BenchNetwork, Workload, WorkloadKind};
+use bcrdb_core::{Network, NetworkConfig};
+use bcrdb_network::NetProfile;
+use bcrdb_ordering::OrderingConfig;
+use bcrdb_txn::ssi::Flow;
+
+fn main() {
+    let throughput = throughput_phase();
+    let catch_up = catch_up_phase();
+
+    let json = format!(
+        "{{\n  \"schema\": \"bcrdb-bench-smoke-v1\",\n  \"throughput\": {throughput},\n  \
+         \"catch_up\": {catch_up}\n}}\n"
+    );
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_smoke.json".into());
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("wrote {path}:\n{json}");
+}
+
+/// Open-loop throughput of the OE flow with the simple contract on an
+/// instant network — the cheapest stable signal of protocol overhead.
+fn throughput_phase() -> String {
+    let mut cfg = NetworkConfig::quick(&["org1", "org2", "org3"], Flow::OrderThenExecute);
+    cfg.ordering = OrderingConfig::kafka(3, 64, Duration::from_millis(100));
+    cfg.executor_threads = 4;
+    let bench =
+        BenchNetwork::build(cfg, Workload::new(WorkloadKind::Simple, 0)).expect("build network");
+    let stats = run_open_loop(&bench, 400.0, Duration::from_secs(3), 1).expect("open loop");
+    bench.net.shutdown();
+    println!(
+        "throughput: {:.1} tx/s (committed {}, aborted {}, p95 {:.1} ms)",
+        stats.throughput, stats.committed, stats.aborted, stats.p95_latency_ms
+    );
+    format!(
+        "{{ \"tps\": {:.1}, \"committed\": {}, \"aborted\": {}, \"avg_latency_ms\": {:.2}, \
+         \"p95_latency_ms\": {:.2} }}",
+        stats.throughput,
+        stats.committed,
+        stats.aborted,
+        stats.avg_latency_ms,
+        stats.p95_latency_ms
+    )
+}
+
+/// Crash-and-rejoin under a WAN profile: stop one node, commit blocks
+/// without it, rejoin, and report how long peer catch-up took — the
+/// acceptance signal for the §3.6 sync subsystem.
+fn catch_up_phase() -> String {
+    let root = std::env::temp_dir().join(format!("bcrdb-bench-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("temp root");
+
+    let mut cfg = NetworkConfig::quick(&["org1", "org2", "org3"], Flow::OrderThenExecute);
+    cfg.net_profile = NetProfile::wan();
+    cfg.data_root = Some(root.clone());
+    cfg.genesis_sql = Some(
+        "CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL); \
+         CREATE FUNCTION put(k INT, v INT) AS $$ INSERT INTO kv VALUES ($1, $2) $$"
+            .into(),
+    );
+    let net = Network::build(cfg).expect("build network");
+
+    let pump = |net: &Network, start: i64, count: i64| {
+        let client = net.client("org1", "smoke").expect("client");
+        for k in start..start + count {
+            client
+                .call("put")
+                .arg(k)
+                .arg(k)
+                .submit_wait_retrying(Duration::from_secs(30))
+                .expect("commit");
+        }
+    };
+
+    pump(&net, 1, 3);
+    net.stop_node("org3").expect("stop");
+    pump(&net, 100, 10);
+
+    let t0 = Instant::now();
+    let node = net.rejoin_node("org3").expect("rejoin");
+    let rejoin_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let stats = node.last_sync_stats().expect("catch-up ran");
+    let head = net
+        .nodes()
+        .iter()
+        .map(|n| n.height())
+        .max()
+        .unwrap_or_default();
+    net.await_height(head, Duration::from_secs(30))
+        .expect("convergence");
+    net.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    println!(
+        "catch-up: {} blocks fetched ({} replayed) in {:.1} ms ({} rounds, fast-sync: {:?})",
+        stats.fetched,
+        stats.replayed,
+        stats.duration.as_secs_f64() * 1000.0,
+        stats.rounds,
+        stats.fast_sync_height
+    );
+    format!(
+        "{{ \"blocks_fetched\": {}, \"blocks_replayed\": {}, \"rounds\": {}, \
+         \"duration_ms\": {:.2}, \"rejoin_total_ms\": {:.2}, \"fast_sync\": {} }}",
+        stats.fetched,
+        stats.replayed,
+        stats.rounds,
+        stats.duration.as_secs_f64() * 1000.0,
+        rejoin_ms,
+        stats.fast_sync_height.is_some()
+    )
+}

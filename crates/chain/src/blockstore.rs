@@ -7,7 +7,7 @@
 //! private keys to forge a consistent chain).
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufReader, Read, Write};
+use std::io::{BufReader, Read, Seek, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -21,6 +21,9 @@ use crate::block::{genesis_prev_hash, Block};
 /// File-backed, append-only block store with an in-memory index.
 pub struct BlockStore {
     path: Option<PathBuf>,
+    /// Issue `sync_data` after every append so a committed block survives
+    /// power loss, not just process death (see [`BlockStore::open_with`]).
+    fsync: bool,
     inner: Mutex<Inner>,
 }
 
@@ -43,6 +46,7 @@ impl BlockStore {
     pub fn in_memory() -> BlockStore {
         BlockStore {
             path: None,
+            fsync: false,
             inner: Mutex::new(Inner {
                 blocks: Vec::new(),
                 file: None,
@@ -51,25 +55,68 @@ impl BlockStore {
     }
 
     /// Open (or create) a store at `path`, verifying the persisted chain.
+    /// Appends are flushed but not fsynced; see [`BlockStore::open_with`].
     pub fn open(path: impl AsRef<Path>) -> Result<BlockStore> {
+        Self::open_with(path, false)
+    }
+
+    /// Open (or create) a store at `path`, verifying the persisted chain.
+    ///
+    /// With `fsync`, every append issues `sync_data` before returning, so
+    /// a block acknowledged as stored survives power loss. A *torn tail*
+    /// — an incomplete final record left by a crash mid-append — is
+    /// truncated away on open (the chain simply resumes one block
+    /// earlier and recovery re-fetches it from peers); anything that
+    /// decodes fully but fails hash-chain verification is still reported
+    /// as tampering.
+    pub fn open_with(path: impl AsRef<Path>, fsync: bool) -> Result<BlockStore> {
         let path = path.as_ref().to_path_buf();
         let mut blocks = Vec::new();
         if path.exists() {
             let mut reader = BufReader::new(File::open(&path)?);
             let mut prev = genesis_prev_hash();
+            // Byte offset of the end of the last *complete* record, used
+            // to truncate a torn tail.
+            let mut good_len: u64 = 0;
+            let torn: bool;
             loop {
                 let mut len_buf = [0u8; 4];
                 match reader.read_exact(&mut len_buf) {
                     Ok(()) => {}
-                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                        // Either a clean end (zero extra bytes) or a torn
+                        // length prefix; `stream_position` distinguishes.
+                        torn = reader.stream_position()? != good_len;
+                        break;
+                    }
                     Err(e) => return Err(e.into()),
                 }
                 let len = u32::from_be_bytes(len_buf) as usize;
                 let mut buf = vec![0u8; len];
-                reader.read_exact(&mut buf).map_err(|_| {
-                    Error::TamperDetected("block store truncated mid-record".into())
-                })?;
-                let block = Block::decode_all(&buf)?;
+                if reader.read_exact(&mut buf).is_err() {
+                    // Torn payload: the record's length prefix made it to
+                    // disk but (part of) the body did not.
+                    torn = true;
+                    break;
+                }
+                let block = match Block::decode_all(&buf) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        // A record that fails to parse *and* ends the
+                        // file is a torn tail (the crash left garbage
+                        // where a record should be). The same failure
+                        // mid-file — with more data after it — cannot
+                        // come from a torn append and stays fatal, as
+                        // does any record that parses but fails hash
+                        // verification (tampering).
+                        let mut probe = [0u8; 1];
+                        if reader.read(&mut probe)? == 0 {
+                            torn = true;
+                            break;
+                        }
+                        return Err(e);
+                    }
+                };
                 block.verify_integrity()?;
                 if block.prev_hash != prev {
                     return Err(Error::TamperDetected(format!(
@@ -85,11 +132,21 @@ impl BlockStore {
                 }
                 prev = block.hash;
                 blocks.push(Arc::new(block));
+                good_len += 4 + len as u64;
+            }
+            drop(reader);
+            if torn {
+                // Drop the torn bytes so future appends extend a clean
+                // record boundary.
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(good_len)?;
+                f.sync_data()?;
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(BlockStore {
             path: Some(path),
+            fsync,
             inner: Mutex::new(Inner {
                 blocks,
                 file: Some(file),
@@ -142,6 +199,9 @@ impl BlockStore {
             file.write_all(&(bytes.len() as u32).to_be_bytes())?;
             file.write_all(&bytes)?;
             file.flush()?;
+            if self.fsync {
+                file.sync_data()?;
+            }
         }
         let arc = Arc::new(block);
         inner.blocks.push(Arc::clone(&arc));
@@ -251,18 +311,54 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_detected() {
+    fn torn_tail_is_truncated_not_fatal() {
+        // A crash mid-append leaves an incomplete final record; opening
+        // must recover to the last complete block (§3.6: the missing
+        // block is re-fetched from peers), not refuse to start.
         let dir = std::env::temp_dir().join(format!("bcrdb-bs-trunc-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("blocks.dat");
         let _ = std::fs::remove_file(&path);
+        let h1 = {
+            let store = BlockStore::open_with(&path, true).unwrap();
+            let b1 = block(1, genesis_prev_hash());
+            let h1 = b1.hash;
+            store.append(b1).unwrap();
+            store.append(block(2, h1)).unwrap();
+            h1
+        };
+        let full = std::fs::read(&path).unwrap();
+        // Tear the tail mid-way through block 2's payload.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
         {
-            let store = BlockStore::open(&path).unwrap();
-            store.append(block(1, genesis_prev_hash())).unwrap();
+            let store = BlockStore::open_with(&path, true).unwrap();
+            assert_eq!(store.height(), 1, "torn block dropped");
+            // Appends continue from a clean record boundary.
+            store.append(block(2, h1)).unwrap();
         }
-        let bytes = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
-        assert!(BlockStore::open(&path).is_err());
+        let store = BlockStore::open_with(&path, true).unwrap();
+        assert_eq!(store.height(), 2);
+
+        // A torn *length prefix* (fewer than 4 trailing bytes) recovers
+        // the same way.
+        let full = std::fs::read(&path).unwrap();
+        let mut with_partial_len = full.clone();
+        with_partial_len.extend_from_slice(&[0, 0, 1]);
+        std::fs::write(&path, &with_partial_len).unwrap();
+        let store = BlockStore::open_with(&path, true).unwrap();
+        assert_eq!(store.height(), 2);
+        drop(store);
+        assert_eq!(std::fs::read(&path).unwrap(), full, "tail bytes removed");
+
+        // A complete-looking final record whose bytes are garbage (e.g.
+        // a zero-extended page) is also a torn tail — but only at EOF.
+        let mut with_garbage_tail = full.clone();
+        with_garbage_tail.extend_from_slice(&[0, 0, 0, 2, 0xde, 0xad]);
+        std::fs::write(&path, &with_garbage_tail).unwrap();
+        let store = BlockStore::open_with(&path, true).unwrap();
+        assert_eq!(store.height(), 2);
+        drop(store);
+        assert_eq!(std::fs::read(&path).unwrap(), full, "garbage removed");
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -14,12 +14,15 @@
 //! * [`ledger`] — per-transaction ledger records (the `pgLedger` catalog
 //!   table, §4.2) used for recovery and provenance;
 //! * [`checkpoint`] — write-set hashing and cross-node checkpoint
-//!   comparison (§3.3.4, §3.5 security property 3).
+//!   comparison (§3.3.4, §3.5 security property 3);
+//! * [`sync`] — the peer catch-up request/response pair (§3.6) used by
+//!   lagging nodes to retrieve missing blocks or a fast-sync snapshot.
 
 pub mod block;
 pub mod blockstore;
 pub mod checkpoint;
 pub mod ledger;
+pub mod sync;
 pub mod tx;
 pub mod wire;
 
@@ -27,4 +30,5 @@ pub use block::{Block, CheckpointVote};
 pub use blockstore::BlockStore;
 pub use checkpoint::{CheckpointTracker, WriteSetHasher};
 pub use ledger::{LedgerRecord, TxStatus};
+pub use sync::{SyncRequest, SyncResponse};
 pub use tx::{Payload, Transaction};

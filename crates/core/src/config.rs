@@ -62,6 +62,18 @@ pub struct NetworkConfig {
     /// Per-node prepared-statement cache bound (LRU entries); see
     /// `NodeConfig::statement_cache_cap`.
     pub statement_cache_cap: usize,
+    /// `fsync` each node's block store on append (crash durability
+    /// across power loss); see `NodeConfig::fsync`.
+    pub fsync: bool,
+    /// Delivery-gap timeout before a node's block processor triggers a
+    /// peer catch-up round; see `NodeConfig::gap_timeout`.
+    pub gap_timeout: Duration,
+    /// Blocks per catch-up request; see `NodeConfig::sync_batch`.
+    pub sync_batch: u64,
+    /// Lag (in blocks) at which a sync server offers a state snapshot
+    /// instead of blocks; 0 disables fast-sync. See
+    /// `NodeConfig::snapshot_lag_threshold`.
+    pub snapshot_lag_threshold: u64,
 }
 
 impl NetworkConfig {
@@ -85,6 +97,10 @@ impl NetworkConfig {
             client_transport: TransportKind::InProcess,
             client_window: 1024,
             statement_cache_cap: 1024,
+            fsync: false,
+            gap_timeout: Duration::from_secs(1),
+            sync_batch: 64,
+            snapshot_lag_threshold: 512,
         }
     }
 

@@ -1,11 +1,18 @@
-//! Assembling a permissioned network (§3.7 "Network Bootstrapping").
+//! Assembling a permissioned network (§3.7 "Network Bootstrapping"),
+//! including the peer catch-up plumbing (§3.6): every node serves sync
+//! requests from its block store over the peer network, and a lagging
+//! node's `sync_fetch` hook round-robins those requests across its peers
+//! with failover. [`Network::stop_node`]/[`Network::rejoin_node`] model
+//! crash-restart and late join; [`Network::partition`]/[`Network::heal`]
+//! model a network partition.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bcrdb_chain::block::Block;
+use bcrdb_chain::sync::{SyncRequest, SyncResponse};
 use bcrdb_chain::tx::Transaction;
 use bcrdb_common::error::{Error, Result};
 use bcrdb_common::ids::BlockHeight;
@@ -17,8 +24,8 @@ use bcrdb_ordering::OrderingService;
 use bcrdb_sql::ast::Statement;
 use bcrdb_sql::validate::DeterminismRules;
 use bcrdb_txn::ssi::Flow;
-use crossbeam_channel::unbounded;
-use parking_lot::Mutex;
+use crossbeam_channel::{bounded, unbounded, Sender};
+use parking_lot::{Mutex, RwLock};
 
 use crate::client::Client;
 use crate::config::NetworkConfig;
@@ -32,12 +39,92 @@ pub enum PeerMsg {
     Tx(Box<Transaction>),
     /// A block from the ordering service.
     Block(Arc<Block>),
+    /// A catch-up request from a lagging peer (§3.6).
+    SyncRequest {
+        /// Correlates the response with the requester's waiting call.
+        seq: u64,
+        /// The request.
+        req: SyncRequest,
+    },
+    /// The answer to a [`PeerMsg::SyncRequest`].
+    SyncResponse {
+        /// The request's correlation number.
+        seq: u64,
+        /// The serving peer's response.
+        resp: Arc<SyncResponse>,
+    },
+}
+
+/// How long a catch-up round trip may take per peer before failing over
+/// to the next one. Bounded by profile latency plus the transfer time of
+/// one batch/snapshot, not by commit times.
+const SYNC_RPC_TIMEOUT: Duration = Duration::from_secs(15);
+
+/// The requesting side of peer catch-up: sends [`PeerMsg::SyncRequest`]s
+/// from the node's own peer-network endpoint, round-robinning across the
+/// other organizations' peers with failover on timeout or send error.
+/// The node's dispatch thread routes [`PeerMsg::SyncResponse`]s back via
+/// [`SyncClient::deliver`].
+struct SyncClient {
+    net: Arc<SimNetwork<PeerMsg>>,
+    /// Our own endpoint (requests are sent, and answered, here).
+    me: String,
+    /// The other organizations' peer endpoints.
+    peers: Vec<String>,
+    /// In-flight requests by correlation number.
+    pending: Mutex<HashMap<u64, Sender<SyncResponse>>>,
+    seq: AtomicU64,
+    next_peer: AtomicUsize,
+}
+
+impl SyncClient {
+    fn fetch(&self, req: SyncRequest) -> Result<SyncResponse> {
+        if self.peers.is_empty() {
+            return Err(Error::NotFound("no peers to sync from".into()));
+        }
+        let start = self.next_peer.fetch_add(1, Ordering::Relaxed);
+        let mut last_err = Error::Timeout("sync fetch never attempted".into());
+        for i in 0..self.peers.len() {
+            let peer = &self.peers[(start + i) % self.peers.len()];
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            let (tx, rx) = bounded(1);
+            self.pending.lock().insert(seq, tx);
+            if let Err(e) = self.net.send(
+                &self.me,
+                peer,
+                PeerMsg::SyncRequest { seq, req },
+                req.wire_size(),
+            ) {
+                self.pending.lock().remove(&seq);
+                last_err = e;
+                continue;
+            }
+            match rx.recv_timeout(SYNC_RPC_TIMEOUT) {
+                Ok(resp) => return Ok(resp),
+                Err(_) => {
+                    self.pending.lock().remove(&seq);
+                    last_err = Error::Timeout(format!(
+                        "no sync response from {peer} within {SYNC_RPC_TIMEOUT:?}"
+                    ));
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn deliver(&self, seq: u64, resp: &SyncResponse) {
+        if let Some(tx) = self.pending.lock().remove(&seq) {
+            let _ = tx.send(resp.clone());
+        }
+    }
 }
 
 pub(crate) struct NetworkInner {
     pub config: NetworkConfig,
     pub certs: Arc<CertificateRegistry>,
-    pub nodes: Vec<Arc<Node>>,
+    /// One node per organization, in `config.orgs` order. Behind a lock
+    /// because [`Network::rejoin_node`] replaces a slot in place.
+    pub nodes: RwLock<Vec<Arc<Node>>>,
     pub ordering: Arc<OrderingService>,
     pub peer_net: Arc<SimNetwork<PeerMsg>>,
     /// Client↔node RPC traffic (same profile as the peer network); every
@@ -49,7 +136,15 @@ pub(crate) struct NetworkInner {
     pub nonce: Arc<AtomicU64>,
     /// Unique suffix for client transport endpoints.
     conn_seq: AtomicU64,
+    /// Per-org kill switches for the orderer relay threads, so
+    /// [`Network::stop_node`] can retire a relay (it exits at its next
+    /// delivery without sending) and a rejoined node's fresh relay never
+    /// duplicates block traffic.
+    relay_stops: RelayStops,
 }
+
+/// See `NetworkInner::relay_stops`.
+type RelayStops = Arc<Mutex<HashMap<String, Arc<AtomicBool>>>>;
 
 /// A running permissioned network: one database node per organization, a
 /// shared ordering service, and a simulated network in between.
@@ -94,129 +189,30 @@ impl Network {
             })
             .collect();
 
+        let relay_stops: RelayStops = Arc::new(Mutex::new(HashMap::new()));
         let mut nodes = Vec::with_capacity(config.orgs.len());
         for (i, org) in config.orgs.iter().enumerate() {
-            let node_name = format!("{org}/peer");
-            // Peer identity (used to attribute checkpoint votes).
-            let peer_key = KeyPair::generate(
-                node_name.clone(),
-                format!("peer-seed-{org}").as_bytes(),
-                Scheme::Sim,
-            );
-            certs.register(Certificate {
-                name: node_name.clone(),
-                org: org.clone(),
-                role: Role::Peer,
-                public_key: peer_key.public_key(),
-            });
-
-            let mut node_cfg = NodeConfig::new(node_name.clone(), org.clone(), config.flow);
-            node_cfg.verify_signatures = config.verify_signatures;
-            node_cfg.executor_threads = config.executor_threads;
-            node_cfg.serial_execution = config.serial_execution;
-            node_cfg.snapshot_interval = config.snapshot_interval;
-            node_cfg.min_exec_micros = config.min_exec_micros;
-            node_cfg.statement_cache_cap = config.statement_cache_cap;
-            node_cfg.data_dir = config.data_root.as_ref().map(|root| root.join(org));
-            let node = Node::new(node_cfg, Arc::clone(&certs), config.orgs.clone())?;
-            system::bootstrap_node(&node)?;
-            if let Some(genesis) = &config.genesis_sql {
-                apply_bootstrap_sql(&node, genesis, config.flow)?;
-            }
-            node.recover()?;
-
-            // Inbound: peer network endpoint → dispatch to the node.
-            let net_rx = peer_net.register(node_name.clone());
-            let (block_tx, block_rx) = unbounded();
-            {
-                let node = Arc::clone(&node);
-                std::thread::Builder::new()
-                    .name(format!("{node_name}-dispatch"))
-                    .spawn(move || {
-                        for delivered in net_rx.iter() {
-                            match delivered.msg {
-                                PeerMsg::Tx(tx) => node.on_peer_tx(*tx),
-                                PeerMsg::Block(b) => {
-                                    if block_tx.send(b).is_err() {
-                                        return;
-                                    }
-                                }
-                            }
-                        }
-                    })
-                    .expect("spawn dispatch thread");
-            }
-            node.start(block_rx);
-
-            // Orderer → peer relay, modeling delivery latency/bandwidth.
-            let orderer_rx = ordering.subscribe_to(i);
-            {
-                let peer_net = Arc::clone(&peer_net);
-                let to = node_name.clone();
-                std::thread::Builder::new()
-                    .name(format!("{to}-orderer-relay"))
-                    .spawn(move || {
-                        for block in orderer_rx.iter() {
-                            let size = block.wire_size();
-                            if peer_net
-                                .send(&format!("orderer-gw-{i}"), &to, PeerMsg::Block(block), size)
-                                .is_err()
-                            {
-                                return;
-                            }
-                        }
-                    })
-                    .expect("spawn orderer relay");
-            }
-
-            // Outbound hooks.
-            let hooks = NodeHooks {
-                forward_tx: Some({
-                    let peer_net = Arc::clone(&peer_net);
-                    let from = node_name.clone();
-                    let drop_permille = config.forward_drop_permille;
-                    Arc::new(move |tx: &Transaction| {
-                        // Deterministic pseudo-random drop keyed by the tx
-                        // id: simulates lossy/malicious forwarding; the
-                        // block processor executes these as missing txs.
-                        if drop_permille > 0 {
-                            let h = u64::from_be_bytes(tx.id.0[..8].try_into().expect("8 bytes"));
-                            if h % 1000 < drop_permille {
-                                return;
-                            }
-                        }
-                        let size = tx.wire_size();
-                        let _ = peer_net.broadcast(&from, &PeerMsg::Tx(Box::new(tx.clone())), size);
-                    })
-                }),
-                submit_orderer: Some({
-                    let ordering = Arc::clone(&ordering);
-                    Arc::new(move |tx: Transaction| ordering.submit(tx))
-                }),
-                submit_checkpoint: Some({
-                    let ordering = Arc::clone(&ordering);
-                    Arc::new(move |vote| {
-                        let _ = ordering.submit_checkpoint(vote);
-                    })
-                }),
-            };
-            node.set_hooks(hooks);
-
-            // Serve the node's client-facing RPC frontend on the client
-            // network (used by `Simulated` transports).
-            transport::serve_frontend(
-                Arc::clone(&node),
-                Arc::clone(&client_net),
-                transport::frontend_endpoint(&node_name),
-            );
-            nodes.push(node);
+            // A fresh network has nothing to catch up on, and peers later
+            // in the build order are not even registered yet — so recovery
+            // here is local-only (`sync_on_recover: false`).
+            nodes.push(launch_node(
+                &config,
+                org,
+                i,
+                &certs,
+                &ordering,
+                &peer_net,
+                &client_net,
+                &relay_stops,
+                false,
+            )?);
         }
 
         Ok(Network {
             inner: Arc::new(NetworkInner {
                 config,
                 certs,
-                nodes,
+                nodes: RwLock::new(nodes),
                 ordering,
                 peer_net,
                 client_net,
@@ -224,6 +220,7 @@ impl Network {
                 clients: Mutex::new(HashMap::new()),
                 nonce: Arc::new(AtomicU64::new(1)),
                 conn_seq: AtomicU64::new(1),
+                relay_stops,
             }),
         })
     }
@@ -254,12 +251,77 @@ impl Network {
     /// The database node of `org`.
     pub fn node(&self, org: &str) -> Result<Arc<Node>> {
         let idx = self.org_index(org)?;
-        Ok(Arc::clone(&self.inner.nodes[idx]))
+        Ok(Arc::clone(&self.inner.nodes.read()[idx]))
     }
 
-    /// All nodes, in organization order.
-    pub fn nodes(&self) -> &[Arc<Node>] {
-        &self.inner.nodes
+    /// All nodes, in organization order (a snapshot: rejoined nodes
+    /// replace their slot, so re-read after [`Network::rejoin_node`]).
+    pub fn nodes(&self) -> Vec<Arc<Node>> {
+        self.inner.nodes.read().clone()
+    }
+
+    /// Stop `org`'s node, simulating a crash: the node's processing
+    /// threads wind down and its peer- and client-network endpoints
+    /// vanish (sends to them fail; the orderer relay stops). The block
+    /// store and state snapshot on disk — if the network is persistent —
+    /// are left exactly as the crash left them. Restart with
+    /// [`Network::rejoin_node`].
+    pub fn stop_node(&self, org: &str) -> Result<()> {
+        let node = self.node(org)?;
+        node.shutdown();
+        if let Some(stop) = self.inner.relay_stops.lock().get(org) {
+            stop.store(true, Ordering::Relaxed);
+        }
+        self.inner.peer_net.unregister(&node.config.name);
+        self.inner
+            .client_net
+            .unregister(&transport::frontend_endpoint(&node.config.name));
+        Ok(())
+    }
+
+    /// Restart `org`'s node after [`Network::stop_node`] (§3.6): reopen
+    /// its block store and snapshot (empty for a late joiner), replay
+    /// locally, then catch up from peers — fetching missing blocks, or a
+    /// fast-sync snapshot when far enough behind — before serving
+    /// clients. Returns the caught-up node; existing in-process client
+    /// handles keep pointing at the stopped instance, so obtain fresh
+    /// clients after a rejoin.
+    pub fn rejoin_node(&self, org: &str) -> Result<Arc<Node>> {
+        let idx = self.org_index(org)?;
+        let node = launch_node(
+            &self.inner.config,
+            org,
+            idx,
+            &self.inner.certs,
+            &self.inner.ordering,
+            &self.inner.peer_net,
+            &self.inner.client_net,
+            &self.inner.relay_stops,
+            true,
+        )?;
+        self.inner.nodes.write()[idx] = Arc::clone(&node);
+        Ok(node)
+    }
+
+    /// Cut `org`'s node off the peer network (partition): blocks,
+    /// forwarded transactions and sync traffic to or from it are dropped
+    /// silently while senders keep succeeding. The node itself keeps
+    /// running. Undo with [`Network::heal`], after which the node's
+    /// block processor detects the delivery gap and catches up from
+    /// peers.
+    pub fn partition(&self, org: &str) -> Result<()> {
+        let node = self.node(org)?;
+        self.inner.peer_net.set_partitioned(&node.config.name, true);
+        Ok(())
+    }
+
+    /// Reconnect a [`Network::partition`]ed node.
+    pub fn heal(&self, org: &str) -> Result<()> {
+        let node = self.node(org)?;
+        self.inner
+            .peer_net
+            .set_partitioned(&node.config.name, false);
+        Ok(())
     }
 
     fn org_index(&self, org: &str) -> Result<usize> {
@@ -273,13 +335,12 @@ impl Network {
 
     /// Open a transport connection to the node at `idx`.
     fn connect(&self, idx: usize, kind: TransportKind, who: &str) -> Arc<dyn NodeTransport> {
+        let node = Arc::clone(&self.inner.nodes.read()[idx]);
         match kind {
-            TransportKind::InProcess => {
-                Arc::new(InProcess::new(Arc::clone(&self.inner.nodes[idx])))
-            }
+            TransportKind::InProcess => Arc::new(InProcess::new(node)),
             TransportKind::Simulated => {
                 let seq = self.inner.conn_seq.fetch_add(1, Ordering::Relaxed);
-                let server = transport::frontend_endpoint(&self.inner.nodes[idx].config.name);
+                let server = transport::frontend_endpoint(&node.config.name);
                 Arc::new(Simulated::connect(
                     Arc::clone(&self.inner.client_net),
                     server,
@@ -377,8 +438,8 @@ impl Network {
     /// Once transactions are flowing, use the deploy system contracts
     /// instead.
     pub fn bootstrap_sql(&self, sql: &str) -> Result<()> {
-        for node in &self.inner.nodes {
-            apply_bootstrap_sql(node, sql, self.inner.config.flow)?;
+        for node in self.nodes() {
+            apply_bootstrap_sql(&node, sql, self.inner.config.flow)?;
         }
         Ok(())
     }
@@ -416,12 +477,11 @@ impl Network {
     pub fn await_height(&self, height: BlockHeight, timeout: Duration) -> Result<()> {
         let deadline = Instant::now() + timeout;
         loop {
-            if self.inner.nodes.iter().all(|n| n.height() >= height) {
+            if self.nodes().iter().all(|n| n.height() >= height) {
                 return Ok(());
             }
             if Instant::now() >= deadline {
-                let heights: Vec<BlockHeight> =
-                    self.inner.nodes.iter().map(|n| n.height()).collect();
+                let heights: Vec<BlockHeight> = self.nodes().iter().map(|n| n.height()).collect();
                 return Err(Error::internal(format!(
                     "timed out waiting for height {height}: nodes at {heights:?}"
                 )));
@@ -433,8 +493,7 @@ impl Network {
     /// Per-node full-state hashes (ledger excluded). Equal on honest nodes
     /// at equal heights.
     pub fn state_hashes(&self) -> Vec<(String, Digest)> {
-        self.inner
-            .nodes
+        self.nodes()
             .iter()
             .map(|n| (n.config.name.clone(), n.state_hash()))
             .collect()
@@ -447,13 +506,247 @@ impl Network {
 
     /// Stop every component.
     pub fn shutdown(&self) {
-        for n in &self.inner.nodes {
+        for n in self.nodes() {
             n.shutdown();
         }
         self.inner.ordering.shutdown();
         self.inner.peer_net.shutdown();
         self.inner.client_net.shutdown();
     }
+}
+
+/// The peer-network endpoint name of `org`'s database node.
+fn peer_endpoint(org: &str) -> String {
+    format!("{org}/peer")
+}
+
+/// Construct, wire up and start one organization's node: certificates,
+/// bootstrap, peer-network dispatch (transactions, blocks, sync
+/// requests/responses), the orderer relay, outbound hooks (including
+/// `sync_fetch`), recovery, the block processor and the client-facing
+/// RPC frontend.
+///
+/// With `sync_on_recover`, the `sync_fetch` hook is installed *before*
+/// [`Node::recover`], so recovery replays the local store and then
+/// catches up from peers to the network head — the crash-restart /
+/// late-join path. Without it (fresh network build, where peers may not
+/// exist yet), recovery is local-only and the hook is installed after.
+#[allow(clippy::too_many_arguments)]
+fn launch_node(
+    config: &NetworkConfig,
+    org: &str,
+    idx: usize,
+    certs: &Arc<CertificateRegistry>,
+    ordering: &Arc<OrderingService>,
+    peer_net: &Arc<SimNetwork<PeerMsg>>,
+    client_net: &Arc<SimNetwork<ClientWire>>,
+    relay_stops: &RelayStops,
+    sync_on_recover: bool,
+) -> Result<Arc<Node>> {
+    let node_name = peer_endpoint(org);
+    // Peer identity (used to attribute checkpoint votes). Deterministic
+    // from the org seed, so a rejoining node keeps its identity.
+    let peer_key = KeyPair::generate(
+        node_name.clone(),
+        format!("peer-seed-{org}").as_bytes(),
+        Scheme::Sim,
+    );
+    certs.register(Certificate {
+        name: node_name.clone(),
+        org: org.to_string(),
+        role: Role::Peer,
+        public_key: peer_key.public_key(),
+    });
+
+    let mut node_cfg = NodeConfig::new(node_name.clone(), org.to_string(), config.flow);
+    node_cfg.verify_signatures = config.verify_signatures;
+    node_cfg.executor_threads = config.executor_threads;
+    node_cfg.serial_execution = config.serial_execution;
+    node_cfg.snapshot_interval = config.snapshot_interval;
+    node_cfg.min_exec_micros = config.min_exec_micros;
+    node_cfg.statement_cache_cap = config.statement_cache_cap;
+    node_cfg.fsync = config.fsync;
+    node_cfg.gap_timeout = config.gap_timeout;
+    node_cfg.sync_batch = config.sync_batch;
+    node_cfg.snapshot_lag_threshold = config.snapshot_lag_threshold;
+    node_cfg.data_dir = config.data_root.as_ref().map(|root| root.join(org));
+    let node = Node::new(node_cfg, Arc::clone(certs), config.orgs.clone())?;
+    system::bootstrap_node(&node)?;
+    if let Some(genesis) = &config.genesis_sql {
+        apply_bootstrap_sql(&node, genesis, config.flow)?;
+    }
+
+    let sync_client = Arc::new(SyncClient {
+        net: Arc::clone(peer_net),
+        me: node_name.clone(),
+        peers: config
+            .orgs
+            .iter()
+            .filter(|o| o.as_str() != org)
+            .map(|o| peer_endpoint(o))
+            .collect(),
+        pending: Mutex::new(HashMap::new()),
+        seq: AtomicU64::new(1),
+        next_peer: AtomicUsize::new(idx), // spread first requests around
+    });
+
+    // Inbound: peer network endpoint → dispatch to the node. Registered
+    // before recovery so blocks delivered while we catch up queue on the
+    // block channel instead of being lost.
+    let net_rx = peer_net.register(node_name.clone());
+    let (block_tx, block_rx) = unbounded();
+    {
+        let node = Arc::clone(&node);
+        let peer_net = Arc::clone(peer_net);
+        let sync_client = Arc::clone(&sync_client);
+        let me = node_name.clone();
+        std::thread::Builder::new()
+            .name(format!("{node_name}-dispatch"))
+            .spawn(move || {
+                for delivered in net_rx.iter() {
+                    match delivered.msg {
+                        PeerMsg::Tx(tx) => node.on_peer_tx(*tx),
+                        PeerMsg::Block(b) => {
+                            if block_tx.send(b).is_err() {
+                                return;
+                            }
+                        }
+                        PeerMsg::SyncRequest { seq, req } => {
+                            // Serve off-thread: a large batch or snapshot
+                            // must not stall transaction/block dispatch.
+                            let node = Arc::clone(&node);
+                            let peer_net = Arc::clone(&peer_net);
+                            let me = me.clone();
+                            let to = delivered.from.clone();
+                            std::thread::Builder::new()
+                                .name(format!("{me}-sync-serve"))
+                                .spawn(move || {
+                                    let resp = Arc::new(node.serve_sync(&req));
+                                    let size = resp.wire_size();
+                                    let _ = peer_net.send(
+                                        &me,
+                                        &to,
+                                        PeerMsg::SyncResponse { seq, resp },
+                                        size,
+                                    );
+                                })
+                                .expect("spawn sync server thread");
+                        }
+                        PeerMsg::SyncResponse { seq, resp } => {
+                            sync_client.deliver(seq, &resp);
+                        }
+                    }
+                }
+            })
+            .expect("spawn dispatch thread");
+    }
+
+    // Orderer → peer relay, modeling delivery latency/bandwidth. The
+    // stop flag retires a stopped node's relay at its next delivery
+    // (without sending), so a rejoined node's fresh relay never
+    // duplicates block traffic; the retired relay's dropped receiver is
+    // then pruned from the ordering service's subscriber list.
+    let relay_stop = Arc::new(AtomicBool::new(false));
+    relay_stops
+        .lock()
+        .insert(org.to_string(), Arc::clone(&relay_stop));
+    let orderer_rx = ordering.subscribe_to(idx);
+    {
+        let peer_net = Arc::clone(peer_net);
+        let to = node_name.clone();
+        let stop = Arc::clone(&relay_stop);
+        std::thread::Builder::new()
+            .name(format!("{to}-orderer-relay"))
+            .spawn(move || {
+                for block in orderer_rx.iter() {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let size = block.wire_size();
+                    if peer_net
+                        .send(
+                            &format!("orderer-gw-{idx}"),
+                            &to,
+                            PeerMsg::Block(block),
+                            size,
+                        )
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn orderer relay");
+    }
+
+    // Outbound hooks.
+    let hooks = NodeHooks {
+        forward_tx: Some({
+            let peer_net = Arc::clone(peer_net);
+            let from = node_name.clone();
+            let drop_permille = config.forward_drop_permille;
+            Arc::new(move |tx: &Transaction| {
+                // Deterministic pseudo-random drop keyed by the tx
+                // id: simulates lossy/malicious forwarding; the
+                // block processor executes these as missing txs.
+                if drop_permille > 0 {
+                    let h = u64::from_be_bytes(tx.id.0[..8].try_into().expect("8 bytes"));
+                    if h % 1000 < drop_permille {
+                        return;
+                    }
+                }
+                let size = tx.wire_size();
+                let _ = peer_net.broadcast(&from, &PeerMsg::Tx(Box::new(tx.clone())), size);
+            })
+        }),
+        submit_orderer: Some({
+            let ordering = Arc::clone(ordering);
+            Arc::new(move |tx: Transaction| ordering.submit(tx))
+        }),
+        submit_checkpoint: Some({
+            let ordering = Arc::clone(ordering);
+            Arc::new(move |vote| {
+                let _ = ordering.submit_checkpoint(vote);
+            })
+        }),
+        // A single-organization network has nobody to sync from.
+        sync_fetch: (!sync_client.peers.is_empty()).then(|| {
+            let sync_client = Arc::clone(&sync_client);
+            Arc::new(move |req: SyncRequest| sync_client.fetch(req)) as _
+        }),
+    };
+    let recovered = if sync_on_recover {
+        node.set_hooks(hooks);
+        node.recover()
+    } else {
+        node.set_hooks(NodeHooks {
+            sync_fetch: None,
+            ..hooks.clone()
+        });
+        let r = node.recover();
+        node.set_hooks(hooks);
+        r
+    };
+    if let Err(e) = recovered {
+        // Unwind the partial launch: without this, the registered peer
+        // endpoint would keep absorbing blocks into a processor channel
+        // that never starts.
+        node.shutdown();
+        relay_stop.store(true, Ordering::Relaxed);
+        peer_net.unregister(&node_name);
+        return Err(e);
+    }
+    node.start(block_rx);
+
+    // Serve the node's client-facing RPC frontend on the client
+    // network (used by `Simulated` transports) — only now, after the
+    // node caught up, so clients never reach a stale replica.
+    transport::serve_frontend(
+        Arc::clone(&node),
+        Arc::clone(client_net),
+        transport::frontend_endpoint(&node_name),
+    );
+    Ok(node)
 }
 
 /// Apply bootstrap DDL (tables, indexes, contracts) on one node.

@@ -1,7 +1,7 @@
 //! The simulated network: registered endpoints, a delivery scheduler
 //! thread, per-link bandwidth serialization.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -50,6 +50,11 @@ impl<M> Ord for Scheduled<M> {
 
 struct State<M> {
     endpoints: HashMap<String, Sender<Delivered<M>>>,
+    /// Endpoints currently cut off: messages from *or* to them are
+    /// silently dropped at delivery time, while sends still succeed —
+    /// exactly how a network partition looks to the sender (no error,
+    /// just silence). Heal with [`SimNetwork::set_partitioned`].
+    partitioned: HashSet<String>,
     queue: BinaryHeap<Scheduled<M>>,
     /// Next instant each directed link is free (bandwidth serialization).
     link_free: HashMap<(String, String), Instant>,
@@ -78,6 +83,7 @@ impl<M: Send + Clone + 'static> SimNetwork<M> {
         let net = Arc::new(SimNetwork {
             state: Mutex::new(State {
                 endpoints: HashMap::new(),
+                partitioned: HashSet::new(),
                 queue: BinaryHeap::new(),
                 link_free: HashMap::new(),
                 link_last_delivery: HashMap::new(),
@@ -117,6 +123,33 @@ impl<M: Send + Clone + 'static> SimNetwork<M> {
     /// are dropped at delivery time.
     pub fn unregister(&self, name: &str) {
         self.state.lock().endpoints.remove(name);
+    }
+
+    /// Cut an endpoint off (network partition) or heal it. While
+    /// partitioned, messages from or to the endpoint are dropped at
+    /// delivery time but sends still *succeed* — senders see silence,
+    /// not errors, matching a real partition. In-flight messages
+    /// scheduled before the heal are dropped too.
+    pub fn set_partitioned(&self, name: &str, partitioned: bool) {
+        let mut st = self.state.lock();
+        if partitioned {
+            st.partitioned.insert(name.to_string());
+        } else {
+            st.partitioned.remove(name);
+            // Messages addressed to or from the endpoint while it was cut
+            // off are gone for good — drop them now so the heal does not
+            // retroactively deliver them.
+            let drained: Vec<Scheduled<M>> = std::mem::take(&mut st.queue)
+                .into_iter()
+                .filter(|s| s.to != name && s.delivered.from != name)
+                .collect();
+            st.queue = drained.into();
+        }
+    }
+
+    /// Is the endpoint currently partitioned away?
+    pub fn is_partitioned(&self, name: &str) -> bool {
+        self.state.lock().partitioned.contains(name)
     }
 
     /// Registered endpoint names (sorted).
@@ -218,6 +251,11 @@ impl<M: Send + Clone + 'static> SimNetwork<M> {
                     break;
                 }
                 let item = st.queue.pop().expect("peeked");
+                if st.partitioned.contains(&item.to)
+                    || st.partitioned.contains(&item.delivered.from)
+                {
+                    continue; // dropped by the partition
+                }
                 if let Some(tx) = st.endpoints.get(&item.to) {
                     // Receiver may be gone (dropped receiver): ignore.
                     let _ = tx.send(item.delivered);
@@ -327,6 +365,25 @@ mod tests {
         assert_eq!(rx_b.recv_timeout(Duration::from_secs(1)).unwrap().msg, 9);
         assert_eq!(rx_c.recv_timeout(Duration::from_secs(1)).unwrap().msg, 9);
         assert!(rx_a.recv_timeout(Duration::from_millis(50)).is_err());
+        net.shutdown();
+    }
+
+    #[test]
+    fn partition_drops_silently_and_heals() {
+        let net: Arc<SimNetwork<u32>> = SimNetwork::new(NetProfile::instant());
+        let rx_b = net.register("b");
+        net.register("a");
+        net.set_partitioned("b", true);
+        assert!(net.is_partitioned("b"));
+        // Sends into the partition succeed (the sender sees silence, not
+        // an error) but never deliver — even after the heal.
+        net.send("a", "b", 1, 4).unwrap();
+        assert!(rx_b.recv_timeout(Duration::from_millis(50)).is_err());
+        net.set_partitioned("b", false);
+        assert!(rx_b.recv_timeout(Duration::from_millis(50)).is_err());
+        // Post-heal traffic flows again.
+        net.send("a", "b", 2, 4).unwrap();
+        assert_eq!(rx_b.recv_timeout(Duration::from_secs(1)).unwrap().msg, 2);
         net.shutdown();
     }
 

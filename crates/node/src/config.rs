@@ -2,8 +2,10 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use bcrdb_chain::block::CheckpointVote;
+use bcrdb_chain::sync::{SyncRequest, SyncResponse};
 use bcrdb_chain::tx::Transaction;
 use bcrdb_common::error::Result;
 use bcrdb_txn::ssi::Flow;
@@ -44,6 +46,31 @@ pub struct NodeConfig {
     /// client preparing unbounded distinct SQL text evicts old entries
     /// instead of growing node memory without limit.
     pub statement_cache_cap: usize,
+    /// `fsync` the block store after every append, making stored blocks
+    /// durable across power loss (not just process death). Off by
+    /// default: tests and benchmarks measure the protocol, not the disk.
+    pub fsync: bool,
+    /// How long the block processor waits for a block's transaction
+    /// executions before declaring the node stuck (defensive; never hit
+    /// in a healthy system).
+    pub exec_wait_timeout: Duration,
+    /// Bound on the out-of-order `pending` block buffer in the block
+    /// processor. When full, the *highest*-numbered buffered block is
+    /// evicted (it is the cheapest to re-fetch once the gap closes) and
+    /// counted in `NodeMetrics`. Minimum 1.
+    pub pending_cap: usize,
+    /// How long a delivery gap (a buffered future block that cannot be
+    /// processed) may persist before the processor triggers a peer
+    /// catch-up round through the `sync_fetch` hook (§3.6).
+    pub gap_timeout: Duration,
+    /// Maximum blocks requested per sync round ([`SyncRequest`]'s
+    /// `max_blocks`).
+    pub sync_batch: u64,
+    /// Serve a state snapshot instead of blocks when a sync requester
+    /// lags this many blocks or more behind our tip (and it signalled
+    /// `allow_snapshot`). 0 disables snapshot fast-sync on the serving
+    /// side.
+    pub snapshot_lag_threshold: u64,
 }
 
 impl NodeConfig {
@@ -61,12 +88,24 @@ impl NodeConfig {
             gc_interval: 16,
             min_exec_micros: 0,
             statement_cache_cap: 1024,
+            fsync: false,
+            exec_wait_timeout: Duration::from_secs(120),
+            pending_cap: 1024,
+            gap_timeout: Duration::from_secs(1),
+            sync_batch: 64,
+            snapshot_lag_threshold: 512,
         }
     }
 }
 
 /// Callback forwarding a transaction reference to the peer network.
 pub type ForwardTxHook = Arc<dyn Fn(&Transaction) + Send + Sync>;
+
+/// Callback performing one synchronous catch-up round trip against some
+/// peer: send the request, return that peer's response. The network layer
+/// owns peer selection, retries and failover; an `Err` means no peer
+/// could serve the request.
+pub type SyncFetchHook = Arc<dyn Fn(SyncRequest) -> Result<SyncResponse> + Send + Sync>;
 
 /// Outbound callbacks wiring the node into the network: forwarding
 /// transactions to other peers (EO flow), submitting to the ordering
@@ -82,6 +121,10 @@ pub struct NodeHooks {
     pub submit_orderer: Option<Arc<dyn Fn(Transaction) -> Result<()> + Send + Sync>>,
     /// Submit a checkpoint vote after committing a block (§3.3.4).
     pub submit_checkpoint: Option<Arc<dyn Fn(CheckpointVote) + Send + Sync>>,
+    /// Fetch missing blocks (or a fast-sync snapshot) from a peer
+    /// (§3.6). Consulted by `Node::recover` after local replay and by
+    /// the block processor when a delivery gap outlives `gap_timeout`.
+    pub sync_fetch: Option<SyncFetchHook>,
 }
 
 #[cfg(test)]

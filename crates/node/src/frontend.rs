@@ -280,8 +280,8 @@ pub fn response_wire_size(resp: &Result<ClientResponse>) -> usize {
         }
         Ok(ClientResponse::Statement { .. }) => enc.put_u64(0),
         Ok(ClientResponse::Height(h)) => enc.put_u64(*h),
-        // 11 f64/u64 fields.
-        Ok(ClientResponse::Metrics(_)) => return 1 + 11 * 8,
+        // 17 f64/u64 fields.
+        Ok(ClientResponse::Metrics(_)) => return 1 + 17 * 8,
         Err(e) => enc.put_str(&e.to_string()),
     }
     1 + enc.len()

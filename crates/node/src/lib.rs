@@ -21,8 +21,10 @@
 //! The node also implements the checkpointing phase (write-set hashes
 //! compared across nodes, §3.3.4), the ledger table (`pgLedger`, §4.2),
 //! client notifications (§2(7)), crash recovery from the block store plus
-//! periodic state snapshots (§3.6), and the serial-execution mode used for
-//! the paper's Ethereum-style comparison (§5.1).
+//! periodic state snapshots (§3.6), peer catch-up — block sync and
+//! snapshot fast-sync for crashed, partitioned and late-joining nodes
+//! ([`sync`], §3.6) — and the serial-execution mode used for the paper's
+//! Ethereum-style comparison (§5.1).
 //!
 //! Clients never touch a node directly: the [`frontend`] module defines
 //! the typed [`ClientRequest`]/[`ClientResponse`] RPC surface — our
@@ -40,11 +42,13 @@ pub mod notify;
 pub mod processor;
 pub mod slots;
 pub mod statements;
+pub mod sync;
 
-pub use config::{NodeConfig, NodeHooks};
+pub use config::{NodeConfig, NodeHooks, SyncFetchHook};
 pub use exec_pool::{NativeContract, NativeCtx};
 pub use frontend::{ClientRequest, ClientResponse, Frontend};
 pub use metrics::{MetricsSnapshot, NodeMetrics};
 pub use node::Node;
 pub use notify::TxNotification;
 pub use statements::StatementHandle;
+pub use sync::SyncStats;

@@ -28,6 +28,15 @@ pub struct NodeMetrics {
     txs_committed: AtomicU64,
     txs_aborted: AtomicU64,
     missing_txs: AtomicU64,
+    // Catch-up / gap bookkeeping (§3.6). Cumulative since node start —
+    // these describe rare recovery events, not windowed rates, so
+    // [`NodeMetrics::take`] reports them without resetting.
+    held_back: AtomicU64,
+    gap_events: AtomicU64,
+    pending_evicted: AtomicU64,
+    sync_fetched: AtomicU64,
+    sync_replayed: AtomicU64,
+    sync_fast_syncs: AtomicU64,
 }
 
 impl Default for NodeMetrics {
@@ -61,6 +70,20 @@ pub struct MetricsSnapshot {
     pub committed: u64,
     /// Aborted transactions in the window.
     pub aborted: u64,
+    /// Out-of-order blocks currently held back by the block processor
+    /// (gauge at snapshot time).
+    pub held_back: u64,
+    /// Delivery gaps detected by the block processor (cumulative).
+    pub gap_events: u64,
+    /// Held-back blocks evicted because the pending buffer was full
+    /// (cumulative).
+    pub pending_evicted: u64,
+    /// Blocks fetched from peers by catch-up (cumulative).
+    pub sync_fetched: u64,
+    /// Fetched blocks replayed through normal processing (cumulative).
+    pub sync_replayed: u64,
+    /// Snapshot fast-syncs installed (cumulative).
+    pub sync_fast_syncs: u64,
 }
 
 impl NodeMetrics {
@@ -77,6 +100,12 @@ impl NodeMetrics {
             txs_committed: AtomicU64::new(0),
             txs_aborted: AtomicU64::new(0),
             missing_txs: AtomicU64::new(0),
+            held_back: AtomicU64::new(0),
+            gap_events: AtomicU64::new(0),
+            pending_evicted: AtomicU64::new(0),
+            sync_fetched: AtomicU64::new(0),
+            sync_replayed: AtomicU64::new(0),
+            sync_fast_syncs: AtomicU64::new(0),
         }
     }
 
@@ -117,6 +146,63 @@ impl NodeMetrics {
     /// Committed count so far in this window.
     pub fn committed(&self) -> u64 {
         self.txs_committed.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------- catch-up / gap counters
+
+    /// Update the held-back gauge: out-of-order blocks currently
+    /// buffered by the block processor.
+    pub fn set_held_back(&self, n: u64) {
+        self.held_back.store(n, Ordering::Relaxed);
+    }
+
+    /// A delivery gap was detected (a future block arrived while earlier
+    /// blocks are still missing).
+    pub fn on_gap_detected(&self) {
+        self.gap_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A held-back block was evicted because the pending buffer is full.
+    pub fn on_pending_evicted(&self) {
+        self.pending_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` blocks were fetched from peers, of which `replayed` went
+    /// through normal block processing (the rest were append-only under
+    /// a fast-sync snapshot).
+    pub fn on_sync_blocks(&self, n: u64, replayed: u64) {
+        self.sync_fetched.fetch_add(n, Ordering::Relaxed);
+        self.sync_replayed.fetch_add(replayed, Ordering::Relaxed);
+    }
+
+    /// A snapshot fast-sync was installed.
+    pub fn on_fast_sync(&self) {
+        self.sync_fast_syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Out-of-order blocks currently held back (gauge).
+    pub fn held_back(&self) -> u64 {
+        self.held_back.load(Ordering::Relaxed)
+    }
+
+    /// Delivery gaps detected since node start.
+    pub fn gap_events(&self) -> u64 {
+        self.gap_events.load(Ordering::Relaxed)
+    }
+
+    /// Held-back blocks evicted since node start.
+    pub fn pending_evicted(&self) -> u64 {
+        self.pending_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Blocks fetched from peers since node start.
+    pub fn sync_fetched(&self) -> u64 {
+        self.sync_fetched.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot fast-syncs installed since node start.
+    pub fn sync_fast_syncs(&self) -> u64 {
+        self.sync_fast_syncs.load(Ordering::Relaxed)
     }
 
     /// Snapshot the window and reset all counters.
@@ -164,6 +250,12 @@ impl NodeMetrics {
             su: (bpr * bpt_ms / 1000.0).min(1.0),
             committed,
             aborted,
+            held_back: self.held_back.load(Ordering::Relaxed),
+            gap_events: self.gap_events.load(Ordering::Relaxed),
+            pending_evicted: self.pending_evicted.load(Ordering::Relaxed),
+            sync_fetched: self.sync_fetched.load(Ordering::Relaxed),
+            sync_replayed: self.sync_replayed.load(Ordering::Relaxed),
+            sync_fast_syncs: self.sync_fast_syncs.load(Ordering::Relaxed),
         }
     }
 }

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use bcrdb_chain::blockstore::BlockStore;
 use bcrdb_chain::checkpoint::{CheckpointTracker, Divergence};
 use bcrdb_chain::ledger::{ledger_schema, LedgerRecord, LEDGER_TABLE_NAME};
+use bcrdb_chain::sync::{SyncRequest, SyncResponse};
 use bcrdb_chain::tx::Transaction;
 use bcrdb_common::codec::{Decoder, Encoder};
 use bcrdb_common::error::{AbortReason, Error, Result};
@@ -39,6 +40,7 @@ use crate::notify::{NotificationHub, TxNotification};
 use crate::processor;
 use crate::slots::SlotTable;
 use crate::statements::{StatementCache, StatementHandle};
+use crate::sync::{self, SyncStats};
 
 const SNAPSHOT_MAGIC: &[u8; 8] = b"BCRDBNS1";
 
@@ -54,9 +56,17 @@ pub struct Node {
     pub checkpoints: Arc<CheckpointTracker>,
     pub(crate) notifications: Arc<NotificationHub>,
     pub(crate) hooks: RwLock<NodeHooks>,
-    pub(crate) ledger: Arc<Table>,
+    /// The ledger table. Behind a lock because a snapshot fast-sync
+    /// replaces the whole catalog (and with it this table object).
+    pub(crate) ledger: RwLock<Arc<Table>>,
     pub(crate) divergences: Mutex<Vec<Divergence>>,
     pub(crate) shutting_down: AtomicBool,
+    /// Latest encoded state snapshot `(height, bytes)`, kept in memory so
+    /// the sync server can offer fast-sync to badly lagging peers even
+    /// on diskless nodes. Refreshed by [`Node::write_snapshot`].
+    latest_snapshot: Mutex<Option<(BlockHeight, Arc<Vec<u8>>)>>,
+    /// Statistics of the most recent peer catch-up run (observability).
+    last_sync: Mutex<Option<SyncStats>>,
     /// Prepared-statement cache keyed by SQL text and addressed by
     /// server-side handles (§4.3: the client interface is libpq-style;
     /// statement reuse amortizes parsing). Bounded LRU, cap from
@@ -77,7 +87,7 @@ impl Node {
         let (blockstore, snapshot) = match &config.data_dir {
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
-                let store = BlockStore::open(dir.join("blocks.dat"))?;
+                let store = BlockStore::open_with(dir.join("blocks.dat"), config.fsync)?;
                 let snap_path = dir.join("state.snapshot");
                 let snapshot = if snap_path.exists() {
                     Some(load_snapshot(&snap_path)?)
@@ -88,10 +98,16 @@ impl Node {
             }
             None => (Arc::new(BlockStore::in_memory()), None),
         };
+        // Seed the sync server's snapshot cache from disk, so a restarted
+        // node can offer fast-sync immediately instead of only after the
+        // next snapshot interval.
+        let cached_snapshot = snapshot
+            .as_ref()
+            .map(|(snap, bytes)| (snap.height, Arc::clone(bytes)));
 
         let contracts = Arc::new(ContractRegistry::new());
         let processed: Arc<Mutex<HashSet<GlobalTxId>>> = Arc::new(Mutex::new(HashSet::new()));
-        let (catalog, restored_height) = match snapshot {
+        let (catalog, restored_height) = match snapshot.map(|(snap, _)| snap) {
             Some(snap) => {
                 for (_, source) in &snap.contracts {
                     if let Statement::CreateFunction(def) = bcrdb_sql::parse_statement(source)? {
@@ -135,9 +151,11 @@ impl Node {
             checkpoints: Arc::new(CheckpointTracker::new()),
             notifications: Arc::new(NotificationHub::new()),
             hooks: RwLock::new(NodeHooks::default()),
-            ledger,
+            ledger: RwLock::new(ledger),
             divergences: Mutex::new(Vec::new()),
             shutting_down: AtomicBool::new(false),
+            latest_snapshot: Mutex::new(cached_snapshot),
+            last_sync: Mutex::new(None),
             statements,
         });
 
@@ -145,16 +163,114 @@ impl Node {
     }
 
     /// Recovery (§3.6): replay all stored blocks beyond the current
-    /// committed height (the snapshot height, or 0 on a fresh store).
-    /// Callers must install bootstrap schema/contracts *before* recovering,
-    /// exactly as they did on the original run — on-chain deployments are
-    /// replayed automatically. Returns the recovered height.
+    /// committed height (the snapshot height, or 0 on a fresh store),
+    /// then — when a `sync_fetch` hook is installed — catch up from
+    /// peers to the network head before the node starts accepting
+    /// traffic ("the node then retrieves any missing blocks, processes
+    /// and commits them one by one"). Callers must install bootstrap
+    /// schema/contracts *before* recovering, exactly as they did on the
+    /// original run — on-chain deployments are replayed automatically.
+    /// Returns the recovered height.
     pub fn recover(self: &Arc<Self>) -> Result<BlockHeight> {
         let replay = self.blockstore.blocks_after(self.height());
         for block in replay {
             processor::process_block(self, &block)?;
         }
+        if self.hooks.read().sync_fetch.is_some() {
+            // Quiescent (not yet serving traffic): snapshot fast-sync is
+            // allowed if we lag far enough behind.
+            self.catch_up(true)?;
+        }
         Ok(self.height())
+    }
+
+    /// Run one peer catch-up to the network head (§3.6). No-op without a
+    /// `sync_fetch` hook. `allow_snapshot` permits installing a state
+    /// snapshot in place of replay and must only be true while the node
+    /// is quiescent (recovery/rejoin, before accepting client traffic).
+    pub fn catch_up(self: &Arc<Self>, allow_snapshot: bool) -> Result<SyncStats> {
+        let stats = sync::catch_up(self, allow_snapshot)?;
+        *self.last_sync.lock() = Some(stats.clone());
+        Ok(stats)
+    }
+
+    /// Statistics of the most recent peer catch-up run, if any.
+    pub fn last_sync_stats(&self) -> Option<SyncStats> {
+        self.last_sync.lock().clone()
+    }
+
+    /// Serve one peer catch-up request from the local block store
+    /// (§3.6). Blocks come back verified-by-construction (they extend
+    /// our own chain); requesters re-verify against their tip and the
+    /// orderer certificates. Above `snapshot_lag_threshold`, a cached
+    /// state snapshot is offered instead so the requester can skip
+    /// re-executing the bulk of the chain.
+    pub fn serve_sync(&self, req: &SyncRequest) -> SyncResponse {
+        let tip = self.blockstore.height();
+        if req.allow_snapshot && self.config.snapshot_lag_threshold > 0 {
+            let lag = tip.saturating_sub(req.from_height);
+            if lag >= self.config.snapshot_lag_threshold {
+                if let Some((height, bytes)) = self.latest_snapshot.lock().clone() {
+                    if height > req.from_height {
+                        return SyncResponse::Snapshot {
+                            height,
+                            state: (*bytes).clone(),
+                            tip,
+                        };
+                    }
+                }
+            }
+        }
+        let max = req.max_blocks.max(1);
+        let mut blocks = Vec::new();
+        let mut n = req.from_height + 1;
+        while n <= tip && (blocks.len() as u64) < max {
+            let Some(b) = self.blockstore.get(n) else {
+                break;
+            };
+            blocks.push((*b).clone());
+            n += 1;
+        }
+        SyncResponse::Blocks { blocks, tip }
+    }
+
+    /// Install a fast-sync state snapshot received from a peer,
+    /// replacing the whole committed state. Only call while quiescent
+    /// (no in-flight transactions, not serving clients): the catalog,
+    /// contract registry, processed-id set and committed height are all
+    /// swapped. The block store is *not* touched — the catch-up driver
+    /// still fetches the skipped blocks so the local chain stays
+    /// complete and auditable.
+    pub(crate) fn install_fast_sync(&self, state: &[u8]) -> Result<()> {
+        let snap = decode_node_snapshot(state)?;
+        if snap.height <= self.height() {
+            return Err(Error::internal(format!(
+                "fast-sync snapshot at height {} is not ahead of ours ({})",
+                snap.height,
+                self.height()
+            )));
+        }
+        let contracts: Vec<_> = snap
+            .contracts
+            .iter()
+            .map(|(_, source)| bcrdb_sql::parse_statement(source))
+            .collect::<Result<_>>()?;
+        self.env.catalog.replace_with(snap.catalog);
+        for name in self.env.contracts.names() {
+            let _ = self.env.contracts.remove(&name);
+        }
+        for stmt in contracts {
+            if let Statement::CreateFunction(def) = stmt {
+                self.env.contracts.install(def)?;
+            }
+        }
+        *self.env.processed.lock() = snap.processed;
+        *self.ledger.write() = self.env.catalog.get(LEDGER_TABLE_NAME)?;
+        self.env
+            .committed_height
+            .store(snap.height, Ordering::Relaxed);
+        self.env.metrics.on_fast_sync();
+        Ok(())
     }
 
     /// Install outbound hooks (forwarding, ordering, checkpoints).
@@ -480,9 +596,10 @@ impl Node {
     }
 
     pub(crate) fn append_ledger(&self, records: &[LedgerRecord], block: BlockHeight) {
+        let ledger = self.ledger.read();
         for r in records {
-            let rid = self.ledger.alloc_row_id();
-            self.ledger.append_restored(Version::restored(
+            let rid = ledger.alloc_row_id();
+            ledger.append_restored(Version::restored(
                 TxId::INVALID,
                 r.to_row(),
                 rid,
@@ -496,7 +613,8 @@ impl Node {
     /// Read back ledger records for a block (recovery checks, tests).
     pub fn ledger_records(&self, block: BlockHeight) -> Vec<LedgerRecord> {
         let mut out = Vec::new();
-        for v in self.ledger.all_versions() {
+        let ledger = self.ledger.read();
+        for v in ledger.all_versions() {
             if v.state().creator_block == Some(block) {
                 if let Ok(r) = LedgerRecord::from_row(&v.data) {
                     out.push(r);
@@ -507,12 +625,25 @@ impl Node {
         out
     }
 
-    /// Write a state snapshot (atomic: tmp + rename). No transactions may
-    /// be committing concurrently — called from the block processor only.
+    /// Take a state snapshot: encode, cache in memory for the sync
+    /// server, and (when file-backed) persist atomically via tmp +
+    /// rename. No transactions may be committing concurrently — called
+    /// from the block processor only.
     pub(crate) fn write_snapshot(&self) -> Result<()> {
-        let Some(dir) = &self.config.data_dir else {
-            return Ok(());
-        };
+        let bytes = Arc::new(self.encode_node_snapshot());
+        *self.latest_snapshot.lock() = Some((self.height(), Arc::clone(&bytes)));
+        if let Some(dir) = &self.config.data_dir {
+            let tmp = dir.join("state.snapshot.tmp");
+            std::fs::write(&tmp, bytes.as_slice())?;
+            std::fs::rename(&tmp, dir.join("state.snapshot"))?;
+        }
+        Ok(())
+    }
+
+    /// Encode the node's committed state (catalog, contract sources,
+    /// processed-id set) in the snapshot format shared by disk snapshots
+    /// and snapshot fast-sync.
+    fn encode_node_snapshot(&self) -> Vec<u8> {
         let mut enc = Encoder::with_capacity(256 * 1024);
         enc.put_bytes(SNAPSHOT_MAGIC);
         enc.put_bytes(&persist::encode_catalog(&self.env.catalog, self.height()));
@@ -525,19 +656,14 @@ impl Node {
         }
         let processed = self.env.processed.lock();
         enc.put_u32(processed.len() as u32);
-        // Deterministic file contents (not strictly required, but keeps
-        // snapshot bytes reproducible for testing).
+        // Deterministic bytes (not strictly required, but keeps snapshots
+        // reproducible for testing and comparable across replicas).
         let mut ids: Vec<&GlobalTxId> = processed.iter().collect();
         ids.sort();
         for id in ids {
             enc.put_digest(&id.0);
         }
-        drop(processed);
-
-        let tmp = dir.join("state.snapshot.tmp");
-        std::fs::write(&tmp, enc.finish())?;
-        std::fs::rename(&tmp, dir.join("state.snapshot"))?;
-        Ok(())
+        enc.finish()
     }
 }
 
@@ -548,9 +674,14 @@ struct LoadedSnapshot {
     processed: HashSet<GlobalTxId>,
 }
 
-fn load_snapshot(path: &PathBuf) -> Result<LoadedSnapshot> {
+fn load_snapshot(path: &PathBuf) -> Result<(LoadedSnapshot, Arc<Vec<u8>>)> {
     let bytes = std::fs::read(path)?;
-    let mut dec = Decoder::new(&bytes);
+    let snap = decode_node_snapshot(&bytes)?;
+    Ok((snap, Arc::new(bytes)))
+}
+
+fn decode_node_snapshot(bytes: &[u8]) -> Result<LoadedSnapshot> {
+    let mut dec = Decoder::new(bytes);
     let magic = dec.get_bytes()?;
     if magic != SNAPSHOT_MAGIC {
         return Err(Error::Codec("bad node snapshot magic".into()));

@@ -37,47 +37,132 @@ use crate::exec_pool::ExecTask;
 use crate::node::Node;
 use crate::notify::TxNotification;
 
-/// How long the block processor waits for transaction executions before
-/// declaring the node stuck (defensive; never hit in a healthy system).
-const EXEC_WAIT_TIMEOUT: Duration = Duration::from_secs(120);
+/// How often the receive loop wakes up with no deliveries, so the gap
+/// timer can fire even while the channel is silent.
+const GAP_POLL: Duration = Duration::from_millis(50);
 
 /// Receive-and-process loop (runs on the node's block-processor thread).
-/// Out-of-order future blocks are held back and processed once the gap
-/// closes (§3.6: "the node then retrieves any missing blocks, processes
-/// and commits them one by one").
+/// Out-of-order future blocks are held back — in a buffer bounded by
+/// `NodeConfig::pending_cap` — and processed once the gap closes. A gap
+/// that outlives `NodeConfig::gap_timeout` triggers a peer catch-up round
+/// through the `sync_fetch` hook (§3.6: "the node then retrieves any
+/// missing blocks, processes and commits them one by one").
 pub fn run_loop(node: Arc<Node>, rx: Receiver<Arc<Block>>) {
     let mut pending: std::collections::BTreeMap<u64, Arc<Block>> = Default::default();
-    for block in rx.iter() {
+    let metrics = Arc::clone(&node.env.metrics);
+    // When the current delivery gap opened (None = no gap).
+    let mut gap_since: Option<Instant> = None;
+    loop {
         if node.shutting_down.load(Ordering::Relaxed) {
             return;
         }
-        let current = node.blockstore.height();
-        if block.number > current + 1 {
-            pending.insert(block.number, block);
-            continue;
+        match rx.recv_timeout(GAP_POLL) {
+            Ok(block) => {
+                let current = node.blockstore.height();
+                if block.number > current + 1 {
+                    hold_back(&node, &mut pending, block);
+                    if gap_since.is_none() {
+                        gap_since = Some(Instant::now());
+                        metrics.on_gap_detected();
+                    }
+                } else if block.number == current + 1 {
+                    if let Err(e) = on_block(&node, &block) {
+                        // A verification failure means a byzantine orderer
+                        // or local corruption: stop processing rather than
+                        // diverge (§3.5(4)).
+                        eprintln!(
+                            "[{}] block {} rejected: {e}",
+                            node.config.name, block.number
+                        );
+                        return;
+                    }
+                }
+            }
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
         }
-        if let Err(e) = on_block(&node, &block) {
-            // A verification failure means a byzantine orderer or local
-            // corruption: stop processing rather than diverge (§3.5(4)).
-            eprintln!(
-                "[{}] block {} rejected: {e}",
-                node.config.name, block.number
-            );
+        // Drain any consecutively buffered blocks — on every wakeup, not
+        // just on a delivery, so blocks unblocked by a catch-up round
+        // process even while the channel stays silent.
+        if drain_pending(&node, &mut pending).is_err() {
             return;
         }
-        // Drain any consecutively buffered blocks.
-        loop {
-            let next = node.blockstore.height() + 1;
-            let Some(b) = pending.remove(&next) else {
-                break;
-            };
-            if let Err(e) = on_block(&node, &b) {
-                eprintln!("[{}] block {} rejected: {e}", node.config.name, b.number);
-                return;
+        metrics.set_held_back(pending.len() as u64);
+        if pending.is_empty() {
+            gap_since = None;
+        } else if gap_since.is_none() {
+            gap_since = Some(Instant::now());
+        }
+        // The gap outlived the delivery-reorder window: the missing
+        // blocks are not coming on their own — fetch them from peers.
+        if let Some(t0) = gap_since {
+            if t0.elapsed() >= node.config.gap_timeout {
+                match node.catch_up(false) {
+                    Ok(stats) if stats.fetched > 0 => {
+                        gap_since = None;
+                    }
+                    Ok(_) => {
+                        // No hook installed or nothing fetched; re-arm so
+                        // the next attempt waits a full timeout again.
+                        gap_since = Some(Instant::now());
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "[{}] catch-up after delivery gap failed: {e}",
+                            node.config.name
+                        );
+                        gap_since = Some(Instant::now());
+                    }
+                }
+                if drain_pending(&node, &mut pending).is_err() {
+                    return;
+                }
+                metrics.set_held_back(pending.len() as u64);
             }
         }
-        pending.retain(|n, _| *n > node.blockstore.height());
     }
+}
+
+/// Process every consecutively buffered block, then drop the ones the
+/// chain has already passed. An `Err` means a block was rejected and the
+/// processor must stop (§3.5(4)).
+fn drain_pending(
+    node: &Arc<Node>,
+    pending: &mut std::collections::BTreeMap<u64, Arc<Block>>,
+) -> std::result::Result<(), ()> {
+    loop {
+        let next = node.blockstore.height() + 1;
+        let Some(b) = pending.remove(&next) else {
+            break;
+        };
+        if let Err(e) = on_block(node, &b) {
+            eprintln!("[{}] block {} rejected: {e}", node.config.name, b.number);
+            return Err(());
+        }
+    }
+    pending.retain(|n, _| *n > node.blockstore.height());
+    Ok(())
+}
+
+/// Buffer a future block, evicting the highest-numbered one when the
+/// buffer is full (blocks closest to the gap are the ones that unblock
+/// processing; far-future blocks are the cheapest to re-fetch).
+fn hold_back(
+    node: &Arc<Node>,
+    pending: &mut std::collections::BTreeMap<u64, Arc<Block>>,
+    block: Arc<Block>,
+) {
+    let cap = node.config.pending_cap.max(1);
+    if pending.len() >= cap && !pending.contains_key(&block.number) {
+        let highest = *pending.keys().next_back().expect("non-empty at cap");
+        if block.number >= highest {
+            node.env.metrics.on_pending_evicted();
+            return; // the newcomer is the farthest out: drop it
+        }
+        pending.remove(&highest);
+        node.env.metrics.on_pending_evicted();
+    }
+    pending.insert(block.number, block);
 }
 
 /// Verify and process a newly received block.
@@ -145,7 +230,9 @@ pub fn process_block(node: &Arc<Node>, block: &Arc<Block>) -> Result<()> {
     if missing > 0 {
         node.env.metrics.on_missing_txs(missing);
     }
-    node.env.slots.wait_all_done(&wait_ids, EXEC_WAIT_TIMEOUT)?;
+    node.env
+        .slots
+        .wait_all_done(&wait_ids, node.config.exec_wait_timeout)?;
     let bet_us = t0.elapsed().as_micros() as u64;
 
     // ---- committing phase ------------------------------------------------

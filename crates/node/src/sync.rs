@@ -1,0 +1,346 @@
+//! The client side of peer catch-up (§3.6).
+//!
+//! A node falls behind the network head in three ways: it crashed and
+//! restarted (local replay covers only what its own store holds), it was
+//! partitioned away while blocks kept flowing, or it joined late with an
+//! empty store. In all three cases [`catch_up`] drives the node back to
+//! the head by round-tripping [`SyncRequest`]s through the node's
+//! `sync_fetch` hook (installed by the network layer, which owns peer
+//! selection and failover):
+//!
+//! * **Block sync** — fetched blocks are verified against the local hash
+//!   chain and the orderer certificates exactly like live deliveries,
+//!   appended to the store, and replayed through the normal
+//!   [`processor::process_block`] path, so ledger records and checkpoint
+//!   votes come out byte-identical to live processing.
+//! * **Snapshot fast-sync** — when the server decides the requester is
+//!   too far behind (its `snapshot_lag_threshold`) and the requester is
+//!   quiescent (`allow_snapshot`), a state snapshot replaces replay.
+//!   The skipped blocks are still fetched and appended (verification
+//!   included) so the local chain stays complete and auditable — what
+//!   fast-sync saves is *re-execution*, the dominant replay cost.
+//!
+//! The driver loops until a fetch round reports the node at the serving
+//! peer's tip. New blocks arriving live during catch-up simply queue in
+//! the block processor's channel and are deduplicated afterwards.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bcrdb_chain::block::Block;
+use bcrdb_chain::sync::{SyncRequest, SyncResponse};
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::ids::BlockHeight;
+
+use crate::node::Node;
+use crate::processor;
+
+/// Outcome of one [`catch_up`] run.
+#[derive(Clone, Debug, Default)]
+pub struct SyncStats {
+    /// Request round trips performed.
+    pub rounds: u64,
+    /// Blocks fetched from peers.
+    pub fetched: u64,
+    /// Fetched blocks replayed through normal block processing.
+    pub replayed: u64,
+    /// Fetched blocks appended to the store without re-execution
+    /// (already covered by an installed fast-sync snapshot).
+    pub appended_only: u64,
+    /// Height of the fast-sync snapshot installed, if any.
+    pub fast_sync_height: Option<BlockHeight>,
+    /// Wall-clock duration of the whole catch-up.
+    pub duration: Duration,
+}
+
+/// Upper bound on catch-up rounds, a runaway guard: each productive round
+/// advances the chain, so hitting this means a peer keeps answering
+/// without ever helping.
+const MAX_ROUNDS: u64 = 1_000_000;
+
+/// Drive this node to the network head through its `sync_fetch` hook.
+/// Returns immediately (zeroed stats) when no hook is installed.
+pub fn catch_up(node: &Arc<Node>, allow_snapshot: bool) -> Result<SyncStats> {
+    let fetch = node.hooks.read().sync_fetch.clone();
+    let Some(fetch) = fetch else {
+        return Ok(SyncStats::default());
+    };
+    let t0 = Instant::now();
+    let mut stats = SyncStats::default();
+    loop {
+        if stats.rounds >= MAX_ROUNDS {
+            return Err(Error::internal("catch-up made no progress"));
+        }
+        let from = node.blockstore.height();
+        let req = SyncRequest {
+            from_height: from,
+            max_blocks: node.config.sync_batch.max(1),
+            // Once a snapshot is installed, further rounds only backfill
+            // the store; a second snapshot could not be ahead of it.
+            allow_snapshot: allow_snapshot && stats.fast_sync_height.is_none(),
+        };
+        let resp = fetch(req)?;
+        stats.rounds += 1;
+        match resp {
+            SyncResponse::Snapshot { height, state, tip } => {
+                if !req.allow_snapshot || height <= node.height() {
+                    return Err(Error::internal(format!(
+                        "peer sent unusable snapshot at height {height} (ours {}, \
+                         allow_snapshot={})",
+                        node.height(),
+                        req.allow_snapshot
+                    )));
+                }
+                node.install_fast_sync(&state)?;
+                stats.fast_sync_height = Some(height);
+                let _ = tip; // the block rounds below converge on it
+            }
+            SyncResponse::Blocks { blocks, tip } => {
+                if blocks.is_empty() {
+                    if node.blockstore.height() >= tip {
+                        break; // converged with the serving peer
+                    }
+                    return Err(Error::internal(format!(
+                        "peer at tip {tip} returned no blocks after height {from}"
+                    )));
+                }
+                for b in blocks {
+                    apply_synced_block(node, Arc::new(b), &mut stats)?;
+                }
+            }
+        }
+    }
+    stats.duration = t0.elapsed();
+    node.env
+        .metrics
+        .on_sync_blocks(stats.fetched, stats.replayed);
+    Ok(stats)
+}
+
+/// Verify, append and (when beyond the committed state) replay one
+/// fetched block. Verification is identical to live delivery: hash-chain
+/// linkage to our tip plus an orderer signature, per the node's
+/// `verify_signatures` setting.
+fn apply_synced_block(node: &Arc<Node>, block: Arc<Block>, stats: &mut SyncStats) -> Result<()> {
+    let current = node.blockstore.height();
+    if block.number <= current {
+        return Ok(()); // duplicate (a live delivery raced the fetch)
+    }
+    if block.number != current + 1 {
+        return Err(Error::internal(format!(
+            "sync returned non-consecutive block {} (have {current})",
+            block.number
+        )));
+    }
+    if node.config.verify_signatures {
+        block.verify(&node.blockstore.tip_hash(), &node.env.certs)?;
+    } else {
+        block.verify_integrity()?;
+    }
+    stats.fetched += 1;
+    if block.number <= node.height() {
+        // State already ahead of the store (fast-sync): backfill only.
+        node.blockstore.append((*block).clone())?;
+        stats.appended_only += 1;
+    } else {
+        node.blockstore.append((*block).clone())?;
+        processor::process_block(node, &block)?;
+        stats.replayed += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NodeConfig, NodeHooks};
+    use bcrdb_chain::block::genesis_prev_hash;
+    use bcrdb_chain::tx::{Payload, Transaction};
+    use bcrdb_common::value::Value;
+    use bcrdb_crypto::identity::{Certificate, CertificateRegistry, KeyPair, Role, Scheme};
+    use bcrdb_sql::ast::Statement;
+    use bcrdb_txn::ssi::Flow;
+
+    struct Rig {
+        certs: Arc<CertificateRegistry>,
+        client: KeyPair,
+        orderer: KeyPair,
+    }
+
+    impl Rig {
+        fn new() -> Rig {
+            let client = KeyPair::generate("org1/alice", b"alice", Scheme::Sim);
+            let orderer = KeyPair::generate("ordering/orderer0", b"ord", Scheme::Sim);
+            let certs = CertificateRegistry::new();
+            certs.register(Certificate {
+                name: "org1/alice".into(),
+                org: "org1".into(),
+                role: Role::Client,
+                public_key: client.public_key(),
+            });
+            certs.register(Certificate {
+                name: "ordering/orderer0".into(),
+                org: "ordering".into(),
+                role: Role::Orderer,
+                public_key: orderer.public_key(),
+            });
+            Rig {
+                certs,
+                client,
+                orderer,
+            }
+        }
+
+        fn node(&self, name: &str, snapshot_interval: u64, lag_threshold: u64) -> Arc<Node> {
+            let mut cfg = NodeConfig::new(name, "org1", Flow::OrderThenExecute);
+            cfg.snapshot_interval = snapshot_interval;
+            cfg.snapshot_lag_threshold = lag_threshold;
+            let node = Node::new(cfg, Arc::clone(&self.certs), vec!["org1".into()]).unwrap();
+            node.catalog()
+                .create_table(
+                    bcrdb_common::schema::TableSchema::new(
+                        "kv",
+                        vec![
+                            bcrdb_common::schema::Column::new(
+                                "k",
+                                bcrdb_common::schema::DataType::Int,
+                            ),
+                            bcrdb_common::schema::Column::new(
+                                "v",
+                                bcrdb_common::schema::DataType::Int,
+                            ),
+                        ],
+                        vec![0],
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+            if let Statement::CreateFunction(def) = bcrdb_sql::parse_statement(
+                "CREATE FUNCTION put(k INT, v INT) AS $$ INSERT INTO kv VALUES ($1, $2) $$",
+            )
+            .unwrap()
+            {
+                node.contracts().install(def).unwrap();
+            }
+            node
+        }
+
+        fn feed(&self, node: &Arc<Node>, count: u64, per_block: u64) {
+            let mut prev = node.blockstore.tip_hash();
+            let start = node.height();
+            let mut n = start * per_block;
+            for b in start + 1..=start + count {
+                let txs: Vec<Transaction> = (0..per_block)
+                    .map(|_| {
+                        n += 1;
+                        Transaction::new_order_execute(
+                            "org1/alice",
+                            Payload::new(
+                                "put",
+                                vec![Value::Int(n as i64), Value::Int((n * 10) as i64)],
+                            ),
+                            n,
+                            &self.client,
+                        )
+                        .unwrap()
+                    })
+                    .collect();
+                let mut block = Block::build(b, prev, txs, "solo", vec![]);
+                block.sign(&self.orderer).unwrap();
+                prev = block.hash;
+                let block = Arc::new(block);
+                node.blockstore.append((*block).clone()).unwrap();
+                processor::process_block(node, &block).unwrap();
+            }
+        }
+
+        /// Wire `lagging` to fetch directly from `server` (no network).
+        fn connect(&self, lagging: &Arc<Node>, server: &Arc<Node>) {
+            let server = Arc::clone(server);
+            lagging.set_hooks(NodeHooks {
+                sync_fetch: Some(Arc::new(move |req| Ok(server.serve_sync(&req)))),
+                ..Default::default()
+            });
+        }
+    }
+
+    #[test]
+    fn block_sync_catches_up_and_matches() {
+        let rig = Rig::new();
+        let server = rig.node("org1/peer-a", 0, 0);
+        rig.feed(&server, 6, 3);
+        let lagging = rig.node("org1/peer-b", 0, 0);
+        rig.connect(&lagging, &server);
+
+        let stats = lagging.catch_up(true).unwrap();
+        assert_eq!(stats.replayed, 6);
+        assert_eq!(stats.fetched, 6);
+        assert!(stats.fast_sync_height.is_none());
+        assert_eq!(lagging.height(), 6);
+        assert_eq!(lagging.state_hash(), server.state_hash());
+        // Checkpoint hashes byte-identical to the live node's.
+        for b in 1..=6 {
+            assert_eq!(
+                lagging.checkpoints.local_hash(b),
+                server.checkpoints.local_hash(b),
+                "checkpoint mismatch at block {b}"
+            );
+            assert!(lagging.checkpoints.local_hash(b).is_some());
+        }
+        assert_eq!(lagging.metrics().sync_fetched(), 6);
+    }
+
+    #[test]
+    fn snapshot_fast_sync_skips_replay_but_backfills_store() {
+        let rig = Rig::new();
+        // Server snapshots every 4 blocks and offers fast-sync at lag ≥ 4.
+        let server = rig.node("org1/peer-a", 4, 4);
+        rig.feed(&server, 10, 2);
+        let lagging = rig.node("org1/peer-b", 0, 0);
+        rig.connect(&lagging, &server);
+
+        let stats = lagging.catch_up(true).unwrap();
+        // Snapshot at height 8 (last multiple of 4), blocks 1..=8 appended
+        // without replay, 9..=10 replayed.
+        assert_eq!(stats.fast_sync_height, Some(8));
+        assert_eq!(stats.appended_only, 8);
+        assert_eq!(stats.replayed, 2);
+        assert_eq!(lagging.height(), 10);
+        assert_eq!(lagging.blockstore.height(), 10);
+        assert_eq!(lagging.state_hash(), server.state_hash());
+        assert_eq!(
+            lagging.checkpoints.local_hash(10),
+            server.checkpoints.local_hash(10)
+        );
+        assert_eq!(lagging.metrics().sync_fast_syncs(), 1);
+        // The backfilled chain is fully linked: verify a tail block.
+        let b10 = lagging.blockstore.get(10).unwrap();
+        b10.verify(&lagging.blockstore.get(9).unwrap().hash, &rig.certs)
+            .unwrap();
+    }
+
+    #[test]
+    fn live_nodes_refuse_snapshots() {
+        let rig = Rig::new();
+        let server = rig.node("org1/peer-a", 2, 2);
+        rig.feed(&server, 6, 1);
+        let lagging = rig.node("org1/peer-b", 0, 0);
+        rig.connect(&lagging, &server);
+
+        // A gap-triggered catch-up (allow_snapshot = false) must take the
+        // block path even though the server's threshold is exceeded.
+        let stats = lagging.catch_up(false).unwrap();
+        assert!(stats.fast_sync_height.is_none());
+        assert_eq!(stats.replayed, 6);
+        assert_eq!(lagging.state_hash(), server.state_hash());
+    }
+
+    #[test]
+    fn no_hook_is_a_noop() {
+        let rig = Rig::new();
+        let node = rig.node("org1/peer", 0, 0);
+        let stats = node.catch_up(true).unwrap();
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(node.height(), 0);
+    }
+}

@@ -208,10 +208,11 @@ pub(crate) fn deliver_block(
         // tests as a verification failure rather than a hang).
     }
     let arc = Arc::new(signed);
-    let subs = subscribers[orderer_idx].lock();
-    for s in subs.iter() {
-        let _ = s.send(Arc::clone(&arc));
-    }
+    let mut subs = subscribers[orderer_idx].lock();
+    // Delivering doubles as pruning: a dropped receiver (stopped node's
+    // retired relay) fails the send and its sender is removed, so
+    // repeated stop/rejoin cycles cannot grow the subscriber list.
+    subs.retain(|s| s.send(Arc::clone(&arc)).is_ok());
 }
 
 /// The solo/Kafka sequencer: a single total order, identical block stream

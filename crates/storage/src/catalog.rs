@@ -43,6 +43,15 @@ impl Catalog {
         self.tables.write().insert(table.name(), table);
     }
 
+    /// Replace this catalog's entire table set with `other`'s (snapshot
+    /// fast-sync, §3.6). The `Catalog` object itself — and every
+    /// `Arc<Catalog>` pointing at it — stays valid; only the tables are
+    /// swapped, so callers must be quiescent (no in-flight transactions
+    /// holding `Arc<Table>` clones).
+    pub fn replace_with(&self, other: Catalog) {
+        *self.tables.write() = other.tables.into_inner();
+    }
+
     /// Drop a table. With `if_exists`, missing tables are not an error.
     pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<()> {
         let removed = self.tables.write().remove(name).is_some();
