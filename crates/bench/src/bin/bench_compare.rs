@@ -1,0 +1,186 @@
+//! CI bench-regression gate: compare a fresh `BENCH_smoke.json` against
+//! the committed `BENCH_baseline.json` and fail the build (exit 1) when
+//! a tracked metric regressed beyond the tolerance.
+//!
+//! Usage: `bench_compare [baseline.json] [current.json]`
+//! (defaults: `BENCH_baseline.json`, `BENCH_smoke.json`).
+//!
+//! Tracked metrics and directions:
+//!
+//! * `throughput.tps` — must not drop more than the tolerance;
+//! * `catch_up.duration_ms` — must not grow more than the tolerance;
+//! * `failover.resume_ms` — must not grow more than the tolerance.
+//!
+//! The tolerance defaults to ±20% (`BENCH_TOLERANCE`, a fraction).
+//! Millisecond metrics additionally get a small absolute slack
+//! (`BENCH_SLACK_MS`, default 250 ms) so scheduler jitter on loaded CI
+//! runners cannot fail the gate on a sub-second measurement; tps, the
+//! primary signal, gets no slack. Improvements never fail the gate —
+//! they print a hint to refresh the baseline.
+//!
+//! The JSON is the fixed shape `bench_smoke` emits, so parsing is a
+//! dependency-free scan: find the section object, then the key's number.
+
+use std::process::ExitCode;
+
+/// Extract `"section": { ... "key": <number> ... }` from `json`.
+fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
+    let sec_pat = format!("\"{section}\"");
+    let sec_at = json.find(&sec_pat)?;
+    let body = &json[sec_at + sec_pat.len()..];
+    let open = body.find('{')?;
+    let close = body[open..].find('}')? + open;
+    let obj = &body[open..=close];
+    let key_pat = format!("\"{key}\"");
+    let key_at = obj.find(&key_pat)?;
+    let tail = &obj[key_at + key_pat.len()..];
+    let colon = tail.find(':')?;
+    let num: String = tail[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One gated metric. `higher_is_better` decides the regression direction;
+/// `slack` is an absolute grace added on top of the relative tolerance.
+struct Gate {
+    section: &'static str,
+    key: &'static str,
+    higher_is_better: bool,
+    slack: f64,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_baseline.json".into());
+    let current_path = args.next().unwrap_or_else(|| "BENCH_smoke.json".into());
+    let tolerance = env_f64("BENCH_TOLERANCE", 0.20);
+    let slack_ms = env_f64("BENCH_SLACK_MS", 250.0);
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_compare: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let current = match std::fs::read_to_string(&current_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_compare: cannot read current run {current_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let gates = [
+        Gate {
+            section: "throughput",
+            key: "tps",
+            higher_is_better: true,
+            slack: 0.0,
+        },
+        Gate {
+            section: "catch_up",
+            key: "duration_ms",
+            higher_is_better: false,
+            slack: slack_ms,
+        },
+        Gate {
+            section: "failover",
+            key: "resume_ms",
+            higher_is_better: false,
+            slack: slack_ms,
+        },
+    ];
+
+    println!(
+        "bench_compare: {current_path} vs {baseline_path} (tolerance ±{:.0}%, slack {slack_ms} ms)",
+        tolerance * 100.0
+    );
+    let mut regressions = 0;
+    let mut improvements = 0;
+    for g in &gates {
+        let name = format!("{}.{}", g.section, g.key);
+        let Some(base) = extract(&baseline, g.section, g.key) else {
+            // A baseline missing a metric (e.g. recorded before the
+            // metric existed) skips that gate instead of failing —
+            // refresh the baseline to arm it.
+            println!("  {name:<24} SKIP (not in baseline)");
+            continue;
+        };
+        let Some(new) = extract(&current, g.section, g.key) else {
+            eprintln!("  {name:<24} FAIL (missing from current run)");
+            regressions += 1;
+            continue;
+        };
+        let (bound, ok, better) = if g.higher_is_better {
+            let bound = base * (1.0 - tolerance) - g.slack;
+            (bound, new >= bound, new > base)
+        } else {
+            let bound = base * (1.0 + tolerance) + g.slack;
+            (bound, new <= bound, new < base)
+        };
+        let verdict = if ok { "ok" } else { "REGRESSION" };
+        println!("  {name:<24} base {base:>9.1}  new {new:>9.1}  bound {bound:>9.1}  {verdict}");
+        if !ok {
+            regressions += 1;
+        } else if better && (new - base).abs() > base * tolerance {
+            improvements += 1;
+        }
+    }
+
+    if improvements > 0 {
+        println!(
+            "note: {improvements} metric(s) improved beyond the tolerance — consider \
+             refreshing BENCH_baseline.json"
+        );
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_compare: {regressions} regression(s) beyond the ±{:.0}% tolerance",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_compare: all gates passed");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "bcrdb-bench-smoke-v2",
+  "throughput": { "tps": 388.4, "committed": 1165, "aborted": 0 },
+  "catch_up": { "blocks_fetched": 4, "duration_ms": 423.55, "fast_sync": false },
+  "failover": { "committed": 20, "resume_ms": 512.01, "view_changes": 1 }
+}"#;
+
+    #[test]
+    fn extracts_nested_numbers() {
+        assert_eq!(extract(SAMPLE, "throughput", "tps"), Some(388.4));
+        assert_eq!(extract(SAMPLE, "catch_up", "duration_ms"), Some(423.55));
+        assert_eq!(extract(SAMPLE, "failover", "resume_ms"), Some(512.01));
+        assert_eq!(extract(SAMPLE, "failover", "view_changes"), Some(1.0));
+        assert_eq!(extract(SAMPLE, "nope", "tps"), None);
+        assert_eq!(extract(SAMPLE, "throughput", "nope"), None);
+    }
+
+    #[test]
+    fn key_lookup_stays_inside_the_section() {
+        // "committed" appears in two sections; each lookup must resolve
+        // within its own object.
+        assert_eq!(extract(SAMPLE, "throughput", "committed"), Some(1165.0));
+        assert_eq!(extract(SAMPLE, "failover", "committed"), Some(20.0));
+    }
+}

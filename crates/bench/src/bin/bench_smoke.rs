@@ -1,15 +1,19 @@
-//! CI smoke benchmark: a quick throughput run plus a crash-and-rejoin
-//! catch-up scenario, emitting one machine-readable `BENCH_smoke.json`
-//! artifact so the perf trajectory (throughput and catch-up duration) is
-//! tracked run over run.
+//! CI smoke benchmark: a quick throughput run, a crash-and-rejoin
+//! catch-up scenario, and an orderer-leader-failover scenario, emitting
+//! one machine-readable `BENCH_smoke.json` artifact so the perf
+//! trajectory (throughput, catch-up duration, failover recovery time) is
+//! tracked run over run — and gated against `BENCH_baseline.json` by the
+//! `bench_compare` bin.
 //!
 //! Output path: `$BENCH_OUT` or `./BENCH_smoke.json`. Runtime target is
 //! well under a minute — this is a trend line, not a rigorous benchmark.
 
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use bcrdb_bench::{run_open_loop, BenchNetwork, Workload, WorkloadKind};
-use bcrdb_core::{Network, NetworkConfig};
+use bcrdb_chain::ledger::TxStatus;
+use bcrdb_core::{Call, Network, NetworkConfig};
 use bcrdb_network::NetProfile;
 use bcrdb_ordering::OrderingConfig;
 use bcrdb_txn::ssi::Flow;
@@ -17,10 +21,11 @@ use bcrdb_txn::ssi::Flow;
 fn main() {
     let throughput = throughput_phase();
     let catch_up = catch_up_phase();
+    let failover = failover_phase();
 
     let json = format!(
-        "{{\n  \"schema\": \"bcrdb-bench-smoke-v1\",\n  \"throughput\": {throughput},\n  \
-         \"catch_up\": {catch_up}\n}}\n"
+        "{{\n  \"schema\": \"bcrdb-bench-smoke-v2\",\n  \"throughput\": {throughput},\n  \
+         \"catch_up\": {catch_up},\n  \"failover\": {failover}\n}}\n"
     );
     let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_smoke.json".into());
     std::fs::write(&path, &json).expect("write bench artifact");
@@ -118,5 +123,74 @@ fn catch_up_phase() -> String {
         stats.duration.as_secs_f64() * 1000.0,
         rejoin_ms,
         stats.fast_sync_height.is_some()
+    )
+}
+
+/// Orderer leader failover under load: kill the BFT leader with a batch
+/// in flight and report how long until every transaction of the batch is
+/// committed under the rotated leader — the acceptance signal for the
+/// PBFT view-change subsystem.
+fn failover_phase() -> String {
+    let mut cfg = NetworkConfig::quick(&["org1", "org2", "org3"], Flow::OrderThenExecute);
+    let mut ord = OrderingConfig::bft(4, 8, Duration::from_millis(50));
+    ord.bft_msg_cost = Duration::from_micros(50);
+    ord.view_change_timeout = Duration::from_millis(300);
+    cfg.ordering = ord;
+    cfg.gap_timeout = Duration::from_millis(300);
+    cfg.genesis_sql = Some(
+        "CREATE TABLE fo (k INT PRIMARY KEY, v INT NOT NULL); \
+         CREATE FUNCTION fput(k INT, v INT) AS $$ INSERT INTO fo VALUES ($1, $2) $$"
+            .into(),
+    );
+    let net = Network::build(cfg).expect("build network");
+
+    // Warm traffic in view 0.
+    let warm = net.client("org1", "warm").expect("client");
+    for k in 1..4i64 {
+        warm.call("fput")
+            .arg(k)
+            .arg(k)
+            .submit_wait_retrying(Duration::from_secs(30))
+            .expect("warm commit");
+    }
+
+    // A batch in flight when the leader dies.
+    let client = net.client("org2", "burst").expect("client");
+    let calls: Vec<Call> = (100..120i64)
+        .map(|k| Call::new("fput").arg(k).arg(k))
+        .collect();
+    let batch = client.submit_all(calls).expect("batch");
+    net.stop_orderer(0).expect("stop leader");
+    let t0 = Instant::now();
+    let outcomes = batch
+        .wait_all(Duration::from_secs(60))
+        .expect("batch resolves across failover");
+    let resume_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    let mut committed = HashSet::new();
+    for n in &outcomes {
+        assert!(
+            matches!(n.status, TxStatus::Committed),
+            "transaction lost across failover"
+        );
+        assert!(committed.insert(n.id), "transaction duplicated");
+    }
+    let stats = net.ordering().stats_snapshot();
+    net.shutdown();
+
+    println!(
+        "failover: {} txs re-committed {resume_ms:.1} ms after leader kill \
+         (view {} after {} view change(s))",
+        committed.len(),
+        stats.current_view,
+        stats.view_changes
+    );
+    format!(
+        "{{ \"committed\": {}, \"resume_ms\": {:.2}, \"view_changes\": {}, \
+         \"current_view\": {} }}",
+        committed.len(),
+        resume_ms,
+        stats.view_changes,
+        stats.current_view
     )
 }

@@ -219,6 +219,88 @@ mod tests {
         assert_eq!(d.divergent_nodes, vec!["org2/peer".to_string()]);
     }
 
+    /// A vote re-embedded after a view change (the old leader's block
+    /// carried it, the new leader's NEW-VIEW re-proposal carries it
+    /// again) must be idempotent: same node, same block, same hash — no
+    /// divergence, no double-counted agreement.
+    #[test]
+    fn duplicate_vote_across_view_change_is_idempotent() {
+        let t = CheckpointTracker::new();
+        t.record_local(7, [3u8; 32]);
+        assert!(t.record_vote("org2/peer", 7, [3u8; 32]).is_none());
+        assert_eq!(t.agreement_count(7), 1);
+        // The identical vote arrives again, embedded in a block proposed
+        // by the post-rotation leader.
+        assert!(t.record_vote("org2/peer", 7, [3u8; 32]).is_none());
+        assert_eq!(t.agreement_count(7), 1, "re-embedded vote not re-counted");
+    }
+
+    /// Votes for several heights straddling a leader rotation: blocks
+    /// proposed by leader A embed votes for heights 3–4, the new leader B
+    /// embeds the stragglers for 3 plus fresh votes for 5. Divergence
+    /// detection must work per height regardless of which leader's block
+    /// carried the vote.
+    #[test]
+    fn votes_across_leader_rotation_detect_divergence_per_height() {
+        let t = CheckpointTracker::new();
+        t.record_local(3, [3u8; 32]);
+        t.record_local(4, [4u8; 32]);
+        t.record_local(5, [5u8; 32]);
+
+        // Embedded by leader A (pre-rotation).
+        assert!(t.record_vote("org2/peer", 3, [3u8; 32]).is_none());
+        assert!(t.record_vote("org2/peer", 4, [4u8; 32]).is_none());
+
+        // Embedded by leader B (post-rotation): a late vote for height 3
+        // from a third org, plus divergent state at height 5.
+        assert!(t.record_vote("org3/peer", 3, [3u8; 32]).is_none());
+        assert_eq!(t.agreement_count(3), 2);
+        let d = t.record_vote("org3/peer", 5, [99u8; 32]).unwrap();
+        assert_eq!(d.block, 5);
+        assert_eq!(d.divergent_nodes, vec!["org3/peer".to_string()]);
+        // Height 4 is untouched by the divergence at 5.
+        assert_eq!(t.agreement_count(4), 1);
+    }
+
+    /// A node that diverged before the rotation and submits a *corrected*
+    /// hash through the new leader's block: the tracker keeps the latest
+    /// vote per (node, block), so agreement recovers — but the original
+    /// divergence stays flagged exactly once.
+    #[test]
+    fn corrected_vote_after_view_change_restores_agreement() {
+        let t = CheckpointTracker::new();
+        t.record_local(9, [1u8; 32]);
+        let d = t.record_vote("org2/peer", 9, [2u8; 32]).unwrap();
+        assert_eq!(d.divergent_nodes, vec!["org2/peer".to_string()]);
+        // Corrected vote arrives in a block from the new leader.
+        assert!(t.record_vote("org2/peer", 9, [1u8; 32]).is_none());
+        assert_eq!(t.agreement_count(9), 1);
+        // A further honest vote does not re-flag the healed height.
+        assert!(t.record_vote("org3/peer", 9, [1u8; 32]).is_none());
+    }
+
+    /// Re-proposal can deliver vote-carrying blocks out of height order
+    /// relative to local hashing (the replica fast-forwards through
+    /// fetched blocks): votes for a height we have not hashed yet are
+    /// held, and the local hash recorded later still triggers detection
+    /// on the next vote — even when that next vote is for a *different*
+    /// height.
+    #[test]
+    fn held_votes_from_old_view_evaluate_after_local_hash() {
+        let t = CheckpointTracker::new();
+        // Votes for height 6 arrive (old leader's block) before we
+        // processed block 6 ourselves.
+        assert!(t.record_vote("org2/peer", 6, [0xAAu8; 32]).is_none());
+        assert!(t.record_vote("org3/peer", 6, [0x66u8; 32]).is_none());
+        t.record_local(6, [0x66u8; 32]);
+        // The next vote for 6 — relayed by the new leader — triggers
+        // evaluation of everything held: org2 diverges, org3 agrees.
+        let d = t.record_vote("org4/peer", 6, [0x66u8; 32]).unwrap();
+        assert_eq!(d.block, 6);
+        assert_eq!(d.divergent_nodes, vec!["org2/peer".to_string()]);
+        assert_eq!(t.agreement_count(6), 2);
+    }
+
     #[test]
     fn prune_drops_old_state() {
         let t = CheckpointTracker::new();

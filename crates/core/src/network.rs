@@ -324,6 +324,27 @@ impl Network {
         Ok(())
     }
 
+    /// Crash orderer replica `idx` (BFT ordering backend only). The
+    /// remaining replicas install a new view once pending work goes
+    /// unserved for the configured `view_change_timeout`, and peers
+    /// subscribed to the dead orderer are re-homed to a live one — any
+    /// delivery gap at the splice point is healed by the node-level peer
+    /// catch-up.
+    pub fn stop_orderer(&self, idx: usize) -> Result<()> {
+        self.inner.ordering.stop_orderer(idx)
+    }
+
+    /// Stall orderer replica `idx` (BFT only): alive but unresponsive —
+    /// a hung leader. Undo with [`Network::unstall_orderer`].
+    pub fn stall_orderer(&self, idx: usize) -> Result<()> {
+        self.inner.ordering.stall_orderer(idx)
+    }
+
+    /// Resume a stalled orderer replica.
+    pub fn unstall_orderer(&self, idx: usize) -> Result<()> {
+        self.inner.ordering.unstall_orderer(idx)
+    }
+
     fn org_index(&self, org: &str) -> Result<usize> {
         self.inner
             .config
@@ -449,23 +470,31 @@ impl Network {
     /// every org's admin, then `submit_deploytx`. Returns when the deploy
     /// transaction commits (or fails). Retriable serialization failures
     /// (the EO flow can see phantom reads under concurrent traffic) are
-    /// retried at a fresh snapshot height.
+    /// retried at a fresh snapshot height; between steps, every node is
+    /// awaited up to the previous step's commit block — an EO submission
+    /// executes at its *own node's* current height, so a step whose
+    /// predecessor that node has not yet processed would otherwise abort
+    /// deterministically ("lacks approvals") rather than retriably.
     pub fn deploy_contract(&self, deploy_id: i64, sql: &str) -> Result<()> {
         let timeout = Duration::from_secs(30);
         let first = self.admin(&self.inner.config.orgs[0].clone())?;
-        first.submit_retrying(
+        let staged = first.submit_retrying(
             crate::session::Call::new("create_deploytx")
                 .arg(deploy_id)
                 .arg(sql),
             timeout,
         )?;
+        self.await_height(staged.block, timeout)?;
+        let mut approved = staged.block;
         for org in self.inner.config.orgs.clone() {
             let admin = self.admin(&org)?;
-            admin.submit_retrying(
+            let n = admin.submit_retrying(
                 crate::session::Call::new("approve_deploytx").arg(deploy_id),
                 timeout,
             )?;
+            approved = approved.max(n.block);
         }
+        self.await_height(approved, timeout)?;
         first.submit_retrying(
             crate::session::Call::new("submit_deploytx").arg(deploy_id),
             timeout,
@@ -713,6 +742,19 @@ fn launch_node(
         sync_fetch: (!sync_client.peers.is_empty()).then(|| {
             let sync_client = Arc::clone(&sync_client);
             Arc::new(move |req: SyncRequest| sync_client.fetch(req)) as _
+        }),
+        ordering_stats: Some({
+            let ordering = Arc::clone(ordering);
+            Arc::new(move || {
+                let s = ordering.stats_snapshot();
+                bcrdb_node::OrderingSnapshot {
+                    forwarded: s.forwarded,
+                    cut: s.cut,
+                    delivered: s.delivered,
+                    current_view: s.current_view,
+                    view_changes: s.view_changes,
+                }
+            }) as _
         }),
     };
     let recovered = if sync_on_recover {

@@ -101,6 +101,10 @@ impl NodeConfig {
 /// Callback forwarding a transaction reference to the peer network.
 pub type ForwardTxHook = Arc<dyn Fn(&Transaction) + Send + Sync>;
 
+/// Callback snapshotting the ordering service's counters for the node's
+/// Metrics RPC.
+pub type OrderingStatsHook = Arc<dyn Fn() -> crate::metrics::OrderingSnapshot + Send + Sync>;
+
 /// Callback performing one synchronous catch-up round trip against some
 /// peer: send the request, return that peer's response. The network layer
 /// owns peer selection, retries and failover; an `Err` means no peer
@@ -125,6 +129,10 @@ pub struct NodeHooks {
     /// (§3.6). Consulted by `Node::recover` after local replay and by
     /// the block processor when a delivery gap outlives `gap_timeout`.
     pub sync_fetch: Option<SyncFetchHook>,
+    /// Snapshot the ordering service's counters (forwarded, cut,
+    /// delivered, current view, view changes) so the node's Metrics RPC
+    /// can report the ordering layer alongside its own micro-metrics.
+    pub ordering_stats: Option<OrderingStatsHook>,
 }
 
 #[cfg(test)]

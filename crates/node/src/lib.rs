@@ -44,10 +44,10 @@ pub mod slots;
 pub mod statements;
 pub mod sync;
 
-pub use config::{NodeConfig, NodeHooks, SyncFetchHook};
+pub use config::{NodeConfig, NodeHooks, OrderingStatsHook, SyncFetchHook};
 pub use exec_pool::{NativeContract, NativeCtx};
 pub use frontend::{ClientRequest, ClientResponse, Frontend};
-pub use metrics::{MetricsSnapshot, NodeMetrics};
+pub use metrics::{MetricsSnapshot, NodeMetrics, OrderingSnapshot};
 pub use node::Node;
 pub use notify::TxNotification;
 pub use statements::StatementHandle;

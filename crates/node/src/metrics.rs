@@ -45,6 +45,24 @@ impl Default for NodeMetrics {
     }
 }
 
+/// Ordering-service counters as seen from a node — populated into
+/// [`MetricsSnapshot`] by the node's `ordering_stats` hook
+/// (`NodeHooks::ordering_stats`), so clients can observe the ordering
+/// layer (current view, view changes) through the ordinary Metrics RPC.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OrderingSnapshot {
+    /// Transactions forwarded into the ordering service.
+    pub forwarded: u64,
+    /// Blocks cut/proposed by a leader or sequencer.
+    pub cut: u64,
+    /// Blocks delivered.
+    pub delivered: u64,
+    /// Current BFT view (0 for solo/Kafka backends).
+    pub current_view: u64,
+    /// View changes installed since the service started.
+    pub view_changes: u64,
+}
+
 /// Averaged view over one measurement window.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MetricsSnapshot {
@@ -84,6 +102,9 @@ pub struct MetricsSnapshot {
     pub sync_replayed: u64,
     /// Snapshot fast-syncs installed (cumulative).
     pub sync_fast_syncs: u64,
+    /// Ordering-service counters (cumulative; all zero when no
+    /// `ordering_stats` hook is installed).
+    pub ordering: OrderingSnapshot,
 }
 
 impl NodeMetrics {
@@ -256,6 +277,7 @@ impl NodeMetrics {
             sync_fetched: self.sync_fetched.load(Ordering::Relaxed),
             sync_replayed: self.sync_replayed.load(Ordering::Relaxed),
             sync_fast_syncs: self.sync_fast_syncs.load(Ordering::Relaxed),
+            ordering: OrderingSnapshot::default(),
         }
     }
 }

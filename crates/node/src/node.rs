@@ -304,6 +304,19 @@ impl Node {
         &self.env.metrics
     }
 
+    /// Snapshot (and reset) the metrics window, overlaying the ordering
+    /// service's counters when an `ordering_stats` hook is installed —
+    /// what the Metrics RPC serves, so a remote client can observe the
+    /// ordering layer (current view, view changes) without direct access
+    /// to the service.
+    pub fn metrics_report(&self) -> crate::metrics::MetricsSnapshot {
+        let mut snap = self.env.metrics.take();
+        if let Some(hook) = &self.hooks.read().ordering_stats {
+            snap.ordering = hook();
+        }
+        snap
+    }
+
     /// Committed block height.
     pub fn height(&self) -> BlockHeight {
         self.env.committed_height.load(Ordering::Relaxed)

@@ -111,9 +111,6 @@ pub fn catch_up(node: &Arc<Node>, allow_snapshot: bool) -> Result<SyncStats> {
         }
     }
     stats.duration = t0.elapsed();
-    node.env
-        .metrics
-        .on_sync_blocks(stats.fetched, stats.replayed);
     Ok(stats)
 }
 
@@ -142,10 +139,16 @@ fn apply_synced_block(node: &Arc<Node>, block: Arc<Block>, stats: &mut SyncStats
         // State already ahead of the store (fast-sync): backfill only.
         node.blockstore.append((*block).clone())?;
         stats.appended_only += 1;
+        // Count per block, not in bulk at the end of the run: an observer
+        // that saw the chain advance (await_height) must also see the
+        // sync counters advanced, without racing the final convergence
+        // round trip.
+        node.env.metrics.on_sync_blocks(1, 0);
     } else {
         node.blockstore.append((*block).clone())?;
         processor::process_block(node, &block)?;
         stats.replayed += 1;
+        node.env.metrics.on_sync_blocks(1, 1);
     }
     Ok(())
 }

@@ -49,6 +49,11 @@ pub struct OrderingConfig {
     /// Publishing cost per message for the Kafka sequencer (usually zero:
     /// the paper's Kafka cluster is never the bottleneck).
     pub kafka_publish_cost: Duration,
+    /// BFT backend only: how long a replica with pending work waits for
+    /// progress (a delivery or a proposal) before voting the leader out.
+    /// PBFT's view-change timer; must comfortably exceed `block_timeout`
+    /// plus a consensus round.
+    pub view_change_timeout: Duration,
     /// Network profile for orderer-to-orderer consensus traffic.
     pub net_profile: NetProfile,
     /// Signature scheme for orderer identities.
@@ -65,6 +70,7 @@ impl OrderingConfig {
             block_timeout,
             bft_msg_cost: Duration::from_millis(2),
             kafka_publish_cost: Duration::ZERO,
+            view_change_timeout: Duration::from_secs(2),
             net_profile: NetProfile::lan(),
             scheme: Scheme::Sim,
         }

@@ -13,10 +13,14 @@
 //!   independently delivers the identical block stream. Capacity is flat
 //!   in the number of orderer nodes (Fig 8b, "Kafka Throughput");
 //! * **bft** — a byzantine-fault-tolerant service in the style of
-//!   BFT-SMaRt: a leader proposes each block, replicas run
-//!   PRE-PREPARE/PREPARE/COMMIT rounds over the simulated network with
-//!   quadratic message complexity, so throughput degrades as orderer
-//!   count grows (Fig 8b, "BFT Throughput").
+//!   BFT-SMaRt: the current view's leader proposes each block, replicas
+//!   run PRE-PREPARE/PREPARE/COMMIT rounds over the simulated network
+//!   with quadratic message complexity, so throughput degrades as
+//!   orderer count grows (Fig 8b, "BFT Throughput"). PBFT view changes
+//!   rotate the leader when it crashes or stalls
+//!   ([`OrderingService::stop_orderer`] /
+//!   [`OrderingService::stall_orderer`] inject those faults), so block
+//!   production survives leader failure — see [`bft`].
 //!
 //! All backends produce the **same canonical block content** for a given
 //! input sequence — the block hash covers number, transactions, consensus
@@ -34,4 +38,4 @@ pub mod cutter;
 pub mod service;
 
 pub use config::{OrderingConfig, OrderingKind};
-pub use service::{OrderingService, OrderingStats};
+pub use service::{OrderingService, OrderingStats, OrderingStatsSnapshot};

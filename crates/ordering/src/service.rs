@@ -6,7 +6,7 @@
 //! signs the canonical block it delivers (§3.1: "(f) digital signature on
 //! the hash of the current block by the orderer node").
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,13 +37,55 @@ pub enum Input {
     Stop,
 }
 
-/// Counters exposed for the Fig 8(b) experiment.
+/// Counters exposed for the Fig 8(b) experiment and the node Metrics RPC.
 #[derive(Default)]
 pub struct OrderingStats {
     /// Blocks delivered.
     pub blocks: AtomicU64,
     /// Transactions ordered into blocks.
     pub txs: AtomicU64,
+    /// Transactions forwarded into the service (accepted submissions).
+    pub forwarded: AtomicU64,
+    /// Blocks cut/proposed by a leader or sequencer (≥ `blocks`: a
+    /// proposal in flight when its leader dies is re-proposed).
+    pub cut: AtomicU64,
+    /// Current BFT view number (0 for solo/Kafka and before any
+    /// rotation).
+    pub current_view: AtomicU64,
+    /// Successful view changes installed since start.
+    pub view_changes: AtomicU64,
+}
+
+impl OrderingStats {
+    /// Plain-value snapshot of every counter.
+    pub fn snapshot(&self) -> OrderingStatsSnapshot {
+        OrderingStatsSnapshot {
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            cut: self.cut.load(Ordering::Relaxed),
+            delivered: self.blocks.load(Ordering::Relaxed),
+            txs: self.txs.load(Ordering::Relaxed),
+            current_view: self.current_view.load(Ordering::Relaxed),
+            view_changes: self.view_changes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value view of [`OrderingStats`] (what the node Metrics RPC and
+/// tests consume).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OrderingStatsSnapshot {
+    /// Transactions forwarded into the service.
+    pub forwarded: u64,
+    /// Blocks cut/proposed.
+    pub cut: u64,
+    /// Blocks delivered.
+    pub delivered: u64,
+    /// Transactions ordered into delivered blocks.
+    pub txs: u64,
+    /// Current BFT view.
+    pub current_view: u64,
+    /// View changes installed.
+    pub view_changes: u64,
 }
 
 /// Handle to a running ordering service.
@@ -55,6 +97,10 @@ pub struct OrderingService {
     next_sub: AtomicUsize,
     height: Arc<AtomicU64>,
     stats: Arc<OrderingStats>,
+    /// Liveness per orderer node: flipped off by
+    /// [`OrderingService::stop_orderer`] so subscriptions route to a live
+    /// replica.
+    alive: Vec<AtomicBool>,
     bft: Option<BftHandle>,
 }
 
@@ -119,6 +165,9 @@ impl OrderingService {
             )),
         };
 
+        let alive = (0..config.orderers)
+            .map(|_| AtomicBool::new(true))
+            .collect();
         Arc::new(OrderingService {
             config,
             input: input_tx,
@@ -127,6 +176,7 @@ impl OrderingService {
             next_sub: AtomicUsize::new(0),
             height,
             stats,
+            alive,
             bft,
         })
     }
@@ -145,7 +195,9 @@ impl OrderingService {
     pub fn submit(&self, tx: Transaction) -> Result<()> {
         self.input
             .send(Input::Tx(Box::new(tx)))
-            .map_err(|_| Error::Shutdown("ordering service stopped".into()))
+            .map_err(|_| Error::Shutdown("ordering service stopped".into()))?;
+        self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Submit a checkpoint vote; it is embedded in a subsequent block.
@@ -163,12 +215,22 @@ impl OrderingService {
         self.subscribe_to(idx)
     }
 
-    /// Subscribe to a specific orderer node.
+    /// Subscribe to a specific orderer node. If that node was stopped
+    /// ([`OrderingService::stop_orderer`]), the subscription fails over
+    /// to the next live one — the paper's peers reconnect to another
+    /// orderer when theirs goes away.
     pub fn subscribe_to(&self, orderer: usize) -> Receiver<Arc<Block>> {
+        let n = self.subscribers.len();
+        let mut idx = orderer % n;
+        for probe in 0..n {
+            let candidate = (orderer + probe) % n;
+            if self.alive[candidate].load(Ordering::Relaxed) {
+                idx = candidate;
+                break;
+            }
+        }
         let (tx, rx) = unbounded();
-        self.subscribers[orderer % self.subscribers.len()]
-            .lock()
-            .push(tx);
+        self.subscribers[idx].lock().push(tx);
         rx
     }
 
@@ -177,12 +239,85 @@ impl OrderingService {
         self.height.load(Ordering::Relaxed)
     }
 
-    /// Delivery counters.
+    /// Delivery counters: `(blocks delivered, transactions ordered)`.
     pub fn stats(&self) -> (u64, u64) {
         (
             self.stats.blocks.load(Ordering::Relaxed),
             self.stats.txs.load(Ordering::Relaxed),
         )
+    }
+
+    /// Full counter snapshot (forwarded, cut, delivered, view state).
+    pub fn stats_snapshot(&self) -> OrderingStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The current BFT view (0 for solo/Kafka).
+    pub fn current_view(&self) -> u64 {
+        self.stats.current_view.load(Ordering::Relaxed)
+    }
+
+    /// Crash orderer node `idx` (BFT backend only): its replica thread
+    /// winds down, its consensus endpoint vanishes, and peers subscribed
+    /// to it are re-homed to the next live orderer — they may see a
+    /// duplicate or a gap at the splice point, which the node-level block
+    /// processor resolves (duplicates are dropped by height; gaps trigger
+    /// peer catch-up). The remaining replicas install a new view the next
+    /// time work is pending and the dead leader makes no progress.
+    pub fn stop_orderer(&self, idx: usize) -> Result<()> {
+        let bft = self.bft.as_ref().ok_or_else(|| {
+            Error::Config("stop_orderer: only the BFT backend models orderer crashes".into())
+        })?;
+        if idx >= self.config.orderers {
+            return Err(Error::NotFound(format!("orderer {idx}")));
+        }
+        bft.stop_replica(idx)?;
+        self.alive[idx].store(false, Ordering::Relaxed);
+        // Re-home the dead orderer's subscribers onto a live replica.
+        let target = (0..self.config.orderers)
+            .map(|probe| (idx + 1 + probe) % self.config.orderers)
+            .find(|i| self.alive[*i].load(Ordering::Relaxed));
+        if let Some(target) = target {
+            let moved: Vec<_> = self.subscribers[idx].lock().drain(..).collect();
+            self.subscribers[target].lock().extend(moved);
+        }
+        Ok(())
+    }
+
+    /// Stall orderer node `idx` (BFT backend only): the replica stays
+    /// registered but stops processing — a hung leader. Undo with
+    /// [`OrderingService::unstall_orderer`]; queued messages are
+    /// processed on resume and the replica adopts whatever view the rest
+    /// of the network moved to.
+    pub fn stall_orderer(&self, idx: usize) -> Result<()> {
+        self.set_stalled(idx, true)
+    }
+
+    /// Resume a stalled orderer node.
+    pub fn unstall_orderer(&self, idx: usize) -> Result<()> {
+        self.set_stalled(idx, false)
+    }
+
+    /// Cut orderer node `idx` off the consensus network, or heal it (BFT
+    /// backend only). While cut off its consensus traffic is dropped
+    /// silently — unlike [`OrderingService::stall_orderer`], the messages
+    /// are *lost*, so a long partition leaves the replica genuinely
+    /// behind; on heal it catches up through the ordering-layer fetch
+    /// path (fast-forwarding if it lagged beyond what peers retain).
+    pub fn partition_orderer(&self, idx: usize, partitioned: bool) -> Result<()> {
+        let bft = self.bft.as_ref().ok_or_else(|| {
+            Error::Config(
+                "partition_orderer: only the BFT backend models orderer partitions".into(),
+            )
+        })?;
+        bft.partition_replica(idx, partitioned)
+    }
+
+    fn set_stalled(&self, idx: usize, stalled: bool) -> Result<()> {
+        let bft = self.bft.as_ref().ok_or_else(|| {
+            Error::Config("stall_orderer: only the BFT backend models orderer stalls".into())
+        })?;
+        bft.stall_replica(idx, stalled)
     }
 
     /// Stop all threads.
@@ -265,6 +400,7 @@ impl Sequencer {
         );
         *prev_hash = block.hash;
         *next_number += 1;
+        self.stats.cut.fetch_add(1, Ordering::Relaxed);
         self.stats.blocks.fetch_add(1, Ordering::Relaxed);
         self.stats
             .txs
