@@ -8,6 +8,11 @@
 //! Tracked metrics and directions:
 //!
 //! * `throughput.tps` — must not drop more than the tolerance;
+//! * `pipeline.speedup` — pipelined vs serial-baseline blocks/s; must
+//!   not drop more than the tolerance;
+//! * `pipeline.vs_concurrent` — pipelined vs pipeline-off blocks/s on
+//!   the same chain; must not drop more than the tolerance (a drop
+//!   below ~1 means the pipeline is hurting);
 //! * `catch_up.duration_ms` — must not grow more than the tolerance;
 //! * `failover.resume_ms` — must not grow more than the tolerance.
 //!
@@ -28,6 +33,15 @@ fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
     let sec_pat = format!("\"{section}\"");
     let sec_at = json.find(&sec_pat)?;
     let body = &json[sec_at + sec_pat.len()..];
+    // The section's value must itself be an object: a skipped phase
+    // (`"section": null` under BENCH_PHASES) must not fall through to
+    // the next section's braces.
+    if body
+        .trim_start_matches([':', ' ', '\n'])
+        .starts_with("null")
+    {
+        return None;
+    }
     let open = body.find('{')?;
     let close = body[open..].find('}')? + open;
     let obj = &body[open..=close];
@@ -85,6 +99,18 @@ fn main() -> ExitCode {
         Gate {
             section: "throughput",
             key: "tps",
+            higher_is_better: true,
+            slack: 0.0,
+        },
+        Gate {
+            section: "pipeline",
+            key: "speedup",
+            higher_is_better: true,
+            slack: 0.0,
+        },
+        Gate {
+            section: "pipeline",
+            key: "vs_concurrent",
             higher_is_better: true,
             slack: 0.0,
         },
@@ -160,8 +186,9 @@ mod tests {
     use super::*;
 
     const SAMPLE: &str = r#"{
-  "schema": "bcrdb-bench-smoke-v2",
+  "schema": "bcrdb-bench-smoke-v3",
   "throughput": { "tps": 388.4, "committed": 1165, "aborted": 0 },
+  "pipeline": { "serial_bps": 45.0, "pipelined_bps": 150.0, "speedup": 3.3, "vs_concurrent": 1.1 },
   "catch_up": { "blocks_fetched": 4, "duration_ms": 423.55, "fast_sync": false },
   "failover": { "committed": 20, "resume_ms": 512.01, "view_changes": 1 }
 }"#;
@@ -169,11 +196,25 @@ mod tests {
     #[test]
     fn extracts_nested_numbers() {
         assert_eq!(extract(SAMPLE, "throughput", "tps"), Some(388.4));
+        assert_eq!(extract(SAMPLE, "pipeline", "speedup"), Some(3.3));
         assert_eq!(extract(SAMPLE, "catch_up", "duration_ms"), Some(423.55));
         assert_eq!(extract(SAMPLE, "failover", "resume_ms"), Some(512.01));
         assert_eq!(extract(SAMPLE, "failover", "view_changes"), Some(1.0));
         assert_eq!(extract(SAMPLE, "nope", "tps"), None);
         assert_eq!(extract(SAMPLE, "throughput", "nope"), None);
+    }
+
+    #[test]
+    fn skipped_null_section_is_missing_not_misread() {
+        // A BENCH_PHASES run writes `"pipeline": null`; the lookup must
+        // not fall through into the next section's object.
+        let json = r#"{
+  "schema": "bcrdb-bench-smoke-v3",
+  "pipeline": null,
+  "catch_up": { "duration_ms": 423.55, "speedup": 99.0 }
+}"#;
+        assert_eq!(extract(json, "pipeline", "speedup"), None);
+        assert_eq!(extract(json, "catch_up", "duration_ms"), Some(423.55));
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! CI smoke benchmark: a quick throughput run, a crash-and-rejoin
-//! catch-up scenario, and an orderer-leader-failover scenario, emitting
-//! one machine-readable `BENCH_smoke.json` artifact so the perf
-//! trajectory (throughput, catch-up duration, failover recovery time) is
+//! CI smoke benchmark: a quick throughput run, a serial-vs-pipelined
+//! block-commit comparison, a crash-and-rejoin catch-up scenario, and an
+//! orderer-leader-failover scenario, emitting one machine-readable
+//! `BENCH_smoke.json` artifact so the perf trajectory (throughput,
+//! pipeline speedup, catch-up duration, failover recovery time) is
 //! tracked run over run — and gated against `BENCH_baseline.json` by the
 //! `bench_compare` bin.
 //!
@@ -9,27 +10,344 @@
 //! well under a minute — this is a trend line, not a rigorous benchmark.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bcrdb_bench::{run_open_loop, BenchNetwork, Workload, WorkloadKind};
 use bcrdb_chain::ledger::TxStatus;
+use bcrdb_common::value::Value;
 use bcrdb_core::{Call, Network, NetworkConfig};
 use bcrdb_network::NetProfile;
 use bcrdb_ordering::OrderingConfig;
 use bcrdb_txn::ssi::Flow;
 
 fn main() {
-    let throughput = throughput_phase();
-    let catch_up = catch_up_phase();
-    let failover = failover_phase();
+    // `BENCH_PHASES=pipeline,throughput` runs a subset (local tuning /
+    // CI triage); skipped phases emit `null` and their gates report the
+    // metric as missing.
+    let only: Option<Vec<String>> = std::env::var("BENCH_PHASES")
+        .ok()
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+    let want = |name: &str| only.as_ref().is_none_or(|v| v.iter().any(|p| p == name));
+    let throughput = if want("throughput") {
+        throughput_phase()
+    } else {
+        "null".into()
+    };
+    let pipeline = if want("pipeline") {
+        pipeline_phase()
+    } else {
+        "null".into()
+    };
+    let catch_up = if want("catch_up") {
+        catch_up_phase()
+    } else {
+        "null".into()
+    };
+    let failover = if want("failover") {
+        failover_phase()
+    } else {
+        "null".into()
+    };
 
     let json = format!(
-        "{{\n  \"schema\": \"bcrdb-bench-smoke-v2\",\n  \"throughput\": {throughput},\n  \
-         \"catch_up\": {catch_up},\n  \"failover\": {failover}\n}}\n"
+        "{{\n  \"schema\": \"bcrdb-bench-smoke-v3\",\n  \"throughput\": {throughput},\n  \
+         \"pipeline\": {pipeline},\n  \"catch_up\": {catch_up},\n  \"failover\": {failover}\n}}\n"
     );
     let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_smoke.json".into());
     std::fs::write(&path, &json).expect("write bench artifact");
     println!("wrote {path}:\n{json}");
+}
+
+/// One run of the pipeline comparison: a pre-built chain fed straight
+/// into the node's block processor, so the block processor — exactly the
+/// subsystem the pipeline restructures — is the bottleneck, not the
+/// ordering service. Both modes process the identical chain.
+struct PipelineRun {
+    blocks: u64,
+    secs: f64,
+    bps: f64,
+    tps: f64,
+    commit_p50_ms: f64,
+    commit_p95_ms: f64,
+}
+
+fn percentile_ms(samples: &[u64], pct: usize) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_unstable();
+    s[(s.len() * pct / 100).min(s.len() - 1)] as f64 / 1000.0
+}
+
+/// Blocks per pipeline run and transactions per block.
+const PIPE_BLOCKS: u64 = 40;
+const PIPE_BLOCK_TXS: u64 = 64;
+/// Simulated per-transaction backend cost (µs) — the `min_exec_micros`
+/// calibration knob (see DESIGN.md's substitution table) that stands in
+/// for the paper's PostgreSQL parse/plan/WAL overhead, giving the
+/// execution stage a realistic weight against the post-commit stage.
+const PIPE_MIN_EXEC_US: u64 = 200;
+
+/// Deterministic identities + the pre-built chain shared by both runs.
+struct PipelineFixture {
+    certs: Arc<bcrdb_crypto::identity::CertificateRegistry>,
+    blocks: Vec<Arc<bcrdb_chain::block::Block>>,
+}
+
+fn pipeline_fixture() -> PipelineFixture {
+    use bcrdb_chain::block::{genesis_prev_hash, Block};
+    use bcrdb_chain::tx::{Payload, Transaction};
+    use bcrdb_crypto::identity::{Certificate, CertificateRegistry, KeyPair, Role, Scheme};
+
+    let client = KeyPair::generate("org1/bench", b"bench", Scheme::Sim);
+    let orderer = KeyPair::generate("ordering/orderer0", b"ord", Scheme::Sim);
+    let certs = CertificateRegistry::new();
+    certs.register(Certificate {
+        name: "org1/bench".into(),
+        org: "org1".into(),
+        role: Role::Client,
+        public_key: client.public_key(),
+    });
+    certs.register(Certificate {
+        name: "ordering/orderer0".into(),
+        org: "ordering".into(),
+        role: Role::Orderer,
+        public_key: orderer.public_key(),
+    });
+
+    let mut blocks = Vec::with_capacity(PIPE_BLOCKS as usize);
+    let mut prev = genesis_prev_hash();
+    let mut n = 0u64;
+    for number in 1..=PIPE_BLOCKS {
+        let txs: Vec<Transaction> = (0..PIPE_BLOCK_TXS)
+            .map(|_| {
+                n += 1;
+                // One fat row per transaction: the post-commit stage
+                // (write-set hashing, ledger records, group fsync) scales
+                // with written bytes, which is exactly the work the
+                // pipeline overlaps with the next block's execution.
+                let args = vec![
+                    Value::Int(n as i64),
+                    Value::Text(format!("payload-{n}-{}", "x".repeat(2048))),
+                ];
+                Transaction::new_order_execute(
+                    "org1/bench",
+                    Payload::new("bench_tx", args),
+                    n,
+                    &client,
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut block = Block::build(number, prev, txs, "solo", vec![]);
+        block.sign(&orderer).unwrap();
+        prev = block.hash;
+        blocks.push(Arc::new(block));
+    }
+    PipelineFixture { certs, blocks }
+}
+
+/// The three block-processing configurations under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PipeMode {
+    /// The Ethereum-style order-then-serial-execute baseline (§5.1):
+    /// one transaction at a time, inline at its commit point.
+    Serial,
+    /// Concurrent execution, synchronous per-block commit (the
+    /// pre-pipeline default; `pipeline = false`).
+    Concurrent,
+    /// The staged commit pipeline (`pipeline = true`).
+    Pipelined,
+}
+
+impl PipeMode {
+    fn label(self) -> &'static str {
+        match self {
+            PipeMode::Serial => "serial",
+            PipeMode::Concurrent => "concurrent",
+            PipeMode::Pipelined => "pipelined",
+        }
+    }
+}
+
+fn pipeline_run(fixture: &PipelineFixture, mode: PipeMode) -> PipelineRun {
+    use bcrdb_node::{Node, NodeConfig};
+
+    let dir = std::env::temp_dir().join(format!(
+        "bcrdb-bench-pipe-{}-{}",
+        std::process::id(),
+        mode.label()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let mut cfg = NodeConfig::new("org1/peer", "org1", Flow::OrderThenExecute);
+    cfg.pipeline = mode == PipeMode::Pipelined;
+    cfg.serial_execution = mode == PipeMode::Serial;
+    cfg.executor_threads = 4;
+    cfg.min_exec_micros = PIPE_MIN_EXEC_US;
+    // Durable store so the comparison includes the group-fsync effect:
+    // serial mode pays a sync_data per appended block on the commit
+    // path, the pipeline batches syncs on the post-commit worker.
+    cfg.fsync = true;
+    cfg.data_dir = Some(dir.clone());
+    let node = Node::new(cfg, Arc::clone(&fixture.certs), vec!["org1".into()]).expect("node");
+    let ddl = "CREATE TABLE bench_pipe (id INT PRIMARY KEY, payload TEXT NOT NULL); \
+               CREATE FUNCTION bench_tx(id INT, p TEXT) AS $$ \
+                 INSERT INTO bench_pipe VALUES ($1, $2) $$";
+    for stmt in bcrdb_sql::parse_statements(ddl).expect("ddl") {
+        match stmt {
+            bcrdb_sql::ast::Statement::CreateTable { .. } => {}
+            bcrdb_sql::ast::Statement::CreateFunction(def) => {
+                node.contracts().install(def).expect("contract");
+                continue;
+            }
+            _ => continue,
+        }
+        // CreateTable: materialize via the schema helper.
+        if let bcrdb_sql::ast::Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+        } = stmt
+        {
+            let cols: Vec<bcrdb_common::schema::Column> = columns
+                .iter()
+                .map(|c| bcrdb_common::schema::Column {
+                    name: c.name.clone(),
+                    dtype: c.dtype,
+                    nullable: c.nullable && !c.inline_pk,
+                })
+                .collect();
+            let mut pk: Vec<usize> = columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.inline_pk)
+                .map(|(i, _)| i)
+                .collect();
+            if !primary_key.is_empty() {
+                pk = primary_key
+                    .iter()
+                    .map(|n| {
+                        columns
+                            .iter()
+                            .position(|c| &c.name == n)
+                            .expect("pk column")
+                    })
+                    .collect();
+            }
+            let schema = bcrdb_common::schema::TableSchema::new(name, cols, pk).expect("schema");
+            node.catalog().create_table(schema).expect("table");
+        }
+    }
+
+    let (tx, rx) = crossbeam_channel::unbounded();
+    node.start(rx);
+    let t0 = Instant::now();
+    for b in &fixture.blocks {
+        tx.send(Arc::clone(b)).expect("feed block");
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while node.postcommit_height() < PIPE_BLOCKS {
+        assert!(Instant::now() < deadline, "pipeline bench run stalled");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let committed = node.metrics().committed();
+    assert_eq!(
+        committed,
+        PIPE_BLOCKS * PIPE_BLOCK_TXS,
+        "no aborts expected"
+    );
+    let samples = node.metrics().commit_stage_samples();
+    if std::env::var("BENCH_PIPE_DEBUG").is_ok() {
+        let m = node.metrics().take();
+        eprintln!(
+            "debug[{}]: bpt {:.2} ms, bet {:.2} ms, commit {:.2} ms, post {:.2} ms",
+            mode.label(),
+            m.bpt_ms,
+            m.bet_ms,
+            m.commit_stage_ms,
+            m.post_stage_ms
+        );
+    }
+    node.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    PipelineRun {
+        blocks: PIPE_BLOCKS,
+        secs,
+        bps: PIPE_BLOCKS as f64 / secs,
+        tps: committed as f64 / secs,
+        commit_p50_ms: percentile_ms(&samples, 50),
+        commit_p95_ms: percentile_ms(&samples, 95),
+    }
+}
+
+/// Serial vs pipelined block commit on the same pre-built chain — the
+/// headline number for the staged commit pipeline (execution of block
+/// N+1 and post-commit work of block N overlap the serial commit core).
+fn pipeline_phase() -> String {
+    let fixture = pipeline_fixture();
+    // Best-of-N per mode: on loaded single-core CI runners, scheduler
+    // noise dwarfs the effect under test; the best run is the cleanest
+    // observation of each mode's capability on identical work.
+    let runs = 3;
+    let best = |mode: PipeMode| {
+        (0..runs)
+            .map(|_| pipeline_run(&fixture, mode))
+            .max_by(|a, b| a.bps.total_cmp(&b.bps))
+            .expect("runs > 0")
+    };
+    let serial = best(PipeMode::Serial);
+    let concurrent = best(PipeMode::Concurrent);
+    let pipelined = best(PipeMode::Pipelined);
+    // Headline: the staged pipeline vs the paper's serial-execution
+    // baseline (§5.1) on the same chain. The pipelined/concurrent ratio
+    // isolates the pipeline itself; on a single-core runner it is
+    // modest (CPU work is conserved — the pipeline overlaps waits), on
+    // real hardware it tracks the post-commit share of a block.
+    let speedup = if serial.bps > 0.0 {
+        pipelined.bps / serial.bps
+    } else {
+        0.0
+    };
+    let vs_concurrent = if concurrent.bps > 0.0 {
+        pipelined.bps / concurrent.bps
+    } else {
+        0.0
+    };
+    for (mode, run) in [
+        ("serial", &serial),
+        ("concurrent", &concurrent),
+        ("pipelined", &pipelined),
+    ] {
+        println!(
+            "pipeline: {mode:<10} {:>6.1} blocks/s ({} blocks in {:.2}s, {:>6.0} tx/s, \
+             commit p50/p95 {:.2}/{:.2} ms)",
+            run.bps, run.blocks, run.secs, run.tps, run.commit_p50_ms, run.commit_p95_ms
+        );
+    }
+    println!("pipeline: pipelined vs serial {speedup:.2}x, vs concurrent {vs_concurrent:.2}x");
+    format!(
+        "{{ \"serial_bps\": {:.2}, \"concurrent_bps\": {:.2}, \"pipelined_bps\": {:.2}, \
+         \"speedup\": {:.3}, \"vs_concurrent\": {:.3}, \
+         \"serial_tps\": {:.1}, \"pipelined_tps\": {:.1}, \
+         \"serial_commit_p50_ms\": {:.3}, \"serial_commit_p95_ms\": {:.3}, \
+         \"pipelined_commit_p50_ms\": {:.3}, \"pipelined_commit_p95_ms\": {:.3} }}",
+        serial.bps,
+        concurrent.bps,
+        pipelined.bps,
+        speedup,
+        vs_concurrent,
+        serial.tps,
+        pipelined.tps,
+        serial.commit_p50_ms,
+        serial.commit_p95_ms,
+        pipelined.commit_p50_ms,
+        pipelined.commit_p95_ms
+    )
 }
 
 /// Open-loop throughput of the OE flow with the simple contract on an

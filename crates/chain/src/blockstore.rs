@@ -30,6 +30,8 @@ pub struct BlockStore {
 struct Inner {
     blocks: Vec<Arc<Block>>,
     file: Option<File>,
+    /// Bytes written since the last `sync_data` (deferred appends).
+    unsynced: bool,
 }
 
 impl std::fmt::Debug for BlockStore {
@@ -50,6 +52,7 @@ impl BlockStore {
             inner: Mutex::new(Inner {
                 blocks: Vec::new(),
                 file: None,
+                unsynced: false,
             }),
         }
     }
@@ -150,6 +153,7 @@ impl BlockStore {
             inner: Mutex::new(Inner {
                 blocks,
                 file: Some(file),
+                unsynced: false,
             }),
         })
     }
@@ -174,8 +178,23 @@ impl BlockStore {
     }
 
     /// Append a block. It must extend the chain (`number == height + 1`,
-    /// `prev_hash == tip`).
+    /// `prev_hash == tip`). With `fsync` configured, the append is made
+    /// durable (`sync_data`) before returning.
     pub fn append(&self, block: Block) -> Result<Arc<Block>> {
+        self.append_inner(block, false)
+    }
+
+    /// Append a block *without* syncing it, even when the store is
+    /// configured with `fsync` — the group-fsync half of the pipelined
+    /// commit path: the block processor appends blocks as they arrive
+    /// and the post-commit worker later calls [`BlockStore::sync`] once
+    /// per batch (before client notifications go out), so the durability
+    /// of blocks N and N+1 costs one `sync_data` instead of two.
+    pub fn append_deferred(&self, block: Block) -> Result<Arc<Block>> {
+        self.append_inner(block, true)
+    }
+
+    fn append_inner(&self, block: Block, defer_sync: bool) -> Result<Arc<Block>> {
         let mut inner = self.inner.lock();
         let expected_number = inner.blocks.len() as u64 + 1;
         if block.number != expected_number {
@@ -200,12 +219,33 @@ impl BlockStore {
             file.write_all(&bytes)?;
             file.flush()?;
             if self.fsync {
-                file.sync_data()?;
+                if defer_sync {
+                    inner.unsynced = true;
+                } else {
+                    file.sync_data()?;
+                    // This sync covered any earlier deferred appends too.
+                    inner.unsynced = false;
+                }
             }
         }
         let arc = Arc::new(block);
         inner.blocks.push(Arc::clone(&arc));
         Ok(arc)
+    }
+
+    /// Make every deferred append durable. Returns `true` when a
+    /// `sync_data` was actually issued (`false`: nothing was pending, or
+    /// the store is in-memory / not configured for fsync).
+    pub fn sync(&self) -> Result<bool> {
+        let mut inner = self.inner.lock();
+        if !self.fsync || !inner.unsynced {
+            return Ok(false);
+        }
+        if let Some(file) = inner.file.as_mut() {
+            file.sync_data()?;
+        }
+        inner.unsynced = false;
+        Ok(true)
     }
 
     /// Fetch a block by height (1-based).
@@ -259,6 +299,35 @@ mod tests {
         // Gap and wrong-prev appends rejected.
         assert!(store.append(block(4, store.tip_hash())).is_err());
         assert!(store.append(block(3, genesis_prev_hash())).is_err());
+    }
+
+    #[test]
+    fn deferred_appends_batch_into_one_sync() {
+        let dir = std::env::temp_dir().join(format!("bcrdb-bs-group-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blocks.dat");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = BlockStore::open_with(&path, true).unwrap();
+            assert!(!store.sync().unwrap(), "nothing pending on a fresh store");
+            let b1 = block(1, genesis_prev_hash());
+            let h1 = b1.hash;
+            store.append_deferred(b1).unwrap();
+            store.append_deferred(block(2, h1)).unwrap();
+            // One sync covers both deferred appends; a second is a no-op.
+            assert!(store.sync().unwrap());
+            assert!(!store.sync().unwrap());
+            // A durable append does not leave the store dirty.
+            store.append(block(3, store.tip_hash())).unwrap();
+            assert!(!store.sync().unwrap());
+        }
+        let store = BlockStore::open_with(&path, true).unwrap();
+        assert_eq!(store.height(), 3);
+        // Without fsync configured, sync never reports work.
+        let mem = BlockStore::in_memory();
+        mem.append_deferred(block(1, genesis_prev_hash())).unwrap();
+        assert!(!mem.sync().unwrap());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

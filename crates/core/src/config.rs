@@ -74,6 +74,15 @@ pub struct NetworkConfig {
     /// instead of blocks; 0 disables fast-sync. See
     /// `NodeConfig::snapshot_lag_threshold`.
     pub snapshot_lag_threshold: u64,
+    /// Pipelined block commit on every node: overlap execution,
+    /// the serial commit core and post-commit work across consecutive
+    /// blocks. See `NodeConfig::pipeline`. Defaults to on; the
+    /// `BCRDB_PIPELINE` environment variable (`off`/`0`/`false`)
+    /// disables it network-wide for A/B runs and the CI test matrix.
+    pub pipeline: bool,
+    /// Run each node's maintenance vacuum every N blocks (0 = never);
+    /// see `NodeConfig::vacuum_interval`.
+    pub vacuum_interval: u64,
 }
 
 impl NetworkConfig {
@@ -101,6 +110,8 @@ impl NetworkConfig {
             gap_timeout: Duration::from_secs(1),
             sync_batch: 64,
             snapshot_lag_threshold: 512,
+            pipeline: bcrdb_node::pipeline_enabled_by_env(),
+            vacuum_interval: 0,
         }
     }
 

@@ -502,17 +502,30 @@ impl Network {
         Ok(())
     }
 
-    /// Wait until every node committed at least `height`.
+    /// Wait until every node committed at least `height` **and** finished
+    /// its post-commit work for it (ledger records, checkpoint hashes,
+    /// notifications — the pipelined stage 3 may trail the committed
+    /// height by a few blocks), so callers can assert on ledger and
+    /// checkpoint state immediately after this returns.
     pub fn await_height(&self, height: BlockHeight, timeout: Duration) -> Result<()> {
         let deadline = Instant::now() + timeout;
         loop {
-            if self.nodes().iter().all(|n| n.height() >= height) {
+            if self
+                .nodes()
+                .iter()
+                .all(|n| n.height() >= height && n.postcommit_height() >= height)
+            {
                 return Ok(());
             }
             if Instant::now() >= deadline {
-                let heights: Vec<BlockHeight> = self.nodes().iter().map(|n| n.height()).collect();
+                let heights: Vec<(BlockHeight, BlockHeight)> = self
+                    .nodes()
+                    .iter()
+                    .map(|n| (n.height(), n.postcommit_height()))
+                    .collect();
                 return Err(Error::internal(format!(
-                    "timed out waiting for height {height}: nodes at {heights:?}"
+                    "timed out waiting for height {height}: nodes at \
+                     (committed, post-commit) {heights:?}"
                 )));
             }
             std::thread::sleep(Duration::from_millis(5));
@@ -598,6 +611,8 @@ fn launch_node(
     node_cfg.gap_timeout = config.gap_timeout;
     node_cfg.sync_batch = config.sync_batch;
     node_cfg.snapshot_lag_threshold = config.snapshot_lag_threshold;
+    node_cfg.pipeline = config.pipeline;
+    node_cfg.vacuum_interval = config.vacuum_interval;
     node_cfg.data_dir = config.data_root.as_ref().map(|root| root.join(org));
     let node = Node::new(node_cfg, Arc::clone(certs), config.orgs.clone())?;
     system::bootstrap_node(&node)?;

@@ -71,6 +71,40 @@ pub struct NodeConfig {
     /// `allow_snapshot`). 0 disables snapshot fast-sync on the serving
     /// side.
     pub snapshot_lag_threshold: u64,
+    /// Pipelined block commit (§3.3.2–§3.3.4 staging): overlap the
+    /// execution of block N+1 and the post-commit work of block N with
+    /// the serial commit phase, which keeps only the ordering-dependent
+    /// core (SSI check, PK check, write-set apply, row-id allocation) on
+    /// the commit thread. Off = fully synchronous per-block processing
+    /// (the pre-pipeline behavior). Ignored when `serial_execution` is
+    /// set — the §5.1 baseline is by definition free of any overlap.
+    /// Defaults to on, overridable with the `BCRDB_PIPELINE`
+    /// environment variable (see [`pipeline_enabled_by_env`]).
+    pub pipeline: bool,
+    /// Maximum blocks admitted into the pipeline (verified, appended and
+    /// execution-dispatched) ahead of the serial commit point. Minimum 1.
+    pub pipeline_depth: usize,
+    /// Maximum serially-committed blocks whose post-commit work (ledger
+    /// records, write-set hashing, checkpoint vote, notifications) may
+    /// still be queued on the post-commit worker before the commit
+    /// thread blocks — the pipeline's backpressure bound. Minimum 1.
+    pub postcommit_cap: usize,
+    /// Run the maintenance vacuum every N blocks (0 = never), reclaiming
+    /// row versions deleted at or before the checkpoint-retention
+    /// horizon. Counted in `NodeMetrics` (`vacuum_runs` /
+    /// `versions_reclaimed`).
+    pub vacuum_interval: u64,
+}
+
+/// The default for [`NodeConfig::pipeline`], read from the
+/// `BCRDB_PIPELINE` environment variable: `off`, `0` or `false` disable
+/// the pipelined commit path (the CI test matrix runs tier-1 both ways);
+/// anything else — including unset — enables it.
+pub fn pipeline_enabled_by_env() -> bool {
+    !matches!(
+        std::env::var("BCRDB_PIPELINE").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
 }
 
 impl NodeConfig {
@@ -94,6 +128,10 @@ impl NodeConfig {
             gap_timeout: Duration::from_secs(1),
             sync_batch: 64,
             snapshot_lag_threshold: 512,
+            pipeline: pipeline_enabled_by_env(),
+            pipeline_depth: 4,
+            postcommit_cap: 8,
+            vacuum_interval: 0,
         }
     }
 }

@@ -169,13 +169,20 @@ impl ExecPool {
             return;
         }
         // Wait-for-height rule (§3.4.1): park until the chain catches up.
-        if task.snapshot_height > env.committed_height.load(Ordering::Relaxed) {
-            self.waiting
-                .lock()
-                .entry(task.snapshot_height)
-                .or_default()
-                .push(task);
-            return;
+        // The committed-height check and the parking insert happen under
+        // the `waiting` lock, and `release_waiting` (which runs on the
+        // commit thread *after* the height store) drains under the same
+        // lock — so a task can never slip between "height checked stale"
+        // and "parked after the release already swept". With the
+        // pipelined commit path pre-dispatching block N+1's transactions
+        // while block N commits, a task lost to that race would deadlock
+        // the commit thread until `exec_wait_timeout`.
+        {
+            let mut waiting = self.waiting.lock();
+            if task.snapshot_height > env.committed_height.load(Ordering::Relaxed) {
+                waiting.entry(task.snapshot_height).or_default().push(task);
+                return;
+            }
         }
         let started = Instant::now();
         let ctx = TxnCtx::begin(&env.ssi, task.snapshot_height, task.mode);

@@ -44,7 +44,9 @@ pub mod slots;
 pub mod statements;
 pub mod sync;
 
-pub use config::{NodeConfig, NodeHooks, OrderingStatsHook, SyncFetchHook};
+pub use config::{
+    pipeline_enabled_by_env, NodeConfig, NodeHooks, OrderingStatsHook, SyncFetchHook,
+};
 pub use exec_pool::{NativeContract, NativeCtx};
 pub use frontend::{ClientRequest, ClientResponse, Frontend};
 pub use metrics::{MetricsSnapshot, NodeMetrics, OrderingSnapshot};

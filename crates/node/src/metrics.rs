@@ -11,10 +11,15 @@
 //! * `su`  — system utilization, `bpr × bpt` (fraction of time the block
 //!   processor is busy).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
+
+/// Bound on the per-block commit-stage latency reservoir kept for
+/// percentile reporting ([`NodeMetrics::commit_stage_samples`]).
+const STAGE_SAMPLE_CAP: usize = 4096;
 
 /// Atomic counters accumulated since the last [`NodeMetrics::take`].
 pub struct NodeMetrics {
@@ -28,6 +33,25 @@ pub struct NodeMetrics {
     txs_committed: AtomicU64,
     txs_aborted: AtomicU64,
     missing_txs: AtomicU64,
+    // Pipeline stage accounting. The serial-commit (stage 2) and
+    // post-commit (stage 3) counters are windowed like bpt/bet; the
+    // depth gauges reflect the moment of the snapshot.
+    commit_stage_us: AtomicU64,
+    commit_stage_blocks: AtomicU64,
+    post_stage_us: AtomicU64,
+    post_stage_blocks: AtomicU64,
+    pipeline_depth: AtomicU64,
+    postcommit_depth: AtomicU64,
+    /// Per-block serial-commit durations (µs), bounded ring — the
+    /// percentile source for the bench harness.
+    commit_stage_ring: Mutex<VecDeque<u64>>,
+    // Health: set when the block processor stops on a rejected block
+    // (byzantine orderer or local corruption, §3.5(4)). Never reset.
+    halted: AtomicBool,
+    halt_reason: Mutex<Option<String>>,
+    // Maintenance (vacuum tick). Cumulative since node start.
+    vacuum_runs: AtomicU64,
+    versions_reclaimed: AtomicU64,
     // Catch-up / gap bookkeeping (§3.6). Cumulative since node start —
     // these describe rare recovery events, not windowed rates, so
     // [`NodeMetrics::take`] reports them without resetting.
@@ -88,6 +112,35 @@ pub struct MetricsSnapshot {
     pub committed: u64,
     /// Aborted transactions in the window.
     pub aborted: u64,
+    /// Mean serial-commit (pipeline stage 2) time per block (ms).
+    pub commit_stage_ms: f64,
+    /// Mean post-commit (pipeline stage 3: ledger, hashing, checkpoint
+    /// vote, notifications) time per block (ms).
+    pub post_stage_ms: f64,
+    /// Blocks admitted to the pipeline but not yet serially committed
+    /// (gauge at snapshot time; 0 when the pipeline is disabled).
+    pub pipeline_depth: u64,
+    /// Blocks serially committed but with post-commit work still queued
+    /// (gauge at snapshot time; 0 when the pipeline is disabled).
+    pub postcommit_depth: u64,
+    /// True when the block processor halted on a rejected block and the
+    /// node stopped committing (§3.5(4)); sticky until restart.
+    pub halted: bool,
+    /// Committed block height at snapshot time (gauge; populated by the
+    /// node's Metrics RPC, zero when taken directly from `NodeMetrics`).
+    pub committed_height: u64,
+    /// Post-commit watermark at snapshot time: the highest block whose
+    /// ledger records, checkpoint hash and notifications are fully
+    /// applied. Trails `committed_height` by at most
+    /// `NodeConfig::postcommit_cap` while the pipeline is busy — a
+    /// remote client that needs height-gated *ledger* reads can gate on
+    /// this instead of `ChainHeight` (gauge; populated like
+    /// `committed_height`).
+    pub postcommit_height: u64,
+    /// Maintenance vacuum runs since node start (cumulative).
+    pub vacuum_runs: u64,
+    /// Row versions reclaimed by maintenance vacuums (cumulative).
+    pub versions_reclaimed: u64,
     /// Out-of-order blocks currently held back by the block processor
     /// (gauge at snapshot time).
     pub held_back: u64,
@@ -121,6 +174,17 @@ impl NodeMetrics {
             txs_committed: AtomicU64::new(0),
             txs_aborted: AtomicU64::new(0),
             missing_txs: AtomicU64::new(0),
+            commit_stage_us: AtomicU64::new(0),
+            commit_stage_blocks: AtomicU64::new(0),
+            post_stage_us: AtomicU64::new(0),
+            post_stage_blocks: AtomicU64::new(0),
+            pipeline_depth: AtomicU64::new(0),
+            postcommit_depth: AtomicU64::new(0),
+            commit_stage_ring: Mutex::new(VecDeque::with_capacity(STAGE_SAMPLE_CAP)),
+            halted: AtomicBool::new(false),
+            halt_reason: Mutex::new(None),
+            vacuum_runs: AtomicU64::new(0),
+            versions_reclaimed: AtomicU64::new(0),
             held_back: AtomicU64::new(0),
             gap_events: AtomicU64::new(0),
             pending_evicted: AtomicU64::new(0),
@@ -167,6 +231,83 @@ impl NodeMetrics {
     /// Committed count so far in this window.
     pub fn committed(&self) -> u64 {
         self.txs_committed.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------- pipeline stages
+
+    /// One block finished its serial-commit stage (stage 2); duration in
+    /// microseconds. Also feeds the bounded percentile reservoir.
+    pub fn on_commit_stage(&self, us: u64) {
+        self.commit_stage_us.fetch_add(us, Ordering::Relaxed);
+        self.commit_stage_blocks.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.commit_stage_ring.lock();
+        if ring.len() == STAGE_SAMPLE_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(us);
+    }
+
+    /// One block finished its post-commit stage (stage 3); duration in
+    /// microseconds.
+    pub fn on_post_stage(&self, us: u64) {
+        self.post_stage_us.fetch_add(us, Ordering::Relaxed);
+        self.post_stage_blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Update the pipeline-depth gauges: blocks admitted but not yet
+    /// serially committed, and blocks committed with post-commit work
+    /// still pending.
+    pub fn set_pipeline_depths(&self, inflight: u64, postcommit: u64) {
+        self.pipeline_depth.store(inflight, Ordering::Relaxed);
+        self.postcommit_depth.store(postcommit, Ordering::Relaxed);
+    }
+
+    /// The recent per-block serial-commit durations (µs, oldest first;
+    /// bounded reservoir) — the bench harness derives p50/p95 commit-
+    /// stage latency from this.
+    pub fn commit_stage_samples(&self) -> Vec<u64> {
+        self.commit_stage_ring.lock().iter().copied().collect()
+    }
+
+    // ------------------------------------------------------------ health
+
+    /// The block processor halted on a rejected block; record why. The
+    /// flag is sticky — a halted processor never resumes (§3.5(4)).
+    pub fn set_halted(&self, reason: impl Into<String>) {
+        let mut r = self.halt_reason.lock();
+        if r.is_none() {
+            *r = Some(reason.into());
+        }
+        self.halted.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the block processor halted?
+    pub fn halted(&self) -> bool {
+        self.halted.load(Ordering::Relaxed)
+    }
+
+    /// Why the processor halted, if it did.
+    pub fn halt_reason(&self) -> Option<String> {
+        self.halt_reason.lock().clone()
+    }
+
+    // ------------------------------------------------------- maintenance
+
+    /// A maintenance vacuum ran, reclaiming `versions` row versions.
+    pub fn on_vacuum(&self, versions: u64) {
+        self.vacuum_runs.fetch_add(1, Ordering::Relaxed);
+        self.versions_reclaimed
+            .fetch_add(versions, Ordering::Relaxed);
+    }
+
+    /// Maintenance vacuum runs since node start.
+    pub fn vacuum_runs(&self) -> u64 {
+        self.vacuum_runs.load(Ordering::Relaxed)
+    }
+
+    /// Row versions reclaimed by maintenance vacuums since node start.
+    pub fn versions_reclaimed(&self) -> u64 {
+        self.versions_reclaimed.load(Ordering::Relaxed)
     }
 
     // ------------------------------------------- catch-up / gap counters
@@ -242,6 +383,10 @@ impl NodeMetrics {
         let committed = self.txs_committed.swap(0, Ordering::Relaxed);
         let aborted = self.txs_aborted.swap(0, Ordering::Relaxed);
         let missing = self.missing_txs.swap(0, Ordering::Relaxed);
+        let commit_us = self.commit_stage_us.swap(0, Ordering::Relaxed);
+        let commit_blocks = self.commit_stage_blocks.swap(0, Ordering::Relaxed);
+        let post_us = self.post_stage_us.swap(0, Ordering::Relaxed);
+        let post_blocks = self.post_stage_blocks.swap(0, Ordering::Relaxed);
 
         let bpt_ms = if processed > 0 {
             bpt_us as f64 / processed as f64 / 1000.0
@@ -271,6 +416,23 @@ impl NodeMetrics {
             su: (bpr * bpt_ms / 1000.0).min(1.0),
             committed,
             aborted,
+            commit_stage_ms: if commit_blocks > 0 {
+                commit_us as f64 / commit_blocks as f64 / 1000.0
+            } else {
+                0.0
+            },
+            post_stage_ms: if post_blocks > 0 {
+                post_us as f64 / post_blocks as f64 / 1000.0
+            } else {
+                0.0
+            },
+            pipeline_depth: self.pipeline_depth.load(Ordering::Relaxed),
+            postcommit_depth: self.postcommit_depth.load(Ordering::Relaxed),
+            halted: self.halted.load(Ordering::Relaxed),
+            committed_height: 0,
+            postcommit_height: 0,
+            vacuum_runs: self.vacuum_runs.load(Ordering::Relaxed),
+            versions_reclaimed: self.versions_reclaimed.load(Ordering::Relaxed),
             held_back: self.held_back.load(Ordering::Relaxed),
             gap_events: self.gap_events.load(Ordering::Relaxed),
             pending_evicted: self.pending_evicted.load(Ordering::Relaxed),
@@ -316,5 +478,48 @@ mod tests {
         let s2 = m.take();
         assert_eq!(s2.committed, 0);
         assert_eq!(s2.bpt_ms, 0.0);
+    }
+
+    #[test]
+    fn stage_counters_average_and_reset() {
+        let m = NodeMetrics::new();
+        m.on_commit_stage(2_000);
+        m.on_commit_stage(4_000);
+        m.on_post_stage(10_000);
+        m.set_pipeline_depths(3, 2);
+        let s = m.take();
+        assert!((s.commit_stage_ms - 3.0).abs() < 1e-9);
+        assert!((s.post_stage_ms - 10.0).abs() < 1e-9);
+        assert_eq!(s.pipeline_depth, 3);
+        assert_eq!(s.postcommit_depth, 2);
+        assert_eq!(m.commit_stage_samples(), vec![2_000, 4_000]);
+        // Windowed averages reset; gauges and samples persist.
+        let s2 = m.take();
+        assert_eq!(s2.commit_stage_ms, 0.0);
+        assert_eq!(s2.pipeline_depth, 3);
+    }
+
+    #[test]
+    fn halted_flag_is_sticky_with_first_reason() {
+        let m = NodeMetrics::new();
+        assert!(!m.halted());
+        assert!(!m.take().halted);
+        m.set_halted("block 7 rejected");
+        m.set_halted("later reason ignored");
+        assert!(m.halted());
+        assert_eq!(m.halt_reason().as_deref(), Some("block 7 rejected"));
+        assert!(m.take().halted, "snapshot exposes the health flag");
+    }
+
+    #[test]
+    fn vacuum_counters_accumulate() {
+        let m = NodeMetrics::new();
+        m.on_vacuum(10);
+        m.on_vacuum(0);
+        assert_eq!(m.vacuum_runs(), 2);
+        assert_eq!(m.versions_reclaimed(), 10);
+        let s = m.take();
+        assert_eq!(s.vacuum_runs, 2);
+        assert_eq!(s.versions_reclaimed, 10);
     }
 }

@@ -31,7 +31,7 @@ use bcrdb_storage::version::Version;
 use bcrdb_txn::context::TxnCtx;
 use bcrdb_txn::ssi::{Flow, SsiManager};
 use crossbeam_channel::Receiver;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::config::{NodeConfig, NodeHooks};
 use crate::exec_pool::{ExecEnv, ExecPool, ExecTask, NativeContract};
@@ -72,6 +72,27 @@ pub struct Node {
     /// statement reuse amortizes parsing). Bounded LRU, cap from
     /// [`NodeConfig::statement_cache_cap`].
     statements: Mutex<StatementCache>,
+    /// Stage-3 watermark: the highest block whose post-commit work
+    /// (ledger records, checkpoint hash, notifications) has completed.
+    /// Equal to the committed height when the pipeline is off; may lag
+    /// it by up to `NodeConfig::postcommit_cap` blocks when on.
+    postcommit: PostCommitMark,
+}
+
+/// The post-commit watermark plus the condvar the commit thread blocks
+/// on for backpressure, snapshot barriers and catch-up drains.
+struct PostCommitMark {
+    height: Mutex<BlockHeight>,
+    cv: Condvar,
+}
+
+impl PostCommitMark {
+    fn new(height: BlockHeight) -> PostCommitMark {
+        PostCommitMark {
+            height: Mutex::new(height),
+            cv: Condvar::new(),
+        }
+    }
 }
 
 impl Node {
@@ -157,6 +178,7 @@ impl Node {
             latest_snapshot: Mutex::new(cached_snapshot),
             last_sync: Mutex::new(None),
             statements,
+            postcommit: PostCommitMark::new(restored_height),
         });
 
         Ok(node)
@@ -269,6 +291,7 @@ impl Node {
         self.env
             .committed_height
             .store(snap.height, Ordering::Relaxed);
+        self.note_postcommit(snap.height);
         self.env.metrics.on_fast_sync();
         Ok(())
     }
@@ -311,6 +334,8 @@ impl Node {
     /// to the service.
     pub fn metrics_report(&self) -> crate::metrics::MetricsSnapshot {
         let mut snap = self.env.metrics.take();
+        snap.committed_height = self.height();
+        snap.postcommit_height = self.postcommit_height();
         if let Some(hook) = &self.hooks.read().ordering_stats {
             snap.ordering = hook();
         }
@@ -320,6 +345,47 @@ impl Node {
     /// Committed block height.
     pub fn height(&self) -> BlockHeight {
         self.env.committed_height.load(Ordering::Relaxed)
+    }
+
+    /// Post-commit (stage 3) watermark: the highest block whose ledger
+    /// records, checkpoint hash and client notifications are fully
+    /// applied. Trails [`Node::height`] by at most
+    /// `NodeConfig::postcommit_cap` blocks while the pipeline is busy.
+    pub fn postcommit_height(&self) -> BlockHeight {
+        *self.postcommit.height.lock()
+    }
+
+    /// Advance the post-commit watermark (stage-3 worker / synchronous
+    /// tail) and wake anyone blocked on it.
+    pub(crate) fn note_postcommit(&self, height: BlockHeight) {
+        let mut h = self.postcommit.height.lock();
+        if *h < height {
+            *h = height;
+        }
+        self.postcommit.cv.notify_all();
+    }
+
+    /// Block until the post-commit watermark reaches `height` or the
+    /// timeout elapses; returns whether the watermark is there. Callers
+    /// loop with short timeouts so shutdown is always observed.
+    pub(crate) fn wait_postcommit(
+        &self,
+        height: BlockHeight,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let mut h = self.postcommit.height.lock();
+        if *h >= height {
+            return true;
+        }
+        self.postcommit.cv.wait_for(&mut h, timeout);
+        *h >= height
+    }
+
+    /// Has the block processor halted on a rejected block (§3.5(4))?
+    /// Sticky; the reason is in [`NodeMetrics::halt_reason`]. Exposed to
+    /// remote clients through the Metrics RPC (`MetricsSnapshot::halted`).
+    pub fn is_halted(&self) -> bool {
+        self.env.metrics.halted()
     }
 
     /// Start the block-processing loop on `block_rx` (blocks delivered by
@@ -332,9 +398,16 @@ impl Node {
             .expect("spawn block processor");
     }
 
-    /// Stop processing (threads exit at the next opportunity).
+    /// Stop processing (threads exit at the next opportunity). Never
+    /// blocks — including on a halted processor: the pipelined commit
+    /// thread checks this flag between wait slices, and the post-commit
+    /// worker exits once its queue drains, so a processor that stopped
+    /// on a rejected block leaves nothing for shutdown to wait on. The
+    /// watermark waiters are woken so a commit thread blocked on
+    /// backpressure or a snapshot barrier re-checks the flag immediately.
     pub fn shutdown(&self) {
         self.shutting_down.store(true, Ordering::Relaxed);
+        self.postcommit.cv.notify_all();
     }
 
     // -------------------------------------------------------- submission

@@ -1,4 +1,5 @@
-//! Block processing: the execution and committing phases of both flows.
+//! Block processing: the execution and committing phases of both flows,
+//! staged as a pipeline across blocks.
 //!
 //! Order of operations per block (§3.3.2–§3.3.4, §3.4.3):
 //!
@@ -13,7 +14,42 @@
 //!    compute the write-set hash and submit the checkpoint vote;
 //! 5. compare checkpoint votes carried in the block's metadata against our
 //!    own hashes (tamper/divergence detection, §3.5).
+//!
+//! ## The commit pipeline (`NodeConfig::pipeline`)
+//!
+//! The paper splits processing into an execution phase and a *serial*
+//! commit phase precisely so that only ordering-dependent work is
+//! serialized. With the pipeline enabled (the default), the processor
+//! exploits that split across consecutive blocks:
+//!
+//! * **Stage 1 — admit & pre-execute.** As soon as block N+1 is verified
+//!   and appended, its not-yet-executing transactions are dispatched to
+//!   the [`crate::exec_pool::ExecPool`] — while block N is still
+//!   committing. This is safe because visibility is height-gated, not
+//!   thread-gated: OE-flow transactions execute at snapshot height N and
+//!   the pool's wait-for-height rule parks them until block N's writes
+//!   are fully applied, while EO-flow transactions always race the
+//!   commit phase by design and are kept deterministic by strict-mode
+//!   phantom/stale detection plus the block-aware commit rules (Table 2).
+//! * **Stage 2 — serial commit.** Only the deterministic core stays on
+//!   the commit thread: SSI commit check, primary-key check, write-set
+//!   application and row-id allocation, strictly in block order.
+//! * **Stage 3 — post-commit.** Ledger-table records, write-set hashing,
+//!   the checkpoint-vote submission, client notifications, embedded-vote
+//!   comparison and periodic maintenance move to an ordered post-commit
+//!   worker, bounded by `NodeConfig::postcommit_cap`. Block-store
+//!   durability is group-fsynced there: appends defer their `sync_data`
+//!   and the worker syncs once before notifying, so the durability of
+//!   blocks N and N+1 can batch into one sync.
+//!
+//! Determinism is unaffected: stages 1 and 3 perform no
+//! ordering-dependent decisions (stage 3 is pure function of stage 2's
+//! output, applied in block order by a single worker), and stage 2 is
+//! byte-for-byte the serial path's commit loop. With `pipeline` off,
+//! every block runs all three stages synchronously — the pre-pipeline
+//! behavior, kept for the recovery/catch-up replay path as well.
 
+use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -29,9 +65,9 @@ use bcrdb_engine::procedures::ContractRegistry;
 use bcrdb_sql::validate::DeterminismRules;
 use bcrdb_storage::catalog::Catalog;
 use bcrdb_storage::snapshot::ScanMode;
-use bcrdb_txn::context::CommitOutcome;
+use bcrdb_txn::context::WriteRecord;
 use bcrdb_txn::ssi::Flow;
-use crossbeam_channel::Receiver;
+use crossbeam_channel::{Receiver, TryRecvError};
 
 use crate::exec_pool::ExecTask;
 use crate::node::Node;
@@ -41,13 +77,48 @@ use crate::notify::TxNotification;
 /// timer can fire even while the channel is silent.
 const GAP_POLL: Duration = Duration::from_millis(50);
 
+/// Slice length for the pipelined head wait: between slices the commit
+/// thread admits newly delivered blocks and observes shutdown.
+const HEAD_WAIT_SLICE: Duration = Duration::from_millis(2);
+
+/// Blocks of checkpoint history retained by the maintenance pruner; the
+/// vacuum tick reclaims row versions deleted at or before this horizon.
+const CHECKPOINT_RETENTION: u64 = 64;
+
+/// Record a processor halt: the health flag in [`crate::NodeMetrics`]
+/// (exposed through the Metrics RPC) plus the operator log line. A halt
+/// is sticky — a byzantine orderer or local corruption means the node
+/// must stop rather than diverge (§3.5(4)).
+fn halt(node: &Arc<Node>, block: u64, e: &Error) {
+    let reason = format!("halted at block {block}: {e}");
+    eprintln!("[{}] {reason}", node.config.name);
+    node.env.metrics.set_halted(reason);
+}
+
 /// Receive-and-process loop (runs on the node's block-processor thread).
-/// Out-of-order future blocks are held back — in a buffer bounded by
-/// `NodeConfig::pending_cap` — and processed once the gap closes. A gap
-/// that outlives `NodeConfig::gap_timeout` triggers a peer catch-up round
-/// through the `sync_fetch` hook (§3.6: "the node then retrieves any
-/// missing blocks, processes and commits them one by one").
+/// Dispatches to the pipelined engine or the synchronous per-block loop
+/// depending on `NodeConfig::pipeline`. Out-of-order future blocks are
+/// held back — in a buffer bounded by `NodeConfig::pending_cap` — and
+/// processed once the gap closes. A gap that outlives
+/// `NodeConfig::gap_timeout` triggers a peer catch-up round through the
+/// `sync_fetch` hook (§3.6).
 pub fn run_loop(node: Arc<Node>, rx: Receiver<Arc<Block>>) {
+    // The serial-execution baseline (§5.1) is by definition free of any
+    // concurrency or overlap — it always takes the synchronous loop, so
+    // an eth-style comparison cannot be silently accelerated by the
+    // default-on pipeline.
+    if node.config.pipeline && !node.config.serial_execution {
+        run_pipelined(node, rx);
+    } else {
+        run_synchronous(node, rx);
+    }
+}
+
+// ---------------------------------------------------- synchronous loop
+
+/// The pre-pipeline loop: each block runs execution, serial commit and
+/// post-commit work to completion before the next is considered.
+fn run_synchronous(node: Arc<Node>, rx: Receiver<Arc<Block>>) {
     let mut pending: std::collections::BTreeMap<u64, Arc<Block>> = Default::default();
     let metrics = Arc::clone(&node.env.metrics);
     // When the current delivery gap opened (None = no gap).
@@ -67,13 +138,7 @@ pub fn run_loop(node: Arc<Node>, rx: Receiver<Arc<Block>>) {
                     }
                 } else if block.number == current + 1 {
                     if let Err(e) = on_block(&node, &block) {
-                        // A verification failure means a byzantine orderer
-                        // or local corruption: stop processing rather than
-                        // diverge (§3.5(4)).
-                        eprintln!(
-                            "[{}] block {} rejected: {e}",
-                            node.config.name, block.number
-                        );
+                        halt(&node, block.number, &e);
                         return;
                     }
                 }
@@ -97,28 +162,34 @@ pub fn run_loop(node: Arc<Node>, rx: Receiver<Arc<Block>>) {
         // blocks are not coming on their own — fetch them from peers.
         if let Some(t0) = gap_since {
             if t0.elapsed() >= node.config.gap_timeout {
-                match node.catch_up(false) {
-                    Ok(stats) if stats.fetched > 0 => {
-                        gap_since = None;
-                    }
-                    Ok(_) => {
-                        // No hook installed or nothing fetched; re-arm so
-                        // the next attempt waits a full timeout again.
-                        gap_since = Some(Instant::now());
-                    }
-                    Err(e) => {
-                        eprintln!(
-                            "[{}] catch-up after delivery gap failed: {e}",
-                            node.config.name
-                        );
-                        gap_since = Some(Instant::now());
-                    }
-                }
+                run_gap_catch_up(&node, &mut gap_since);
                 if drain_pending(&node, &mut pending).is_err() {
                     return;
                 }
                 metrics.set_held_back(pending.len() as u64);
             }
+        }
+    }
+}
+
+/// One gap-triggered catch-up attempt, re-arming the gap timer on
+/// failure or no progress.
+fn run_gap_catch_up(node: &Arc<Node>, gap_since: &mut Option<Instant>) {
+    match node.catch_up(false) {
+        Ok(stats) if stats.fetched > 0 => {
+            *gap_since = None;
+        }
+        Ok(_) => {
+            // No hook installed or nothing fetched; re-arm so the next
+            // attempt waits a full timeout again.
+            *gap_since = Some(Instant::now());
+        }
+        Err(e) => {
+            eprintln!(
+                "[{}] catch-up after delivery gap failed: {e}",
+                node.config.name
+            );
+            *gap_since = Some(Instant::now());
         }
     }
 }
@@ -136,7 +207,7 @@ fn drain_pending(
             break;
         };
         if let Err(e) = on_block(node, &b) {
-            eprintln!("[{}] block {} rejected: {e}", node.config.name, b.number);
+            halt(node, b.number, &e);
             return Err(());
         }
     }
@@ -165,7 +236,8 @@ fn hold_back(
     pending.insert(block.number, block);
 }
 
-/// Verify and process a newly received block.
+/// Verify and process a newly received block (synchronously, through all
+/// three stages).
 pub fn on_block(node: &Arc<Node>, block: &Arc<Block>) -> Result<()> {
     node.env.metrics.on_block_received();
     let current = node.blockstore.height();
@@ -178,26 +250,68 @@ pub fn on_block(node: &Arc<Node>, block: &Arc<Block>) -> Result<()> {
             block.number
         )));
     }
+    verify_and_append(node, block, false)?;
+    process_block(node, block)
+}
+
+/// Verify a block against the local tip and append it to the store.
+/// `defer_sync` skips the per-append `sync_data` (pipelined path; the
+/// post-commit worker group-syncs before notifying).
+fn verify_and_append(node: &Arc<Node>, block: &Arc<Block>, defer_sync: bool) -> Result<()> {
     if node.config.verify_signatures {
         block.verify(&node.blockstore.tip_hash(), &node.env.certs)?;
     } else {
         block.verify_integrity()?;
     }
-    node.blockstore.append((**block).clone())?;
-    process_block(node, block)
+    if defer_sync {
+        node.blockstore.append_deferred((**block).clone())?;
+    } else {
+        node.blockstore.append((**block).clone())?;
+    }
+    Ok(())
 }
 
-/// Execute and commit one block (also the §3.6 recovery replay path —
-/// blocks from the local store are already verified).
+/// Execute and commit one block synchronously (also the §3.6 recovery
+/// replay path — blocks from the local store are already verified, and
+/// replay must leave ledger records and checkpoint hashes fully applied
+/// when it returns, so it never uses the asynchronous pipeline).
 pub fn process_block(node: &Arc<Node>, block: &Arc<Block>) -> Result<()> {
     let t0 = Instant::now();
-    let flow = node.config.flow;
 
     if node.config.serial_execution {
         return process_serial(node, block, t0);
     }
 
-    // ---- execution phase -------------------------------------------------
+    // ---- execution phase (stage 1) --------------------------------------
+    let wait_ids = dispatch_execution(node, block);
+    node.env
+        .slots
+        .wait_all_done(&wait_ids, node.config.exec_wait_timeout)?;
+    let bet_us = t0.elapsed().as_micros() as u64;
+
+    // ---- committing phase (stage 2) -------------------------------------
+    let (records, writes) = commit_core(node, block);
+
+    // ---- post-commit (stage 3), inline ----------------------------------
+    finish_block(node, block, records, writes, t0, bet_us)
+}
+
+/// The Ethereum-style baseline (§5.1): execute and commit transactions one
+/// at a time, in block order, with no concurrency.
+fn process_serial(node: &Arc<Node>, block: &Arc<Block>, t0: Instant) -> Result<()> {
+    let (records, writes, bet_us) = commit_core_serial_exec(node, block);
+    finish_block(node, block, records, writes, t0, bet_us)
+}
+
+/// Stage 1: claim and dispatch every transaction of `block` that is not
+/// already executing, returning the ids whose execution the commit phase
+/// must await. Idempotent — a transaction already claimed (pre-dispatch,
+/// peer forwarding, client submission) or already processed is never
+/// dispatched twice — so the pipelined path runs it once on admission
+/// (the pre-execute optimization) and once more when the block reaches
+/// the serial commit point, where the processed-id set is authoritative.
+fn dispatch_execution(node: &Arc<Node>, block: &Arc<Block>) -> Vec<GlobalTxId> {
+    let flow = node.config.flow;
     let exec_height = block.number - 1;
     let mut wait_ids: Vec<GlobalTxId> = Vec::with_capacity(block.txs.len());
     let mut missing = 0u64;
@@ -230,30 +344,59 @@ pub fn process_block(node: &Arc<Node>, block: &Arc<Block>) -> Result<()> {
     if missing > 0 {
         node.env.metrics.on_missing_txs(missing);
     }
-    node.env
-        .slots
-        .wait_all_done(&wait_ids, node.config.exec_wait_timeout)?;
-    let bet_us = t0.elapsed().as_micros() as u64;
-
-    // ---- committing phase ------------------------------------------------
-    let mut hasher = WriteSetHasher::new();
-    let mut records = Vec::with_capacity(block.txs.len());
-    for (i, tx) in block.txs.iter().enumerate() {
-        let record = commit_one(node, block, i as u32, tx, flow, &mut hasher);
-        node.mark_processed(tx.id);
-        records.push(record);
-    }
-    publish_checkpoint(node, block.number, hasher);
-    finish_block(node, block, records, t0, bet_us)
+    wait_ids
 }
 
-/// The Ethereum-style baseline (§5.1): execute and commit transactions one
-/// at a time, in block order, with no concurrency.
-fn process_serial(node: &Arc<Node>, block: &Arc<Block>, t0: Instant) -> Result<()> {
+/// Stage 2: the serial commit core — SSI check, primary-key check,
+/// write-set application and row-id allocation for every transaction in
+/// block order. Everything here is a pure function of deterministic
+/// state; everything deferrable is returned for stage 3. The caller
+/// decides when to [`advance_committed`]: the pipelined path does it
+/// immediately (releasing the next block's parked executions is the
+/// point of the pipeline), the synchronous path keeps the pre-pipeline
+/// ordering and advances only after the ledger records are applied, so
+/// a height-polling client can never observe height N with block N's
+/// ledger rows still missing.
+fn commit_core(node: &Arc<Node>, block: &Arc<Block>) -> (Vec<LedgerRecord>, Vec<WriteRecord>) {
+    let t0 = Instant::now();
+    let flow = node.config.flow;
+    let mut records = Vec::with_capacity(block.txs.len());
+    let mut writes: Vec<WriteRecord> = Vec::new();
+    for (i, tx) in block.txs.iter().enumerate() {
+        let (record, tx_writes) = commit_one(node, block, i as u32, tx, flow);
+        node.mark_processed(tx.id);
+        records.push(record);
+        if let Some(mut w) = tx_writes {
+            writes.append(&mut w);
+        }
+    }
+    node.env
+        .metrics
+        .on_commit_stage(t0.elapsed().as_micros() as u64);
+    (records, writes)
+}
+
+/// Advance the committed height to `block` and release the executions
+/// parked on it.
+fn advance_committed(node: &Arc<Node>, block: &Arc<Block>) {
+    node.env
+        .committed_height
+        .store(block.number, Ordering::Relaxed);
+    node.pool.release_waiting(block.number);
+}
+
+/// Stage 2 variant for `serial_execution`: execute each transaction
+/// inline immediately before its commit point. Returns the records, the
+/// write-set summary and the accumulated inline execution time.
+fn commit_core_serial_exec(
+    node: &Arc<Node>,
+    block: &Arc<Block>,
+) -> (Vec<LedgerRecord>, Vec<WriteRecord>, u64) {
+    let t0 = Instant::now();
     let flow = node.config.flow;
     let exec_height = block.number - 1;
-    let mut hasher = WriteSetHasher::new();
     let mut records = Vec::with_capacity(block.txs.len());
+    let mut writes: Vec<WriteRecord> = Vec::new();
     let mut bet_us = 0u64;
     for (i, tx) in block.txs.iter().enumerate() {
         let snap = effective_snapshot(tx, flow, exec_height);
@@ -266,12 +409,17 @@ fn process_serial(node: &Arc<Node>, block: &Arc<Block>, t0: Instant) -> Result<(
             });
             bet_us += te.elapsed().as_micros() as u64;
         }
-        let record = commit_one(node, block, i as u32, tx, flow, &mut hasher);
+        let (record, tx_writes) = commit_one(node, block, i as u32, tx, flow);
         node.mark_processed(tx.id);
         records.push(record);
+        if let Some(mut w) = tx_writes {
+            writes.append(&mut w);
+        }
     }
-    publish_checkpoint(node, block.number, hasher);
-    finish_block(node, block, records, t0, bet_us)
+    node.env
+        .metrics
+        .on_commit_stage(t0.elapsed().as_micros().saturating_sub(bet_us as u128) as u64);
+    (records, writes, bet_us)
 }
 
 fn effective_snapshot(tx: &Transaction, flow: Flow, exec_height: u64) -> u64 {
@@ -283,15 +431,15 @@ fn effective_snapshot(tx: &Transaction, flow: Flow, exec_height: u64) -> u64 {
 
 /// Serially decide one transaction (§3.3.3): the commit order is the order
 /// within the block, and every decision is a pure function of deterministic
-/// state — identical on all honest nodes.
+/// state — identical on all honest nodes. Returns the ledger record plus,
+/// when committed, the write-set summary for stage 3's checkpoint hashing.
 fn commit_one(
     node: &Arc<Node>,
     block: &Arc<Block>,
     index: u32,
     tx: &Transaction,
     flow: Flow,
-    hasher: &mut WriteSetHasher,
-) -> LedgerRecord {
+) -> (LedgerRecord, Option<Vec<WriteRecord>>) {
     let now_ms = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_millis() as i64)
@@ -308,25 +456,40 @@ fn commit_one(
     };
 
     if node.is_processed(&tx.id) {
-        return base(
-            TxId::INVALID,
-            TxStatus::Aborted("duplicate transaction identifier".into()),
+        // A pre-dispatched duplicate may have parked an execution result
+        // before the original committed; discard it so the slot table
+        // and the SSI record cannot leak (its writes never commit).
+        if let Some(d) = node.env.slots.remove(&tx.id) {
+            d.ctx.rollback();
+        }
+        return (
+            base(
+                TxId::INVALID,
+                TxStatus::Aborted("duplicate transaction identifier".into()),
+            ),
+            None,
         );
     }
     let snap = effective_snapshot(tx, flow, block.number - 1);
     if snap > block.number - 1 {
-        return base(
-            TxId::INVALID,
-            TxStatus::Aborted(format!(
-                "snapshot height {snap} is beyond block {}",
-                block.number
-            )),
+        return (
+            base(
+                TxId::INVALID,
+                TxStatus::Aborted(format!(
+                    "snapshot height {snap} is beyond block {}",
+                    block.number
+                )),
+            ),
+            None,
         );
     }
     let Some(done) = node.env.slots.take_done(&tx.id) else {
-        return base(
-            TxId::INVALID,
-            TxStatus::Aborted("execution result missing".into()),
+        return (
+            base(
+                TxId::INVALID,
+                TxStatus::Aborted("execution result missing".into()),
+            ),
+            None,
         );
     };
     let txid = done.ctx.id;
@@ -339,29 +502,33 @@ fn commit_one(
         flow,
     ) {
         done.ctx.rollback();
-        return base(txid, TxStatus::Aborted(format!("ddl rejected: {e}")));
+        return (
+            base(txid, TxStatus::Aborted(format!("ddl rejected: {e}"))),
+            None,
+        );
     }
 
-    match done.ctx.apply_commit(block.number, index, flow) {
-        CommitOutcome::Committed(write_set) => {
-            for op in &done.catalog_ops {
-                if let Err(e) =
-                    apply_catalog_op(&node.env.catalog, &node.env.contracts, &node.env.certs, op)
-                {
-                    // Validated above; failure here is a bug, not a user
-                    // error — surface loudly but deterministically.
-                    eprintln!(
-                        "[{}] internal: catalog op failed after validation: {e}",
-                        node.config.name
-                    );
-                }
+    let outcome = done.ctx.apply_commit(block.number, index, flow);
+    if outcome.is_committed() {
+        for op in &done.catalog_ops {
+            if let Err(e) =
+                apply_catalog_op(&node.env.catalog, &node.env.contracts, &node.env.certs, op)
+            {
+                // Validated above; failure here is a bug, not a user
+                // error — surface loudly but deterministically.
+                eprintln!(
+                    "[{}] internal: catalog op failed after validation: {e}",
+                    node.config.name
+                );
             }
-            for w in &write_set {
-                hasher.add(&w.table, w.kind, w.row_id, &w.data);
-            }
-            base(txid, TxStatus::Committed)
         }
-        CommitOutcome::Aborted(reason) => base(txid, TxStatus::Aborted(reason.to_string())),
+        (base(txid, TxStatus::Committed), outcome.into_writes())
+    } else {
+        let reason = match outcome {
+            bcrdb_txn::context::CommitOutcome::Aborted(r) => r.to_string(),
+            _ => unreachable!("checked is_committed above"),
+        };
+        (base(txid, TxStatus::Aborted(reason)), None)
     }
 }
 
@@ -419,20 +586,24 @@ fn validate_catalog_ops(
     Ok(())
 }
 
-/// Shared tail of block processing: ledger, height, checkpoints, metrics,
-/// maintenance.
+/// Shared tail of synchronous block processing (stage 3 inline): ledger,
+/// write-set hash, checkpoint vote, metrics, notifications, embedded
+/// votes, maintenance.
 fn finish_block(
     node: &Arc<Node>,
     block: &Arc<Block>,
     records: Vec<LedgerRecord>,
+    writes: Vec<WriteRecord>,
     t0: Instant,
     bet_us: u64,
 ) -> Result<()> {
+    let t3 = Instant::now();
     node.append_ledger(&records, block.number);
-    node.env
-        .committed_height
-        .store(block.number, Ordering::Relaxed);
-    node.pool.release_waiting(block.number);
+    // Ledger first, then the height advance (the pre-pipeline ordering):
+    // a client that polls ChainHeight and sees N must find block N's
+    // ledger rows with a query at height N.
+    advance_committed(node, block);
+    publish_checkpoint(node, block.number, hash_writes(&writes));
 
     // Record metrics *before* notifying: a client that returns from
     // `wait_committed` and immediately reads this node's metrics must
@@ -459,8 +630,32 @@ fn finish_block(
         });
     }
 
-    // Process checkpoint votes carried by this block (§3.3.4: hashes of
-    // *previous* blocks' write sets arrive in later blocks).
+    record_embedded_votes(node, block);
+    maintenance(node, block.number);
+    if node.config.snapshot_interval > 0
+        && block.number.is_multiple_of(node.config.snapshot_interval)
+    {
+        node.write_snapshot()?;
+    }
+    node.env
+        .metrics
+        .on_post_stage(t3.elapsed().as_micros() as u64);
+    node.note_postcommit(block.number);
+    Ok(())
+}
+
+/// Hash a block's write-set summary in commit order (§3.3.4).
+fn hash_writes(writes: &[WriteRecord]) -> WriteSetHasher {
+    let mut hasher = WriteSetHasher::new();
+    for w in writes {
+        hasher.add(&w.table, w.kind, w.row_id, &w.data);
+    }
+    hasher
+}
+
+/// Process checkpoint votes carried by this block (§3.3.4: hashes of
+/// *previous* blocks' write sets arrive in later blocks).
+fn record_embedded_votes(node: &Arc<Node>, block: &Arc<Block>) {
     for cv in &block.checkpoints {
         if cv.node == node.config.name {
             continue;
@@ -472,22 +667,28 @@ fn finish_block(
             node.divergences.lock().push(d);
         }
     }
-
-    // Maintenance.
-    if node.config.gc_interval > 0 && block.number.is_multiple_of(node.config.gc_interval) {
-        node.env.ssi.gc();
-        node.checkpoints.prune(block.number.saturating_sub(64));
-    }
-    if node.config.snapshot_interval > 0
-        && block.number.is_multiple_of(node.config.snapshot_interval)
-    {
-        node.write_snapshot()?;
-    }
-    Ok(())
 }
 
-/// Compute and publish the checkpoint for a processed block. Split from
-/// [`finish_block`] because the write-set hasher lives in the commit loop.
+/// Periodic maintenance, run after a block's post-commit work: SSI GC,
+/// checkpoint pruning, and the vacuum tick (`NodeConfig::vacuum_interval`)
+/// reclaiming row versions deleted at or before the checkpoint-retention
+/// horizon. Vacuum is concurrency-safe against readers and appenders —
+/// heap positions are stable and reclaimed slots tombstone in place (see
+/// `bcrdb_storage::table`).
+fn maintenance(node: &Arc<Node>, block_number: u64) {
+    if node.config.gc_interval > 0 && block_number.is_multiple_of(node.config.gc_interval) {
+        node.env.ssi.gc();
+        node.checkpoints
+            .prune(block_number.saturating_sub(CHECKPOINT_RETENTION));
+    }
+    if node.config.vacuum_interval > 0 && block_number.is_multiple_of(node.config.vacuum_interval) {
+        let horizon = block_number.saturating_sub(CHECKPOINT_RETENTION);
+        let reclaimed = node.vacuum(horizon);
+        node.env.metrics.on_vacuum(reclaimed as u64);
+    }
+}
+
+/// Compute and publish the checkpoint for a processed block.
 pub(crate) fn publish_checkpoint(node: &Arc<Node>, block_number: u64, hasher: WriteSetHasher) {
     let digest = hasher.finish();
     node.checkpoints.record_local(block_number, digest);
@@ -498,5 +699,293 @@ pub(crate) fn publish_checkpoint(node: &Arc<Node>, block_number: u64, hasher: Wr
             block: block_number,
             state_hash: digest,
         });
+    }
+}
+
+// ------------------------------------------------------ pipelined loop
+
+/// A block admitted to the pipeline: verified, appended, pre-dispatched,
+/// awaiting its serial commit turn.
+struct Inflight {
+    block: Arc<Block>,
+    /// Authoritative wait list, computed when the block reaches the head
+    /// of the pipeline (all earlier blocks committed, so the
+    /// processed-id set is final for duplicate detection).
+    head_ids: Option<Vec<GlobalTxId>>,
+    /// When the block was admitted (bpt measurement origin).
+    received: Instant,
+    /// Commit-thread stall accumulated waiting for this block's
+    /// executions at the head (the pipelined `bet`).
+    wait_spent: Duration,
+}
+
+/// Stage-2 output handed to the post-commit worker.
+struct PostCommitJob {
+    block: Arc<Block>,
+    records: Vec<LedgerRecord>,
+    writes: Vec<WriteRecord>,
+    received: Instant,
+    bet_us: u64,
+}
+
+/// The pipelined engine: admit & pre-dispatch eagerly, commit serially,
+/// defer post-commit work to an ordered bounded worker.
+fn run_pipelined(node: Arc<Node>, rx: Receiver<Arc<Block>>) {
+    let metrics = Arc::clone(&node.env.metrics);
+    let (jobs_tx, jobs_rx) = crossbeam_channel::unbounded::<PostCommitJob>();
+    {
+        let node = Arc::clone(&node);
+        std::thread::Builder::new()
+            .name(format!("{}-postcommit", node.config.name))
+            .spawn(move || post_commit_loop(node, jobs_rx))
+            .expect("spawn post-commit worker");
+    }
+
+    let depth = node.config.pipeline_depth.max(1);
+    let postcommit_cap = node.config.postcommit_cap.max(1) as u64;
+    let mut pending: std::collections::BTreeMap<u64, Arc<Block>> = Default::default();
+    let mut inflight: VecDeque<Inflight> = VecDeque::with_capacity(depth);
+    let mut gap_since: Option<Instant> = None;
+    let mut disconnected = false;
+
+    loop {
+        if node.shutting_down.load(Ordering::Relaxed) {
+            return; // dropping jobs_tx lets the worker drain and exit
+        }
+
+        // ---- stage 1: admit deliveries while there is pipeline room ----
+        while inflight.len() < depth && !disconnected {
+            match rx.try_recv() {
+                Ok(block) => {
+                    if admit(&node, &mut pending, &mut inflight, &mut gap_since, block).is_err() {
+                        return;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => disconnected = true,
+            }
+        }
+        // Admit buffered blocks whose gap has closed.
+        if admit_pending(&node, &mut pending, &mut inflight, depth).is_err() {
+            return;
+        }
+        metrics.set_held_back(pending.len() as u64);
+        metrics.set_pipeline_depths(
+            inflight.len() as u64,
+            node.height().saturating_sub(node.postcommit_height()),
+        );
+
+        // ---- stage 2: advance the pipeline head -------------------------
+        if let Some(head) = inflight.front_mut() {
+            let ids = head
+                .head_ids
+                .get_or_insert_with(|| dispatch_execution(&node, &head.block));
+            if node.env.slots.wait_all_done_for(ids, HEAD_WAIT_SLICE) {
+                let infl = inflight.pop_front().expect("head exists");
+                let block_number = infl.block.number;
+                let bet_us = infl.wait_spent.as_micros() as u64;
+                let (records, writes) = commit_core(&node, &infl.block);
+                advance_committed(&node, &infl.block);
+                let snapshot_due = node.config.snapshot_interval > 0
+                    && block_number.is_multiple_of(node.config.snapshot_interval);
+                let _ = jobs_tx.send(PostCommitJob {
+                    block: infl.block,
+                    records,
+                    writes,
+                    received: infl.received,
+                    bet_us,
+                });
+                // Backpressure: bound the stage-3 queue.
+                while node.height().saturating_sub(node.postcommit_height()) > postcommit_cap {
+                    if node.shutting_down.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    node.wait_postcommit(node.height().saturating_sub(postcommit_cap), GAP_POLL);
+                }
+                // Snapshot barrier: a state snapshot must see the block's
+                // ledger records and must not race a later block's serial
+                // commit — drain the worker, then write on this thread.
+                if snapshot_due {
+                    while node.postcommit_height() < block_number {
+                        if node.shutting_down.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        node.wait_postcommit(block_number, GAP_POLL);
+                    }
+                    if let Err(e) = node.write_snapshot() {
+                        // Same outcome as the synchronous path, where
+                        // finish_block propagates this error: a failed
+                        // snapshot halts the node rather than leaving a
+                        // stale snapshot to be served to fast-sync peers.
+                        halt(&node, block_number, &e);
+                        return;
+                    }
+                }
+            } else {
+                head.wait_spent += HEAD_WAIT_SLICE;
+                if head.wait_spent >= node.config.exec_wait_timeout {
+                    halt(
+                        &node,
+                        head.block.number,
+                        &Error::internal(format!(
+                            "timed out waiting for transaction execution: {:?}",
+                            node.env.slots.stuck_ids(ids)
+                        )),
+                    );
+                    return;
+                }
+            }
+        } else {
+            if disconnected {
+                return;
+            }
+            // Idle: block for a delivery so the loop does not spin.
+            match rx.recv_timeout(GAP_POLL) {
+                Ok(block) => {
+                    if admit(&node, &mut pending, &mut inflight, &mut gap_since, block).is_err() {
+                        return;
+                    }
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => disconnected = true,
+            }
+        }
+
+        // ---- gap handling ----------------------------------------------
+        if pending.is_empty() {
+            gap_since = None;
+        } else if gap_since.is_none() {
+            gap_since = Some(Instant::now());
+        }
+        if let Some(t0) = gap_since {
+            if t0.elapsed() >= node.config.gap_timeout && inflight.is_empty() {
+                // Catch-up replays synchronously through process_block;
+                // the pipeline must be fully drained first so ledger and
+                // checkpoint work stays in block order.
+                while node.postcommit_height() < node.height() {
+                    if node.shutting_down.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    node.wait_postcommit(node.height(), GAP_POLL);
+                }
+                run_gap_catch_up(&node, &mut gap_since);
+                if admit_pending(&node, &mut pending, &mut inflight, depth).is_err() {
+                    return;
+                }
+                metrics.set_held_back(pending.len() as u64);
+            }
+        }
+    }
+}
+
+/// Verify, append and pre-dispatch one delivered block, or buffer /
+/// discard it (future gap / duplicate). `Err` = the processor halted.
+fn admit(
+    node: &Arc<Node>,
+    pending: &mut std::collections::BTreeMap<u64, Arc<Block>>,
+    inflight: &mut VecDeque<Inflight>,
+    gap_since: &mut Option<Instant>,
+    block: Arc<Block>,
+) -> std::result::Result<(), ()> {
+    let current = node.blockstore.height();
+    if block.number <= current {
+        node.env.metrics.on_block_received();
+        return Ok(()); // duplicate delivery
+    }
+    if block.number > current + 1 {
+        hold_back(node, pending, block);
+        if gap_since.is_none() {
+            *gap_since = Some(Instant::now());
+            node.env.metrics.on_gap_detected();
+        }
+        return Ok(());
+    }
+    node.env.metrics.on_block_received();
+    if let Err(e) = verify_and_append(node, &block, true) {
+        halt(node, block.number, &e);
+        return Err(());
+    }
+    // Pre-execute (stage 1): dispatch now, while earlier blocks are
+    // still committing. The authoritative wait list is recomputed when
+    // the block reaches the pipeline head.
+    let _ = dispatch_execution(node, &block);
+    inflight.push_back(Inflight {
+        block,
+        head_ids: None,
+        received: Instant::now(),
+        wait_spent: Duration::ZERO,
+    });
+    Ok(())
+}
+
+/// Admit consecutively buffered future blocks while there is room.
+fn admit_pending(
+    node: &Arc<Node>,
+    pending: &mut std::collections::BTreeMap<u64, Arc<Block>>,
+    inflight: &mut VecDeque<Inflight>,
+    depth: usize,
+) -> std::result::Result<(), ()> {
+    let mut none = None;
+    loop {
+        if inflight.len() >= depth {
+            break;
+        }
+        let next = node.blockstore.height() + 1;
+        let Some(b) = pending.remove(&next) else {
+            break;
+        };
+        admit(node, pending, inflight, &mut none, b)?;
+    }
+    pending.retain(|n, _| *n > node.blockstore.height());
+    Ok(())
+}
+
+/// Stage 3, on the post-commit worker: ledger records, write-set hash +
+/// checkpoint vote, group fsync, metrics, client notifications, embedded
+/// vote comparison and maintenance — strictly in block order (single
+/// worker, FIFO channel). Exits when the commit thread drops the sender.
+fn post_commit_loop(node: Arc<Node>, rx: Receiver<PostCommitJob>) {
+    for job in rx.iter() {
+        let t3 = Instant::now();
+        node.append_ledger(&job.records, job.block.number);
+        publish_checkpoint(&node, job.block.number, hash_writes(&job.writes));
+        // Group fsync: one sync_data covers every block appended since
+        // the last one — durability must precede client notifications.
+        // A sync failure therefore halts the node *before* anyone is
+        // told their transaction committed (the synchronous path halts
+        // on the same error inside append): acknowledging a commit that
+        // a crash could truncate away would break the §3.5 audit story.
+        if let Err(e) = node.blockstore.sync() {
+            halt(
+                &node,
+                job.block.number,
+                &Error::internal(format!("block store sync failed: {e}")),
+            );
+            node.shutdown();
+            return;
+        }
+        for record in &job.records {
+            match record.status {
+                TxStatus::Committed => node.env.metrics.on_tx_committed(),
+                TxStatus::Aborted(_) => node.env.metrics.on_tx_aborted(),
+            }
+        }
+        let bpt_us = job.received.elapsed().as_micros() as u64;
+        node.env
+            .metrics
+            .on_block_processed(bpt_us, job.bet_us.min(bpt_us));
+        for record in &job.records {
+            node.notifications.notify(TxNotification {
+                id: record.global_id,
+                block: job.block.number,
+                status: record.status.clone(),
+            });
+        }
+        record_embedded_votes(&node, &job.block);
+        maintenance(&node, job.block.number);
+        node.env
+            .metrics
+            .on_post_stage(t3.elapsed().as_micros() as u64);
+        node.note_postcommit(job.block.number);
     }
 }

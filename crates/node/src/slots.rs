@@ -64,15 +64,37 @@ impl SlotTable {
         self.slots.lock().contains_key(id)
     }
 
-    /// Mark a claimed slot as executed.
-    pub fn complete(&self, id: GlobalTxId, done: ExecDone) {
-        let mut slots = self.slots.lock();
-        slots.insert(id, SlotState::Done(Box::new(done)));
-        drop(slots);
-        self.done_cv.notify_all();
+    /// Has the id finished executing (result parked, not yet taken)?
+    pub fn contains_done(&self, id: &GlobalTxId) -> bool {
+        matches!(self.slots.lock().get(id), Some(SlotState::Done(_)))
     }
 
-    /// Remove a slot entirely (duplicate aborts, cancelled executions).
+    /// Mark a claimed slot as executed. Only an existing claim
+    /// transitions to `Done`: if the claim was revoked in the meantime
+    /// (a duplicate was decided at some commit point and
+    /// [`SlotTable::remove`]d while this execution was in flight), the
+    /// result is rolled back and discarded instead of re-inserted — an
+    /// orphaned `Done` entry would leak the slot and pin the
+    /// transaction's SSI record as active forever.
+    pub fn complete(&self, id: GlobalTxId, done: ExecDone) {
+        let mut slots = self.slots.lock();
+        match slots.get_mut(&id) {
+            Some(state) => {
+                *state = SlotState::Done(Box::new(done));
+                drop(slots);
+                self.done_cv.notify_all();
+            }
+            None => {
+                drop(slots);
+                done.ctx.rollback();
+            }
+        }
+    }
+
+    /// Remove a slot entirely (duplicate aborts, cancelled executions),
+    /// returning the parked result if one exists. Removing a still-
+    /// pending claim revokes it: the in-flight execution's eventual
+    /// [`SlotTable::complete`] rolls its result back (see there).
     pub fn remove(&self, id: &GlobalTxId) -> Option<Box<ExecDone>> {
         match self.slots.lock().remove(id) {
             Some(SlotState::Done(d)) => Some(d),
@@ -82,30 +104,49 @@ impl SlotTable {
 
     /// Block until every listed id is `Done` (the §3.3.3 pre-condition:
     /// "only when all valid transactions are executed and ready to be
-    /// either committed or aborted"). Errors after `timeout`.
+    /// either committed or aborted"). Errors after `timeout`, naming the
+    /// stuck ids ([`SlotTable::stuck_ids`]).
     pub fn wait_all_done(&self, ids: &[GlobalTxId], timeout: Duration) -> Result<()> {
-        let deadline = std::time::Instant::now() + timeout;
+        if self.wait_all_done_for(ids, timeout) {
+            return Ok(());
+        }
+        Err(Error::internal(format!(
+            "timed out waiting for transaction execution: {:?}",
+            self.stuck_ids(ids)
+        )))
+    }
+
+    /// Bounded wait: block until every listed id is `Done` or `slice`
+    /// elapses, returning whether all are done. The pipelined block
+    /// processor waits in short slices so it can keep admitting and
+    /// pre-dispatching newly delivered blocks (and observe shutdown)
+    /// while the head block's transactions execute.
+    pub fn wait_all_done_for(&self, ids: &[GlobalTxId], slice: Duration) -> bool {
+        let deadline = std::time::Instant::now() + slice;
         let mut slots = self.slots.lock();
         loop {
             let all_done = ids
                 .iter()
                 .all(|id| matches!(slots.get(id), Some(SlotState::Done(_))));
             if all_done {
-                return Ok(());
+                return true;
             }
             let now = std::time::Instant::now();
             if now >= deadline {
-                let stuck: Vec<String> = ids
-                    .iter()
-                    .filter(|id| !matches!(slots.get(id), Some(SlotState::Done(_))))
-                    .map(|id| id.short())
-                    .collect();
-                return Err(Error::internal(format!(
-                    "timed out waiting for transaction execution: {stuck:?}"
-                )));
+                return false;
             }
             self.done_cv.wait_for(&mut slots, deadline - now);
         }
+    }
+
+    /// Short names of the listed ids that are not `Done` — the payload
+    /// of an execution-wait timeout report.
+    pub fn stuck_ids(&self, ids: &[GlobalTxId]) -> Vec<String> {
+        let slots = self.slots.lock();
+        ids.iter()
+            .filter(|id| !matches!(slots.get(id), Some(SlotState::Done(_))))
+            .map(|id| id.short())
+            .collect()
     }
 
     /// Take the execution result of a done slot.
@@ -198,5 +239,18 @@ mod tests {
         t.try_claim(id(3));
         assert!(t.remove(&id(3)).is_none(), "pending slot has no result");
         assert!(!t.contains(&id(3)));
+    }
+
+    #[test]
+    fn complete_after_revoked_claim_discards_result() {
+        // A duplicate decided at commit revokes the claim while the
+        // execution is still in flight; the late completion must not
+        // re-insert an orphaned Done entry.
+        let t = SlotTable::new();
+        t.try_claim(id(4));
+        assert!(t.remove(&id(4)).is_none(), "claim revoked");
+        t.complete(id(4), done());
+        assert!(!t.contains(&id(4)), "late result discarded, not parked");
+        assert!(t.take_done(&id(4)).is_none());
     }
 }

@@ -157,7 +157,6 @@ fn apply_synced_block(node: &Arc<Node>, block: Arc<Block>, stats: &mut SyncStats
 mod tests {
     use super::*;
     use crate::config::{NodeConfig, NodeHooks};
-    use bcrdb_chain::block::genesis_prev_hash;
     use bcrdb_chain::tx::{Payload, Transaction};
     use bcrdb_common::value::Value;
     use bcrdb_crypto::identity::{Certificate, CertificateRegistry, KeyPair, Role, Scheme};

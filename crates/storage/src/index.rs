@@ -162,7 +162,23 @@ impl BTreeIndex {
         self.map.read().values().map(Vec::len).sum()
     }
 
-    /// Drop all entries (used by vacuum before a rebuild).
+    /// Drop one `(key, position)` entry. Position-targeted removal is what
+    /// lets vacuum prune reclaimed heap slots without clearing and
+    /// rebuilding the whole index (a rebuild would race concurrent
+    /// appends into the tail segment and could double-register them).
+    pub fn remove(&self, key: &Value, position: usize) {
+        let mut map = self.map.write();
+        if let Some(positions) = map.get_mut(key) {
+            if let Some(i) = positions.iter().position(|p| *p == position) {
+                positions.remove(i);
+            }
+            if positions.is_empty() {
+                map.remove(key);
+            }
+        }
+    }
+
+    /// Drop all entries.
     pub fn clear(&self) {
         self.map.write().clear();
     }
@@ -229,6 +245,23 @@ mod tests {
         assert_eq!(idx.entry_count(), 4);
         idx.clear();
         assert_eq!(idx.entry_count(), 0);
+    }
+
+    #[test]
+    fn remove_targets_one_position() {
+        let idx = BTreeIndex::new("idx", 0);
+        idx.insert(Value::Int(10), 0);
+        idx.insert(Value::Int(10), 2);
+        idx.insert(Value::Int(20), 1);
+        idx.remove(&Value::Int(10), 0);
+        assert_eq!(idx.positions_eq(&Value::Int(10)), vec![2]);
+        // Removing the last position under a key drops the key.
+        idx.remove(&Value::Int(20), 1);
+        assert_eq!(idx.key_count(), 1);
+        // Removing an unknown (key, position) pair is a no-op.
+        idx.remove(&Value::Int(99), 7);
+        idx.remove(&Value::Int(10), 7);
+        assert_eq!(idx.positions_eq(&Value::Int(10)), vec![2]);
     }
 
     #[test]

@@ -1,9 +1,18 @@
-//! Tables: an append-only version heap plus B-tree indexes.
+//! Tables: an append-only, *segmented* version heap plus B-tree indexes.
 //!
-//! The heap only ever grows (updates append new versions); positions are
-//! stable until an explicit [`Table::vacuum`], which is a stop-the-world
-//! maintenance operation in the spirit of the paper's enhanced `VACUUM`
-//! (§7: pruning by creator/deleter block).
+//! The heap is a sequence of fixed-size segments. Heap positions are
+//! global (`segment · SEGMENT_SIZE + offset`) and **stable for the life
+//! of the table**: appends only ever touch the tail segment's lock, so
+//! readers scanning older segments never contend with concurrent
+//! appends (the property the pipelined block commit leans on — block
+//! N+1's executions read while block N's post-commit work appends
+//! ledger rows), and [`Table::vacuum`] reclaims dead versions by
+//! tombstoning their slot in place instead of compacting, so a scan
+//! that captured index positions before a vacuum still resolves them to
+//! the same rows afterwards (reclaimed slots simply read as empty).
+//! Vacuum is therefore safe to run concurrently with readers; the
+//! history it destroys — versions deleted at or before the horizon — is
+//! exactly what the paper's enhanced `VACUUM` (§7) gives up.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,10 +27,32 @@ use parking_lot::RwLock;
 use crate::index::{BTreeIndex, KeyRange};
 use crate::version::Version;
 
-/// A table: schema, version heap and indexes.
+/// log2 of the heap segment size.
+const SEGMENT_SHIFT: usize = 10;
+/// Version-heap slots per segment. Appends lock only the tail segment;
+/// reads lock only the segment(s) they touch.
+pub const SEGMENT_SIZE: usize = 1 << SEGMENT_SHIFT;
+
+/// One fixed-size run of heap slots. A slot is `None` either because the
+/// segment has not grown to it yet or because vacuum reclaimed it.
+struct Segment {
+    slots: RwLock<Vec<Option<Arc<Version>>>>,
+}
+
+impl Segment {
+    fn new() -> Segment {
+        Segment {
+            slots: RwLock::new(Vec::with_capacity(SEGMENT_SIZE)),
+        }
+    }
+}
+
+/// A table: schema, segmented version heap and indexes.
 pub struct Table {
     schema: RwLock<TableSchema>,
-    versions: RwLock<Vec<Arc<Version>>>,
+    /// The segment directory. Write-locked only to push a new (empty)
+    /// tail segment — roughly once per [`SEGMENT_SIZE`] appends.
+    segments: RwLock<Vec<Arc<Segment>>>,
     /// Column ordinal → index. The primary-key index always exists for
     /// single-column PKs.
     indexes: RwLock<HashMap<usize, Arc<BTreeIndex>>>,
@@ -50,9 +81,48 @@ impl Table {
         }
         Table {
             schema: RwLock::new(schema),
-            versions: RwLock::new(Vec::new()),
+            segments: RwLock::new(vec![Arc::new(Segment::new())]),
             indexes: RwLock::new(indexes),
             next_row_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Append `version` to the heap and return its global position.
+    /// Contends only on the tail segment (and, when the tail is full, on
+    /// the segment directory for the one push that extends it).
+    fn push(&self, version: Arc<Version>) -> usize {
+        loop {
+            let (seg_idx, seg) = {
+                let segs = self.segments.read();
+                (segs.len() - 1, Arc::clone(segs.last().expect("≥1 segment")))
+            };
+            {
+                let mut slots = seg.slots.write();
+                if slots.len() < SEGMENT_SIZE {
+                    let pos = (seg_idx << SEGMENT_SHIFT) + slots.len();
+                    slots.push(Some(version));
+                    return pos;
+                }
+            }
+            // Tail full: extend the directory (exactly one appender wins;
+            // losers retry against the fresh tail).
+            let mut segs = self.segments.write();
+            if segs.len() == seg_idx + 1 {
+                segs.push(Arc::new(Segment::new()));
+            }
+        }
+    }
+
+    /// Run `f` over every occupied slot in position order.
+    fn for_each_slot(&self, mut f: impl FnMut(usize, &Arc<Version>)) {
+        let segs: Vec<Arc<Segment>> = self.segments.read().clone();
+        for (si, seg) in segs.iter().enumerate() {
+            let slots = seg.slots.read();
+            for (off, slot) in slots.iter().enumerate() {
+                if let Some(v) = slot {
+                    f((si << SEGMENT_SHIFT) + off, v);
+                }
+            }
         }
     }
 
@@ -77,11 +147,23 @@ impl Table {
                 .expect("column checked by add_index")
         };
         let idx = Arc::new(BTreeIndex::new(index_name, column));
-        let versions = self.versions.read();
-        for (pos, v) in versions.iter().enumerate() {
-            idx.insert(v.data[column].clone(), pos);
+        // Backfill and register under the segment-directory write lock:
+        // appenders (who take it for read in `push`) are excluded for
+        // the duration, so a concurrent insert can neither be missed by
+        // the backfill nor double-registered after it — once the lock
+        // drops, every new append sees the registered index.
+        {
+            let segs = self.segments.write();
+            for (si, seg) in segs.iter().enumerate() {
+                let slots = seg.slots.read();
+                for (off, slot) in slots.iter().enumerate() {
+                    if let Some(v) = slot {
+                        idx.insert(v.data[column].clone(), (si << SEGMENT_SHIFT) + off);
+                    }
+                }
+            }
+            self.indexes.write().insert(column, idx);
         }
-        self.indexes.write().insert(column, idx);
         Ok(())
     }
 
@@ -94,11 +176,7 @@ impl Table {
     /// UPDATE). Returns its heap position.
     pub fn append_version(&self, xmin: TxId, data: Row, row_id: RowId) -> (usize, Arc<Version>) {
         let version = Arc::new(Version::new(xmin, data, row_id));
-        let pos = {
-            let mut versions = self.versions.write();
-            versions.push(Arc::clone(&version));
-            versions.len() - 1
-        };
+        let pos = self.push(Arc::clone(&version));
         for idx in self.indexes.read().values() {
             idx.insert(version.data[idx.column].clone(), pos);
         }
@@ -108,39 +186,60 @@ impl Table {
     /// Append a fully committed version (snapshot restore path).
     pub fn append_restored(&self, version: Version) {
         let version = Arc::new(version);
-        let pos = {
-            let mut versions = self.versions.write();
-            versions.push(Arc::clone(&version));
-            versions.len() - 1
-        };
+        let pos = self.push(Arc::clone(&version));
         for idx in self.indexes.read().values() {
             idx.insert(version.data[idx.column].clone(), pos);
         }
     }
 
-    /// The version at a heap position.
+    /// The version at a heap position (`None` for unoccupied or vacuumed
+    /// slots).
     pub fn version_at(&self, pos: usize) -> Option<Arc<Version>> {
-        self.versions.read().get(pos).cloned()
+        let segs = self.segments.read();
+        let seg = segs.get(pos >> SEGMENT_SHIFT)?;
+        let slot = seg.slots.read().get(pos & (SEGMENT_SIZE - 1)).cloned()?;
+        slot
     }
 
     /// Versions at the given heap positions (missing positions skipped).
+    /// Consecutive positions in the same segment share one lock
+    /// acquisition — index scans resolve hundreds of positions here, so
+    /// this is the hot read path.
     pub fn versions_at(&self, positions: &[usize]) -> Vec<Arc<Version>> {
-        let versions = self.versions.read();
-        positions
-            .iter()
-            .filter_map(|&p| versions.get(p).cloned())
-            .collect()
+        let segs = self.segments.read();
+        let mut out = Vec::with_capacity(positions.len());
+        let mut i = 0;
+        while i < positions.len() {
+            let si = positions[i] >> SEGMENT_SHIFT;
+            let Some(seg) = segs.get(si) else {
+                i += 1;
+                continue;
+            };
+            let slots = seg.slots.read();
+            while i < positions.len() && positions[i] >> SEGMENT_SHIFT == si {
+                if let Some(Some(v)) = slots.get(positions[i] & (SEGMENT_SIZE - 1)) {
+                    out.push(Arc::clone(v));
+                }
+                i += 1;
+            }
+        }
+        out
     }
 
     /// All versions, in heap order. Full scans re-sort visible rows by
     /// row id for determinism.
     pub fn all_versions(&self) -> Vec<Arc<Version>> {
-        self.versions.read().clone()
+        let mut out = Vec::new();
+        self.for_each_slot(|_, v| out.push(Arc::clone(v)));
+        out
     }
 
-    /// Number of versions in the heap (live + dead + in-flight).
+    /// Number of versions in the heap (live + dead + in-flight; vacuumed
+    /// slots excluded).
     pub fn version_count(&self) -> usize {
-        self.versions.read().len()
+        let mut n = 0;
+        self.for_each_slot(|_, _| n += 1);
+        n
     }
 
     /// Candidate versions for an indexed range scan.
@@ -169,43 +268,52 @@ impl Table {
     /// Count of live (committed, not deleted) rows — a consistency check
     /// helper for tests and checkpoint audits.
     pub fn live_row_count(&self) -> usize {
-        self.versions.read().iter().filter(|v| v.is_live()).count()
+        let mut n = 0;
+        self.for_each_slot(|_, v| {
+            if v.is_live() {
+                n += 1;
+            }
+        });
+        n
     }
 
-    /// Remove versions deleted at or before `horizon` and versions from
-    /// aborted transactions, rebuilding the heap and all indexes. Returns
-    /// the number of versions reclaimed.
+    /// Reclaim versions deleted at or before `horizon` and versions from
+    /// aborted transactions by tombstoning their heap slot in place and
+    /// dropping their index entries. Returns the number of versions
+    /// reclaimed.
     ///
     /// This is the paper's enhanced vacuum (§7): it trades provenance
-    /// history older than `horizon` for space. Never run it while
-    /// transactions are executing.
+    /// history older than `horizon` for space. Because positions are
+    /// stable (no compaction) it is safe to run concurrently with
+    /// readers and appenders: a racing scan resolves a reclaimed
+    /// position to an empty slot and skips it — correct for any
+    /// snapshot above the horizon, and below the horizon the history is
+    /// gone by definition.
     pub fn vacuum(&self, horizon: BlockHeight) -> usize {
-        let mut versions = self.versions.write();
-        let before = versions.len();
-        let retained: Vec<Arc<Version>> = versions
-            .iter()
-            .filter(|v| {
-                let st = v.state();
-                if st.aborted {
-                    return false;
-                }
-                match st.deleter_block {
-                    Some(db) => db > horizon,
-                    None => true,
-                }
-            })
-            .cloned()
-            .collect();
-        *versions = retained;
-        // Rebuild indexes against the compacted positions.
+        let segs: Vec<Arc<Segment>> = self.segments.read().clone();
         let indexes = self.indexes.read();
-        for idx in indexes.values() {
-            idx.clear();
-            for (pos, v) in versions.iter().enumerate() {
-                idx.insert(v.data[idx.column].clone(), pos);
+        let mut reclaimed = 0;
+        for (si, seg) in segs.iter().enumerate() {
+            let mut slots = seg.slots.write();
+            for (off, slot) in slots.iter_mut().enumerate() {
+                let dead = match slot {
+                    Some(v) => {
+                        let st = v.state();
+                        st.aborted || st.deleter_block.is_some_and(|db| db <= horizon)
+                    }
+                    None => false,
+                };
+                if dead {
+                    let v = slot.take().expect("checked Some above");
+                    let pos = (si << SEGMENT_SHIFT) + off;
+                    for idx in indexes.values() {
+                        idx.remove(&v.data[idx.column], pos);
+                    }
+                    reclaimed += 1;
+                }
             }
         }
-        before - versions.len()
+        reclaimed
     }
 
     /// Look up live committed rows by primary-key value (single-column PK
@@ -355,7 +463,7 @@ mod tests {
         assert_eq!(reclaimed, 2);
         assert_eq!(t.version_count(), 1);
         assert_eq!(t.live_row_count(), 1);
-        // Index positions were rebuilt: scans still work.
+        // Reclaimed entries left the indexes: scans still work.
         let hits = t.index_scan(0, &KeyRange::eq(Value::Int(1))).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].data[1], Value::Text("new".into()));
@@ -376,6 +484,75 @@ mod tests {
         // Horizon 3 < deleter 5 → history kept.
         assert_eq!(t.vacuum(3), 0);
         assert_eq!(t.version_count(), 1);
+    }
+
+    #[test]
+    fn heap_spans_segments_with_stable_positions() {
+        let t = table();
+        let n = SEGMENT_SIZE + 17;
+        for i in 0..n {
+            let (pos, v) = t.append_version(
+                TxId(1),
+                vec![Value::Int(i as i64), Value::Text("x".into())],
+                UNASSIGNED_ROW_ID,
+            );
+            assert_eq!(pos, i, "positions are dense across segment boundaries");
+            v.commit_create(1, t.alloc_row_id());
+        }
+        assert_eq!(t.version_count(), n);
+        assert_eq!(t.live_row_count(), n);
+        // Positions resolve across the segment boundary.
+        let boundary = t.version_at(SEGMENT_SIZE).unwrap();
+        assert_eq!(boundary.data[0], Value::Int(SEGMENT_SIZE as i64));
+        assert!(t.version_at(n).is_none(), "past the tail");
+        // Index scans reach rows in both segments.
+        let hits = t.index_scan(0, &KeyRange::eq(Value::Int(3))).unwrap();
+        assert_eq!(hits.len(), 1);
+        let hits = t
+            .index_scan(0, &KeyRange::eq(Value::Int(SEGMENT_SIZE as i64 + 5)))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn vacuum_keeps_surviving_positions_stable() {
+        let t = table();
+        // pos 0: deleted at block 1 (reclaimable at horizon ≥ 1);
+        // pos 1: live.
+        let (p0, v0) = t.append_version(
+            TxId(1),
+            vec![Value::Int(1), Value::Text("dead".into())],
+            UNASSIGNED_ROW_ID,
+        );
+        let rid = t.alloc_row_id();
+        v0.commit_create(1, rid);
+        v0.add_pending_writer(TxId(2));
+        v0.commit_delete(TxId(2), 1);
+        let (p1, v1) = t.append_version(
+            TxId(2),
+            vec![Value::Int(2), Value::Text("live".into())],
+            UNASSIGNED_ROW_ID,
+        );
+        v1.commit_create(1, t.alloc_row_id());
+
+        // A reader captured positions before the vacuum.
+        let idx = t.index_for(0).unwrap();
+        let pre_positions = idx.positions_in_range(&KeyRange::all());
+        assert_eq!(pre_positions, vec![p0, p1]);
+
+        assert_eq!(t.vacuum(1), 1);
+        // The stale position list still resolves correctly: the reclaimed
+        // slot reads empty, the survivor is unchanged.
+        let resolved = t.versions_at(&pre_positions);
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(resolved[0].data[1], Value::Text("live".into()));
+        // New appends go to fresh slots — reclaimed positions never alias.
+        let (p2, _) = t.append_version(
+            TxId(3),
+            vec![Value::Int(3), Value::Text("new".into())],
+            UNASSIGNED_ROW_ID,
+        );
+        assert_eq!(p2, 2);
     }
 
     #[test]

@@ -96,6 +96,16 @@ impl CommitOutcome {
     pub fn is_committed(&self) -> bool {
         matches!(self, CommitOutcome::Committed(_))
     }
+
+    /// Take the committed write-set summary (`None` on abort) — the
+    /// handoff from the serial commit phase to the post-commit stage,
+    /// which hashes the block's write set off the commit thread.
+    pub fn into_writes(self) -> Option<Vec<WriteRecord>> {
+        match self {
+            CommitOutcome::Committed(w) => Some(w),
+            CommitOutcome::Aborted(_) => None,
+        }
+    }
 }
 
 /// Per-transaction context handed to the SQL executor.

@@ -1,0 +1,504 @@
+//! Pipelined-vs-serial determinism suite for the staged block commit.
+//!
+//! The pipeline overlaps execution, serial commit and post-commit work
+//! across blocks; these tests prove the overlap is *only* a scheduling
+//! change: the same workload must produce byte-identical chains,
+//! checkpoint hashes, state hashes and ledger content with the pipeline
+//! on and off, on every node of a 4-organization network — and a crash
+//! that loses unflushed post-commit state (ledger records of blocks the
+//! store already holds) must be fully healed by replay.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bcrdb::chain::block::Block;
+use bcrdb::chain::tx::{Payload, Transaction};
+use bcrdb::crypto::identity::{Certificate, CertificateRegistry, KeyPair, Role, Scheme};
+use bcrdb::crypto::sha256::Digest;
+use bcrdb::node::processor;
+use bcrdb::node::{Node, NodeConfig};
+use bcrdb::prelude::*;
+
+const WAIT: Duration = Duration::from_secs(30);
+const ORGS: [&str; 4] = ["org1", "org2", "org3", "org4"];
+
+fn build(flow: Flow, pipeline: bool) -> Network {
+    let mut cfg = NetworkConfig::quick(&ORGS, flow);
+    cfg.pipeline = pipeline;
+    let net = Network::build(cfg).unwrap();
+    net.bootstrap_sql(
+        "CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL, note TEXT); \
+         CREATE FUNCTION put(k INT, v INT, note TEXT) AS $$ \
+           INSERT INTO kv VALUES ($1, $2, $3) $$; \
+         CREATE FUNCTION bump(k INT, v INT) AS $$ \
+           UPDATE kv SET v = v + $2 WHERE k = $1 $$",
+    )
+    .unwrap();
+    net
+}
+
+/// A deterministic sequential workload: with one client submitting and
+/// awaiting each transaction in turn, block contents and boundaries are
+/// identical across runs, so whole chains can be compared byte for byte.
+fn run_sequential_workload(net: &Network) {
+    let client = net.client("org1", "alice").unwrap();
+    for k in 1..=12i64 {
+        client
+            .call("put")
+            .arg(k)
+            .arg(k * 10)
+            .arg(format!("row-{k}"))
+            .submit_wait_retrying(WAIT)
+            .unwrap();
+    }
+    for k in 1..=6i64 {
+        client
+            .call("bump")
+            .arg(k)
+            .arg(1)
+            .submit_wait_retrying(WAIT)
+            .unwrap();
+    }
+    let head = net.nodes().iter().map(|n| n.height()).max().unwrap();
+    net.await_height(head, WAIT).unwrap();
+}
+
+/// Everything determinism-relevant a run leaves behind, per node.
+struct RunFingerprint {
+    /// (height, block hash) for the whole chain. Byte-identical across
+    /// the nodes of one run; across *separate runs* only `content` can
+    /// be compared, because the votes embedded in block metadata arrive
+    /// over asynchronous gossip and land in timing-dependent blocks.
+    chain: Vec<(u64, [u8; 32])>,
+    /// (height, ordered transaction ids) — the commit-relevant chain
+    /// content, stable across runs of the same sequential workload.
+    content: Vec<(u64, Vec<String>)>,
+    /// Local checkpoint (write-set) hash per block.
+    checkpoints: Vec<Option<Digest>>,
+    /// Full committed state hash at the tip.
+    state: Digest,
+    /// Ledger content: (block, tx_index, global id, user, contract,
+    /// committed?) — commit timestamps and local txids are node-local by
+    /// design and excluded.
+    ledger: Vec<(u64, u32, String, String, String, bool)>,
+}
+
+fn fingerprint(node: &Arc<Node>) -> RunFingerprint {
+    let tip = node.height();
+    assert_eq!(node.postcommit_height(), tip, "pipeline fully drained");
+    let chain = (1..=tip)
+        .map(|h| (h, node.blockstore.get(h).unwrap().hash))
+        .collect();
+    let content = (1..=tip)
+        .map(|h| {
+            let b = node.blockstore.get(h).unwrap();
+            (h, b.txs.iter().map(|t| t.id.short()).collect())
+        })
+        .collect();
+    let checkpoints = (1..=tip).map(|h| node.checkpoints.local_hash(h)).collect();
+    let mut ledger = Vec::new();
+    for h in 1..=tip {
+        for r in node.ledger_records(h) {
+            ledger.push((
+                r.block,
+                r.tx_index,
+                r.global_id.short(),
+                r.user.clone(),
+                r.contract.clone(),
+                matches!(r.status, TxStatus::Committed),
+            ));
+        }
+    }
+    RunFingerprint {
+        chain,
+        content,
+        checkpoints,
+        state: node.state_hash(),
+        ledger,
+    }
+}
+
+#[test]
+fn pipelined_and_serial_runs_are_byte_identical() {
+    let serial = {
+        let net = build(Flow::OrderThenExecute, false);
+        run_sequential_workload(&net);
+        let fp = fingerprint(&net.node("org1").unwrap());
+        net.shutdown();
+        fp
+    };
+    let pipelined = {
+        let net = build(Flow::OrderThenExecute, true);
+        run_sequential_workload(&net);
+        // Every node of the pipelined network agrees with org1.
+        let fps: Vec<RunFingerprint> = net.nodes().iter().map(fingerprint).collect();
+        for (i, fp) in fps.iter().enumerate().skip(1) {
+            assert_eq!(fp.chain, fps[0].chain, "node {} chain diverged", ORGS[i]);
+            assert_eq!(
+                fp.checkpoints, fps[0].checkpoints,
+                "node {} checkpoints diverged",
+                ORGS[i]
+            );
+            assert_eq!(fp.state, fps[0].state, "node {} state diverged", ORGS[i]);
+            assert_eq!(fp.ledger, fps[0].ledger, "node {} ledger diverged", ORGS[i]);
+        }
+        for node in net.nodes() {
+            assert!(node.divergences().is_empty());
+        }
+        let fp = fingerprint(&net.node("org1").unwrap());
+        net.shutdown();
+        fp
+    };
+
+    // The two modes produced identical chains (same transactions in the
+    // same blocks), checkpoint hashes, state and ledger content.
+    assert_eq!(
+        serial.content, pipelined.content,
+        "chain content differs across modes"
+    );
+    assert_eq!(
+        serial.checkpoints, pipelined.checkpoints,
+        "checkpoint hashes differ across modes"
+    );
+    assert_eq!(serial.state, pipelined.state, "state hashes differ");
+    assert_eq!(serial.ledger, pipelined.ledger, "ledger content differs");
+    assert!(
+        serial.checkpoints.iter().all(Option::is_some),
+        "every block has a checkpoint hash"
+    );
+}
+
+/// Concurrent load on the pipelined 4-node network: block boundaries are
+/// timing-dependent across runs, so the assertion is within-run — all
+/// four nodes converge to identical chains, checkpoints and state, with
+/// no divergence reports.
+#[test]
+fn pipelined_network_converges_under_concurrent_load() {
+    for flow in [Flow::OrderThenExecute, Flow::ExecuteOrderParallel] {
+        let net = build(flow, true);
+        let mut batches = Vec::new();
+        for (i, org) in ORGS.iter().enumerate() {
+            let client = net.client(org, "loadgen").unwrap();
+            let calls: Vec<Call> = (0..40i64)
+                .map(|n| {
+                    let k = (i as i64) * 1000 + n;
+                    Call::new("put").arg(k).arg(k).arg(format!("c-{k}"))
+                })
+                .collect();
+            batches.push((client, calls));
+        }
+        let pending: Vec<_> = batches
+            .iter()
+            .map(|(c, calls)| c.submit_all(calls.clone()).unwrap())
+            .collect();
+        for batch in pending {
+            for n in batch.wait_all(WAIT).unwrap() {
+                assert!(
+                    matches!(n.status, TxStatus::Committed),
+                    "{flow:?}: unexpected abort {:?}",
+                    n.status
+                );
+            }
+        }
+        let head = net.nodes().iter().map(|n| n.height()).max().unwrap();
+        net.await_height(head, WAIT).unwrap();
+
+        let fps: Vec<RunFingerprint> = net.nodes().iter().map(fingerprint).collect();
+        for (i, fp) in fps.iter().enumerate().skip(1) {
+            assert_eq!(fp.chain, fps[0].chain, "{flow:?}: {} chain", ORGS[i]);
+            assert_eq!(
+                fp.checkpoints, fps[0].checkpoints,
+                "{flow:?}: {} checkpoints",
+                ORGS[i]
+            );
+            assert_eq!(fp.state, fps[0].state, "{flow:?}: {} state", ORGS[i]);
+        }
+        for node in net.nodes() {
+            assert!(node.divergences().is_empty(), "{flow:?}: divergence seen");
+        }
+        net.shutdown();
+    }
+}
+
+// ----------------------------------------------------------- crash test
+
+/// Direct-node rig (no network): a deterministic block feeder.
+struct Rig {
+    certs: Arc<CertificateRegistry>,
+    client: KeyPair,
+    orderer: KeyPair,
+}
+
+impl Rig {
+    fn new() -> Rig {
+        let client = KeyPair::generate("org1/alice", b"alice", Scheme::Sim);
+        let orderer = KeyPair::generate("ordering/orderer0", b"ord", Scheme::Sim);
+        let certs = CertificateRegistry::new();
+        certs.register(Certificate {
+            name: "org1/alice".into(),
+            org: "org1".into(),
+            role: Role::Client,
+            public_key: client.public_key(),
+        });
+        certs.register(Certificate {
+            name: "ordering/orderer0".into(),
+            org: "ordering".into(),
+            role: Role::Orderer,
+            public_key: orderer.public_key(),
+        });
+        Rig {
+            certs,
+            client,
+            orderer,
+        }
+    }
+
+    fn node(&self, data_dir: Option<std::path::PathBuf>) -> Arc<Node> {
+        self.node_with(|cfg| cfg.data_dir = data_dir)
+    }
+
+    fn node_with(&self, tweak: impl FnOnce(&mut NodeConfig)) -> Arc<Node> {
+        let mut cfg = NodeConfig::new("org1/peer", "org1", Flow::OrderThenExecute);
+        cfg.fsync = true;
+        tweak(&mut cfg);
+        let node = Node::new(cfg, Arc::clone(&self.certs), vec!["org1".into()]).unwrap();
+        bootstrap(&node);
+        node
+    }
+
+    /// One block invoking arbitrary (contract, args) payloads.
+    fn block_of(
+        &self,
+        node: &Arc<Node>,
+        number: u64,
+        calls: &[(&str, Vec<Value>)],
+        nonce_base: u64,
+    ) -> Arc<Block> {
+        let txs: Vec<Transaction> = calls
+            .iter()
+            .enumerate()
+            .map(|(i, (contract, args))| {
+                Transaction::new_order_execute(
+                    "org1/alice",
+                    Payload::new(*contract, args.clone()),
+                    nonce_base + i as u64,
+                    &self.client,
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut block = Block::build(number, node.blockstore.tip_hash(), txs, "solo", vec![]);
+        block.sign(&self.orderer).unwrap();
+        Arc::new(block)
+    }
+
+    fn block(&self, node: &Arc<Node>, number: u64, keys: std::ops::Range<i64>) -> Arc<Block> {
+        let txs: Vec<Transaction> = keys
+            .map(|k| {
+                Transaction::new_order_execute(
+                    "org1/alice",
+                    Payload::new("put", vec![Value::Int(k), Value::Int(k * 10)]),
+                    k as u64,
+                    &self.client,
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut block = Block::build(number, node.blockstore.tip_hash(), txs, "solo", vec![]);
+        block.sign(&self.orderer).unwrap();
+        Arc::new(block)
+    }
+}
+
+fn bootstrap(node: &Arc<Node>) {
+    node.catalog()
+        .create_table(
+            bcrdb::common::schema::TableSchema::new(
+                "kv",
+                vec![
+                    bcrdb::common::schema::Column::new("k", bcrdb::common::schema::DataType::Int),
+                    bcrdb::common::schema::Column::new("v", bcrdb::common::schema::DataType::Int),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    for sql in [
+        "CREATE FUNCTION put(k INT, v INT) AS $$ INSERT INTO kv VALUES ($1, $2) $$",
+        "CREATE FUNCTION del(k INT) AS $$ DELETE FROM kv WHERE k = $1 $$",
+    ] {
+        if let bcrdb::sql::ast::Statement::CreateFunction(def) =
+            bcrdb::sql::parse_statement(sql).unwrap()
+        {
+            node.contracts().install(def).unwrap();
+        }
+    }
+}
+
+/// The pipelined failure window unique to stage 3: a block is durable in
+/// the store (stage 0 append + group fsync) and serially committed, but
+/// the node dies before the post-commit worker writes its ledger records.
+/// Recovery replays the stored chain through the synchronous path and
+/// must rebuild the unflushed ledger records and checkpoint hashes.
+#[test]
+fn crash_during_post_commit_replay_rebuilds_ledger() {
+    let dir = std::env::temp_dir().join(format!("bcrdb-pipe-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let rig = Rig::new();
+
+    // Reference node: processes every block fully (what the crashed node
+    // must converge back to).
+    let reference = rig.node(None);
+    // Victim: blocks 1–2 fully processed; blocks 3–4 appended to the
+    // durable store only — the crash ate their post-commit output.
+    let victim_dir = dir.join("victim");
+    std::fs::create_dir_all(&victim_dir).unwrap();
+    let victim = rig.node(Some(victim_dir.clone()));
+
+    for n in 1..=4u64 {
+        let keys = (n as i64 - 1) * 5..(n as i64) * 5;
+        let block = rig.block(&reference, n, keys);
+        reference.blockstore.append((*block).clone()).unwrap();
+        processor::process_block(&reference, &block).unwrap();
+        if n <= 2 {
+            victim.blockstore.append((*block).clone()).unwrap();
+            processor::process_block(&victim, &block).unwrap();
+        } else {
+            // Stage 0 only: durable append, no commit, no ledger.
+            victim.blockstore.append((*block).clone()).unwrap();
+        }
+    }
+    assert_eq!(victim.height(), 2);
+    assert!(victim.ledger_records(3).is_empty(), "pre-crash: no ledger");
+    victim.shutdown();
+    drop(victim);
+
+    // Restart from disk and recover: local replay through process_block.
+    let revived = rig.node(Some(victim_dir));
+    let recovered = revived.recover().unwrap();
+    assert_eq!(recovered, 4, "replay reached the stored tip");
+    assert_eq!(revived.postcommit_height(), 4);
+    for h in 1..=4u64 {
+        assert_eq!(
+            revived.checkpoints.local_hash(h),
+            reference.checkpoints.local_hash(h),
+            "checkpoint mismatch at block {h}"
+        );
+        let got = revived.ledger_records(h);
+        let want = reference.ledger_records(h);
+        assert_eq!(got.len(), want.len(), "ledger row count at block {h}");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.global_id, w.global_id);
+            assert_eq!(g.tx_index, w.tx_index);
+            assert_eq!(g.status, w.status);
+        }
+    }
+    assert_eq!(revived.state_hash(), reference.state_hash());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The maintenance vacuum tick (`NodeConfig::vacuum_interval`): every N
+/// blocks the node reclaims row versions deleted at or before the
+/// checkpoint-retention horizon (64 blocks), counting runs and reclaimed
+/// versions in the metrics. Queries above the horizon are unaffected.
+#[test]
+fn vacuum_tick_reclaims_old_deletes() {
+    let rig = Rig::new();
+    let node = rig.node_with(|cfg| {
+        cfg.fsync = false;
+        cfg.vacuum_interval = 10;
+    });
+    // Each block k inserts row k and deletes row k-1, so by block 80 the
+    // rows deleted in blocks ≤ 16 are past the 64-block horizon.
+    for k in 1..=80u64 {
+        let mut calls: Vec<(&str, Vec<Value>)> =
+            vec![("put", vec![Value::Int(k as i64), Value::Int(k as i64)])];
+        if k > 1 {
+            calls.push(("del", vec![Value::Int(k as i64 - 1)]));
+        }
+        let block = rig.block_of(&node, k, &calls, k * 10);
+        node.blockstore.append((*block).clone()).unwrap();
+        processor::process_block(&node, &block).unwrap();
+    }
+    let m = node.metrics();
+    assert_eq!(m.vacuum_runs(), 8, "tick fired every 10 blocks");
+    assert!(
+        m.versions_reclaimed() > 0,
+        "old deleted versions were reclaimed"
+    );
+    let snap = node.metrics_report();
+    assert_eq!(snap.vacuum_runs, 8);
+    assert!(snap.versions_reclaimed > 0);
+    // Only row 80 is live; recent history (above the horizon) survives.
+    let r = node.query("SELECT COUNT(*) FROM kv", &[]).unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    let kv = node.catalog().get("kv").unwrap();
+    assert!(
+        kv.version_count() < 2 * 80,
+        "heap shrank below the no-vacuum total"
+    );
+    // Time travel above the horizon still sees the pre-delete row.
+    let r = node
+        .query_at("SELECT v FROM kv WHERE k = $1", &[Value::Int(79)], 79)
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+/// A rejected block halts the pipelined processor: the `halted` health
+/// flag is recorded (and surfaces through the Metrics RPC snapshot), and
+/// `Node::shutdown` returns promptly instead of hanging on the dead
+/// processor.
+#[test]
+fn halted_processor_reports_health_and_shuts_down() {
+    let rig = Rig::new();
+    let node = rig.node(None);
+    let (tx, rx) = crossbeam_channel::unbounded::<Arc<Block>>();
+    node.start(rx);
+
+    // A healthy block commits.
+    let good = rig.block(&node, 1, 0..3);
+    tx.send(Arc::clone(&good)).unwrap();
+    let deadline = std::time::Instant::now() + WAIT;
+    while node.postcommit_height() < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "block 1 never committed"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(!node.is_halted());
+
+    // A block signed by a rogue orderer is rejected and halts processing.
+    let rogue = KeyPair::generate("evil/orderer", b"evil", Scheme::Sim);
+    let mut bad = Block::build(2, node.blockstore.tip_hash(), vec![], "solo", vec![]);
+    bad.sign(&rogue).unwrap();
+    tx.send(Arc::new(bad)).unwrap();
+    let deadline = std::time::Instant::now() + WAIT;
+    while !node.is_halted() {
+        assert!(std::time::Instant::now() < deadline, "halt never recorded");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(node.height(), 1, "chain did not advance past the bad block");
+    let snap = node.metrics_report();
+    assert!(snap.halted, "Metrics RPC snapshot exposes the health flag");
+    assert_eq!(snap.committed_height, 1);
+    assert_eq!(snap.postcommit_height, 1);
+    assert!(node
+        .metrics()
+        .halt_reason()
+        .is_some_and(|r| r.contains("halted at block 2")));
+
+    // Shutdown of a halted node returns promptly.
+    let t0 = std::time::Instant::now();
+    node.shutdown();
+    assert!(t0.elapsed() < Duration::from_secs(1));
+
+    // Chains keep their integrity: a healthy node fed the same blocks
+    // still refuses the rogue one via the synchronous path.
+    let clean = rig.node(None);
+    clean.blockstore.append((*good).clone()).unwrap();
+    processor::process_block(&clean, &good).unwrap();
+    assert_eq!(clean.height(), 1);
+}
