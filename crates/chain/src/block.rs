@@ -31,6 +31,15 @@ pub struct CheckpointVote {
     pub state_hash: Digest,
 }
 
+/// Serialized size of one SHA-256 digest on the wire.
+pub const DIGEST_WIRE: usize = std::mem::size_of::<Digest>();
+
+impl CheckpointVote {
+    /// Charged wire size: a fixed 32-byte budget for the node name, the
+    /// 8-byte block height, and the state digest.
+    pub const WIRE_SIZE: usize = 32 + 8 + DIGEST_WIRE;
+}
+
 /// The hash of the conventional genesis predecessor (block 0's
 /// `prev_hash`).
 pub fn genesis_prev_hash() -> Digest {
@@ -189,7 +198,13 @@ impl Block {
     pub fn wire_size(&self) -> usize {
         let tx_bytes: usize = self.txs.iter().map(Transaction::wire_size).sum();
         let sig_bytes: usize = self.signatures.iter().map(|(_, s)| s.wire_size()).sum();
-        tx_bytes + sig_bytes + 32 * 3 + 16 + self.checkpoints.len() * 72
+        // The three digests are `prev_hash`, `tx_root`, and `hash`; the
+        // 16 covers the height and the consensus tag.
+        tx_bytes
+            + sig_bytes
+            + DIGEST_WIRE * 3
+            + 16
+            + self.checkpoints.len() * CheckpointVote::WIRE_SIZE
     }
 }
 

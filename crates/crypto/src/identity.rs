@@ -108,10 +108,14 @@ impl Signature {
     /// Approximate wire size in bytes (used by the network simulator to
     /// model bandwidth).
     pub fn wire_size(&self) -> usize {
+        const DIGEST_WIRE: usize = std::mem::size_of::<Digest>();
         match self {
-            // 67 chains * 32B + auth path + index.
-            Signature::HashBased(s) => 67 * 32 + s.auth_path.steps.len() * 33 + 8,
-            Signature::Sim(_) => 32,
+            // One WOTS chain value per chain, the auth path (digest plus
+            // direction byte per step), and the 8-byte leaf index.
+            Signature::HashBased(s) => {
+                crate::wots::CHAINS * DIGEST_WIRE + s.auth_path.steps.len() * (DIGEST_WIRE + 1) + 8
+            }
+            Signature::Sim(_) => DIGEST_WIRE,
         }
     }
 }

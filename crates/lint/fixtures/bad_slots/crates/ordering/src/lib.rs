@@ -1,0 +1,18 @@
+//! Slot-table drift fixture: the table misses a field and names a
+//! nonexistent one.
+pub struct Snap {
+    pub a: u64,
+    pub b: u64,
+    pub inner: Inner,
+}
+
+pub struct Inner {
+    pub x: u64,
+}
+
+// bcrdb-lint: slots(Snap)
+pub const SLOTS: &[&str] = &[
+    "a",
+    "inner.x",
+    "ghost",
+];

@@ -1,0 +1,19 @@
+//! Clean fixture: ordered collections, no clocks, disciplined locks.
+use std::collections::BTreeMap;
+
+pub struct State {
+    rounds: BTreeMap<u64, u64>,
+    lookup: HashMap<u64, u64>,
+}
+
+pub fn sum(state: &State) -> u64 {
+    // BTreeMap iteration is ordered; HashMap point lookups are fine.
+    let direct = state.lookup.get(&1).copied().unwrap_or(0);
+    state.rounds.values().sum::<u64>() + direct
+}
+
+pub fn locked(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let ga = a.lock();
+    let gb = b.lock();
+    *ga + *gb
+}

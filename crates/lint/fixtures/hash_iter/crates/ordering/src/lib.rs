@@ -1,0 +1,14 @@
+//! Violation fixture: order-sensitive iteration over a hash map.
+use std::collections::HashMap;
+
+pub struct State {
+    votes: HashMap<u64, u64>,
+}
+
+pub fn serialize(state: &State) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, v) in state.votes.iter() {
+        out.push(k + v);
+    }
+    out
+}

@@ -1,0 +1,18 @@
+//! Deliberate ABBA fixture: two functions acquire the same pair of
+//! locks in opposite orders.
+pub struct S {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+pub fn forward(s: &S) -> u64 {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    *a + *b
+}
+
+pub fn backward(s: &S) -> u64 {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    *a + *b
+}

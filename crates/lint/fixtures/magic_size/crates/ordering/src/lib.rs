@@ -1,0 +1,6 @@
+//! Magic-size fixture: an unexplained byte product in a size function.
+pub struct Snapshot;
+
+pub fn response_wire_size(_s: &Snapshot) -> usize {
+    1 + 29 * 8
+}

@@ -1,0 +1,17 @@
+//! Suppression fixture: the same violations, annotated with reasons.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct State {
+    votes: HashMap<u64, u64>,
+}
+
+pub fn total(state: &State) -> u64 {
+    // bcrdb-lint: allow(hash-iter, reason = "sum is order-insensitive")
+    state.votes.values().sum()
+}
+
+pub fn stamp() -> Instant {
+    // bcrdb-lint: allow(wall-clock, reason = "local timer, never replicated")
+    Instant::now()
+}

@@ -1,0 +1,7 @@
+//! Violation fixture: wall-clock read on the consensus path.
+use std::time::Instant;
+
+pub fn decide() -> bool {
+    let now = Instant::now();
+    now.elapsed().as_millis() % 2 == 0
+}

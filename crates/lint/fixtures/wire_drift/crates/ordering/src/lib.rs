@@ -1,0 +1,15 @@
+//! Wire-drift fixture: the size function forgot a variant and hides
+//! behind a wildcard arm.
+pub enum Msg {
+    Ping,
+    Payload(Vec<u8>),
+    Ack,
+}
+
+pub fn wire_size(m: &Msg) -> usize {
+    match m {
+        Msg::Ping => 1,
+        Msg::Payload(p) => 5 + p.len(),
+        _ => 0,
+    }
+}

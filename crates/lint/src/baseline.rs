@@ -1,0 +1,98 @@
+//! Findings baseline: `--deny-new` semantics.
+//!
+//! The baseline file (`LINT_BASELINE.txt` at the workspace root) holds
+//! one line per accepted finding, tab-separated `rule\tfile\tdetail`.
+//! Line numbers are deliberately excluded so unrelated edits don't
+//! churn the file; duplicate keys are counted as a multiset. In
+//! `--deny-new` mode a scan passes iff its findings are a sub-multiset
+//! of the baseline — findings may disappear freely, but any new one
+//! fails the build.
+
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// A multiset of baseline keys.
+pub type Baseline = BTreeMap<String, usize>;
+
+/// The baseline key of a finding (no line number: stable across
+/// unrelated edits).
+pub fn key(f: &Finding) -> String {
+    format!("{}\t{}\t{}", f.rule, f.file, f.detail)
+}
+
+/// Parse baseline file contents.
+pub fn parse(text: &str) -> Baseline {
+    let mut out = Baseline::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        *out.entry(line.to_string()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Serialize findings to baseline file contents (sorted, one line per
+/// occurrence).
+pub fn render(findings: &[Finding]) -> String {
+    let mut lines: Vec<String> = findings.iter().map(key).collect();
+    lines.sort();
+    let mut out = String::from(
+        "# bcrdb-lint accepted findings. One line per finding: rule<TAB>file<TAB>detail.\n\
+         # Regenerate with: cargo run -p bcrdb-lint -- --write-baseline\n",
+    );
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+/// The findings not covered by the baseline (the multiset difference).
+pub fn new_findings<'a>(findings: &'a [Finding], baseline: &Baseline) -> Vec<&'a Finding> {
+    let mut budget = baseline.clone();
+    let mut out = Vec::new();
+    for f in findings {
+        let k = key(f);
+        match budget.get_mut(&k) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => out.push(f),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, detail: &str) -> Finding {
+        Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule,
+            detail: detail.into(),
+        }
+    }
+
+    #[test]
+    fn subset_passes_superset_fails() {
+        let findings = vec![f("hash-iter", "a.iter()"), f("hash-iter", "a.iter()")];
+        let base = parse(&render(&findings));
+        assert!(new_findings(&findings, &base).is_empty());
+        let mut more = findings.clone();
+        more.push(f("hash-iter", "a.iter()"));
+        assert_eq!(new_findings(&more, &base).len(), 1, "third copy is new");
+        assert!(new_findings(&findings[..1].to_vec(), &base).is_empty());
+    }
+
+    #[test]
+    fn keys_exclude_line_numbers() {
+        let mut a = f("wall-clock", "Instant::now() read on the commit path");
+        let mut b = a.clone();
+        a.line = 1;
+        b.line = 500;
+        assert_eq!(key(&a), key(&b));
+    }
+}

@@ -1,0 +1,469 @@
+//! Determinism lints for the consensus/commit path.
+//!
+//! Two rules, applied only to files in the determinism scope (see
+//! [`crate::in_determinism_scope`]):
+//!
+//! * `hash-iter` — order-sensitive iteration over a `HashMap`/`HashSet`
+//!   (or a type alias / guard thereof): `for … in`, `.iter()`,
+//!   `.keys()`, `.values()`, `.drain()` and friends. Hash iteration
+//!   order is seeded per-process, so any such loop whose effect reaches
+//!   hashed, serialized, or delivered data diverges across nodes.
+//! * `wall-clock` — `SystemTime::now` / `Instant::now` reads. Wall
+//!   clocks differ across nodes; any read feeding replicated state is a
+//!   divergence.
+//!
+//! Both are suppressible with
+//! `// bcrdb-lint: allow(<rule>, reason = "…")` on the same or the
+//! preceding line; the reason is mandatory.
+//!
+//! Name tracking is heuristic and textual: a name is "hash-typed" when
+//! it is declared with a `HashMap`/`HashSet` annotation (field, param,
+//! `let` with annotation, struct literal), assigned a
+//! `HashMap::new()`-style expression, declared via a type alias whose
+//! definition mentions a hash collection, or is a guard binding over a
+//! hash-typed lock (`let g = self.records.read()`). The tracking is
+//! file-local and name-level — precise enough in practice because the
+//! workspace keeps collection fields distinctly named.
+
+use crate::scanner::SourceFile;
+use crate::textutil::*;
+use crate::Finding;
+use std::collections::BTreeSet;
+
+/// Iteration methods whose visit order is the hash order.
+const FLAGGED_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Run both determinism rules over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    wall_clock(file, out);
+    hash_iter(file, out);
+}
+
+fn push(
+    file: &SourceFile,
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+    line: usize,
+    detail: String,
+) {
+    if !file.suppressed(rule, line) {
+        out.push(Finding {
+            file: file.rel.clone(),
+            line,
+            rule,
+            detail,
+        });
+    }
+}
+
+fn wall_clock(file: &SourceFile, out: &mut Vec<Finding>) {
+    for source in ["SystemTime", "Instant"] {
+        for pos in word_positions(&file.code, source) {
+            let rest = &file.code[pos + source.len()..];
+            if rest.trim_start().starts_with("::now") {
+                let line = line_at(&file.code, pos);
+                push(
+                    file,
+                    out,
+                    "wall-clock",
+                    line,
+                    format!("{source}::now() read on the commit path"),
+                );
+            }
+        }
+    }
+}
+
+/// Collect the set of identifiers declared with a hash-collection type
+/// in this file (heuristic; see module docs).
+pub fn hash_typed_names(file: &SourceFile) -> BTreeSet<String> {
+    let code = &file.code;
+    // Type words: the std collections plus any same-file alias whose
+    // definition mentions one.
+    let mut hash_words: BTreeSet<String> = ["HashMap", "HashSet"]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    for pos in word_positions(code, "type") {
+        let after = skip_ws(code, pos + 4);
+        let Some(alias) = ident_starting_at(code, after) else {
+            continue;
+        };
+        let Some(semi_rel) = code[after..].find(';') else {
+            continue;
+        };
+        let def = &code[after..after + semi_rel];
+        if contains_word(def, "HashMap") || contains_word(def, "HashSet") {
+            hash_words.insert(alias.to_string());
+        }
+    }
+
+    let mut names = BTreeSet::new();
+    for word in &hash_words {
+        for pos in word_positions(code, word) {
+            if let Some(name) = binding_before(code, pos) {
+                names.insert(name);
+            }
+        }
+    }
+
+    // Guard bindings: `let g = self.records.read()` makes `g`
+    // hash-typed when `records` is. One fixpoint round suffices for
+    // the workspace's nesting depth, but run a couple to be safe.
+    for _ in 0..3 {
+        let mut grew = false;
+        for guard in [
+            ".lock()",
+            ".read()",
+            ".write()",
+            ".borrow()",
+            ".borrow_mut()",
+        ] {
+            let method = &guard[1..guard.len() - 2];
+            for pos in word_positions(code, method) {
+                let dot = pos.checked_sub(1).unwrap_or(0);
+                if code.as_bytes().get(dot) != Some(&b'.')
+                    || !code[pos + method.len()..].starts_with("()")
+                {
+                    continue;
+                }
+                let chain = receiver_chain(code, dot);
+                if !chain.iter().any(|id| names.contains(id)) {
+                    continue;
+                }
+                if let Some(name) = binding_for_chain(code, dot, &chain) {
+                    if names.insert(name) {
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    names
+}
+
+/// Given the dot of a `.lock()`-style call and its receiver chain,
+/// find the `let <name> =` binding the expression is assigned to.
+fn binding_for_chain(code: &str, dot: usize, chain: &[String]) -> Option<String> {
+    // Walk back over the chain text to its start.
+    let bytes = code.as_bytes();
+    let mut pos = dot;
+    let mut remaining = chain.len();
+    while remaining > 0 && pos > 0 {
+        pos = skip_ws_back(code, pos);
+        let c = bytes[pos - 1];
+        if c == b')' {
+            let mut depth = 0i32;
+            while pos > 0 {
+                match bytes[pos - 1] {
+                    b')' => depth += 1,
+                    b'(' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            pos -= 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                pos -= 1;
+            }
+        } else if c == b'?' || c == b'.' {
+            pos -= 1;
+        } else if is_ident(c) {
+            let id = ident_ending_at(code, pos)?;
+            pos -= id.len();
+            remaining -= 1;
+        } else {
+            break;
+        }
+    }
+    let pos = skip_ws_back(code, pos);
+    if pos == 0 || bytes[pos - 1] != b'=' {
+        return None;
+    }
+    // Reject `==`, `=>`, `+=` and friends.
+    if pos >= 2
+        && matches!(
+            bytes[pos - 2],
+            b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/'
+        )
+    {
+        return None;
+    }
+    let name_end = skip_ws_back(code, pos - 1);
+    let name = ident_ending_at(code, name_end)?;
+    if name == "mut" || name == "let" {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Walk backward from a hash-type word occurrence to the identifier it
+/// declares, if any: `records: RwLock<HashMap<…>>` → `records`;
+/// `let seen = HashSet::new()` → `seen`. Returns `None` in
+/// non-declaring positions (return types, turbofish, bare paths).
+fn binding_before(code: &str, word_pos: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut pos = word_pos;
+    let mut budget = 160usize; // stay within one declaration
+    loop {
+        pos = skip_ws_back(code, pos);
+        if pos == 0 || budget == 0 {
+            return None;
+        }
+        budget -= 1;
+        let c = bytes[pos - 1];
+        match c {
+            b':' => {
+                if pos >= 2 && bytes[pos - 2] == b':' {
+                    // `std::collections::HashMap` — skip the path
+                    // segment and keep walking left.
+                    pos -= 2;
+                    let end = skip_ws_back(code, pos);
+                    let id = ident_ending_at(code, end)?;
+                    pos = end - id.len();
+                } else {
+                    // Single `:` — a declaration annotation. The name
+                    // is the ident just before it.
+                    let end = skip_ws_back(code, pos - 1);
+                    let name = ident_ending_at(code, end)?;
+                    if KEYWORDS.contains(&name) {
+                        return None;
+                    }
+                    return Some(name.to_string());
+                }
+            }
+            b'=' => {
+                if pos >= 2
+                    && matches!(
+                        bytes[pos - 2],
+                        b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/'
+                    )
+                {
+                    return None;
+                }
+                let end = skip_ws_back(code, pos - 1);
+                let name = ident_ending_at(code, end)?;
+                if KEYWORDS.contains(&name) {
+                    return None;
+                }
+                return Some(name.to_string());
+            }
+            b'<' | b'>' | b',' | b'&' | b'\'' | b'(' => {
+                pos -= 1;
+            }
+            b'[' => return None, // array/slice of maps iterates in index order
+            _ if is_ident(c) => {
+                let id = ident_ending_at(code, pos)?;
+                if ORDERED_WRAPPERS.contains(&id) {
+                    // `Vec<HashMap<…>>` etc: the binding iterates the
+                    // ordered outer container, not the hash collection.
+                    return None;
+                }
+                pos -= id.len();
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Outer containers whose own iteration order is deterministic even
+/// when the element type is a hash collection.
+const ORDERED_WRAPPERS: &[&str] = &["Vec", "VecDeque", "Option", "BinaryHeap"];
+
+const KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "pub", "fn", "impl", "return", "in", "if", "else", "match", "type",
+    "const", "static", "where", "dyn",
+];
+
+fn hash_iter(file: &SourceFile, out: &mut Vec<Finding>) {
+    let code = &file.code;
+    let names = hash_typed_names(file);
+    if names.is_empty() {
+        return;
+    }
+
+    // `.iter()`-style calls whose receiver chain touches a hash name.
+    for method in FLAGGED_METHODS {
+        for pos in word_positions(code, method) {
+            let Some(dot) = pos.checked_sub(1) else {
+                continue;
+            };
+            if code.as_bytes()[dot] != b'.' {
+                continue;
+            }
+            // The order-sensitive methods are all argless; requiring
+            // the empty parens also filters io::Read/Write methods.
+            if !code[pos + method.len()..].starts_with("()") {
+                continue;
+            }
+            let chain = receiver_chain(code, dot);
+            let Some(hit) = chain.iter().find(|id| names.contains(*id)) else {
+                continue;
+            };
+            let line = line_at(code, pos);
+            push(
+                file,
+                out,
+                "hash-iter",
+                line,
+                format!("{hit}.{method}() iterates a hash collection in nondeterministic order"),
+            );
+        }
+    }
+
+    // `for x in name`-style loops over a bare hash-typed name.
+    for pos in word_positions(code, "for") {
+        let after = skip_ws(code, pos + 3);
+        if code.as_bytes().get(after) == Some(&b'<') {
+            continue; // `for<'a>` HRTB
+        }
+        // Find the ` in ` keyword before the loop body brace.
+        let Some(brace_rel) = code[pos..].find('{') else {
+            continue;
+        };
+        let header = &code[pos..pos + brace_rel];
+        let Some(in_rel) = find_in_keyword(header) else {
+            continue; // `impl Trait for Type`
+        };
+        let expr = header[in_rel + 2..].trim();
+        let expr = expr
+            .trim_start_matches('&')
+            .trim_start_matches("mut ")
+            .trim();
+        // Only a bare name / dotted path — method calls are covered by
+        // the `.iter()` pass above.
+        if expr.is_empty() || !expr.bytes().all(|b| is_ident(b) || b == b'.') {
+            continue;
+        }
+        let last = expr.rsplit('.').next().unwrap_or(expr);
+        if names.contains(last) {
+            let line = line_at(code, pos);
+            push(
+                file,
+                out,
+                "hash-iter",
+                line,
+                format!("for-loop over hash collection {last} in nondeterministic order"),
+            );
+        }
+    }
+}
+
+/// Offset of the ` in ` keyword inside a `for` header, if any.
+fn find_in_keyword(header: &str) -> Option<usize> {
+    let bytes = header.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = header[from..].find("in") {
+        let start = from + rel;
+        let end = start + 2;
+        let left_ok = start > 0 && !is_ident(bytes[start - 1]) && bytes[start - 1] != b'.';
+        let right_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if left_ok && right_ok {
+            return Some(start);
+        }
+        from = start + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(src: &str) -> SourceFile {
+        SourceFile::scan(
+            PathBuf::from("/x/lib.rs"),
+            "crates/ordering/src/lib.rs".into(),
+            "ordering".into(),
+            src.into(),
+        )
+    }
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = scan(src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn field_annotation_declares_hash_name() {
+        let src = "struct S { rounds: HashMap<u64, R> }\nfn f(s: &S) { for r in s.rounds { use_(r); } }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "hash-iter");
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn let_new_declares_hash_name() {
+        let src = "fn f() { let seen = HashSet::new(); for s in &seen { } }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn guard_binding_inherits_hash_type() {
+        let src = "struct S { records: RwLock<HashMap<u64, R>> }\nfn f(s: &S) { let rec = s.records.read(); let n = rec.values().count(); }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].detail.contains("rec.values()"), "{out:?}");
+    }
+
+    #[test]
+    fn type_alias_is_tracked() {
+        let src = "type Shard = Mutex<HashMap<u64, Vec<u64>>>;\nstruct S { shard: Shard }\nfn f(s: &S) { let g = s.shard.lock(); for x in g.keys() { } }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn btree_is_clean_and_get_is_clean() {
+        let src = "struct S { a: BTreeMap<u64, R>, b: HashMap<u64, R> }\nfn f(s: &S) { for x in &s.a { } let v = s.b.get(&1); }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn vec_of_maps_is_not_hash_typed() {
+        let src = "struct S { shards: Vec<Mutex<HashMap<u64, u64>>> }\nfn f(s: &S) { for sh in &s.shards { use_(sh); } }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_and_suppressible() {
+        let src = "fn f() { let t = Instant::now(); }\n// bcrdb-lint: allow(wall-clock, reason = \"metrics only\")\nfn g() { let t = SystemTime::now(); }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn reasonless_allow_does_not_suppress() {
+        let src = "// bcrdb-lint: allow(wall-clock)\nfn f() { let t = Instant::now(); }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn chained_temp_guard_is_flagged() {
+        let src = "struct S { m: Mutex<HashMap<u64, u64>> }\nfn f(s: &S) { let n = s.m.lock().keys().count(); }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+}

@@ -1,0 +1,389 @@
+//! Lock-order analysis.
+//!
+//! For every function body in the workspace, this pass extracts the
+//! sequence of nested `lock()`/`read()`/`write()` acquisitions. Each
+//! acquisition is keyed by a *lock-site identifier* —
+//! `<crate>::<receiver-tail-ident>` — the last identifier of the
+//! receiver chain, which in this workspace is always the lock field
+//! name (`env.processed.lock()` → `node::processed`). Whenever lock B
+//! is taken while lock A is held, the edge `A → B` joins the
+//! cross-crate lock-order graph; a cycle in that graph is a potential
+//! ABBA deadlock and fails the build (`lock-cycle`).
+//!
+//! Guard lifetimes are approximated from syntax:
+//! * an unbound guard (`x.lock().push(v)`) is released at the `;`
+//!   ending its statement;
+//! * a `let`-bound guard lives until its block closes (the brace depth
+//!   drops below the binding), or until an explicit `drop(name)`.
+//!
+//! The analysis is name-level and intra-function: it does not see
+//! locks held across function calls. That keeps it free of false
+//! cycles; the complementary dynamic check is the scheduled TSan job.
+
+use crate::scanner::SourceFile;
+use crate::textutil::*;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The cross-crate lock-order graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Directed edges held → newly-acquired, with one example site
+    /// (`file`, `line`) per edge.
+    pub edges: BTreeMap<(String, String), (String, usize)>,
+}
+
+/// One acquisition currently on the per-function stack.
+struct Held {
+    key: String,
+    /// Brace depth at acquisition.
+    depth: i32,
+    /// `let`-bound guard name, or `None` for a temporary.
+    bound: Option<String>,
+}
+
+/// Extract lock acquisition edges from every function in `files`.
+pub fn build_graph(files: &[SourceFile]) -> LockGraph {
+    let mut graph = LockGraph::default();
+    for file in files {
+        scan_file(file, &mut graph);
+    }
+    graph
+}
+
+fn scan_file(file: &SourceFile, graph: &mut LockGraph) {
+    let code = &file.code;
+    for fn_pos in word_positions(code, "fn") {
+        let Some(open_rel) = code[fn_pos..].find('{') else {
+            continue;
+        };
+        // Trait method declarations end in `;` before any `{`.
+        if let Some(semi_rel) = code[fn_pos..].find(';') {
+            if semi_rel < open_rel && !code[fn_pos..fn_pos + semi_rel].contains('(') {
+                continue;
+            }
+        }
+        let open = fn_pos + open_rel;
+        let close = matching_brace(code, open);
+        scan_body(file, open, close, graph);
+    }
+}
+
+/// Lock sites inside `code[open..=close]`, tracked against a guard
+/// stack, emitting held→new edges.
+fn scan_body(file: &SourceFile, open: usize, close: usize, graph: &mut LockGraph) {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let mut stack: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i <= close {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                stack.retain(|h| h.depth <= depth);
+            }
+            b';' => {
+                // Temporaries die at the end of their statement.
+                stack.retain(|h| h.bound.is_some() || h.depth != depth);
+            }
+            b'.' => {
+                if let Some(key) = lock_site_at(file, i) {
+                    let line = line_at(code, i);
+                    for held in &stack {
+                        if held.key != key {
+                            graph
+                                .edges
+                                .entry((held.key.clone(), key.clone()))
+                                .or_insert_with(|| (file.rel.clone(), line));
+                        }
+                    }
+                    let bound = binding_name(code, i);
+                    stack.push(Held { key, depth, bound });
+                    // Skip past the call so `.lock()` isn't rescanned.
+                }
+            }
+            b'd' => {
+                // `drop(name)` releases a bound guard early.
+                if ident_starting_at(code, i) == Some("drop") && (i == 0 || !is_ident(bytes[i - 1]))
+                {
+                    let after = skip_ws(code, i + 4);
+                    if bytes.get(after) == Some(&b'(') {
+                        if let Some(name) = ident_starting_at(code, skip_ws(code, after + 1)) {
+                            stack.retain(|h| h.bound.as_deref() != Some(name));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Is the `.` at `dot` the start of a `lock()`/`read()`/`write()`
+/// acquisition? Returns its lock-site key.
+fn lock_site_at(file: &SourceFile, dot: usize) -> Option<String> {
+    let code = &file.code;
+    let after = &code[dot + 1..];
+    // The empty-parens requirement filters `io::Read::read(buf)`-style
+    // calls, which always take arguments.
+    ["lock", "read", "write"]
+        .into_iter()
+        .find(|m| after.starts_with(m) && after[m.len()..].starts_with("()"))?;
+    let chain = receiver_chain(code, dot);
+    let tail = chain
+        .iter()
+        .find(|id| *id != "self")
+        .cloned()
+        .or_else(|| chain.first().cloned())?;
+    Some(format!("{}::{}", file.crate_name, tail))
+}
+
+/// The `let <name> =` binding of the expression containing the lock
+/// call at `dot`, if any.
+fn binding_name(code: &str, dot: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let chain = receiver_chain(code, dot);
+    // Walk back over the chain to its start, then expect `=` and a
+    // name, same approach as the determinism pass.
+    let mut pos = dot;
+    let mut remaining = chain.len();
+    while remaining > 0 && pos > 0 {
+        pos = skip_ws_back(code, pos);
+        let c = bytes[pos - 1];
+        if c == b')' {
+            let mut d = 0i32;
+            while pos > 0 {
+                match bytes[pos - 1] {
+                    b')' => d += 1,
+                    b'(' => {
+                        d -= 1;
+                        if d == 0 {
+                            pos -= 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                pos -= 1;
+            }
+        } else if c == b'?' || c == b'.' {
+            pos -= 1;
+        } else if is_ident(c) {
+            let id = ident_ending_at(code, pos)?;
+            pos -= id.len();
+            remaining -= 1;
+        } else {
+            break;
+        }
+    }
+    let pos = skip_ws_back(code, pos);
+    if pos == 0 || bytes[pos - 1] != b'=' {
+        return None;
+    }
+    if pos >= 2
+        && matches!(
+            bytes[pos - 2],
+            b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/'
+        )
+    {
+        return None;
+    }
+    let name_end = skip_ws_back(code, pos - 1);
+    let name = ident_ending_at(code, name_end)?;
+    if name == "let" || name == "mut" {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Report every cycle in the graph as a `lock-cycle` finding.
+pub fn check(graph: &LockGraph, out: &mut Vec<Finding>) {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in graph.edges.keys() {
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default();
+    }
+    // Iterative DFS with colors; report the first cycle through each
+    // back edge.
+    let mut color: BTreeMap<&str, u8> = adj.keys().map(|k| (*k, 0u8)).collect();
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for &start in adj.keys().collect::<Vec<_>>().iter() {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut path: Vec<&str> = Vec::new();
+        dfs(
+            start,
+            &adj,
+            &mut color,
+            &mut path,
+            graph,
+            &mut reported,
+            out,
+        );
+    }
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    color: &mut BTreeMap<&'a str, u8>,
+    path: &mut Vec<&'a str>,
+    graph: &LockGraph,
+    reported: &mut BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    color.insert(node, 1);
+    path.push(node);
+    for &next in adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]) {
+        match color.get(next).copied().unwrap_or(0) {
+            0 => dfs(next, adj, color, path, graph, reported, out),
+            1 => {
+                // Back edge: the cycle is path[pos..] + next.
+                let pos = path.iter().position(|&n| n == next).unwrap_or(0);
+                let mut cycle: Vec<&str> = path[pos..].to_vec();
+                cycle.push(next);
+                // Canonicalize: rotate so the smallest node leads.
+                let detail = cycle.join(" -> ");
+                if reported.insert(detail.clone()) {
+                    let (file, line) = graph
+                        .edges
+                        .get(&(node.to_string(), next.to_string()))
+                        .cloned()
+                        .unwrap_or_default();
+                    out.push(Finding {
+                        file,
+                        line,
+                        rule: "lock-cycle",
+                        detail: format!("lock-order cycle: {detail}"),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    path.pop();
+    color.insert(node, 2);
+}
+
+/// Render the graph as deterministic DOT for the DESIGN.md artifact.
+pub fn to_dot(graph: &LockGraph) -> String {
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for (a, b) in graph.edges.keys() {
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    let mut out = String::from(
+        "digraph lock_order {\n    rankdir=LR;\n    node [shape=box, fontname=\"monospace\"];\n",
+    );
+    for n in &nodes {
+        out.push_str(&format!("    \"{n}\";\n"));
+    }
+    for ((a, b), (file, line)) in &graph.edges {
+        out.push_str(&format!(
+            "    \"{a}\" -> \"{b}\" [label=\"{file}:{line}\"];\n"
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(crate_name: &str, src: &str) -> SourceFile {
+        SourceFile::scan(
+            PathBuf::from("/x/lib.rs"),
+            format!("crates/{crate_name}/src/lib.rs"),
+            crate_name.into(),
+            src.into(),
+        )
+    }
+
+    #[test]
+    fn nested_locks_make_an_edge() {
+        let f = scan(
+            "a",
+            "fn f(s: &S) { let g = s.alpha.lock(); s.beta.lock().push(1); }\n",
+        );
+        let graph = build_graph(&[f]);
+        assert!(graph
+            .edges
+            .contains_key(&("a::alpha".into(), "a::beta".into())));
+    }
+
+    #[test]
+    fn sequential_locks_make_no_edge() {
+        let f = scan(
+            "a",
+            "fn f(s: &S) { s.alpha.lock().push(1); s.beta.lock().push(2); }\n",
+        );
+        let graph = build_graph(&[f]);
+        assert!(graph.edges.is_empty(), "{:?}", graph.edges);
+    }
+
+    #[test]
+    fn drop_releases_bound_guard() {
+        let f = scan(
+            "a",
+            "fn f(s: &S) { let g = s.alpha.lock(); drop(g); s.beta.lock().push(1); }\n",
+        );
+        let graph = build_graph(&[f]);
+        assert!(graph.edges.is_empty(), "{:?}", graph.edges);
+    }
+
+    #[test]
+    fn scope_end_releases_bound_guard() {
+        let f = scan(
+            "a",
+            "fn f(s: &S) { { let g = s.alpha.lock(); } s.beta.lock().push(1); }\n",
+        );
+        let graph = build_graph(&[f]);
+        assert!(graph.edges.is_empty(), "{:?}", graph.edges);
+    }
+
+    #[test]
+    fn cycle_is_reported() {
+        let f1 = scan(
+            "a",
+            "fn f(s: &S) { let g = s.alpha.lock(); s.beta.lock().push(1); }\n",
+        );
+        let f2 = scan(
+            "a",
+            "fn g(s: &S) { let g = s.beta.lock(); s.alpha.lock().push(1); }\n",
+        );
+        // Distinct rel paths so both files survive.
+        let graph = build_graph(&[f1, f2]);
+        let mut out = Vec::new();
+        check(&graph, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "lock-cycle");
+        assert!(out[0].detail.contains("a::alpha"), "{out:?}");
+    }
+
+    #[test]
+    fn read_with_args_is_not_a_lock() {
+        let f = scan(
+            "a",
+            "fn f(s: &S, buf: &mut [u8]) { let g = s.alpha.lock(); s.file.read(buf); }\n",
+        );
+        let graph = build_graph(&[f]);
+        assert!(graph.edges.is_empty(), "{:?}", graph.edges);
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let f = scan(
+            "a",
+            "fn f(s: &S) { let g = s.alpha.lock(); s.beta.lock().push(1); }\n",
+        );
+        let graph = build_graph(&[f]);
+        let dot = to_dot(&graph);
+        assert!(dot.contains("\"a::alpha\" -> \"a::beta\""), "{dot}");
+    }
+}

@@ -1,0 +1,142 @@
+//! `bcrdb-lint` CLI.
+//!
+//! ```text
+//! cargo run -p bcrdb-lint                      # report all findings
+//! cargo run -p bcrdb-lint -- --deny-new       # CI gate: fail only on findings not in LINT_BASELINE.txt
+//! cargo run -p bcrdb-lint -- --write-baseline # accept current findings
+//! cargo run -p bcrdb-lint -- --dot LOCK_ORDER.dot
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or new findings with
+//! `--deny-new`), 2 usage/IO error.
+
+use bcrdb_lint::{analyze, baseline, load_workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const BASELINE_FILE: &str = "LINT_BASELINE.txt";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut deny_new = false;
+    let mut write_baseline = false;
+    let mut dot_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--deny-new" => deny_new = true,
+            "--write-baseline" => write_baseline = true,
+            "--dot" => match args.next() {
+                Some(p) => dot_path = Some(PathBuf::from(p)),
+                None => return usage("--dot needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let files = match load_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bcrdb-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = analyze(&files);
+    println!(
+        "bcrdb-lint: scanned {} files, lock graph has {} edges, {} finding(s)",
+        files.len(),
+        analysis
+            .lock_dot
+            .lines()
+            .filter(|l| l.contains("->"))
+            .count(),
+        analysis.findings.len()
+    );
+
+    if let Some(path) = &dot_path {
+        if let Err(e) = std::fs::write(path, &analysis.lock_dot) {
+            eprintln!("bcrdb-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("bcrdb-lint: wrote lock-order graph to {}", path.display());
+    }
+
+    if write_baseline {
+        let path = root.join(BASELINE_FILE);
+        if let Err(e) = std::fs::write(&path, baseline::render(&analysis.findings)) {
+            eprintln!("bcrdb-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "bcrdb-lint: wrote {} finding(s) to {}",
+            analysis.findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if deny_new {
+        let base_text = std::fs::read_to_string(root.join(BASELINE_FILE)).unwrap_or_default();
+        let base = baseline::parse(&base_text);
+        let new = baseline::new_findings(&analysis.findings, &base);
+        if new.is_empty() {
+            println!("bcrdb-lint: no findings beyond the committed baseline");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "bcrdb-lint: {} finding(s) not in {}:",
+            new.len(),
+            BASELINE_FILE
+        );
+        for f in new {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "fix the finding, or annotate it with // bcrdb-lint: allow(<rule>, reason = \"…\")"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if analysis.findings.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    for f in &analysis.findings {
+        println!("  {f}");
+    }
+    ExitCode::FAILURE
+}
+
+/// Default workspace root: the current directory when it looks like
+/// the workspace, else the compile-time workspace the binary came
+/// from.
+fn default_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("crates").is_dir() {
+        cwd
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bcrdb-lint: {msg}\n{HELP}");
+    ExitCode::from(2)
+}
+
+const HELP: &str =
+    "usage: bcrdb-lint [--root <workspace>] [--deny-new] [--write-baseline] [--dot <path>]
+  --root <path>      workspace root to scan (default: cwd or the built workspace)
+  --deny-new         fail only on findings not in LINT_BASELINE.txt (CI gate)
+  --write-baseline   accept the current findings into LINT_BASELINE.txt
+  --dot <path>       write the lock-order graph as DOT";

@@ -1,0 +1,196 @@
+//! Small byte-level text scanning helpers shared by the rule passes.
+//!
+//! All helpers operate on sanitized code (see [`crate::scanner`]), so
+//! they may treat the input as plain program text: no comments, no
+//! string contents.
+
+/// Is `c` an identifier byte (`[A-Za-z0-9_]`)?
+pub fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// 1-based line number of byte offset `pos`.
+pub fn line_at(code: &str, pos: usize) -> usize {
+    code.as_bytes()[..pos.min(code.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Byte offsets of every whole-word occurrence of `word`.
+pub fn word_positions(code: &str, word: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(word) {
+        let start = from + rel;
+        let end = start + word.len();
+        let left_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let right_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if left_ok && right_ok {
+            out.push(start);
+        }
+        from = start + 1;
+    }
+    out
+}
+
+/// Does `code` contain `word` as a whole word?
+pub fn contains_word(code: &str, word: &str) -> bool {
+    !word_positions(code, word).is_empty()
+}
+
+/// The identifier ending exactly at byte offset `end` (exclusive), or
+/// `None` if the preceding byte is not an identifier byte.
+pub fn ident_ending_at(code: &str, end: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    if end == 0 || !is_ident(bytes[end - 1]) {
+        return None;
+    }
+    let mut start = end;
+    while start > 0 && is_ident(bytes[start - 1]) {
+        start -= 1;
+    }
+    Some(&code[start..end])
+}
+
+/// The identifier starting exactly at byte offset `start`, or `None`.
+pub fn ident_starting_at(code: &str, start: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    if start >= bytes.len() || !is_ident(bytes[start]) {
+        return None;
+    }
+    let mut end = start;
+    while end < bytes.len() && is_ident(bytes[end]) {
+        end += 1;
+    }
+    Some(&code[start..end])
+}
+
+/// Skip whitespace (including newlines) backward from `pos`
+/// (exclusive); returns the offset just after the previous
+/// non-whitespace byte.
+pub fn skip_ws_back(code: &str, mut pos: usize) -> usize {
+    let bytes = code.as_bytes();
+    while pos > 0 && bytes[pos - 1].is_ascii_whitespace() {
+        pos -= 1;
+    }
+    pos
+}
+
+/// Skip whitespace forward from `pos`; returns the offset of the next
+/// non-whitespace byte (or `code.len()`).
+pub fn skip_ws(code: &str, mut pos: usize) -> usize {
+    let bytes = code.as_bytes();
+    while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+        pos += 1;
+    }
+    pos
+}
+
+/// Offset of the `}` matching the `{` at `open`, or `code.len() - 1`
+/// when unbalanced.
+pub fn matching_brace(code: &str, open: usize) -> usize {
+    let bytes = code.as_bytes();
+    debug_assert_eq!(bytes[open], b'{');
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Walk a method-call receiver chain backward from the `.` at `dot`.
+///
+/// For `self.records.read().values()` with `dot` at the dot before
+/// `values`, returns the chain identifiers right-to-left:
+/// `["read", "records", "self"]`. Balanced `(...)` groups are skipped
+/// so call results participate in the chain.
+pub fn receiver_chain(code: &str, dot: usize) -> Vec<String> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut pos = dot;
+    loop {
+        pos = skip_ws_back(code, pos);
+        if pos == 0 {
+            break;
+        }
+        let c = bytes[pos - 1];
+        if c == b')' {
+            // Skip the balanced group, then expect the callee ident.
+            let mut depth = 0i32;
+            let mut i = pos;
+            while i > 0 {
+                match bytes[i - 1] {
+                    b')' => depth += 1,
+                    b'(' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i -= 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i -= 1;
+            }
+            pos = i;
+        } else if c == b'?' {
+            pos -= 1;
+        } else if is_ident(c) {
+            let Some(id) = ident_ending_at(code, pos) else {
+                break;
+            };
+            pos -= id.len();
+            out.push(id.to_string());
+            // Continue only across a field/method dot.
+            let before = skip_ws_back(code, pos);
+            if before > 0 && bytes[before - 1] == b'.' {
+                pos = before - 1;
+            } else {
+                break;
+            }
+        } else if c == b'.' {
+            pos -= 1;
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_respect_boundaries() {
+        let code = "HashMap MyHashMap HashMapX HashMap";
+        assert_eq!(word_positions(code, "HashMap").len(), 2);
+        assert!(contains_word(code, "MyHashMap"));
+    }
+
+    #[test]
+    fn chain_walks_through_calls() {
+        let code = "let n = self.records.read().values();";
+        let dot = code.find(".values").unwrap();
+        assert_eq!(receiver_chain(code, dot), vec!["read", "records", "self"]);
+    }
+
+    #[test]
+    fn chain_stops_at_statement_start() {
+        let code = "foo(bar).lock()";
+        let dot = code.find(".lock").unwrap();
+        assert_eq!(receiver_chain(code, dot), vec!["foo"]);
+    }
+}

@@ -1,0 +1,463 @@
+//! Wire-size drift checks.
+//!
+//! The simulated network charges every message its serialized size, so
+//! each message type carries a hand-written `wire_size()`; when a
+//! struct gains a field or an enum gains a variant, the size function
+//! silently under-charges and every latency/throughput number drifts.
+//! Three rules keep the pairs honest:
+//!
+//! * `wire-arms` — a `*wire_size*` function that matches on an enum
+//!   defined in the same file must reference **every** variant of that
+//!   enum, and must not hide behind a `_ =>` wildcard arm.
+//! * `magic-size` — a bare `N * M` integer-literal product inside a
+//!   `*wire_size*` function is an unexplained byte count; sizes must be
+//!   derived from named constants (e.g. a slot table's `len() * 8`).
+//! * `wire-slots` — a const table annotated
+//!   `// bcrdb-lint: slots(Struct)` must list exactly the fields of
+//!   `Struct` (one level of `outer.inner` nesting allowed for embedded
+//!   structs defined in the same file). The table's length then feeds
+//!   the `WIRE_SIZE` constant, so adding a field without updating the
+//!   table is a build failure instead of a silent drift.
+
+use crate::scanner::SourceFile;
+use crate::textutil::*;
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// Run all three wire rules over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let fns = wire_fns(&file.code);
+    if !fns.is_empty() {
+        let enums = enum_defs(&file.code);
+        for (name, open, close) in &fns {
+            check_arms(file, name, *open, *close, &enums, out);
+            check_magic(file, name, *open, *close, out);
+        }
+    }
+    check_slots(file, out);
+}
+
+fn push(
+    file: &SourceFile,
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+    line: usize,
+    detail: String,
+) {
+    if !file.suppressed(rule, line) {
+        out.push(Finding {
+            file: file.rel.clone(),
+            line,
+            rule,
+            detail,
+        });
+    }
+}
+
+/// Every `fn` whose name contains `wire_size`, as (name, body open,
+/// body close).
+fn wire_fns(code: &str) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    for pos in word_positions(code, "fn") {
+        let after = skip_ws(code, pos + 2);
+        let Some(name) = ident_starting_at(code, after) else {
+            continue;
+        };
+        if !name.contains("wire_size") {
+            continue;
+        }
+        let Some(open_rel) = code[pos..].find('{') else {
+            continue;
+        };
+        let open = pos + open_rel;
+        out.push((name.to_string(), open, matching_brace(code, open)));
+    }
+    out
+}
+
+/// Same-file enum definitions: name → (line, variant names).
+fn enum_defs(code: &str) -> BTreeMap<String, (usize, Vec<String>)> {
+    let mut out = BTreeMap::new();
+    for pos in word_positions(code, "enum") {
+        let after = skip_ws(code, pos + 4);
+        let Some(name) = ident_starting_at(code, after) else {
+            continue;
+        };
+        let Some(open_rel) = code[after..].find('{') else {
+            continue;
+        };
+        let open = after + open_rel;
+        let close = matching_brace(code, open);
+        let variants = top_level_idents(&code[open + 1..close]);
+        out.insert(name.to_string(), (line_at(code, pos), variants));
+    }
+    out
+}
+
+/// Identifiers that start items at depth 0 of a `{}`-stripped body:
+/// enum variants (`Ack,` `Rows(Vec<Row>),` `Metrics { .. }`).
+fn top_level_idents(body: &str) -> Vec<String> {
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_item = true;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'{' | b'(' | b'<' | b'[' => depth += 1,
+            b'}' | b')' | b'>' | b']' => depth -= 1,
+            b',' if depth == 0 => expect_item = true,
+            b'#' => {
+                // Skip `#[…]` attributes.
+                let j = skip_ws(body, i + 1);
+                if bytes.get(j) == Some(&b'[') {
+                    let mut d = 0i32;
+                    let mut k = j;
+                    while k < bytes.len() {
+                        match bytes[k] {
+                            b'[' => d += 1,
+                            b']' => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    i = k;
+                }
+            }
+            b'=' => {
+                // Discriminant `Variant = 3`; not an item start.
+                expect_item = false;
+            }
+            _ if is_ident(c) && depth == 0 && expect_item => {
+                let id = ident_starting_at(body, i).unwrap_or("");
+                if !id.is_empty() {
+                    out.push(id.to_string());
+                    i += id.len();
+                    expect_item = false;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `wire-arms`: the size fn must reference every variant of any
+/// same-file enum it matches on, with no wildcard arm.
+fn check_arms(
+    file: &SourceFile,
+    fn_name: &str,
+    open: usize,
+    close: usize,
+    enums: &BTreeMap<String, (usize, Vec<String>)>,
+    out: &mut Vec<Finding>,
+) {
+    let body = &file.code[open..=close];
+    let line = line_at(&file.code, open);
+    for (enum_name, (_, variants)) in enums {
+        if !body.contains(&format!("{enum_name}::")) {
+            continue;
+        }
+        for v in variants {
+            if !contains_word(body, v) {
+                push(
+                    file,
+                    out,
+                    "wire-arms",
+                    line,
+                    format!("{fn_name} does not cover {enum_name}::{v}"),
+                );
+            }
+        }
+        if contains_wildcard_arm(body) {
+            push(
+                file,
+                out,
+                "wire-arms",
+                line,
+                format!("{fn_name} hides {enum_name} variants behind a wildcard arm"),
+            );
+        }
+    }
+}
+
+/// A `_ =>` match arm (with word-boundary check so `x_ =>` doesn't
+/// count).
+fn contains_wildcard_arm(body: &str) -> bool {
+    let bytes = body.as_bytes();
+    for (i, w) in body.as_bytes().windows(4).enumerate() {
+        if w == b"_ =>" && (i == 0 || !is_ident(bytes[i - 1])) {
+            return true;
+        }
+    }
+    false
+}
+
+/// `magic-size`: a bare `intlit * intlit` product inside a size fn.
+fn check_magic(
+    file: &SourceFile,
+    fn_name: &str,
+    open: usize,
+    close: usize,
+    out: &mut Vec<Finding>,
+) {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let mut i = open;
+    while i <= close {
+        if bytes[i] == b'*' {
+            // Left operand: integer literal?
+            let lend = skip_ws_back(code, i);
+            let left = ident_ending_at(code, lend);
+            // Right operand: integer literal?
+            let rstart = skip_ws(code, i + 1);
+            let right = ident_starting_at(code, rstart);
+            if let (Some(l), Some(r)) = (left, right) {
+                let l = l.to_string();
+                let r = r.to_string();
+                if is_int_literal(&l) && is_int_literal(&r) {
+                    let line = line_at(code, i);
+                    push(
+                        file,
+                        out,
+                        "magic-size",
+                        line,
+                        format!("magic byte count {l} * {r} in {fn_name}; derive it from a named constant"),
+                    );
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn is_int_literal(tok: &str) -> bool {
+    !tok.is_empty() && tok.bytes().all(|b| b.is_ascii_digit() || b == b'_')
+}
+
+/// `wire-slots`: validate every `slots(Struct)` table against the
+/// struct's fields.
+fn check_slots(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.slots.is_empty() {
+        return;
+    }
+    let structs = struct_defs(&file.code);
+    for dir in &file.slots {
+        let Some(fields) = structs.get(&dir.strukt) else {
+            push(
+                file,
+                out,
+                "wire-slots",
+                dir.line,
+                format!(
+                    "slots({}) names a struct not defined in this file",
+                    dir.strukt
+                ),
+            );
+            continue;
+        };
+        // Every entry must resolve to a field (one nesting level).
+        let mut covered: BTreeMap<&str, bool> =
+            fields.iter().map(|(f, _)| (f.as_str(), false)).collect();
+        for entry in &dir.entries {
+            let (top, sub) = match entry.split_once('.') {
+                Some((t, s)) => (t, Some(s)),
+                None => (entry.as_str(), None),
+            };
+            let Some(fld_ty) = fields.iter().find(|(f, _)| f == top).map(|(_, t)| t) else {
+                push(
+                    file,
+                    out,
+                    "wire-slots",
+                    dir.line,
+                    format!("slot entry {entry} is not a field of {}", dir.strukt),
+                );
+                continue;
+            };
+            covered.insert(top, true);
+            if let Some(sub) = sub {
+                match structs.get(fld_ty) {
+                    Some(sub_fields) if sub_fields.iter().any(|(f, _)| f == sub) => {}
+                    Some(_) => push(
+                        file,
+                        out,
+                        "wire-slots",
+                        dir.line,
+                        format!("slot entry {entry} is not a field of {fld_ty}"),
+                    ),
+                    None => push(
+                        file,
+                        out,
+                        "wire-slots",
+                        dir.line,
+                        format!("slot entry {entry}: {fld_ty} is not defined in this file"),
+                    ),
+                }
+            }
+        }
+        for (field, seen) in covered {
+            if !seen {
+                push(
+                    file,
+                    out,
+                    "wire-slots",
+                    dir.line,
+                    format!("{}.{field} has no slot entry", dir.strukt),
+                );
+            }
+        }
+    }
+}
+
+/// Same-file struct definitions: name → [(field, type-tail)]. The type
+/// tail is the last path segment of the field's type with generics
+/// stripped, enough to chase one nesting level.
+fn struct_defs(code: &str) -> BTreeMap<String, Vec<(String, String)>> {
+    let mut out = BTreeMap::new();
+    for pos in word_positions(code, "struct") {
+        let after = skip_ws(code, pos + 6);
+        let Some(name) = ident_starting_at(code, after) else {
+            continue;
+        };
+        let Some(open_rel) = code[after..].find('{') else {
+            continue; // tuple/unit struct
+        };
+        // Don't cross a `;` (unit struct followed by other items).
+        if let Some(semi_rel) = code[after..].find(';') {
+            if semi_rel < open_rel {
+                continue;
+            }
+        }
+        let open = after + open_rel;
+        let close = matching_brace(code, open);
+        let body = &code[open + 1..close];
+        let mut fields = Vec::new();
+        let bytes = body.as_bytes();
+        let mut depth = 0i32;
+        let mut i = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' | b'(' | b'<' => depth += 1,
+                b'}' | b')' | b'>' => depth -= 1,
+                b':' if depth == 0 => {
+                    let name_end = skip_ws_back(body, i);
+                    if let Some(fname) = ident_ending_at(body, name_end) {
+                        // Type tail: read forward to `,` or end at depth 0.
+                        let ty_start = skip_ws(body, i + 1);
+                        let mut j = ty_start;
+                        let mut d = 0i32;
+                        while j < bytes.len() {
+                            match bytes[j] {
+                                b'<' | b'(' | b'[' => d += 1,
+                                b'>' | b')' | b']' => {
+                                    if d == 0 {
+                                        break;
+                                    }
+                                    d -= 1;
+                                }
+                                b',' if d == 0 => break,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        let ty = body[ty_start..j].trim();
+                        let tail = ty
+                            .split('<')
+                            .next()
+                            .unwrap_or(ty)
+                            .rsplit("::")
+                            .next()
+                            .unwrap_or(ty)
+                            .trim()
+                            .to_string();
+                        fields.push((fname.to_string(), tail));
+                        i = j;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out.insert(name.to_string(), fields);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(src: &str) -> SourceFile {
+        SourceFile::scan(
+            PathBuf::from("/x/lib.rs"),
+            "crates/node/src/lib.rs".into(),
+            "node".into(),
+            src.into(),
+        )
+    }
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = scan(src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_variant_is_drift() {
+        let src = "enum Msg { A, B(u8), C }\nfn wire_size(m: &Msg) -> usize { match m { Msg::A => 1, Msg::B(_) => 2, _ => 0 } }\n";
+        let out = findings(src);
+        assert!(out.iter().any(|f| f.detail.contains("Msg::C")), "{out:?}");
+        assert!(out.iter().any(|f| f.detail.contains("wildcard")), "{out:?}");
+    }
+
+    #[test]
+    fn full_coverage_is_clean() {
+        let src = "enum Msg { A, B(u8) }\nfn wire_size(m: &Msg) -> usize { match m { Msg::A => 1, Msg::B(_) => 2 } }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn magic_product_is_flagged_and_named_const_is_not() {
+        let src = "const W: usize = 8;\nfn wire_size() -> usize { 1 + 31 * 8 }\nfn response_wire_size() -> usize { 4 * W }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].detail.contains("31 * 8"));
+    }
+
+    #[test]
+    fn slots_table_mismatch_is_drift() {
+        let src = "struct Snap { a: u64, b: f64, o: Inner }\nstruct Inner { x: u64 }\n// bcrdb-lint: slots(Snap)\npub const SLOTS: &[&str] = &[\n    \"a\", \"o.x\", \"o.bogus\",\n];\n";
+        let out = findings(src);
+        assert!(
+            out.iter()
+                .any(|f| f.detail.contains("Snap.b has no slot entry")),
+            "{out:?}"
+        );
+        assert!(out.iter().any(|f| f.detail.contains("o.bogus")), "{out:?}");
+    }
+
+    #[test]
+    fn slots_table_match_is_clean() {
+        let src = "struct Snap { a: u64, o: Inner }\nstruct Inner { x: u64, y: u64 }\n// bcrdb-lint: slots(Snap)\npub const SLOTS: &[&str] = &[\n    \"a\", \"o.x\", \"o.y\",\n];\n";
+        let out = findings(src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn enum_in_other_fn_is_ignored() {
+        let src =
+            "enum Msg { A, B }\nfn other(m: &Msg) -> usize { match m { Msg::A => 1, _ => 0 } }\n";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -280,8 +280,7 @@ pub fn response_wire_size(resp: &Result<ClientResponse>) -> usize {
         }
         Ok(ClientResponse::Statement { .. }) => enc.put_u64(0),
         Ok(ClientResponse::Height(h)) => enc.put_u64(*h),
-        // 26 f64/u64/bool fields plus the 5 ordering counters.
-        Ok(ClientResponse::Metrics(_)) => return 1 + 31 * 8,
+        Ok(ClientResponse::Metrics(_)) => return 1 + MetricsSnapshot::WIRE_SIZE,
         Err(e) => enc.put_str(&e.to_string()),
     }
     1 + enc.len()

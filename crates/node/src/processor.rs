@@ -133,6 +133,7 @@ fn run_synchronous(node: Arc<Node>, rx: Receiver<Arc<Block>>) {
                 if block.number > current + 1 {
                     hold_back(&node, &mut pending, block);
                     if gap_since.is_none() {
+                        // bcrdb-lint: allow(wall-clock, reason = "local gap-detection timer; never reaches replicated state")
                         gap_since = Some(Instant::now());
                         metrics.on_gap_detected();
                     }
@@ -156,6 +157,7 @@ fn run_synchronous(node: Arc<Node>, rx: Receiver<Arc<Block>>) {
         if pending.is_empty() {
             gap_since = None;
         } else if gap_since.is_none() {
+            // bcrdb-lint: allow(wall-clock, reason = "local gap-detection timer; never reaches replicated state")
             gap_since = Some(Instant::now());
         }
         // The gap outlived the delivery-reorder window: the missing
@@ -182,6 +184,7 @@ fn run_gap_catch_up(node: &Arc<Node>, gap_since: &mut Option<Instant>) {
         Ok(_) => {
             // No hook installed or nothing fetched; re-arm so the next
             // attempt waits a full timeout again.
+            // bcrdb-lint: allow(wall-clock, reason = "local gap-detection timer; never reaches replicated state")
             *gap_since = Some(Instant::now());
         }
         Err(e) => {
@@ -189,6 +192,7 @@ fn run_gap_catch_up(node: &Arc<Node>, gap_since: &mut Option<Instant>) {
                 "[{}] catch-up after delivery gap failed: {e}",
                 node.config.name
             );
+            // bcrdb-lint: allow(wall-clock, reason = "local gap-detection timer; never reaches replicated state")
             *gap_since = Some(Instant::now());
         }
     }
@@ -276,6 +280,7 @@ fn verify_and_append(node: &Arc<Node>, block: &Arc<Block>, defer_sync: bool) -> 
 /// replay must leave ledger records and checkpoint hashes fully applied
 /// when it returns, so it never uses the asynchronous pipeline).
 pub fn process_block(node: &Arc<Node>, block: &Arc<Block>) -> Result<()> {
+    // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
     let t0 = Instant::now();
 
     if node.config.serial_execution {
@@ -358,6 +363,7 @@ fn dispatch_execution(node: &Arc<Node>, block: &Arc<Block>) -> Vec<GlobalTxId> {
 /// a height-polling client can never observe height N with block N's
 /// ledger rows still missing.
 fn commit_core(node: &Arc<Node>, block: &Arc<Block>) -> (Vec<LedgerRecord>, Vec<WriteRecord>) {
+    // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
     let t0 = Instant::now();
     let flow = node.config.flow;
     let mut records = Vec::with_capacity(block.txs.len());
@@ -392,6 +398,7 @@ fn commit_core_serial_exec(
     node: &Arc<Node>,
     block: &Arc<Block>,
 ) -> (Vec<LedgerRecord>, Vec<WriteRecord>, u64) {
+    // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
     let t0 = Instant::now();
     let flow = node.config.flow;
     let exec_height = block.number - 1;
@@ -401,6 +408,7 @@ fn commit_core_serial_exec(
     for (i, tx) in block.txs.iter().enumerate() {
         let snap = effective_snapshot(tx, flow, exec_height);
         if !node.is_processed(&tx.id) && snap <= exec_height && node.env.slots.try_claim(tx.id) {
+            // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
             let te = Instant::now();
             node.pool.run_inline(ExecTask {
                 tx: Arc::new(tx.clone()),
@@ -440,6 +448,7 @@ fn commit_one(
     tx: &Transaction,
     flow: Flow,
 ) -> (LedgerRecord, Option<Vec<WriteRecord>>) {
+    // bcrdb-lint: allow(wall-clock, reason = "commit_time_ms is node-local by design; state_hash() and the determinism suite exclude it")
     let now_ms = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_millis() as i64)
@@ -597,6 +606,7 @@ fn finish_block(
     t0: Instant,
     bet_us: u64,
 ) -> Result<()> {
+    // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
     let t3 = Instant::now();
     node.append_ledger(&records, block.number);
     // Ledger first, then the height advance (the pre-pipeline ordering):
@@ -855,6 +865,7 @@ fn run_pipelined(node: Arc<Node>, rx: Receiver<Arc<Block>>) {
         if pending.is_empty() {
             gap_since = None;
         } else if gap_since.is_none() {
+            // bcrdb-lint: allow(wall-clock, reason = "local gap-detection timer; never reaches replicated state")
             gap_since = Some(Instant::now());
         }
         if let Some(t0) = gap_since {
@@ -895,6 +906,7 @@ fn admit(
     if block.number > current + 1 {
         hold_back(node, pending, block);
         if gap_since.is_none() {
+            // bcrdb-lint: allow(wall-clock, reason = "local gap-detection timer; never reaches replicated state")
             *gap_since = Some(Instant::now());
             node.env.metrics.on_gap_detected();
         }
@@ -912,6 +924,7 @@ fn admit(
     inflight.push_back(Inflight {
         block,
         head_ids: None,
+        // bcrdb-lint: allow(wall-clock, reason = "local arrival timestamp for gap accounting")
         received: Instant::now(),
         wait_spent: Duration::ZERO,
     });
@@ -946,6 +959,7 @@ fn admit_pending(
 /// worker, FIFO channel). Exits when the commit thread drops the sender.
 fn post_commit_loop(node: Arc<Node>, rx: Receiver<PostCommitJob>) {
     for job in rx.iter() {
+        // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
         let t3 = Instant::now();
         node.append_ledger(&job.records, job.block.number);
         publish_checkpoint(&node, job.block.number, hash_writes(&job.writes));

@@ -39,7 +39,7 @@
 //! `FetchDelivered` exchange plays that role. See DESIGN.md "Ordering
 //! fault tolerance".
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -213,7 +213,7 @@ fn replica_endpoint(i: usize) -> String {
 
 /// The view-change voter claiming the highest delivered height — the
 /// best peer for a catching-up new leader to fetch from.
-fn best_claimant(votes: &HashMap<usize, VcInfo>) -> Option<usize> {
+fn best_claimant(votes: &BTreeMap<usize, VcInfo>) -> Option<usize> {
     votes
         .iter()
         .max_by_key(|(_, i)| i.last_delivered)
@@ -286,7 +286,7 @@ pub fn start(
                         let size = tx.wire_size();
                         (BftMsg::Forward(tx), size)
                     }
-                    Input::Vote(v) => (BftMsg::ForwardVote(v), 72),
+                    Input::Vote(v) => (BftMsg::ForwardVote(v), CheckpointVote::WIRE_SIZE),
                     Input::Stop => return,
                 };
                 let _ = pump_net.broadcast("client-gateway", &wire, size);
@@ -345,6 +345,7 @@ impl TxPool {
         self.first_at = if self.txs.is_empty() {
             None
         } else {
+            // bcrdb-lint: allow(wall-clock, reason = "batch-age timer for the leader's cut decision; consensus agrees on the result")
             Some(Instant::now())
         };
         (txs, std::mem::take(&mut self.votes))
@@ -355,8 +356,8 @@ impl TxPool {
         if !self.txs.is_empty() {
             let delivered: HashSet<&GlobalTxId> = block.txs.iter().map(|t| &t.id).collect();
             self.txs.retain(|t| !delivered.contains(&t.id));
-            for id in delivered {
-                self.ids.remove(id);
+            for tx in &block.txs {
+                self.ids.remove(&tx.id);
             }
             if self.txs.is_empty() {
                 self.first_at = None;
@@ -417,9 +418,9 @@ struct ReplicaState {
     last_delivered: BlockHeight,
     prev_hash: Digest,
     pool: TxPool,
-    rounds: HashMap<BlockHeight, RoundState>,
+    rounds: BTreeMap<BlockHeight, RoundState>,
     /// View-change votes by proposed view.
-    vc_votes: HashMap<u64, HashMap<usize, VcInfo>>,
+    vc_votes: BTreeMap<u64, BTreeMap<usize, VcInfo>>,
     /// Recently delivered blocks, retained to serve `FetchDelivered`.
     delivered_log: BTreeMap<BlockHeight, Arc<Block>>,
     /// Transaction ids already ordered into delivered blocks (dedup for
@@ -440,7 +441,7 @@ struct ReplicaState {
     deadline: Instant,
     /// A new leader waiting for `FetchDelivered` catch-up before it can
     /// install its view: `(view, target height, collected votes)`.
-    pending_new_view: Option<(u64, BlockHeight, HashMap<usize, VcInfo>)>,
+    pending_new_view: Option<(u64, BlockHeight, BTreeMap<usize, VcInfo>)>,
 }
 
 impl Replica {
@@ -537,13 +538,14 @@ impl Replica {
             last_delivered: 0,
             prev_hash: genesis_prev_hash(),
             pool: TxPool::default(),
-            rounds: HashMap::new(),
-            vc_votes: HashMap::new(),
+            rounds: BTreeMap::new(),
+            vc_votes: BTreeMap::new(),
             delivered_log: BTreeMap::new(),
             delivered_ids: HashSet::new(),
             seen_votes: HashSet::new(),
             next_fetch: self.idx + 1, // spread first probes around
             in_flight: None,
+            // bcrdb-lint: allow(wall-clock, reason = "view-change progress deadline; replica-local")
             deadline: Instant::now() + self.view_change_timeout,
             pending_new_view: None,
         };
@@ -576,6 +578,7 @@ impl Replica {
 
             // Leader: cut and propose when no instance is in flight.
             if self.is_leader(&st) && st.in_flight.is_none() && st.pending_new_view.is_none() {
+                // bcrdb-lint: allow(wall-clock, reason = "leader-local cut timing; consensus agrees on the proposed block")
                 let now = Instant::now();
                 if st.pool.cut_ready(self.block_size, self.block_timeout, now) {
                     let (txs, votes) = st.pool.take_cut(self.block_size);
@@ -611,8 +614,10 @@ impl Replica {
                 self.my_stop.store(true, Ordering::Relaxed);
             }
             BftMsg::Forward(tx) => {
+                // bcrdb-lint: allow(wall-clock, reason = "batch-age timestamp for the leader's cut decision")
                 if !st.delivered_ids.contains(&tx.id) && st.pool.push_tx(*tx, Instant::now()) {
                     // Work appeared: start timing the leader from now.
+                    // bcrdb-lint: allow(wall-clock, reason = "view-change progress deadline; replica-local")
                     st.deadline = Instant::now() + self.view_change_timeout;
                 }
             }
@@ -669,6 +674,7 @@ impl Replica {
                     VcInfo {
                         last_delivered,
                         in_flight,
+                        // bcrdb-lint: allow(wall-clock, reason = "view-change vote freshness TTL; replica-local")
                         at: Instant::now(),
                     },
                 );
@@ -773,9 +779,10 @@ impl Replica {
     /// Install `view`. `votes` carries the view-change votes when we are
     /// entering through a view-change quorum (the new leader needs them
     /// for re-proposal).
-    fn enter_view(&self, st: &mut ReplicaState, view: u64, votes: Option<HashMap<usize, VcInfo>>) {
+    fn enter_view(&self, st: &mut ReplicaState, view: u64, votes: Option<BTreeMap<usize, VcInfo>>) {
         st.view = view;
         st.voted_view = st.voted_view.max(view);
+        // bcrdb-lint: allow(wall-clock, reason = "view-change progress deadline; replica-local")
         st.deadline = Instant::now() + self.view_change_timeout;
         st.pending_new_view = None;
         st.in_flight = None;
@@ -808,7 +815,7 @@ impl Replica {
 
     /// The new leader is caught up: install the view for everyone and
     /// re-propose the carried in-flight block, if any.
-    fn finish_new_view(&self, st: &mut ReplicaState, view: u64, votes: &HashMap<usize, VcInfo>) {
+    fn finish_new_view(&self, st: &mut ReplicaState, view: u64, votes: &BTreeMap<usize, VcInfo>) {
         let next = st.last_delivered + 1;
         // Prefer a carried in-flight proposal for the next height; fall
         // back to our own round state (we may hold the proposal even if
@@ -908,6 +915,7 @@ impl Replica {
             VcInfo {
                 last_delivered: st.last_delivered,
                 in_flight,
+                // bcrdb-lint: allow(wall-clock, reason = "view-change vote freshness TTL; replica-local")
                 at: Instant::now(),
             },
         );
@@ -922,6 +930,7 @@ impl Replica {
     /// timeout: vote the leader out (and probe peers for delivered
     /// blocks, in case we are merely behind rather than leaderless).
     fn check_progress_timer(&self, st: &mut ReplicaState) {
+        // bcrdb-lint: allow(wall-clock, reason = "view-change progress check; replica-local")
         let now = Instant::now();
         if now < st.deadline {
             return;
@@ -958,7 +967,7 @@ impl Replica {
     /// Lazily reset a round whose votes belong to an older view (the new
     /// leader re-proposes; stale proposals and votes must not count).
     fn fresh_round(
-        rounds: &mut HashMap<BlockHeight, RoundState>,
+        rounds: &mut BTreeMap<BlockHeight, RoundState>,
         number: BlockHeight,
         view: u64,
     ) -> &mut RoundState {
@@ -1138,6 +1147,7 @@ impl Replica {
         if st.in_flight == Some(number) {
             st.in_flight = None;
         }
+        // bcrdb-lint: allow(wall-clock, reason = "view-change progress deadline; replica-local")
         st.deadline = Instant::now() + self.view_change_timeout;
 
         deliver_block(&block, self.idx, &self.key, &self.subscribers);

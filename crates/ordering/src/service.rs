@@ -367,6 +367,7 @@ impl Sequencer {
         let mut prev_hash: Digest = genesis_prev_hash();
         loop {
             let wait = cutter
+                // bcrdb-lint: allow(wall-clock, reason = "block-cut timeout; orderer-local, the cut block is what replicates")
                 .time_until_cut(Instant::now())
                 .unwrap_or(Duration::from_millis(100))
                 .min(Duration::from_millis(100));
@@ -375,6 +376,7 @@ impl Sequencer {
                     if !self.config.kafka_publish_cost.is_zero() {
                         std::thread::sleep(self.config.kafka_publish_cost);
                     }
+                    // bcrdb-lint: allow(wall-clock, reason = "block-cut timeout; orderer-local, the cut block is what replicates")
                     if let Some(cut) = cutter.push_tx(*tx, Instant::now()) {
                         self.emit(cut, &mut next_number, &mut prev_hash);
                     }
@@ -384,6 +386,7 @@ impl Sequencer {
                 Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
                 Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
             }
+            // bcrdb-lint: allow(wall-clock, reason = "block-cut timeout; orderer-local, the cut block is what replicates")
             if let Some(cut) = cutter.poll_timeout(Instant::now()) {
                 self.emit(cut, &mut next_number, &mut prev_hash);
             }

@@ -30,7 +30,7 @@
 //!   phantom/stale read at execution time, so every node must converge on
 //!   abort).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -66,11 +66,13 @@ struct Record {
     /// Reason this transaction must abort at its commit point, if any.
     doomed: Option<AbortReason>,
     /// Transactions with an rw-edge *into* this one (they read what we
-    /// wrote) — the paper's `inConflictList`.
-    in_conflicts: HashSet<TxId>,
+    /// wrote) — the paper's `inConflictList`. Ordered: the commit check
+    /// iterates these sets, and its abort decisions must be identical on
+    /// every node.
+    in_conflicts: BTreeSet<TxId>,
     /// Transactions we have an rw-edge *to* (we read what they wrote) —
-    /// the paper's `outConflictList`.
-    out_conflicts: HashSet<TxId>,
+    /// the paper's `outConflictList`. Ordered for the same reason.
+    out_conflicts: BTreeSet<TxId>,
     /// Logical begin time (for overlap checks during GC).
     begin_seq: u64,
     /// Logical commit/abort time.
@@ -85,8 +87,8 @@ impl Record {
         Record {
             state: TxnState::Active,
             doomed: None,
-            in_conflicts: HashSet::new(),
-            out_conflicts: HashSet::new(),
+            in_conflicts: BTreeSet::new(),
+            out_conflicts: BTreeSet::new(),
             begin_seq,
             end_seq: None,
             block_pos: None,
@@ -229,14 +231,14 @@ impl SsiManager {
         indexed_values: &[(usize, Value)],
     ) {
         // Row-level readers.
-        let readers: Vec<TxId> = {
+        let row_readers: Vec<TxId> = {
             let shard = self.shard(row).lock();
             shard
                 .get(&(table.to_string(), row))
                 .map(|v| v.iter().copied().filter(|t| *t != writer).collect())
                 .unwrap_or_default()
         };
-        for r in readers {
+        for r in row_readers {
             self.register_rw_edge(r, writer);
         }
         // Predicate readers whose range covers any indexed value of the
@@ -515,6 +517,7 @@ impl SsiManager {
     pub fn gc(&self) -> usize {
         let records = self.records.read();
         let min_active_begin = records
+            // bcrdb-lint: allow(hash-iter, reason = "min over all records; order-insensitive")
             .values()
             .filter_map(|r| {
                 let rec = r.lock();
@@ -527,6 +530,7 @@ impl SsiManager {
             .min()
             .unwrap_or(u64::MAX);
         let dead: HashSet<TxId> = records
+            // bcrdb-lint: allow(hash-iter, reason = "builds an unordered dead set; order-insensitive")
             .iter()
             .filter(|(_, r)| {
                 let rec = r.lock();
@@ -540,6 +544,7 @@ impl SsiManager {
         }
         {
             let mut records = self.records.write();
+            // bcrdb-lint: allow(hash-iter, reason = "removal only; order-insensitive")
             for t in &dead {
                 records.remove(t);
             }
