@@ -14,7 +14,11 @@
 //!   the same chain; must not drop more than the tolerance (a drop
 //!   below ~1 means the pipeline is hurting);
 //! * `catch_up.duration_ms` — must not grow more than the tolerance;
-//! * `failover.resume_ms` — must not grow more than the tolerance.
+//! * `failover.resume_ms` — must not grow more than the tolerance;
+//! * `tcp.tps` — committed throughput over the real-TCP deployment
+//!   surface; must not drop more than the tolerance;
+//! * `tcp.p95_latency_ms` — client-observed commit latency over TCP;
+//!   must not grow more than the tolerance.
 //!
 //! The tolerance defaults to ±20% (`BENCH_TOLERANCE`, a fraction).
 //! Millisecond metrics additionally get a small absolute slack
@@ -126,6 +130,18 @@ fn main() -> ExitCode {
             higher_is_better: false,
             slack: slack_ms,
         },
+        Gate {
+            section: "tcp",
+            key: "tps",
+            higher_is_better: true,
+            slack: 0.0,
+        },
+        Gate {
+            section: "tcp",
+            key: "p95_latency_ms",
+            higher_is_better: false,
+            slack: slack_ms,
+        },
     ];
 
     println!(
@@ -186,11 +202,12 @@ mod tests {
     use super::*;
 
     const SAMPLE: &str = r#"{
-  "schema": "bcrdb-bench-smoke-v3",
+  "schema": "bcrdb-bench-smoke-v4",
   "throughput": { "tps": 388.4, "committed": 1165, "aborted": 0 },
   "pipeline": { "serial_bps": 45.0, "pipelined_bps": 150.0, "speedup": 3.3, "vs_concurrent": 1.1 },
   "catch_up": { "blocks_fetched": 4, "duration_ms": 423.55, "fast_sync": false },
-  "failover": { "committed": 20, "resume_ms": 512.01, "view_changes": 1 }
+  "failover": { "committed": 20, "resume_ms": 512.01, "view_changes": 1 },
+  "tcp": { "tps": 350.2, "committed": 1050, "aborted": 0, "p95_latency_ms": 98.5 }
 }"#;
 
     #[test]
@@ -200,6 +217,8 @@ mod tests {
         assert_eq!(extract(SAMPLE, "catch_up", "duration_ms"), Some(423.55));
         assert_eq!(extract(SAMPLE, "failover", "resume_ms"), Some(512.01));
         assert_eq!(extract(SAMPLE, "failover", "view_changes"), Some(1.0));
+        assert_eq!(extract(SAMPLE, "tcp", "tps"), Some(350.2));
+        assert_eq!(extract(SAMPLE, "tcp", "p95_latency_ms"), Some(98.5));
         assert_eq!(extract(SAMPLE, "nope", "tps"), None);
         assert_eq!(extract(SAMPLE, "throughput", "nope"), None);
     }
@@ -209,7 +228,7 @@ mod tests {
         // A BENCH_PHASES run writes `"pipeline": null`; the lookup must
         // not fall through into the next section's object.
         let json = r#"{
-  "schema": "bcrdb-bench-smoke-v3",
+  "schema": "bcrdb-bench-smoke-v4",
   "pipeline": null,
   "catch_up": { "duration_ms": 423.55, "speedup": 99.0 }
 }"#;

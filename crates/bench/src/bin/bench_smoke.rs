@@ -49,10 +49,16 @@ fn main() {
     } else {
         "null".into()
     };
+    let tcp = if want("tcp") {
+        tcp_phase()
+    } else {
+        "null".into()
+    };
 
     let json = format!(
-        "{{\n  \"schema\": \"bcrdb-bench-smoke-v3\",\n  \"throughput\": {throughput},\n  \
-         \"pipeline\": {pipeline},\n  \"catch_up\": {catch_up},\n  \"failover\": {failover}\n}}\n"
+        "{{\n  \"schema\": \"bcrdb-bench-smoke-v4\",\n  \"throughput\": {throughput},\n  \
+         \"pipeline\": {pipeline},\n  \"catch_up\": {catch_up},\n  \"failover\": {failover},\n  \
+         \"tcp\": {tcp}\n}}\n"
     );
     let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_smoke.json".into());
     std::fs::write(&path, &json).expect("write bench artifact");
@@ -510,5 +516,115 @@ fn failover_phase() -> String {
         resume_ms,
         stats.view_changes,
         stats.current_view
+    )
+}
+
+/// Real-TCP deployment phase: a 4-node / 4-orderer localhost cluster
+/// (in-process services behind real sockets — the surface `bcrdb-node`
+/// serves) driven open-loop by per-connection TCP clients. Measures the
+/// full deployment path end to end: length-prefixed framing,
+/// per-connection frontend workers, server-push notifications.
+fn tcp_phase() -> String {
+    use bcrdb_core::{tcp_client, ClusterSpec, TcpCluster};
+
+    const CONNECTIONS: usize = 8;
+    const OFFERED_TPS: f64 = 400.0;
+    const SECS: f64 = 3.0;
+
+    let spec = ClusterSpec::new(
+        &["org1", "org2", "org3", "org4"],
+        Flow::ExecuteOrderParallel,
+    );
+    let cluster = TcpCluster::launch(spec, None).expect("tcp cluster");
+    let addrs = cluster.client_addrs().to_vec();
+    let spec = Arc::new(cluster.spec().clone());
+
+    let start = Instant::now();
+    let window = Duration::from_secs_f64(SECS);
+    let window_end = start + window;
+    let drain_deadline = window_end + Duration::from_secs(15);
+    let interval = Duration::from_secs_f64(CONNECTIONS as f64 / OFFERED_TPS);
+
+    let workers: Vec<_> = (0..CONNECTIONS)
+        .map(|i| {
+            let spec = Arc::clone(&spec);
+            let addr = addrs[i % addrs.len()].clone();
+            std::thread::spawn(move || {
+                let norgs = spec.orgs.len();
+                let org = spec.orgs[i % norgs].clone();
+                let user = ClusterSpec::bench_user(i / norgs);
+                let client = tcp_client(&spec, &org, &user, &addr).expect("tcp client");
+                // Latencies are observed on a dedicated collector so the
+                // open-loop submitter's pacing never delays them.
+                let (q_tx, q_rx) = std::sync::mpsc::channel::<(Instant, bcrdb_core::PendingTx)>();
+                let collector = std::thread::spawn(move || {
+                    let (mut committed, mut in_window, mut aborted) = (0u64, 0u64, 0u64);
+                    let mut lats = Vec::new();
+                    for (at, pending) in q_rx.iter() {
+                        let left = drain_deadline
+                            .saturating_duration_since(Instant::now())
+                            .max(Duration::from_millis(1));
+                        match pending.wait(left) {
+                            Ok(n) if matches!(n.status, TxStatus::Committed) => {
+                                committed += 1;
+                                if Instant::now() <= window_end {
+                                    in_window += 1;
+                                }
+                                lats.push(at.elapsed().as_secs_f64() * 1000.0);
+                            }
+                            Ok(_) => aborted += 1,
+                            Err(_) => {}
+                        }
+                    }
+                    (committed, in_window, aborted, lats)
+                });
+                let mut n: u64 = 0;
+                while Instant::now() < window_end {
+                    let id = (i as i64) + (n as i64) * CONNECTIONS as i64;
+                    n += 1;
+                    let call = client
+                        .call("bench_tx")
+                        .arg(id)
+                        .arg(id % 1000)
+                        .arg(id % 77)
+                        .arg(format!("payload-{id}"))
+                        .arg(id as f64 * 0.5);
+                    if let Ok(p) = call.submit() {
+                        let _ = q_tx.send((Instant::now(), p));
+                    }
+                    let next = start + interval.mul_f64(n as f64);
+                    let now = Instant::now();
+                    if next > now {
+                        std::thread::sleep(next - now);
+                    }
+                }
+                drop(q_tx);
+                collector.join().expect("collector")
+            })
+        })
+        .collect();
+
+    let (mut committed, mut in_window, mut aborted) = (0u64, 0u64, 0u64);
+    let mut lats = Vec::new();
+    for w in workers {
+        let (c, iw, a, l) = w.join().expect("worker");
+        committed += c;
+        in_window += iw;
+        aborted += a;
+        lats.extend(l);
+    }
+    cluster.shutdown();
+
+    lats.sort_by(|a, b| a.total_cmp(b));
+    let tps = in_window as f64 / SECS;
+    let p95 = if lats.is_empty() {
+        0.0
+    } else {
+        lats[(lats.len() * 95 / 100).min(lats.len() - 1)]
+    };
+    println!("tcp: {tps:.1} tx/s over real sockets (committed {committed}, p95 {p95:.1} ms)");
+    format!(
+        "{{ \"tps\": {tps:.1}, \"committed\": {committed}, \"aborted\": {aborted}, \
+         \"p95_latency_ms\": {p95:.2} }}"
     )
 }

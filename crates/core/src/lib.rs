@@ -38,15 +38,23 @@
 
 pub mod client;
 pub mod config;
+pub mod deploy;
 pub mod network;
 pub mod session;
 pub mod system;
+pub mod tcp;
 pub mod transport;
 
 pub use client::Client;
 pub use config::NetworkConfig;
+pub use deploy::{
+    await_height_tcp, deploy_contract_tcp, install_stop_signals, run_node_process,
+    run_ordering_process, tcp_admin, tcp_client, ClusterSpec, NodeProc, NodeSpec, OrderingProc,
+    TcpCluster, DEFAULT_GENESIS_SQL,
+};
 pub use network::Network;
 pub use session::{
     Call, CallBuilder, PendingBatch, PendingTx, Prepared, PreparedRun, QueryBuilder,
 };
+pub use tcp::{serve_client_tcp, PeerFrame, TcpTransport};
 pub use transport::{InProcess, NodeTransport, Simulated, TransportKind};

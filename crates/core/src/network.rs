@@ -557,10 +557,9 @@ impl Network {
     }
 }
 
-/// The peer-network endpoint name of `org`'s database node.
-fn peer_endpoint(org: &str) -> String {
-    format!("{org}/peer")
-}
+// The peer-network endpoint name of `org`'s database node — shared
+// with the TCP deployment via `bcrdb_network::wire`.
+use bcrdb_network::wire::peer_endpoint;
 
 /// Construct, wire up and start one organization's node: certificates,
 /// bootstrap, peer-network dispatch (transactions, blocks, sync
@@ -807,7 +806,9 @@ fn launch_node(
 }
 
 /// Apply bootstrap DDL (tables, indexes, contracts) on one node.
-fn apply_bootstrap_sql(node: &Arc<Node>, sql: &str, flow: Flow) -> Result<()> {
+/// Shared with the TCP deployment ([`crate::deploy`]), which applies
+/// the same genesis on every node process.
+pub(crate) fn apply_bootstrap_sql(node: &Arc<Node>, sql: &str, flow: Flow) -> Result<()> {
     let stmts = bcrdb_sql::parse_statements(sql)?;
     let rules = match flow {
         Flow::OrderThenExecute => DeterminismRules::order_then_execute(),

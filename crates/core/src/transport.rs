@@ -196,10 +196,10 @@ pub(crate) enum ClientWire {
     Disconnect,
 }
 
-/// Endpoint name of a node's RPC frontend on the client network.
-pub(crate) fn frontend_endpoint(node_name: &str) -> String {
-    format!("{node_name}/rpc")
-}
+// Endpoint name of a node's RPC frontend on the client network —
+// defined once in `bcrdb_network::wire` so the simulated and TCP
+// backends can never disagree about addressing.
+pub(crate) use bcrdb_network::wire::frontend_endpoint;
 
 struct SimShared {
     /// In-flight RPCs by sequence number.

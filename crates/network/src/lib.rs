@@ -18,6 +18,9 @@
 
 pub mod profile;
 pub mod sim;
+pub mod tcp;
+pub mod wire;
 
 pub use profile::NetProfile;
 pub use sim::{Delivered, SimNetwork};
+pub use wire::{FrameEvent, PeerAddr};

@@ -1,0 +1,154 @@
+//! TCP socket helpers shared by every listener in the system.
+//!
+//! The only non-trivial piece is [`bind_reuse`]: a killed-and-restarted
+//! node must rebind its well-known peer/client ports immediately, but the
+//! dying process's accepted sockets linger in `TIME_WAIT` on those ports,
+//! and a plain [`TcpListener::bind`] then fails with `EADDRINUSE` for up
+//! to a minute. Setting `SO_REUSEADDR` before `bind(2)` is the standard
+//! server fix; `std` offers no hook for it, so on Linux the socket is
+//! assembled through raw `libc` calls (no external crates).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+
+/// Bind a TCP listener with `SO_REUSEADDR` set, so restarting a process
+/// on the same port succeeds while old connections sit in `TIME_WAIT`.
+///
+/// Falls back to a plain [`TcpListener::bind`] on non-Linux targets and
+/// for IPv6 addresses.
+pub fn bind_reuse<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+    let mut last_err = None;
+    for sa in addr.to_socket_addrs()? {
+        match bind_one(sa) {
+            Ok(l) => return Ok(l),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err
+        .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no addresses to bind")))
+}
+
+#[cfg(target_os = "linux")]
+fn bind_one(addr: SocketAddr) -> io::Result<TcpListener> {
+    let SocketAddr::V4(v4) = addr else {
+        return TcpListener::bind(addr);
+    };
+    linux::bind_v4_reuse(v4)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_one(addr: SocketAddr) -> io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::io;
+    use std::net::{SocketAddrV4, TcpListener};
+    use std::os::fd::FromRawFd;
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    const AF_INET: c_int = 2;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEADDR: c_int = 2;
+    const LISTEN_BACKLOG: c_int = 1024;
+
+    /// `struct sockaddr_in` as the Linux kernel lays it out.
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16, // network byte order
+        sin_addr: u32, // network byte order
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *const c_void,
+            len: c_uint,
+        ) -> c_int;
+        fn bind(fd: c_int, addr: *const SockaddrIn, len: c_uint) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn check(ret: c_int, fd: Option<c_int>) -> io::Result<()> {
+        if ret < 0 {
+            let err = io::Error::last_os_error();
+            if let Some(fd) = fd {
+                // SAFETY: fd was returned by socket() and is still open.
+                unsafe { close(fd) };
+            }
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    pub(super) fn bind_v4_reuse(addr: SocketAddrV4) -> io::Result<TcpListener> {
+        // SAFETY: plain syscalls on integers/structs we own; the fd is
+        // closed on every error path and otherwise handed to TcpListener,
+        // which owns it from then on.
+        unsafe {
+            let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+            check(fd, None)?;
+            let one: c_int = 1;
+            check(
+                setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    SO_REUSEADDR,
+                    &one as *const c_int as *const c_void,
+                    std::mem::size_of::<c_int>() as c_uint,
+                ),
+                Some(fd),
+            )?;
+            let sa = SockaddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: addr.port().to_be(),
+                sin_addr: u32::from_be_bytes(addr.ip().octets()).to_be(),
+                sin_zero: [0u8; 8],
+            };
+            check(
+                bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as c_uint),
+                Some(fd),
+            )?;
+            check(listen(fd, LISTEN_BACKLOG), Some(fd))?;
+            Ok(TcpListener::from_raw_fd(fd))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_reuse_rebinds_immediately() {
+        // Bind an ephemeral port, connect once so an accepted socket
+        // exists, drop everything, and rebind the same port right away.
+        let first = bind_reuse("127.0.0.1:0").unwrap();
+        let port = first.local_addr().unwrap().port();
+        let client = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
+        let (accepted, _) = first.accept().unwrap();
+        drop(accepted);
+        drop(client);
+        drop(first);
+        let again = bind_reuse(("127.0.0.1", port)).unwrap();
+        assert_eq!(again.local_addr().unwrap().port(), port);
+    }
+
+    #[test]
+    fn bound_listener_accepts_connections() {
+        let l = bind_reuse("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let t = std::thread::spawn(move || std::net::TcpStream::connect(addr).map(|_| ()));
+        let (_s, _) = l.accept().unwrap();
+        t.join().unwrap().unwrap();
+    }
+}

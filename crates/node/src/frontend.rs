@@ -278,7 +278,13 @@ pub fn response_wire_size(resp: &Result<ClientResponse>) -> usize {
                 enc.put_row(row);
             }
         }
-        Ok(ClientResponse::Statement { .. }) => enc.put_u64(0),
+        Ok(ClientResponse::Statement {
+            handle,
+            param_count,
+        }) => {
+            enc.put_u64(*handle);
+            enc.put_u32(*param_count as u32);
+        }
         Ok(ClientResponse::Height(h)) => enc.put_u64(*h),
         Ok(ClientResponse::Metrics(_)) => return 1 + MetricsSnapshot::WIRE_SIZE,
         Err(e) => enc.put_str(&e.to_string()),

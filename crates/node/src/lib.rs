@@ -43,6 +43,7 @@ pub mod processor;
 pub mod slots;
 pub mod statements;
 pub mod sync;
+pub mod wire;
 
 pub use config::{
     pipeline_enabled_by_env, NodeConfig, NodeHooks, OrderingStatsHook, SyncFetchHook,
@@ -54,3 +55,4 @@ pub use node::Node;
 pub use notify::TxNotification;
 pub use statements::StatementHandle;
 pub use sync::SyncStats;
+pub use wire::ClientFrame;

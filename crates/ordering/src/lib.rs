@@ -36,6 +36,9 @@ pub mod bft;
 pub mod config;
 pub mod cutter;
 pub mod service;
+pub mod tcp;
+pub mod wire;
 
 pub use config::{OrderingConfig, OrderingKind};
 pub use service::{OrderingService, OrderingStats, OrderingStatsSnapshot};
+pub use wire::OrdererWire;

@@ -1,0 +1,358 @@
+//! `bcrdb-bench` — open-loop TCP load generator.
+//!
+//! Drives a deployed cluster (see `bcrdb-node`) over real sockets: it
+//! opens `--connections` client connections fanned across the nodes,
+//! submits `bench_tx` invocations at a fixed offered rate on an
+//! absolute schedule (open loop: submission never waits for commits),
+//! mixes in point `SELECT`s, and reports committed throughput and
+//! client-observed commit latency as one JSON object on stdout.
+//!
+//! Every connection authenticates as a distinct pre-registered bench
+//! user (`ClusterSpec::bench_user`), because each TCP client mints
+//! nonces locally: two connections for the same user would collide.
+//! Connection `i` maps to org `i % orgs` and user `bench{i / orgs}`,
+//! so up to `orgs * bench-clients` connections are possible.
+//!
+//! ```text
+//! bcrdb-bench --orgs org1,org2 --flow eo \
+//!     --addrs 127.0.0.1:7101,127.0.0.1:7102 \
+//!     --connections 32 --tps 400 --duration-secs 5
+//! ```
+
+use std::io::Write as _;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bcrdb_chain::ledger::TxStatus;
+use bcrdb_core::{install_stop_signals, tcp_client, ClusterSpec, PendingTx};
+use bcrdb_txn::ssi::Flow;
+
+const USAGE: &str = "\
+Usage: bcrdb-bench [options]
+
+  --orgs a,b,c         organizations, in cluster order (required)
+  --addrs A1,A2,A3     client-plane address of each org's node, aligned
+                       with --orgs (required)
+  --flow oe|eo         transaction flow of the cluster [default: eo]
+  --bench-clients N    bench users per org the cluster pre-registered
+                       [default: 64]
+  --connections N      concurrent client connections [default: 32]
+  --tps N              total offered transactions per second [default: 400]
+  --duration-secs N    offered-load window in seconds [default: 5]
+  --query-every N      every N-th operation is a SELECT instead of a
+                       submit; 0 disables queries [default: 8]
+  --id-offset N        first primary key to insert (repeat runs against
+                       one cluster need disjoint key ranges) [default: 0]
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bcrdb-bench: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| fail(&format!("{flag}: invalid number `{s}`")))
+}
+
+#[derive(Default)]
+struct Stats {
+    submitted: u64,
+    committed: u64,
+    in_window: u64,
+    aborted: u64,
+    unresolved: u64,
+    submit_errors: u64,
+    queries: u64,
+    query_errors: u64,
+    latencies_ms: Vec<f64>,
+    query_ms: Vec<f64>,
+}
+
+impl Stats {
+    fn merge(&mut self, other: Stats) {
+        self.submitted += other.submitted;
+        self.committed += other.committed;
+        self.in_window += other.in_window;
+        self.aborted += other.aborted;
+        self.unresolved += other.unresolved;
+        self.submit_errors += other.submit_errors;
+        self.queries += other.queries;
+        self.query_errors += other.query_errors;
+        self.latencies_ms.extend(other.latencies_ms);
+        self.query_ms.extend(other.query_ms);
+    }
+}
+
+fn percentile(sorted: &[f64], pct: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn connection_worker(
+    spec: Arc<ClusterSpec>,
+    index: usize,
+    addr: String,
+    tps_per_conn: f64,
+    duration: Duration,
+    query_every: u64,
+    id_offset: i64,
+    connections: usize,
+    stop: &'static std::sync::atomic::AtomicBool,
+) -> Result<Stats, String> {
+    let norgs = spec.orgs.len();
+    let org = spec.orgs[index % norgs].clone();
+    let user = ClusterSpec::bench_user(index / norgs);
+    let client = tcp_client(&spec, &org, &user, &addr)
+        .map_err(|e| format!("connect {org}/{user} -> {addr}: {e}"))?;
+
+    let start = Instant::now();
+    let window_end = start + duration;
+    let drain_deadline = window_end + Duration::from_secs(15);
+    let interval = Duration::from_secs_f64(1.0 / tps_per_conn.max(0.001));
+
+    // Commit notifications are collected on a dedicated thread so the
+    // observed latency is the arrival time, not the next poll of an
+    // open-loop submitter.
+    let (pending_tx, pending_rx) = std::sync::mpsc::channel::<(Instant, PendingTx)>();
+    let collector = std::thread::spawn(move || {
+        let mut s = Stats::default();
+        for (submitted_at, pending) in pending_rx.iter() {
+            let now = Instant::now();
+            let left = if now >= drain_deadline {
+                Duration::from_millis(1)
+            } else {
+                drain_deadline - now
+            };
+            match pending.wait(left) {
+                Ok(n) => match n.status {
+                    TxStatus::Committed => {
+                        s.committed += 1;
+                        if Instant::now() <= window_end {
+                            s.in_window += 1;
+                        }
+                        s.latencies_ms
+                            .push(submitted_at.elapsed().as_secs_f64() * 1e3);
+                    }
+                    TxStatus::Aborted(_) => s.aborted += 1,
+                },
+                Err(_) => s.unresolved += 1,
+            }
+        }
+        s
+    });
+
+    let mut s = Stats::default();
+    let mut ops: u64 = 0;
+    let mut last_id: i64 = id_offset;
+    while Instant::now() < window_end && !stop.load(Ordering::Relaxed) {
+        ops += 1;
+        if query_every > 0 && ops.is_multiple_of(query_every) {
+            let t0 = Instant::now();
+            match client
+                .select("SELECT f1 FROM bench_simple WHERE id = $1")
+                .bind(last_id)
+                .fetch()
+            {
+                Ok(_) => {
+                    s.queries += 1;
+                    s.query_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                Err(_) => s.query_errors += 1,
+            }
+        } else {
+            // Key space partitioned by connection: connection i owns
+            // offset + i, offset + i + C, offset + i + 2C, ...
+            let id = id_offset + index as i64 + (s.submitted as i64) * connections as i64;
+            last_id = id;
+            let call = client
+                .call("bench_tx")
+                .arg(id)
+                .arg(id % 1000)
+                .arg(id % 77)
+                .arg(format!("payload-{id}"))
+                .arg(id as f64 * 0.5);
+            match call.submit() {
+                Ok(p) => {
+                    s.submitted += 1;
+                    let _ = pending_tx.send((Instant::now(), p));
+                }
+                Err(_) => s.submit_errors += 1,
+            }
+        }
+        let next = start + interval.mul_f64(ops as f64);
+        let now = Instant::now();
+        if next > now {
+            std::thread::sleep(next - now);
+        }
+    }
+
+    drop(pending_tx);
+    let collected = collector.join().map_err(|_| "collector panicked")?;
+    s.merge(collected);
+    Ok(s)
+}
+
+fn main() {
+    let stop = install_stop_signals();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut orgs: Vec<String> = Vec::new();
+    let mut addrs: Vec<String> = Vec::new();
+    let mut flow = Flow::ExecuteOrderParallel;
+    let mut bench_clients: usize = 64;
+    let mut connections: usize = 32;
+    let mut tps: f64 = 400.0;
+    let mut duration_secs: f64 = 5.0;
+    let mut query_every: u64 = 8;
+    let mut id_offset: i64 = 0;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} requires a value")))
+                .clone()
+        };
+        match flag.as_str() {
+            "--orgs" => {
+                orgs = val("--orgs")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--addrs" => {
+                addrs = val("--addrs")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--flow" => {
+                flow = match val("--flow").as_str() {
+                    "oe" | "order-execute" => Flow::OrderThenExecute,
+                    "eo" | "eop" | "execute-order" => Flow::ExecuteOrderParallel,
+                    other => fail(&format!("unknown flow `{other}` (expected oe|eo)")),
+                };
+            }
+            "--bench-clients" => {
+                bench_clients = parse_num(&val("--bench-clients"), "--bench-clients")
+            }
+            "--connections" => connections = parse_num(&val("--connections"), "--connections"),
+            "--tps" => tps = parse_num(&val("--tps"), "--tps"),
+            "--duration-secs" => {
+                duration_secs = parse_num(&val("--duration-secs"), "--duration-secs")
+            }
+            "--query-every" => query_every = parse_num(&val("--query-every"), "--query-every"),
+            "--id-offset" => id_offset = parse_num(&val("--id-offset"), "--id-offset"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    if orgs.is_empty() {
+        fail("--orgs is required");
+    }
+    if addrs.len() != orgs.len() {
+        fail("--addrs must list exactly one client-plane address per org");
+    }
+    if connections == 0 {
+        fail("--connections must be at least 1");
+    }
+    if connections > orgs.len() * bench_clients {
+        fail(&format!(
+            "{connections} connections need more than the {} pre-registered bench users \
+             ({} orgs x {bench_clients}); raise --bench-clients on the whole cluster",
+            orgs.len() * bench_clients,
+            orgs.len(),
+        ));
+    }
+
+    let org_refs: Vec<&str> = orgs.iter().map(String::as_str).collect();
+    let mut spec = ClusterSpec::new(&org_refs, flow);
+    spec.bench_clients = bench_clients;
+    let spec = Arc::new(spec);
+
+    let duration = Duration::from_secs_f64(duration_secs);
+    let tps_per_conn = tps / connections as f64;
+    eprintln!(
+        "bcrdb-bench: {connections} connections x {tps_per_conn:.1} tps for {duration_secs}s \
+         against {} nodes",
+        orgs.len()
+    );
+
+    let workers: Vec<_> = (0..connections)
+        .map(|i| {
+            let spec = Arc::clone(&spec);
+            let addr = addrs[i % addrs.len()].clone();
+            std::thread::spawn(move || {
+                connection_worker(
+                    spec,
+                    i,
+                    addr,
+                    tps_per_conn,
+                    duration,
+                    query_every,
+                    id_offset,
+                    connections,
+                    stop,
+                )
+            })
+        })
+        .collect();
+
+    let mut total = Stats::default();
+    let mut errors: Vec<String> = Vec::new();
+    for w in workers {
+        match w.join() {
+            Ok(Ok(s)) => total.merge(s),
+            Ok(Err(e)) => errors.push(e),
+            Err(_) => errors.push("worker panicked".into()),
+        }
+    }
+    for e in &errors {
+        eprintln!("bcrdb-bench: worker failed: {e}");
+    }
+
+    total.latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    total.query_ms.sort_by(|a, b| a.total_cmp(b));
+    let measured_tps = total.in_window as f64 / duration_secs;
+    let avg_ms = if total.latencies_ms.is_empty() {
+        0.0
+    } else {
+        total.latencies_ms.iter().sum::<f64>() / total.latencies_ms.len() as f64
+    };
+    println!(
+        "{{\"schema\":\"bcrdb-bench-v1\",\"connections\":{},\"offered_tps\":{:.1},\
+         \"duration_s\":{:.1},\"submitted\":{},\"committed\":{},\"aborted\":{},\
+         \"unresolved\":{},\"submit_errors\":{},\"queries\":{},\"query_errors\":{},\
+         \"tps\":{:.2},\"avg_latency_ms\":{:.3},\"p95_latency_ms\":{:.3},\
+         \"query_p95_ms\":{:.3},\"worker_errors\":{}}}",
+        connections,
+        tps,
+        duration_secs,
+        total.submitted,
+        total.committed,
+        total.aborted,
+        total.unresolved,
+        total.submit_errors,
+        total.queries,
+        total.query_errors,
+        measured_tps,
+        avg_ms,
+        percentile(&total.latencies_ms, 95),
+        percentile(&total.query_ms, 95),
+        errors.len(),
+    );
+    let _ = std::io::stdout().flush();
+    if !errors.is_empty() || total.committed == 0 {
+        std::process::exit(1);
+    }
+}

@@ -16,8 +16,9 @@
 //! and the paper-experiment index.
 
 pub use bcrdb_core::{
-    Call, CallBuilder, Client, InProcess, Network, NetworkConfig, NodeTransport, PendingBatch,
-    PendingTx, Prepared, PreparedRun, QueryBuilder, Simulated, TransportKind,
+    Call, CallBuilder, Client, ClusterSpec, InProcess, Network, NetworkConfig, NodeTransport,
+    PendingBatch, PendingTx, Prepared, PreparedRun, QueryBuilder, Simulated, TcpCluster,
+    TcpTransport, TransportKind,
 };
 
 pub use bcrdb_chain as chain;
