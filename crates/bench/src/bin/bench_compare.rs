@@ -10,9 +10,22 @@
 //! * `throughput.tps` — must not drop more than the tolerance;
 //! * `pipeline.speedup` — pipelined vs serial-baseline blocks/s; must
 //!   not drop more than the tolerance;
-//! * `pipeline.vs_concurrent` — pipelined vs pipeline-off blocks/s on
-//!   the same chain; must not drop more than the tolerance (a drop
-//!   below ~1 means the pipeline is hurting);
+//! * `pipeline.vs_concurrent` — pipelined blocks/s (with the sharded
+//!   parallel apply) vs pipeline-off blocks/s on the same chain; must
+//!   not drop more than the tolerance, and additionally carries an
+//!   absolute floor of 1.1: whatever the baseline says, the pipeline +
+//!   parallel-commit stack must beat the synchronous committer by at
+//!   least 10% or the gate fails;
+//! * `pipeline.apply_speedup` — pipelined blocks/s with
+//!   `apply_workers = N` vs the same pipeline with the serial apply
+//!   (`apply_workers = 1`); isolates the worker pool. On single-core
+//!   CI this hovers near 1.0 (the apply is CPU-bound), so the gate is
+//!   baseline-relative only — it exists to catch the pool *costing*
+//!   throughput;
+//! * `pipeline.pipelined_commit_p95_ms` — p95 of the commit stage
+//!   (serial gate + apply) in pipelined mode; must not grow more than
+//!   the tolerance plus a fixed 1 ms grace (the usual 250 ms duration
+//!   slack would swamp a sub-millisecond percentile);
 //! * `catch_up.duration_ms` — must not grow more than the tolerance;
 //! * `failover.resume_ms` — must not grow more than the tolerance;
 //! * `tcp.tps` — committed throughput over the real-TCP deployment
@@ -29,8 +42,29 @@
 //!
 //! The JSON is the fixed shape `bench_smoke` emits, so parsing is a
 //! dependency-free scan: find the section object, then the key's number.
+//! Because the parse is positional rather than schema-validated, the
+//! gate first checks the report's `schema` tag against the version this
+//! binary was written for — a `bench_smoke` shape change that lands
+//! without a matching `bench_compare` update fails the build instead of
+//! silently mis-reading (or skipping) metrics.
 
 use std::process::ExitCode;
+
+/// The `bench_smoke` report schema this gate understands. Bump in the
+/// same commit as the `"schema"` tag in `bench_smoke.rs` — CI fails on
+/// any mismatch.
+const EXPECTED_SCHEMA: &str = "bcrdb-bench-smoke-v5";
+
+/// Extract the top-level `"schema": "<tag>"` string from `json`.
+fn extract_schema(json: &str) -> Option<&str> {
+    let key_at = json.find("\"schema\"")?;
+    let tail = &json[key_at + "\"schema\"".len()..];
+    let colon = tail.find(':')?;
+    let rest = tail[colon + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
 
 /// Extract `"section": { ... "key": <number> ... }` from `json`.
 fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
@@ -69,12 +103,17 @@ fn env_f64(name: &str, default: f64) -> f64 {
 }
 
 /// One gated metric. `higher_is_better` decides the regression direction;
-/// `slack` is an absolute grace added on top of the relative tolerance.
+/// `slack` is an absolute grace added on top of the relative tolerance;
+/// `floor` is an absolute minimum (higher-is-better gates only) that
+/// applies regardless of the baseline — a relative tolerance alone
+/// would let a requirement like "vs_concurrent ≥ 1.1" erode one
+/// baseline refresh at a time.
 struct Gate {
     section: &'static str,
     key: &'static str,
     higher_is_better: bool,
     slack: f64,
+    floor: Option<f64>,
 }
 
 fn main() -> ExitCode {
@@ -99,48 +138,95 @@ fn main() -> ExitCode {
         }
     };
 
+    // Schema handshake before any metric parse (see module docs).
+    for (label, path, json) in [
+        ("baseline", &baseline_path, &baseline),
+        ("current run", &current_path, &current),
+    ] {
+        match extract_schema(json) {
+            Some(s) if s == EXPECTED_SCHEMA => {}
+            Some(s) => {
+                eprintln!(
+                    "bench_compare: {label} {path} has schema \"{s}\", this gate expects \
+                     \"{EXPECTED_SCHEMA}\" — update bench_compare (and refresh the baseline) \
+                     in the same commit as the bench_smoke schema bump"
+                );
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("bench_compare: {label} {path} has no \"schema\" tag");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let gates = [
         Gate {
             section: "throughput",
             key: "tps",
             higher_is_better: true,
             slack: 0.0,
+            floor: None,
         },
         Gate {
             section: "pipeline",
             key: "speedup",
             higher_is_better: true,
             slack: 0.0,
+            floor: None,
         },
         Gate {
             section: "pipeline",
             key: "vs_concurrent",
             higher_is_better: true,
             slack: 0.0,
+            floor: Some(1.1),
+        },
+        Gate {
+            section: "pipeline",
+            key: "apply_speedup",
+            higher_is_better: true,
+            slack: 0.0,
+            floor: None,
+        },
+        Gate {
+            section: "pipeline",
+            key: "pipelined_commit_p95_ms",
+            higher_is_better: false,
+            // Sub-millisecond percentile: the 250 ms scheduler slack
+            // would swamp it, so it gets a fixed 1 ms grace instead.
+            // The gate exists to catch the commit stage regressing to
+            // multi-millisecond, not to police scheduler noise.
+            slack: 1.0,
+            floor: None,
         },
         Gate {
             section: "catch_up",
             key: "duration_ms",
             higher_is_better: false,
             slack: slack_ms,
+            floor: None,
         },
         Gate {
             section: "failover",
             key: "resume_ms",
             higher_is_better: false,
             slack: slack_ms,
+            floor: None,
         },
         Gate {
             section: "tcp",
             key: "tps",
             higher_is_better: true,
             slack: 0.0,
+            floor: None,
         },
         Gate {
             section: "tcp",
             key: "p95_latency_ms",
             higher_is_better: false,
             slack: slack_ms,
+            floor: None,
         },
     ];
 
@@ -165,7 +251,10 @@ fn main() -> ExitCode {
             continue;
         };
         let (bound, ok, better) = if g.higher_is_better {
-            let bound = base * (1.0 - tolerance) - g.slack;
+            let mut bound = base * (1.0 - tolerance) - g.slack;
+            if let Some(floor) = g.floor {
+                bound = bound.max(floor);
+            }
             (bound, new >= bound, new > base)
         } else {
             let bound = base * (1.0 + tolerance) + g.slack;
@@ -202,18 +291,44 @@ mod tests {
     use super::*;
 
     const SAMPLE: &str = r#"{
-  "schema": "bcrdb-bench-smoke-v4",
+  "schema": "bcrdb-bench-smoke-v5",
   "throughput": { "tps": 388.4, "committed": 1165, "aborted": 0 },
-  "pipeline": { "serial_bps": 45.0, "pipelined_bps": 150.0, "speedup": 3.3, "vs_concurrent": 1.1 },
+  "pipeline": { "serial_bps": 45.0, "pipelined_bps": 150.0, "speedup": 3.3, "vs_concurrent": 1.2, "apply_workers": 4, "apply_serial_bps": 145.0, "apply_speedup": 1.03 },
   "catch_up": { "blocks_fetched": 4, "duration_ms": 423.55, "fast_sync": false },
   "failover": { "committed": 20, "resume_ms": 512.01, "view_changes": 1 },
   "tcp": { "tps": 350.2, "committed": 1050, "aborted": 0, "p95_latency_ms": 98.5 }
 }"#;
 
     #[test]
+    fn schema_tag_roundtrips() {
+        // The sample report is the schema this binary expects; if this
+        // assertion fails, the SAMPLE fixture missed a schema bump.
+        assert_eq!(extract_schema(SAMPLE), Some(EXPECTED_SCHEMA));
+        assert_eq!(extract_schema("{}"), None);
+        assert_eq!(
+            extract_schema(r#"{ "schema": "bcrdb-bench-smoke-v4" }"#),
+            Some("bcrdb-bench-smoke-v4")
+        );
+    }
+
+    #[test]
+    fn smoke_binary_source_emits_the_expected_schema() {
+        // Satellite guard: a schema bump in bench_smoke.rs without a
+        // matching bench_compare update must fail before CI does.
+        let smoke_src = include_str!("bench_smoke.rs");
+        assert!(
+            smoke_src.contains(&format!("\\\"schema\\\": \\\"{EXPECTED_SCHEMA}\\\"")),
+            "bench_smoke.rs no longer emits \"{EXPECTED_SCHEMA}\" — bump EXPECTED_SCHEMA \
+             in bench_compare.rs and refresh BENCH_baseline.json in the same commit"
+        );
+    }
+
+    #[test]
     fn extracts_nested_numbers() {
         assert_eq!(extract(SAMPLE, "throughput", "tps"), Some(388.4));
         assert_eq!(extract(SAMPLE, "pipeline", "speedup"), Some(3.3));
+        assert_eq!(extract(SAMPLE, "pipeline", "apply_speedup"), Some(1.03));
+        assert_eq!(extract(SAMPLE, "pipeline", "apply_workers"), Some(4.0));
         assert_eq!(extract(SAMPLE, "catch_up", "duration_ms"), Some(423.55));
         assert_eq!(extract(SAMPLE, "failover", "resume_ms"), Some(512.01));
         assert_eq!(extract(SAMPLE, "failover", "view_changes"), Some(1.0));

@@ -56,7 +56,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"schema\": \"bcrdb-bench-smoke-v4\",\n  \"throughput\": {throughput},\n  \
+        "{{\n  \"schema\": \"bcrdb-bench-smoke-v5\",\n  \"throughput\": {throughput},\n  \
          \"pipeline\": {pipeline},\n  \"catch_up\": {catch_up},\n  \"failover\": {failover},\n  \
          \"tcp\": {tcp}\n}}\n"
     );
@@ -76,6 +76,8 @@ struct PipelineRun {
     tps: f64,
     commit_p50_ms: f64,
     commit_p95_ms: f64,
+    /// Windowed average of the apply slice of the commit stage.
+    apply_stage_ms: f64,
 }
 
 fn percentile_ms(samples: &[u64], pct: usize) -> f64 {
@@ -94,7 +96,20 @@ const PIPE_BLOCK_TXS: u64 = 64;
 /// calibration knob (see DESIGN.md's substitution table) that stands in
 /// for the paper's PostgreSQL parse/plan/WAL overhead, giving the
 /// execution stage a realistic weight against the post-commit stage.
-const PIPE_MIN_EXEC_US: u64 = 200;
+const PIPE_MIN_EXEC_US: u64 = 1200;
+/// Tables the fixture's write sets spread across. The commit stage's
+/// parallel apply shards by (table, heap segment), so a multi-table
+/// write set is what gives `apply_workers > 1` distinct shards — one
+/// table × one block's rows lands in a single heap segment.
+const PIPE_TABLES: u64 = 8;
+/// Payload bytes per row: write-set hashing, ledger appends and the
+/// group fsync all scale with this, which is exactly the post-commit
+/// work the pipeline overlaps and the apply pool shards.
+const PIPE_PAYLOAD: usize = 2 * 1024;
+/// Apply workers for the parallel-apply run (explicit, not
+/// core-derived: CI runners are often single-core, and the point is to
+/// exercise the sharded pool and measure its cost/benefit there too).
+const PIPE_APPLY_WORKERS: usize = 4;
 
 /// Deterministic identities + the pre-built chain shared by both runs.
 struct PipelineFixture {
@@ -134,13 +149,15 @@ fn pipeline_fixture() -> PipelineFixture {
                 // (write-set hashing, ledger records, group fsync) scales
                 // with written bytes, which is exactly the work the
                 // pipeline overlaps with the next block's execution.
+                // Round-robin over PIPE_TABLES tables so each block's
+                // write set spans several apply shards.
                 let args = vec![
                     Value::Int(n as i64),
-                    Value::Text(format!("payload-{n}-{}", "x".repeat(2048))),
+                    Value::Text(format!("payload-{n}-{}", "x".repeat(PIPE_PAYLOAD))),
                 ];
                 Transaction::new_order_execute(
                     "org1/bench",
-                    Payload::new("bench_tx", args),
+                    Payload::new(format!("bench_tx{}", n % PIPE_TABLES), args),
                     n,
                     &client,
                 )
@@ -178,13 +195,14 @@ impl PipeMode {
     }
 }
 
-fn pipeline_run(fixture: &PipelineFixture, mode: PipeMode) -> PipelineRun {
+fn pipeline_run(fixture: &PipelineFixture, mode: PipeMode, apply_workers: usize) -> PipelineRun {
     use bcrdb_node::{Node, NodeConfig};
 
     let dir = std::env::temp_dir().join(format!(
-        "bcrdb-bench-pipe-{}-{}",
+        "bcrdb-bench-pipe-{}-{}-w{}",
         std::process::id(),
-        mode.label()
+        mode.label(),
+        apply_workers
     ));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -192,7 +210,12 @@ fn pipeline_run(fixture: &PipelineFixture, mode: PipeMode) -> PipelineRun {
     let mut cfg = NodeConfig::new("org1/peer", "org1", Flow::OrderThenExecute);
     cfg.pipeline = mode == PipeMode::Pipelined;
     cfg.serial_execution = mode == PipeMode::Serial;
-    cfg.executor_threads = 4;
+    // Wide enough that the exec stage (sleep-dominated, overlappable)
+    // never caps the pipeline: 64 tx × PIPE_MIN_EXEC_US / 32 keeps the
+    // per-block pool floor below the commit thread's serial work, so
+    // pipelined-mode head waits stay near zero even on one core.
+    cfg.executor_threads = 32;
+    cfg.apply_workers = apply_workers;
     cfg.min_exec_micros = PIPE_MIN_EXEC_US;
     // Durable store so the comparison includes the group-fsync effect:
     // serial mode pays a sync_data per appended block on the commit
@@ -200,10 +223,16 @@ fn pipeline_run(fixture: &PipelineFixture, mode: PipeMode) -> PipelineRun {
     cfg.fsync = true;
     cfg.data_dir = Some(dir.clone());
     let node = Node::new(cfg, Arc::clone(&fixture.certs), vec!["org1".into()]).expect("node");
-    let ddl = "CREATE TABLE bench_pipe (id INT PRIMARY KEY, payload TEXT NOT NULL); \
-               CREATE FUNCTION bench_tx(id INT, p TEXT) AS $$ \
-                 INSERT INTO bench_pipe VALUES ($1, $2) $$";
-    for stmt in bcrdb_sql::parse_statements(ddl).expect("ddl") {
+    let ddl: String = (0..PIPE_TABLES)
+        .map(|t| {
+            format!(
+                "CREATE TABLE bench_pipe{t} (id INT PRIMARY KEY, payload TEXT NOT NULL); \
+                 CREATE FUNCTION bench_tx{t}(id INT, p TEXT) AS $$ \
+                   INSERT INTO bench_pipe{t} VALUES ($1, $2) $$; "
+            )
+        })
+        .collect();
+    for stmt in bcrdb_sql::parse_statements(&ddl).expect("ddl") {
         match stmt {
             bcrdb_sql::ast::Statement::CreateTable { .. } => {}
             bcrdb_sql::ast::Statement::CreateFunction(def) => {
@@ -268,14 +297,17 @@ fn pipeline_run(fixture: &PipelineFixture, mode: PipeMode) -> PipelineRun {
         "no aborts expected"
     );
     let samples = node.metrics().commit_stage_samples();
+    let m = node.metrics().take();
     if std::env::var("BENCH_PIPE_DEBUG").is_ok() {
-        let m = node.metrics().take();
         eprintln!(
-            "debug[{}]: bpt {:.2} ms, bet {:.2} ms, commit {:.2} ms, post {:.2} ms",
+            "debug[{}-w{}]: bpt {:.2} ms, bet {:.2} ms, commit {:.2} ms \
+             (apply {:.3} ms), post {:.2} ms",
             mode.label(),
+            apply_workers,
             m.bpt_ms,
             m.bet_ms,
             m.commit_stage_ms,
+            m.apply_stage_ms,
             m.post_stage_ms
         );
     }
@@ -288,6 +320,7 @@ fn pipeline_run(fixture: &PipelineFixture, mode: PipeMode) -> PipelineRun {
         tps: committed as f64 / secs,
         commit_p50_ms: percentile_ms(&samples, 50),
         commit_p95_ms: percentile_ms(&samples, 95),
+        apply_stage_ms: m.apply_stage_ms,
     }
 }
 
@@ -300,20 +333,26 @@ fn pipeline_phase() -> String {
     // noise dwarfs the effect under test; the best run is the cleanest
     // observation of each mode's capability on identical work.
     let runs = 3;
-    let best = |mode: PipeMode| {
+    let best = |mode: PipeMode, workers: usize| {
         (0..runs)
-            .map(|_| pipeline_run(&fixture, mode))
+            .map(|_| pipeline_run(&fixture, mode, workers))
             .max_by(|a, b| a.bps.total_cmp(&b.bps))
             .expect("runs > 0")
     };
-    let serial = best(PipeMode::Serial);
-    let concurrent = best(PipeMode::Concurrent);
-    let pipelined = best(PipeMode::Pipelined);
+    let serial = best(PipeMode::Serial, 1);
+    let concurrent = best(PipeMode::Concurrent, 1);
+    // The apply axis, isolated inside the pipelined mode: the same
+    // staged pipeline with the fully serial apply vs the sharded
+    // apply-worker pool.
+    let apply_serial = best(PipeMode::Pipelined, 1);
+    let pipelined = best(PipeMode::Pipelined, PIPE_APPLY_WORKERS);
     // Headline: the staged pipeline vs the paper's serial-execution
     // baseline (§5.1) on the same chain. The pipelined/concurrent ratio
-    // isolates the pipeline itself; on a single-core runner it is
-    // modest (CPU work is conserved — the pipeline overlaps waits), on
-    // real hardware it tracks the post-commit share of a block.
+    // isolates this PR sequence's commit-path restructuring (pipeline +
+    // gated parallel apply) against the pre-pipeline synchronous
+    // committer; apply_speedup isolates the worker pool alone — on a
+    // single-core runner it hovers near 1.0 (the apply is CPU-bound),
+    // on real hardware it tracks the apply share of the commit stage.
     let speedup = if serial.bps > 0.0 {
         pipelined.bps / serial.bps
     } else {
@@ -324,35 +363,59 @@ fn pipeline_phase() -> String {
     } else {
         0.0
     };
+    let apply_speedup = if apply_serial.bps > 0.0 {
+        pipelined.bps / apply_serial.bps
+    } else {
+        0.0
+    };
     for (mode, run) in [
         ("serial", &serial),
         ("concurrent", &concurrent),
+        ("apply=1", &apply_serial),
         ("pipelined", &pipelined),
     ] {
         println!(
             "pipeline: {mode:<10} {:>6.1} blocks/s ({} blocks in {:.2}s, {:>6.0} tx/s, \
-             commit p50/p95 {:.2}/{:.2} ms)",
-            run.bps, run.blocks, run.secs, run.tps, run.commit_p50_ms, run.commit_p95_ms
+             commit p50/p95 {:.2}/{:.2} ms, apply {:.3} ms)",
+            run.bps,
+            run.blocks,
+            run.secs,
+            run.tps,
+            run.commit_p50_ms,
+            run.commit_p95_ms,
+            run.apply_stage_ms
         );
     }
-    println!("pipeline: pipelined vs serial {speedup:.2}x, vs concurrent {vs_concurrent:.2}x");
+    println!(
+        "pipeline: pipelined vs serial {speedup:.2}x, vs concurrent {vs_concurrent:.2}x, \
+         apply 1-vs-{PIPE_APPLY_WORKERS} {apply_speedup:.2}x"
+    );
     format!(
         "{{ \"serial_bps\": {:.2}, \"concurrent_bps\": {:.2}, \"pipelined_bps\": {:.2}, \
          \"speedup\": {:.3}, \"vs_concurrent\": {:.3}, \
+         \"apply_workers\": {}, \"apply_serial_bps\": {:.2}, \"apply_speedup\": {:.3}, \
          \"serial_tps\": {:.1}, \"pipelined_tps\": {:.1}, \
          \"serial_commit_p50_ms\": {:.3}, \"serial_commit_p95_ms\": {:.3}, \
-         \"pipelined_commit_p50_ms\": {:.3}, \"pipelined_commit_p95_ms\": {:.3} }}",
+         \"apply_serial_commit_p50_ms\": {:.3}, \"apply_serial_commit_p95_ms\": {:.3}, \
+         \"pipelined_commit_p50_ms\": {:.3}, \"pipelined_commit_p95_ms\": {:.3}, \
+         \"pipelined_apply_stage_ms\": {:.3} }}",
         serial.bps,
         concurrent.bps,
         pipelined.bps,
         speedup,
         vs_concurrent,
+        PIPE_APPLY_WORKERS,
+        apply_serial.bps,
+        apply_speedup,
         serial.tps,
         pipelined.tps,
         serial.commit_p50_ms,
         serial.commit_p95_ms,
+        apply_serial.commit_p50_ms,
+        apply_serial.commit_p95_ms,
         pipelined.commit_p50_ms,
-        pipelined.commit_p95_ms
+        pipelined.commit_p95_ms,
+        pipelined.apply_stage_ms
     )
 }
 

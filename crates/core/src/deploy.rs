@@ -654,6 +654,9 @@ pub fn run_node_process(cluster: &ClusterSpec, spec: NodeSpec) -> Result<NodePro
     let mut cfg = NodeConfig::new(node_name.clone(), spec.org.clone(), cluster.flow);
     cfg.fsync = cluster.fsync;
     cfg.data_dir = spec.data_dir.clone();
+    // pipeline and apply_workers stay at the NodeConfig::new defaults,
+    // which read BCRDB_PIPELINE / BCRDB_APPLY — per-process env is the
+    // natural per-node knob for a process-granular deployment.
     let node = Node::new(cfg, Arc::clone(&certs), cluster.orgs.clone())?;
     system::bootstrap_node(&node)?;
     if let Some(genesis) = &cluster.genesis_sql {

@@ -611,6 +611,7 @@ fn launch_node(
     node_cfg.sync_batch = config.sync_batch;
     node_cfg.snapshot_lag_threshold = config.snapshot_lag_threshold;
     node_cfg.pipeline = config.pipeline;
+    node_cfg.apply_workers = config.apply_workers;
     node_cfg.vacuum_interval = config.vacuum_interval;
     node_cfg.data_dir = config.data_root.as_ref().map(|root| root.join(org));
     let node = Node::new(node_cfg, Arc::clone(certs), config.orgs.clone())?;

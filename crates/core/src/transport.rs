@@ -181,6 +181,10 @@ impl Drop for InProcess {
 // -------------------------------------------------------- simulated wire
 
 /// Messages on the client↔node segment of the simulated network.
+// Transient per-RPC frames (same rationale as the node crate's
+// `ClientFrame`): boxing the response payload would save no resident
+// memory.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub(crate) enum ClientWire {
     /// Client → node: one RPC request.

@@ -71,7 +71,11 @@ pub struct Analysis {
 /// Crates whose whole `src/` is in the determinism scope.
 const DETERMINISM_CRATES: &[&str] = &["ordering", "txn", "chain", "engine"];
 /// Individual files added to the determinism scope.
-const DETERMINISM_FILES: &[&str] = &["crates/node/src/processor.rs"];
+const DETERMINISM_FILES: &[&str] = &[
+    "crates/node/src/processor.rs",
+    "crates/node/src/commit/mod.rs",
+    "crates/node/src/commit/apply.rs",
+];
 
 /// Is this file part of the consensus/commit path the determinism
 /// rules guard?

@@ -1,0 +1,294 @@
+//! The deterministic parallel write-set apply pool.
+//!
+//! After the serial gate has fixed every commit decision and every row
+//! id, the remaining [`ApplyStep`]s of a block commute (see
+//! `bcrdb_txn::context::ApplyStep`). The pool shards them by
+//! `(table, row_id >> SEGMENT_SHIFT)` — the granularity heap appends and
+//! index inserts contend on — executes the shards on a fixed set of
+//! worker threads, and merges the produced write-set summaries back into
+//! canonical (transaction, op) order. The merge order, the row ids and
+//! the version contents are all fixed before any worker runs, so the
+//! output — and therefore the write-set hash, the checkpoint and the
+//! ledger — is byte-identical for any worker count and any
+//! interleaving.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use bcrdb_txn::context::{ApplyPlan, ApplyStep, WriteRecord};
+
+/// One flattened step: canonical output slot, commit block height, step.
+type Slotted = (usize, u64, ApplyStep);
+
+/// Shared state for one `run` call. Workers fill `out` slots and
+/// decrement `remaining`; the committing thread waits on `done_cv`.
+struct RunState {
+    /// Summaries by canonical slot; every slot is filled exactly once.
+    out: Mutex<Vec<Option<WriteRecord>>>,
+    /// Shards still in flight.
+    remaining: Mutex<usize>,
+    /// Signalled when `remaining` reaches zero.
+    done_cv: Condvar,
+}
+
+/// One worker's share of a block: steps in canonical order, plus the
+/// run's shared state.
+struct Shard {
+    steps: Vec<Slotted>,
+    state: Arc<RunState>,
+}
+
+/// A fixed pool of apply workers owned by the node. With one worker the
+/// pool spawns no threads and `run` degenerates to the serial in-order
+/// apply loop — `NodeConfig::apply_workers = 1` restores the pre-pool
+/// behaviour exactly.
+pub struct ApplyPool {
+    workers: usize,
+    tx: Option<Sender<Shard>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ApplyPool {
+    /// Spawn `workers` apply threads (none when `workers <= 1`).
+    pub fn start(workers: usize) -> Self {
+        let workers = workers.max(1);
+        if workers == 1 {
+            return ApplyPool {
+                workers,
+                tx: None,
+                handles: Vec::new(),
+            };
+        }
+        let (tx, rx) = unbounded::<Shard>();
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("apply-worker-{i}"))
+                    .spawn(move || {
+                        for shard in rx.iter() {
+                            run_shard(shard);
+                        }
+                    })
+                    .expect("failed to spawn apply worker")
+            })
+            .collect();
+        ApplyPool {
+            workers,
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute every step of `plans` and return the write-set summaries
+    /// in canonical (transaction, op) order. Blocks until the whole
+    /// block is applied — the caller advances the committed height only
+    /// after this returns, so readers never observe a partial block.
+    pub fn run(&self, plans: Vec<ApplyPlan>) -> Vec<WriteRecord> {
+        let total: usize = plans.iter().map(|p| p.steps.len()).sum();
+        let mut flat: Vec<Slotted> = Vec::with_capacity(total);
+        for plan in plans {
+            let block = plan.block;
+            for step in plan.steps {
+                flat.push((flat.len(), block, step));
+            }
+        }
+
+        if self.workers == 1 || total < 2 {
+            return flat.iter().map(|(_, block, s)| s.execute(*block)).collect();
+        }
+
+        // Shard by (table, heap segment): steps for the same segment
+        // land on the same worker, so segment tail appends never
+        // contend. Bucket order preserves canonical order within each
+        // shard; the slot index recovers it across shards.
+        let mut buckets: Vec<Vec<Slotted>> = (0..self.workers).map(|_| Vec::new()).collect();
+        for entry in flat {
+            let b = partition(entry.2.table(), entry.2.row_id().0, self.workers);
+            buckets[b].push(entry);
+        }
+        let nonempty = buckets.iter().filter(|b| !b.is_empty()).count();
+        if nonempty <= 1 {
+            return buckets
+                .into_iter()
+                .flatten()
+                .map(|(_, block, s)| s.execute(block))
+                .collect();
+        }
+
+        let state = Arc::new(RunState {
+            out: Mutex::new((0..total).map(|_| None).collect()),
+            remaining: Mutex::new(nonempty),
+            done_cv: Condvar::new(),
+        });
+        let tx = self
+            .tx
+            .as_ref()
+            .expect("apply pool with workers has a sender");
+        for steps in buckets {
+            if steps.is_empty() {
+                continue;
+            }
+            if tx
+                .send(Shard {
+                    steps,
+                    state: Arc::clone(&state),
+                })
+                .is_err()
+            {
+                unreachable!("apply worker channel outlives the pool");
+            }
+        }
+        {
+            let mut remaining = state.remaining.lock();
+            while *remaining != 0 {
+                state.done_cv.wait(&mut remaining);
+            }
+        }
+        let mut out = state.out.lock();
+        out.drain(..)
+            .map(|r| r.expect("every apply slot is filled exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for ApplyPool {
+    fn drop(&mut self) {
+        // Dropping the sender closes the channel; workers drain and exit.
+        drop(self.tx.take());
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Execute one shard and publish its results. The two run-state locks
+/// are taken strictly one after the other (never nested) so the pool
+/// adds no edges to the workspace lock-order graph.
+fn run_shard(shard: Shard) {
+    let mut produced = Vec::with_capacity(shard.steps.len());
+    for (slot, block, step) in &shard.steps {
+        produced.push((*slot, step.execute(*block)));
+    }
+    {
+        let mut out = shard.state.out.lock();
+        for (slot, rec) in produced {
+            debug_assert!(out[slot].is_none(), "apply slot {slot} filled twice");
+            out[slot] = Some(rec);
+        }
+    }
+    {
+        let mut remaining = shard.state.remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            shard.state.done_cv.notify_all();
+        }
+    }
+}
+
+/// Deterministic shard choice: FNV-1a over the table name, XORed with
+/// the heap segment index. Hand-rolled (not `RandomState`) so the
+/// assignment is identical across processes and runs.
+fn partition(table: &str, row_id: u64, workers: usize) -> usize {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in table.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    ((h ^ (row_id >> bcrdb_storage::table::SEGMENT_SHIFT)) % workers as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcrdb_common::ids::RowId;
+    use bcrdb_common::value::Value;
+
+    fn ready(table: &str, row: u64, v: i64) -> ApplyStep {
+        ApplyStep::Ready(WriteRecord {
+            table: table.into(),
+            kind: 2,
+            row_id: RowId(row),
+            data: vec![Value::Int(v)],
+        })
+    }
+
+    fn plans() -> Vec<ApplyPlan> {
+        // Three transactions over two tables, enough rows to span
+        // several heap segments (SEGMENT_SHIFT = 10 → ids 0..4096 hit
+        // four segments per table).
+        (0..3)
+            .map(|t| ApplyPlan {
+                block: 7,
+                steps: (0..40)
+                    .map(|i| {
+                        let table = if i % 2 == 0 { "accounts" } else { "orders" };
+                        ready(table, t * 1500 + i * 97, (t * 1000 + i) as i64)
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_run() {
+        let serial = ApplyPool::start(1).run(plans());
+        let parallel = ApplyPool::start(4).run(plans());
+        assert_eq!(serial.len(), 120);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_step_blocks() {
+        let pool = ApplyPool::start(4);
+        assert!(pool.run(Vec::new()).is_empty());
+        let one = pool.run(vec![ApplyPlan {
+            block: 1,
+            steps: vec![ready("t", 5, 42)],
+        }]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].row_id, RowId(5));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_blocks() {
+        let pool = ApplyPool::start(3);
+        for block in 0..8 {
+            let out = pool.run(vec![ApplyPlan {
+                block,
+                steps: (0..25).map(|i| ready("t", i * 1021, i as i64)).collect(),
+            }]);
+            let expect: Vec<i64> = (0..25).map(|i| i as i64).collect();
+            let got: Vec<i64> = out
+                .iter()
+                .map(|r| match &r.data[0] {
+                    Value::Int(v) => *v,
+                    other => panic!("unexpected value {other:?}"),
+                })
+                .collect();
+            assert_eq!(got, expect, "block {block} out of canonical order");
+        }
+    }
+
+    #[test]
+    fn partition_is_stable_and_segment_aligned() {
+        let w = 4;
+        let a = partition("accounts", 17, w);
+        assert_eq!(a, partition("accounts", 17, w));
+        // Same segment → same shard, regardless of the in-segment slot.
+        assert_eq!(a, partition("accounts", 1023, w));
+        for r in 0..10_000 {
+            assert!(partition("orders", r, w) < w);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Stage 2 of the block processor: the serial validation gate followed
+//! by a deterministic — and, with `NodeConfig::apply_workers > 1`,
+//! parallel — write-set apply.
+//!
+//! The paper serializes the whole committing phase; PR 5's pipeline kept
+//! that, which left stage 2 as the wall the pipeline cannot overlap
+//! past. This module splits the stage along the only line determinism
+//! allows:
+//!
+//! * **The gate** (`gate_one`, via `TxnCtx::validate_commit`) runs
+//!   strictly serially, in block order: SSI commit check, primary-key
+//!   check (storage plus the per-block overlay of not-yet-applied keys),
+//!   old-version deletion with ww-loser dooming, batched row-id
+//!   reservation, catalog-op application. Every one of these decisions
+//!   feeds the next transaction's decisions, so none can move off the
+//!   commit thread.
+//! * **The apply** ([`ApplyPool`]) executes the deferred
+//!   `commit_create`s and builds the write-set summaries. The gate fixed
+//!   every row id and every outcome first, each step touches only its
+//!   own version, and no step targets a version a same-block sibling
+//!   defers (pending versions are invisible at sibling snapshots) — so
+//!   the steps commute and any interleaving yields byte-identical state.
+//!   Summaries are written into slots indexed by canonical
+//!   (transaction, op) position and merged in that order for hashing,
+//!   so chains and checkpoints are independent of worker count.
+//!
+//! The apply barrier completes inside `commit_core` — before the
+//! committed height advances and before the next block's parked
+//! executions are released — so readers at height N never observe a
+//! half-applied block N.
+
+mod apply;
+
+pub use apply::ApplyPool;
+
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use bcrdb_chain::block::Block;
+use bcrdb_chain::ledger::{LedgerRecord, TxStatus};
+use bcrdb_chain::tx::Transaction;
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::ids::TxId;
+use bcrdb_engine::exec::{apply_catalog_op, CatalogOp};
+use bcrdb_engine::procedures::ContractRegistry;
+use bcrdb_sql::validate::DeterminismRules;
+use bcrdb_storage::catalog::Catalog;
+use bcrdb_txn::context::{ApplyPlan, BlockPkOverlay, WriteRecord};
+use bcrdb_txn::ssi::Flow;
+
+use crate::exec_pool::ExecTask;
+use crate::node::Node;
+
+/// Stage 2: the serial validation gate over every transaction in block
+/// order, then the write-set apply (parallel when the node's
+/// [`ApplyPool`] has workers). Everything order-dependent happens in the
+/// gate; everything deferrable for stage 3 is returned. The caller
+/// decides when to advance the committed height — the apply has already
+/// completed by the time this returns.
+pub(crate) fn commit_core(
+    node: &Arc<Node>,
+    block: &Arc<Block>,
+) -> (Vec<LedgerRecord>, Vec<WriteRecord>) {
+    // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
+    let t0 = Instant::now();
+    let flow = node.config.flow;
+    let mut records = Vec::with_capacity(block.txs.len());
+    let mut plans: Vec<ApplyPlan> = Vec::new();
+    let mut overlay = BlockPkOverlay::new();
+    for (i, tx) in block.txs.iter().enumerate() {
+        let (record, plan) = gate_one(node, block, i as u32, tx, flow, &mut overlay);
+        node.mark_processed(tx.id);
+        records.push(record);
+        plans.extend(plan);
+    }
+    // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
+    let ta = Instant::now();
+    let writes = node.apply.run(plans);
+    node.env
+        .metrics
+        .on_apply_stage(ta.elapsed().as_micros() as u64);
+    // The commit-stage metric covers the whole stage (gate + apply) so
+    // the number stays comparable across apply_workers settings.
+    node.env
+        .metrics
+        .on_commit_stage(t0.elapsed().as_micros() as u64);
+    (records, writes)
+}
+
+/// Stage 2 variant for `serial_execution` (§5.1 Ethereum-style baseline):
+/// execute each transaction inline immediately before its commit point,
+/// and apply each write set inline too — the baseline is by definition
+/// free of any concurrency, whatever `apply_workers` says. Returns the
+/// records, the write-set summary and the accumulated inline execution
+/// time.
+pub(crate) fn commit_core_serial_exec(
+    node: &Arc<Node>,
+    block: &Arc<Block>,
+) -> (Vec<LedgerRecord>, Vec<WriteRecord>, u64) {
+    // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
+    let t0 = Instant::now();
+    let flow = node.config.flow;
+    let exec_height = block.number - 1;
+    let mut records = Vec::with_capacity(block.txs.len());
+    let mut writes: Vec<WriteRecord> = Vec::new();
+    let mut overlay = BlockPkOverlay::new();
+    let mut bet_us = 0u64;
+    for (i, tx) in block.txs.iter().enumerate() {
+        let snap = effective_snapshot(tx, flow, exec_height);
+        if !node.is_processed(&tx.id) && snap <= exec_height && node.env.slots.try_claim(tx.id) {
+            // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
+            let te = Instant::now();
+            node.pool.run_inline(ExecTask {
+                tx: Arc::new(tx.clone()),
+                snapshot_height: snap,
+                mode: bcrdb_storage::snapshot::ScanMode::Relaxed,
+            });
+            bet_us += te.elapsed().as_micros() as u64;
+        }
+        let (record, plan) = gate_one(node, block, i as u32, tx, flow, &mut overlay);
+        node.mark_processed(tx.id);
+        records.push(record);
+        if let Some(p) = plan {
+            writes.extend(p.execute_all());
+        }
+    }
+    node.env
+        .metrics
+        .on_commit_stage(t0.elapsed().as_micros().saturating_sub(bet_us as u128) as u64);
+    (records, writes, bet_us)
+}
+
+/// The snapshot height a transaction executes at under `flow`.
+pub(crate) fn effective_snapshot(tx: &Transaction, flow: Flow, exec_height: u64) -> u64 {
+    match flow {
+        Flow::OrderThenExecute => exec_height,
+        Flow::ExecuteOrderParallel => tx.snapshot_height.unwrap_or(exec_height),
+    }
+}
+
+/// Serially decide one transaction (§3.3.3): the commit order is the order
+/// within the block, and every decision is a pure function of deterministic
+/// state — identical on all honest nodes. Returns the ledger record plus,
+/// when committed, the deferred apply plan whose execution the caller
+/// schedules (inline or on the [`ApplyPool`]).
+fn gate_one(
+    node: &Arc<Node>,
+    block: &Arc<Block>,
+    index: u32,
+    tx: &Transaction,
+    flow: Flow,
+    overlay: &mut BlockPkOverlay,
+) -> (LedgerRecord, Option<ApplyPlan>) {
+    // bcrdb-lint: allow(wall-clock, reason = "commit_time_ms is node-local by design; state_hash() and the determinism suite exclude it")
+    let now_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as i64)
+        .unwrap_or(0);
+    let base = |txid: TxId, status: TxStatus| LedgerRecord {
+        block: block.number,
+        tx_index: index,
+        global_id: tx.id,
+        user: tx.user.clone(),
+        contract: tx.payload.contract.clone(),
+        txid,
+        status,
+        commit_time_ms: now_ms,
+    };
+
+    if node.is_processed(&tx.id) {
+        // A pre-dispatched duplicate may have parked an execution result
+        // before the original committed; discard it so the slot table
+        // and the SSI record cannot leak (its writes never commit).
+        if let Some(d) = node.env.slots.remove(&tx.id) {
+            d.ctx.rollback();
+        }
+        return (
+            base(
+                TxId::INVALID,
+                TxStatus::Aborted("duplicate transaction identifier".into()),
+            ),
+            None,
+        );
+    }
+    let snap = effective_snapshot(tx, flow, block.number - 1);
+    if snap > block.number - 1 {
+        return (
+            base(
+                TxId::INVALID,
+                TxStatus::Aborted(format!(
+                    "snapshot height {snap} is beyond block {}",
+                    block.number
+                )),
+            ),
+            None,
+        );
+    }
+    let Some(done) = node.env.slots.take_done(&tx.id) else {
+        return (
+            base(
+                TxId::INVALID,
+                TxStatus::Aborted("execution result missing".into()),
+            ),
+            None,
+        );
+    };
+    let txid = done.ctx.id;
+
+    // Deferred DDL must be applicable before we commit data writes.
+    if let Err(e) = validate_catalog_ops(
+        &node.env.catalog,
+        &node.env.contracts,
+        &done.catalog_ops,
+        flow,
+    ) {
+        done.ctx.rollback();
+        return (
+            base(txid, TxStatus::Aborted(format!("ddl rejected: {e}"))),
+            None,
+        );
+    }
+
+    match done.ctx.validate_commit(block.number, index, flow, overlay) {
+        Ok(plan) => {
+            for op in &done.catalog_ops {
+                if let Err(e) =
+                    apply_catalog_op(&node.env.catalog, &node.env.contracts, &node.env.certs, op)
+                {
+                    // Validated above; failure here is a bug, not a user
+                    // error — surface loudly but deterministically.
+                    eprintln!(
+                        "[{}] internal: catalog op failed after validation: {e}",
+                        node.config.name
+                    );
+                }
+            }
+            (base(txid, TxStatus::Committed), Some(plan))
+        }
+        Err(reason) => (base(txid, TxStatus::Aborted(reason.to_string())), None),
+    }
+}
+
+fn validate_catalog_ops(
+    catalog: &Catalog,
+    contracts: &ContractRegistry,
+    ops: &[CatalogOp],
+    flow: Flow,
+) -> Result<()> {
+    let rules = match flow {
+        Flow::OrderThenExecute => DeterminismRules::order_then_execute(),
+        Flow::ExecuteOrderParallel => DeterminismRules::execute_order_parallel(),
+    };
+    for op in ops {
+        match op {
+            CatalogOp::CreateTable(schema) => {
+                if catalog.contains(&schema.name) {
+                    return Err(Error::AlreadyExists(format!("table {}", schema.name)));
+                }
+            }
+            CatalogOp::CreateIndex {
+                table,
+                index,
+                column,
+            } => {
+                let t = catalog.get(table)?;
+                let schema = t.schema();
+                if schema.column_index(column).is_none() {
+                    return Err(Error::NotFound(format!("column {column} of {table}")));
+                }
+                if schema.indexes.iter().any(|i| i.name == *index) {
+                    return Err(Error::AlreadyExists(format!("index {index}")));
+                }
+            }
+            CatalogOp::DropTable { name, if_exists } => {
+                if !catalog.contains(name) && !*if_exists {
+                    return Err(Error::NotFound(format!("table {name}")));
+                }
+            }
+            CatalogOp::CreateFunction(def) => {
+                ContractRegistry::validate(def, &rules)?;
+                if contracts.get(&def.name).is_some() && !def.or_replace {
+                    return Err(Error::AlreadyExists(format!("contract {}", def.name)));
+                }
+            }
+            CatalogOp::DropFunction { name } => {
+                if contracts.get(name).is_none() {
+                    return Err(Error::NotFound(format!("contract {name}")));
+                }
+            }
+            // Certificate operations are idempotent registrations.
+            CatalogOp::RegisterCert(_) | CatalogOp::RevokeCert { .. } => {}
+        }
+    }
+    Ok(())
+}

@@ -94,6 +94,13 @@ pub struct NodeConfig {
     /// horizon. Counted in `NodeMetrics` (`vacuum_runs` /
     /// `versions_reclaimed`).
     pub vacuum_interval: u64,
+    /// Worker threads for the parallel write-set apply behind the serial
+    /// validation gate (commit stage 2). `1` restores the fully serial
+    /// apply path; chains, checkpoints and state are byte-identical
+    /// either way. Defaults to the machine's available parallelism,
+    /// overridable with the `BCRDB_APPLY` environment variable (see
+    /// [`apply_workers_by_env`]).
+    pub apply_workers: usize,
 }
 
 /// The default for [`NodeConfig::pipeline`], read from the
@@ -105,6 +112,30 @@ pub fn pipeline_enabled_by_env() -> bool {
         std::env::var("BCRDB_PIPELINE").as_deref(),
         Ok("off") | Ok("0") | Ok("false")
     )
+}
+
+/// The default for [`NodeConfig::apply_workers`], read from the
+/// `BCRDB_APPLY` environment variable: `serial`, `off`, `0`, `1` or
+/// `false` force the single-threaded apply path (the CI test matrix runs
+/// tier-1 both ways); a number sets the worker count; anything else —
+/// including unset or `parallel` — uses the machine's available
+/// parallelism.
+pub fn apply_workers_by_env() -> usize {
+    match std::env::var("BCRDB_APPLY").as_deref() {
+        Ok("serial") | Ok("off") | Ok("0") | Ok("1") | Ok("false") => 1,
+        Ok(s) => s
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .unwrap_or_else(default_apply_workers),
+        Err(_) => default_apply_workers(),
+    }
+}
+
+fn default_apply_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 impl NodeConfig {
@@ -132,6 +163,7 @@ impl NodeConfig {
             pipeline_depth: 4,
             postcommit_cap: 8,
             vacuum_interval: 0,
+            apply_workers: apply_workers_by_env(),
         }
     }
 }

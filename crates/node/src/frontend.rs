@@ -102,6 +102,10 @@ pub enum ClientRequest {
 /// A response from the node frontend. Every variant answers exactly one
 /// [`ClientRequest`]; transaction notifications travel separately on the
 /// connection's notification stream.
+// Frames are transient per-RPC values, never stored in bulk; boxing the
+// metrics snapshot would complicate the fixed-shape wire codec for no
+// resident-memory win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum ClientResponse {
     /// The request was accepted and carries no payload (Submit, waits).

@@ -33,6 +33,7 @@
 //! statements addressed by server-side [`StatementHandle`]s from a
 //! bounded LRU cache ([`statements`]).
 
+pub mod commit;
 pub mod config;
 pub mod exec_pool;
 pub mod frontend;
@@ -46,7 +47,8 @@ pub mod sync;
 pub mod wire;
 
 pub use config::{
-    pipeline_enabled_by_env, NodeConfig, NodeHooks, OrderingStatsHook, SyncFetchHook,
+    apply_workers_by_env, pipeline_enabled_by_env, NodeConfig, NodeHooks, OrderingStatsHook,
+    SyncFetchHook,
 };
 pub use exec_pool::{NativeContract, NativeCtx};
 pub use frontend::{ClientRequest, ClientResponse, Frontend};

@@ -38,6 +38,12 @@ pub struct NodeMetrics {
     // depth gauges reflect the moment of the snapshot.
     commit_stage_us: AtomicU64,
     commit_stage_blocks: AtomicU64,
+    // The apply slice of stage 2 (after the serial validation gate);
+    // windowed like commit_stage. The worker gauge is set once at node
+    // construction.
+    apply_stage_us: AtomicU64,
+    apply_stage_blocks: AtomicU64,
+    apply_workers: AtomicU64,
     post_stage_us: AtomicU64,
     post_stage_blocks: AtomicU64,
     pipeline_depth: AtomicU64,
@@ -112,8 +118,18 @@ pub struct MetricsSnapshot {
     pub committed: u64,
     /// Aborted transactions in the window.
     pub aborted: u64,
-    /// Mean serial-commit (pipeline stage 2) time per block (ms).
+    /// Mean serial-commit (pipeline stage 2) time per block (ms). Covers
+    /// the whole stage: the serial validation gate plus the (possibly
+    /// parallel) write-set apply, so the number is comparable across
+    /// `apply_workers` settings.
     pub commit_stage_ms: f64,
+    /// Mean write-set apply time per block (ms): the slice of stage 2
+    /// after the serial validation gate — the part `apply_workers`
+    /// parallelizes.
+    pub apply_stage_ms: f64,
+    /// Apply-worker count the node was configured with (gauge; `1` means
+    /// the fully serial apply path).
+    pub apply_workers: u64,
     /// Mean post-commit (pipeline stage 3: ledger, hashing, checkpoint
     /// vote, notifications) time per block (ms).
     pub post_stage_ms: f64,
@@ -180,6 +196,8 @@ pub const METRICS_WIRE_SLOTS: &[&str] = &[
     "committed",
     "aborted",
     "commit_stage_ms",
+    "apply_stage_ms",
+    "apply_workers",
     "post_stage_ms",
     "pipeline_depth",
     "postcommit_depth",
@@ -222,6 +240,9 @@ impl NodeMetrics {
             missing_txs: AtomicU64::new(0),
             commit_stage_us: AtomicU64::new(0),
             commit_stage_blocks: AtomicU64::new(0),
+            apply_stage_us: AtomicU64::new(0),
+            apply_stage_blocks: AtomicU64::new(0),
+            apply_workers: AtomicU64::new(1),
             post_stage_us: AtomicU64::new(0),
             post_stage_blocks: AtomicU64::new(0),
             pipeline_depth: AtomicU64::new(0),
@@ -291,6 +312,18 @@ impl NodeMetrics {
             ring.pop_front();
         }
         ring.push_back(us);
+    }
+
+    /// One block finished the write-set apply slice of its serial-commit
+    /// stage; duration in microseconds.
+    pub fn on_apply_stage(&self, us: u64) {
+        self.apply_stage_us.fetch_add(us, Ordering::Relaxed);
+        self.apply_stage_blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the node's configured apply-worker count (gauge).
+    pub fn set_apply_workers(&self, n: u64) {
+        self.apply_workers.store(n, Ordering::Relaxed);
     }
 
     /// One block finished its post-commit stage (stage 3); duration in
@@ -431,6 +464,8 @@ impl NodeMetrics {
         let missing = self.missing_txs.swap(0, Ordering::Relaxed);
         let commit_us = self.commit_stage_us.swap(0, Ordering::Relaxed);
         let commit_blocks = self.commit_stage_blocks.swap(0, Ordering::Relaxed);
+        let apply_us = self.apply_stage_us.swap(0, Ordering::Relaxed);
+        let apply_blocks = self.apply_stage_blocks.swap(0, Ordering::Relaxed);
         let post_us = self.post_stage_us.swap(0, Ordering::Relaxed);
         let post_blocks = self.post_stage_blocks.swap(0, Ordering::Relaxed);
 
@@ -467,6 +502,12 @@ impl NodeMetrics {
             } else {
                 0.0
             },
+            apply_stage_ms: if apply_blocks > 0 {
+                apply_us as f64 / apply_blocks as f64 / 1000.0
+            } else {
+                0.0
+            },
+            apply_workers: self.apply_workers.load(Ordering::Relaxed),
             post_stage_ms: if post_blocks > 0 {
                 post_us as f64 / post_blocks as f64 / 1000.0
             } else {
@@ -531,10 +572,15 @@ mod tests {
         let m = NodeMetrics::new();
         m.on_commit_stage(2_000);
         m.on_commit_stage(4_000);
+        m.on_apply_stage(500);
+        m.on_apply_stage(1_500);
         m.on_post_stage(10_000);
         m.set_pipeline_depths(3, 2);
+        m.set_apply_workers(4);
         let s = m.take();
         assert!((s.commit_stage_ms - 3.0).abs() < 1e-9);
+        assert!((s.apply_stage_ms - 1.0).abs() < 1e-9);
+        assert_eq!(s.apply_workers, 4);
         assert!((s.post_stage_ms - 10.0).abs() < 1e-9);
         assert_eq!(s.pipeline_depth, 3);
         assert_eq!(s.postcommit_depth, 2);
@@ -542,6 +588,8 @@ mod tests {
         // Windowed averages reset; gauges and samples persist.
         let s2 = m.take();
         assert_eq!(s2.commit_stage_ms, 0.0);
+        assert_eq!(s2.apply_stage_ms, 0.0);
+        assert_eq!(s2.apply_workers, 4);
         assert_eq!(s2.pipeline_depth, 3);
     }
 

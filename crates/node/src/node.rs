@@ -12,7 +12,7 @@ use bcrdb_chain::sync::{SyncRequest, SyncResponse};
 use bcrdb_chain::tx::Transaction;
 use bcrdb_common::codec::{Decoder, Encoder};
 use bcrdb_common::error::{AbortReason, Error, Result};
-use bcrdb_common::ids::{BlockHeight, GlobalTxId, TxId};
+use bcrdb_common::ids::{BlockHeight, GlobalTxId, RowId, TxId};
 use bcrdb_common::value::Value;
 use bcrdb_crypto::identity::CertificateRegistry;
 use bcrdb_crypto::sha256::{sha256, Digest};
@@ -33,6 +33,7 @@ use bcrdb_txn::ssi::{Flow, SsiManager};
 use crossbeam_channel::Receiver;
 use parking_lot::{Condvar, Mutex, RwLock};
 
+use crate::commit;
 use crate::config::{NodeConfig, NodeHooks};
 use crate::exec_pool::{ExecEnv, ExecPool, ExecTask, NativeContract};
 use crate::metrics::NodeMetrics;
@@ -50,6 +51,9 @@ pub struct Node {
     pub config: NodeConfig,
     pub(crate) env: Arc<ExecEnv>,
     pub(crate) pool: Arc<ExecPool>,
+    /// Write-set apply pool for the commit stage (`apply_workers = 1`
+    /// spawns no threads and applies inline).
+    pub(crate) apply: commit::ApplyPool,
     /// The append-only block store (`pgBlockstore`).
     pub blockstore: Arc<BlockStore>,
     /// Checkpoint comparison state (§3.3.4).
@@ -162,12 +166,15 @@ impl Node {
             orgs,
         });
         let pool = ExecPool::start(Arc::clone(&env), config.executor_threads);
+        let apply = commit::ApplyPool::start(config.apply_workers);
+        env.metrics.set_apply_workers(apply.workers() as u64);
 
         let statements = Mutex::new(StatementCache::new(config.statement_cache_cap));
         let node = Arc::new(Node {
             config,
             env,
             pool,
+            apply,
             blockstore,
             checkpoints: Arc::new(CheckpointTracker::new()),
             notifications: Arc::new(NotificationHub::new()),
@@ -682,18 +689,29 @@ impl Node {
     }
 
     pub(crate) fn append_ledger(&self, records: &[LedgerRecord], block: BlockHeight) {
-        let ledger = self.ledger.read();
-        for r in records {
-            let rid = ledger.alloc_row_id();
-            ledger.append_restored(Version::restored(
-                TxId::INVALID,
-                r.to_row(),
-                rid,
-                block,
-                None,
-                None,
-            ));
+        if records.is_empty() {
+            return;
         }
+        let ledger = self.ledger.read();
+        // One id reservation and one batched append per block: the
+        // ledger grows by whole blocks, so per-record allocation is
+        // pure lock traffic.
+        let base = ledger.reserve_row_ids(records.len() as u64).0;
+        let versions = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                Version::restored(
+                    TxId::INVALID,
+                    r.to_row(),
+                    RowId(base + i as u64),
+                    block,
+                    None,
+                    None,
+                )
+            })
+            .collect();
+        ledger.append_restored_batch(versions);
     }
 
     /// Read back ledger records for a block (recovery checks, tests).

@@ -31,9 +31,15 @@
 //!   are fully applied, while EO-flow transactions always race the
 //!   commit phase by design and are kept deterministic by strict-mode
 //!   phantom/stale detection plus the block-aware commit rules (Table 2).
-//! * **Stage 2 — serial commit.** Only the deterministic core stays on
-//!   the commit thread: SSI commit check, primary-key check, write-set
-//!   application and row-id allocation, strictly in block order.
+//! * **Stage 2 — validation gate + apply.** Only the ordering-dependent
+//!   core stays on the commit thread: SSI commit check, primary-key
+//!   check, conflict resolution and row-id reservation, strictly in
+//!   block order (the serial *gate*, [`crate::commit`]). The write-set
+//!   *apply* — publishing the gated versions and building the write-set
+//!   summaries — is deterministic for any interleaving once the gate has
+//!   fixed every decision, so it fans out across
+//!   `NodeConfig::apply_workers` threads and barriers before the
+//!   committed height advances.
 //! * **Stage 3 — post-commit.** Ledger-table records, write-set hashing,
 //!   the checkpoint-vote submission, client notifications, embedded-vote
 //!   comparison and periodic maintenance move to an ordered post-commit
@@ -44,31 +50,30 @@
 //!
 //! Determinism is unaffected: stages 1 and 3 perform no
 //! ordering-dependent decisions (stage 3 is pure function of stage 2's
-//! output, applied in block order by a single worker), and stage 2 is
-//! byte-for-byte the serial path's commit loop. With `pipeline` off,
-//! every block runs all three stages synchronously — the pre-pipeline
-//! behavior, kept for the recovery/catch-up replay path as well.
+//! output, applied in block order by a single worker), stage 2's gate is
+//! byte-for-byte the serial path's decision loop, and the parallel apply
+//! produces byte-identical state and hashes for every worker count (see
+//! [`crate::commit`] for the argument; `apply_workers = 1` restores the
+//! fully serial stage). With `pipeline` off, every block runs all three
+//! stages synchronously — the pre-pipeline behavior, kept for the
+//! recovery/catch-up replay path as well.
 
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant};
 
 use bcrdb_chain::block::{Block, CheckpointVote};
 use bcrdb_chain::checkpoint::WriteSetHasher;
 use bcrdb_chain::ledger::{LedgerRecord, TxStatus};
-use bcrdb_chain::tx::Transaction;
 use bcrdb_common::error::{Error, Result};
-use bcrdb_common::ids::{GlobalTxId, TxId};
-use bcrdb_engine::exec::{apply_catalog_op, CatalogOp};
-use bcrdb_engine::procedures::ContractRegistry;
-use bcrdb_sql::validate::DeterminismRules;
-use bcrdb_storage::catalog::Catalog;
+use bcrdb_common::ids::GlobalTxId;
 use bcrdb_storage::snapshot::ScanMode;
 use bcrdb_txn::context::WriteRecord;
 use bcrdb_txn::ssi::Flow;
 use crossbeam_channel::{Receiver, TryRecvError};
 
+use crate::commit::{commit_core, commit_core_serial_exec, effective_snapshot};
 use crate::exec_pool::ExecTask;
 use crate::node::Node;
 use crate::notify::TxNotification;
@@ -352,36 +357,6 @@ fn dispatch_execution(node: &Arc<Node>, block: &Arc<Block>) -> Vec<GlobalTxId> {
     wait_ids
 }
 
-/// Stage 2: the serial commit core — SSI check, primary-key check,
-/// write-set application and row-id allocation for every transaction in
-/// block order. Everything here is a pure function of deterministic
-/// state; everything deferrable is returned for stage 3. The caller
-/// decides when to [`advance_committed`]: the pipelined path does it
-/// immediately (releasing the next block's parked executions is the
-/// point of the pipeline), the synchronous path keeps the pre-pipeline
-/// ordering and advances only after the ledger records are applied, so
-/// a height-polling client can never observe height N with block N's
-/// ledger rows still missing.
-fn commit_core(node: &Arc<Node>, block: &Arc<Block>) -> (Vec<LedgerRecord>, Vec<WriteRecord>) {
-    // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
-    let t0 = Instant::now();
-    let flow = node.config.flow;
-    let mut records = Vec::with_capacity(block.txs.len());
-    let mut writes: Vec<WriteRecord> = Vec::new();
-    for (i, tx) in block.txs.iter().enumerate() {
-        let (record, tx_writes) = commit_one(node, block, i as u32, tx, flow);
-        node.mark_processed(tx.id);
-        records.push(record);
-        if let Some(mut w) = tx_writes {
-            writes.append(&mut w);
-        }
-    }
-    node.env
-        .metrics
-        .on_commit_stage(t0.elapsed().as_micros() as u64);
-    (records, writes)
-}
-
 /// Advance the committed height to `block` and release the executions
 /// parked on it.
 fn advance_committed(node: &Arc<Node>, block: &Arc<Block>) {
@@ -389,210 +364,6 @@ fn advance_committed(node: &Arc<Node>, block: &Arc<Block>) {
         .committed_height
         .store(block.number, Ordering::Relaxed);
     node.pool.release_waiting(block.number);
-}
-
-/// Stage 2 variant for `serial_execution`: execute each transaction
-/// inline immediately before its commit point. Returns the records, the
-/// write-set summary and the accumulated inline execution time.
-fn commit_core_serial_exec(
-    node: &Arc<Node>,
-    block: &Arc<Block>,
-) -> (Vec<LedgerRecord>, Vec<WriteRecord>, u64) {
-    // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
-    let t0 = Instant::now();
-    let flow = node.config.flow;
-    let exec_height = block.number - 1;
-    let mut records = Vec::with_capacity(block.txs.len());
-    let mut writes: Vec<WriteRecord> = Vec::new();
-    let mut bet_us = 0u64;
-    for (i, tx) in block.txs.iter().enumerate() {
-        let snap = effective_snapshot(tx, flow, exec_height);
-        if !node.is_processed(&tx.id) && snap <= exec_height && node.env.slots.try_claim(tx.id) {
-            // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
-            let te = Instant::now();
-            node.pool.run_inline(ExecTask {
-                tx: Arc::new(tx.clone()),
-                snapshot_height: snap,
-                mode: ScanMode::Relaxed,
-            });
-            bet_us += te.elapsed().as_micros() as u64;
-        }
-        let (record, tx_writes) = commit_one(node, block, i as u32, tx, flow);
-        node.mark_processed(tx.id);
-        records.push(record);
-        if let Some(mut w) = tx_writes {
-            writes.append(&mut w);
-        }
-    }
-    node.env
-        .metrics
-        .on_commit_stage(t0.elapsed().as_micros().saturating_sub(bet_us as u128) as u64);
-    (records, writes, bet_us)
-}
-
-fn effective_snapshot(tx: &Transaction, flow: Flow, exec_height: u64) -> u64 {
-    match flow {
-        Flow::OrderThenExecute => exec_height,
-        Flow::ExecuteOrderParallel => tx.snapshot_height.unwrap_or(exec_height),
-    }
-}
-
-/// Serially decide one transaction (§3.3.3): the commit order is the order
-/// within the block, and every decision is a pure function of deterministic
-/// state — identical on all honest nodes. Returns the ledger record plus,
-/// when committed, the write-set summary for stage 3's checkpoint hashing.
-fn commit_one(
-    node: &Arc<Node>,
-    block: &Arc<Block>,
-    index: u32,
-    tx: &Transaction,
-    flow: Flow,
-) -> (LedgerRecord, Option<Vec<WriteRecord>>) {
-    // bcrdb-lint: allow(wall-clock, reason = "commit_time_ms is node-local by design; state_hash() and the determinism suite exclude it")
-    let now_ms = SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_millis() as i64)
-        .unwrap_or(0);
-    let base = |txid: TxId, status: TxStatus| LedgerRecord {
-        block: block.number,
-        tx_index: index,
-        global_id: tx.id,
-        user: tx.user.clone(),
-        contract: tx.payload.contract.clone(),
-        txid,
-        status,
-        commit_time_ms: now_ms,
-    };
-
-    if node.is_processed(&tx.id) {
-        // A pre-dispatched duplicate may have parked an execution result
-        // before the original committed; discard it so the slot table
-        // and the SSI record cannot leak (its writes never commit).
-        if let Some(d) = node.env.slots.remove(&tx.id) {
-            d.ctx.rollback();
-        }
-        return (
-            base(
-                TxId::INVALID,
-                TxStatus::Aborted("duplicate transaction identifier".into()),
-            ),
-            None,
-        );
-    }
-    let snap = effective_snapshot(tx, flow, block.number - 1);
-    if snap > block.number - 1 {
-        return (
-            base(
-                TxId::INVALID,
-                TxStatus::Aborted(format!(
-                    "snapshot height {snap} is beyond block {}",
-                    block.number
-                )),
-            ),
-            None,
-        );
-    }
-    let Some(done) = node.env.slots.take_done(&tx.id) else {
-        return (
-            base(
-                TxId::INVALID,
-                TxStatus::Aborted("execution result missing".into()),
-            ),
-            None,
-        );
-    };
-    let txid = done.ctx.id;
-
-    // Deferred DDL must be applicable before we commit data writes.
-    if let Err(e) = validate_catalog_ops(
-        &node.env.catalog,
-        &node.env.contracts,
-        &done.catalog_ops,
-        flow,
-    ) {
-        done.ctx.rollback();
-        return (
-            base(txid, TxStatus::Aborted(format!("ddl rejected: {e}"))),
-            None,
-        );
-    }
-
-    let outcome = done.ctx.apply_commit(block.number, index, flow);
-    if outcome.is_committed() {
-        for op in &done.catalog_ops {
-            if let Err(e) =
-                apply_catalog_op(&node.env.catalog, &node.env.contracts, &node.env.certs, op)
-            {
-                // Validated above; failure here is a bug, not a user
-                // error — surface loudly but deterministically.
-                eprintln!(
-                    "[{}] internal: catalog op failed after validation: {e}",
-                    node.config.name
-                );
-            }
-        }
-        (base(txid, TxStatus::Committed), outcome.into_writes())
-    } else {
-        let reason = match outcome {
-            bcrdb_txn::context::CommitOutcome::Aborted(r) => r.to_string(),
-            _ => unreachable!("checked is_committed above"),
-        };
-        (base(txid, TxStatus::Aborted(reason)), None)
-    }
-}
-
-fn validate_catalog_ops(
-    catalog: &Catalog,
-    contracts: &ContractRegistry,
-    ops: &[CatalogOp],
-    flow: Flow,
-) -> Result<()> {
-    let rules = match flow {
-        Flow::OrderThenExecute => DeterminismRules::order_then_execute(),
-        Flow::ExecuteOrderParallel => DeterminismRules::execute_order_parallel(),
-    };
-    for op in ops {
-        match op {
-            CatalogOp::CreateTable(schema) => {
-                if catalog.contains(&schema.name) {
-                    return Err(Error::AlreadyExists(format!("table {}", schema.name)));
-                }
-            }
-            CatalogOp::CreateIndex {
-                table,
-                index,
-                column,
-            } => {
-                let t = catalog.get(table)?;
-                let schema = t.schema();
-                if schema.column_index(column).is_none() {
-                    return Err(Error::NotFound(format!("column {column} of {table}")));
-                }
-                if schema.indexes.iter().any(|i| i.name == *index) {
-                    return Err(Error::AlreadyExists(format!("index {index}")));
-                }
-            }
-            CatalogOp::DropTable { name, if_exists } => {
-                if !catalog.contains(name) && !*if_exists {
-                    return Err(Error::NotFound(format!("table {name}")));
-                }
-            }
-            CatalogOp::CreateFunction(def) => {
-                ContractRegistry::validate(def, &rules)?;
-                if contracts.get(&def.name).is_some() && !def.or_replace {
-                    return Err(Error::AlreadyExists(format!("contract {}", def.name)));
-                }
-            }
-            CatalogOp::DropFunction { name } => {
-                if contracts.get(name).is_none() {
-                    return Err(Error::NotFound(format!("contract {name}")));
-                }
-            }
-            // Certificate operations are idempotent registrations.
-            CatalogOp::RegisterCert(_) | CatalogOp::RevokeCert { .. } => {}
-        }
-    }
-    Ok(())
 }
 
 /// Shared tail of synchronous block processing (stage 3 inline): ledger,

@@ -37,6 +37,10 @@ use crate::notify::TxNotification;
 /// multiplexes many in-flight RPCs); notifications are server-push and
 /// carry no sequence number — they belong to the connection itself,
 /// exactly like the simulated backend's `ClientWire::Notification`.
+// Same rationale as `ClientResponse`: transient per-RPC frames with a
+// fixed-shape codec — boxing would add indirection without saving
+// resident memory.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum ClientFrame {
     /// Client → node: one RPC call.
@@ -379,6 +383,8 @@ impl Encode for MetricsSnapshot {
         enc.put_u64(self.committed);
         enc.put_u64(self.aborted);
         enc.put_f64(self.commit_stage_ms);
+        enc.put_f64(self.apply_stage_ms);
+        enc.put_u64(self.apply_workers);
         enc.put_f64(self.post_stage_ms);
         enc.put_u64(self.pipeline_depth);
         enc.put_u64(self.postcommit_depth);
@@ -416,6 +422,8 @@ impl Decode for MetricsSnapshot {
             committed: dec.get_u64()?,
             aborted: dec.get_u64()?,
             commit_stage_ms: dec.get_f64()?,
+            apply_stage_ms: dec.get_f64()?,
+            apply_workers: dec.get_u64()?,
             post_stage_ms: dec.get_f64()?,
             pipeline_depth: dec.get_u64()?,
             postcommit_depth: dec.get_u64()?,
@@ -571,6 +579,8 @@ mod tests {
             committed: 10,
             aborted: 11,
             commit_stage_ms: 12.0,
+            apply_stage_ms: 12.5,
+            apply_workers: 4,
             post_stage_ms: 13.0,
             pipeline_depth: 14,
             postcommit_depth: 15,

@@ -27,8 +27,10 @@ use parking_lot::RwLock;
 use crate::index::{BTreeIndex, KeyRange};
 use crate::version::Version;
 
-/// log2 of the heap segment size.
-const SEGMENT_SHIFT: usize = 10;
+/// log2 of the heap segment size. Public so write-set partitioners can
+/// shard by `(table, row_id >> SEGMENT_SHIFT)` — the same granularity
+/// appends contend on.
+pub const SEGMENT_SHIFT: usize = 10;
 /// Version-heap slots per segment. Appends lock only the tail segment;
 /// reads lock only the segment(s) they touch.
 pub const SEGMENT_SIZE: usize = 1 << SEGMENT_SHIFT;
@@ -192,6 +194,44 @@ impl Table {
         }
     }
 
+    /// Append a batch of fully committed versions (ledger writer and bulk
+    /// restore paths), taking each tail-segment lock once per segment run
+    /// instead of once per version. Index maintenance happens after the
+    /// heap positions are fixed, mirroring [`Table::append_restored`].
+    pub fn append_restored_batch(&self, versions: Vec<Version>) {
+        let mut placed: Vec<(usize, Arc<Version>)> = Vec::with_capacity(versions.len());
+        let mut pending = versions.into_iter().map(Arc::new).peekable();
+        while pending.peek().is_some() {
+            let (seg_idx, seg) = {
+                let segs = self.segments.read();
+                (segs.len() - 1, Arc::clone(segs.last().expect("≥1 segment")))
+            };
+            {
+                let mut slots = seg.slots.write();
+                while slots.len() < SEGMENT_SIZE {
+                    let Some(v) = pending.next() else { break };
+                    let pos = (seg_idx << SEGMENT_SHIFT) + slots.len();
+                    slots.push(Some(Arc::clone(&v)));
+                    placed.push((pos, v));
+                }
+            }
+            if pending.peek().is_none() {
+                break;
+            }
+            // Tail full: extend the directory, same protocol as `push`.
+            let mut segs = self.segments.write();
+            if segs.len() == seg_idx + 1 {
+                segs.push(Arc::new(Segment::new()));
+            }
+        }
+        let indexes = self.indexes.read();
+        for (pos, v) in &placed {
+            for idx in indexes.values() {
+                idx.insert(v.data[idx.column].clone(), *pos);
+            }
+        }
+    }
+
     /// The version at a heap position (`None` for unoccupied or vacuumed
     /// slots).
     pub fn version_at(&self, pos: usize) -> Option<Arc<Version>> {
@@ -253,6 +293,17 @@ impl Table {
     /// order matching the block order.
     pub fn alloc_row_id(&self) -> RowId {
         RowId(self.next_row_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Reserve `n` consecutive row ids with one allocator bump, returning
+    /// the first id of the range. **Only call from the serial commit
+    /// phase** — like [`Table::alloc_row_id`], determinism across nodes
+    /// depends on reservation order matching the block order. The commit
+    /// gate reserves one range per transaction and hands ids out in op
+    /// order, so the ids the parallel apply stage publishes are fixed
+    /// before any worker runs.
+    pub fn reserve_row_ids(&self, n: u64) -> RowId {
+        RowId(self.next_row_id.fetch_add(n, Ordering::Relaxed))
     }
 
     /// Current row-id high-water mark (for persistence).
@@ -467,6 +518,54 @@ mod tests {
         let hits = t.index_scan(0, &KeyRange::eq(Value::Int(1))).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].data[1], Value::Text("new".into()));
+    }
+
+    #[test]
+    fn reserve_row_ids_matches_per_op_allocation() {
+        let t = table();
+        // A batched reservation hands out the same ids the per-op
+        // allocator would have, and leaves the allocator where per-op
+        // allocation would leave it.
+        let start = t.reserve_row_ids(3);
+        assert_eq!(start, RowId(1));
+        assert_eq!(t.alloc_row_id(), RowId(4));
+        assert_eq!(t.row_id_watermark(), 5);
+        // Zero-length reservations don't consume ids.
+        let same = t.reserve_row_ids(0);
+        assert_eq!(same, RowId(5));
+        assert_eq!(t.alloc_row_id(), RowId(5));
+    }
+
+    #[test]
+    fn append_restored_batch_spans_segments_and_indexes() {
+        let t = table();
+        let n = SEGMENT_SIZE + 10;
+        let base = t.reserve_row_ids(n as u64).0;
+        let batch: Vec<Version> = (0..n)
+            .map(|i| {
+                Version::restored(
+                    TxId::INVALID,
+                    vec![Value::Int(i as i64), Value::Text(format!("r{i}"))],
+                    RowId(base + i as u64),
+                    1,
+                    None,
+                    None,
+                )
+            })
+            .collect();
+        t.append_restored_batch(batch);
+        assert_eq!(t.version_count(), n);
+        assert_eq!(t.live_row_count(), n);
+        // Positions past the first segment boundary landed in segment 1
+        // and stayed indexed.
+        let hits = t
+            .index_scan(0, &KeyRange::eq(Value::Int(SEGMENT_SIZE as i64 + 3)))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            hits[0].data[1],
+            Value::Text(format!("r{}", SEGMENT_SIZE + 3))
+        );
     }
 
     #[test]

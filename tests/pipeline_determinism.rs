@@ -1,12 +1,15 @@
 //! Pipelined-vs-serial determinism suite for the staged block commit.
 //!
 //! The pipeline overlaps execution, serial commit and post-commit work
-//! across blocks; these tests prove the overlap is *only* a scheduling
-//! change: the same workload must produce byte-identical chains,
-//! checkpoint hashes, state hashes and ledger content with the pipeline
-//! on and off, on every node of a 4-organization network — and a crash
-//! that loses unflushed post-commit state (ledger records of blocks the
-//! store already holds) must be fully healed by replay.
+//! across blocks, and the commit stage itself splits into a serial
+//! validation gate plus a parallel write-set apply
+//! (`NodeConfig::apply_workers`); these tests prove both are *only*
+//! scheduling changes: the same workload must produce byte-identical
+//! chains, checkpoint hashes, state hashes and ledger content with the
+//! pipeline on and off and with any apply-worker count, on every node of
+//! a 4-organization network — and a crash that loses unflushed
+//! post-commit state (ledger records of blocks the store already holds)
+//! must be fully healed by replay.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -23,8 +26,15 @@ const WAIT: Duration = Duration::from_secs(30);
 const ORGS: [&str; 4] = ["org1", "org2", "org3", "org4"];
 
 fn build(flow: Flow, pipeline: bool) -> Network {
+    build_with(flow, pipeline, None)
+}
+
+fn build_with(flow: Flow, pipeline: bool, apply_workers: Option<usize>) -> Network {
     let mut cfg = NetworkConfig::quick(&ORGS, flow);
     cfg.pipeline = pipeline;
+    if let Some(w) = apply_workers {
+        cfg.apply_workers = w;
+    }
     let net = Network::build(cfg).unwrap();
     net.bootstrap_sql(
         "CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL, note TEXT); \
@@ -166,6 +176,43 @@ fn pipelined_and_serial_runs_are_byte_identical() {
         serial.checkpoints.iter().all(Option::is_some),
         "every block has a checkpoint hash"
     );
+}
+
+/// The parallel write-set apply is invisible: for both pipeline modes,
+/// a run with the serial apply (`apply_workers = 1`) and a run with a
+/// 4-worker pool produce identical chain content, checkpoint hashes,
+/// state hashes and ledger content.
+#[test]
+fn apply_worker_count_changes_no_byte() {
+    for pipeline in [false, true] {
+        let runs: Vec<RunFingerprint> = [1usize, 4]
+            .iter()
+            .map(|&workers| {
+                let net = build_with(Flow::OrderThenExecute, pipeline, Some(workers));
+                run_sequential_workload(&net);
+                let fp = fingerprint(&net.node("org1").unwrap());
+                net.shutdown();
+                fp
+            })
+            .collect();
+        assert_eq!(
+            runs[0].content, runs[1].content,
+            "pipeline={pipeline}: chain content differs across apply_workers"
+        );
+        assert_eq!(
+            runs[0].checkpoints, runs[1].checkpoints,
+            "pipeline={pipeline}: checkpoint hashes differ across apply_workers"
+        );
+        assert_eq!(
+            runs[0].state, runs[1].state,
+            "pipeline={pipeline}: state hashes differ across apply_workers"
+        );
+        assert_eq!(
+            runs[0].ledger, runs[1].ledger,
+            "pipeline={pipeline}: ledger content differs across apply_workers"
+        );
+        assert!(runs[0].checkpoints.iter().all(Option::is_some));
+    }
 }
 
 /// Concurrent load on the pipelined 4-node network: block boundaries are
@@ -327,6 +374,7 @@ fn bootstrap(node: &Arc<Node>) {
     for sql in [
         "CREATE FUNCTION put(k INT, v INT) AS $$ INSERT INTO kv VALUES ($1, $2) $$",
         "CREATE FUNCTION del(k INT) AS $$ DELETE FROM kv WHERE k = $1 $$",
+        "CREATE FUNCTION setv(k INT, v INT) AS $$ UPDATE kv SET v = $2 WHERE k = $1 $$",
     ] {
         if let bcrdb::sql::ast::Statement::CreateFunction(def) =
             bcrdb::sql::parse_statement(sql).unwrap()
@@ -397,6 +445,73 @@ fn crash_during_post_commit_replay_rebuilds_ledger() {
     }
     assert_eq!(revived.state_hash(), reference.state_hash());
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Direct-node parallel-apply determinism on blocks that exercise every
+/// gate decision at once: wide insert batches, updates, deletes, and a
+/// same-block duplicate-key pair whose loser must abort with the exact
+/// same reason string under every worker count (the per-block PK overlay
+/// mirrors the storage check byte for byte).
+#[test]
+fn mixed_blocks_are_identical_across_apply_worker_counts() {
+    let fps: Vec<_> = [1usize, 4]
+        .iter()
+        .map(|&workers| {
+            let rig = Rig::new();
+            let node = rig.node_with(|cfg| {
+                cfg.fsync = false;
+                cfg.apply_workers = workers;
+            });
+            // Block 1: a wide insert batch.
+            let calls: Vec<(&str, Vec<Value>)> = (0..40i64)
+                .map(|k| ("put", vec![Value::Int(k), Value::Int(k * 10)]))
+                .collect();
+            let b1 = rig.block_of(&node, 1, &calls, 1_000);
+            node.blockstore.append((*b1).clone()).unwrap();
+            processor::process_block(&node, &b1).unwrap();
+            // Block 2: interleaved updates, deletes, fresh inserts and an
+            // in-block duplicate key (the second `put 50` must lose).
+            let calls: Vec<(&str, Vec<Value>)> = vec![
+                ("setv", vec![Value::Int(0), Value::Int(500)]),
+                ("del", vec![Value::Int(1)]),
+                ("put", vec![Value::Int(50), Value::Int(50)]),
+                ("put", vec![Value::Int(50), Value::Int(51)]),
+                ("setv", vec![Value::Int(2), Value::Int(700)]),
+                ("del", vec![Value::Int(3)]),
+                ("put", vec![Value::Int(51), Value::Int(51)]),
+                ("setv", vec![Value::Int(39), Value::Int(999)]),
+            ];
+            let b2 = rig.block_of(&node, 2, &calls, 2_000);
+            node.blockstore.append((*b2).clone()).unwrap();
+            processor::process_block(&node, &b2).unwrap();
+
+            let ledger: Vec<_> = (1..=2u64)
+                .flat_map(|h| node.ledger_records(h))
+                .map(|r| (r.block, r.tx_index, r.status))
+                .collect();
+            let dup = ledger
+                .iter()
+                .find(|(b, i, _)| *b == 2 && *i == 3)
+                .cloned()
+                .unwrap();
+            assert!(
+                matches!(&dup.2, TxStatus::Aborted(m) if m.contains("duplicate key")),
+                "workers={workers}: in-block duplicate did not abort: {:?}",
+                dup.2
+            );
+            let checkpoints: Vec<_> = (1..=2u64).map(|h| node.checkpoints.local_hash(h)).collect();
+            (node.state_hash(), checkpoints, ledger)
+        })
+        .collect();
+    assert_eq!(
+        fps[0].0, fps[1].0,
+        "state hash differs across worker counts"
+    );
+    assert_eq!(
+        fps[0].1, fps[1].1,
+        "checkpoints differ across worker counts"
+    );
+    assert_eq!(fps[0].2, fps[1].2, "ledger differs across worker counts");
 }
 
 /// The maintenance vacuum tick (`NodeConfig::vacuum_interval`): every N
