@@ -31,7 +31,12 @@
 //! * `tcp.tps` — committed throughput over the real-TCP deployment
 //!   surface; must not drop more than the tolerance;
 //! * `tcp.p95_latency_ms` — client-observed commit latency over TCP;
-//!   must not grow more than the tolerance.
+//!   must not grow more than the tolerance;
+//! * `storage.cold_rows_per_s` — full-scan throughput with every heap
+//!   segment faulted from its slotted-page file through the buffer
+//!   pool; must not drop more than the tolerance;
+//! * `storage.hot_rows_per_s` — the same scan once the segments are
+//!   resident again; must not drop more than the tolerance.
 //!
 //! The tolerance defaults to ±20% (`BENCH_TOLERANCE`, a fraction).
 //! Millisecond metrics additionally get a small absolute slack
@@ -53,7 +58,7 @@ use std::process::ExitCode;
 /// The `bench_smoke` report schema this gate understands. Bump in the
 /// same commit as the `"schema"` tag in `bench_smoke.rs` — CI fails on
 /// any mismatch.
-const EXPECTED_SCHEMA: &str = "bcrdb-bench-smoke-v5";
+const EXPECTED_SCHEMA: &str = "bcrdb-bench-smoke-v6";
 
 /// Extract the top-level `"schema": "<tag>"` string from `json`.
 fn extract_schema(json: &str) -> Option<&str> {
@@ -228,6 +233,20 @@ fn main() -> ExitCode {
             slack: slack_ms,
             floor: None,
         },
+        Gate {
+            section: "storage",
+            key: "cold_rows_per_s",
+            higher_is_better: true,
+            slack: 0.0,
+            floor: None,
+        },
+        Gate {
+            section: "storage",
+            key: "hot_rows_per_s",
+            higher_is_better: true,
+            slack: 0.0,
+            floor: None,
+        },
     ];
 
     println!(
@@ -291,12 +310,13 @@ mod tests {
     use super::*;
 
     const SAMPLE: &str = r#"{
-  "schema": "bcrdb-bench-smoke-v5",
+  "schema": "bcrdb-bench-smoke-v6",
   "throughput": { "tps": 388.4, "committed": 1165, "aborted": 0 },
   "pipeline": { "serial_bps": 45.0, "pipelined_bps": 150.0, "speedup": 3.3, "vs_concurrent": 1.2, "apply_workers": 4, "apply_serial_bps": 145.0, "apply_speedup": 1.03 },
   "catch_up": { "blocks_fetched": 4, "duration_ms": 423.55, "fast_sync": false },
   "failover": { "committed": 20, "resume_ms": 512.01, "view_changes": 1 },
-  "tcp": { "tps": 350.2, "committed": 1050, "aborted": 0, "p95_latency_ms": 98.5 }
+  "tcp": { "tps": 350.2, "committed": 1050, "aborted": 0, "p95_latency_ms": 98.5 },
+  "storage": { "rows": 8193, "spilled_segments": 8, "cold_rows_per_s": 510000.5, "hot_rows_per_s": 2400000.0, "pages_written": 280, "pages_read": 280, "pages_evicted": 216, "pool_hit_rate": 0.4321 }
 }"#;
 
     #[test]
@@ -334,6 +354,15 @@ mod tests {
         assert_eq!(extract(SAMPLE, "failover", "view_changes"), Some(1.0));
         assert_eq!(extract(SAMPLE, "tcp", "tps"), Some(350.2));
         assert_eq!(extract(SAMPLE, "tcp", "p95_latency_ms"), Some(98.5));
+        assert_eq!(
+            extract(SAMPLE, "storage", "cold_rows_per_s"),
+            Some(510000.5)
+        );
+        assert_eq!(
+            extract(SAMPLE, "storage", "hot_rows_per_s"),
+            Some(2400000.0)
+        );
+        assert_eq!(extract(SAMPLE, "storage", "pool_hit_rate"), Some(0.4321));
         assert_eq!(extract(SAMPLE, "nope", "tps"), None);
         assert_eq!(extract(SAMPLE, "throughput", "nope"), None);
     }

@@ -1,10 +1,11 @@
 //! CI smoke benchmark: a quick throughput run, a serial-vs-pipelined
-//! block-commit comparison, a crash-and-rejoin catch-up scenario, and an
-//! orderer-leader-failover scenario, emitting one machine-readable
-//! `BENCH_smoke.json` artifact so the perf trajectory (throughput,
-//! pipeline speedup, catch-up duration, failover recovery time) is
-//! tracked run over run — and gated against `BENCH_baseline.json` by the
-//! `bench_compare` bin.
+//! block-commit comparison, a crash-and-rejoin catch-up scenario, an
+//! orderer-leader-failover scenario, a real-TCP deployment run, and a
+//! paged-storage cold-vs-hot scan comparison, emitting one
+//! machine-readable `BENCH_smoke.json` artifact so the perf trajectory
+//! (throughput, pipeline speedup, catch-up duration, failover recovery
+//! time, buffer-pool fault cost) is tracked run over run — and gated
+//! against `BENCH_baseline.json` by the `bench_compare` bin.
 //!
 //! Output path: `$BENCH_OUT` or `./BENCH_smoke.json`. Runtime target is
 //! well under a minute — this is a trend line, not a rigorous benchmark.
@@ -54,11 +55,16 @@ fn main() {
     } else {
         "null".into()
     };
+    let storage = if want("storage") {
+        storage_phase()
+    } else {
+        "null".into()
+    };
 
     let json = format!(
-        "{{\n  \"schema\": \"bcrdb-bench-smoke-v5\",\n  \"throughput\": {throughput},\n  \
+        "{{\n  \"schema\": \"bcrdb-bench-smoke-v6\",\n  \"throughput\": {throughput},\n  \
          \"pipeline\": {pipeline},\n  \"catch_up\": {catch_up},\n  \"failover\": {failover},\n  \
-         \"tcp\": {tcp}\n}}\n"
+         \"tcp\": {tcp},\n  \"storage\": {storage}\n}}\n"
     );
     let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_smoke.json".into());
     std::fs::write(&path, &json).expect("write bench artifact");
@@ -689,5 +695,100 @@ fn tcp_phase() -> String {
     format!(
         "{{ \"tps\": {tps:.1}, \"committed\": {committed}, \"aborted\": {aborted}, \
          \"p95_latency_ms\": {p95:.2} }}"
+    )
+}
+
+/// Disk-backed paged storage at the engine level (no node, no network):
+/// fill a multi-segment heap, spill every cold segment to slotted-page
+/// files through a deliberately tiny buffer pool, then compare a cold
+/// full scan (every chain faulted from disk, clock eviction churning)
+/// against an immediate hot re-scan (segments rehydrated and resident).
+/// The cold/hot gap is the page-fault cost the pool and the spill
+/// quiescence rules are designed to keep off the commit path.
+fn storage_phase() -> String {
+    use bcrdb_common::schema::{Column, DataType, TableSchema};
+    use bcrdb_storage::table::SEGMENT_SIZE;
+    use bcrdb_storage::{Catalog, PagedStore, Version};
+
+    /// Full heap segments to spill; the tail segment stays resident.
+    const SEGMENTS: usize = 8;
+    /// Buffer-pool frames — far below the spilled page count, so both
+    /// the spill write-back and the cold scan exercise eviction.
+    const FRAMES: usize = 64;
+    /// Payload bytes per row; sizes the cells so each segment chains
+    /// across many 8 KB pages.
+    const PAYLOAD: usize = 192;
+
+    let dir = std::env::temp_dir().join(format!("bcrdb-bench-storage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = PagedStore::open(&dir, FRAMES, false).expect("page store");
+    let catalog = Catalog::with_store(Arc::clone(&store));
+    let schema = TableSchema::new(
+        "bench_store",
+        vec![
+            Column::new("id", DataType::Int),
+            Column::new("payload", DataType::Text),
+        ],
+        vec![0],
+    )
+    .expect("schema");
+    let table = catalog.create_table(schema).expect("table");
+
+    // SEGMENTS full segments plus one tail row (a full segment only
+    // stops being the tail — and becomes spillable — once the next
+    // append extends the directory past it).
+    let rows = SEGMENTS * SEGMENT_SIZE + 1;
+    for n in 0..rows {
+        let row = vec![
+            Value::Int(n as i64),
+            Value::Text(format!("payload-{n}-{}", "x".repeat(PAYLOAD))),
+        ];
+        table.append_restored(Version::restored(
+            bcrdb_common::TxId(1),
+            row,
+            bcrdb_common::RowId(n as u64 + 1),
+            1,
+            None,
+            None,
+        ));
+    }
+
+    let t0 = Instant::now();
+    let spilled = table.spill(2, 1);
+    store.sync().expect("page sync");
+    let spill_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(spilled, SEGMENTS, "every full non-tail segment spills");
+
+    let t0 = Instant::now();
+    let cold = table.all_versions().len();
+    let cold_s = t0.elapsed().as_secs_f64();
+    assert_eq!(cold, rows, "cold scan sees every version");
+    let t0 = Instant::now();
+    let hot = table.all_versions().len();
+    let hot_s = t0.elapsed().as_secs_f64();
+    assert_eq!(hot, rows, "hot scan sees every version");
+
+    let cold_rps = rows as f64 / cold_s;
+    let hot_rps = rows as f64 / hot_s;
+    let pages_written = store.pages_written();
+    let pages_read = store.pages_read();
+    let pages_evicted = store.pages_evicted();
+    let hit_rate = store.pool_hit_rate();
+    drop(table);
+    drop(catalog);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "storage: cold scan {cold_rps:.0} rows/s, hot scan {hot_rps:.0} rows/s \
+         ({rows} rows, {spilled} segments spilled in {spill_ms:.1} ms, \
+         {pages_written} pages written, {pages_read} read, {pages_evicted} evicted, \
+         hit rate {hit_rate:.3})"
+    );
+    format!(
+        "{{ \"rows\": {rows}, \"spilled_segments\": {spilled}, \"spill_ms\": {spill_ms:.2}, \
+         \"cold_rows_per_s\": {cold_rps:.1}, \"hot_rows_per_s\": {hot_rps:.1}, \
+         \"pages_written\": {pages_written}, \"pages_read\": {pages_read}, \
+         \"pages_evicted\": {pages_evicted}, \"pool_hit_rate\": {hit_rate:.4} }}"
     )
 }

@@ -89,6 +89,20 @@ pub struct NetworkConfig {
     /// Run each node's maintenance vacuum every N blocks (0 = never);
     /// see `NodeConfig::vacuum_interval`.
     pub vacuum_interval: u64,
+    /// Disk-backed paged table storage on every node: cold heap
+    /// segments spill to 8 KB slotted-page files under
+    /// `<data_root>/<org>/pages/` through a per-node buffer pool,
+    /// letting committed state exceed RAM (see `NodeConfig::page_dir`
+    /// and `docs/ON_DISK_FORMAT.md`). Requires `data_root`.
+    pub paged: bool,
+    /// Buffer-pool capacity per node in 8 KB frames (minimum 1; only
+    /// meaningful with `paged`). Defaults from the `BCRDB_POOL_FRAMES`
+    /// environment variable (unset = 1024 frames) for A/B runs and the
+    /// CI small-pool matrix; see `NodeConfig::buffer_pool_frames`.
+    pub buffer_pool_frames: usize,
+    /// Blocks of recent history kept resident on paged nodes; see
+    /// `NodeConfig::spill_retention`. Minimum 1.
+    pub spill_retention: u64,
 }
 
 impl NetworkConfig {
@@ -119,6 +133,9 @@ impl NetworkConfig {
             pipeline: bcrdb_node::pipeline_enabled_by_env(),
             apply_workers: bcrdb_node::apply_workers_by_env(),
             vacuum_interval: 0,
+            paged: false,
+            buffer_pool_frames: bcrdb_node::pool_frames_by_env(),
+            spill_retention: 64,
         }
     }
 

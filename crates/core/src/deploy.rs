@@ -245,6 +245,14 @@ pub struct NodeSpec {
     /// Block store / snapshot directory (`None` keeps state in memory —
     /// such a node cannot survive a restart).
     pub data_dir: Option<PathBuf>,
+    /// Disk-backed paged table storage: spill cold heap segments to
+    /// slotted-page files under `<data_dir>/pages/` through a buffer
+    /// pool of `pool_frames` 8 KB frames (see `NodeConfig::page_dir`).
+    /// Requires `data_dir`.
+    pub paged: bool,
+    /// Buffer-pool capacity in 8 KB frames when `paged` (minimum 1).
+    /// Defaults from `BCRDB_POOL_FRAMES` (unset = 1024).
+    pub pool_frames: usize,
     /// Restart / late-join: catch up from peers during recovery before
     /// serving clients (§3.6). A fresh cluster boots with `false`.
     pub rejoin: bool,
@@ -654,6 +662,10 @@ pub fn run_node_process(cluster: &ClusterSpec, spec: NodeSpec) -> Result<NodePro
     let mut cfg = NodeConfig::new(node_name.clone(), spec.org.clone(), cluster.flow);
     cfg.fsync = cluster.fsync;
     cfg.data_dir = spec.data_dir.clone();
+    if spec.paged {
+        cfg.page_dir = spec.data_dir.as_ref().map(|d| d.join("pages"));
+        cfg.buffer_pool_frames = spec.pool_frames.max(1);
+    }
     // pipeline and apply_workers stay at the NodeConfig::new defaults,
     // which read BCRDB_PIPELINE / BCRDB_APPLY — per-process env is the
     // natural per-node knob for a process-granular deployment.
@@ -1057,6 +1069,8 @@ impl TcpCluster {
                     .collect(),
                 orderer_addr: ord_addrs[i].clone(),
                 data_dir: data_root.as_ref().map(|r| r.join(org)),
+                paged: false,
+                pool_frames: bcrdb_node::pool_frames_by_env(),
                 rejoin: false,
             };
             match run_node_process(&spec, node_spec) {

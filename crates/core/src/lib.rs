@@ -45,6 +45,7 @@ pub mod system;
 pub mod tcp;
 pub mod transport;
 
+pub use bcrdb_node::pool_frames_by_env;
 pub use client::Client;
 pub use config::NetworkConfig;
 pub use deploy::{

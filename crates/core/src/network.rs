@@ -614,6 +614,14 @@ fn launch_node(
     node_cfg.apply_workers = config.apply_workers;
     node_cfg.vacuum_interval = config.vacuum_interval;
     node_cfg.data_dir = config.data_root.as_ref().map(|root| root.join(org));
+    if config.paged {
+        node_cfg.page_dir = config
+            .data_root
+            .as_ref()
+            .map(|root| root.join(org).join("pages"));
+        node_cfg.buffer_pool_frames = config.buffer_pool_frames.max(1);
+        node_cfg.spill_retention = config.spill_retention.max(1);
+    }
     let node = Node::new(node_cfg, Arc::clone(certs), config.orgs.clone())?;
     system::bootstrap_node(&node)?;
     if let Some(genesis) = &config.genesis_sql {

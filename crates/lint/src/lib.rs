@@ -75,6 +75,13 @@ const DETERMINISM_FILES: &[&str] = &[
     "crates/node/src/processor.rs",
     "crates/node/src/commit/mod.rs",
     "crates/node/src/commit/apply.rs",
+    // Paged storage: page images, spill/fault, and snapshot carry all
+    // feed replicated state hashes, so hash-order iteration or clock
+    // reads here diverge across nodes just like commit-path code.
+    "crates/storage/src/page.rs",
+    "crates/storage/src/pager.rs",
+    "crates/storage/src/table.rs",
+    "crates/storage/src/persist.rs",
 ];
 
 /// Is this file part of the consensus/commit path the determinism

@@ -101,6 +101,23 @@ pub struct NodeConfig {
     /// overridable with the `BCRDB_APPLY` environment variable (see
     /// [`apply_workers_by_env`]).
     pub apply_workers: usize,
+    /// Directory for disk-backed paged table storage; `None` keeps every
+    /// table fully in memory. When set, cold heap segments spill to 8 KB
+    /// slotted-page files through a node-wide buffer pool (see
+    /// `docs/ON_DISK_FORMAT.md`), letting committed state exceed RAM.
+    /// Chains, checkpoints and state hashes are byte-identical to the
+    /// all-in-memory configuration.
+    pub page_dir: Option<PathBuf>,
+    /// Buffer-pool capacity in 8 KB frames (minimum 1; only meaningful
+    /// with `page_dir`). Defaults to 1024 frames (8 MB), overridable
+    /// with the `BCRDB_POOL_FRAMES` environment variable (see
+    /// [`pool_frames_by_env`]).
+    pub buffer_pool_frames: usize,
+    /// How many blocks of recent history stay pinned in memory: a
+    /// segment only spills once every version in it is quiescent at
+    /// `committed height − spill_retention`, which keeps SSI-relevant
+    /// recent versions resident. Minimum 1.
+    pub spill_retention: u64,
 }
 
 /// The default for [`NodeConfig::pipeline`], read from the
@@ -138,6 +155,18 @@ fn default_apply_workers() -> usize {
         .unwrap_or(4)
 }
 
+/// The default for [`NodeConfig::buffer_pool_frames`], read from the
+/// `BCRDB_POOL_FRAMES` environment variable (the CI matrix runs the
+/// determinism suite with a deliberately tiny pool); unset or
+/// unparsable falls back to 1024 frames (8 MB of 8 KB pages).
+pub fn pool_frames_by_env() -> usize {
+    std::env::var("BCRDB_POOL_FRAMES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|n| *n >= 1)
+        .unwrap_or(1024)
+}
+
 impl NodeConfig {
     /// Reasonable defaults for `name` in `org` under `flow`.
     pub fn new(name: impl Into<String>, org: impl Into<String>, flow: Flow) -> NodeConfig {
@@ -164,6 +193,9 @@ impl NodeConfig {
             postcommit_cap: 8,
             vacuum_interval: 0,
             apply_workers: apply_workers_by_env(),
+            page_dir: None,
+            buffer_pool_frames: pool_frames_by_env(),
+            spill_retention: 64,
         }
     }
 }

@@ -171,6 +171,18 @@ pub struct MetricsSnapshot {
     pub sync_replayed: u64,
     /// Snapshot fast-syncs installed (cumulative).
     pub sync_fast_syncs: u64,
+    /// Pages read from page files by the paged store (cumulative;
+    /// populated by the node's Metrics RPC, zero without a `page_dir`).
+    pub pages_read: u64,
+    /// Pages written to page files — spills, write-back, free-list
+    /// overwrites (cumulative; populated like `pages_read`).
+    pub pages_written: u64,
+    /// Buffer-pool frames evicted by the clock sweep (cumulative;
+    /// populated like `pages_read`).
+    pub pages_evicted: u64,
+    /// Buffer-pool hit rate since node start (`1.0` when the pool has
+    /// never been consulted; populated like `pages_read`).
+    pub pool_hit_rate: f64,
     /// Ordering-service counters (cumulative; all zero when no
     /// `ordering_stats` hook is installed).
     pub ordering: OrderingSnapshot,
@@ -212,6 +224,10 @@ pub const METRICS_WIRE_SLOTS: &[&str] = &[
     "sync_fetched",
     "sync_replayed",
     "sync_fast_syncs",
+    "pages_read",
+    "pages_written",
+    "pages_evicted",
+    "pool_hit_rate",
     "ordering.forwarded",
     "ordering.cut",
     "ordering.delivered",
@@ -526,6 +542,10 @@ impl NodeMetrics {
             sync_fetched: self.sync_fetched.load(Ordering::Relaxed),
             sync_replayed: self.sync_replayed.load(Ordering::Relaxed),
             sync_fast_syncs: self.sync_fast_syncs.load(Ordering::Relaxed),
+            pages_read: 0,
+            pages_written: 0,
+            pages_evicted: 0,
+            pool_hit_rate: 1.0,
             ordering: OrderingSnapshot::default(),
         }
     }

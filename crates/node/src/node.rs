@@ -24,7 +24,8 @@ use bcrdb_engine::result::QueryResult;
 use bcrdb_sql::ast::Statement;
 use bcrdb_sql::display::function_to_sql;
 use bcrdb_storage::catalog::Catalog;
-use bcrdb_storage::persist;
+use bcrdb_storage::pager::PagedStore;
+use bcrdb_storage::persist::{self, SnapshotCarry};
 use bcrdb_storage::snapshot::ScanMode;
 use bcrdb_storage::table::Table;
 use bcrdb_storage::version::Version;
@@ -56,6 +57,9 @@ pub struct Node {
     pub(crate) apply: commit::ApplyPool,
     /// The append-only block store (`pgBlockstore`).
     pub blockstore: Arc<BlockStore>,
+    /// The paged table store (buffer pool + page files) when
+    /// `config.page_dir` is set; `None` keeps all state in memory.
+    pub(crate) paged: Option<Arc<PagedStore>>,
     /// Checkpoint comparison state (§3.3.4).
     pub checkpoints: Arc<CheckpointTracker>,
     pub(crate) notifications: Arc<NotificationHub>,
@@ -109,13 +113,39 @@ impl Node {
         certs: Arc<CertificateRegistry>,
         orgs: Vec<String>,
     ) -> Result<Arc<Node>> {
+        let paged = match &config.page_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                Some(PagedStore::open(
+                    dir,
+                    config.buffer_pool_frames.max(1),
+                    config.fsync,
+                )?)
+            }
+            None => None,
+        };
         let (blockstore, snapshot) = match &config.data_dir {
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
                 let store = BlockStore::open_with(dir.join("blocks.dat"), config.fsync)?;
                 let snap_path = dir.join("state.snapshot");
                 let snapshot = if snap_path.exists() {
-                    Some(load_snapshot(&snap_path)?)
+                    match load_snapshot(&snap_path, paged.as_ref()) {
+                        Ok(s) => Some(s),
+                        // A paged snapshot can legitimately be unusable —
+                        // e.g. the process died between checkpointing the
+                        // page files and renaming the snapshot, so the two
+                        // are from different barriers. Fall back to full
+                        // replay instead of refusing to start.
+                        Err(e) if paged.is_some() => {
+                            eprintln!(
+                                "bcrdb[{}]: state snapshot unusable ({e}); replaying chain from genesis",
+                                config.name
+                            );
+                            None
+                        }
+                        Err(e) => return Err(e),
+                    }
                 } else {
                     None
                 };
@@ -123,12 +153,26 @@ impl Node {
             }
             None => (Arc::new(BlockStore::in_memory()), None),
         };
+        // Replaying from genesis: whatever page files a previous life
+        // left behind describe state we are about to regenerate.
+        if snapshot.is_none() {
+            if let Some(store) = &paged {
+                store.wipe()?;
+            }
+        }
         // Seed the sync server's snapshot cache from disk, so a restarted
         // node can offer fast-sync immediately instead of only after the
-        // next snapshot interval.
-        let cached_snapshot = snapshot
-            .as_ref()
-            .map(|(snap, bytes)| (snap.height, Arc::clone(bytes)));
+        // next snapshot interval. Paged nodes skip this: their disk
+        // snapshots reference chains in the local page files (external
+        // carry) and are meaningless to a peer — the cache is refreshed
+        // with a self-contained (inline) encoding at the next barrier.
+        let cached_snapshot = if paged.is_some() {
+            None
+        } else {
+            snapshot
+                .as_ref()
+                .map(|(snap, bytes)| (snap.height, Arc::clone(bytes)))
+        };
 
         let contracts = Arc::new(ContractRegistry::new());
         let processed: Arc<Mutex<HashSet<GlobalTxId>>> = Arc::new(Mutex::new(HashSet::new()));
@@ -143,7 +187,10 @@ impl Node {
                 (Arc::new(snap.catalog), snap.height)
             }
             None => {
-                let catalog = Arc::new(Catalog::new());
+                let catalog = match &paged {
+                    Some(store) => Arc::new(Catalog::with_store(Arc::clone(store))),
+                    None => Arc::new(Catalog::new()),
+                };
                 catalog.create_table(ledger_schema())?;
                 (catalog, 0)
             }
@@ -178,6 +225,7 @@ impl Node {
             blockstore,
             checkpoints: Arc::new(CheckpointTracker::new()),
             notifications: Arc::new(NotificationHub::new()),
+            paged,
             hooks: RwLock::new(NodeHooks::default()),
             ledger: RwLock::new(ledger),
             divergences: Mutex::new(Vec::new()),
@@ -271,7 +319,7 @@ impl Node {
     /// still fetches the skipped blocks so the local chain stays
     /// complete and auditable.
     pub(crate) fn install_fast_sync(&self, state: &[u8]) -> Result<()> {
-        let snap = decode_node_snapshot(state)?;
+        let snap = decode_node_snapshot(state, self.paged.as_ref())?;
         if snap.height <= self.height() {
             return Err(Error::internal(format!(
                 "fast-sync snapshot at height {} is not ahead of ours ({})",
@@ -343,10 +391,22 @@ impl Node {
         let mut snap = self.env.metrics.take();
         snap.committed_height = self.height();
         snap.postcommit_height = self.postcommit_height();
+        if let Some(store) = &self.paged {
+            snap.pages_read = store.pages_read();
+            snap.pages_written = store.pages_written();
+            snap.pages_evicted = store.pages_evicted();
+            snap.pool_hit_rate = store.pool_hit_rate();
+        }
         if let Some(hook) = &self.hooks.read().ordering_stats {
             snap.ordering = hook();
         }
         snap
+    }
+
+    /// The paged table store, if this node runs with disk-backed
+    /// storage (`NodeConfig::page_dir`).
+    pub fn paged_store(&self) -> Option<&Arc<PagedStore>> {
+        self.paged.as_ref()
     }
 
     /// Committed block height.
@@ -678,6 +738,24 @@ impl Node {
         total
     }
 
+    /// Spill quiescent cold heap segments to the page files (paged
+    /// nodes only — a no-op otherwise). `horizon` is the height at or
+    /// below which versions count as cold; `lsn` stamps the written
+    /// chains so crash recovery can pick the newest image of each
+    /// segment. Returns the number of segments spilled.
+    pub fn spill(&self, horizon: BlockHeight, lsn: u64) -> usize {
+        if self.paged.is_none() {
+            return 0;
+        }
+        let mut total = 0;
+        for name in self.env.catalog.table_names() {
+            if let Ok(table) = self.env.catalog.get(&name) {
+                total += table.spill(horizon, lsn);
+            }
+        }
+        total
+    }
+
     // ------------------------------------------------------- persistence
 
     pub(crate) fn is_processed(&self, id: &GlobalTxId) -> bool {
@@ -733,9 +811,33 @@ impl Node {
     /// server, and (when file-backed) persist atomically via tmp +
     /// rename. No transactions may be committing concurrently — called
     /// from the block processor only.
+    ///
+    /// Paged nodes checkpoint the page store *first*: the on-disk
+    /// snapshot references page-file chains by id, so the chains must
+    /// be durable and stamped with the barrier height before the
+    /// snapshot that points at them exists. A crash between the two
+    /// steps leaves a height mismatch, which restore detects (falling
+    /// back to a full chain replay). The in-memory copy served to
+    /// fast-sync peers instead carries raw page images inline, making
+    /// it self-contained.
     pub(crate) fn write_snapshot(&self) -> Result<()> {
-        let bytes = Arc::new(self.encode_node_snapshot());
-        *self.latest_snapshot.lock() = Some((self.height(), Arc::clone(&bytes)));
+        let height = self.height();
+        if let Some(store) = &self.paged {
+            store.checkpoint(height)?;
+            if self.config.snapshot_lag_threshold > 0 {
+                let inline = Arc::new(self.encode_node_snapshot(SnapshotCarry::Inline)?);
+                *self.latest_snapshot.lock() = Some((height, inline));
+            }
+            if let Some(dir) = &self.config.data_dir {
+                let bytes = self.encode_node_snapshot(SnapshotCarry::External)?;
+                let tmp = dir.join("state.snapshot.tmp");
+                std::fs::write(&tmp, &bytes)?;
+                std::fs::rename(&tmp, dir.join("state.snapshot"))?;
+            }
+            return Ok(());
+        }
+        let bytes = Arc::new(self.encode_node_snapshot(SnapshotCarry::External)?);
+        *self.latest_snapshot.lock() = Some((height, Arc::clone(&bytes)));
         if let Some(dir) = &self.config.data_dir {
             let tmp = dir.join("state.snapshot.tmp");
             std::fs::write(&tmp, bytes.as_slice())?;
@@ -746,11 +848,17 @@ impl Node {
 
     /// Encode the node's committed state (catalog, contract sources,
     /// processed-id set) in the snapshot format shared by disk snapshots
-    /// and snapshot fast-sync.
-    fn encode_node_snapshot(&self) -> Vec<u8> {
+    /// and snapshot fast-sync. `carry` selects how paged-out segments
+    /// travel (by reference to our page files, or inline); it is
+    /// irrelevant on in-memory catalogs.
+    fn encode_node_snapshot(&self, carry: SnapshotCarry) -> Result<Vec<u8>> {
         let mut enc = Encoder::with_capacity(256 * 1024);
         enc.put_bytes(SNAPSHOT_MAGIC);
-        enc.put_bytes(&persist::encode_catalog(&self.env.catalog, self.height()));
+        enc.put_bytes(&persist::encode_catalog_carry(
+            &self.env.catalog,
+            self.height(),
+            carry,
+        )?);
         let names = self.env.contracts.names();
         enc.put_u32(names.len() as u32);
         for name in names {
@@ -767,7 +875,7 @@ impl Node {
         for id in ids {
             enc.put_digest(&id.0);
         }
-        enc.finish()
+        Ok(enc.finish())
     }
 }
 
@@ -778,20 +886,23 @@ struct LoadedSnapshot {
     processed: HashSet<GlobalTxId>,
 }
 
-fn load_snapshot(path: &PathBuf) -> Result<(LoadedSnapshot, Arc<Vec<u8>>)> {
+fn load_snapshot(
+    path: &PathBuf,
+    store: Option<&Arc<PagedStore>>,
+) -> Result<(LoadedSnapshot, Arc<Vec<u8>>)> {
     let bytes = std::fs::read(path)?;
-    let snap = decode_node_snapshot(&bytes)?;
+    let snap = decode_node_snapshot(&bytes, store)?;
     Ok((snap, Arc::new(bytes)))
 }
 
-fn decode_node_snapshot(bytes: &[u8]) -> Result<LoadedSnapshot> {
+fn decode_node_snapshot(bytes: &[u8], store: Option<&Arc<PagedStore>>) -> Result<LoadedSnapshot> {
     let mut dec = Decoder::new(bytes);
     let magic = dec.get_bytes()?;
     if magic != SNAPSHOT_MAGIC {
         return Err(Error::Codec("bad node snapshot magic".into()));
     }
     let catalog_bytes = dec.get_bytes()?;
-    let (catalog, height) = persist::decode_catalog(&catalog_bytes)?;
+    let (catalog, height) = persist::decode_catalog_with(&catalog_bytes, store)?;
     let n = dec.get_u32()? as usize;
     let mut contracts = Vec::with_capacity(n);
     for _ in 0..n {

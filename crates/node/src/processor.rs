@@ -413,6 +413,12 @@ fn finish_block(
 
     record_embedded_votes(node, block);
     maintenance(node, block.number);
+    // Group write-back: flush page batches dirtied by this block's spill
+    // tick (journaled, so a torn flush is discarded on recovery). An I/O
+    // error halts the node like a block-store failure would.
+    if let Some(store) = node.paged_store() {
+        store.sync()?;
+    }
     if node.config.snapshot_interval > 0
         && block.number.is_multiple_of(node.config.snapshot_interval)
     {
@@ -451,7 +457,8 @@ fn record_embedded_votes(node: &Arc<Node>, block: &Arc<Block>) {
 }
 
 /// Periodic maintenance, run after a block's post-commit work: SSI GC,
-/// checkpoint pruning, and the vacuum tick (`NodeConfig::vacuum_interval`)
+/// checkpoint pruning, the spill tick paging out cold heap segments on
+/// paged nodes, and the vacuum tick (`NodeConfig::vacuum_interval`)
 /// reclaiming row versions deleted at or before the checkpoint-retention
 /// horizon. Vacuum is concurrency-safe against readers and appenders —
 /// heap positions are stable and reclaimed slots tombstone in place (see
@@ -461,9 +468,37 @@ fn maintenance(node: &Arc<Node>, block_number: u64) {
         node.env.ssi.gc();
         node.checkpoints
             .prune(block_number.saturating_sub(CHECKPOINT_RETENTION));
+        if node.paged_store().is_some() {
+            // Spill rides the GC cadence: a segment pages out once every
+            // version in it is quiescent at `spill_retention` blocks
+            // behind the tip, keeping SSI-relevant recent history
+            // resident. The chain is stamped with the block number as
+            // its LSN so recovery picks the newest image. No snapshot
+            // clamp is needed here — spilling never loses data, and a
+            // chain re-spilled past the last snapshot barrier is
+            // equivalent under the restore-time anchor filter because
+            // vacuum (below) never crosses that barrier.
+            let horizon = block_number.saturating_sub(node.config.spill_retention.max(1));
+            node.spill(horizon, block_number);
+        }
     }
     if node.config.vacuum_interval > 0 && block_number.is_multiple_of(node.config.vacuum_interval) {
-        let horizon = block_number.saturating_sub(CHECKPOINT_RETENTION);
+        let mut horizon = block_number.saturating_sub(CHECKPOINT_RETENTION);
+        if node.config.snapshot_interval > 0 {
+            // Never vacuum past the last snapshot barrier: restoring
+            // from snapshot N replays blocks > N, and a replayed delete
+            // must still find its target version. Versions deleted
+            // after the barrier therefore stay (tombstone-able only at
+            // the next barrier). Applied on every node — paged or not —
+            // because the clamp changes which versions exist, and state
+            // hashes must stay byte-identical across configurations.
+            // The barrier below the current block is used even when the
+            // block is itself one, since its snapshot is written after
+            // this maintenance tick.
+            let interval = node.config.snapshot_interval;
+            let last_barrier = block_number.saturating_sub(1) / interval * interval;
+            horizon = horizon.min(last_barrier);
+        }
         let reclaimed = node.vacuum(horizon);
         node.env.metrics.on_vacuum(reclaimed as u64);
     }
@@ -768,6 +803,21 @@ fn post_commit_loop(node: Arc<Node>, rx: Receiver<PostCommitJob>) {
         }
         record_embedded_votes(&node, &job.block);
         maintenance(&node, job.block.number);
+        // Group write-back for the page store, mirroring the block-store
+        // sync above: flush the batches dirtied by this block's spill
+        // tick, halting on I/O failure. Journaled writes make a torn
+        // flush recoverable, so this may trail the client notifications.
+        if let Some(store) = node.paged_store() {
+            if let Err(e) = store.sync() {
+                halt(
+                    &node,
+                    job.block.number,
+                    &Error::internal(format!("page store sync failed: {e}")),
+                );
+                node.shutdown();
+                return;
+            }
+        }
         node.env
             .metrics
             .on_post_stage(t3.elapsed().as_micros() as u64);

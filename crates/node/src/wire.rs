@@ -399,6 +399,10 @@ impl Encode for MetricsSnapshot {
         enc.put_u64(self.sync_fetched);
         enc.put_u64(self.sync_replayed);
         enc.put_u64(self.sync_fast_syncs);
+        enc.put_u64(self.pages_read);
+        enc.put_u64(self.pages_written);
+        enc.put_u64(self.pages_evicted);
+        enc.put_f64(self.pool_hit_rate);
         enc.put_u64(self.ordering.forwarded);
         enc.put_u64(self.ordering.cut);
         enc.put_u64(self.ordering.delivered);
@@ -438,6 +442,10 @@ impl Decode for MetricsSnapshot {
             sync_fetched: dec.get_u64()?,
             sync_replayed: dec.get_u64()?,
             sync_fast_syncs: dec.get_u64()?,
+            pages_read: dec.get_u64()?,
+            pages_written: dec.get_u64()?,
+            pages_evicted: dec.get_u64()?,
+            pool_hit_rate: dec.get_f64()?,
             ordering: OrderingSnapshot {
                 forwarded: dec.get_u64()?,
                 cut: dec.get_u64()?,
@@ -595,6 +603,10 @@ mod tests {
             sync_fetched: 23,
             sync_replayed: 24,
             sync_fast_syncs: 25,
+            pages_read: 31,
+            pages_written: 32,
+            pages_evicted: 33,
+            pool_hit_rate: 0.75,
             ordering: OrderingSnapshot {
                 forwarded: 26,
                 cut: 27,

@@ -12,28 +12,55 @@ use bcrdb_common::error::{Error, Result};
 use bcrdb_common::schema::TableSchema;
 use parking_lot::RwLock;
 
-use crate::table::Table;
+use crate::pager::PagedStore;
+use crate::table::{Table, TablePager};
 
-/// A named set of tables.
+/// A named set of tables, optionally backed by a [`PagedStore`] — when
+/// attached, every table created through the catalog gets its own page
+/// file and spills cold segments through the shared buffer pool.
 #[derive(Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
+    store: Option<Arc<PagedStore>>,
 }
 
 impl Catalog {
-    /// Empty catalog.
+    /// Empty in-memory catalog.
     pub fn new() -> Catalog {
         Catalog::default()
     }
 
-    /// Create a table from a schema. Fails if the name is taken.
+    /// Empty catalog whose tables page through `store`.
+    pub fn with_store(store: Arc<PagedStore>) -> Catalog {
+        Catalog {
+            tables: RwLock::default(),
+            store: Some(store),
+        }
+    }
+
+    /// The catalog's paged store, if one is attached.
+    pub fn store(&self) -> Option<&Arc<PagedStore>> {
+        self.store.as_ref()
+    }
+
+    /// Create a table from a schema. Fails if the name is taken. On a
+    /// store-backed catalog the table gets a page file anchored at the
+    /// current checkpoint height of the store (0 for fresh tables — the
+    /// anchor only matters for files carrying chains across a restart).
     pub fn create_table(&self, schema: TableSchema) -> Result<Arc<Table>> {
         let mut tables = self.tables.write();
         let name = schema.name.clone();
         if tables.contains_key(&name) {
             return Err(Error::AlreadyExists(format!("table {name}")));
         }
-        let table = Arc::new(Table::new(schema));
+        let pager = match &self.store {
+            Some(store) => Some(TablePager {
+                store: Arc::clone(store),
+                file: store.open_file(&name, 0)?,
+            }),
+            None => None,
+        };
+        let table = Arc::new(Table::new_in(schema, pager));
         tables.insert(name, Arc::clone(&table));
         Ok(table)
     }
@@ -52,11 +79,17 @@ impl Catalog {
         *self.tables.write() = other.tables.into_inner();
     }
 
-    /// Drop a table. With `if_exists`, missing tables are not an error.
+    /// Drop a table (and its page file, on a store-backed catalog).
+    /// With `if_exists`, missing tables are not an error.
     pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<()> {
         let removed = self.tables.write().remove(name).is_some();
         if !removed && !if_exists {
             return Err(Error::NotFound(format!("table {name}")));
+        }
+        if removed {
+            if let Some(store) = &self.store {
+                store.drop_file(name);
+            }
         }
         Ok(())
     }

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # bcrdb-storage
 //!
 //! The MVCC storage engine underneath the blockchain relational database.
@@ -21,6 +21,8 @@
 
 pub mod catalog;
 pub mod index;
+pub mod page;
+pub mod pager;
 pub mod persist;
 pub mod snapshot;
 pub mod table;
@@ -28,6 +30,7 @@ pub mod version;
 
 pub use catalog::Catalog;
 pub use index::BTreeIndex;
+pub use pager::{PagedStore, PagerFile};
 pub use snapshot::{Classification, ScanMode, Snapshot};
 pub use table::Table;
 pub use version::{Version, VersionState};

@@ -1,0 +1,558 @@
+//! The 8 KB slotted-page format used by the [`crate::pager`].
+//!
+//! This module is the single authority for every byte written to a
+//! `<table>.pages` file; the layout is specified byte-by-byte in
+//! `docs/ON_DISK_FORMAT.md` and the two must be kept in lockstep. A
+//! page is always exactly [`PAGE_SIZE`] bytes:
+//!
+//! * **page 0** is the file meta page ([`PageFileMeta`]): magic, format
+//!   version, checkpoint height and open epoch;
+//! * every other page is a **data page**: a fixed [`PageHeader`], a
+//!   slot directory growing forward from the header, and cells growing
+//!   backward from the end of the page. Each cell is one serialized
+//!   committed [`crate::Version`] record prefixed by its heap-slot offset
+//!   within the segment, so a segment's versions rehydrate at their
+//!   original (stable) heap positions.
+//!
+//! Pages carry a CRC-32 over their entire body; a page that fails the
+//! check is treated as free space by the open-time scan (a torn write
+//! under power loss) and never as silently-empty data.
+
+use bcrdb_common::codec::{Decoder, Encoder};
+use bcrdb_common::error::{Error, Result};
+use bcrdb_common::ids::{BlockHeight, RowId, TxId};
+use bcrdb_common::value::Row;
+
+use crate::version::VersionState;
+
+/// Size of every page, in bytes.
+pub const PAGE_SIZE: usize = 8192;
+/// Fixed data-page header length (the slot directory starts here).
+pub const PAGE_HEADER_LEN: usize = 44;
+/// One slot-directory entry: `u16` cell offset + `u16` cell length.
+pub const SLOT_ENTRY_LEN: usize = 4;
+/// Page number of the meta page.
+pub const META_PAGE_NO: u32 = 0;
+/// `segment_id` sentinel marking a page as free.
+pub const FREE_SEGMENT: u32 = u32::MAX;
+/// `next_page` sentinel ending a segment chain (page 0 is the meta
+/// page, so it can never be a successor).
+pub const NO_NEXT_PAGE: u32 = 0;
+/// Magic bytes opening the meta page.
+pub const PAGE_MAGIC: &[u8; 8] = b"BCRDBPG1";
+/// On-disk format version stamped into the meta page.
+pub const PAGE_FORMAT_VERSION: u32 = 1;
+/// `min_deleter` sentinel: no cell in the chain carries a deleter.
+pub const NO_DELETER: u64 = u64::MAX;
+
+/// A raw page image.
+pub type PageBytes = [u8; PAGE_SIZE];
+
+/// Boxed page image (pages are too large for the stack in bulk).
+pub type PageBuf = Box<PageBytes>;
+
+// ------------------------------------------------------------ CRC-32
+
+/// IEEE CRC-32 lookup table, built at compile time (reflected
+/// polynomial 0xEDB88320 — the same CRC as zip/PNG, chosen so the spec
+/// in `docs/ON_DISK_FORMAT.md` can reference a well-known function).
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// --------------------------------------------------- byte-level utils
+
+fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_be_bytes());
+}
+
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes(buf[off..off + 2].try_into().expect("2 bytes"))
+}
+
+fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes(buf[off..off + 4].try_into().expect("4 bytes"))
+}
+
+fn get_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_be_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// A zeroed page image.
+pub fn blank_page() -> PageBuf {
+    // `vec!` keeps the 8 KB allocation off the stack.
+    vec![0u8; PAGE_SIZE]
+        .into_boxed_slice()
+        .try_into()
+        .expect("exact page size")
+}
+
+// ----------------------------------------------------------- meta page
+
+/// Decoded contents of the file meta page (page 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageFileMeta {
+    /// Block height of the last completed checkpoint: the page file's
+    /// contents were flushed and fsynced as part of the snapshot at
+    /// this height. Crash recovery requires this to equal the state
+    /// snapshot's height before trusting segment chains.
+    pub checkpoint_height: BlockHeight,
+    /// Open counter, bumped every time the file is opened for writing.
+    /// Data pages stamp the epoch they were written under, so recovery
+    /// can tell "written this run" from "survived a crash".
+    pub epoch: u64,
+}
+
+/// Serialize the meta page. Layout: `crc32` over bytes `4..64` at
+/// offset 0, then magic (8), format version (4), page size (4),
+/// checkpoint height (8), epoch (8); the rest of the page is zero.
+pub fn meta_image(meta: &PageFileMeta) -> PageBuf {
+    let mut buf = blank_page();
+    buf[4..12].copy_from_slice(PAGE_MAGIC);
+    put_u32(&mut buf[..], 12, PAGE_FORMAT_VERSION);
+    put_u32(&mut buf[..], 16, PAGE_SIZE as u32);
+    put_u64(&mut buf[..], 20, meta.checkpoint_height);
+    put_u64(&mut buf[..], 28, meta.epoch);
+    let crc = crc32(&buf[4..64]);
+    put_u32(&mut buf[..], 0, crc);
+    buf
+}
+
+/// Decode and verify the meta page.
+pub fn read_meta(buf: &PageBytes) -> Result<PageFileMeta> {
+    if get_u32(buf, 0) != crc32(&buf[4..64]) {
+        return Err(Error::Codec("page file meta: bad checksum".into()));
+    }
+    if &buf[4..12] != PAGE_MAGIC {
+        return Err(Error::Codec("page file meta: bad magic".into()));
+    }
+    let version = get_u32(buf, 12);
+    if version != PAGE_FORMAT_VERSION {
+        return Err(Error::Codec(format!(
+            "page file meta: unsupported format version {version}"
+        )));
+    }
+    let size = get_u32(buf, 16) as usize;
+    if size != PAGE_SIZE {
+        return Err(Error::Codec(format!(
+            "page file meta: page size {size} != {PAGE_SIZE}"
+        )));
+    }
+    Ok(PageFileMeta {
+        checkpoint_height: get_u64(buf, 20),
+        epoch: get_u64(buf, 28),
+    })
+}
+
+// ----------------------------------------------------------- data page
+
+/// Fixed header of a data page. See `docs/ON_DISK_FORMAT.md` for the
+/// byte offsets; the CRC at offset 0 covers bytes `4..PAGE_SIZE`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageHeader {
+    /// This page's own number (self-identifying, so a page written to
+    /// the wrong offset is detected).
+    pub page_no: u32,
+    /// Spill horizon at the time the chain was written; together with
+    /// `epoch` this orders competing chains for the same segment — the
+    /// open-time scan keeps the chain with the largest
+    /// `(epoch, lsn)` and frees the rest.
+    pub lsn: u64,
+    /// Open epoch the page was written under.
+    pub epoch: u64,
+    /// Table segment this page belongs to, or [`FREE_SEGMENT`].
+    pub segment_id: u32,
+    /// Next page of the segment chain, or [`NO_NEXT_PAGE`].
+    pub next_page: u32,
+    /// Position of this page within its chain (0-based).
+    pub seq: u16,
+    /// Number of slot-directory entries.
+    pub slot_count: u16,
+    /// Minimum deleter block over every cell in the *chain* (stamped on
+    /// the seq-0 page, [`NO_DELETER`] elsewhere or when no cell is
+    /// deleted) — lets vacuum skip chains with nothing reclaimable
+    /// without reading their cells.
+    pub min_deleter: u64,
+}
+
+fn write_header(buf: &mut PageBytes, h: &PageHeader) {
+    put_u32(buf, 4, h.page_no);
+    put_u64(buf, 8, h.lsn);
+    put_u64(buf, 16, h.epoch);
+    put_u32(buf, 24, h.segment_id);
+    put_u32(buf, 28, h.next_page);
+    put_u16(buf, 32, h.seq);
+    put_u16(buf, 34, h.slot_count);
+    put_u64(buf, 36, h.min_deleter);
+}
+
+/// Stamp the CRC over bytes `4..PAGE_SIZE` into the first four bytes.
+pub fn seal_page(buf: &mut PageBytes) {
+    let crc = crc32(&buf[4..]);
+    put_u32(buf, 0, crc);
+}
+
+/// Decode and verify a data-page header. Fails on checksum mismatch
+/// (torn write) — callers treat such pages as free space or as a chain
+/// integrity failure depending on context.
+pub fn read_header(buf: &PageBytes) -> Result<PageHeader> {
+    if get_u32(buf, 0) != crc32(&buf[4..]) {
+        return Err(Error::Codec("data page: bad checksum".into()));
+    }
+    Ok(PageHeader {
+        page_no: get_u32(buf, 4),
+        lsn: get_u64(buf, 8),
+        epoch: get_u64(buf, 16),
+        segment_id: get_u32(buf, 24),
+        next_page: get_u32(buf, 28),
+        seq: get_u16(buf, 32),
+        slot_count: get_u16(buf, 34),
+        min_deleter: get_u64(buf, 36),
+    })
+}
+
+/// Serialize a free-page image: a sealed header with
+/// `segment_id = FREE_SEGMENT` and no cells. Written over pages
+/// released by vacuum so a crash-time scan reclassifies them quickly.
+pub fn free_image(page_no: u32, epoch: u64) -> PageBuf {
+    let mut buf = blank_page();
+    write_header(
+        &mut buf,
+        &PageHeader {
+            page_no,
+            lsn: 0,
+            epoch,
+            segment_id: FREE_SEGMENT,
+            next_page: NO_NEXT_PAGE,
+            seq: 0,
+            slot_count: 0,
+            min_deleter: NO_DELETER,
+        },
+    );
+    seal_page(&mut buf);
+    buf
+}
+
+/// Incrementally fills one data page: slot-directory entries grow
+/// forward from the header, cells grow backward from the end.
+pub struct PageBuilder {
+    buf: PageBuf,
+    slot_count: u16,
+    /// First free byte after the slot directory.
+    lower: usize,
+    /// First byte of the cell area.
+    upper: usize,
+}
+
+impl PageBuilder {
+    /// An empty page under construction.
+    pub fn new() -> PageBuilder {
+        PageBuilder {
+            buf: blank_page(),
+            slot_count: 0,
+            lower: PAGE_HEADER_LEN,
+            upper: PAGE_SIZE,
+        }
+    }
+
+    /// Try to add one cell; returns `false` (leaving the page
+    /// unchanged) when the cell plus its directory entry no longer fit.
+    pub fn try_add(&mut self, cell: &[u8]) -> bool {
+        let need = cell.len() + SLOT_ENTRY_LEN;
+        if cell.len() > u16::MAX as usize || self.upper - self.lower < need {
+            return false;
+        }
+        self.upper -= cell.len();
+        self.buf[self.upper..self.upper + cell.len()].copy_from_slice(cell);
+        put_u16(&mut self.buf[..], self.lower, self.upper as u16);
+        put_u16(&mut self.buf[..], self.lower + 2, cell.len() as u16);
+        self.lower += SLOT_ENTRY_LEN;
+        self.slot_count += 1;
+        true
+    }
+
+    /// True if no cell has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.slot_count == 0
+    }
+
+    /// Finalize the page: write the header (with the builder's slot
+    /// count) and seal the checksum.
+    pub fn finish(mut self, header: PageHeader) -> PageBuf {
+        write_header(
+            &mut self.buf,
+            &PageHeader {
+                slot_count: self.slot_count,
+                ..header
+            },
+        );
+        seal_page(&mut self.buf);
+        self.buf
+    }
+}
+
+impl Default for PageBuilder {
+    fn default() -> Self {
+        PageBuilder::new()
+    }
+}
+
+/// Borrowed cell bodies of a (checksum-verified) data page, in slot
+/// directory order, bounds-checked against the page.
+pub fn cells(buf: &PageBytes) -> Result<Vec<&[u8]>> {
+    let header = read_header(buf)?;
+    let n = header.slot_count as usize;
+    let dir_end = PAGE_HEADER_LEN + n * SLOT_ENTRY_LEN;
+    if dir_end > PAGE_SIZE {
+        return Err(Error::Codec("data page: slot directory overflows".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let entry = PAGE_HEADER_LEN + i * SLOT_ENTRY_LEN;
+        let off = get_u16(buf, entry) as usize;
+        let len = get_u16(buf, entry + 2) as usize;
+        if off < dir_end || off + len > PAGE_SIZE {
+            return Err(Error::Codec("data page: cell out of bounds".into()));
+        }
+        out.push(&buf[off..off + len]);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------- cell codec
+
+/// One decoded cell: a committed version record plus the heap-slot
+/// offset it occupies within its segment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecodedCell {
+    /// Heap-slot offset within the segment (`0..SEGMENT_SIZE`).
+    pub slot: u16,
+    /// Creating transaction.
+    pub xmin: TxId,
+    /// Commit-time row id.
+    pub row_id: RowId,
+    /// Block that committed the creating transaction.
+    pub creator: BlockHeight,
+    /// Block that committed the deletion, if any.
+    pub deleter: Option<BlockHeight>,
+    /// The winning deleter transaction, if any.
+    pub xmax: Option<TxId>,
+    /// The row image.
+    pub row: Row,
+}
+
+/// Serialize one committed version as a cell. The version record bytes
+/// are identical to the state-snapshot encoding (`persist`), prefixed
+/// by the slot offset as a big-endian `u16`.
+///
+/// The caller guarantees the version is committed
+/// (`state.creator_block` is `Some` and not aborted).
+pub fn encode_cell(slot: u16, xmin: TxId, state: &VersionState, row: &Row) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(64);
+    enc.put_u8((slot >> 8) as u8);
+    enc.put_u8(slot as u8);
+    enc.put_u64(xmin.0);
+    enc.put_u64(state.row_id.0);
+    enc.put_u64(state.creator_block.expect("cell versions are committed"));
+    match state.deleter_block {
+        Some(db) => {
+            enc.put_bool(true);
+            enc.put_u64(db);
+            enc.put_u64(state.xmax_committed.map_or(0, |t| t.0));
+        }
+        None => enc.put_bool(false),
+    }
+    enc.put_row(row);
+    enc.finish().to_vec()
+}
+
+/// Decode one cell.
+pub fn decode_cell(bytes: &[u8]) -> Result<DecodedCell> {
+    let mut dec = Decoder::new(bytes);
+    let hi = dec.get_u8()?;
+    let lo = dec.get_u8()?;
+    let slot = ((hi as u16) << 8) | lo as u16;
+    let xmin = TxId(dec.get_u64()?);
+    let row_id = RowId(dec.get_u64()?);
+    let creator = dec.get_u64()?;
+    let (deleter, xmax) = if dec.get_bool()? {
+        let db = dec.get_u64()?;
+        let xm = dec.get_u64()?;
+        (Some(db), if xm == 0 { None } else { Some(TxId(xm)) })
+    } else {
+        (None, None)
+    };
+    let row = dec.get_row()?;
+    if !dec.is_exhausted() {
+        return Err(Error::Codec("trailing bytes in page cell".into()));
+    }
+    Ok(DecodedCell {
+        slot,
+        xmin,
+        row_id,
+        creator,
+        deleter,
+        xmax,
+        row,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcrdb_common::value::Value;
+
+    fn sample_state(deleter: Option<BlockHeight>) -> VersionState {
+        VersionState {
+            creator_block: Some(7),
+            deleter_block: deleter,
+            xmax_committed: deleter.map(|_| TxId(99)),
+            xmax_pending: Vec::new(),
+            aborted: false,
+            row_id: RowId(42),
+        }
+    }
+
+    #[test]
+    fn cell_roundtrip() {
+        let row = vec![Value::Int(5), Value::Text("hello".into()), Value::Null];
+        let bytes = encode_cell(513, TxId(3), &sample_state(Some(9)), &row);
+        let cell = decode_cell(&bytes).unwrap();
+        assert_eq!(cell.slot, 513);
+        assert_eq!(cell.xmin, TxId(3));
+        assert_eq!(cell.row_id, RowId(42));
+        assert_eq!(cell.creator, 7);
+        assert_eq!(cell.deleter, Some(9));
+        assert_eq!(cell.xmax, Some(TxId(99)));
+        assert_eq!(cell.row, row);
+    }
+
+    #[test]
+    fn page_roundtrip_and_cell_order() {
+        let mut b = PageBuilder::new();
+        let c1 = encode_cell(0, TxId(1), &sample_state(None), &vec![Value::Int(1)]);
+        let c2 = encode_cell(3, TxId(2), &sample_state(None), &vec![Value::Int(2)]);
+        assert!(b.try_add(&c1));
+        assert!(b.try_add(&c2));
+        let buf = b.finish(PageHeader {
+            page_no: 5,
+            lsn: 100,
+            epoch: 2,
+            segment_id: 1,
+            next_page: 6,
+            seq: 0,
+            slot_count: 0, // overwritten by finish
+            min_deleter: NO_DELETER,
+        });
+        let h = read_header(&buf).unwrap();
+        assert_eq!(h.page_no, 5);
+        assert_eq!(h.lsn, 100);
+        assert_eq!(h.epoch, 2);
+        assert_eq!(h.segment_id, 1);
+        assert_eq!(h.next_page, 6);
+        assert_eq!(h.slot_count, 2);
+        let cs = cells(&buf).unwrap();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(decode_cell(cs[0]).unwrap().slot, 0);
+        assert_eq!(decode_cell(cs[1]).unwrap().slot, 3);
+    }
+
+    #[test]
+    fn corrupt_page_rejected() {
+        let mut b = PageBuilder::new();
+        let c = encode_cell(0, TxId(1), &sample_state(None), &vec![Value::Int(1)]);
+        assert!(b.try_add(&c));
+        let mut buf = b.finish(PageHeader {
+            page_no: 1,
+            lsn: 1,
+            epoch: 1,
+            segment_id: 0,
+            next_page: NO_NEXT_PAGE,
+            seq: 0,
+            slot_count: 0,
+            min_deleter: NO_DELETER,
+        });
+        buf[PAGE_SIZE - 10] ^= 0xff;
+        assert!(read_header(&buf).is_err());
+        assert!(cells(&buf).is_err());
+    }
+
+    #[test]
+    fn builder_rejects_overflow() {
+        let mut b = PageBuilder::new();
+        let big = vec![0u8; PAGE_SIZE]; // larger than any page can hold
+        assert!(!b.try_add(&big));
+        assert!(b.is_empty());
+        // Fill with small cells until the page is full; the count must
+        // match the space math exactly.
+        let cell = encode_cell(0, TxId(1), &sample_state(None), &vec![Value::Int(0)]);
+        let per = cell.len() + SLOT_ENTRY_LEN;
+        let expect = (PAGE_SIZE - PAGE_HEADER_LEN) / per;
+        let mut n = 0;
+        while b.try_add(&cell) {
+            n += 1;
+        }
+        assert_eq!(n, expect);
+    }
+
+    #[test]
+    fn meta_roundtrip_and_corruption() {
+        let meta = PageFileMeta {
+            checkpoint_height: 77,
+            epoch: 3,
+        };
+        let buf = meta_image(&meta);
+        assert_eq!(read_meta(&buf).unwrap(), meta);
+        let mut bad = buf.clone();
+        bad[20] ^= 1;
+        assert!(read_meta(&bad).is_err());
+    }
+
+    #[test]
+    fn free_image_classifies() {
+        let buf = free_image(9, 4);
+        let h = read_header(&buf).unwrap();
+        assert_eq!(h.segment_id, FREE_SEGMENT);
+        assert_eq!(h.page_no, 9);
+        assert_eq!(h.slot_count, 0);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

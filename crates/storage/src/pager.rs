@@ -1,0 +1,1309 @@
+//! Disk-backed paged storage: per-table page files behind a
+//! workspace-wide buffer pool.
+//!
+//! Each table owns one `<table>.pages` file of 8 KB slotted pages (see
+//! [`crate::page`]) holding the *cold* segments of its version heap as
+//! **segment chains** — linked runs of pages, one chain per spilled
+//! segment. A shared [`PagedStore`] caches page images in a bounded
+//! [buffer pool](#buffer-pool) and batches writes through a per-file
+//! redo **journal** so in-place page writes can never tear state.
+//!
+//! # Buffer pool
+//!
+//! Frames are keyed `(file id, page number)` and evicted with a clock
+//! (second-chance) sweep. The pool mutex — the field is named `latch`,
+//! and `bcrdb-lint`'s lock-order graph pins it as **leaf-only** — is
+//! never held across I/O or another lock: eviction *marks* dirty
+//! victims and returns them to the caller, which performs the
+//! write-back through the file's `disk` lock and then confirms with
+//! [`PagedStore`]'s generation-checked finish step. A frame re-written
+//! while its eviction was in flight simply stays resident.
+//!
+//! # Durability
+//!
+//! A write batch appends every page image to the journal, terminates it
+//! with a commit marker, then writes the pages in place and truncates
+//! the journal (with `fsync` between the steps when the store is
+//! configured for power-loss durability, mirroring the block store's
+//! `fsync` knob). On open the journal is replayed — only batches with a
+//! valid commit marker apply; a torn tail is discarded — and the whole
+//! file is scanned to rebuild the segment directory and free list:
+//! for each segment the chain with the highest `(epoch, lsn)` wins and
+//! every other readable page is free. Pages that fail their checksum
+//! are free space, never data.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bcrdb_common::error::{Error, Result};
+use parking_lot::Mutex;
+
+use crate::page::{
+    self, PageBuf, PageBytes, PageFileMeta, PageHeader, FREE_SEGMENT, META_PAGE_NO, NO_DELETER,
+    NO_NEXT_PAGE, PAGE_SIZE,
+};
+
+/// Journal record tag: one page image follows.
+const JOURNAL_PAGE: u8 = 1;
+/// Journal record tag: commit marker ending a batch.
+const JOURNAL_COMMIT: u8 = 2;
+
+/// File-name suffix of a table's page file.
+pub const PAGE_FILE_SUFFIX: &str = ".pages";
+/// File-name suffix of a table's page-file journal.
+pub const JOURNAL_SUFFIX: &str = ".pages.journal";
+
+// ------------------------------------------------------------ PagerFile
+
+/// One segment chain: its pages in `seq` order.
+#[derive(Clone, Debug, Default)]
+struct Chain {
+    pages: Vec<u32>,
+    /// Minimum deleter block over the chain's cells ([`NO_DELETER`] if
+    /// none) — lets vacuum skip chains with nothing reclaimable.
+    min_deleter: u64,
+}
+
+/// Mutable disk state of one page file, behind the `disk` lock.
+struct Disk {
+    file: File,
+    journal: File,
+    /// Allocation high-water mark: pages `1..next_page` exist on disk.
+    next_page: u32,
+    /// Reusable page numbers (freed by chain rewrites), smallest first.
+    free: std::collections::BTreeSet<u32>,
+    /// Segment id → chain, rebuilt by the open-time scan.
+    chains: BTreeMap<u32, Chain>,
+    /// Meta page as last written.
+    meta: PageFileMeta,
+}
+
+/// One table's page file: raw page I/O, the journal, the segment-chain
+/// directory and the free list. All mutable state lives behind the
+/// single `disk` mutex; like the buffer-pool `latch`, it is a leaf lock
+/// — no other lock is ever acquired while holding it.
+pub struct PagerFile {
+    /// Pool key component, unique per open file within the store.
+    id: u32,
+    table: String,
+    path: PathBuf,
+    journal_path: PathBuf,
+    /// Epoch this process opened the file under; pages written this run
+    /// carry it. Strictly larger than any epoch already on disk.
+    epoch: u64,
+    /// Recovery anchor: the state-snapshot height this file was
+    /// restored against. Cells on pages from an *earlier* epoch are
+    /// filtered against it (drop `creator > anchor`, clear
+    /// `deleter > anchor`) because block replay regenerates that
+    /// history.
+    anchor: u64,
+    disk: Mutex<Disk>,
+}
+
+impl std::fmt::Debug for PagerFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagerFile")
+            .field("table", &self.table)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+fn io_err(what: &str, table: &str, e: std::io::Error) -> Error {
+    Error::Io(format!("page file {table}: {what}: {e}"))
+}
+
+impl PagerFile {
+    /// Open (or create) the page file for `table` under `dir`. Replays
+    /// the journal, bumps the epoch, and scans the file to rebuild the
+    /// segment directory and free list. `anchor` is the snapshot height
+    /// recovery will replay from (0 for a fresh node).
+    fn open(dir: &Path, id: u32, table: &str, anchor: u64, fsync: bool) -> Result<PagerFile> {
+        let path = dir.join(format!("{table}{PAGE_FILE_SUFFIX}"));
+        let journal_path = dir.join(format!("{table}{JOURNAL_SUFFIX}"));
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open", table, e))?;
+        let mut journal = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&journal_path)
+            .map_err(|e| io_err("open journal", table, e))?;
+
+        replay_journal(&mut file, &mut journal, table)?;
+
+        let len = file.metadata().map_err(|e| io_err("stat", table, e))?.len();
+        let fresh = len == 0;
+        let old_meta = if fresh {
+            PageFileMeta {
+                checkpoint_height: 0,
+                epoch: 0,
+            }
+        } else {
+            page::read_meta(&*read_page_at(&mut file, META_PAGE_NO, table)?)?
+        };
+        let meta = PageFileMeta {
+            checkpoint_height: old_meta.checkpoint_height,
+            epoch: old_meta.epoch + 1,
+        };
+
+        let (chains, free, next_page) = scan_pages(&mut file, len, table)?;
+
+        let pf = PagerFile {
+            id,
+            table: table.to_string(),
+            path,
+            journal_path,
+            epoch: meta.epoch,
+            anchor,
+            disk: Mutex::new(Disk {
+                file,
+                journal,
+                next_page,
+                free,
+                chains,
+                meta,
+            }),
+        };
+        // Stamp the bumped epoch (journaled like any page write).
+        pf.apply_batch(&[(META_PAGE_NO, Arc::new(*page::meta_image(&meta)))], fsync)?;
+        Ok(pf)
+    }
+
+    /// Pool key component.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Table this file belongs to.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The epoch this process writes pages under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The recovery anchor height (see [`PagerFile`] field docs).
+    pub fn anchor(&self) -> u64 {
+        self.anchor
+    }
+
+    /// Checkpoint height currently recorded in the meta page.
+    pub fn checkpoint_height(&self) -> u64 {
+        self.disk.lock().meta.checkpoint_height
+    }
+
+    /// The pages of `segment`'s chain, in order (`None` if the segment
+    /// has never been spilled).
+    pub fn chain(&self, segment: u32) -> Option<Vec<u32>> {
+        self.disk
+            .lock()
+            .chains
+            .get(&segment)
+            .map(|c| c.pages.clone())
+    }
+
+    /// Segment ids that currently have a chain.
+    pub fn chain_segments(&self) -> Vec<u32> {
+        self.disk.lock().chains.keys().copied().collect()
+    }
+
+    /// Minimum deleter block over `segment`'s chain ([`NO_DELETER`]
+    /// when nothing in it is deleted, `None` if no chain exists).
+    pub fn chain_min_deleter(&self, segment: u32) -> Option<u64> {
+        self.disk.lock().chains.get(&segment).map(|c| c.min_deleter)
+    }
+
+    /// Drop `segment`'s chain, returning the freed page numbers (the
+    /// caller invalidates their pool frames). Used when a restored
+    /// snapshot marks the segment resident — residency wins.
+    pub fn drop_chain(&self, segment: u32) -> Vec<u32> {
+        let mut d = self.disk.lock();
+        let freed = d
+            .chains
+            .remove(&segment)
+            .map(|c| c.pages)
+            .unwrap_or_default();
+        d.free.extend(freed.iter().copied());
+        freed
+    }
+
+    /// Re-point `segment`'s chain at `n` pages: reuses the old chain's
+    /// page numbers first, then the free list, then extends the file.
+    /// Returns `(chain pages, surplus pages freed from the old chain)`.
+    fn begin_chain(&self, segment: u32, n: usize, min_deleter: u64) -> (Vec<u32>, Vec<u32>) {
+        let mut d = self.disk.lock();
+        let old = d
+            .chains
+            .remove(&segment)
+            .map(|c| c.pages)
+            .unwrap_or_default();
+        let mut pages: Vec<u32> = old.iter().copied().take(n).collect();
+        let surplus: Vec<u32> = old.iter().copied().skip(n).collect();
+        d.free.extend(surplus.iter().copied());
+        while pages.len() < n {
+            let no = match d.free.iter().next().copied() {
+                Some(no) => {
+                    d.free.remove(&no);
+                    no
+                }
+                None => {
+                    let no = d.next_page;
+                    d.next_page += 1;
+                    no
+                }
+            };
+            pages.push(no);
+        }
+        d.chains.insert(
+            segment,
+            Chain {
+                pages: pages.clone(),
+                min_deleter,
+            },
+        );
+        (pages, surplus)
+    }
+
+    /// Read one page from disk, verifying its checksum (the caller
+    /// checks the pool first; a dirty pool frame is newer than disk).
+    fn read_page_raw(&self, page_no: u32) -> Result<PageBuf> {
+        let mut d = self.disk.lock();
+        let buf = read_page_at(&mut d.file, page_no, &self.table)?;
+        if page_no != META_PAGE_NO {
+            let h = page::read_header(&buf)?;
+            if h.page_no != page_no {
+                return Err(Error::Codec(format!(
+                    "page file {}: page {page_no} self-identifies as {}",
+                    self.table, h.page_no
+                )));
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Durably apply one batch of page writes: journal + commit marker,
+    /// then in place, then truncate the journal. With `fsync` the
+    /// journal and data are fsynced around the in-place writes, so the
+    /// batch survives power loss; without it the batch survives process
+    /// death only (matching the block store's contract).
+    fn apply_batch(&self, batch: &[(u32, Arc<PageBytes>)], fsync: bool) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let t = &self.table;
+        let mut d = self.disk.lock();
+        let d = &mut *d;
+        d.journal
+            .seek(SeekFrom::End(0))
+            .map_err(|e| io_err("journal seek", t, e))?;
+        for (no, image) in batch {
+            d.journal
+                .write_all(&[JOURNAL_PAGE])
+                .and_then(|()| d.journal.write_all(&no.to_be_bytes()))
+                .and_then(|()| d.journal.write_all(&image[..]))
+                .map_err(|e| io_err("journal append", t, e))?;
+        }
+        d.journal
+            .write_all(&[JOURNAL_COMMIT])
+            .and_then(|()| d.journal.write_all(&(batch.len() as u32).to_be_bytes()))
+            .map_err(|e| io_err("journal commit", t, e))?;
+        d.journal
+            .flush()
+            .map_err(|e| io_err("journal flush", t, e))?;
+        if fsync {
+            d.journal
+                .sync_data()
+                .map_err(|e| io_err("journal fsync", t, e))?;
+        }
+        for (no, image) in batch {
+            d.file
+                .seek(SeekFrom::Start(*no as u64 * PAGE_SIZE as u64))
+                .and_then(|_| d.file.write_all(&image[..]))
+                .map_err(|e| io_err("page write", t, e))?;
+            if *no >= d.next_page {
+                d.next_page = *no + 1;
+            }
+            if *no == META_PAGE_NO {
+                if let Ok(m) = page::read_meta(image) {
+                    d.meta = m;
+                }
+            }
+        }
+        d.file.flush().map_err(|e| io_err("page flush", t, e))?;
+        if fsync {
+            d.file.sync_data().map_err(|e| io_err("page fsync", t, e))?;
+        }
+        // The batch is in place: the journal's protection is spent.
+        d.journal
+            .set_len(0)
+            .map_err(|e| io_err("journal truncate", t, e))?;
+        Ok(())
+    }
+
+    /// Delete both files from disk (DROP TABLE).
+    fn delete_files(&self) {
+        let _ = std::fs::remove_file(&self.path);
+        let _ = std::fs::remove_file(&self.journal_path);
+    }
+}
+
+/// Read one raw page at `page_no`.
+fn read_page_at(file: &mut File, page_no: u32, table: &str) -> Result<PageBuf> {
+    let mut buf = page::blank_page();
+    file.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))
+        .and_then(|_| file.read_exact(&mut buf[..]))
+        .map_err(|e| io_err(&format!("read page {page_no}"), table, e))?;
+    Ok(buf)
+}
+
+/// Replay committed journal batches onto `file`, then truncate the
+/// journal. A torn tail — a record without a following valid commit
+/// marker — is discarded, mirroring the block store's torn-tail
+/// discipline.
+fn replay_journal(file: &mut File, journal: &mut File, table: &str) -> Result<()> {
+    let len = journal
+        .metadata()
+        .map_err(|e| io_err("journal stat", table, e))?
+        .len();
+    if len == 0 {
+        return Ok(());
+    }
+    journal
+        .seek(SeekFrom::Start(0))
+        .map_err(|e| io_err("journal seek", table, e))?;
+    let mut bytes = Vec::with_capacity(len as usize);
+    journal
+        .read_to_end(&mut bytes)
+        .map_err(|e| io_err("journal read", table, e))?;
+
+    let mut pending: Vec<(u32, PageBuf)> = Vec::new();
+    let mut i = 0usize;
+    'replay: while i < bytes.len() {
+        match bytes[i] {
+            JOURNAL_PAGE => {
+                if bytes.len() - i < 1 + 4 + PAGE_SIZE {
+                    break; // torn record
+                }
+                let no = u32::from_be_bytes(bytes[i + 1..i + 5].try_into().expect("4 bytes"));
+                let mut image = page::blank_page();
+                image.copy_from_slice(&bytes[i + 5..i + 5 + PAGE_SIZE]);
+                // A record whose image fails its own checksum is torn.
+                let valid = if no == META_PAGE_NO {
+                    page::read_meta(&image).is_ok()
+                } else {
+                    page::read_header(&image)
+                        .map(|h| h.page_no == no)
+                        .unwrap_or(false)
+                };
+                if !valid {
+                    break 'replay;
+                }
+                pending.push((no, image));
+                i += 1 + 4 + PAGE_SIZE;
+            }
+            JOURNAL_COMMIT => {
+                if bytes.len() - i < 5 {
+                    break;
+                }
+                let count =
+                    u32::from_be_bytes(bytes[i + 1..i + 5].try_into().expect("4 bytes")) as usize;
+                if count != pending.len() {
+                    break; // corrupt marker: discard the batch
+                }
+                for (no, image) in pending.drain(..) {
+                    file.seek(SeekFrom::Start(no as u64 * PAGE_SIZE as u64))
+                        .and_then(|_| file.write_all(&image[..]))
+                        .map_err(|e| io_err("journal replay write", table, e))?;
+                }
+                i += 5;
+            }
+            _ => break, // garbage: torn tail
+        }
+    }
+    file.flush().map_err(|e| io_err("replay flush", table, e))?;
+    journal
+        .set_len(0)
+        .map_err(|e| io_err("journal truncate", table, e))?;
+    Ok(())
+}
+
+/// Scan every page of the file, picking for each segment the chain with
+/// the highest `(epoch, lsn)` and classifying every other readable page
+/// — and every page that fails its checksum — as free. A winning chain
+/// must be contiguous (`seq` 0..n with matching `next_page` links);
+/// otherwise the segment gets no chain and restore falls back to block
+/// replay.
+#[allow(clippy::type_complexity)]
+fn scan_pages(
+    file: &mut File,
+    len: u64,
+    table: &str,
+) -> Result<(BTreeMap<u32, Chain>, std::collections::BTreeSet<u32>, u32)> {
+    let total = (len / PAGE_SIZE as u64) as u32;
+    let next_page = total.max(1);
+    // seg → (epoch, lsn) → seq → (page_no, next, min_deleter)
+    let mut candidates: BTreeMap<u32, BTreeMap<(u64, u64), BTreeMap<u16, (u32, u32, u64)>>> =
+        BTreeMap::new();
+    let mut used: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    for no in 1..total {
+        let buf = read_page_at(file, no, table)?;
+        let Ok(h) = page::read_header(&buf) else {
+            continue; // torn / never-written: free
+        };
+        if h.segment_id == FREE_SEGMENT || h.page_no != no {
+            continue;
+        }
+        candidates
+            .entry(h.segment_id)
+            .or_default()
+            .entry((h.epoch, h.lsn))
+            .or_default()
+            .insert(h.seq, (no, h.next_page, h.min_deleter));
+    }
+    let mut chains = BTreeMap::new();
+    for (seg, by_stamp) in candidates {
+        let Some((_, members)) = by_stamp.into_iter().next_back() else {
+            continue;
+        };
+        // Contiguity + link check.
+        let n = members.len() as u16;
+        let mut pages = Vec::with_capacity(n as usize);
+        let mut ok = true;
+        for seq in 0..n {
+            match members.get(&seq) {
+                Some(&(no, next, _)) => {
+                    let want_next = members
+                        .get(&(seq + 1))
+                        .map(|&(no, _, _)| no)
+                        .unwrap_or(NO_NEXT_PAGE);
+                    if next != want_next {
+                        ok = false;
+                        break;
+                    }
+                    pages.push(no);
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            let min_deleter = members.get(&0).map(|&(_, _, md)| md).unwrap_or(NO_DELETER);
+            used.extend(pages.iter().copied());
+            chains.insert(seg, Chain { pages, min_deleter });
+        }
+    }
+    let free = (1..total).filter(|no| !used.contains(no)).collect();
+    Ok((chains, free, next_page))
+}
+
+// ----------------------------------------------------------- BufferPool
+
+/// One resident page image.
+struct Frame {
+    key: (u32, u32),
+    file: Arc<PagerFile>,
+    image: Arc<PageBytes>,
+    dirty: bool,
+    pinned: u32,
+    referenced: bool,
+    /// Bumped on every write; an in-flight eviction or flush completes
+    /// only if the generation is unchanged.
+    gen: u64,
+    /// A write-back for this frame is in flight; not evictable.
+    evicting: bool,
+}
+
+/// Buffer-pool state behind the leaf-only `latch`.
+struct Pool {
+    frames: Vec<Frame>,
+    map: BTreeMap<(u32, u32), usize>,
+    hand: usize,
+    capacity: usize,
+}
+
+/// One file's grouped write-back batch: the file plus its
+/// `(page_no, image)` pairs, journaled and applied as one unit.
+type FileBatch = (Arc<PagerFile>, Vec<(u32, Arc<PageBytes>)>);
+
+/// A dirty frame handed back by the pool for write-back outside the
+/// latch.
+struct WriteBack {
+    file: Arc<PagerFile>,
+    page_no: u32,
+    image: Arc<PageBytes>,
+    gen: u64,
+    key: (u32, u32),
+}
+
+impl Pool {
+    fn remove(&mut self, idx: usize) {
+        let last = self.frames.len() - 1;
+        self.map.remove(&self.frames[idx].key);
+        if idx != last {
+            let moved = self.frames[last].key;
+            self.map.insert(moved, idx);
+        }
+        self.frames.swap_remove(idx);
+        if self.frames.is_empty() {
+            self.hand = 0;
+        } else {
+            self.hand %= self.frames.len();
+        }
+    }
+
+    /// Clock sweep: evict clean victims in place, mark dirty victims
+    /// evicting and return them for write-back. Stops early if every
+    /// frame is pinned or already evicting.
+    fn evict_to_capacity(&mut self, evicted: &AtomicU64) -> Vec<WriteBack> {
+        let mut out = Vec::new();
+        let mut scanned = 0usize;
+        while self.frames.len() > self.capacity && scanned < 2 * self.frames.len() + 2 {
+            if self.frames.is_empty() {
+                break;
+            }
+            let idx = self.hand % self.frames.len();
+            let f = &mut self.frames[idx];
+            if f.pinned > 0 || f.evicting {
+                self.hand = (idx + 1) % self.frames.len();
+                scanned += 1;
+                continue;
+            }
+            if f.referenced {
+                f.referenced = false;
+                self.hand = (idx + 1) % self.frames.len();
+                scanned += 1;
+                continue;
+            }
+            if f.dirty {
+                f.evicting = true;
+                out.push(WriteBack {
+                    file: Arc::clone(&f.file),
+                    page_no: f.key.1,
+                    image: Arc::clone(&f.image),
+                    gen: f.gen,
+                    key: f.key,
+                });
+                self.hand = (idx + 1) % self.frames.len();
+            } else {
+                evicted.fetch_add(1, Ordering::Relaxed);
+                self.remove(idx);
+            }
+            scanned += 1;
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------- PagedStore
+
+/// The workspace-wide paged store: a directory of per-table page files
+/// and the shared buffer pool. One instance per node, shared by every
+/// table of its catalog.
+pub struct PagedStore {
+    dir: PathBuf,
+    fsync: bool,
+    /// Buffer pool (leaf lock; see module docs).
+    latch: Mutex<Pool>,
+    /// Table name → open page file.
+    files: Mutex<BTreeMap<String, Arc<PagerFile>>>,
+    next_file_id: AtomicU64,
+    pages_read: AtomicU64,
+    pages_written: AtomicU64,
+    pages_evicted: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+}
+
+impl std::fmt::Debug for PagedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedStore")
+            .field("dir", &self.dir)
+            .field("frames", &self.latch.lock().capacity)
+            .finish()
+    }
+}
+
+impl PagedStore {
+    /// Open a store rooted at `dir` (created if missing) with a buffer
+    /// pool of `frames` pages. With `fsync`, every write batch is
+    /// fsynced through the journal (power-loss durability).
+    pub fn open(dir: impl AsRef<Path>, frames: usize, fsync: bool) -> Result<Arc<PagedStore>> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| Error::Io(format!("create page dir {}: {e}", dir.display())))?;
+        Ok(Arc::new(PagedStore {
+            dir,
+            fsync,
+            latch: Mutex::new(Pool {
+                frames: Vec::new(),
+                map: BTreeMap::new(),
+                hand: 0,
+                capacity: frames.max(1),
+            }),
+            files: Mutex::new(BTreeMap::new()),
+            next_file_id: AtomicU64::new(1),
+            pages_read: AtomicU64::new(0),
+            pages_written: AtomicU64::new(0),
+            pages_evicted: AtomicU64::new(0),
+            pool_hits: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
+        }))
+    }
+
+    /// Buffer-pool capacity in frames.
+    pub fn pool_frames(&self) -> usize {
+        self.latch.lock().capacity
+    }
+
+    /// Open (or return the already-open) page file for `table`.
+    /// `anchor` is the snapshot height the file is being restored
+    /// against (ignored when the file is already open).
+    pub fn open_file(&self, table: &str, anchor: u64) -> Result<Arc<PagerFile>> {
+        let mut files = self.files.lock();
+        if let Some(f) = files.get(table) {
+            return Ok(Arc::clone(f));
+        }
+        let id = self.next_file_id.fetch_add(1, Ordering::Relaxed) as u32;
+        let f = Arc::new(PagerFile::open(&self.dir, id, table, anchor, self.fsync)?);
+        files.insert(table.to_string(), Arc::clone(&f));
+        Ok(f)
+    }
+
+    /// Replace `table`'s page file with a fresh, empty one (fast-sync
+    /// install: the incoming state supersedes everything on disk). The
+    /// old [`PagerFile`] handle — possibly still referenced by a
+    /// superseded table — keeps its directory but its pages are gone.
+    pub fn reset_file(&self, table: &str) -> Result<Arc<PagerFile>> {
+        let mut files = self.files.lock();
+        if let Some(old) = files.remove(table) {
+            self.invalidate_file(old.id());
+            old.delete_files();
+        }
+        let id = self.next_file_id.fetch_add(1, Ordering::Relaxed) as u32;
+        let f = Arc::new(PagerFile::open(&self.dir, id, table, 0, self.fsync)?);
+        files.insert(table.to_string(), Arc::clone(&f));
+        Ok(f)
+    }
+
+    /// Close and delete `table`'s page file (DROP TABLE).
+    pub fn drop_file(&self, table: &str) {
+        if let Some(f) = self.files.lock().remove(table) {
+            self.invalidate_file(f.id());
+            f.delete_files();
+        }
+    }
+
+    /// Delete every page file in the directory and forget all open
+    /// handles — the restore-from-genesis fallback after an integrity
+    /// failure.
+    pub fn wipe(&self) -> Result<()> {
+        let mut files = self.files.lock();
+        for (_, f) in std::mem::take(&mut *files) {
+            f.delete_files();
+        }
+        let mut pool = self.latch.lock();
+        pool.frames.clear();
+        pool.map.clear();
+        pool.hand = 0;
+        drop(pool);
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| Error::Io(format!("read page dir {}: {e}", self.dir.display())))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(PAGE_FILE_SUFFIX) || name.ends_with(JOURNAL_SUFFIX) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------- page-level I/O
+
+    /// Read a page, pool-first. A dirty pool frame is always newer than
+    /// disk, so the pool **must** be consulted before the file.
+    pub fn read_page(&self, file: &Arc<PagerFile>, page_no: u32) -> Result<Arc<PageBytes>> {
+        let key = (file.id(), page_no);
+        {
+            let mut pool = self.latch.lock();
+            if let Some(&idx) = pool.map.get(&key) {
+                let f = &mut pool.frames[idx];
+                f.referenced = true;
+                let image = Arc::clone(&f.image);
+                drop(pool);
+                self.pool_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(image);
+            }
+        }
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+        let image: Arc<PageBytes> = Arc::new(*file.read_page_raw(page_no)?);
+        self.pages_read.fetch_add(1, Ordering::Relaxed);
+        self.insert_frame(file, page_no, Arc::clone(&image), false)?;
+        Ok(image)
+    }
+
+    /// Write a page through the pool (dirty; write-back is deferred to
+    /// eviction, the post-commit group sync or a checkpoint).
+    pub fn write_page(&self, file: &Arc<PagerFile>, page_no: u32, image: PageBuf) -> Result<()> {
+        self.insert_frame(file, page_no, Arc::new(*image), true)
+    }
+
+    /// Pin a resident page (evictions skip it until unpinned).
+    pub fn pin(&self, file: &Arc<PagerFile>, page_no: u32) {
+        let mut pool = self.latch.lock();
+        if let Some(&idx) = pool.map.get(&(file.id(), page_no)) {
+            pool.frames[idx].pinned += 1;
+        }
+    }
+
+    /// Release one pin.
+    pub fn unpin(&self, file: &Arc<PagerFile>, page_no: u32) {
+        let mut pool = self.latch.lock();
+        if let Some(&idx) = pool.map.get(&(file.id(), page_no)) {
+            let f = &mut pool.frames[idx];
+            f.pinned = f.pinned.saturating_sub(1);
+        }
+    }
+
+    /// Insert/overwrite a frame, then evict down to capacity. Dirty
+    /// victims are written back outside the latch and confirmed with a
+    /// generation check.
+    fn insert_frame(
+        &self,
+        file: &Arc<PagerFile>,
+        page_no: u32,
+        image: Arc<PageBytes>,
+        dirty: bool,
+    ) -> Result<()> {
+        let key = (file.id(), page_no);
+        let victims = {
+            let mut pool = self.latch.lock();
+            if let Some(&idx) = pool.map.get(&key) {
+                let f = &mut pool.frames[idx];
+                f.image = image;
+                f.dirty |= dirty;
+                f.referenced = true;
+                f.gen += 1;
+            } else {
+                let idx = pool.frames.len();
+                pool.frames.push(Frame {
+                    key,
+                    file: Arc::clone(file),
+                    image,
+                    dirty,
+                    pinned: 0,
+                    referenced: true,
+                    gen: 1,
+                    evicting: false,
+                });
+                pool.map.insert(key, idx);
+            }
+            pool.evict_to_capacity(&self.pages_evicted)
+        };
+        self.write_back(victims, true)
+    }
+
+    /// Write back marked frames (grouped per file into one journaled
+    /// batch each), then confirm: `remove` drops clean-written frames
+    /// from the pool (eviction); otherwise they are merely marked clean
+    /// (flush). A frame re-written concurrently (generation moved) is
+    /// left dirty and resident either way.
+    fn write_back(&self, victims: Vec<WriteBack>, remove: bool) -> Result<()> {
+        if victims.is_empty() {
+            return Ok(());
+        }
+        let mut by_file: BTreeMap<u32, FileBatch> = BTreeMap::new();
+        for wb in &victims {
+            by_file
+                .entry(wb.file.id())
+                .or_insert_with(|| (Arc::clone(&wb.file), Vec::new()))
+                .1
+                .push((wb.page_no, Arc::clone(&wb.image)));
+        }
+        let mut result = Ok(());
+        for (_, (file, batch)) in by_file {
+            let n = batch.len() as u64;
+            match file.apply_batch(&batch, self.fsync) {
+                Ok(()) => {
+                    self.pages_written.fetch_add(n, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        let written_ok = result.is_ok();
+        let mut pool = self.latch.lock();
+        for wb in victims {
+            let Some(&idx) = pool.map.get(&wb.key) else {
+                continue;
+            };
+            let f = &mut pool.frames[idx];
+            if f.gen != wb.gen || !written_ok {
+                // Re-dirtied while in flight (or the write failed):
+                // keep it resident and dirty for the next pass.
+                f.evicting = false;
+                continue;
+            }
+            if remove {
+                self.pages_evicted.fetch_add(1, Ordering::Relaxed);
+                pool.remove(idx);
+            } else {
+                f.dirty = false;
+                f.evicting = false;
+            }
+        }
+        result
+    }
+
+    /// Drop every pool frame belonging to `file_id` (chain freed or
+    /// file reset); dirty contents are discarded deliberately.
+    fn invalidate_file(&self, file_id: u32) {
+        let mut pool = self.latch.lock();
+        let idxs: Vec<usize> = pool
+            .map
+            .iter()
+            .filter(|((fid, _), _)| *fid == file_id)
+            .map(|(_, &idx)| idx)
+            .collect();
+        let mut idxs = idxs;
+        idxs.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in idxs {
+            pool.remove(idx);
+        }
+    }
+
+    // ---------------------------------------------- chains & flushing
+
+    /// Atomically (re)write `segment`'s chain from filled page
+    /// builders: allocates page numbers (reusing the old chain first),
+    /// links and seals the pages, writes them through the pool, and
+    /// overwrites any surplus old pages with free images.
+    pub fn commit_chain(
+        &self,
+        file: &Arc<PagerFile>,
+        segment: u32,
+        builders: Vec<page::PageBuilder>,
+        lsn: u64,
+        min_deleter: u64,
+    ) -> Result<()> {
+        let n = builders.len();
+        let (pages, surplus) = file.begin_chain(segment, n, min_deleter);
+        for (i, b) in builders.into_iter().enumerate() {
+            let header = PageHeader {
+                page_no: pages[i],
+                lsn,
+                epoch: file.epoch(),
+                segment_id: segment,
+                next_page: pages.get(i + 1).copied().unwrap_or(NO_NEXT_PAGE),
+                seq: i as u16,
+                slot_count: 0, // filled by the builder
+                min_deleter: if i == 0 { min_deleter } else { NO_DELETER },
+            };
+            self.write_page(file, pages[i], b.finish(header))?;
+        }
+        for no in surplus {
+            self.write_page(file, no, page::free_image(no, file.epoch()))?;
+        }
+        Ok(())
+    }
+
+    /// Read `segment`'s whole chain through the pool. `None` if the
+    /// segment has no chain.
+    pub fn read_chain(
+        &self,
+        file: &Arc<PagerFile>,
+        segment: u32,
+    ) -> Result<Option<Vec<Arc<PageBytes>>>> {
+        let Some(pages) = file.chain(segment) else {
+            return Ok(None);
+        };
+        let mut out = Vec::with_capacity(pages.len());
+        for no in &pages {
+            self.pin(file, *no);
+        }
+        let mut result = Ok(());
+        for no in &pages {
+            match self.read_page(file, *no) {
+                Ok(image) => out.push(image),
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        for no in &pages {
+            self.unpin(file, *no);
+        }
+        result.map(|()| Some(out))
+    }
+
+    /// Group write-back: flush every dirty frame (one journaled batch
+    /// per file). Hooked into the post-commit stage next to the block
+    /// store's group fsync.
+    pub fn sync(&self) -> Result<()> {
+        let victims = {
+            let mut pool = self.latch.lock();
+            let mut out = Vec::new();
+            for f in pool.frames.iter_mut() {
+                if f.dirty && !f.evicting {
+                    f.evicting = true;
+                    out.push(WriteBack {
+                        file: Arc::clone(&f.file),
+                        page_no: f.key.1,
+                        image: Arc::clone(&f.image),
+                        gen: f.gen,
+                        key: f.key,
+                    });
+                }
+            }
+            out
+        };
+        self.write_back(victims, false)
+    }
+
+    /// Checkpoint every open file at `height`: flush all dirty pages,
+    /// then stamp the meta pages. After this returns, the files on disk
+    /// are self-consistent with the state snapshot at `height`.
+    pub fn checkpoint(&self, height: u64) -> Result<()> {
+        self.sync()?;
+        let files: Vec<Arc<PagerFile>> = self.files.lock().values().cloned().collect();
+        for f in files {
+            let meta = PageFileMeta {
+                checkpoint_height: height,
+                epoch: f.epoch(),
+            };
+            f.apply_batch(
+                &[(META_PAGE_NO, Arc::new(*page::meta_image(&meta)))],
+                self.fsync,
+            )?;
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------------- metrics
+
+    /// Cumulative pages read from disk (pool misses that hit the file).
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative pages written to disk (journaled batch writes).
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative frames evicted from the pool.
+    pub fn pages_evicted(&self) -> u64 {
+        self.pages_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Pool hit rate over the store's lifetime (1.0 when no lookups).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let hits = self.pool_hits.load(Ordering::Relaxed) as f64;
+        let misses = self.pool_misses.load(Ordering::Relaxed) as f64;
+        if hits + misses == 0.0 {
+            1.0
+        } else {
+            hits / (hits + misses)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageBuilder;
+    use crate::version::VersionState;
+    use bcrdb_common::ids::{RowId, TxId};
+    use bcrdb_common::value::Value;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bcrdb-pager-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn committed_state(row_id: u64) -> VersionState {
+        VersionState {
+            creator_block: Some(1),
+            deleter_block: None,
+            xmax_committed: None,
+            xmax_pending: Vec::new(),
+            aborted: false,
+            row_id: RowId(row_id),
+        }
+    }
+
+    fn one_cell_builder(slot: u16, row_id: u64) -> PageBuilder {
+        let mut b = PageBuilder::new();
+        let cell = page::encode_cell(
+            slot,
+            TxId(1),
+            &committed_state(row_id),
+            &vec![Value::Int(row_id as i64)],
+        );
+        assert!(b.try_add(&cell));
+        b
+    }
+
+    #[test]
+    fn chain_roundtrip_through_pool_and_disk() {
+        let dir = temp_dir("chain");
+        let store = PagedStore::open(&dir, 4, false).unwrap();
+        let file = store.open_file("t", 0).unwrap();
+        store
+            .commit_chain(
+                &file,
+                3,
+                vec![one_cell_builder(0, 10), one_cell_builder(1, 11)],
+                5,
+                NO_DELETER,
+            )
+            .unwrap();
+        let pages = store.read_chain(&file, 3).unwrap().unwrap();
+        assert_eq!(pages.len(), 2);
+        let cells = page::cells(&pages[0]).unwrap();
+        assert_eq!(page::decode_cell(cells[0]).unwrap().row_id, RowId(10));
+
+        // Survives flush + reopen (fresh store, fresh pool).
+        store.sync().unwrap();
+        store.checkpoint(7).unwrap();
+        drop((file, store));
+        let store2 = PagedStore::open(&dir, 4, false).unwrap();
+        let file2 = store2.open_file("t", 0).unwrap();
+        assert_eq!(file2.checkpoint_height(), 7);
+        let pages = store2.read_chain(&file2, 3).unwrap().unwrap();
+        assert_eq!(pages.len(), 2);
+        let cells = page::cells(&pages[1]).unwrap();
+        assert_eq!(page::decode_cell(cells[0]).unwrap().row_id, RowId(11));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_is_clock_ordered_and_writes_back() {
+        let dir = temp_dir("evict");
+        let store = PagedStore::open(&dir, 2, false).unwrap();
+        let file = store.open_file("t", 0).unwrap();
+        // Three single-page chains: pool holds 2 frames, so writing the
+        // third evicts the least-recently-used dirty frame — which must
+        // still read back correctly (write-back, then re-read).
+        for seg in 0..3u32 {
+            store
+                .commit_chain(
+                    &file,
+                    seg,
+                    vec![one_cell_builder(0, 100 + seg as u64)],
+                    1,
+                    NO_DELETER,
+                )
+                .unwrap();
+        }
+        assert!(store.pages_evicted() >= 1, "pool over capacity must evict");
+        assert!(store.pages_written() >= 1, "dirty eviction writes back");
+        for seg in 0..3u32 {
+            let pages = store.read_chain(&file, seg).unwrap().unwrap();
+            let cells = page::cells(&pages[0]).unwrap();
+            assert_eq!(
+                page::decode_cell(cells[0]).unwrap().row_id,
+                RowId(100 + seg as u64)
+            );
+        }
+        // An immediate re-read of the last page is a guaranteed hit.
+        let last = file.chain(2).unwrap()[0];
+        store.read_page(&file, last).unwrap();
+        store.read_page(&file, last).unwrap();
+        assert!(store.pool_hit_rate() > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_frames_survive_eviction_pressure() {
+        let dir = temp_dir("pin");
+        let store = PagedStore::open(&dir, 2, false).unwrap();
+        let file = store.open_file("t", 0).unwrap();
+        for seg in 0..2u32 {
+            store
+                .commit_chain(
+                    &file,
+                    seg,
+                    vec![one_cell_builder(0, seg as u64)],
+                    1,
+                    NO_DELETER,
+                )
+                .unwrap();
+        }
+        store.sync().unwrap();
+        let p0 = file.chain(0).unwrap()[0];
+        store.pin(&file, p0);
+        let before = store.pages_evicted();
+        // Push several more pages through a 2-frame pool.
+        for seg in 2..6u32 {
+            store
+                .commit_chain(
+                    &file,
+                    seg,
+                    vec![one_cell_builder(0, seg as u64)],
+                    2,
+                    NO_DELETER,
+                )
+                .unwrap();
+        }
+        assert!(store.pages_evicted() > before);
+        // The pinned page is still resident: reading it is a pool hit.
+        let hits = store.pool_hits.load(Ordering::Relaxed);
+        store.read_page(&file, p0).unwrap();
+        assert_eq!(store.pool_hits.load(Ordering::Relaxed), hits + 1);
+        store.unpin(&file, p0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chain_rewrite_frees_surplus_pages_for_reuse() {
+        let dir = temp_dir("freelist");
+        let store = PagedStore::open(&dir, 8, false).unwrap();
+        let file = store.open_file("t", 0).unwrap();
+        store
+            .commit_chain(
+                &file,
+                0,
+                vec![
+                    one_cell_builder(0, 1),
+                    one_cell_builder(1, 2),
+                    one_cell_builder(2, 3),
+                ],
+                1,
+                NO_DELETER,
+            )
+            .unwrap();
+        let old = file.chain(0).unwrap();
+        assert_eq!(old.len(), 3);
+        // Shrink to one page: two pages return to the free list…
+        store
+            .commit_chain(&file, 0, vec![one_cell_builder(0, 9)], 2, NO_DELETER)
+            .unwrap();
+        assert_eq!(file.chain(0).unwrap(), vec![old[0]]);
+        // …and a new chain reuses them instead of growing the file.
+        store
+            .commit_chain(
+                &file,
+                1,
+                vec![one_cell_builder(0, 20), one_cell_builder(1, 21)],
+                3,
+                NO_DELETER,
+            )
+            .unwrap();
+        let reused = file.chain(1).unwrap();
+        assert!(reused.iter().all(|p| old.contains(p)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_discarded_and_committed_batch_replayed() {
+        let dir = temp_dir("journal");
+        {
+            let store = PagedStore::open(&dir, 4, false).unwrap();
+            let file = store.open_file("t", 0).unwrap();
+            store
+                .commit_chain(&file, 0, vec![one_cell_builder(0, 7)], 1, NO_DELETER)
+                .unwrap();
+            store.sync().unwrap();
+        }
+        // Hand-craft a journal: one committed batch (a valid rewrite of
+        // the chain page) followed by a torn record.
+        let store = PagedStore::open(&dir, 4, false).unwrap();
+        let file = store.open_file("t", 0).unwrap();
+        let page_no = file.chain(0).unwrap()[0];
+        let image = store.read_page(&file, page_no).unwrap();
+        drop((file, store));
+        let jpath = dir.join(format!("t{JOURNAL_SUFFIX}"));
+        let mut j = Vec::new();
+        j.push(JOURNAL_PAGE);
+        j.extend_from_slice(&page_no.to_be_bytes());
+        j.extend_from_slice(&image[..]);
+        j.push(JOURNAL_COMMIT);
+        j.extend_from_slice(&1u32.to_be_bytes());
+        // Torn tail: a page record with a truncated image.
+        j.push(JOURNAL_PAGE);
+        j.extend_from_slice(&page_no.to_be_bytes());
+        j.extend_from_slice(&image[..100]);
+        std::fs::write(&jpath, &j).unwrap();
+
+        let store = PagedStore::open(&dir, 4, false).unwrap();
+        let file = store.open_file("t", 0).unwrap();
+        // Journal replay applied the committed batch, discarded the torn
+        // tail, truncated the journal, and the chain still reads.
+        assert_eq!(std::fs::metadata(&jpath).unwrap().len(), 0);
+        let pages = store.read_chain(&file, 0).unwrap().unwrap();
+        let cells = page::cells(&pages[0]).unwrap();
+        assert_eq!(page::decode_cell(cells[0]).unwrap().row_id, RowId(7));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_prefers_highest_epoch_chain_and_frees_stale_pages() {
+        let dir = temp_dir("scan");
+        {
+            let store = PagedStore::open(&dir, 4, false).unwrap();
+            let file = store.open_file("t", 0).unwrap();
+            store
+                .commit_chain(&file, 0, vec![one_cell_builder(0, 1)], 10, NO_DELETER)
+                .unwrap();
+            store.sync().unwrap();
+        }
+        {
+            // Second epoch rewrites the chain (reusing the page) with new
+            // content at a *lower* lsn — epoch must dominate lsn.
+            let store = PagedStore::open(&dir, 4, false).unwrap();
+            let file = store.open_file("t", 0).unwrap();
+            assert!(file.epoch() > 1);
+            store
+                .commit_chain(&file, 0, vec![one_cell_builder(0, 2)], 3, NO_DELETER)
+                .unwrap();
+            store.sync().unwrap();
+        }
+        let store = PagedStore::open(&dir, 4, false).unwrap();
+        let file = store.open_file("t", 0).unwrap();
+        let pages = store.read_chain(&file, 0).unwrap().unwrap();
+        let cells = page::cells(&pages[0]).unwrap();
+        assert_eq!(page::decode_cell(cells[0]).unwrap().row_id, RowId(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dirty_write_back_marks_clean_without_evicting() {
+        let dir = temp_dir("flush");
+        let store = PagedStore::open(&dir, 8, false).unwrap();
+        let file = store.open_file("t", 0).unwrap();
+        store
+            .commit_chain(&file, 0, vec![one_cell_builder(0, 5)], 1, NO_DELETER)
+            .unwrap();
+        let before = store.pages_written();
+        store.sync().unwrap();
+        assert!(store.pages_written() > before, "sync flushes dirty frames");
+        // A second sync writes nothing: the frame is clean but resident.
+        let after = store.pages_written();
+        store.sync().unwrap();
+        assert_eq!(store.pages_written(), after);
+        let hits = store.pool_hits.load(Ordering::Relaxed);
+        store.read_page(&file, file.chain(0).unwrap()[0]).unwrap();
+        assert_eq!(store.pool_hits.load(Ordering::Relaxed), hits + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

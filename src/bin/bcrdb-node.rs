@@ -59,6 +59,11 @@ Role `node`:
   --orderer-addr ADDR    this node's orderer replica (required)
   --data-dir DIR         block store / snapshot directory
   --fsync                fsync the block store on append
+  --paged                disk-backed paged table storage: spill cold
+                         heap segments to page files under
+                         <data-dir>/pages (requires --data-dir)
+  --pool-frames N        buffer-pool capacity in 8 KB frames with
+                         --paged [default: $BCRDB_POOL_FRAMES or 1024]
   --rejoin               catch up from peers before serving clients
                          (restart / late join)
 
@@ -82,6 +87,8 @@ struct Opts {
     peers: Vec<String>,
     orderer_addr: Option<String>,
     data_dir: Option<PathBuf>,
+    paged: bool,
+    pool_frames: usize,
     rejoin: bool,
     listen_orderer: Vec<String>,
 }
@@ -108,6 +115,8 @@ fn parse_opts(args: &[String]) -> Opts {
         peers: Vec::new(),
         orderer_addr: None,
         data_dir: None,
+        paged: false,
+        pool_frames: bcrdb_core::pool_frames_by_env(),
         rejoin: false,
         listen_orderer: Vec::new(),
     };
@@ -150,6 +159,8 @@ fn parse_opts(args: &[String]) -> Opts {
             "--peer" => o.peers.push(val("--peer")),
             "--orderer-addr" => o.orderer_addr = Some(val("--orderer-addr")),
             "--data-dir" => o.data_dir = Some(PathBuf::from(val("--data-dir"))),
+            "--paged" => o.paged = true,
+            "--pool-frames" => o.pool_frames = parse_num(&val("--pool-frames"), "--pool-frames"),
             "--rejoin" => o.rejoin = true,
             "--listen-orderer" => o.listen_orderer.push(val("--listen-orderer")),
             "--help" | "-h" => {
@@ -234,6 +245,8 @@ fn main() {
                     peers,
                     orderer_addr,
                     data_dir: opts.data_dir.clone(),
+                    paged: opts.paged,
+                    pool_frames: opts.pool_frames.max(1),
                     rejoin: opts.rejoin,
                 },
             )

@@ -35,6 +35,24 @@ fn build_with(flow: Flow, pipeline: bool, apply_workers: Option<usize>) -> Netwo
     if let Some(w) = apply_workers {
         cfg.apply_workers = w;
     }
+    // BCRDB_PAGED=1 re-runs the whole suite on disk-backed paged
+    // storage (pool size from BCRDB_POOL_FRAMES, spilling as eagerly as
+    // possible): the byte-identical-replicas claim must survive cold
+    // segments living in page files behind a small buffer pool. The CI
+    // small-pool job drives this leg with BCRDB_POOL_FRAMES=64.
+    if std::env::var("BCRDB_PAGED").is_ok_and(|v| v == "1") {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NET_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let root = std::env::temp_dir().join(format!(
+            "bcrdb-determinism-paged-{}-{}",
+            std::process::id(),
+            NET_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        cfg.data_root = Some(root);
+        cfg.paged = true;
+        cfg.spill_retention = 1;
+    }
     let net = Network::build(cfg).unwrap();
     net.bootstrap_sql(
         "CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL, note TEXT); \

@@ -126,6 +126,13 @@ fn node_args(ports: &Ports, i: usize, data_root: &Path, rejoin: bool) -> Vec<Str
         format!("127.0.0.1:{}", ports.orderer[i]),
         "--data-dir".into(),
         data_root.join(org).to_string_lossy().into_owned(),
+        // Disk-backed paged storage with a deliberately small pool: the
+        // SIGKILL below lands mid-write-back for the page files too, and
+        // the rejoin exercises paged crash recovery (journal replay or
+        // wipe-and-replay) before the on-disk chain verification.
+        "--paged".into(),
+        "--pool-frames".into(),
+        "64".into(),
     ];
     for (j, other) in ORGS.iter().enumerate() {
         if j != i {
