@@ -36,7 +36,24 @@
 //!   segment faulted from its slotted-page file through the buffer
 //!   pool; must not drop more than the tolerance;
 //! * `storage.hot_rows_per_s` — the same scan once the segments are
-//!   resident again; must not drop more than the tolerance.
+//!   resident again; must not drop more than the tolerance;
+//! * `analytics.seq_rows_per_s` / `analytics.join_rows_per_s` —
+//!   sequential-aggregate and sort-merge-join throughput of the
+//!   cost-based planner's engine-level analytics phase; must not drop
+//!   more than the tolerance;
+//! * `analytics.union_speedup` — index-union point lookups vs the
+//!   forced full-scan shape the old heuristic produced for every `OR`
+//!   predicate; carries an absolute floor of 2.0 on top of the
+//!   baseline-relative check, so the planner must beat the old plan by
+//!   at least 2x regardless of baseline drift;
+//! * `analytics.covering_speedup` — covering-index aggregate vs the
+//!   heap-faulting index scan the old planner always produced; floor
+//!   1.05 — covering must never be slower than faulting the heap;
+//! * `analytics.ssi_abort_rate` — abort rate of a contention workload
+//!   whose transaction pairs are serializable exactly when predicate
+//!   locks are index-narrow (§4.3 read-set shrinkage); 0.0 by design,
+//!   so it gets a fixed 0.05 absolute grace instead of a relative
+//!   tolerance (which is meaningless on a zero baseline).
 //!
 //! The tolerance defaults to ±20% (`BENCH_TOLERANCE`, a fraction).
 //! Millisecond metrics additionally get a small absolute slack
@@ -58,7 +75,7 @@ use std::process::ExitCode;
 /// The `bench_smoke` report schema this gate understands. Bump in the
 /// same commit as the `"schema"` tag in `bench_smoke.rs` — CI fails on
 /// any mismatch.
-const EXPECTED_SCHEMA: &str = "bcrdb-bench-smoke-v6";
+const EXPECTED_SCHEMA: &str = "bcrdb-bench-smoke-v7";
 
 /// Extract the top-level `"schema": "<tag>"` string from `json`.
 fn extract_schema(json: &str) -> Option<&str> {
@@ -247,6 +264,45 @@ fn main() -> ExitCode {
             slack: 0.0,
             floor: None,
         },
+        Gate {
+            section: "analytics",
+            key: "seq_rows_per_s",
+            higher_is_better: true,
+            slack: 0.0,
+            floor: None,
+        },
+        Gate {
+            section: "analytics",
+            key: "union_speedup",
+            higher_is_better: true,
+            slack: 0.0,
+            floor: Some(2.0),
+        },
+        Gate {
+            section: "analytics",
+            key: "covering_speedup",
+            higher_is_better: true,
+            slack: 0.0,
+            floor: Some(1.05),
+        },
+        Gate {
+            section: "analytics",
+            key: "join_rows_per_s",
+            higher_is_better: true,
+            slack: 0.0,
+            floor: None,
+        },
+        Gate {
+            section: "analytics",
+            key: "ssi_abort_rate",
+            higher_is_better: false,
+            // The baseline is 0.0, so the relative tolerance is inert;
+            // the absolute grace is the whole gate. A planner
+            // regression to scan-wide predicate locks aborts one
+            // transaction per contention round (rate 0.5) and trips it.
+            slack: 0.05,
+            floor: None,
+        },
     ];
 
     println!(
@@ -310,13 +366,14 @@ mod tests {
     use super::*;
 
     const SAMPLE: &str = r#"{
-  "schema": "bcrdb-bench-smoke-v6",
+  "schema": "bcrdb-bench-smoke-v7",
   "throughput": { "tps": 388.4, "committed": 1165, "aborted": 0 },
   "pipeline": { "serial_bps": 45.0, "pipelined_bps": 150.0, "speedup": 3.3, "vs_concurrent": 1.2, "apply_workers": 4, "apply_serial_bps": 145.0, "apply_speedup": 1.03 },
   "catch_up": { "blocks_fetched": 4, "duration_ms": 423.55, "fast_sync": false },
   "failover": { "committed": 20, "resume_ms": 512.01, "view_changes": 1 },
   "tcp": { "tps": 350.2, "committed": 1050, "aborted": 0, "p95_latency_ms": 98.5 },
-  "storage": { "rows": 8193, "spilled_segments": 8, "cold_rows_per_s": 510000.5, "hot_rows_per_s": 2400000.0, "pages_written": 280, "pages_read": 280, "pages_evicted": 216, "pool_hit_rate": 0.4321 }
+  "storage": { "rows": 8193, "spilled_segments": 8, "cold_rows_per_s": 510000.5, "hot_rows_per_s": 2400000.0, "pages_written": 280, "pages_read": 280, "pages_evicted": 216, "pool_hit_rate": 0.4321 },
+  "analytics": { "fact_rows": 20000, "seq_rows_per_s": 9100000.0, "union_lookups_per_s": 81000.0, "fullscan_or_lookups_per_s": 420.0, "union_speedup": 192.86, "covering_lookups_per_s": 30000.0, "heap_lookups_per_s": 21000.0, "covering_speedup": 1.429, "join_rows_per_s": 2100000.0, "contention_txns": 400, "ssi_abort_rate": 0.0 }
 }"#;
 
     #[test]
@@ -363,6 +420,16 @@ mod tests {
             Some(2400000.0)
         );
         assert_eq!(extract(SAMPLE, "storage", "pool_hit_rate"), Some(0.4321));
+        assert_eq!(extract(SAMPLE, "analytics", "union_speedup"), Some(192.86));
+        assert_eq!(
+            extract(SAMPLE, "analytics", "covering_speedup"),
+            Some(1.429)
+        );
+        assert_eq!(
+            extract(SAMPLE, "analytics", "join_rows_per_s"),
+            Some(2100000.0)
+        );
+        assert_eq!(extract(SAMPLE, "analytics", "ssi_abort_rate"), Some(0.0));
         assert_eq!(extract(SAMPLE, "nope", "tps"), None);
         assert_eq!(extract(SAMPLE, "throughput", "nope"), None);
     }

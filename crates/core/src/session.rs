@@ -738,6 +738,25 @@ impl Client {
         QueryBuilder::new(self, sql)
     }
 
+    /// The node's query plan for a SELECT, as the planner would run it
+    /// right now: one text line per plan node, with estimated and actual
+    /// row counts (the statement is executed ANALYZE-style). `sql` may
+    /// but need not carry the `EXPLAIN` prefix.
+    pub fn explain(&self, sql: &str) -> Result<Vec<String>> {
+        let text = sql.trim_start();
+        let stmt = if text.len() >= 7 && text[..7].eq_ignore_ascii_case("EXPLAIN") {
+            text.to_string()
+        } else {
+            format!("EXPLAIN {text}")
+        };
+        let result = self.select(&stmt).fetch()?;
+        Ok(result
+            .rows_as::<(String,)>()?
+            .into_iter()
+            .map(|(line,)| line)
+            .collect())
+    }
+
     fn sign_call(&self, call: Call) -> Result<Transaction> {
         let Call {
             contract,

@@ -1,0 +1,278 @@
+//! The cost model: selectivity estimation and operator cost formulas.
+//!
+//! Costs are synthetic row-visit units, not microseconds — the only thing
+//! that matters is the *ordering* of candidate plans, and that the
+//! ordering is a pure function of the catalog and the sealed statistics
+//! so every replica picks the same plan (the chosen plan shapes the SSI
+//! predicate locks, §4.3). All arithmetic is straightforward IEEE f64
+//! over identical inputs; ties are broken structurally by the planner,
+//! never by float identity games.
+//!
+//! Estimation rules:
+//!
+//! * equality on a single-column primary key selects at most one row
+//!   (schema fact, no statistics needed);
+//! * equality on a column with a sealed summary selects `count/distinct`
+//!   of its non-NULL rows (uniform-per-key assumption over exact
+//!   distinct counts);
+//! * ranges over numeric columns interpolate the requested interval
+//!   against the sealed min/max;
+//! * without a summary, fixed default selectivities apply — constants,
+//!   so the fallback is as deterministic as the statistics path.
+
+use std::ops::Bound;
+
+use bcrdb_common::value::Value;
+use bcrdb_storage::index::KeyRange;
+
+use crate::stats::TableStatsView;
+
+/// Assumed table cardinality when no summary is sealed yet.
+pub const DEFAULT_TABLE_ROWS: f64 = 1000.0;
+/// Equality selectivity without statistics (non-unique column).
+pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.05;
+/// Range selectivity without statistics (or non-numeric bounds).
+pub const DEFAULT_RANGE_SELECTIVITY: f64 = 0.33;
+
+/// Cost of one B-tree descent.
+pub const INDEX_SEEK_COST: f64 = 2.0;
+/// Cost per index entry touched.
+pub const INDEX_ENTRY_COST: f64 = 0.2;
+/// Cost per heap row faulted and cloned.
+pub const HEAP_ROW_COST: f64 = 1.0;
+/// Cost per row of a covering scan (key + rowid only; no row clone).
+pub const COVERING_ROW_COST: f64 = 0.4;
+/// Hash join: cost per right row inserted into the build table.
+pub const HASH_BUILD_COST: f64 = 2.0;
+/// Hash join: cost per left row probed.
+pub const HASH_PROBE_COST: f64 = 0.5;
+/// Sort: per-row, per-comparison-level factor (`n·log₂n·factor`).
+pub const SORT_FACTOR: f64 = 0.2;
+/// Sort-merge join: cost per row of the merge walk.
+pub const MERGE_ROW_COST: f64 = 0.2;
+
+/// Table cardinality for costing: the sealed row count, or the default.
+pub fn table_rows(stats: &TableStatsView) -> f64 {
+    stats.rows().map(|r| r as f64).unwrap_or(DEFAULT_TABLE_ROWS)
+}
+
+/// Fraction of the table's rows a single `column ∈ range` predicate
+/// selects, in `[0, 1]`.
+pub fn selectivity(stats: &TableStatsView, column: usize, range: &KeyRange) -> f64 {
+    let rows = table_rows(stats).max(1.0);
+    let is_eq = matches!(
+        (&range.low, &range.high),
+        (Bound::Included(l), Bound::Included(h)) if l == h
+    );
+    if is_eq {
+        if stats.is_unique(column) {
+            return (1.0 / rows).min(1.0);
+        }
+        if let Some(col) = stats.column(column) {
+            if col.count == 0 {
+                // No non-NULL keys: an equality matches nothing.
+                return 0.0;
+            }
+            let per_key = col.count as f64 / col.distinct.max(1) as f64;
+            return (per_key / rows).min(1.0);
+        }
+        return DEFAULT_EQ_SELECTIVITY;
+    }
+    if matches!(
+        (&range.low, &range.high),
+        (Bound::Unbounded, Bound::Unbounded)
+    ) {
+        return 1.0;
+    }
+    // Range: interpolate against sealed min/max when both are numeric.
+    if let Some(col) = stats.column(column) {
+        if let (Some(min), Some(max)) = (
+            col.min.as_ref().and_then(numeric),
+            col.max.as_ref().and_then(numeric),
+        ) {
+            let lo = match &range.low {
+                Bound::Unbounded => min,
+                Bound::Included(v) | Bound::Excluded(v) => match numeric(v) {
+                    Some(f) => f.max(min),
+                    None => return DEFAULT_RANGE_SELECTIVITY,
+                },
+            };
+            let hi = match &range.high {
+                Bound::Unbounded => max,
+                Bound::Included(v) | Bound::Excluded(v) => match numeric(v) {
+                    Some(f) => f.min(max),
+                    None => return DEFAULT_RANGE_SELECTIVITY,
+                },
+            };
+            if hi < lo {
+                return 0.0;
+            }
+            if max > min {
+                // Never claim less than one key's worth of rows for a
+                // non-empty interval.
+                let floor = 1.0 / rows;
+                return ((hi - lo) / (max - min)).clamp(floor, 1.0);
+            }
+            // Degenerate domain (all keys equal): the interval either
+            // contains that key or misses the table entirely.
+            return if lo <= min && min <= hi { 1.0 } else { 0.0 };
+        }
+    }
+    DEFAULT_RANGE_SELECTIVITY
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Cost of a full heap scan over `rows` rows.
+pub fn full_scan_cost(rows: f64) -> f64 {
+    rows * HEAP_ROW_COST
+}
+
+/// Cost of one index scan returning `est` rows. A covering scan skips
+/// the heap-row clone.
+pub fn index_scan_cost(est: f64, covering: bool) -> f64 {
+    let per_row = INDEX_ENTRY_COST
+        + if covering {
+            COVERING_ROW_COST
+        } else {
+            HEAP_ROW_COST
+        };
+    INDEX_SEEK_COST + est * per_row
+}
+
+/// Cost of an intersection of index scans: every part walks its index
+/// entries, but only the intersection faults heap rows.
+pub fn intersect_cost(part_ests: &[f64], out_est: f64) -> f64 {
+    let entries: f64 = part_ests.iter().sum();
+    part_ests.len() as f64 * INDEX_SEEK_COST + entries * INDEX_ENTRY_COST + out_est * HEAP_ROW_COST
+}
+
+/// Cost of a union of index scans: every part walks its entries *and*
+/// faults its heap rows (the union deduplicates row ids, not faults).
+pub fn union_cost(part_ests: &[f64]) -> f64 {
+    let rows: f64 = part_ests.iter().sum();
+    part_ests.len() as f64 * INDEX_SEEK_COST + rows * (INDEX_ENTRY_COST + HEAP_ROW_COST)
+}
+
+/// `n·log₂(n)`-shaped sort cost.
+pub fn sort_cost(n: f64) -> f64 {
+    let n = n.max(0.0);
+    n * n.max(2.0).log2() * SORT_FACTOR
+}
+
+/// Index nested-loop join: one index probe per left row, faulting the
+/// estimated per-key match count.
+pub fn inl_join_cost(left: f64, per_key: f64) -> f64 {
+    left * (INDEX_SEEK_COST + per_key * (INDEX_ENTRY_COST + HEAP_ROW_COST))
+}
+
+/// Hash join: full right scan + build + probe.
+pub fn hash_join_cost(left: f64, right: f64) -> f64 {
+    right * HEAP_ROW_COST + right * HASH_BUILD_COST + left * HASH_PROBE_COST
+}
+
+/// Sort-merge join: full right scan + sort both sides + merge, minus the
+/// downstream sort the merge order makes redundant when the query orders
+/// by the join key (`order_credit` = estimated output rows, 0 otherwise).
+pub fn sort_merge_join_cost(left: f64, right: f64, order_credit: f64) -> f64 {
+    right * HEAP_ROW_COST + sort_cost(left) + sort_cost(right) + (left + right) * MERGE_ROW_COST
+        - sort_cost(order_credit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcrdb_common::schema::{Column, DataType, TableSchema};
+    use bcrdb_storage::stats::{ColumnSummary, TableSummary};
+
+    fn schema() -> TableSchema {
+        let mut s = TableSchema::new(
+            "t",
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("grp", DataType::Text),
+            ],
+            vec![0],
+        )
+        .unwrap();
+        s.add_index("idx_grp", "grp").unwrap();
+        s
+    }
+
+    fn view(rows: u64) -> TableStatsView {
+        let summary = TableSummary {
+            rows,
+            columns: vec![
+                (
+                    0,
+                    ColumnSummary {
+                        distinct: rows,
+                        count: rows,
+                        min: Some(Value::Int(1)),
+                        max: Some(Value::Int(rows as i64)),
+                    },
+                ),
+                (
+                    1,
+                    ColumnSummary {
+                        distinct: 10,
+                        count: rows,
+                        min: Some(Value::Text("a".into())),
+                        max: Some(Value::Text("j".into())),
+                    },
+                ),
+            ],
+        };
+        TableStatsView::with_summary(&schema(), summary)
+    }
+
+    #[test]
+    fn pk_equality_selects_one_row() {
+        let v = view(200);
+        let s = selectivity(&v, 0, &KeyRange::eq(Value::Int(7)));
+        assert!((s - 1.0 / 200.0).abs() < 1e-12);
+        // Unique even without a sealed summary.
+        let empty = TableStatsView::empty(&schema());
+        let s = selectivity(&empty, 0, &KeyRange::eq(Value::Int(7)));
+        assert!((s - 1.0 / DEFAULT_TABLE_ROWS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equality_uses_distinct_counts() {
+        let v = view(200);
+        // 10 distinct groups over 200 rows → 20 rows per key → 0.1.
+        let s = selectivity(&v, 1, &KeyRange::eq(Value::Text("c".into())));
+        assert!((s - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_ranges_interpolate() {
+        let v = view(100); // id spans 1..=100
+        let s = selectivity(&v, 0, &KeyRange::between(Value::Int(1), Value::Int(50)));
+        assert!((s - 49.0 / 99.0).abs() < 1e-12);
+        // Out-of-domain ranges select nothing.
+        let s = selectivity(&v, 0, &KeyRange::greater(Value::Int(500), true));
+        assert_eq!(s, 0.0);
+        // Text bounds fall back to the default.
+        let s = selectivity(&v, 1, &KeyRange::greater(Value::Text("d".into()), true));
+        assert_eq!(s, DEFAULT_RANGE_SELECTIVITY);
+    }
+
+    #[test]
+    fn covering_scans_cost_less() {
+        assert!(index_scan_cost(50.0, true) < index_scan_cost(50.0, false));
+    }
+
+    #[test]
+    fn order_credit_flips_hash_vs_sort_merge() {
+        let (n, m) = (100.0, 100.0);
+        assert!(hash_join_cost(n, m) < sort_merge_join_cost(n, m, 0.0));
+        assert!(sort_merge_join_cost(n, m, n) < hash_join_cost(n, m));
+    }
+}

@@ -1,10 +1,14 @@
 //! The statement executor.
 //!
 //! Executes parsed statements against a [`Catalog`] through a transaction
-//! context. SELECT supports index and full scans, index-nested-loop and
-//! hash joins, grouping with aggregates, HAVING, ORDER BY and LIMIT — the
-//! surface the paper's three evaluation contracts need (Appendix A) plus
-//! provenance scans (§4.2).
+//! context. SELECT supports full, index, covering-index and multi-index
+//! (intersection/union) scans, index-nested-loop, hash and sort-merge
+//! joins — all chosen by the cost-based planner over snapshot-pinned
+//! statistics — plus grouping with aggregates, HAVING, ORDER BY and
+//! LIMIT: the surface the paper's three evaluation contracts need
+//! (Appendix A) plus provenance scans (§4.2). Every SELECT builds a
+//! [`PlanNode`] trace with estimated vs. actual row counts; `EXPLAIN`
+//! executes the statement and returns that trace instead of the rows.
 //!
 //! DDL statements do **not** mutate the catalog immediately: they are
 //! returned as [`CatalogOp`]s that the block processor applies during the
@@ -23,13 +27,16 @@ use bcrdb_sql::ast::{
 };
 use bcrdb_storage::catalog::Catalog;
 use bcrdb_storage::index::KeyRange;
+use bcrdb_storage::snapshot::ScanMode;
 use bcrdb_txn::context::TxnCtx;
 
 use crate::expr::{eval, Env, RowSchema};
 use crate::plan::{choose_access_path, equi_join_key};
+use crate::planner::{choose_join_strategy, plan_scan, JoinStrategy, PlanNode, ScanPlan};
 use crate::procedures::ContractRegistry;
 use crate::provenance;
 use crate::result::QueryResult;
+use crate::stats::TableStatsView;
 
 /// A deferred catalog mutation, applied at commit time.
 #[derive(Clone, Debug, PartialEq)]
@@ -201,16 +208,49 @@ impl<'a> Executor<'a> {
                     name: name.clone(),
                 }))
             }
+            Statement::Explain(inner) => Ok(StatementEffect::Rows(self.run_explain(inner)?)),
         }
+    }
+
+    /// Execute the inner statement and return its plan trace (one `plan`
+    /// text column, indented tree lines with estimated vs. actual row
+    /// counts) instead of its rows.
+    fn run_explain(&self, inner: &Statement) -> Result<QueryResult> {
+        let Statement::Select(sel) = inner else {
+            return Err(Error::Analysis(
+                "EXPLAIN supports SELECT statements only".into(),
+            ));
+        };
+        let (_, node) = self.run_select_traced(sel)?;
+        Ok(QueryResult {
+            columns: vec!["plan".to_string()],
+            rows: node
+                .render()
+                .into_iter()
+                .map(|line| vec![Value::Text(line)])
+                .collect(),
+        })
     }
 
     // ------------------------------------------------------------ SELECT
 
     /// Execute a SELECT.
     pub fn run_select(&self, sel: &SelectStmt) -> Result<QueryResult> {
-        let (schema, mut rows) = match &sel.from {
-            None => (RowSchema::default(), vec![Vec::new()]),
-            Some(fc) => self.run_from(fc, sel.predicate.as_ref())?,
+        Ok(self.run_select_traced(sel)?.0)
+    }
+
+    /// Execute a SELECT and return the plan trace alongside the rows.
+    fn run_select_traced(&self, sel: &SelectStmt) -> Result<(QueryResult, PlanNode)> {
+        let (schema, mut rows, mut node) = match &sel.from {
+            None => (
+                RowSchema::default(),
+                vec![Vec::new()],
+                PlanNode::leaf("Values", None, 1),
+            ),
+            Some(fc) => {
+                let ((schema, rows), node) = self.run_from(fc, sel)?;
+                (schema, rows, node)
+            }
         };
 
         // Residual WHERE filter.
@@ -227,6 +267,7 @@ impl<'a> Executor<'a> {
                 }
             }
             rows = kept;
+            node = PlanNode::over("Filter", None, rows.len(), vec![node]);
         }
 
         let has_aggregates = !sel.group_by.is_empty()
@@ -241,6 +282,15 @@ impl<'a> Executor<'a> {
         } else {
             self.run_projection(sel, &schema, rows)?
         };
+        let shape = if has_aggregates {
+            "Aggregate"
+        } else {
+            "Project"
+        };
+        node = PlanNode::over(shape, None, result.rows.len(), vec![node]);
+        if !sel.order_by.is_empty() {
+            node = PlanNode::over("Sort", None, result.rows.len(), vec![node]);
+        }
 
         // LIMIT.
         if let Some(limit_expr) = &sel.limit {
@@ -253,41 +303,124 @@ impl<'a> Executor<'a> {
             let n = eval(limit_expr, &env)?.as_i64()?;
             let n = usize::try_from(n.max(0)).unwrap_or(usize::MAX);
             result.rows.truncate(n);
+            node = PlanNode::over("Limit", None, result.rows.len(), vec![node]);
         }
-        Ok(result)
+        Ok((result, node))
     }
 
-    fn run_from(&self, fc: &FromClause, predicate: Option<&Expr>) -> Result<Dataset> {
-        let mut dataset = self.scan_table_ref(&fc.base, predicate)?;
+    fn run_from(&self, fc: &FromClause, sel: &SelectStmt) -> Result<(Dataset, PlanNode)> {
+        let predicate = sel.predicate.as_ref();
+        // Covering scans only apply to a single-table FROM: with joins,
+        // the other relations consume the base columns through the ON
+        // conditions.
+        let covering_ctx = fc.joins.is_empty().then_some(sel);
+        let (mut dataset, mut node) = self.scan_table_ref(&fc.base, predicate, covering_ctx)?;
         for join in &fc.joins {
-            dataset = self.run_join(dataset, join, predicate)?;
+            let (d, n) = self.run_join((dataset, node), join, predicate, &sel.order_by)?;
+            dataset = d;
+            node = n;
         }
-        Ok(dataset)
+        Ok((dataset, node))
     }
 
-    fn scan_table_ref(&self, tref: &TableRef, predicate: Option<&Expr>) -> Result<Dataset> {
+    fn scan_table_ref(
+        &self,
+        tref: &TableRef,
+        predicate: Option<&Expr>,
+        covering_ctx: Option<&SelectStmt>,
+    ) -> Result<(Dataset, PlanNode)> {
         if tref.history {
-            return provenance::history_scan(self.catalog, self.ctx, tref);
+            let (schema, rows) = provenance::history_scan(self.catalog, self.ctx, tref)?;
+            let actual = rows.len();
+            let label = format!("HistoryScan {}", tref.effective_name());
+            return Ok(((schema, rows), PlanNode::leaf(label, None, actual)));
         }
         let table = self.catalog.get(&tref.name)?;
         let alias = tref.effective_name().to_string();
         let table_schema = table.schema();
-        let path = choose_access_path(&table_schema, &alias, predicate, self.params)?;
-        let rows = match &path {
-            Some(p) => self.ctx.scan(&table, Some((p.column, &p.range)))?,
-            None => self.ctx.scan(&table, None)?,
-        };
+        let stats = TableStatsView::at(&table, &table_schema, self.ctx.snapshot.height);
+        let covering = covering_ctx.and_then(|sel| covering_candidate(sel, &alias, &table_schema));
+        let strict = self.ctx.mode == ScanMode::Strict;
+        let choice = plan_scan(
+            &table_schema,
+            &alias,
+            predicate,
+            self.params,
+            &stats,
+            covering,
+            strict,
+        )?;
+        let label = choice.plan.label(&alias, &table_schema);
         let names: Vec<String> = table_schema
             .columns
             .iter()
             .map(|c| c.name.clone())
             .collect();
-        let schema = RowSchema::for_table(&alias, &names);
-        Ok((schema, rows.into_iter().map(|r| r.data).collect()))
+        let (schema, rows): Dataset = match &choice.plan {
+            ScanPlan::Full => {
+                let visible = self.ctx.scan(&table, None)?;
+                (
+                    RowSchema::for_table(&alias, &names),
+                    visible.into_iter().map(|r| r.data).collect(),
+                )
+            }
+            ScanPlan::Index {
+                column,
+                range,
+                covering: true,
+            } => {
+                // The index key alone satisfies the query: project just
+                // that column, skipping the heap-row clones.
+                self.catalog.on_covering_plan();
+                let pairs = self.ctx.scan_covering(&table, *column, range)?;
+                (
+                    RowSchema::for_table(&alias, &[names[*column].clone()]),
+                    pairs.into_iter().map(|(_, v)| vec![v]).collect(),
+                )
+            }
+            ScanPlan::Index {
+                column,
+                range,
+                covering: false,
+            } => {
+                let visible = self.ctx.scan(&table, Some((*column, range)))?;
+                (
+                    RowSchema::for_table(&alias, &names),
+                    visible.into_iter().map(|r| r.data).collect(),
+                )
+            }
+            ScanPlan::Intersect { parts } => {
+                self.catalog.on_multi_index_plan();
+                let visible = self.ctx.scan_multi(&table, parts, false)?;
+                (
+                    RowSchema::for_table(&alias, &names),
+                    visible.into_iter().map(|r| r.data).collect(),
+                )
+            }
+            ScanPlan::Union { parts } => {
+                self.catalog.on_multi_index_plan();
+                let visible = self.ctx.scan_multi(&table, parts, true)?;
+                (
+                    RowSchema::for_table(&alias, &names),
+                    visible.into_iter().map(|r| r.data).collect(),
+                )
+            }
+        };
+        let actual = rows.len();
+        Ok((
+            (schema, rows),
+            PlanNode::leaf(label, Some(choice.est_rows), actual),
+        ))
     }
 
-    fn run_join(&self, left: Dataset, join: &Join, where_pred: Option<&Expr>) -> Result<Dataset> {
-        let (left_schema, left_rows) = left;
+    fn run_join(
+        &self,
+        left: (Dataset, PlanNode),
+        join: &Join,
+        where_pred: Option<&Expr>,
+        order_by: &[OrderItem],
+    ) -> Result<(Dataset, PlanNode)> {
+        let ((left_schema, left_rows), left_node) = left;
         // Comma joins (`FROM a, b WHERE a.x = b.y`) carry their equi
         // condition in WHERE, not ON: mine both for the join key.
         let key_source = match where_pred {
@@ -298,14 +431,23 @@ impl<'a> Executor<'a> {
             // Provenance joins materialize the history side and nested-loop.
             let (right_schema, right_rows) =
                 provenance::history_scan(self.catalog, self.ctx, &join.table)?;
+            let right_node = PlanNode::leaf(
+                format!("HistoryScan {}", join.table.effective_name()),
+                None,
+                right_rows.len(),
+            );
             let schema = left_schema.join(&right_schema);
             let rows = nested_loop(&schema, &left_rows, &right_rows, &join.on, self.params)?;
-            return Ok((schema, rows));
+            let actual = rows.len();
+            let node = PlanNode::over("NestedLoopJoin", None, actual, vec![left_node, right_node]);
+            return Ok(((schema, rows), node));
         }
 
         let right_table = self.catalog.get(&join.table.name)?;
         let right_alias = join.table.effective_name().to_string();
         let right_table_schema = right_table.schema();
+        let right_stats =
+            TableStatsView::at(&right_table, &right_table_schema, self.ctx.snapshot.height);
         let names: Vec<String> = right_table_schema
             .columns
             .iter()
@@ -314,59 +456,48 @@ impl<'a> Executor<'a> {
         let right_schema = RowSchema::for_table(&right_alias, &names);
         let combined = left_schema.join(&right_schema);
 
-        let equi = equi_join_key(&key_source, &left_schema, &right_alias, &right_table_schema);
-        if let Some((key_expr, right_col)) = &equi {
-            if right_table_schema.index_on(*right_col).is_some() {
-                // Index nested-loop join: the per-key point scans register
-                // precise predicate locks (EO-flow friendly).
-                let mut out = Vec::new();
-                for lrow in &left_rows {
-                    let env = Env {
-                        schema: &left_schema,
-                        row: lrow,
-                        params: self.params,
-                    };
-                    let key = eval(key_expr, &env)?;
-                    if key.is_null() {
-                        continue;
-                    }
-                    let range = KeyRange::eq(key);
-                    let matches = self.ctx.scan(&right_table, Some((*right_col, &range)))?;
-                    for m in matches {
-                        let mut row = lrow.clone();
-                        row.extend(m.data);
-                        let env = Env {
-                            schema: &combined,
-                            row: &row,
-                            params: self.params,
-                        };
-                        if eval(&join.on, &env)?.is_truthy() {
-                            out.push(row);
-                        }
-                    }
-                }
-                return Ok((combined, out));
-            }
-        }
+        let equi = equi_join_key(
+            &key_source,
+            &left_schema,
+            &right_alias,
+            &right_table_schema,
+            &right_stats,
+        );
 
-        // Materialize the right side (full scan: relaxed flows only — the
-        // strict mode of the EO flow rejects it inside TxnCtx::scan).
-        let right_rows: Vec<Row> = self
-            .ctx
-            .scan(&right_table, None)?
-            .into_iter()
-            .map(|r| r.data)
-            .collect();
+        let Some((key_expr, right_col)) = &equi else {
+            // No equi key: materialize the right side and nested-loop
+            // (full scan: relaxed flows only — the strict mode of the EO
+            // flow rejects it inside TxnCtx::scan).
+            let right_rows: Vec<Row> = self
+                .ctx
+                .scan(&right_table, None)?
+                .into_iter()
+                .map(|r| r.data)
+                .collect();
+            let right_node =
+                PlanNode::leaf(format!("SeqScan {right_alias}"), None, right_rows.len());
+            let rows = nested_loop(&combined, &left_rows, &right_rows, &join.on, self.params)?;
+            let actual = rows.len();
+            let node = PlanNode::over("NestedLoopJoin", None, actual, vec![left_node, right_node]);
+            return Ok(((combined, rows), node));
+        };
 
-        if let Some((key_expr, right_col)) = &equi {
-            // Hash join on the equi key.
-            let mut table_map: HashMap<Value, Vec<Row>> = HashMap::new();
-            for rrow in &right_rows {
-                let key = rrow[*right_col].clone();
-                if !key.is_null() {
-                    table_map.entry(key).or_default().push(rrow.clone());
-                }
-            }
+        let right_indexed = right_table_schema.index_on(*right_col).is_some();
+        let strict = self.ctx.mode == ScanMode::Strict;
+        let order_matches = order_by.first().is_some_and(|o| &o.expr == key_expr);
+        let (strategy, est_out) = choose_join_strategy(
+            left_rows.len(),
+            &right_stats,
+            *right_col,
+            right_indexed,
+            strict,
+            order_matches,
+        );
+        let key_name = &names[*right_col];
+
+        if strategy == JoinStrategy::IndexNestedLoop {
+            // Index nested-loop join: the per-key point scans register
+            // precise predicate locks (EO-flow friendly).
             let mut out = Vec::new();
             for lrow in &left_rows {
                 let env = Env {
@@ -378,26 +509,101 @@ impl<'a> Executor<'a> {
                 if key.is_null() {
                     continue;
                 }
-                if let Some(matches) = table_map.get(&key) {
-                    for m in matches {
-                        let mut row = lrow.clone();
-                        row.extend(m.iter().cloned());
-                        let env = Env {
-                            schema: &combined,
-                            row: &row,
-                            params: self.params,
-                        };
-                        if eval(&join.on, &env)?.is_truthy() {
-                            out.push(row);
-                        }
+                let range = KeyRange::eq(key);
+                let matches = self.ctx.scan(&right_table, Some((*right_col, &range)))?;
+                for m in matches {
+                    let mut row = lrow.clone();
+                    row.extend(m.data);
+                    let env = Env {
+                        schema: &combined,
+                        row: &row,
+                        params: self.params,
+                    };
+                    if eval(&join.on, &env)?.is_truthy() {
+                        out.push(row);
                     }
                 }
             }
-            return Ok((combined, out));
+            let actual = out.len();
+            let node = PlanNode::over(
+                format!("IndexNestedLoopJoin {right_alias} [{key_name}]"),
+                Some(est_out),
+                actual,
+                vec![left_node],
+            );
+            return Ok(((combined, out), node));
         }
 
-        let rows = nested_loop(&combined, &left_rows, &right_rows, &join.on, self.params)?;
-        Ok((combined, rows))
+        // Hash and sort-merge both materialize the right side (full scan:
+        // relaxed flows only, as above).
+        let right_rows: Vec<Row> = self
+            .ctx
+            .scan(&right_table, None)?
+            .into_iter()
+            .map(|r| r.data)
+            .collect();
+        let right_node = PlanNode::leaf(format!("SeqScan {right_alias}"), None, right_rows.len());
+
+        let (out, op) = match strategy {
+            JoinStrategy::SortMerge => (
+                sort_merge_join(
+                    &combined,
+                    &left_schema,
+                    &left_rows,
+                    &right_rows,
+                    *right_col,
+                    key_expr,
+                    &join.on,
+                    self.params,
+                )?,
+                "SortMergeJoin",
+            ),
+            _ => {
+                // Hash join on the equi key.
+                let mut table_map: HashMap<Value, Vec<Row>> = HashMap::new();
+                for rrow in &right_rows {
+                    let key = rrow[*right_col].clone();
+                    if !key.is_null() {
+                        table_map.entry(key).or_default().push(rrow.clone());
+                    }
+                }
+                let mut out = Vec::new();
+                for lrow in &left_rows {
+                    let env = Env {
+                        schema: &left_schema,
+                        row: lrow,
+                        params: self.params,
+                    };
+                    let key = eval(key_expr, &env)?;
+                    if key.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = table_map.get(&key) {
+                        for m in matches {
+                            let mut row = lrow.clone();
+                            row.extend(m.iter().cloned());
+                            let env = Env {
+                                schema: &combined,
+                                row: &row,
+                                params: self.params,
+                            };
+                            if eval(&join.on, &env)?.is_truthy() {
+                                out.push(row);
+                            }
+                        }
+                    }
+                }
+                (out, "HashJoin")
+            }
+        };
+        let actual = out.len();
+        let node = PlanNode::over(
+            format!("{op} {right_alias} [{key_name}]"),
+            Some(est_out),
+            actual,
+            vec![left_node, right_node],
+        );
+        Ok(((combined, out), node))
     }
 
     // -------------------------------------------------------- projection
@@ -706,7 +912,8 @@ impl<'a> Executor<'a> {
             })
             .collect::<Result<_>>()?;
 
-        let path = choose_access_path(&schema, table_name, predicate, self.params)?;
+        let stats = TableStatsView::at(&table, &schema, self.ctx.snapshot.height);
+        let path = choose_access_path(&schema, table_name, predicate, self.params, &stats)?;
         let targets = match &path {
             Some(p) => self.ctx.scan(&table, Some((p.column, &p.range)))?,
             None => self.ctx.scan(&table, None)?,
@@ -745,7 +952,8 @@ impl<'a> Executor<'a> {
         let schema = table.schema();
         let names: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
         let row_schema = RowSchema::for_table(table_name, &names);
-        let path = choose_access_path(&schema, table_name, predicate, self.params)?;
+        let stats = TableStatsView::at(&table, &schema, self.ctx.snapshot.height);
+        let path = choose_access_path(&schema, table_name, predicate, self.params, &stats)?;
         let targets = match &path {
             Some(p) => self.ctx.scan(&table, Some((p.column, &p.range)))?,
             None => self.ctx.scan(&table, None)?,
@@ -788,6 +996,130 @@ fn nested_loop(
             };
             if eval(on, &env)?.is_truthy() {
                 out.push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The single column ordinal a covering-index scan could serve, if the
+/// whole statement consumes exactly one column of the scanned table.
+/// Wildcards, unresolvable names and references to other qualifiers all
+/// disqualify (conservatively — covering is an optimization, never a
+/// requirement).
+fn covering_candidate(sel: &SelectStmt, alias: &str, schema: &TableSchema) -> Option<usize> {
+    if sel
+        .projections
+        .iter()
+        .any(|p| !matches!(p, SelectItem::Expr { .. }))
+    {
+        return None; // wildcards need every column
+    }
+    let mut cols = std::collections::BTreeSet::new();
+    let mut ok = true;
+    let mut visit = |e: &Expr| {
+        e.walk(&mut |sub| {
+            if let Expr::Column { table, name } = sub {
+                if table.as_deref().is_none_or(|t| t == alias) {
+                    match schema.column_index(name) {
+                        Some(i) => {
+                            cols.insert(i);
+                        }
+                        None => ok = false,
+                    }
+                } else {
+                    ok = false;
+                }
+            }
+        });
+    };
+    for p in &sel.projections {
+        if let SelectItem::Expr { expr, .. } = p {
+            visit(expr);
+        }
+    }
+    if let Some(p) = &sel.predicate {
+        visit(p);
+    }
+    for g in &sel.group_by {
+        visit(g);
+    }
+    if let Some(h) = &sel.having {
+        visit(h);
+    }
+    for o in &sel.order_by {
+        visit(&o.expr);
+    }
+    if !ok || cols.len() != 1 {
+        return None;
+    }
+    cols.into_iter().next()
+}
+
+/// Sort-merge equi-join: sort both sides on the join key (total value
+/// order, stable) and merge, cross-producting equal-key groups. NULL
+/// keys never match. Output is ordered by the join key — exactly what a
+/// downstream ORDER BY on that key wants.
+#[allow(clippy::too_many_arguments)]
+fn sort_merge_join(
+    combined: &RowSchema,
+    left_schema: &RowSchema,
+    left_rows: &[Row],
+    right_rows: &[Row],
+    right_col: usize,
+    key_expr: &Expr,
+    on: &Expr,
+    params: &[Value],
+) -> Result<Vec<Row>> {
+    let mut left_keyed: Vec<(Value, &Row)> = Vec::with_capacity(left_rows.len());
+    for lrow in left_rows {
+        let env = Env {
+            schema: left_schema,
+            row: lrow,
+            params,
+        };
+        let key = eval(key_expr, &env)?;
+        if !key.is_null() {
+            left_keyed.push((key, lrow));
+        }
+    }
+    left_keyed.sort_by(|(a, _), (b, _)| a.cmp_total(b));
+    let mut right_keyed: Vec<(&Value, &Row)> = right_rows
+        .iter()
+        .filter(|r| !r[right_col].is_null())
+        .map(|r| (&r[right_col], r))
+        .collect();
+    right_keyed.sort_by(|(a, _), (b, _)| a.cmp_total(b));
+
+    let mut out = Vec::new();
+    let (mut li, mut ri) = (0, 0);
+    while li < left_keyed.len() && ri < right_keyed.len() {
+        match left_keyed[li].0.cmp_total(right_keyed[ri].0) {
+            std::cmp::Ordering::Less => li += 1,
+            std::cmp::Ordering::Greater => ri += 1,
+            std::cmp::Ordering::Equal => {
+                let rend = right_keyed[ri..]
+                    .iter()
+                    .position(|(k, _)| k.cmp_total(&left_keyed[li].0).is_ne())
+                    .map(|n| ri + n)
+                    .unwrap_or(right_keyed.len());
+                while li < left_keyed.len() && left_keyed[li].0.cmp_total(right_keyed[ri].0).is_eq()
+                {
+                    for (_, rrow) in &right_keyed[ri..rend] {
+                        let mut row = left_keyed[li].1.clone();
+                        row.extend(rrow.iter().cloned());
+                        let env = Env {
+                            schema: combined,
+                            row: &row,
+                            params,
+                        };
+                        if eval(on, &env)?.is_truthy() {
+                            out.push(row);
+                        }
+                    }
+                    li += 1;
+                }
+                ri = rend;
             }
         }
     }

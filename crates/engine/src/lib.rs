@@ -16,16 +16,21 @@
 //! phase (so every replica's catalog changes at the same block position).
 
 pub mod access;
+pub mod cost;
 pub mod exec;
 pub mod expr;
 pub mod plan;
+pub mod planner;
 pub mod prepared;
 pub mod procedures;
 pub mod provenance;
 pub mod result;
+pub mod stats;
 
 pub use access::{AccessController, AccessPolicy};
 pub use exec::{CatalogOp, Executor, StatementEffect};
+pub use planner::{PlanNode, ScanPlan};
 pub use prepared::PreparedQuery;
 pub use procedures::{ContractRegistry, Invocation};
 pub use result::{FromRow, QueryResult, RowRef};
+pub use stats::TableStatsView;

@@ -1,14 +1,20 @@
-//! Minimal planning: index selection for predicate reads and equi-join
-//! detection.
+//! Single-index access-path selection and equi-join key detection.
 //!
 //! The paper's rule (§4.3) — *all predicate reads must go through an index
 //! in the execute-order-in-parallel flow* — makes index selection a
 //! correctness feature, not just a performance one: the chosen index range
-//! doubles as the SSI predicate lock. Selection is deliberately simple and
-//! deterministic: split the WHERE clause into AND-conjuncts, find
-//! `column ⟨op⟩ constant` conjuncts over indexed columns of the scanned
-//! table, and pick the most selective shape (equality > bounded range >
-//! half-open range).
+//! doubles as the SSI predicate lock. [`choose_access_path`] is the
+//! single-index chooser used by UPDATE/DELETE target scans; SELECT scans
+//! go through the richer [`crate::planner::plan_scan`] enumerator
+//! (intersection, union, covering), which shares the sargable-conjunct
+//! extraction here.
+//!
+//! Selection is cost-based over the snapshot-pinned statistics
+//! ([`crate::stats::TableStatsView`]) with an explicit, documented
+//! tie-break: **lowest estimated cost first, then lowest column
+//! ordinal**. Both inputs are identical on every replica (the catalog and
+//! the sealed stats ride the deterministic commit path), so every replica
+//! picks the same path.
 
 use bcrdb_common::error::Result;
 use bcrdb_common::schema::TableSchema;
@@ -16,7 +22,9 @@ use bcrdb_common::value::Value;
 use bcrdb_sql::ast::{BinaryOp, Expr};
 use bcrdb_storage::index::KeyRange;
 
+use crate::cost;
 use crate::expr::{eval, Env, RowSchema};
+use crate::stats::TableStatsView;
 
 /// A chosen access path for one table scan.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,7 +57,7 @@ pub fn conjuncts(expr: &Expr) -> Vec<&Expr> {
 
 /// Is `e` a constant expression (literals/params only)? Those are safe to
 /// evaluate at plan time.
-fn is_const(e: &Expr) -> bool {
+pub(crate) fn is_const(e: &Expr) -> bool {
     let mut ok = true;
     e.walk(&mut |sub| {
         if matches!(sub, Expr::Column { .. }) {
@@ -65,7 +73,7 @@ fn is_const(e: &Expr) -> bool {
 }
 
 /// Evaluate a constant expression at plan time.
-fn eval_const(e: &Expr, params: &[Value]) -> Result<Value> {
+pub(crate) fn eval_const(e: &Expr, params: &[Value]) -> Result<Value> {
     let schema = RowSchema::default();
     let env = Env {
         schema: &schema,
@@ -86,8 +94,9 @@ fn column_of(e: &Expr, alias: &str, schema: &TableSchema) -> Option<usize> {
     None
 }
 
-/// Rank an access path shape: lower is better.
-fn rank(range: &KeyRange) -> u8 {
+/// Rank an access path shape (stats-free structural fallback): lower is
+/// better.
+pub(crate) fn rank(range: &KeyRange) -> u8 {
     use std::ops::Bound;
     match (&range.low, &range.high) {
         (Bound::Included(l), Bound::Included(h)) if l == h => 0, // equality
@@ -97,102 +106,132 @@ fn rank(range: &KeyRange) -> u8 {
     }
 }
 
-/// Choose an access path for scanning `schema` (referred to as `alias`)
-/// under the optional `predicate`. Only conjuncts of the shape
-/// `col op const`, `const op col` or `col BETWEEN const AND const` over
-/// columns with an index are considered.
+/// Extract the sargable shape of one conjunct: `col op const`,
+/// `const op col` or `col BETWEEN const AND const` over a column of
+/// `schema` that has an index. Returns the column ordinal and key range.
+pub(crate) fn sargable_conjunct(
+    c: &Expr,
+    alias: &str,
+    schema: &TableSchema,
+    params: &[Value],
+) -> Result<Option<(usize, KeyRange)>> {
+    match c {
+        Expr::Binary { op, left, right } => {
+            let (col, constant, op_oriented) = if let Some(col) = column_of(left, alias, schema) {
+                if !is_const(right) {
+                    return Ok(None);
+                }
+                (col, eval_const(right, params)?, *op)
+            } else if let Some(col) = column_of(right, alias, schema) {
+                if !is_const(left) {
+                    return Ok(None);
+                }
+                // Flip the operator: const op col ≡ col flipped-op const.
+                let flipped = match op {
+                    BinaryOp::Lt => BinaryOp::Gt,
+                    BinaryOp::LtEq => BinaryOp::GtEq,
+                    BinaryOp::Gt => BinaryOp::Lt,
+                    BinaryOp::GtEq => BinaryOp::LtEq,
+                    other => *other,
+                };
+                (col, eval_const(left, params)?, flipped)
+            } else {
+                return Ok(None);
+            };
+            if constant.is_null() {
+                return Ok(None); // NULL comparisons never match
+            }
+            let range = match op_oriented {
+                BinaryOp::Eq => KeyRange::eq(constant),
+                BinaryOp::Lt => KeyRange::less(constant, false),
+                BinaryOp::LtEq => KeyRange::less(constant, true),
+                BinaryOp::Gt => KeyRange::greater(constant, false),
+                BinaryOp::GtEq => KeyRange::greater(constant, true),
+                _ => return Ok(None),
+            };
+            if schema.index_on(col).is_none() {
+                return Ok(None);
+            }
+            Ok(Some((col, range)))
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            let Some(col) = column_of(expr, alias, schema) else {
+                return Ok(None);
+            };
+            if schema.index_on(col).is_none() || !is_const(low) || !is_const(high) {
+                return Ok(None);
+            }
+            let lo = eval_const(low, params)?;
+            let hi = eval_const(high, params)?;
+            if lo.is_null() || hi.is_null() {
+                return Ok(None);
+            }
+            Ok(Some((col, KeyRange::between(lo, hi))))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Choose a single-index access path for scanning `schema` (referred to
+/// as `alias`) under the optional `predicate`. Only conjuncts of the
+/// shape `col op const`, `const op col` or `col BETWEEN const AND const`
+/// over columns with an index are considered.
+///
+/// Tie-break (documented contract, see the
+/// `equality_preferred_over_range` test): **lowest estimated cost wins;
+/// equal costs break to the lowest column ordinal.** Cost comes from the
+/// snapshot-pinned `stats` (or the fixed default selectivities when no
+/// summary is sealed), so the choice is identical on every replica.
 pub fn choose_access_path(
     schema: &TableSchema,
     alias: &str,
     predicate: Option<&Expr>,
     params: &[Value],
+    stats: &TableStatsView,
 ) -> Result<Option<AccessPath>> {
     let Some(pred) = predicate else {
         return Ok(None);
     };
-    let mut best: Option<AccessPath> = None;
-    let mut consider = |column: usize, range: KeyRange| {
-        if schema.index_on(column).is_none() {
-            return;
-        }
+    let rows = cost::table_rows(stats);
+    let mut best: Option<(AccessPath, f64)> = None;
+    for c in conjuncts(pred) {
+        let Some((column, range)) = sargable_conjunct(c, alias, schema, params)? else {
+            continue;
+        };
+        let est = rows * cost::selectivity(stats, column, &range);
+        let path_cost = cost::index_scan_cost(est, false);
         let better = match &best {
             None => true,
-            Some(b) => rank(&range) < rank(&b.range),
+            Some((b, bcost)) => path_cost < *bcost || (path_cost == *bcost && column < b.column),
         };
         if better {
-            best = Some(AccessPath { column, range });
-        }
-    };
-
-    for c in conjuncts(pred) {
-        match c {
-            Expr::Binary { op, left, right } => {
-                let (col, constant, op_oriented) = if let Some(col) = column_of(left, alias, schema)
-                {
-                    if !is_const(right) {
-                        continue;
-                    }
-                    (col, eval_const(right, params)?, *op)
-                } else if let Some(col) = column_of(right, alias, schema) {
-                    if !is_const(left) {
-                        continue;
-                    }
-                    // Flip the operator: const op col ≡ col flipped-op const.
-                    let flipped = match op {
-                        BinaryOp::Lt => BinaryOp::Gt,
-                        BinaryOp::LtEq => BinaryOp::GtEq,
-                        BinaryOp::Gt => BinaryOp::Lt,
-                        BinaryOp::GtEq => BinaryOp::LtEq,
-                        other => *other,
-                    };
-                    (col, eval_const(left, params)?, flipped)
-                } else {
-                    continue;
-                };
-                if constant.is_null() {
-                    continue; // NULL comparisons never match
-                }
-                let range = match op_oriented {
-                    BinaryOp::Eq => KeyRange::eq(constant),
-                    BinaryOp::Lt => KeyRange::less(constant, false),
-                    BinaryOp::LtEq => KeyRange::less(constant, true),
-                    BinaryOp::Gt => KeyRange::greater(constant, false),
-                    BinaryOp::GtEq => KeyRange::greater(constant, true),
-                    _ => continue,
-                };
-                consider(col, range);
-            }
-            Expr::Between {
-                expr,
-                low,
-                high,
-                negated: false,
-            } => {
-                if let Some(col) = column_of(expr, alias, schema) {
-                    if is_const(low) && is_const(high) {
-                        let lo = eval_const(low, params)?;
-                        let hi = eval_const(high, params)?;
-                        if !lo.is_null() && !hi.is_null() {
-                            consider(col, KeyRange::between(lo, hi));
-                        }
-                    }
-                }
-            }
-            _ => {}
+            best = Some((AccessPath { column, range }, path_cost));
         }
     }
-    Ok(best)
+    Ok(best.map(|(p, _)| p))
 }
 
 /// Detect an equi-join `left_expr = right_table.col` inside an ON
 /// condition. Returns (expression over the left side, right column
 /// ordinal) if found. Extra conjuncts are evaluated as residual filters by
 /// the executor.
+///
+/// Candidates are ranked by the right table's statistics: indexed
+/// columns first (they enable the index-nested-loop join), then the
+/// highest distinct count (each probe matches the fewest rows), then the
+/// lowest column ordinal. A single-column primary key counts as fully
+/// distinct even before any summary is sealed.
 pub fn equi_join_key(
     on: &Expr,
     left_schema: &RowSchema,
     right_alias: &str,
     right_schema: &TableSchema,
+    right_stats: &TableStatsView,
 ) -> Option<(Expr, usize)> {
     let mut candidates: Vec<(Expr, usize)> = Vec::new();
     for c in conjuncts(on) {
@@ -216,13 +255,27 @@ pub fn equi_join_key(
             }
         }
     }
-    // Prefer a key whose right column is indexed (enables the index
-    // nested-loop join); otherwise any candidate works for the hash join.
+    // (indexed, distinct) score: bigger is better; ordinal breaks ties.
+    let score = |col: usize| -> (bool, u64) {
+        let indexed = right_schema.index_on(col).is_some();
+        let distinct = if right_stats.is_unique(col) {
+            u64::MAX
+        } else {
+            right_stats.column(col).map(|c| c.distinct).unwrap_or(0)
+        };
+        (indexed, distinct)
+    };
     candidates
         .iter()
-        .find(|(_, col)| right_schema.index_on(*col).is_some())
-        .or_else(|| candidates.first())
-        .cloned()
+        .enumerate()
+        .max_by(|(ia, (_, a)), (ib, (_, b))| {
+            score(*a)
+                .cmp(&score(*b))
+                // Lower ordinal (then earlier conjunct) wins ties.
+                .then_with(|| b.cmp(a))
+                .then_with(|| ib.cmp(ia))
+        })
+        .map(|(_, c)| c.clone())
 }
 
 /// Does every column reference in `e` resolve in `schema`?
@@ -272,7 +325,8 @@ mod tests {
 
     fn path(pred: &str, params: &[Value]) -> Option<AccessPath> {
         let e = parse_expression(pred).unwrap();
-        choose_access_path(&schema(), "inv", Some(&e), params).unwrap()
+        let s = schema();
+        choose_access_path(&s, "inv", Some(&e), params, &TableStatsView::empty(&s)).unwrap()
     }
 
     #[test]
@@ -301,10 +355,14 @@ mod tests {
 
     #[test]
     fn equality_preferred_over_range() {
+        // Documented tie-break: lowest estimated cost, then lowest column
+        // ordinal. An equality estimates fewer rows than a half-open
+        // range, so it costs less regardless of which conjunct came
+        // first…
         let p = path("supplier = 'acme' AND id > 3", &[]).unwrap();
         assert_eq!(p.column, 1, "equality on secondary index beats pk range");
+        // …and among equalities the unique pk estimates fewest rows.
         let p = path("id = 4 AND supplier = 'acme'", &[]).unwrap();
-        // Both are equalities; the first conjunct wins (deterministic).
         assert_eq!(p.column, 0);
     }
 
@@ -314,38 +372,66 @@ mod tests {
         assert!(path("id + 1 = 5", &[]).is_none(), "not col-op-const shape");
         assert!(path("id = amount", &[]).is_none(), "both sides columns");
         assert!(path("id = NULL", &[]).is_none(), "null constant");
+        // A disjunction is not a *single* access path — the SELECT
+        // planner turns it into an index union instead
+        // (`planner::tests::or_on_indexed_column_becomes_index_union`).
         let e = parse_expression("id = 1 OR id = 2").unwrap();
-        assert!(choose_access_path(&schema(), "inv", Some(&e), &[])
-            .unwrap()
-            .is_none());
+        let s = schema();
+        assert!(
+            choose_access_path(&s, "inv", Some(&e), &[], &TableStatsView::empty(&s))
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
     fn qualified_references_respect_alias() {
+        let s = schema();
         let e = parse_expression("other.id = 5").unwrap();
-        assert!(choose_access_path(&schema(), "inv", Some(&e), &[])
-            .unwrap()
-            .is_none());
+        assert!(
+            choose_access_path(&s, "inv", Some(&e), &[], &TableStatsView::empty(&s))
+                .unwrap()
+                .is_none()
+        );
         let e = parse_expression("inv.id = 5").unwrap();
-        assert!(choose_access_path(&schema(), "inv", Some(&e), &[])
-            .unwrap()
-            .is_some());
+        assert!(
+            choose_access_path(&s, "inv", Some(&e), &[], &TableStatsView::empty(&s))
+                .unwrap()
+                .is_some()
+        );
     }
 
     #[test]
     fn equi_join_detection() {
         let left = RowSchema::new(vec![(Some("i".into()), "part_id".into())]);
         let right = schema();
+        let stats = TableStatsView::empty(&right);
         let on = parse_expression("i.part_id = inv.id").unwrap();
-        let (key_expr, col) = equi_join_key(&on, &left, "inv", &right).unwrap();
+        let (key_expr, col) = equi_join_key(&on, &left, "inv", &right, &stats).unwrap();
         assert_eq!(col, 0);
         assert_eq!(key_expr, Expr::qualified("i", "part_id"));
         // Reversed orientation.
         let on = parse_expression("inv.id = i.part_id").unwrap();
-        let (_, col) = equi_join_key(&on, &left, "inv", &right).unwrap();
+        let (_, col) = equi_join_key(&on, &left, "inv", &right, &stats).unwrap();
         assert_eq!(col, 0);
         // Non-equi: none.
         let on = parse_expression("i.part_id < inv.id").unwrap();
-        assert!(equi_join_key(&on, &left, "inv", &right).is_none());
+        assert!(equi_join_key(&on, &left, "inv", &right, &stats).is_none());
+    }
+
+    #[test]
+    fn equi_join_ranks_by_distinct_count() {
+        let left = RowSchema::new(vec![
+            (Some("l".into()), "a".into()),
+            (Some("l".into()), "b".into()),
+        ]);
+        let right = schema();
+        let stats = TableStatsView::empty(&right);
+        // Both right columns are indexed; the unique pk (id) outranks the
+        // secondary index even though the supplier conjunct comes first.
+        let on = parse_expression("l.a = inv.supplier AND l.b = inv.id").unwrap();
+        let (key_expr, col) = equi_join_key(&on, &left, "inv", &right, &stats).unwrap();
+        assert_eq!(col, 0);
+        assert_eq!(key_expr, Expr::qualified("l", "b"));
     }
 }

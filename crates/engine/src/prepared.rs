@@ -34,10 +34,10 @@ pub struct PreparedQuery {
 
 impl PreparedQuery {
     /// Parse and shape-check `sql`. Errors on anything but a single
-    /// SELECT statement.
+    /// SELECT (or EXPLAIN SELECT) statement.
     pub fn parse(sql: &str) -> Result<Arc<PreparedQuery>> {
         let stmt = bcrdb_sql::parse_statement(sql)?;
-        if !matches!(stmt, Statement::Select(_)) {
+        if !matches!(stmt, Statement::Select(_) | Statement::Explain(_)) {
             return Err(Error::Analysis(
                 "only SELECT statements can be prepared; writes must go through \
                  smart-contract transactions (§3.7)"
@@ -106,6 +106,7 @@ mod tests {
     fn only_selects_prepare() {
         assert!(PreparedQuery::parse("SELECT 1").is_ok());
         assert!(PreparedQuery::parse("SELECT a FROM t WHERE b = $1").is_ok());
+        assert!(PreparedQuery::parse("EXPLAIN SELECT a FROM t WHERE b = $1").is_ok());
         assert!(PreparedQuery::parse("DELETE FROM t").is_err());
         assert!(PreparedQuery::parse("CREATE TABLE t (a INT PRIMARY KEY)").is_err());
         assert!(PreparedQuery::parse("nonsense").is_err());

@@ -1,0 +1,77 @@
+//! The planner's view of table statistics, pinned at the transaction's
+//! snapshot height.
+//!
+//! Plans feed SSI predicate locks and therefore abort decisions and the
+//! chain bytes (§4.3), so plan inputs must be identical on every replica.
+//! The view reads the *sealed* summary as of the snapshot height — never
+//! the live counters — so a transaction racing a later block's commit
+//! still plans from the same inputs everywhere. When no summary is
+//! available that early (fresh table, pre-genesis snapshot), the view is
+//! empty and the cost model falls back to fixed default selectivities,
+//! which are constants and therefore equally deterministic.
+
+use bcrdb_common::ids::BlockHeight;
+use bcrdb_common::schema::TableSchema;
+use bcrdb_storage::stats::{ColumnSummary, TableSummary};
+use bcrdb_storage::table::Table;
+
+/// Snapshot-pinned statistics of one table, plus the schema facts the
+/// estimator consults (single-column primary key uniqueness).
+#[derive(Clone, Debug, Default)]
+pub struct TableStatsView {
+    summary: Option<TableSummary>,
+    unique_column: Option<usize>,
+}
+
+impl TableStatsView {
+    /// The sealed summary of `table` as of `height`, or an empty view if
+    /// nothing was sealed that early.
+    pub fn at(table: &Table, schema: &TableSchema, height: BlockHeight) -> TableStatsView {
+        TableStatsView {
+            summary: table.stats_summary_at(height),
+            unique_column: unique_column(schema),
+        }
+    }
+
+    /// A stats-free view over `schema` (planning before any block sealed
+    /// a summary; also the unit-test entry point).
+    pub fn empty(schema: &TableSchema) -> TableStatsView {
+        TableStatsView {
+            summary: None,
+            unique_column: unique_column(schema),
+        }
+    }
+
+    /// A view over an explicit summary (tests).
+    pub fn with_summary(schema: &TableSchema, summary: TableSummary) -> TableStatsView {
+        TableStatsView {
+            summary: Some(summary),
+            unique_column: unique_column(schema),
+        }
+    }
+
+    /// Live row count at the snapshot, if a summary is available.
+    pub fn rows(&self) -> Option<u64> {
+        self.summary.as_ref().map(|s| s.rows)
+    }
+
+    /// Summary of one column, if it is a stat column of a sealed summary.
+    pub fn column(&self, col: usize) -> Option<&ColumnSummary> {
+        self.summary.as_ref().and_then(|s| s.column(col))
+    }
+
+    /// Is `col` the table's single-column primary key (unique by
+    /// construction, so equality selects at most one row even without a
+    /// sealed summary)?
+    pub fn is_unique(&self, col: usize) -> bool {
+        self.unique_column == Some(col)
+    }
+}
+
+fn unique_column(schema: &TableSchema) -> Option<usize> {
+    if schema.primary_key.len() == 1 {
+        Some(schema.primary_key[0])
+    } else {
+        None
+    }
+}

@@ -84,7 +84,7 @@ mod tests {
         let mut more = findings.clone();
         more.push(f("hash-iter", "a.iter()"));
         assert_eq!(new_findings(&more, &base).len(), 1, "third copy is new");
-        assert!(new_findings(&findings[..1].to_vec(), &base).is_empty());
+        assert!(new_findings(&findings[..1], &base).is_empty());
     }
 
     #[test]

@@ -131,7 +131,7 @@ pub fn hash_typed_names(file: &SourceFile) -> BTreeSet<String> {
         ] {
             let method = &guard[1..guard.len() - 2];
             for pos in word_positions(code, method) {
-                let dot = pos.checked_sub(1).unwrap_or(0);
+                let dot = pos.saturating_sub(1);
                 if code.as_bytes().get(dot) != Some(&b'.')
                     || !code[pos + method.len()..].starts_with("()")
                 {

@@ -82,6 +82,10 @@ const DETERMINISM_FILES: &[&str] = &[
     "crates/storage/src/pager.rs",
     "crates/storage/src/table.rs",
     "crates/storage/src/persist.rs",
+    // Planner statistics feed plan choice, and plans choose the index
+    // ranges that double as SSI predicate locks — divergent stats mean
+    // divergent abort decisions and divergent chains.
+    "crates/storage/src/stats.rs",
 ];
 
 /// Is this file part of the consensus/commit path the determinism

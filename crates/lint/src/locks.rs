@@ -104,15 +104,14 @@ fn scan_body(file: &SourceFile, open: usize, close: usize, graph: &mut LockGraph
                     // Skip past the call so `.lock()` isn't rescanned.
                 }
             }
-            b'd' => {
-                // `drop(name)` releases a bound guard early.
-                if ident_starting_at(code, i) == Some("drop") && (i == 0 || !is_ident(bytes[i - 1]))
-                {
-                    let after = skip_ws(code, i + 4);
-                    if bytes.get(after) == Some(&b'(') {
-                        if let Some(name) = ident_starting_at(code, skip_ws(code, after + 1)) {
-                            stack.retain(|h| h.bound.as_deref() != Some(name));
-                        }
+            // `drop(name)` releases a bound guard early.
+            b'd' if ident_starting_at(code, i) == Some("drop")
+                && (i == 0 || !is_ident(bytes[i - 1])) =>
+            {
+                let after = skip_ws(code, i + 4);
+                if bytes.get(after) == Some(&b'(') {
+                    if let Some(name) = ident_starting_at(code, skip_ws(code, after + 1)) {
+                        stack.retain(|h| h.bound.as_deref() != Some(name));
                     }
                 }
             }

@@ -236,6 +236,7 @@ mod tests {
                         ready(table, t * 1500 + i * 97, (t * 1000 + i) as i64)
                     })
                     .collect(),
+                stats: Vec::new(),
             })
             .collect()
     }
@@ -255,6 +256,7 @@ mod tests {
         let one = pool.run(vec![ApplyPlan {
             block: 1,
             steps: vec![ready("t", 5, 42)],
+            stats: Vec::new(),
         }]);
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].row_id, RowId(5));
@@ -267,6 +269,7 @@ mod tests {
             let out = pool.run(vec![ApplyPlan {
                 block,
                 steps: (0..25).map(|i| ready("t", i * 1021, i as i64)).collect(),
+                stats: Vec::new(),
             }]);
             let expect: Vec<i64> = (0..25).map(|i| i as i64).collect();
             let got: Vec<i64> = out

@@ -45,6 +45,7 @@ use bcrdb_engine::exec::{apply_catalog_op, CatalogOp};
 use bcrdb_engine::procedures::ContractRegistry;
 use bcrdb_sql::validate::DeterminismRules;
 use bcrdb_storage::catalog::Catalog;
+use bcrdb_storage::stats::StatsDelta;
 use bcrdb_txn::context::{ApplyPlan, BlockPkOverlay, WriteRecord};
 use bcrdb_txn::ssi::Flow;
 
@@ -73,12 +74,23 @@ pub(crate) fn commit_core(
         records.push(record);
         plans.extend(plan);
     }
+    // The gate computed each committed transaction's statistics delta;
+    // detach them (the apply pool consumes the plans) in block order for
+    // the fold below.
+    let mut deltas: Vec<StatsDelta> = Vec::new();
+    for plan in &mut plans {
+        deltas.append(&mut plan.stats);
+    }
     // bcrdb-lint: allow(wall-clock, reason = "metrics timing only")
     let ta = Instant::now();
     let writes = node.apply.run(plans);
     node.env
         .metrics
         .on_apply_stage(ta.elapsed().as_micros() as u64);
+    // Fold and seal statistics after the apply barrier but before the
+    // caller advances the committed height: a reader at snapshot N must
+    // see the summary sealed at N, on every replica.
+    fold_stats(node, block.number, deltas);
     // The commit-stage metric covers the whole stage (gate + apply) so
     // the number stays comparable across apply_workers settings.
     node.env
@@ -105,6 +117,7 @@ pub(crate) fn commit_core_serial_exec(
     let mut writes: Vec<WriteRecord> = Vec::new();
     let mut overlay = BlockPkOverlay::new();
     let mut bet_us = 0u64;
+    let mut deltas: Vec<StatsDelta> = Vec::new();
     for (i, tx) in block.txs.iter().enumerate() {
         let snap = effective_snapshot(tx, flow, exec_height);
         if !node.is_processed(&tx.id) && snap <= exec_height && node.env.slots.try_claim(tx.id) {
@@ -120,14 +133,51 @@ pub(crate) fn commit_core_serial_exec(
         let (record, plan) = gate_one(node, block, i as u32, tx, flow, &mut overlay);
         node.mark_processed(tx.id);
         records.push(record);
-        if let Some(p) = plan {
+        if let Some(mut p) = plan {
+            deltas.append(&mut p.stats);
             writes.extend(p.execute_all());
         }
     }
+    fold_stats(node, block.number, deltas);
     node.env
         .metrics
         .on_commit_stage(t0.elapsed().as_micros().saturating_sub(bet_us as u128) as u64);
     (records, writes, bet_us)
+}
+
+/// Fold the block's statistics deltas into the per-table statistics and
+/// seal a summary at the block height, on the commit thread in block
+/// order — the stats ride the same deterministic path as the writes, so
+/// every replica plans queries from identical numbers. Tables whose
+/// statistics were marked dirty by DDL in this block (CREATE INDEX adds
+/// a tracked column with no counts yet) are rebuilt exactly from the
+/// heap, which also seals them.
+fn fold_stats(node: &Arc<Node>, block_number: u64, deltas: Vec<StatsDelta>) {
+    let mut touched: Vec<String> = Vec::new();
+    for delta in &deltas {
+        // A table dropped later in the same block may be gone; its
+        // statistics went with it.
+        if let Ok(table) = node.env.catalog.get(&delta.table) {
+            table.stats_apply(delta);
+            if !touched.contains(&delta.table) {
+                touched.push(delta.table.clone());
+            }
+        }
+    }
+    for name in node.env.catalog.table_names() {
+        if let Ok(table) = node.env.catalog.get(&name) {
+            if table.stats_dirty() {
+                table.rebuild_stats(block_number);
+                node.env.metrics.on_stats_rebuild();
+                touched.retain(|t| *t != name);
+            }
+        }
+    }
+    for name in touched {
+        if let Ok(table) = node.env.catalog.get(&name) {
+            table.stats_seal(block_number);
+        }
+    }
 }
 
 /// The snapshot height a transaction executes at under `flow`.

@@ -58,6 +58,9 @@ pub struct NodeMetrics {
     // Maintenance (vacuum tick). Cumulative since node start.
     vacuum_runs: AtomicU64,
     versions_reclaimed: AtomicU64,
+    // Planner-statistics rebuilds (commit-time DDL, maintenance, restore).
+    // Cumulative since node start.
+    stats_rebuilds: AtomicU64,
     // Catch-up / gap bookkeeping (§3.6). Cumulative since node start —
     // these describe rare recovery events, not windowed rates, so
     // [`NodeMetrics::take`] reports them without resetting.
@@ -183,6 +186,19 @@ pub struct MetricsSnapshot {
     /// Buffer-pool hit rate since node start (`1.0` when the pool has
     /// never been consulted; populated like `pages_read`).
     pub pool_hit_rate: f64,
+    /// Multi-index (intersection/union) scan plans chosen by the
+    /// cost-based planner (cumulative; populated by the node's Metrics
+    /// RPC from the catalog's counters, zero when taken directly from
+    /// `NodeMetrics`).
+    pub plans_index_intersection: u64,
+    /// Covering-index scan plans chosen — index-only scans that skipped
+    /// the heap fault (cumulative; populated like
+    /// `plans_index_intersection`).
+    pub plans_covering: u64,
+    /// Planner-statistics rebuilds from the heap: commit-time after
+    /// CREATE INDEX, the maintenance tick, and snapshot/fast-sync
+    /// restores (cumulative).
+    pub stats_rebuilds: u64,
     /// Ordering-service counters (cumulative; all zero when no
     /// `ordering_stats` hook is installed).
     pub ordering: OrderingSnapshot,
@@ -228,6 +244,9 @@ pub const METRICS_WIRE_SLOTS: &[&str] = &[
     "pages_written",
     "pages_evicted",
     "pool_hit_rate",
+    "plans_index_intersection",
+    "plans_covering",
+    "stats_rebuilds",
     "ordering.forwarded",
     "ordering.cut",
     "ordering.delivered",
@@ -268,6 +287,7 @@ impl NodeMetrics {
             halt_reason: Mutex::new(None),
             vacuum_runs: AtomicU64::new(0),
             versions_reclaimed: AtomicU64::new(0),
+            stats_rebuilds: AtomicU64::new(0),
             held_back: AtomicU64::new(0),
             gap_events: AtomicU64::new(0),
             pending_evicted: AtomicU64::new(0),
@@ -403,6 +423,16 @@ impl NodeMetrics {
     /// Row versions reclaimed by maintenance vacuums since node start.
     pub fn versions_reclaimed(&self) -> u64 {
         self.versions_reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Planner statistics were rebuilt exactly from a table's heap.
+    pub fn on_stats_rebuild(&self) {
+        self.stats_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Planner-statistics rebuilds since node start.
+    pub fn stats_rebuilds(&self) -> u64 {
+        self.stats_rebuilds.load(Ordering::Relaxed)
     }
 
     // ------------------------------------------- catch-up / gap counters
@@ -546,6 +576,9 @@ impl NodeMetrics {
             pages_written: 0,
             pages_evicted: 0,
             pool_hit_rate: 1.0,
+            plans_index_intersection: 0,
+            plans_covering: 0,
+            stats_rebuilds: self.stats_rebuilds.load(Ordering::Relaxed),
             ordering: OrderingSnapshot::default(),
         }
     }

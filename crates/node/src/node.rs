@@ -236,7 +236,27 @@ impl Node {
             postcommit: PostCommitMark::new(restored_height),
         });
 
+        if restored_height > 0 {
+            // A restored catalog carries rows but no planner statistics
+            // (they are not serialized); rebuild them exactly from the
+            // heap so the first query plans from real numbers.
+            node.rebuild_all_stats(restored_height);
+        }
+
         Ok(node)
+    }
+
+    /// Rebuild planner statistics for every table exactly from the heap,
+    /// sealing a summary at `height`. Restore paths (snapshot boot,
+    /// fast-sync) bypass the commit-time incremental fold, so the
+    /// statistics must be reconstructed before the node serves queries.
+    fn rebuild_all_stats(&self, height: BlockHeight) {
+        for name in self.env.catalog.table_names() {
+            if let Ok(table) = self.env.catalog.get(&name) {
+                table.rebuild_stats(height);
+                self.env.metrics.on_stats_rebuild();
+            }
+        }
     }
 
     /// Recovery (§3.6): replay all stored blocks beyond the current
@@ -347,6 +367,7 @@ impl Node {
             .committed_height
             .store(snap.height, Ordering::Relaxed);
         self.note_postcommit(snap.height);
+        self.rebuild_all_stats(snap.height);
         self.env.metrics.on_fast_sync();
         Ok(())
     }
@@ -400,6 +421,8 @@ impl Node {
         if let Some(hook) = &self.hooks.read().ordering_stats {
             snap.ordering = hook();
         }
+        snap.plans_index_intersection = self.env.catalog.plans_multi_index();
+        snap.plans_covering = self.env.catalog.plans_covering();
         snap
     }
 
@@ -559,7 +582,7 @@ impl Node {
     ) -> Result<QueryResult> {
         self.check_height(height)?;
         let stmt = bcrdb_sql::parse_statement(sql)?;
-        if !matches!(stmt, Statement::Select(_)) {
+        if !matches!(stmt, Statement::Select(_) | Statement::Explain(_)) {
             return Err(Error::Analysis(
                 "only SELECT statements may run outside a blockchain transaction (§3.7)".into(),
             ));

@@ -403,6 +403,9 @@ impl Encode for MetricsSnapshot {
         enc.put_u64(self.pages_written);
         enc.put_u64(self.pages_evicted);
         enc.put_f64(self.pool_hit_rate);
+        enc.put_u64(self.plans_index_intersection);
+        enc.put_u64(self.plans_covering);
+        enc.put_u64(self.stats_rebuilds);
         enc.put_u64(self.ordering.forwarded);
         enc.put_u64(self.ordering.cut);
         enc.put_u64(self.ordering.delivered);
@@ -446,6 +449,9 @@ impl Decode for MetricsSnapshot {
             pages_written: dec.get_u64()?,
             pages_evicted: dec.get_u64()?,
             pool_hit_rate: dec.get_f64()?,
+            plans_index_intersection: dec.get_u64()?,
+            plans_covering: dec.get_u64()?,
+            stats_rebuilds: dec.get_u64()?,
             ordering: OrderingSnapshot {
                 forwarded: dec.get_u64()?,
                 cut: dec.get_u64()?,
@@ -607,6 +613,9 @@ mod tests {
             pages_written: 32,
             pages_evicted: 33,
             pool_hit_rate: 0.75,
+            plans_index_intersection: 34,
+            plans_covering: 35,
+            stats_rebuilds: 36,
             ordering: OrderingSnapshot {
                 forwarded: 26,
                 cut: 27,

@@ -72,6 +72,10 @@ pub enum Statement {
         /// Function (smart contract) name.
         name: String,
     },
+    /// `EXPLAIN <statement>` — execute the inner statement and return
+    /// its plan tree (with estimated vs. actual row counts) instead of
+    /// its rows. The parser restricts the inner statement to `SELECT`.
+    Explain(Box<Statement>),
 }
 
 /// A smart-contract definition: named, typed parameters and a body of
@@ -420,6 +424,7 @@ impl Statement {
                 }
             }
             Statement::Select(sel) => walk_select(sel, f),
+            Statement::Explain(inner) => inner.walk_exprs(f),
             Statement::CreateFunction(def) => {
                 for s in &def.body {
                     s.walk_exprs(f);

@@ -139,6 +139,10 @@ fn write_statement(s: &mut String, stmt: &Statement) {
             }
         }
         Statement::Select(sel) => write_select(s, sel),
+        Statement::Explain(inner) => {
+            s.push_str("EXPLAIN ");
+            write_statement(s, inner);
+        }
         Statement::CreateFunction(def) => s.push_str(&function_to_sql(def)),
         Statement::DropFunction { name } => {
             let _ = write!(s, "DROP FUNCTION {name}");
@@ -396,9 +400,17 @@ mod tests {
             "SELECT h.amt FROM HISTORY(inv) h WHERE h.id = 5",
             "SELECT -x + 2 * (y - 1) FROM t WHERE a = TRUE OR b = FALSE",
             "SELECT 1.5, 2.0, 'text'",
+            "EXPLAIN SELECT * FROM t WHERE id = 1 OR id = 2",
+            "EXPLAIN SELECT a, COUNT(*) FROM t JOIN u ON t.id = u.tid GROUP BY a",
         ] {
             roundtrip(sql);
         }
+    }
+
+    #[test]
+    fn explain_restricted_to_select() {
+        assert!(parse_statement("EXPLAIN DELETE FROM t WHERE id = 1").is_err());
+        assert!(parse_statement("EXPLAIN EXPLAIN SELECT 1").is_err());
     }
 
     #[test]

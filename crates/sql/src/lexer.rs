@@ -74,6 +74,7 @@ pub enum Keyword {
     Replace,
     History,
     Distinct,
+    Explain,
 }
 
 impl Keyword {
@@ -122,6 +123,7 @@ impl Keyword {
             "replace" => Replace,
             "history" => History,
             "distinct" => Distinct,
+            "explain" => Explain,
             _ => return None,
         })
     }

@@ -158,8 +158,19 @@ impl<'a> Parser<'a> {
             Some(Token::Keyword(Kw::Update)) => self.parse_update(),
             Some(Token::Keyword(Kw::Delete)) => self.parse_delete(),
             Some(Token::Keyword(Kw::Select)) => Ok(Statement::Select(self.parse_select()?)),
+            Some(Token::Keyword(Kw::Explain)) => self.parse_explain(),
             _ => Err(self.err_here("expected a statement")),
         }
+    }
+
+    fn parse_explain(&mut self) -> Result<Statement> {
+        self.expect_keyword(Kw::Explain)?;
+        if !matches!(self.peek(), Some(Token::Keyword(Kw::Select))) {
+            return Err(self.err_here("EXPLAIN supports SELECT statements only"));
+        }
+        Ok(Statement::Explain(Box::new(Statement::Select(
+            self.parse_select()?,
+        ))))
     }
 
     fn parse_create(&mut self) -> Result<Statement> {

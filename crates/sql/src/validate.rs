@@ -125,6 +125,7 @@ pub fn validate_statement(stmt: &Statement, rules: &DeterminismRules) -> Result<
 
     match stmt {
         Statement::Select(sel) => validate_select(sel, rules)?,
+        Statement::Explain(inner) => validate_statement(inner, rules)?,
         Statement::Insert {
             source: InsertSource::Select(sel),
             ..

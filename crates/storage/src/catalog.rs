@@ -6,6 +6,7 @@
 //! coarse-grained and rare; lookups are lock-free clones of `Arc`s.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bcrdb_common::error::{Error, Result};
@@ -18,10 +19,19 @@ use crate::table::{Table, TablePager};
 /// A named set of tables, optionally backed by a [`PagedStore`] — when
 /// attached, every table created through the catalog gets its own page
 /// file and spills cold segments through the shared buffer pool.
+///
+/// The catalog also carries the planner's node-local plan-shape
+/// counters: the engine has no handle to the node metrics, so the
+/// executor bumps these and the node's Metrics RPC overlays them into
+/// its snapshot, the same way the paged-store counters are reported.
 #[derive(Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
     store: Option<Arc<PagedStore>>,
+    /// Multi-index (intersection/union) scans planned (cumulative).
+    plans_multi_index: AtomicU64,
+    /// Covering-index scans planned (cumulative).
+    plans_covering: AtomicU64,
 }
 
 impl Catalog {
@@ -33,9 +43,29 @@ impl Catalog {
     /// Empty catalog whose tables page through `store`.
     pub fn with_store(store: Arc<PagedStore>) -> Catalog {
         Catalog {
-            tables: RwLock::default(),
             store: Some(store),
+            ..Catalog::default()
         }
+    }
+
+    /// Count one multi-index (intersection/union) scan plan.
+    pub fn on_multi_index_plan(&self) {
+        self.plans_multi_index.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one covering-index scan plan.
+    pub fn on_covering_plan(&self) {
+        self.plans_covering.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Multi-index (intersection/union) scans planned since start.
+    pub fn plans_multi_index(&self) -> u64 {
+        self.plans_multi_index.load(Ordering::Relaxed)
+    }
+
+    /// Covering-index scans planned since start.
+    pub fn plans_covering(&self) -> u64 {
+        self.plans_covering.load(Ordering::Relaxed)
     }
 
     /// The catalog's paged store, if one is attached.

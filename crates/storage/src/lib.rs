@@ -25,6 +25,7 @@ pub mod page;
 pub mod pager;
 pub mod persist;
 pub mod snapshot;
+pub mod stats;
 pub mod table;
 pub mod version;
 

@@ -41,6 +41,7 @@ use parking_lot::{RwLock, RwLockReadGuard};
 use crate::index::{BTreeIndex, KeyRange};
 use crate::page::{self, PageBuilder, NO_DELETER};
 use crate::pager::{PagedStore, PagerFile};
+use crate::stats::{self, StatsDelta, TableStats, TableSummary};
 use crate::version::Version;
 
 /// log2 of the heap segment size. Public so write-set partitioners can
@@ -99,6 +100,11 @@ pub struct Table {
     /// Commit-time row-id allocator. Advanced only during the serial commit
     /// phase, so the sequence is identical on every node.
     next_row_id: AtomicU64,
+    /// Planner statistics: exact per-indexed-column key counts plus the
+    /// sealed summary history read as-of snapshot height. Maintained on
+    /// the commit thread (fold + seal in block order); a leaf lock —
+    /// never held while acquiring any other table lock.
+    stats: RwLock<TableStats>,
     /// Paging attachment; `None` keeps the whole heap in memory.
     pager: Option<TablePager>,
 }
@@ -128,11 +134,13 @@ impl Table {
                 .entry(def.column)
                 .or_insert_with(|| Arc::new(BTreeIndex::new(def.name.clone(), def.column)));
         }
+        let stats = TableStats::with_columns(&stats::stat_columns(&schema));
         Table {
             schema: RwLock::new(schema),
             segments: RwLock::new(vec![Arc::new(Segment::new())]),
             indexes: RwLock::new(indexes),
             next_row_id: AtomicU64::new(1),
+            stats: RwLock::new(stats),
             pager,
         }
     }
@@ -274,6 +282,9 @@ impl Table {
             }
             self.indexes.write().insert(column, idx);
         }
+        // The new column's key counts are unknown until the next stats
+        // rebuild; mark dirty so the commit thread rebuilds after apply.
+        self.stats.write().add_column(column);
         Ok(())
     }
 
@@ -435,6 +446,73 @@ impl Table {
             }
         });
         n
+    }
+
+    // ------------------------------------------------- planner statistics
+
+    /// Fold one committed transaction's statistics delta into the live
+    /// maps. **Only call from the commit thread, in block order** — the
+    /// fold sequence must be identical on every node.
+    pub fn stats_apply(&self, delta: &StatsDelta) {
+        self.stats.write().apply(delta);
+    }
+
+    /// Seal the current statistics as the summary at `height` (after all
+    /// of the block's deltas folded). Commit thread only, like
+    /// [`Table::stats_apply`].
+    pub fn stats_seal(&self, height: BlockHeight) {
+        self.stats.write().seal(height);
+    }
+
+    /// The sealed statistics summary as of `height` — the planner's
+    /// input. `None` before any seal (plan from the stats-free
+    /// heuristic).
+    pub fn stats_summary_at(&self, height: BlockHeight) -> Option<TableSummary> {
+        self.stats.read().summary_at(height)
+    }
+
+    /// True when a CREATE INDEX invalidated the statistics and a rebuild
+    /// is required before the next seal.
+    pub fn stats_dirty(&self) -> bool {
+        self.stats.read().dirty()
+    }
+
+    /// Request a statistics rebuild at the next commit-thread fold (the
+    /// maintenance tick's drift defense). Safe from any thread — only
+    /// the flag is touched; the rebuild itself stays on the commit
+    /// thread, serialized with the fold.
+    pub fn stats_mark_dirty(&self) {
+        self.stats.write().mark_dirty();
+    }
+
+    /// Recompute the statistics from the heap as of `height` and seal.
+    /// Counts exactly the versions visible at `height` (created at or
+    /// below it, not aborted, deleted above it or not at all) — the same
+    /// set the incremental fold tracks, so a rebuild is a semantic no-op
+    /// on the summary values and differing rebuild cadences cannot
+    /// diverge replicas. Used by the vacuum tick, snapshot restore,
+    /// fast-sync install and after CREATE INDEX.
+    pub fn rebuild_stats(&self, height: BlockHeight) {
+        let columns = stats::stat_columns(&self.schema());
+        let mut rows = 0u64;
+        let mut keys: BTreeMap<usize, BTreeMap<Value, u64>> =
+            columns.iter().map(|c| (*c, BTreeMap::new())).collect();
+        self.for_each_slot(|_, v| {
+            let st = v.state();
+            let visible = !st.aborted
+                && st.creator_block.is_some_and(|b| b <= height)
+                && st.deleter_block.is_none_or(|b| b > height);
+            if visible {
+                rows += 1;
+                for (c, map) in keys.iter_mut() {
+                    let val = &v.data[*c];
+                    if !val.is_null() {
+                        *map.entry(val.clone()).or_insert(0) += 1;
+                    }
+                }
+            }
+        });
+        self.stats.write().install(rows, keys, height);
     }
 
     /// Reclaim versions deleted at or before `horizon` and versions from

@@ -22,6 +22,7 @@ use bcrdb_common::ids::{BlockHeight, RowId, TxId};
 use bcrdb_common::value::{Row, Value};
 use bcrdb_storage::index::KeyRange;
 use bcrdb_storage::snapshot::{classify, Classification, ScanMode, Snapshot};
+use bcrdb_storage::stats::StatsDelta;
 use bcrdb_storage::table::Table;
 use bcrdb_storage::version::{Version, UNASSIGNED_ROW_ID};
 use parking_lot::Mutex;
@@ -185,6 +186,11 @@ pub struct ApplyPlan {
     pub block: BlockHeight,
     /// Steps in canonical op order.
     pub steps: Vec<ApplyStep>,
+    /// Planner-statistics deltas (one per table touched, in first-touch
+    /// order), computed by the gate from the write set's old/new row
+    /// images — the only place both images coexist. The commit thread
+    /// folds these in block order after the apply barrier.
+    pub stats: Vec<StatsDelta>,
 }
 
 impl ApplyPlan {
@@ -327,13 +333,127 @@ impl TxnCtx {
             }
         };
 
-        let table_name = table.name();
+        Ok(self
+            .visible_candidates(&table.name(), candidates)?
+            .into_iter()
+            .map(|(row_id, version)| VisibleRow {
+                row_id,
+                data: version.data.clone(),
+                version,
+            })
+            .collect())
+    }
+
+    /// Covering-index scan: like [`TxnCtx::scan`] through the index on
+    /// `column`, but returns only `(row id, key value)` pairs — the
+    /// executor uses this when the whole statement is satisfied by the
+    /// indexed column, skipping the full row-image clone per visible
+    /// row. Conflict registration (predicate lock, SIREAD, rw edges) is
+    /// identical to a plain indexed scan.
+    pub fn scan_covering(
+        &self,
+        table: &Arc<Table>,
+        column: usize,
+        range: &KeyRange,
+    ) -> Result<Vec<(RowId, Value)>> {
+        if self.tracking {
+            // Predicate lock FIRST (see module docs on ordering).
+            self.mgr
+                .register_predicate_read(self.id, &table.name(), column, range.clone());
+        }
+        let candidates = table.index_scan(column, range).ok_or_else(|| {
+            Error::Determinism(format!(
+                "no index on column {column} of table {}; predicate reads must \
+                 use an index (§4.3)",
+                table.name()
+            ))
+        })?;
+        Ok(self
+            .visible_candidates(&table.name(), candidates)?
+            .into_iter()
+            .map(|(row_id, version)| (row_id, version.data[column].clone()))
+            .collect())
+    }
+
+    /// Multi-index scan: position-level intersection (`union = false`)
+    /// or union (`union = true`) of several single-column index ranges,
+    /// resolved to versions with one batched heap access and classified
+    /// exactly like [`TxnCtx::scan`]. One SSI predicate lock is
+    /// registered per part — for an intersection that is a conservative
+    /// superset of the matched rows (safe: extra locks can only cause
+    /// extra aborts, identically on every node); for a union the parts
+    /// cover every matched row by construction.
+    pub fn scan_multi(
+        &self,
+        table: &Arc<Table>,
+        parts: &[(usize, KeyRange)],
+        union: bool,
+    ) -> Result<Vec<VisibleRow>> {
+        let mut sets: Vec<Vec<usize>> = Vec::with_capacity(parts.len());
+        for (column, range) in parts {
+            if self.tracking {
+                // Predicate lock FIRST, per part (see module docs).
+                self.mgr
+                    .register_predicate_read(self.id, &table.name(), *column, range.clone());
+            }
+            let idx = table.index_for(*column).ok_or_else(|| {
+                Error::Determinism(format!(
+                    "no index on column {column} of table {}; predicate reads must \
+                     use an index (§4.3)",
+                    table.name()
+                ))
+            })?;
+            let mut positions = idx.positions_in_range(range);
+            positions.sort_unstable();
+            sets.push(positions);
+        }
+        let positions = if union {
+            let mut all: Vec<usize> = sets.into_iter().flatten().collect();
+            all.sort_unstable();
+            all.dedup();
+            all
+        } else {
+            let mut iter = sets.into_iter();
+            let mut acc = iter.next().unwrap_or_default();
+            for set in iter {
+                let mut i = 0;
+                acc.retain(|p| {
+                    while i < set.len() && set[i] < *p {
+                        i += 1;
+                    }
+                    i < set.len() && set[i] == *p
+                });
+            }
+            acc
+        };
+        let candidates = table.versions_at(&positions);
+        Ok(self
+            .visible_candidates(&table.name(), candidates)?
+            .into_iter()
+            .map(|(row_id, version)| VisibleRow {
+                row_id,
+                data: version.data.clone(),
+                version,
+            })
+            .collect())
+    }
+
+    /// Shared visibility tail of every scan flavour: register SIREAD
+    /// locks, classify each candidate against the snapshot, record rw
+    /// antidependencies, and return the visible versions sorted by row
+    /// id (committed rows first; own pending rows — UNASSIGNED =
+    /// u64::MAX — last, in execution order via the stable sort).
+    fn visible_candidates(
+        &self,
+        table_name: &str,
+        candidates: Vec<Arc<Version>>,
+    ) -> Result<Vec<(RowId, Arc<Version>)>> {
         let mut rows = Vec::new();
         for version in candidates {
             // SIREAD registration precedes classification (race-freedom).
             let row_id = version.row_id();
             if self.tracking && row_id != UNASSIGNED_ROW_ID {
-                self.mgr.register_row_read(self.id, &table_name, row_id);
+                self.mgr.register_row_read(self.id, table_name, row_id);
             }
             match classify(version.xmin, &version.state(), &self.snapshot) {
                 Classification::Visible { pending_writers } => {
@@ -342,11 +462,7 @@ impl TxnCtx {
                             self.mgr.register_rw_edge(self.id, w);
                         }
                     }
-                    rows.push(VisibleRow {
-                        row_id,
-                        data: version.data.clone(),
-                        version,
-                    });
+                    rows.push((row_id, version));
                 }
                 Classification::PendingWrite { writer } => {
                     // An uncommitted insert matching our predicate: the
@@ -368,18 +484,12 @@ impl TxnCtx {
                     }
                     // Relaxed time-travel semantics: the row existed at the
                     // snapshot height, so it is visible.
-                    rows.push(VisibleRow {
-                        row_id,
-                        data: version.data.clone(),
-                        version,
-                    });
+                    rows.push((row_id, version));
                 }
                 Classification::Invisible => {}
             }
         }
-        // Deterministic order: committed rows by row id; own pending rows
-        // (UNASSIGNED = u64::MAX) last, in execution order (stable sort).
-        rows.sort_by_key(|r| r.row_id);
+        rows.sort_by_key(|r| r.0);
         Ok(rows)
     }
 
@@ -591,9 +701,60 @@ impl TxnCtx {
                 }
             }
         }
+        // Statistics deltas from the write set's old/new images, per
+        // table in first-touch order. Computed here — inside the gate —
+        // so the fold stream is identical on every node regardless of
+        // apply parallelism.
+        let mut stats: Vec<StatsDelta> = Vec::new();
+        {
+            let entry = |stats: &mut Vec<StatsDelta>, table: &Arc<Table>| -> usize {
+                let name = table.name();
+                match stats.iter().position(|d| d.table == name) {
+                    Some(i) => i,
+                    None => {
+                        stats.push(StatsDelta {
+                            table: name,
+                            ..StatsDelta::default()
+                        });
+                        stats.len() - 1
+                    }
+                }
+            };
+            for op in ops.iter() {
+                match op {
+                    WriteOp::Insert { table, version } => {
+                        let i = entry(&mut stats, table);
+                        stats[i]
+                            .added
+                            .extend(Self::indexed_values(table, &version.data));
+                        stats[i].live_delta += 1;
+                    }
+                    WriteOp::Update { table, old, new } => {
+                        let i = entry(&mut stats, table);
+                        stats[i]
+                            .removed
+                            .extend(Self::indexed_values(table, &old.data));
+                        stats[i]
+                            .added
+                            .extend(Self::indexed_values(table, &new.data));
+                    }
+                    WriteOp::Delete { table, old } => {
+                        let i = entry(&mut stats, table);
+                        stats[i]
+                            .removed
+                            .extend(Self::indexed_values(table, &old.data));
+                        stats[i].live_delta -= 1;
+                    }
+                }
+            }
+        }
         drop(ops);
         self.mgr.commit(self.id);
-        Ok(ApplyPlan { block, steps })
+        Ok(ApplyPlan {
+            block,
+            steps,
+            stats,
+        })
     }
 
     /// Primary-key uniqueness at commit time: inserts (and updates that

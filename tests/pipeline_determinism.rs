@@ -635,3 +635,59 @@ fn halted_processor_reports_health_and_shuts_down() {
     processor::process_block(&clean, &good).unwrap();
     assert_eq!(clean.height(), 1);
 }
+
+/// Planner statistics ride the deterministic commit path (folded and
+/// sealed by the serial gate's thread, in block order), so the plans
+/// they drive — estimates included — are byte-identical on every
+/// replica, with the pipeline on or off and for any apply-worker count.
+/// The chosen index ranges double as SSI predicate locks, so this is a
+/// consensus property, not a cosmetic one.
+#[test]
+fn stats_driven_plans_are_identical_across_replicas_and_workers() {
+    let mut per_config: Vec<Vec<String>> = Vec::new();
+    for (pipeline, workers) in [(false, Some(1)), (true, Some(1)), (true, Some(4))] {
+        let net = build_with(Flow::OrderThenExecute, pipeline, workers);
+        run_sequential_workload(&net);
+        let plans: Vec<Vec<String>> = net
+            .nodes()
+            .iter()
+            .map(|n| {
+                let r = n
+                    .query_at(
+                        "EXPLAIN SELECT v FROM kv WHERE k = 2 OR k = 5",
+                        &[],
+                        n.height(),
+                    )
+                    .unwrap();
+                r.rows
+                    .iter()
+                    .map(|row| match &row[0] {
+                        Value::Text(s) => s.clone(),
+                        other => panic!("plan line is not text: {other:?}"),
+                    })
+                    .collect()
+            })
+            .collect();
+        for (i, p) in plans.iter().enumerate().skip(1) {
+            assert_eq!(
+                &plans[0], p,
+                "node {i} diverged (pipeline={pipeline}, workers={workers:?})"
+            );
+        }
+        per_config.push(plans.into_iter().next().unwrap());
+        net.shutdown();
+    }
+    for p in &per_config[1..] {
+        assert_eq!(
+            &per_config[0], p,
+            "plan text depends on pipeline/apply_workers"
+        );
+    }
+    // And the sealed statistics actually drove the choice: the OR over
+    // the key planned as an index union, not a full scan.
+    assert!(
+        per_config[0].iter().any(|l| l.contains("IndexUnion kv")),
+        "expected an index-union plan, got {:?}",
+        per_config[0]
+    );
+}

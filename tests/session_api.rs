@@ -529,3 +529,49 @@ fn raw_rpc_surface_round_trips() {
         net.shutdown();
     }
 }
+
+// --------------------------------------------------------------- EXPLAIN
+
+/// Tentpole acceptance: `EXPLAIN` rides the ordinary row-result path
+/// through both simulated transports, and — because plans are a pure
+/// function of the catalog and the commit-sealed statistics — every
+/// node renders byte-identical plan text for the same statement.
+#[test]
+fn explain_round_trips_identically_on_every_node() {
+    for transport in TRANSPORTS {
+        let net = build(Flow::OrderThenExecute, transport);
+        let c1 = net.client("org1", "alice").unwrap();
+        for k in 0..8 {
+            c1.call("put")
+                .arg(k)
+                .arg(k * 10)
+                .arg("x")
+                .submit_wait(WAIT)
+                .unwrap();
+        }
+        let h = c1.chain_height().unwrap();
+        net.await_height(h, WAIT).unwrap();
+        let c2 = net.client("org2", "bob").unwrap();
+
+        // Client::explain adds the EXPLAIN prefix when missing; both
+        // spellings reach the same planner.
+        let sql = "SELECT v FROM kv WHERE k = 1 OR k = 2";
+        let p1 = c1.explain(sql).unwrap();
+        let p2 = c2.explain(&format!("EXPLAIN {sql}")).unwrap();
+        assert!(!p1.is_empty(), "empty plan ({transport:?})");
+        assert!(
+            p1.iter()
+                .any(|l| l.contains("est=") && l.contains("actual=")),
+            "no estimated/actual counts in {p1:?}"
+        );
+        assert!(
+            p1.iter().any(|l| l.contains("IndexUnion kv")),
+            "OR over the key should plan as an index union with stats: {p1:?}"
+        );
+        assert_eq!(p1, p2, "plan text diverged across nodes ({transport:?})");
+
+        // EXPLAIN of a write is rejected like any non-SELECT read.
+        assert!(c1.explain("DELETE FROM kv").is_err());
+        net.shutdown();
+    }
+}

@@ -427,3 +427,37 @@ fn tcp_disconnect_cancels_pending_waiters() {
     );
     cluster.shutdown();
 }
+
+/// Satellite: EXPLAIN over the real TCP wire — the plan text travels as
+/// ordinary rows, and two nodes at the same height render byte-identical
+/// plans (the sim-transport twin lives in `session_api.rs`).
+#[test]
+fn tcp_explain_round_trips_identically_on_every_node() {
+    let spec = bcrdb::core::ClusterSpec::new(&["org1", "org2"], Flow::OrderThenExecute);
+    let cluster = bcrdb::core::TcpCluster::launch(spec, None).unwrap();
+    let wait = Duration::from_secs(20);
+    let c1 = cluster.client("org1", "bench0").unwrap();
+    for id in 0..8 {
+        c1.call("bench_tx")
+            .arg(id)
+            .arg(id)
+            .arg(id)
+            .arg("x")
+            .arg(0.5)
+            .submit_wait(wait)
+            .unwrap();
+    }
+    let h = c1.chain_height().unwrap();
+    cluster.await_height(h, wait).unwrap();
+    let c2 = cluster.client("org2", "bench0").unwrap();
+
+    let sql = "SELECT f1 FROM bench_simple WHERE id = 1 OR id = 5";
+    let p1 = c1.explain(sql).unwrap();
+    let p2 = c2.explain(sql).unwrap();
+    assert!(
+        p1.iter().any(|l| l.contains("IndexUnion bench_simple")),
+        "OR over the key should plan as an index union with stats: {p1:?}"
+    );
+    assert_eq!(p1, p2, "plan text diverged across TCP nodes");
+    cluster.shutdown();
+}
